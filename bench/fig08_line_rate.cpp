@@ -1,0 +1,178 @@
+// Figure 8: throughput of NitroSketch on OVS-DPDK, VPP and BESS.
+//
+// (a) All-in-one (AIO) integration, CAIDA-like trace: vanilla sketches
+//     collapse; Nitro-wrapped sketches ride at switch speed.
+// (b) Separate-thread integration, 64B worst case, on all three switches.
+// (c) Separate-thread, datacenter workload.
+//
+// Paper shape: with NitroSketch (p = 0.01) every sketch reaches the
+// switch's own line rate; the measurement is no longer the bottleneck.
+#include "bench_common.hpp"
+
+#include "core/nitro_sketch.hpp"
+#include "core/nitro_univmon.hpp"
+#include "switchsim/bess_pipeline.hpp"
+#include "switchsim/nitro_separate_thread.hpp"
+#include "switchsim/vpp_graph.hpp"
+
+using namespace nitro;
+using namespace nitro::bench;
+
+namespace {
+
+constexpr std::uint64_t kPackets = 2'000'000;
+constexpr double kP = 0.01;  // paper's fixed geo-sampling rate for throughput
+
+template <typename Meas>
+Throughput ovs_tput(Meas& meas, const std::vector<switchsim::RawPacket>& raws) {
+  switchsim::OvsPipeline pipe(meas);
+  return pipe.run(raws).throughput();
+}
+
+template <typename Meas>
+double ovs_mpps(Meas& meas, const std::vector<switchsim::RawPacket>& raws) {
+  return ovs_tput(meas, raws).mpps;
+}
+template <typename Meas>
+double vpp_mpps(Meas& meas, const std::vector<switchsim::RawPacket>& raws) {
+  switchsim::VppGraph graph(meas);
+  return graph.run(raws).throughput().mpps;
+}
+template <typename Meas>
+double bess_mpps(Meas& meas, const std::vector<switchsim::RawPacket>& raws) {
+  switchsim::BessPipeline pipe(meas);
+  return pipe.run(raws).throughput().mpps;
+}
+
+void aio_row(const char* name, Throughput vanilla, Throughput nitro) {
+  std::printf("  %-12s %9.2f %9.2f   %9.2f %9.2f\n", name, vanilla.mpps,
+              vanilla.gbps, nitro.mpps, nitro.gbps);
+}
+
+struct StRow {
+  double ovs, vpp, bess;
+};
+
+template <typename Base>
+StRow separate_thread_rates(Base make_base(std::uint64_t),
+                            const std::vector<switchsim::RawPacket>& raws) {
+  core::NitroConfig cfg = nitro_fixed(kP);
+  cfg.track_top_keys = false;
+  StRow row{};
+  {
+    switchsim::NitroSeparateThread<Base> meas(make_base(101), cfg);
+    row.ovs = ovs_mpps(meas, raws);
+  }
+  {
+    switchsim::NitroSeparateThread<Base> meas(make_base(102), cfg);
+    row.vpp = vpp_mpps(meas, raws);
+  }
+  {
+    switchsim::NitroSeparateThread<Base> meas(make_base(103), cfg);
+    row.bess = bess_mpps(meas, raws);
+  }
+  return row;
+}
+
+sketch::CountMinSketch make_cm(std::uint64_t seed) {
+  return sketch::CountMinSketch(5, 10000, seed);
+}
+sketch::CountSketch make_cs(std::uint64_t seed) {
+  return sketch::CountSketch(5, 102400, seed);  // paper: 2MB CS (adjusted rows)
+}
+sketch::KArySketch make_kary(std::uint64_t seed) {
+  return sketch::KArySketch(10, 51200, seed);
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 8a", "AIO throughput on OVS-like pipeline, CAIDA-like trace");
+  trace::WorkloadSpec caida;
+  caida.packets = kPackets;
+  caida.flows = 200'000;
+  caida.seed = 21;
+  const auto caida_stream = trace::caida_like(caida);
+  const auto caida_raws = switchsim::materialize(caida_stream);
+
+  {
+    switchsim::NoMeasurement none;
+    const auto t = ovs_tput(none, caida_raws);
+    std::printf("\n  switch baseline (no sketch): %.2f Mpps = %.2f Gbps\n", t.mpps,
+                t.gbps);
+    std::printf("  (CAIDA-like ~714B packets: 40GbE corresponds to ~6.8 Mpps)\n");
+  }
+  std::printf("\n  %-12s %9s %9s   %9s %9s\n", "sketch", "van.Mpps", "van.Gbps",
+              "NitroMpps", "NitroGbps");
+  {
+    sketch::UnivMon um(paper_univmon(), 1);
+    switchsim::InlineMeasurementNoTs<sketch::UnivMon> v(um);
+    core::NitroUnivMon nu(paper_univmon(), nitro_fixed(kP), 2);
+    switchsim::InlineMeasurement<core::NitroUnivMon> n(nu);
+    aio_row("UnivMon", ovs_tput(v, caida_raws), ovs_tput(n, caida_raws));
+  }
+  {
+    auto cm = make_cm(3);
+    switchsim::InlineMeasurementNoTs<sketch::CountMinSketch> v(cm);
+    core::NitroCountMin ncm(make_cm(4), nitro_fixed(kP));
+    switchsim::InlineMeasurement<core::NitroCountMin> n(ncm);
+    aio_row("Count-Min", ovs_tput(v, caida_raws), ovs_tput(n, caida_raws));
+  }
+  {
+    auto cs = make_cs(5);
+    switchsim::InlineMeasurementNoTs<sketch::CountSketch> v(cs);
+    core::NitroCountSketch ncs(make_cs(6), nitro_fixed(kP));
+    switchsim::InlineMeasurement<core::NitroCountSketch> n(ncs);
+    aio_row("CountSketch", ovs_tput(v, caida_raws), ovs_tput(n, caida_raws));
+  }
+  {
+    auto ka = make_kary(7);
+    switchsim::InlineMeasurementNoTs<sketch::KArySketch> v(ka);
+    core::NitroKAry nka(make_kary(8), nitro_fixed(kP));
+    switchsim::InlineMeasurement<core::NitroKAry> n(nka);
+    aio_row("K-ary", ovs_tput(v, caida_raws), ovs_tput(n, caida_raws));
+  }
+
+  banner("Figure 8b", "Separate-thread Nitro, 64B worst case, three switches");
+  note("this host has 1 core; producer+consumer share it, muting the gain");
+  const auto stress = trace::min_sized_stress(kPackets, 100'000, 31);
+  const auto stress_raws = switchsim::materialize(stress);
+  {
+    switchsim::NoMeasurement n1, n2, n3;
+    std::printf("\n  %-12s %10s %10s %10s   (Mpps)\n", "config", "OVS", "VPP", "BESS");
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "no sketch",
+                ovs_mpps(n1, stress_raws), vpp_mpps(n2, stress_raws),
+                bess_mpps(n3, stress_raws));
+  }
+  {
+    const auto r = separate_thread_rates<sketch::CountMinSketch>(make_cm, stress_raws);
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-CM ST", r.ovs, r.vpp, r.bess);
+  }
+  {
+    const auto r = separate_thread_rates<sketch::CountSketch>(make_cs, stress_raws);
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-CS ST", r.ovs, r.vpp, r.bess);
+  }
+  {
+    const auto r = separate_thread_rates<sketch::KArySketch>(make_kary, stress_raws);
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-Kary ST", r.ovs, r.vpp, r.bess);
+  }
+
+  banner("Figure 8c", "Separate-thread Nitro, datacenter workload, three switches");
+  const auto dc = trace::datacenter(kPackets, 100'000, 33);
+  const auto dc_raws = switchsim::materialize(dc);
+  {
+    switchsim::NoMeasurement n1, n2, n3;
+    std::printf("\n  %-12s %10s %10s %10s   (Mpps)\n", "config", "OVS", "VPP", "BESS");
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "no sketch", ovs_mpps(n1, dc_raws),
+                vpp_mpps(n2, dc_raws), bess_mpps(n3, dc_raws));
+  }
+  {
+    const auto r = separate_thread_rates<sketch::CountMinSketch>(make_cm, dc_raws);
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-CM ST", r.ovs, r.vpp, r.bess);
+  }
+  {
+    const auto r = separate_thread_rates<sketch::CountSketch>(make_cs, dc_raws);
+    std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-CS ST", r.ovs, r.vpp, r.bess);
+  }
+  return 0;
+}

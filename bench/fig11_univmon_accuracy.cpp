@@ -1,0 +1,177 @@
+// Figure 11: UnivMon accuracy — vanilla vs NitroSketch.
+//
+// (a)/(b) Mean relative error of HH / Change / Entropy vs epoch size, for
+// fixed sampling rates p = 0.1 and p = 0.01 and two memory budgets.
+// Paper shape: Nitro errors start high on small epochs and converge to
+// vanilla's level by ~8-16M packets.
+//
+// (c) AlwaysCorrect throughput over time: starts at vanilla speed, jumps
+// to full Nitro speed once converged (~0.6-0.8s at 40G in the paper).
+//
+// Epochs are scaled to <= 8M packets (paper: up to 1B) to finish on one
+// core; the convergence crossover the paper highlights happens well below
+// that.  3 independent runs per point (paper: 10).
+#include "bench_common.hpp"
+
+#include "control/estimation.hpp"
+#include "core/nitro_sketch.hpp"
+#include "core/nitro_univmon.hpp"
+#include "metrics/accuracy.hpp"
+
+using namespace nitro;
+using namespace nitro::bench;
+
+namespace {
+
+constexpr int kRuns = 3;
+const std::uint64_t kEpochs[] = {1'000'000, 2'000'000, 4'000'000, 8'000'000};
+constexpr std::uint64_t kMaxEpoch = 8'000'000;
+constexpr double kHhFrac = 0.0005;  // paper threshold 0.05%
+
+struct TaskErrors {
+  double hh = 0, change = 0, entropy = 0;
+};
+
+/// Runs UnivMon (vanilla or Nitro at p) over the first `epoch` packets of
+/// `stream` twice (two sub-epochs for change detection) and reports errors.
+/// The second sub-epoch gets 20 injected flow spikes (0.1% of the epoch
+/// each) so change detection has real changes to find, as in the paper's
+/// consecutive-interval methodology.
+TaskErrors run_once(const trace::Trace& stream, std::uint64_t epoch,
+                    std::uint32_t top_width, double p, std::uint64_t seed) {
+  const std::uint64_t half = epoch / 2;
+  auto make = [&]() {
+    if (p >= 1.0) {
+      core::NitroConfig cfg;
+      cfg.mode = core::Mode::kVanilla;
+      return core::NitroUnivMon(univmon_sized(top_width), cfg, seed);
+    }
+    return core::NitroUnivMon(univmon_sized(top_width), nitro_fixed(p), seed);
+  };
+  core::NitroUnivMon first = make();
+  core::NitroUnivMon second = make();
+  trace::GroundTruth t1, t2;
+  for (std::uint64_t i = 0; i < half; ++i) {
+    first.update(stream[i].key);
+    t1.add(stream[i].key, 1);
+  }
+  const std::uint64_t spike = std::max<std::uint64_t>(half / 1000, 10);
+  for (std::uint64_t i = half; i < epoch; ++i) {
+    second.update(stream[i].key);
+    t2.add(stream[i].key, 1);
+    if ((i - half) % (half / (20 * spike) + 1) == 0) {
+      // Interleave the spike packets of 20 "changed" flows.
+      const FlowKey k = trace::flow_key_for_rank(5'000'000 + (i % 20), 0xc4a6eULL);
+      second.update(k);
+      t2.add(k, 1);
+    }
+  }
+
+  TaskErrors err;
+  // HH error over the whole epoch = evaluated on the second sub-epoch.
+  const auto hh_threshold =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(kHhFrac * half));
+  err.hh = metrics::hh_mean_relative_error(
+      t2, hh_threshold, [&](const FlowKey& k) { return second.query(k); });
+
+  err.change = metrics::change_mean_relative_error(
+      t1, t2, hh_threshold, [&](const FlowKey& k) {
+        return std::llabs(second.query(k) - first.query(k));
+      });
+
+  err.entropy = metrics::relative_error(second.estimate_entropy(), t2.entropy());
+  return err;
+}
+
+void print_series(const char* label, const trace::Trace& stream,
+                  std::uint32_t top_width, double p) {
+  std::printf("  %-22s", label);
+  for (std::uint64_t epoch : kEpochs) {
+    TaskErrors sum;
+    for (int r = 0; r < kRuns; ++r) {
+      const auto e = run_once(stream, epoch, top_width, p, 1000 + r);
+      sum.hh += e.hh;
+      sum.change += e.change;
+      sum.entropy += e.entropy;
+    }
+    std::printf("  %4.1f/%4.1f/%4.1f", 100.0 * sum.hh / kRuns,
+                100.0 * sum.change / kRuns, 100.0 * sum.entropy / kRuns);
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  trace::WorkloadSpec spec;
+  spec.packets = kMaxEpoch;
+  spec.flows = 500'000;
+  spec.seed = 77;
+  const auto stream = trace::caida_like(spec);
+
+  std::printf("\n  columns: epoch = 1M, 2M, 4M, 8M packets;"
+              " cells = HH%%/Change%%/Entropy%% mean rel. error (%d runs)\n", kRuns);
+
+  banner("Figure 11a", "UnivMon ~8MB: vanilla vs Nitro p=0.1 / p=0.01");
+  print_series("vanilla", stream, 40000, 1.0);
+  print_series("NitroSketch p=0.1", stream, 40000, 0.1);
+  print_series("NitroSketch p=0.01", stream, 40000, 0.01);
+
+  banner("Figure 11b", "UnivMon ~2MB: vanilla vs Nitro p=0.1 / p=0.01");
+  print_series("vanilla", stream, 10000, 1.0);
+  print_series("NitroSketch p=0.1", stream, 10000, 0.1);
+  print_series("NitroSketch p=0.01", stream, 10000, 0.01);
+
+  banner("Figure 11c", "AlwaysCorrect throughput over time (CS and UnivMon)");
+  note("reported every 0.25M packets; speed jumps at the convergence point");
+  {
+    core::NitroConfig ac;
+    ac.mode = core::Mode::kAlwaysCorrect;
+    ac.probability = 0.01;
+    ac.epsilon = 0.05;
+    ac.track_top_keys = false;
+    core::NitroCountSketch cs(sketch::CountSketch(5, 102400, 5), ac);
+    std::printf("\n  AC-NitroSketch(CountSketch):\n    packets      Mpps   converged\n");
+    WallTimer timer;
+    std::uint64_t last = 0;
+    double last_t = 0.0;
+    for (std::uint64_t i = 0; i < stream.size(); ++i) {
+      cs.update(stream[i].key);
+      if ((i + 1) % 250'000 == 0) {
+        const double t = timer.seconds();
+        const double mpps =
+            static_cast<double>(i + 1 - last) / (t - last_t) / 1e6;
+        std::printf("    %8llu %9.2f   %s\n",
+                    static_cast<unsigned long long>(i + 1), mpps,
+                    cs.converged() ? "yes" : "no");
+        last = i + 1;
+        last_t = t;
+      }
+    }
+  }
+  {
+    core::NitroConfig ac;
+    ac.mode = core::Mode::kAlwaysCorrect;
+    ac.probability = 0.01;
+    ac.epsilon = 0.05;
+    core::NitroUnivMon um(paper_univmon(), ac, 7);
+    std::printf("\n  AC-NitroSketch(UnivMon):\n    packets      Mpps   level0-converged\n");
+    WallTimer timer;
+    std::uint64_t last = 0;
+    double last_t = 0.0;
+    for (std::uint64_t i = 0; i < stream.size(); ++i) {
+      um.update(stream[i].key);
+      if ((i + 1) % 250'000 == 0) {
+        const double t = timer.seconds();
+        const double mpps =
+            static_cast<double>(i + 1 - last) / (t - last_t) / 1e6;
+        std::printf("    %8llu %9.2f   %s\n",
+                    static_cast<unsigned long long>(i + 1), mpps,
+                    um.level_converged(0) ? "yes" : "no");
+        last = i + 1;
+        last_t = t;
+      }
+    }
+  }
+  return 0;
+}

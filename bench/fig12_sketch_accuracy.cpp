@@ -1,0 +1,190 @@
+// Figure 12:
+// (a)/(b) HH error of Count-Min and Count Sketch and Change error of
+//     K-ary, vanilla vs Nitro (p = 0.1, 0.01), at 2MB and 200KB budgets.
+//     Paper shape: Nitro converges to vanilla accuracy by 8-16M packets;
+//     Nitro-CM even *beats* vanilla CM after convergence (sampling cancels
+//     CM's positive bias).
+// (c) Provable convergence time (packets) vs sampling rate for error
+//     targets 1%, 3%, 5%: the packet count where the trace's L2 reaches
+//     8·ε⁻²·p⁻¹ (Theorem 2), measured on the CAIDA-like trace.
+#include "bench_common.hpp"
+
+#include "control/estimation.hpp"
+#include "core/nitro_sketch.hpp"
+#include "metrics/accuracy.hpp"
+
+using namespace nitro;
+using namespace nitro::bench;
+
+namespace {
+
+constexpr int kRuns = 3;
+const std::uint64_t kEpochs[] = {1'000'000, 2'000'000, 4'000'000, 8'000'000};
+constexpr std::uint64_t kMaxEpoch = 8'000'000;
+constexpr double kHhFrac = 0.0005;
+
+// Sketch shapes for the two memory budgets (5 rows x w x 8B ~= budget).
+struct Budget {
+  const char* name;
+  std::uint32_t cm_width;    // 5 rows
+  std::uint32_t cs_width;    // 5 rows
+  std::uint32_t kary_width;  // 10 rows
+};
+constexpr Budget k2MB{"2MB", 51200, 51200, 25600};
+constexpr Budget k200KB{"200KB", 5120, 5120, 2560};
+
+template <typename Nitro, typename MakeBase>
+double hh_error(const trace::Trace& stream, std::uint64_t epoch, MakeBase make,
+                double p, std::uint64_t seed) {
+  core::NitroConfig cfg;
+  if (p >= 1.0) {
+    cfg.mode = core::Mode::kVanilla;
+  } else {
+    cfg = nitro_fixed(p);
+  }
+  cfg.seed ^= seed;
+  cfg.track_top_keys = false;
+  Nitro nitro(make(seed), cfg);
+  trace::GroundTruth truth;
+  for (std::uint64_t i = 0; i < epoch; ++i) {
+    nitro.update(stream[i].key);
+    truth.add(stream[i].key, 1);
+  }
+  const auto threshold =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(kHhFrac * epoch));
+  return metrics::hh_mean_relative_error(
+      truth, threshold, [&](const FlowKey& k) { return nitro.query(k); });
+}
+
+double kary_change_error(const trace::Trace& stream, std::uint64_t epoch,
+                         std::uint32_t width, double p, std::uint64_t seed) {
+  core::NitroConfig cfg;
+  if (p >= 1.0) {
+    cfg.mode = core::Mode::kVanilla;
+  } else {
+    cfg = nitro_fixed(p);
+  }
+  cfg.seed ^= seed;
+  cfg.track_top_keys = false;
+  const std::uint64_t half = epoch / 2;
+  core::NitroKAry first(sketch::KArySketch(10, width, seed), cfg);
+  core::NitroKAry second(sketch::KArySketch(10, width, seed), cfg);
+  trace::GroundTruth t1, t2;
+  for (std::uint64_t i = 0; i < half; ++i) {
+    first.update(stream[i].key);
+    t1.add(stream[i].key, 1);
+  }
+  // 20 injected flow spikes in the second sub-epoch (0.1% of it each) so
+  // there are real changes to detect.
+  const std::uint64_t spike = std::max<std::uint64_t>(half / 1000, 10);
+  for (std::uint64_t i = half; i < epoch; ++i) {
+    second.update(stream[i].key);
+    t2.add(stream[i].key, 1);
+    if ((i - half) % (half / (20 * spike) + 1) == 0) {
+      const FlowKey k = trace::flow_key_for_rank(5'000'000 + (i % 20), 0xc4a6eULL);
+      second.update(k);
+      t2.add(k, 1);
+    }
+  }
+  const auto threshold =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(kHhFrac * half));
+  return metrics::change_mean_relative_error(
+      t1, t2, threshold, [&](const FlowKey& k) {
+        return std::llabs(second.query(k) - first.query(k));
+      });
+}
+
+template <typename F>
+void print_row(const char* label, F one_epoch_error) {
+  std::printf("  %-22s", label);
+  for (std::uint64_t epoch : kEpochs) {
+    double sum = 0;
+    for (int r = 0; r < kRuns; ++r) sum += one_epoch_error(epoch, 100 + r);
+    std::printf(" %7.2f%%", 100.0 * sum / kRuns);
+  }
+  std::printf("\n");
+}
+
+void budget_section(const trace::Trace& stream, const Budget& b) {
+  std::printf("\n  [%s]  columns: epoch = 1M, 2M, 4M, 8M packets\n", b.name);
+
+  std::printf("  HH (Count-Min):\n");
+  auto make_cm = [&](std::uint64_t s) { return sketch::CountMinSketch(5, b.cm_width, s); };
+  for (double p : {1.0, 0.1, 0.01}) {
+    char label[64];
+    std::snprintf(label, sizeof label, p >= 1.0 ? "  vanilla" : "  Nitro p=%g", p);
+    print_row(label, [&](std::uint64_t e, std::uint64_t s) {
+      return hh_error<core::NitroCountMin>(stream, e, make_cm, p, s);
+    });
+  }
+
+  std::printf("  HH (Count Sketch):\n");
+  auto make_cs = [&](std::uint64_t s) { return sketch::CountSketch(5, b.cs_width, s); };
+  for (double p : {1.0, 0.1, 0.01}) {
+    char label[64];
+    std::snprintf(label, sizeof label, p >= 1.0 ? "  vanilla" : "  Nitro p=%g", p);
+    print_row(label, [&](std::uint64_t e, std::uint64_t s) {
+      return hh_error<core::NitroCountSketch>(stream, e, make_cs, p, s);
+    });
+  }
+
+  std::printf("  Change (K-ary):\n");
+  for (double p : {1.0, 0.1, 0.01}) {
+    char label[64];
+    std::snprintf(label, sizeof label, p >= 1.0 ? "  vanilla" : "  Nitro p=%g", p);
+    print_row(label, [&](std::uint64_t e, std::uint64_t s) {
+      return kary_change_error(stream, e, b.kary_width, p, s);
+    });
+  }
+}
+
+}  // namespace
+
+int main() {
+  trace::WorkloadSpec spec;
+  spec.packets = kMaxEpoch;
+  spec.flows = 500'000;
+  spec.seed = 99;
+  const auto stream = trace::caida_like(spec);
+
+  banner("Figure 12a/b", "Vanilla vs NitroSketch accuracy (CM/CS HH, K-ary change)");
+  budget_section(stream, k2MB);
+  budget_section(stream, k200KB);
+
+  banner("Figure 12c", "Guaranteed convergence time vs sampling rate");
+  note("packets until L2 >= 8*eps^-2/p (Theorem 2), on the CAIDA-like trace");
+  // Measure L2 growth once, incrementally.
+  std::vector<double> l2_at;  // L2 after every 100K packets
+  {
+    std::unordered_map<FlowKey, std::int64_t> counts;
+    double l2sq = 0.0;
+    for (std::uint64_t i = 0; i < stream.size(); ++i) {
+      auto& c = counts[stream[i].key];
+      l2sq += static_cast<double>(2 * c + 1);
+      ++c;
+      if ((i + 1) % 100'000 == 0) l2_at.push_back(std::sqrt(l2sq));
+    }
+  }
+  std::printf("\n  %-14s %16s %16s %16s\n", "sampling rate", "target 1%",
+              "target 3%", "target 5%");
+  for (double p : {0.02, 0.04, 0.06, 0.08, 0.10}) {
+    std::printf("  %-14g", p);
+    for (double eps : {0.01, 0.03, 0.05}) {
+      const double need = 8.0 / (eps * eps * p);
+      std::uint64_t packets = 0;
+      for (std::size_t i = 0; i < l2_at.size(); ++i) {
+        if (l2_at[i] >= need) {
+          packets = (i + 1) * 100'000;
+          break;
+        }
+      }
+      if (packets == 0) {
+        std::printf(" %15s", ">8M");
+      } else {
+        std::printf(" %14lluK", static_cast<unsigned long long>(packets / 1000));
+      }
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

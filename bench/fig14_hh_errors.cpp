@@ -1,0 +1,86 @@
+// Figure 14: heavy-hitter relative error of SketchVisor (20/50/100% fast
+// path) vs NitroSketch(UnivMon), on CAIDA-like, DDoS, and datacenter
+// traces, as a function of epoch size.
+//
+// Paper shape: Nitro starts worse (pre-convergence) but beats SketchVisor
+// after a few million packets on CAIDA/DDoS; on the skewed datacenter
+// trace SketchVisor is relatively accurate, and Nitro is good everywhere.
+#include "bench_common.hpp"
+
+#include "baselines/sketchvisor.hpp"
+#include "core/nitro_univmon.hpp"
+#include "metrics/accuracy.hpp"
+
+using namespace nitro;
+using namespace nitro::bench;
+
+namespace {
+
+const std::uint64_t kEpochs[] = {1'000'000, 4'000'000, 8'000'000};
+constexpr std::uint64_t kMaxEpoch = 8'000'000;
+double sketchvisor_error(const trace::Trace& stream, std::uint64_t epoch,
+                         double hh_frac, double fast_frac, std::uint64_t seed) {
+  baseline::SketchVisor sv(paper_univmon(), 900, fast_frac, seed);
+  trace::GroundTruth truth;
+  for (std::uint64_t i = 0; i < epoch; ++i) {
+    sv.update(stream[i].key);
+    truth.add(stream[i].key, 1);
+  }
+  sv.merge();
+  const auto threshold =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(hh_frac * epoch));
+  return metrics::hh_mean_relative_error(
+      truth, threshold, [&](const FlowKey& k) { return sv.query(k); });
+}
+
+double nitro_error(const trace::Trace& stream, std::uint64_t epoch, double hh_frac,
+                   std::uint64_t seed) {
+  core::NitroConfig cfg = nitro_fixed(0.01);
+  cfg.seed ^= seed;
+  core::NitroUnivMon nu(paper_univmon(), cfg, seed);
+  trace::GroundTruth truth;
+  for (std::uint64_t i = 0; i < epoch; ++i) {
+    nu.update(stream[i].key);
+    truth.add(stream[i].key, 1);
+  }
+  const auto threshold =
+      std::max<std::int64_t>(1, static_cast<std::int64_t>(hh_frac * epoch));
+  return metrics::hh_mean_relative_error(
+      truth, threshold, [&](const FlowKey& k) { return nu.query(k); });
+}
+
+/// `hh_frac`: reporting threshold as a fraction of the epoch (paper:
+/// 0.05% for all three traces).
+void trace_section(const char* name, const trace::Trace& stream,
+                   double hh_frac = 0.0005) {
+  std::printf("\n  [%s]  columns: epoch = 1M, 4M, 8M packets (HH frac %.3f%%)\n",
+              name, 100.0 * hh_frac);
+  for (double frac : {1.0, 0.5, 0.2}) {
+    std::printf("  SketchVisor(%3.0f%%)   ", 100 * frac);
+    for (std::uint64_t epoch : kEpochs) {
+      std::printf(" %7.2f%%",
+                  100.0 * sketchvisor_error(stream, epoch, hh_frac, frac, 3));
+    }
+    std::printf("\n");
+  }
+  std::printf("  NitroSketch(UnivMon)");
+  for (std::uint64_t epoch : kEpochs) {
+    std::printf(" %7.2f%%", 100.0 * nitro_error(stream, epoch, hh_frac, 5));
+  }
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  banner("Figure 14", "HH error: SketchVisor vs NitroSketch on three traces");
+
+  trace::WorkloadSpec caida;
+  caida.packets = kMaxEpoch;
+  caida.flows = 500'000;
+  caida.seed = 14;
+  trace_section("CAIDA-like", trace::caida_like(caida));
+  trace_section("DDoS", trace::ddos(kMaxEpoch, 2'000'000, 15));
+  trace_section("Datacenter", trace::datacenter(kMaxEpoch, 500'000, 16));
+  return 0;
+}

@@ -1,0 +1,131 @@
+// Micro-benchmarks (google-benchmark) of the per-packet primitives whose
+// costs drive the paper's bottleneck analysis (§3): hash computations (H),
+// counter updates (C), heap operations (P), PRNG draws, and the per-packet
+// cost of each sketch's update path.
+#include <benchmark/benchmark.h>
+
+#include "baselines/elastic.hpp"
+#include "common/geometric.hpp"
+#include "common/hash.hpp"
+#include "core/nitro_sketch.hpp"
+#include "core/row_sampler.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/count_sketch.hpp"
+#include "sketch/topk.hpp"
+#include "sketch/univmon.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+using namespace nitro;
+
+std::vector<FlowKey> make_keys(std::size_t n) {
+  std::vector<FlowKey> keys;
+  keys.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    keys.push_back(trace::flow_key_for_rank(i % 10000, 7));
+  }
+  return keys;
+}
+
+void BM_XxHash32_FlowKey(benchmark::State& state) {
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xxhash32(&keys[i & 4095], sizeof(FlowKey), 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_XxHash32_FlowKey);
+
+void BM_XxHash64_FlowKey(benchmark::State& state) {
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(xxhash64(&keys[i & 4095], sizeof(FlowKey), 0));
+    ++i;
+  }
+}
+BENCHMARK(BM_XxHash64_FlowKey);
+
+void BM_GeometricDraw(benchmark::State& state) {
+  GeometricSampler geo(0.01, 1);
+  for (auto _ : state) benchmark::DoNotOptimize(geo.next());
+}
+BENCHMARK(BM_GeometricDraw);
+
+void BM_PerPacketCoinFlip(benchmark::State& state) {
+  Pcg32 rng(1);
+  for (auto _ : state) benchmark::DoNotOptimize(rng.next_double() < 0.01);
+}
+BENCHMARK(BM_PerPacketCoinFlip);
+
+void BM_RowSampler_PerPacket(benchmark::State& state) {
+  const double p = 1.0 / static_cast<double>(state.range(0));
+  core::RowSampler sampler(5, p, 3);
+  std::uint32_t rows[64];
+  for (auto _ : state) benchmark::DoNotOptimize(sampler.rows_for_packet(rows));
+}
+BENCHMARK(BM_RowSampler_PerPacket)->Arg(1)->Arg(10)->Arg(100);
+
+void BM_CountMin_Update(benchmark::State& state) {
+  sketch::CountMinSketch cm(5, static_cast<std::uint32_t>(state.range(0)), 5);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) cm.update(keys[i++ & 4095]);
+}
+BENCHMARK(BM_CountMin_Update)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_CountSketch_Update(benchmark::State& state) {
+  sketch::CountSketch cs(5, static_cast<std::uint32_t>(state.range(0)), 7);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) cs.update(keys[i++ & 4095]);
+}
+BENCHMARK(BM_CountSketch_Update)->Arg(10000)->Arg(102400);
+
+void BM_UnivMon_Update(benchmark::State& state) {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 16;
+  cfg.depth = 5;
+  cfg.top_width = 10000;
+  cfg.heap_capacity = 1000;
+  sketch::UnivMon um(cfg, 9);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) um.update(keys[i++ & 4095]);
+}
+BENCHMARK(BM_UnivMon_Update);
+
+void BM_NitroCountSketch_Update(benchmark::State& state) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 1.0 / static_cast<double>(state.range(0));
+  cfg.track_top_keys = false;
+  core::NitroCountSketch nitro(sketch::CountSketch(5, 102400, 11), cfg);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) nitro.update(keys[i++ & 4095]);
+}
+BENCHMARK(BM_NitroCountSketch_Update)->Arg(10)->Arg(100);
+
+void BM_ElasticSketch_Update(benchmark::State& state) {
+  baseline::ElasticSketch es(8192, 3, 65536, 13);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) es.update(keys[i++ & 4095]);
+}
+BENCHMARK(BM_ElasticSketch_Update);
+
+void BM_TopKHeap_Offer(benchmark::State& state) {
+  sketch::TopKHeap heap(1000);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  std::int64_t est = 0;
+  for (auto _ : state) heap.offer(keys[i++ & 4095], ++est);
+}
+BENCHMARK(BM_TopKHeap_Offer);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,32 @@
+#include "baselines/elastic.hpp"
+
+#include <map>
+
+#include "common/math_util.hpp"
+
+namespace nitro::baseline {
+
+double ElasticSketch::estimate_entropy() const {
+  if (total_ <= 0) return 0.0;
+  const double m = static_cast<double>(total_);
+
+  // Σ f log2 f over the heavy residents...
+  double sum = 0.0;
+  for (const auto& b : buckets_) {
+    if (b.pvote > 0) {
+      const double f = static_cast<double>(b.pvote + (b.flag ? light_.query(b.key) : 0));
+      sum += xlog2x(f);
+    }
+  }
+  // ...plus the light part: each nonzero row-0 counter value v is treated
+  // as one flow of size v (ElasticSketch's flow-size-distribution proxy).
+  // Hash collisions merge mice into one bigger pseudo-flow, so the proxy
+  // and the entropy drift as the flow count grows.
+  for (std::int64_t c : light_.matrix().row(0)) {
+    if (c > 0) sum += xlog2x(static_cast<double>(c));
+  }
+  double h = std::log2(m) - sum / m;
+  return std::max(h, 0.0);
+}
+
+}  // namespace nitro::baseline

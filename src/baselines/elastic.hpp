@@ -1,0 +1,134 @@
+// ElasticSketch (Yang et al., SIGCOMM 2018) — reimplemented baseline.
+//
+// Heavy part: an array of buckets with (key, positive vote, negative
+// vote, flag); elephants live here, and a flow is evicted to the light
+// part when the negative/positive vote ratio reaches λ = 8.  Light part:
+// a Count-Min Sketch for the mice.  Worst-case per-packet cost is
+// 1 hash + 1 counter + 1 table op — fast, but the light part only gives
+// an L1 guarantee, and the distinct-flow estimator (linear counting over
+// the light counters) overflows once the flow count approaches the
+// counter count.  Both limitations are what Figure 3b demonstrates.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "sketch/count_min.hpp"
+
+namespace nitro::baseline {
+
+class ElasticSketch {
+ public:
+  /// `heavy_buckets` buckets + a CM light part of `light_depth x light_width`.
+  /// The paper's Figure 3b instance is ~2.7MB total.
+  ElasticSketch(std::size_t heavy_buckets, std::uint32_t light_depth,
+                std::uint32_t light_width, std::uint64_t seed)
+      : buckets_(heavy_buckets), light_(light_depth, light_width, seed) {}
+
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    total_ += count;
+    Bucket& b = buckets_[bucket_index(key)];
+    if (b.pvote == 0) {  // empty bucket: claim it
+      b.key = key;
+      b.pvote = count;
+      b.nvote = 0;
+      b.flag = false;
+      return;
+    }
+    if (b.key == key) {
+      b.pvote += count;
+      return;
+    }
+    b.nvote += count;
+    if (b.nvote >= kLambda * b.pvote) {
+      // Eviction: the incumbent's count moves to the light part; the
+      // challenger takes the bucket, flagged because part of its history
+      // is now in the light part too.
+      light_.update(b.key, b.pvote);
+      b.key = key;
+      b.pvote = count;
+      b.nvote = 0;
+      b.flag = true;
+    } else {
+      light_.update(key, count);
+    }
+  }
+
+  std::int64_t query(const FlowKey& key) const {
+    const Bucket& b = buckets_[bucket_index(key)];
+    if (b.pvote > 0 && b.key == key) {
+      return b.pvote + (b.flag ? light_.query(key) : 0);
+    }
+    return light_.query(key);
+  }
+
+  /// Linear-counting cardinality over the light part's row-0 counters plus
+  /// the heavy-part residents.  Breaks down (ln of ~0) when flows ≫
+  /// counters — the Figure 3b failure mode.
+  double estimate_distinct() const {
+    const auto row = light_.matrix().row(0);
+    std::size_t zeros = 0;
+    for (std::int64_t c : row) {
+      if (c == 0) ++zeros;
+    }
+    const double w = static_cast<double>(row.size());
+    double light_distinct;
+    if (zeros == 0) {
+      // Linear counting has overflowed; the estimator saturates and the
+      // reported cardinality is unusable (error > 100% in the paper).
+      light_distinct = w * std::log(w);
+    } else {
+      light_distinct = w * std::log(w / static_cast<double>(zeros));
+    }
+    double heavy = 0;
+    for (const auto& b : buckets_) {
+      if (b.pvote > 0 && !b.flag) heavy += 1.0;
+    }
+    return light_distinct + heavy;
+  }
+
+  /// Entropy from the heavy flows (exact keys) plus the light part's
+  /// counter histogram used as a proxy flow-size distribution.  The proxy
+  /// collapses once many mice share counters — accuracy degrades with the
+  /// flow count, as in Figure 3b.
+  double estimate_entropy() const;
+
+  std::vector<std::pair<FlowKey, std::int64_t>> heavy_hitters(std::int64_t threshold) const {
+    std::vector<std::pair<FlowKey, std::int64_t>> out;
+    for (const auto& b : buckets_) {
+      if (b.pvote > 0) {
+        const std::int64_t est = b.pvote + (b.flag ? light_.query(b.key) : 0);
+        if (est >= threshold) out.emplace_back(b.key, est);
+      }
+    }
+    return out;
+  }
+
+  std::int64_t total() const noexcept { return total_; }
+  std::size_t memory_bytes() const noexcept {
+    return buckets_.size() * sizeof(Bucket) + light_.memory_bytes();
+  }
+  const sketch::CountMinSketch& light_part() const noexcept { return light_; }
+
+ private:
+  static constexpr std::int64_t kLambda = 8;
+
+  struct Bucket {
+    FlowKey key;
+    std::int64_t pvote = 0;
+    std::int64_t nvote = 0;
+    bool flag = false;
+  };
+
+  std::size_t bucket_index(const FlowKey& key) const {
+    return static_cast<std::size_t>(flow_digest(key) % buckets_.size());
+  }
+
+  std::vector<Bucket> buckets_;
+  sketch::CountMinSketch light_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace nitro::baseline

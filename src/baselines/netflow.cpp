@@ -1,0 +1,20 @@
+#include "baselines/netflow.hpp"
+
+#include <algorithm>
+
+namespace nitro::baseline {
+
+std::vector<std::pair<FlowKey, std::int64_t>> NetFlowSampler::top_k(std::size_t k) const {
+  std::vector<std::pair<FlowKey, std::int64_t>> out;
+  out.reserve(cache_.size());
+  for (const auto& [key, sampled] : cache_) {
+    out.emplace_back(key, static_cast<std::int64_t>(
+                              static_cast<double>(sampled) / rate_ + 0.5));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+}  // namespace nitro::baseline

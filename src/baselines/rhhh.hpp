@@ -1,0 +1,113 @@
+// R-HHH — Randomized Hierarchical Heavy Hitters (Ben Basat et al.,
+// SIGCOMM 2017), the paper's Table 1 "fast but task-specific" baseline.
+//
+// The deterministic HHH algorithm updates one Space-Saving instance per
+// prefix level of the source-IP hierarchy (O(H) per packet).  R-HHH picks
+// ONE random level per packet and updates only it, recovering the HHH set
+// at query time by scaling estimates by H.  O(1) per packet, robust for
+// HHH — but, as the paper stresses, it answers only this one task.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "common/rng.hpp"
+#include "sketch/space_saving.hpp"
+
+namespace nitro::baseline {
+
+class Rhhh {
+ public:
+  /// Byte-granularity source-IP hierarchy: levels /32, /24, /16, /8.
+  static constexpr std::uint32_t kLevels = 4;
+
+  struct Hhh {
+    std::uint32_t prefix;       // network-order prefix bits
+    std::uint32_t prefix_len;   // 8/16/24/32
+    std::int64_t estimate;
+  };
+
+  Rhhh(std::size_t counters_per_level, std::uint64_t seed)
+      : rng_(mix64(seed ^ 0x4444ULL)) {
+    levels_.reserve(kLevels);
+    for (std::uint32_t i = 0; i < kLevels; ++i) {
+      levels_.emplace_back(counters_per_level);
+    }
+  }
+
+  /// O(1): one level drawn uniformly, one Space-Saving update.
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    ++packets_;
+    const std::uint32_t level = rng_.next_below(kLevels);
+    levels_[level].update(generalize(key, level), count);
+  }
+
+  /// Estimated count of a specific prefix (scaled by the level fan-out).
+  std::int64_t query(std::uint32_t prefix, std::uint32_t prefix_len) const {
+    const std::uint32_t level = level_of(prefix_len);
+    FlowKey k;
+    k.src_ip = prefix & mask_of(prefix_len);
+    return levels_[level].query(k) * static_cast<std::int64_t>(kLevels);
+  }
+
+  /// Hierarchical heavy hitters above `fraction` of the traffic: for each
+  /// level, prefixes whose *conditioned* count (minus descendant HHHs)
+  /// crosses the threshold.
+  std::vector<Hhh> hierarchical_heavy_hitters(double fraction) const {
+    const auto threshold = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(fraction * static_cast<double>(packets_)));
+    std::vector<Hhh> out;
+    std::vector<Hhh> deeper;  // HHHs from more-specific levels
+    for (std::uint32_t level = 0; level < kLevels; ++level) {  // /32 first
+      const std::uint32_t plen = 32 - 8 * level;
+      std::vector<Hhh> found_here;
+      for (const auto& [key, count] :
+           levels_[level].heavy_hitters(1)) {
+        std::int64_t est = count * static_cast<std::int64_t>(kLevels);
+        // Condition on already-reported descendants (standard HHH
+        // discounting: a /16 is only interesting beyond its heavy /24s).
+        for (const auto& d : deeper) {
+          if (d.prefix_len > plen &&
+              (d.prefix & mask_of(plen)) == (key.src_ip & mask_of(plen))) {
+            est -= d.estimate;
+          }
+        }
+        if (est >= threshold) {
+          found_here.push_back({key.src_ip & mask_of(plen), plen, est});
+        }
+      }
+      out.insert(out.end(), found_here.begin(), found_here.end());
+      deeper.insert(deeper.end(), found_here.begin(), found_here.end());
+    }
+    return out;
+  }
+
+  std::uint64_t packets() const noexcept { return packets_; }
+  const sketch::SpaceSaving& level(std::uint32_t i) const { return levels_[i]; }
+
+ private:
+  static constexpr std::uint32_t mask_of(std::uint32_t prefix_len) {
+    return prefix_len == 0 ? 0u
+                           : (prefix_len >= 32 ? 0xffffffffu
+                                               : ~((1u << (32 - prefix_len)) - 1u));
+  }
+
+  /// level 0 = /32 ... level 3 = /8.
+  static constexpr std::uint32_t level_of(std::uint32_t prefix_len) {
+    return (32 - prefix_len) / 8;
+  }
+
+  /// Generalize the flow to the level's prefix (non-source fields zeroed).
+  static FlowKey generalize(const FlowKey& key, std::uint32_t level) {
+    FlowKey out;
+    out.src_ip = key.src_ip & mask_of(32 - 8 * level);
+    return out;
+  }
+
+  Pcg32 rng_;
+  std::vector<sketch::SpaceSaving> levels_;
+  std::uint64_t packets_ = 0;
+};
+
+}  // namespace nitro::baseline

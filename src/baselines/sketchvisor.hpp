@@ -1,0 +1,87 @@
+// SketchVisor (Huang et al., SIGCOMM 2017) — reimplemented baseline.
+//
+// Packets take either a *fast path* (a k-entry table updated with an
+// improved Misra-Gries kick-out scheme: amortized 1 hash, 1 counter, 1
+// heap op per packet) or the *normal path* (a full sketch — UnivMon here,
+// as in the paper's §7.4 comparison).  The control plane later merges the
+// fast path's residuals into the normal-path sketch, an operation the
+// paper notes is computationally intensive.
+//
+// The source of SketchVisor is not public; like the paper's authors we
+// reimplement the fast-path algorithm and drive the fast-path fraction
+// explicitly (20% / 50% / 100%) from the benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "sketch/misra_gries.hpp"
+#include "sketch/univmon.hpp"
+
+namespace nitro::baseline {
+
+class SketchVisor {
+ public:
+  /// `fast_entries`: fast-path table size (paper benchmark: 900 counters).
+  /// `fast_fraction`: share of traffic diverted to the fast path.
+  SketchVisor(const sketch::UnivMonConfig& normal_cfg, std::size_t fast_entries,
+              double fast_fraction, std::uint64_t seed)
+      : normal_(normal_cfg, seed),
+        fast_(fast_entries),
+        fast_fraction_(fast_fraction),
+        rng_(mix64(seed ^ 0xfa57ULL)) {}
+
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    // The real system diverts to the fast path on queue buildup; we model
+    // the resulting traffic split probabilistically, as in §7.4.
+    if (rng_.next_double() < fast_fraction_) {
+      fast_.update(key, count);
+      ++fast_packets_;
+    } else {
+      normal_.update(key, count);
+      ++normal_packets_;
+    }
+  }
+
+  /// Control-plane merge: folds every fast-path residual counter into the
+  /// normal-path sketch.  Quadratic-ish in practice on a busy fast path —
+  /// this is the "computationally intensive" merge of §4.3.
+  void merge() {
+    for (const auto& [key, v] : fast_.entries()) {
+      normal_.update(key, v);
+    }
+    fast_.clear();
+    ++merges_;
+  }
+
+  /// Point query after merge (callers should merge() at epoch end first).
+  std::int64_t query(const FlowKey& key) const {
+    return normal_.query(key) + fast_.query(key);
+  }
+
+  std::vector<sketch::TopKHeap::Entry> heavy_hitters(std::int64_t threshold) const {
+    auto out = normal_.heavy_hitters(threshold);
+    for (const auto& [key, v] : fast_.entries()) {
+      if (v >= threshold && normal_.query(key) < threshold) out.push_back({key, v});
+    }
+    return out;
+  }
+
+  const sketch::UnivMon& normal_path() const noexcept { return normal_; }
+  const sketch::MisraGries& fast_path() const noexcept { return fast_; }
+  std::uint64_t fast_packets() const noexcept { return fast_packets_; }
+  std::uint64_t normal_packets() const noexcept { return normal_packets_; }
+  std::uint64_t merges() const noexcept { return merges_; }
+
+ private:
+  sketch::UnivMon normal_;
+  sketch::MisraGries fast_;
+  double fast_fraction_;
+  Pcg32 rng_;
+  std::uint64_t fast_packets_ = 0;
+  std::uint64_t normal_packets_ = 0;
+  std::uint64_t merges_ = 0;
+};
+
+}  // namespace nitro::baseline

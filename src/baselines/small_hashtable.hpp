@@ -1,0 +1,90 @@
+// Small-hash-table monitoring (Alipourfard et al., HotNets'15 / SOSR'18).
+//
+// Keeps an exact per-flow counter table, betting on workload skew to keep
+// it small and cache-resident.  Open addressing with linear probing; the
+// table is sized for the expected flow count, so throughput degrades as
+// the working set leaves the LLC (reproduced in Figure 3a) — exactly the
+// robustness criticism the paper levels at this design.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "common/math_util.hpp"
+
+namespace nitro::baseline {
+
+class SmallHashTable {
+ public:
+  /// Sized with 2x headroom over the expected flow count.
+  explicit SmallHashTable(std::size_t expected_flows) {
+    capacity_ = next_pow2(std::max<std::uint64_t>(expected_flows * 2, 16));
+    mask_ = capacity_ - 1;
+    slots_.resize(capacity_);
+  }
+
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    total_ += count;
+    const std::uint64_t digest = flow_digest(key);
+    std::size_t idx = digest & mask_;
+    for (std::size_t probes = 0; probes < capacity_; ++probes) {
+      Slot& s = slots_[idx];
+      if (!s.used) {
+        s.used = true;
+        s.key = key;
+        s.count = count;
+        ++size_;
+        return;
+      }
+      if (s.key == key) {
+        s.count += count;
+        return;
+      }
+      idx = (idx + 1) & mask_;
+    }
+    ++dropped_;  // table full: the skew assumption failed
+  }
+
+  std::int64_t query(const FlowKey& key) const {
+    const std::uint64_t digest = flow_digest(key);
+    std::size_t idx = digest & mask_;
+    for (std::size_t probes = 0; probes < capacity_; ++probes) {
+      const Slot& s = slots_[idx];
+      if (!s.used) return 0;
+      if (s.key == key) return s.count;
+      idx = (idx + 1) & mask_;
+    }
+    return 0;
+  }
+
+  std::vector<std::pair<FlowKey, std::int64_t>> entries() const {
+    std::vector<std::pair<FlowKey, std::int64_t>> out;
+    out.reserve(size_);
+    for (const auto& s : slots_) {
+      if (s.used) out.emplace_back(s.key, s.count);
+    }
+    return out;
+  }
+
+  std::size_t size() const noexcept { return size_; }
+  std::int64_t total() const noexcept { return total_; }
+  std::uint64_t dropped() const noexcept { return dropped_; }
+  std::size_t memory_bytes() const noexcept { return capacity_ * sizeof(Slot); }
+
+ private:
+  struct Slot {
+    FlowKey key;
+    std::int64_t count = 0;
+    bool used = false;
+  };
+
+  std::size_t capacity_ = 0;
+  std::size_t mask_ = 0;
+  std::size_t size_ = 0;
+  std::int64_t total_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<Slot> slots_;
+};
+
+}  // namespace nitro::baseline

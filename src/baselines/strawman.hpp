@@ -1,0 +1,81 @@
+// The two strawman designs the paper analyzes and rejects (§4.1).
+//
+// Strawman 1 — One-array sketch: a single hash-indexed counter array with
+// one sign hash.  1H, 1C per packet, but needs O(ε⁻²δ⁻¹) counters to match
+// the d-row sketch's (ε, δ) guarantee (~50x the memory for δ = 0.01),
+// losing LLC residency.
+//
+// Strawman 2 — Uniform packet sampling in front of an unmodified sketch:
+// cuts work by p, but still pays a per-packet coin flip, converges slowly,
+// and (Appendix B) needs Ω(ε⁻²p⁻¹ log δ⁻¹ + ε⁻²p⁻¹·⁵m⁻⁰·⁵ log¹·⁵ δ⁻¹)
+// counters — asymptotically more than NitroSketch's row sampling.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "common/geometric.hpp"
+#include "common/tabulation.hpp"
+#include "sketch/count_sketch.hpp"
+
+namespace nitro::baseline {
+
+/// Strawman 1: single-row Count Sketch.
+class OneArrayCountSketch {
+ public:
+  OneArrayCountSketch(std::uint32_t width, std::uint64_t seed)
+      : hash_(width, seed), sign_(mix64(seed), /*signed_updates=*/true),
+        counters_(width, 0) {}
+
+  void update(const FlowKey& key, std::int64_t count = 1) noexcept {
+    const std::uint64_t digest = flow_digest(key);
+    counters_[hash_.index_of_digest(digest)] += count * sign_.sign_of_digest(digest);
+  }
+
+  std::int64_t query(const FlowKey& key) const noexcept {
+    const std::uint64_t digest = flow_digest(key);
+    return counters_[hash_.index_of_digest(digest)] * sign_.sign_of_digest(digest);
+  }
+
+  std::size_t memory_bytes() const noexcept {
+    return counters_.size() * sizeof(std::int64_t);
+  }
+  std::uint32_t width() const noexcept { return hash_.width(); }
+
+ private:
+  RowHash hash_;
+  SignHash sign_;
+  std::vector<std::int64_t> counters_;
+};
+
+/// Strawman 2: uniform packet sampling feeding a vanilla Count Sketch.
+/// (Geometric skips stand in for the per-packet coin flips so the sampled
+/// set is distributed identically; the *cost* of per-packet coin flips is
+/// modeled in the throughput benchmarks, which charge one PRNG draw per
+/// packet for this baseline.)
+class UniformSampledCountSketch {
+ public:
+  UniformSampledCountSketch(std::uint32_t depth, std::uint32_t width, double p,
+                            std::uint64_t seed)
+      : cs_(depth, width, seed), p_(p), rng_(mix64(seed ^ 0x5a3b1eULL)) {}
+
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    // Per-packet coin flip — the overhead §4.1 calls out.
+    if (rng_.next_double() < p_) {
+      cs_.update(key, static_cast<std::int64_t>(static_cast<double>(count) / p_ + 0.5));
+    }
+  }
+
+  std::int64_t query(const FlowKey& key) const { return cs_.query(key); }
+  double probability() const noexcept { return p_; }
+  const sketch::CountSketch& sketch() const noexcept { return cs_; }
+  std::size_t memory_bytes() const noexcept { return cs_.memory_bytes(); }
+
+ private:
+  sketch::CountSketch cs_;
+  double p_;
+  Pcg32 rng_;
+};
+
+}  // namespace nitro::baseline

@@ -1,0 +1,25 @@
+#include "common/flow_key.hpp"
+
+#include <cstdio>
+
+namespace nitro {
+
+namespace {
+void format_ip(char* buf, std::size_t n, std::uint32_t ip) {
+  std::snprintf(buf, n, "%u.%u.%u.%u", (ip >> 24) & 0xff, (ip >> 16) & 0xff,
+                (ip >> 8) & 0xff, ip & 0xff);
+}
+}  // namespace
+
+std::string to_string(const FlowKey& k) {
+  char src[16];
+  char dst[16];
+  format_ip(src, sizeof src, k.src_ip);
+  format_ip(dst, sizeof dst, k.dst_ip);
+  char out[64];
+  std::snprintf(out, sizeof out, "%s:%u -> %s:%u/%u", src, k.src_port, dst, k.dst_port,
+                k.proto);
+  return out;
+}
+
+}  // namespace nitro

@@ -1,0 +1,50 @@
+// Flow identifiers.  Sketches in this repository key on the classic
+// 5-tuple (src/dst IPv4 address, src/dst transport port, IP protocol),
+// packed into a 13-byte trivially-copyable struct so it can be hashed and
+// copied with plain memory operations.
+#pragma once
+
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "common/hash.hpp"
+
+namespace nitro {
+
+#pragma pack(push, 1)
+/// IPv4 5-tuple flow key.  Packed to 13 bytes; field order matches the
+/// common on-wire extraction order.
+struct FlowKey {
+  std::uint32_t src_ip = 0;
+  std::uint32_t dst_ip = 0;
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint8_t proto = 0;
+
+  friend bool operator==(const FlowKey&, const FlowKey&) = default;
+  friend auto operator<=>(const FlowKey&, const FlowKey&) = default;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(FlowKey) == 13, "FlowKey must be a packed 13-byte 5-tuple");
+
+/// Stable 64-bit digest of a flow key (xxHash64 with a fixed seed); used
+/// by hash-map baselines and the exact-match cache.
+inline std::uint64_t flow_digest(const FlowKey& k) noexcept {
+  return xxhash64(&k, sizeof k, 0x9c0ffee5u);
+}
+
+/// Human-readable "a.b.c.d:p -> a.b.c.d:p/proto" form for logs and examples.
+std::string to_string(const FlowKey& k);
+
+}  // namespace nitro
+
+template <>
+struct std::hash<nitro::FlowKey> {
+  std::size_t operator()(const nitro::FlowKey& k) const noexcept {
+    return static_cast<std::size_t>(nitro::flow_digest(k));
+  }
+};

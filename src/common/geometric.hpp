@@ -1,0 +1,57 @@
+// Geometric sampling (paper Idea B).
+//
+// Instead of flipping a Bernoulli(p) coin per counter array, NitroSketch
+// draws a single Geometric(p) variable telling it how many (packet, row)
+// slots to skip until the next update.  The two processes are
+// mathematically equivalent but the geometric draw amortizes the PRNG cost
+// over 1/p slots.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace nitro {
+
+/// Draws Geometric(p) variables on {1, 2, 3, ...}: the index of the first
+/// success in a Bernoulli(p) sequence.  Uses the inversion method
+///   G = 1 + floor(ln(U) / ln(1 - p)),  U ~ Uniform(0, 1],
+/// which costs one PRNG draw and one log per sample.
+class GeometricSampler {
+ public:
+  GeometricSampler(double p, std::uint64_t seed) : rng_(seed) { set_probability(p); }
+
+  /// Changes the success probability; used by the adaptive modes when the
+  /// sampling rate is re-tuned at an epoch boundary.
+  void set_probability(double p) {
+    p_ = p;
+    // Degenerate endpoints: p >= 1 always succeeds, and the log recurrence
+    // below would divide by log(0).
+    if (p_ >= 1.0) {
+      inv_log1p_ = 0.0;
+    } else {
+      inv_log1p_ = 1.0 / std::log1p(-p_);
+    }
+  }
+
+  double probability() const noexcept { return p_; }
+
+  /// Next inter-arrival gap (>= 1).
+  std::uint64_t next() {
+    if (p_ >= 1.0) return 1;
+    double u = rng_.next_double_open0();
+    double g = 1.0 + std::floor(std::log(u) * inv_log1p_);
+    // Guard against pathological rounding for u ~ 1.0 or tiny p.
+    if (g < 1.0) return 1;
+    if (g > 1e18) return static_cast<std::uint64_t>(1e18);
+    return static_cast<std::uint64_t>(g);
+  }
+
+ private:
+  Pcg32 rng_;
+  double p_ = 1.0;
+  double inv_log1p_ = 0.0;  // 1 / ln(1-p)
+};
+
+}  // namespace nitro

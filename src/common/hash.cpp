@@ -1,0 +1,167 @@
+#include "common/hash.hpp"
+
+#include <cstring>
+
+namespace nitro {
+namespace {
+
+constexpr std::uint32_t kP32_1 = 0x9E3779B1u;
+constexpr std::uint32_t kP32_2 = 0x85EBCA77u;
+constexpr std::uint32_t kP32_3 = 0xC2B2AE3Du;
+constexpr std::uint32_t kP32_4 = 0x27D4EB2Fu;
+constexpr std::uint32_t kP32_5 = 0x165667B1u;
+
+constexpr std::uint64_t kP64_1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kP64_2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kP64_3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kP64_4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kP64_5 = 0x27D4EB2F165667C5ULL;
+
+inline std::uint32_t rotl32(std::uint32_t x, int r) noexcept {
+  return (x << r) | (x >> (32 - r));
+}
+inline std::uint64_t rotl64(std::uint64_t x, int r) noexcept {
+  return (x << r) | (x >> (64 - r));
+}
+
+inline std::uint32_t read32(const unsigned char* p) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;  // little-endian hosts only (x86-64)
+}
+inline std::uint64_t read64(const unsigned char* p) noexcept {
+  std::uint64_t v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+inline std::uint32_t round32(std::uint32_t acc, std::uint32_t input) noexcept {
+  acc += input * kP32_2;
+  acc = rotl32(acc, 13);
+  acc *= kP32_1;
+  return acc;
+}
+
+inline std::uint64_t round64(std::uint64_t acc, std::uint64_t input) noexcept {
+  acc += input * kP64_2;
+  acc = rotl64(acc, 31);
+  acc *= kP64_1;
+  return acc;
+}
+
+inline std::uint64_t merge_round64(std::uint64_t acc, std::uint64_t val) noexcept {
+  val = round64(0, val);
+  acc ^= val;
+  acc = acc * kP64_1 + kP64_4;
+  return acc;
+}
+
+}  // namespace
+
+std::uint32_t xxhash32(const void* data, std::size_t len, std::uint32_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + len;
+  std::uint32_t h;
+
+  if (len >= 16) {
+    const unsigned char* limit = end - 16;
+    std::uint32_t v1 = seed + kP32_1 + kP32_2;
+    std::uint32_t v2 = seed + kP32_2;
+    std::uint32_t v3 = seed + 0;
+    std::uint32_t v4 = seed - kP32_1;
+    do {
+      v1 = round32(v1, read32(p));
+      v2 = round32(v2, read32(p + 4));
+      v3 = round32(v3, read32(p + 8));
+      v4 = round32(v4, read32(p + 12));
+      p += 16;
+    } while (p <= limit);
+    h = rotl32(v1, 1) + rotl32(v2, 7) + rotl32(v3, 12) + rotl32(v4, 18);
+  } else {
+    h = seed + kP32_5;
+  }
+
+  h += static_cast<std::uint32_t>(len);
+
+  while (p + 4 <= end) {
+    h += read32(p) * kP32_3;
+    h = rotl32(h, 17) * kP32_4;
+    p += 4;
+  }
+  while (p < end) {
+    h += (*p) * kP32_5;
+    h = rotl32(h, 11) * kP32_1;
+    ++p;
+  }
+
+  h ^= h >> 15;
+  h *= kP32_2;
+  h ^= h >> 13;
+  h *= kP32_3;
+  h ^= h >> 16;
+  return h;
+}
+
+std::uint64_t xxhash64(const void* data, std::size_t len, std::uint64_t seed) noexcept {
+  const auto* p = static_cast<const unsigned char*>(data);
+  const unsigned char* end = p + len;
+  std::uint64_t h;
+
+  if (len >= 32) {
+    const unsigned char* limit = end - 32;
+    std::uint64_t v1 = seed + kP64_1 + kP64_2;
+    std::uint64_t v2 = seed + kP64_2;
+    std::uint64_t v3 = seed + 0;
+    std::uint64_t v4 = seed - kP64_1;
+    do {
+      v1 = round64(v1, read64(p));
+      v2 = round64(v2, read64(p + 8));
+      v3 = round64(v3, read64(p + 16));
+      v4 = round64(v4, read64(p + 24));
+      p += 32;
+    } while (p <= limit);
+    h = rotl64(v1, 1) + rotl64(v2, 7) + rotl64(v3, 12) + rotl64(v4, 18);
+    h = merge_round64(h, v1);
+    h = merge_round64(h, v2);
+    h = merge_round64(h, v3);
+    h = merge_round64(h, v4);
+  } else {
+    h = seed + kP64_5;
+  }
+
+  h += static_cast<std::uint64_t>(len);
+
+  while (p + 8 <= end) {
+    h ^= round64(0, read64(p));
+    h = rotl64(h, 27) * kP64_1 + kP64_4;
+    p += 8;
+  }
+  if (p + 4 <= end) {
+    h ^= static_cast<std::uint64_t>(read32(p)) * kP64_1;
+    h = rotl64(h, 23) * kP64_2 + kP64_3;
+    p += 4;
+  }
+  while (p < end) {
+    h ^= (*p) * kP64_5;
+    h = rotl64(h, 11) * kP64_1;
+    ++p;
+  }
+
+  h ^= h >> 33;
+  h *= kP64_2;
+  h ^= h >> 29;
+  h *= kP64_3;
+  h ^= h >> 32;
+  return h;
+}
+
+void xxhash32_batch8(const void* const keys[8], std::size_t len, std::uint32_t seed,
+                     std::uint32_t out[8]) noexcept {
+  // A straight per-lane loop: with -mavx2 the compiler keeps the eight
+  // independent mixing chains in vector registers for fixed small `len`.
+  for (int i = 0; i < 8; ++i) {
+    out[i] = xxhash32(keys[i], len, seed);
+  }
+}
+
+}  // namespace nitro

@@ -1,0 +1,58 @@
+// Fast non-cryptographic hashing for sketch row indexing.
+//
+// The paper's implementation uses the xxHash library; we reimplement
+// xxHash32 and xxHash64 from the published specification so the repository
+// has no external dependencies.  Both functions are deterministic,
+// seedable, and match the reference test vectors (see tests/common).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+namespace nitro {
+
+/// xxHash32 of an arbitrary byte buffer.
+std::uint32_t xxhash32(const void* data, std::size_t len, std::uint32_t seed) noexcept;
+
+/// xxHash64 of an arbitrary byte buffer.
+std::uint64_t xxhash64(const void* data, std::size_t len, std::uint64_t seed) noexcept;
+
+inline std::uint32_t xxhash32(std::string_view s, std::uint32_t seed) noexcept {
+  return xxhash32(s.data(), s.size(), seed);
+}
+
+inline std::uint64_t xxhash64(std::string_view s, std::uint64_t seed) noexcept {
+  return xxhash64(s.data(), s.size(), seed);
+}
+
+/// Convenience overload for hashing a trivially-copyable value.
+template <typename T>
+std::uint32_t xxhash32_value(const T& v, std::uint32_t seed) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return xxhash32(&v, sizeof(T), seed);
+}
+
+template <typename T>
+std::uint64_t xxhash64_value(const T& v, std::uint64_t seed) noexcept {
+  static_assert(std::is_trivially_copyable_v<T>);
+  return xxhash64(&v, sizeof(T), seed);
+}
+
+/// Hash eight fixed-size keys with distinct per-lane data in one call.
+/// This is the batch entry point used by the buffered/SIMD update path
+/// (paper Idea D): hashing several pending flow keys back to back keeps
+/// the mixing state in registers and lets the compiler vectorize.
+void xxhash32_batch8(const void* const keys[8], std::size_t len, std::uint32_t seed,
+                     std::uint32_t out[8]) noexcept;
+
+/// SplitMix64 finalizer — cheap integer mixer used to derive seeds.
+constexpr std::uint64_t mix64(std::uint64_t z) noexcept {
+  z += 0x9e3779b97f4a7c15ULL;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace nitro

@@ -1,0 +1,82 @@
+// Small, fast pseudo-random generators used by samplers and workload
+// generators.  All generators are deterministic from their seed so every
+// experiment in the repository is reproducible.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace nitro {
+
+/// SplitMix64 — used to seed other generators and as a cheap stateless mixer.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) noexcept : state_(seed) {}
+
+  constexpr std::uint64_t next() noexcept {
+    std::uint64_t z = (state_ += 0x9e3779b97f4a7c15ULL);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// PCG32 (pcg_xsh_rr_64_32) — the repository's default RNG.  Satisfies the
+/// UniformRandomBitGenerator requirements so it plugs into <random>.
+class Pcg32 {
+ public:
+  using result_type = std::uint32_t;
+
+  explicit Pcg32(std::uint64_t seed, std::uint64_t stream = 0x14057b7ef767814fULL) noexcept {
+    state_ = 0;
+    inc_ = (stream << 1u) | 1u;
+    (void)next();
+    state_ += seed;
+    (void)next();
+  }
+
+  std::uint32_t next() noexcept {
+    std::uint64_t old = state_;
+    state_ = old * 6364136223846793005ULL + inc_;
+    auto xorshifted = static_cast<std::uint32_t>(((old >> 18u) ^ old) >> 27u);
+    auto rot = static_cast<std::uint32_t>(old >> 59u);
+    return (xorshifted >> rot) | (xorshifted << ((-rot) & 31u));
+  }
+
+  std::uint32_t operator()() noexcept { return next(); }
+
+  static constexpr result_type min() noexcept { return 0; }
+  static constexpr result_type max() noexcept {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Uniform double in [0, 1).
+  double next_double() noexcept {
+    return static_cast<double>(next()) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform double in (0, 1] — safe as a log() argument.
+  double next_double_open0() noexcept {
+    return (static_cast<double>(next()) + 1.0) * (1.0 / 4294967296.0);
+  }
+
+  /// Uniform integer in [0, bound) without modulo bias (Lemire reduction).
+  std::uint32_t next_below(std::uint32_t bound) noexcept {
+    auto m = static_cast<std::uint64_t>(next()) * bound;
+    return static_cast<std::uint32_t>(m >> 32);
+  }
+
+  /// 64-bit draw composed of two 32-bit outputs.
+  std::uint64_t next_u64() noexcept {
+    return (static_cast<std::uint64_t>(next()) << 32) | next();
+  }
+
+ private:
+  std::uint64_t state_;
+  std::uint64_t inc_;
+};
+
+}  // namespace nitro

@@ -1,0 +1,91 @@
+#include "common/simd_hash.hpp"
+
+#include <cstring>
+
+#include "common/hash.hpp"
+
+#if defined(__AVX2__)
+#include <immintrin.h>
+#endif
+
+namespace nitro {
+
+#if defined(__AVX2__)
+
+namespace {
+
+constexpr std::uint32_t kP32_1 = 0x9E3779B1u;
+constexpr std::uint32_t kP32_3 = 0xC2B2AE3Du;
+constexpr std::uint32_t kP32_4 = 0x27D4EB2Fu;
+constexpr std::uint32_t kP32_5 = 0x165667B1u;
+
+inline __m256i rotl32x8(__m256i v, int r) {
+  return _mm256_or_si256(_mm256_slli_epi32(v, r), _mm256_srli_epi32(v, 32 - r));
+}
+
+/// Gathers the same dword (offset `byte_off`) of each of the 8 keys.
+inline __m256i gather_dword(const FlowKey keys[8], std::size_t byte_off) {
+  alignas(32) std::uint32_t lanes[8];
+  for (int i = 0; i < 8; ++i) {
+    std::memcpy(&lanes[i], reinterpret_cast<const std::uint8_t*>(&keys[i]) + byte_off,
+                sizeof(std::uint32_t));
+  }
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+}  // namespace
+
+void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
+                          std::uint32_t out[8]) noexcept {
+  static_assert(sizeof(FlowKey) == 13);
+  // len = 13 < 16: xxHash32 takes the short-input path —
+  //   h = seed + P5 + len; three 4-byte rounds; one 1-byte round; avalanche.
+  __m256i h = _mm256_set1_epi32(static_cast<int>(seed + kP32_5 + 13));
+
+  const __m256i p3 = _mm256_set1_epi32(static_cast<int>(kP32_3));
+  const __m256i p4 = _mm256_set1_epi32(static_cast<int>(kP32_4));
+  const __m256i p1 = _mm256_set1_epi32(static_cast<int>(kP32_1));
+  const __m256i p5 = _mm256_set1_epi32(static_cast<int>(kP32_5));
+
+  for (std::size_t off = 0; off + 4 <= sizeof(FlowKey); off += 4) {
+    const __m256i w = gather_dword(keys, off);
+    h = _mm256_add_epi32(h, _mm256_mullo_epi32(w, p3));
+    h = _mm256_mullo_epi32(rotl32x8(h, 17), p4);
+  }
+  {  // tail byte (offset 12)
+    alignas(32) std::uint32_t lanes[8];
+    for (int i = 0; i < 8; ++i) {
+      lanes[i] = reinterpret_cast<const std::uint8_t*>(&keys[i])[12];
+    }
+    const __m256i b = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+    h = _mm256_add_epi32(h, _mm256_mullo_epi32(b, p5));
+    h = _mm256_mullo_epi32(rotl32x8(h, 11), p1);
+  }
+
+  // Avalanche: h ^= h>>15; h *= P2; h ^= h>>13; h *= P3; h ^= h>>16.
+  const __m256i p2 = _mm256_set1_epi32(static_cast<int>(0x85EBCA77u));
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 15));
+  h = _mm256_mullo_epi32(h, p2);
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 13));
+  h = _mm256_mullo_epi32(h, p3);
+  h = _mm256_xor_si256(h, _mm256_srli_epi32(h, 16));
+
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), h);
+}
+
+bool simd_hash_available() noexcept { return true; }
+
+#else  // !__AVX2__
+
+void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
+                          std::uint32_t out[8]) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = xxhash32(&keys[i], sizeof(FlowKey), seed);
+  }
+}
+
+bool simd_hash_available() noexcept { return false; }
+
+#endif
+
+}  // namespace nitro

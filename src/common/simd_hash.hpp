@@ -1,0 +1,24 @@
+// SIMD (AVX2) batched hashing — paper Idea D.
+//
+// Eight 13-byte flow keys are hashed with xxHash32 in parallel: one AVX2
+// lane per key, the whole mixing chain kept in YMM registers.  Falls back
+// to the scalar implementation when AVX2 is not compiled in.  Produces
+// bit-identical results to nitro::xxhash32 (verified in tests).
+#pragma once
+
+#include <cstdint>
+
+#include "common/flow_key.hpp"
+
+namespace nitro {
+
+/// Hash 8 contiguous flow keys with xxHash32(seed); out[i] corresponds to
+/// keys[i].  Results match xxhash32(&keys[i], sizeof(FlowKey), seed).
+void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
+                          std::uint32_t out[8]) noexcept;
+
+/// True when the build carries the AVX2 code path (informational; the
+/// function above is always correct either way).
+bool simd_hash_available() noexcept;
+
+}  // namespace nitro

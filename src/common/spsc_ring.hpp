@@ -1,0 +1,86 @@
+// Single-producer / single-consumer lock-free ring buffer.
+//
+// The separate-thread integration (paper §6, "Separate-thread version")
+// pushes sampled flow keys from the switch's forwarding thread into a
+// shared buffer that a dedicated sketching thread drains.  The paper uses
+// moodycamel::ReaderWriterQueue; this is an equivalent bounded SPSC ring
+// with acquire/release synchronization and a cached-index optimization to
+// avoid cache-line ping-pong on the hot path.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <new>
+#include <optional>
+#include <vector>
+
+namespace nitro {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// Capacity is rounded up to a power of two; the ring holds capacity-1
+  /// elements (one slot is sacrificed to distinguish full from empty).
+  explicit SpscRing(std::size_t capacity) {
+    std::size_t cap = 2;
+    while (cap < capacity + 1) cap <<= 1;
+    mask_ = cap - 1;
+    slots_.resize(cap);
+  }
+
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  /// Producer side.  Returns false when the ring is full (callers either
+  /// spin or, like the AlwaysLineRate integration, drop the sample, which
+  /// only costs accuracy, never correctness).
+  bool try_push(const T& value) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    const std::size_t next = (head + 1) & mask_;
+    if (next == cached_tail_) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      if (next == cached_tail_) return false;
+    }
+    slots_[head] = value;
+    head_.store(next, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer side.
+  bool try_pop(T& out) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail == cached_head_) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      if (tail == cached_head_) return false;
+    }
+    out = slots_[tail];
+    tail_.store((tail + 1) & mask_, std::memory_order_release);
+    return true;
+  }
+
+  /// Approximate occupancy (exact only when both threads are quiescent).
+  std::size_t size_approx() const {
+    const std::size_t head = head_.load(std::memory_order_acquire);
+    const std::size_t tail = tail_.load(std::memory_order_acquire);
+    return (head - tail) & mask_;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+  std::size_t capacity() const { return mask_; }
+
+ private:
+  // 64B on every mainstream x86/ARM server part; fixed rather than
+  // std::hardware_destructive_interference_size to keep the layout ABI-stable.
+  static constexpr std::size_t kCacheLine = 64;
+
+  std::vector<T> slots_;
+  std::size_t mask_ = 0;
+
+  alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // written by producer
+  alignas(kCacheLine) std::size_t cached_tail_ = 0;       // producer-local
+  alignas(kCacheLine) std::atomic<std::size_t> tail_{0};  // written by consumer
+  alignas(kCacheLine) std::size_t cached_head_ = 0;       // consumer-local
+};
+
+}  // namespace nitro

@@ -1,0 +1,103 @@
+// Pairwise-independent hash families for the sketch rows.
+//
+// The analysis of NitroSketch (Theorems 1, 2 and 5) requires the row hashes
+// h_i : [n] -> [w] and the sign hashes g_i : [n] -> {-1, +1} to be drawn
+// from pairwise-independent families.  Simple tabulation hashing is
+// 3-independent, cheap (four table lookups + XORs per 32-bit key digest),
+// and cache friendly (4 x 256 x 8B = 8KB of tables).
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/flow_key.hpp"
+#include "common/rng.hpp"
+
+namespace nitro {
+
+/// Simple tabulation hash over a 64-bit input digest, producing 64 bits.
+class TabulationHash {
+ public:
+  explicit TabulationHash(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& table : tables_) {
+      for (auto& cell : table) cell = sm.next();
+    }
+  }
+
+  std::uint64_t operator()(std::uint64_t x) const noexcept {
+    std::uint64_t h = 0;
+    for (int i = 0; i < 8; ++i) {
+      h ^= tables_[i][(x >> (8 * i)) & 0xff];
+    }
+    return h;
+  }
+
+ private:
+  std::array<std::array<std::uint64_t, 256>, 8> tables_;
+};
+
+/// Row-index hash h_i : FlowKey -> [width).  The flow key is first reduced
+/// to a 64-bit digest (xxHash64), then tabulated; the composition remains
+/// pairwise independent over the digests.
+class RowHash {
+ public:
+  RowHash() : RowHash(1, 0) {}
+  RowHash(std::uint32_t width, std::uint64_t seed) : tab_(seed), width_(width) {}
+
+  std::uint32_t width() const noexcept { return width_; }
+
+  std::uint32_t operator()(const FlowKey& key) const noexcept {
+    return index_of_digest(flow_digest(key));
+  }
+
+  std::uint32_t index_of_digest(std::uint64_t digest) const noexcept {
+    // Multiply-shift reduction of the tabulated value onto [0, width).
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(tab_(digest)) * width_) >> 64);
+  }
+
+ private:
+  TabulationHash tab_;
+  std::uint32_t width_;
+};
+
+/// Sign hash g_i : FlowKey -> {-1, +1} (Count Sketch style).  Constructed
+/// with `signed_updates = false` it degenerates to the constant +1, giving
+/// the Count-Min / L1 behaviour described under Algorithm 1 line 3.
+class SignHash {
+ public:
+  SignHash() : SignHash(0, true) {}
+  SignHash(std::uint64_t seed, bool signed_updates)
+      : tab_(mix64(seed ^ 0x5167a11bu)), signed_(signed_updates) {}
+
+  std::int32_t operator()(const FlowKey& key) const noexcept {
+    return sign_of_digest(flow_digest(key));
+  }
+
+  std::int32_t sign_of_digest(std::uint64_t digest) const noexcept {
+    if (!signed_) return +1;
+    return (tab_(digest) & 1u) ? +1 : -1;
+  }
+
+  bool is_signed() const noexcept { return signed_; }
+
+ private:
+  TabulationHash tab_;
+  bool signed_;
+};
+
+/// One-bit level hash used by UnivMon's recursive sub-sampling.
+class LevelHash {
+ public:
+  explicit LevelHash(std::uint64_t seed) : tab_(mix64(seed ^ 0x1e7e1b17ULL)) {}
+
+  bool operator()(const FlowKey& key) const noexcept {
+    return tab_(flow_digest(key)) & 1u;
+  }
+
+ private:
+  TabulationHash tab_;
+};
+
+}  // namespace nitro

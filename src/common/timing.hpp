@@ -1,0 +1,86 @@
+// Timing utilities for throughput and CPU-share measurements.
+//
+// Benchmarks report Mpps / Gbps from wall-clock time, and the Table 2 /
+// Figure 10 reproductions report per-component CPU shares from accumulated
+// per-stage cycle counts (our stand-in for Intel VTune).
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__)
+#include <x86intrin.h>
+#endif
+
+namespace nitro {
+
+/// Raw CPU timestamp counter; monotonic on modern x86 (constant_tsc).
+inline std::uint64_t rdtsc() noexcept {
+#if defined(__x86_64__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count());
+#endif
+}
+
+/// Wall-clock stopwatch.
+class WallTimer {
+ public:
+  WallTimer() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates cycles attributed to one pipeline stage.  Scoped guards make
+/// the instrumentation hard to misuse.
+class CycleAccumulator {
+ public:
+  class Scope {
+   public:
+    explicit Scope(CycleAccumulator& acc) noexcept : acc_(acc), start_(rdtsc()) {}
+    ~Scope() { acc_.cycles_ += rdtsc() - start_; }
+    Scope(const Scope&) = delete;
+    Scope& operator=(const Scope&) = delete;
+
+   private:
+    CycleAccumulator& acc_;
+    std::uint64_t start_;
+  };
+
+  Scope scope() noexcept { return Scope(*this); }
+  void add(std::uint64_t cycles) noexcept { cycles_ += cycles; }
+  std::uint64_t cycles() const noexcept { return cycles_; }
+  void reset() noexcept { cycles_ = 0; }
+
+ private:
+  std::uint64_t cycles_ = 0;
+};
+
+/// Converts a packet count + elapsed seconds to the units the paper plots.
+struct Throughput {
+  double mpps = 0.0;
+  double gbps = 0.0;
+
+  static Throughput from(std::uint64_t packets, std::uint64_t bytes, double seconds) {
+    Throughput t;
+    if (seconds > 0) {
+      t.mpps = static_cast<double>(packets) / seconds / 1e6;
+      // Line-rate convention: payload + 20B Ethernet framing overhead
+      // (preamble + IFG) so 64B packets at 14.88Mpps == 10GbE.
+      t.gbps = (static_cast<double>(bytes) + 20.0 * static_cast<double>(packets)) *
+               8.0 / seconds / 1e9;
+    }
+    return t;
+  }
+};
+
+}  // namespace nitro

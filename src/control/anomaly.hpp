@@ -1,0 +1,90 @@
+// Entropy/cardinality anomaly detection (paper §2 task 5; [52][66]).
+//
+// Classic control-plane consumer of sketch estimates: keep an EWMA
+// baseline of per-epoch entropy and distinct-flow counts and raise an
+// alert when the current epoch deviates by more than `sigmas` standard
+// deviations (volumetric attacks crush destination entropy and inflate
+// source cardinality).  Consumes the numbers any of this library's
+// sketches produce — it does not care which data plane fed it.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nitro::control {
+
+class AnomalyDetector {
+ public:
+  struct Verdict {
+    bool anomalous = false;
+    double entropy_score = 0.0;   // deviations from baseline (signed)
+    double distinct_score = 0.0;  // deviations from baseline (signed)
+    std::string reason;
+  };
+
+  /// `warmup` epochs establish the baseline before any alerting;
+  /// `sigmas` is the alert threshold in baseline standard deviations.
+  AnomalyDetector(std::size_t warmup = 3, double sigmas = 3.0)
+      : warmup_(warmup), sigmas_(sigmas) {}
+
+  /// Feed one epoch's estimates; returns the verdict for that epoch.
+  Verdict observe(double entropy, double distinct) {
+    Verdict v;
+    if (seen_ >= warmup_) {
+      v.entropy_score = score(entropy, ent_mean_, ent_var_);
+      v.distinct_score = score(distinct, dis_mean_, dis_var_);
+      if (std::abs(v.entropy_score) >= sigmas_) {
+        v.anomalous = true;
+        v.reason = v.entropy_score < 0 ? "entropy collapse" : "entropy surge";
+      }
+      if (std::abs(v.distinct_score) >= sigmas_) {
+        v.anomalous = true;
+        if (!v.reason.empty()) v.reason += " + ";
+        v.reason += v.distinct_score > 0 ? "cardinality surge" : "cardinality collapse";
+      }
+    }
+    // Baseline update: anomalous epochs are excluded so an ongoing attack
+    // does not poison the baseline.
+    if (!v.anomalous) {
+      ewma(entropy, ent_mean_, ent_var_);
+      ewma(distinct, dis_mean_, dis_var_);
+      ++seen_;
+    }
+    return v;
+  }
+
+  std::size_t baseline_epochs() const noexcept { return seen_; }
+  double entropy_baseline() const noexcept { return ent_mean_; }
+  double distinct_baseline() const noexcept { return dis_mean_; }
+
+ private:
+  static constexpr double kAlpha = 0.25;  // EWMA weight of the newest epoch
+
+  void ewma(double x, double& mean, double& var) {
+    if (seen_ == 0) {
+      mean = x;
+      var = 0.0;
+      return;
+    }
+    const double d = x - mean;
+    mean += kAlpha * d;
+    var = (1.0 - kAlpha) * (var + kAlpha * d * d);
+  }
+
+  double score(double x, double mean, double var) const {
+    // Floor the deviation at 5% of the mean so a near-constant warmup
+    // doesn't make every later epoch "infinitely" anomalous.
+    const double sd = std::max(std::sqrt(var), 0.05 * std::abs(mean) + 1e-9);
+    return (x - mean) / sd;
+  }
+
+  std::size_t warmup_;
+  double sigmas_;
+  std::size_t seen_ = 0;
+  double ent_mean_ = 0.0, ent_var_ = 0.0;
+  double dis_mean_ = 0.0, dis_var_ = 0.0;
+};
+
+}  // namespace nitro::control

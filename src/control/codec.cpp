@@ -1,0 +1,91 @@
+#include "control/codec.hpp"
+
+namespace nitro::control {
+
+namespace {
+constexpr std::uint32_t kMatrixMagic = 0x4e4d5458;  // "NMTX"
+constexpr std::uint32_t kHeapMagic = 0x4e484150;    // "NHAP"
+constexpr std::uint32_t kUnivMagic = 0x4e554d31;    // "NUM1"
+}  // namespace
+
+void write_matrix(ByteWriter& w, const sketch::CounterMatrix& m) {
+  w.put_u32(kMatrixMagic);
+  w.put_u32(m.depth());
+  w.put_u32(m.width());
+  w.put_u8(m.signed_updates() ? 1 : 0);
+  for (std::uint32_t r = 0; r < m.depth(); ++r) {
+    for (std::int64_t c : m.row(r)) w.put_i64(c);
+  }
+}
+
+void read_matrix_into(ByteReader& r, sketch::CounterMatrix& m) {
+  if (r.get_u32() != kMatrixMagic) {
+    throw std::invalid_argument("snapshot: bad matrix magic");
+  }
+  const std::uint32_t depth = r.get_u32();
+  const std::uint32_t width = r.get_u32();
+  const bool is_signed = r.get_u8() != 0;
+  if (depth != m.depth() || width != m.width() || is_signed != m.signed_updates()) {
+    throw std::invalid_argument("snapshot: matrix shape mismatch with replica");
+  }
+  for (std::uint32_t row = 0; row < depth; ++row) {
+    auto dst = m.row_mut(row);
+    for (std::uint32_t col = 0; col < width; ++col) dst[col] = r.get_i64();
+  }
+}
+
+void write_heap(ByteWriter& w, const sketch::TopKHeap& heap) {
+  w.put_u32(kHeapMagic);
+  const auto entries = heap.entries_sorted();
+  w.put_u32(static_cast<std::uint32_t>(entries.size()));
+  for (const auto& e : entries) {
+    w.put_key(e.key);
+    w.put_i64(e.estimate);
+  }
+}
+
+void read_heap_into(ByteReader& r, sketch::TopKHeap& heap) {
+  if (r.get_u32() != kHeapMagic) {
+    throw std::invalid_argument("snapshot: bad heap magic");
+  }
+  const std::uint32_t n = r.get_u32();
+  heap.clear();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    const FlowKey key = r.get_key();
+    const std::int64_t est = r.get_i64();
+    heap.offer(key, est);
+  }
+}
+
+std::vector<std::uint8_t> snapshot_univmon(const sketch::UnivMon& um) {
+  ByteWriter w;
+  w.put_u32(kUnivMagic);
+  w.put_u32(um.num_levels());
+  w.put_i64(um.total());
+  for (std::uint32_t j = 0; j < um.num_levels(); ++j) {
+    write_matrix(w, um.level_sketch(j).matrix());
+    write_heap(w, um.level_heap(j));
+  }
+  return std::move(w).take();
+}
+
+void load_univmon(std::span<const std::uint8_t> bytes, sketch::UnivMon& replica) {
+  ByteReader r(bytes);
+  if (r.get_u32() != kUnivMagic) {
+    throw std::invalid_argument("snapshot: bad UnivMon magic");
+  }
+  const std::uint32_t levels = r.get_u32();
+  if (levels != replica.num_levels()) {
+    throw std::invalid_argument("snapshot: level count mismatch with replica");
+  }
+  replica.set_total(r.get_i64());
+  for (std::uint32_t j = 0; j < levels; ++j) {
+    read_matrix_into(r, replica.level_sketch_mut(j).matrix());
+    read_heap_into(r, replica.level_heap_mut(j));
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("snapshot: trailing bytes");
+  }
+}
+
+}  // namespace nitro::control

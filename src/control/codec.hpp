@@ -1,0 +1,156 @@
+// Wire codec for data-plane -> control-plane sketch transfer (§6: the
+// control plane "periodically receives sketching data from the data plane
+// module through a 1GbE link").
+//
+// Snapshots carry counters, heavy-key entries, and stream totals — not the
+// hash functions.  The control plane therefore keeps an identically
+// seeded *replica* sketch (see Collector) and loads the snapshot into it;
+// this mirrors how the real system shares seeds between vswitchd and the
+// monitoring controller.  All integers little-endian, bounds-checked on
+// read.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+#include "sketch/counter_matrix.hpp"
+#include "sketch/topk.hpp"
+#include "sketch/univmon.hpp"
+
+namespace nitro::control {
+
+class ByteWriter {
+ public:
+  void put_u8(std::uint8_t v) { buf_.push_back(v); }
+
+  void put_u32(std::uint32_t v) { put_raw(&v, sizeof v); }
+  void put_u64(std::uint64_t v) { put_raw(&v, sizeof v); }
+  void put_i64(std::int64_t v) { put_raw(&v, sizeof v); }
+  void put_f64(double v) { put_raw(&v, sizeof v); }
+
+  void put_key(const FlowKey& k) { put_raw(&k, sizeof k); }
+
+  const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
+  std::vector<std::uint8_t> take() && { return std::move(buf_); }
+  std::size_t size() const noexcept { return buf_.size(); }
+
+ private:
+  void put_raw(const void* p, std::size_t n) {
+    const auto* b = static_cast<const std::uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<std::uint8_t> buf_;
+};
+
+class ByteReader {
+ public:
+  explicit ByteReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  std::uint8_t get_u8() { return get_raw<std::uint8_t>(); }
+  std::uint32_t get_u32() { return get_raw<std::uint32_t>(); }
+  std::uint64_t get_u64() { return get_raw<std::uint64_t>(); }
+  std::int64_t get_i64() { return get_raw<std::int64_t>(); }
+  double get_f64() { return get_raw<double>(); }
+  FlowKey get_key() { return get_raw<FlowKey>(); }
+
+  std::size_t remaining() const noexcept { return data_.size() - pos_; }
+  bool exhausted() const noexcept { return remaining() == 0; }
+
+ private:
+  template <typename T>
+  T get_raw() {
+    if (pos_ + sizeof(T) > data_.size()) {
+      throw std::out_of_range("ByteReader: truncated snapshot");
+    }
+    T v;
+    std::memcpy(&v, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+};
+
+// --- Counter matrices ------------------------------------------------------
+
+/// Serializes shape + counters (hash seeds travel out of band).
+void write_matrix(ByteWriter& w, const sketch::CounterMatrix& m);
+
+/// Loads counters into an identically shaped replica; throws
+/// std::invalid_argument on shape mismatch.
+void read_matrix_into(ByteReader& r, sketch::CounterMatrix& m);
+
+// --- Heavy-key stores ------------------------------------------------------
+
+void write_heap(ByteWriter& w, const sketch::TopKHeap& heap);
+void read_heap_into(ByteReader& r, sketch::TopKHeap& heap);
+
+// --- UnivMon snapshots ------------------------------------------------------
+
+/// Full data-plane snapshot: every level's counters + heap + the total.
+std::vector<std::uint8_t> snapshot_univmon(const sketch::UnivMon& um);
+
+/// Loads a snapshot into a replica constructed with the same config+seed.
+void load_univmon(std::span<const std::uint8_t> bytes, sketch::UnivMon& replica);
+
+// --- Single-sketch snapshots -------------------------------------------------
+
+/// Snapshot of any CounterMatrix-backed sketch (Count-Min, Count Sketch,
+/// K-ary, or a Nitro wrapper's base): counters + the stream total where
+/// the sketch tracks one.
+template <typename Sketch>
+std::vector<std::uint8_t> snapshot_sketch(const Sketch& s) {
+  ByteWriter w;
+  w.put_u32(0x4e534b31u);  // "NSK1"
+  if constexpr (requires { s.total(); }) {
+    w.put_i64(s.total());
+  } else {
+    w.put_i64(0);
+  }
+  write_matrix(w, s.matrix());
+  return std::move(w).take();
+}
+
+/// Loads a single-sketch snapshot into an identically configured replica.
+template <typename Sketch>
+void load_sketch(std::span<const std::uint8_t> bytes, Sketch& replica) {
+  ByteReader r(bytes);
+  if (r.get_u32() != 0x4e534b31u) {
+    throw std::invalid_argument("snapshot: bad sketch magic");
+  }
+  const std::int64_t total = r.get_i64();
+  read_matrix_into(r, replica.matrix());
+  if constexpr (requires { replica.clear(); replica.add_total(total); }) {
+    // K-ary style: restore the exact stream length used by its estimator.
+    replica.add_total(total - replica.total());
+  }
+  if (!r.exhausted()) throw std::invalid_argument("snapshot: trailing bytes");
+}
+
+/// Control-plane endpoint: owns the replica and answers queries from the
+/// last ingested snapshot.
+class UnivMonCollector {
+ public:
+  UnivMonCollector(const sketch::UnivMonConfig& cfg, std::uint64_t dataplane_seed)
+      : replica_(cfg, dataplane_seed) {}
+
+  void ingest(std::span<const std::uint8_t> snapshot) {
+    replica_.clear();
+    load_univmon(snapshot, replica_);
+    ++epochs_;
+  }
+
+  const sketch::UnivMon& view() const noexcept { return replica_; }
+  std::uint64_t epochs_ingested() const noexcept { return epochs_; }
+
+ private:
+  sketch::UnivMon replica_;
+  std::uint64_t epochs_ = 0;
+};
+
+}  // namespace nitro::control

@@ -1,0 +1,84 @@
+// Measurement daemon: the per-epoch control loop of §6.
+//
+// Owns a data-plane NitroUnivMon, and at each epoch boundary (i) pulls the
+// sketch state, (ii) runs the user's configured tasks (HH / entropy /
+// distinct / change), and (iii) resets the data plane for the next epoch.
+// This is the object the examples program against.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "control/estimation.hpp"
+#include "core/nitro_univmon.hpp"
+
+namespace nitro::control {
+
+struct EpochReport {
+  std::uint64_t epoch = 0;
+  std::int64_t packets = 0;
+  std::vector<HeavyHitter> heavy_hitters;
+  std::vector<HeavyHitter> changed_flows;
+  double entropy = 0.0;
+  double distinct = 0.0;
+};
+
+class MeasurementDaemon {
+ public:
+  struct Tasks {
+    bool heavy_hitters = true;
+    double hh_fraction = 0.0005;  // paper: 0.05% of epoch volume
+    bool change_detection = true;
+    double change_fraction = 0.0005;
+    bool entropy = true;
+    bool distinct = true;
+  };
+
+  MeasurementDaemon(const sketch::UnivMonConfig& um_cfg, const core::NitroConfig& nitro_cfg,
+                    const Tasks& tasks, std::uint64_t seed = 0xdae11011ULL)
+      : um_cfg_(um_cfg), nitro_cfg_(nitro_cfg), tasks_(tasks), seed_(seed),
+        current_(um_cfg, nitro_cfg, seed) {}
+
+  /// Data-plane entry point.
+  void on_packet(const FlowKey& key, std::uint64_t ts_ns = 0) {
+    current_.update(key, 1, ts_ns);
+  }
+
+  /// Close the epoch: compute all configured task results, rotate sketches.
+  EpochReport end_epoch() {
+    EpochReport report;
+    report.epoch = epoch_++;
+    report.packets = current_.total();
+
+    if (tasks_.heavy_hitters) {
+      report.heavy_hitters = heavy_hitters(current_, tasks_.hh_fraction);
+    }
+    if (tasks_.entropy) report.entropy = current_.estimate_entropy();
+    if (tasks_.distinct) report.distinct = current_.estimate_distinct();
+
+    if (tasks_.change_detection && previous_) {
+      const auto candidates =
+          candidate_union(current_.heavy_hitters(1), previous_->heavy_hitters(1));
+      report.changed_flows =
+          changes(*previous_, current_, candidates, tasks_.change_fraction);
+    }
+
+    // Rotate: current becomes previous; fresh sketch for the next epoch.
+    previous_ = std::make_unique<core::NitroUnivMon>(std::move(current_));
+    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, seed_);
+    return report;
+  }
+
+  const core::NitroUnivMon& data_plane() const noexcept { return current_; }
+
+ private:
+  sketch::UnivMonConfig um_cfg_;
+  core::NitroConfig nitro_cfg_;
+  Tasks tasks_;
+  std::uint64_t seed_;
+  std::uint64_t epoch_ = 0;
+  core::NitroUnivMon current_;
+  std::unique_ptr<core::NitroUnivMon> previous_;
+};
+
+}  // namespace nitro::control

@@ -1,0 +1,114 @@
+// Control-plane estimation (§4.3 "Scope", §6 "Control Plane Module").
+//
+// The data plane only maintains sketch state; every statistic the paper
+// reports — heavy hitters, change detection, entropy, distinct count — is
+// computed here by querying the collected sketches at the end of an epoch.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <unordered_set>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "sketch/kary.hpp"
+#include "sketch/topk.hpp"
+
+namespace nitro::control {
+
+struct HeavyHitter {
+  FlowKey key;
+  std::int64_t estimate = 0;
+};
+
+/// Heavy hitters above `fraction` of the epoch's total traffic
+/// (paper threshold: 0.05%).  Works with UnivMon, NitroUnivMon, or any
+/// object exposing heavy_hitters(threshold) and total().
+template <typename Sketch>
+std::vector<HeavyHitter> heavy_hitters(const Sketch& s, double fraction) {
+  const auto threshold = static_cast<std::int64_t>(
+      fraction * static_cast<double>(s.total()) + 0.5);
+  std::vector<HeavyHitter> out;
+  for (const auto& e : s.heavy_hitters(std::max<std::int64_t>(threshold, 1))) {
+    out.push_back({e.key, e.estimate});
+  }
+  return out;
+}
+
+/// Change detection over two consecutive epochs of any point-queryable
+/// sketch: for each candidate key, report |f̂_cur - f̂_prev| when it
+/// crosses `fraction` of the combined epoch volume.
+template <typename Sketch>
+std::vector<HeavyHitter> changes(const Sketch& prev, const Sketch& cur,
+                                 std::span<const FlowKey> candidates, double fraction) {
+  const double volume = static_cast<double>(prev.total() + cur.total());
+  const auto threshold = static_cast<std::int64_t>(fraction * volume + 0.5);
+  std::vector<HeavyHitter> out;
+  std::unordered_set<FlowKey> seen;
+  for (const FlowKey& key : candidates) {
+    if (!seen.insert(key).second) continue;
+    const std::int64_t delta = std::llabs(cur.query(key) - prev.query(key));
+    if (delta >= std::max<std::int64_t>(threshold, 1)) out.push_back({key, delta});
+  }
+  return out;
+}
+
+/// Candidate keys for change detection: the union of two epochs' heavy-key
+/// stores.
+inline std::vector<FlowKey> candidate_union(
+    const std::vector<sketch::TopKHeap::Entry>& a,
+    const std::vector<sketch::TopKHeap::Entry>& b) {
+  std::vector<FlowKey> out;
+  out.reserve(a.size() + b.size());
+  for (const auto& e : a) out.push_back(e.key);
+  for (const auto& e : b) out.push_back(e.key);
+  return out;
+}
+
+/// K-ary change detection exactly as Krishnamurthy et al.: sketch the two
+/// epochs, subtract, and query the difference sketch for candidates.
+class KAryChangeDetector {
+ public:
+  KAryChangeDetector(std::uint32_t depth, std::uint32_t width, std::uint64_t seed)
+      : prev_(depth, width, seed), cur_(depth, width, seed) {}
+
+  sketch::KArySketch& current_epoch() noexcept { return cur_; }
+  const sketch::KArySketch& previous_epoch() const noexcept { return prev_; }
+
+  /// Rotate epochs (typically every measurement interval).
+  void end_epoch() {
+    prev_ = cur_;
+    cur_.clear();
+  }
+
+  /// |change| estimate for one key, from the forecast-difference sketch.
+  std::int64_t change_estimate(const FlowKey& key) const {
+    const auto diff = cur_.difference(prev_);
+    return static_cast<std::int64_t>(std::llabs(
+        static_cast<std::int64_t>(diff.query(key))));
+  }
+
+  std::vector<HeavyHitter> detect(std::span<const FlowKey> candidates,
+                                  double fraction) const {
+    const auto diff = cur_.difference(prev_);
+    const double volume =
+        static_cast<double>(std::llabs(prev_.total()) + std::llabs(cur_.total()));
+    const auto threshold =
+        std::max<std::int64_t>(static_cast<std::int64_t>(fraction * volume + 0.5), 1);
+    std::vector<HeavyHitter> out;
+    std::unordered_set<FlowKey> seen;
+    for (const FlowKey& key : candidates) {
+      if (!seen.insert(key).second) continue;
+      const auto delta = static_cast<std::int64_t>(std::llabs(
+          static_cast<std::int64_t>(diff.query(key))));
+      if (delta >= threshold) out.push_back({key, delta});
+    }
+    return out;
+  }
+
+ private:
+  sketch::KArySketch prev_;
+  sketch::KArySketch cur_;
+};
+
+}  // namespace nitro::control

@@ -1,0 +1,59 @@
+// Buffered counter updates with batched hashing (Idea D, §4.2).
+//
+// Sampled updates are queued and applied in groups of eight: the flow-key
+// digests of a full group are computed back-to-back (xxhash32_batch8-style
+// batching keeps the hash mixing chains independent so the compiler can
+// vectorize them with AVX2), then the counters are touched in one pass,
+// which also gives the prefetcher a window.  Ablated in Figure 9b.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/flow_key.hpp"
+#include "sketch/counter_matrix.hpp"
+
+namespace nitro::core {
+
+class BufferedUpdater {
+ public:
+  static constexpr std::size_t kBatch = 8;
+
+  struct Pending {
+    FlowKey key;
+    std::uint32_t row = 0;
+    std::int64_t delta = 0;
+  };
+
+  /// Queue one sampled update.  Returns true when the batch filled up and
+  /// was flushed into `matrix` (callers that track top keys refresh their
+  /// heap after a flush).
+  bool push(sketch::CounterMatrix& matrix, const FlowKey& key, std::uint32_t row,
+            std::int64_t delta) {
+    pending_[count_++] = {key, row, delta};
+    if (count_ < kBatch) return false;
+    flush(matrix);
+    return true;
+  }
+
+  /// Apply all queued updates.  Digests are computed for the whole batch
+  /// first, then counters are updated.
+  void flush(sketch::CounterMatrix& matrix) {
+    std::array<std::uint64_t, kBatch> digests;
+    for (std::size_t i = 0; i < count_; ++i) {
+      digests[i] = flow_digest(pending_[i].key);
+    }
+    for (std::size_t i = 0; i < count_; ++i) {
+      matrix.update_row_digest(pending_[i].row, digests[i], pending_[i].delta);
+    }
+    count_ = 0;
+  }
+
+  std::size_t pending() const noexcept { return count_; }
+
+ private:
+  std::array<Pending, kBatch> pending_{};
+  std::size_t count_ = 0;
+};
+
+}  // namespace nitro::core

@@ -1,0 +1,74 @@
+// AlwaysCorrect convergence detection (Idea C.2, Algorithm 1 lines 10-15).
+//
+// Before convergence the sketch runs at p = 1 and is bit-identical to the
+// vanilla sketch, so accuracy guarantees hold from the first packet.  Once
+// the stream's norm is provably large enough that sampling at p_min keeps
+// the εL2 (resp. εL1) guarantee, the detector fires and the framework
+// drops to the sampled regime.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "sketch/counter_matrix.hpp"
+
+namespace nitro::core {
+
+class ConvergenceDetector {
+ public:
+  /// `signed_rows` selects the L2 criterion (Count-Sketch-style rows,
+  /// Lemma 6: median_i Σ_y C²_{i,y} > T with T = 121(1+ε√p)ε⁻⁴p⁻²) versus
+  /// the L1 criterion for Count-Min-style rows (Theorem 1:
+  /// L1 ≥ c·ε⁻²p⁻¹√(log δ⁻¹)).
+  ConvergenceDetector(double epsilon, double p_min, std::uint64_t check_interval,
+                      bool signed_rows, std::uint32_t depth)
+      : check_interval_(check_interval), signed_rows_(signed_rows) {
+    const double eps4 = epsilon * epsilon * epsilon * epsilon;
+    l2_threshold_ = 121.0 * (1.0 + epsilon * std::sqrt(p_min)) / (eps4 * p_min * p_min);
+    // Theorem 1's "sufficiently large constant c": we use c = 16, which is
+    // conservative for the d <= 8 row counts used in practice.
+    const double log_delta_inv = static_cast<double>(depth) * std::log(2.0);
+    l1_threshold_ = 16.0 / (epsilon * epsilon * p_min) * std::sqrt(log_delta_inv);
+  }
+
+  bool converged() const noexcept { return converged_; }
+
+  /// The Σ C² threshold T (exposed for tests and EXPERIMENTS.md).
+  double l2_threshold() const noexcept { return l2_threshold_; }
+  double l1_threshold() const noexcept { return l1_threshold_; }
+
+  /// Called once per packet; performs the (amortized) convergence test
+  /// every Q packets.  Returns true on the packet where convergence is
+  /// first declared.
+  bool on_packet(const sketch::CounterMatrix& matrix) {
+    if (converged_) return false;
+    if (++packets_ % check_interval_ != 0) return false;
+    if (signed_rows_) {
+      sums_.clear();
+      for (std::uint32_t r = 0; r < matrix.depth(); ++r) {
+        sums_.push_back(matrix.row_sum_squares(r));
+      }
+      converged_ = median(sums_) > l2_threshold_;
+    } else {
+      // For unsigned rows every counter increment is +1 per packet per
+      // row, so row 0's sum is exactly the L1 processed so far.
+      converged_ = static_cast<double>(matrix.row_sum(0)) > l1_threshold_;
+    }
+    return converged_;
+  }
+
+  std::uint64_t packets_seen() const noexcept { return packets_; }
+
+ private:
+  std::uint64_t check_interval_;
+  bool signed_rows_;
+  double l2_threshold_ = 0.0;
+  double l1_threshold_ = 0.0;
+  bool converged_ = false;
+  std::uint64_t packets_ = 0;
+  std::vector<double> sums_;
+};
+
+}  // namespace nitro::core

@@ -1,0 +1,56 @@
+// Configuration of the NitroSketch framework (paper §4).
+#pragma once
+
+#include <cstdint>
+
+namespace nitro::core {
+
+/// Operating modes of Algorithm 1.
+enum class Mode {
+  /// No sampling: behaves exactly like the wrapped vanilla sketch.
+  kVanilla,
+  /// Fixed geometric sampling probability (the evaluation's "NitroSketch
+  /// w/0.01" configurations use this).
+  kFixedRate,
+  /// Adapt p to the packet arrival rate every epoch (paper Idea C.1);
+  /// converges fast, constant work per time unit.
+  kAlwaysLineRate,
+  /// Start at p = 1 and switch to sampling once convergence is provable
+  /// (paper Idea C.2); accuracy guarantees from the first packet.
+  kAlwaysCorrect,
+};
+
+struct NitroConfig {
+  Mode mode = Mode::kFixedRate;
+
+  /// Sampling probability for kFixedRate, and the floor p_min for the
+  /// adaptive modes.  The paper uses p_min = 2^-7.
+  double probability = 1.0 / 128.0;
+
+  /// ε used to size the AlwaysCorrect convergence threshold
+  /// T = 121·(1+ε√p)·ε⁻⁴·p⁻² (Algorithm 1 line 11).
+  double epsilon = 0.05;
+
+  /// Q: convergence is tested once every Q packets (Algorithm 1 line 14).
+  std::uint64_t convergence_check_interval = 1000;
+
+  /// AlwaysLineRate epoch length in nanoseconds (paper: 100ms).
+  std::uint64_t rate_epoch_ns = 100'000'000;
+
+  /// AlwaysLineRate's work budget: the sampled-update rate it tries to
+  /// hold, in packets/second.  p is snapped to {1, 2^-1, ..., 2^-7} so
+  /// that rate·p ≈ budget (paper Figure 6: 40Mpps -> 1/64, 10Mpps -> 1/16).
+  double target_sampled_rate_pps = 625'000.0;
+
+  /// Enable the Idea-D buffered/batched update path (ablated in Fig. 9b).
+  bool buffered_updates = true;
+
+  /// Track heavy keys in a TopK heap on sampled updates (bottleneck 3
+  /// mitigation).  Disable for pure frequency-estimation deployments.
+  bool track_top_keys = true;
+  std::uint32_t top_keys = 1000;
+
+  std::uint64_t seed = 0x5eed5eedULL;
+};
+
+}  // namespace nitro::core

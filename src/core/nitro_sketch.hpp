@@ -1,0 +1,202 @@
+// NitroSketch framework — the paper's primary contribution (§4).
+//
+// `NitroSketch<Base>` wraps any canonical multi-row sketch (Count-Min,
+// Count Sketch, K-ary) and accelerates it by sampling the counter arrays
+// with a single geometric draw, adapting the sampling rate to the arrival
+// rate (AlwaysLineRate) or gating it on provable convergence
+// (AlwaysCorrect), buffering updates for batched hashing, and touching the
+// heavy-key heap only on sampled updates.
+//
+// Per-packet cost: o(1) hashes + o(1) counter updates + o(1) heap ops in
+// the sampled regime (expected d·p row updates per packet), versus the
+// vanilla d1·H + d2·C + P (§3).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/flow_key.hpp"
+#include "core/buffered_update.hpp"
+#include "core/convergence.hpp"
+#include "core/nitro_config.hpp"
+#include "core/rate_controller.hpp"
+#include "core/row_sampler.hpp"
+#include "sketch/count_min.hpp"
+#include "sketch/count_sketch.hpp"
+#include "sketch/kary.hpp"
+#include "sketch/topk.hpp"
+
+namespace nitro::core {
+
+/// Per-base-sketch glue: estimator combination and row signedness.
+template <typename Base>
+struct SketchTraits;
+
+/// Public alias for integrations outside the core (e.g. the
+/// separate-thread measurement in switchsim).
+template <typename Base>
+using SketchTraitsFor = SketchTraits<Base>;
+
+template <>
+struct SketchTraits<sketch::CountMinSketch> {
+  static constexpr bool kSignedRows = false;
+  static std::int64_t query(const sketch::CountMinSketch& s, const FlowKey& k) {
+    return s.query(k);
+  }
+  static void on_packet(sketch::CountMinSketch&, std::int64_t) {}
+};
+
+template <>
+struct SketchTraits<sketch::CountSketch> {
+  static constexpr bool kSignedRows = true;
+  static std::int64_t query(const sketch::CountSketch& s, const FlowKey& k) {
+    return s.query(k);
+  }
+  static void on_packet(sketch::CountSketch&, std::int64_t) {}
+};
+
+template <>
+struct SketchTraits<sketch::KArySketch> {
+  static constexpr bool kSignedRows = false;
+  static std::int64_t query(const sketch::KArySketch& s, const FlowKey& k) {
+    return static_cast<std::int64_t>(s.query(k) + 0.5);
+  }
+  // K-ary's unbiased estimator needs the exact stream length S; counting
+  // it is a single add per packet and involves no hashing.
+  static void on_packet(sketch::KArySketch& s, std::int64_t count) { s.add_total(count); }
+};
+
+template <typename Base>
+class NitroSketch {
+ public:
+  using Traits = SketchTraits<Base>;
+
+  NitroSketch(Base base, const NitroConfig& cfg)
+      : base_(std::move(base)),
+        cfg_(cfg),
+        sampler_(base_.depth(), initial_probability(cfg), cfg.seed ^ 0x9a3f7d11ULL),
+        rate_(cfg.target_sampled_rate_pps, cfg.rate_epoch_ns, cfg.probability),
+        detector_(cfg.epsilon, cfg.probability, cfg.convergence_check_interval,
+                  Traits::kSignedRows, base_.depth()),
+        heap_(cfg.track_top_keys ? cfg.top_keys : 0) {}
+
+  /// Process one packet (`count` = packet or byte weight, `now_ns` = its
+  /// timestamp; only AlwaysLineRate consults the clock).
+  void update(const FlowKey& key, std::int64_t count = 1, std::uint64_t now_ns = 0) {
+    Traits::on_packet(base_, count);
+    ++packets_;
+
+    if (cfg_.mode == Mode::kVanilla ||
+        (cfg_.mode == Mode::kAlwaysCorrect && !detector_.converged())) {
+      vanilla_update(key, count);
+      if (cfg_.mode == Mode::kAlwaysCorrect && detector_.on_packet(base_.matrix())) {
+        // Converged: fall into the sampled regime (Algorithm 1 line 15).
+        sampler_.set_probability(cfg_.probability);
+      }
+      return;
+    }
+
+    if (cfg_.mode == Mode::kAlwaysLineRate && rate_.on_packet(now_ns)) {
+      sampler_.set_probability(rate_.probability());
+    }
+
+    sampled_update(key, count);
+  }
+
+  /// Point frequency estimate.  Flushes pending buffered updates first so
+  /// queries always observe every processed packet.
+  std::int64_t query(const FlowKey& key) const {
+    const_cast<NitroSketch*>(this)->flush();
+    return Traits::query(base_, key);
+  }
+
+  /// Drain the Idea-D buffer (call at epoch end; queries do it implicitly).
+  void flush() {
+    if (buffer_.pending() > 0) buffer_.flush(base_.matrix());
+  }
+
+  /// Heavy keys observed so far (empty when track_top_keys is off).
+  std::vector<sketch::TopKHeap::Entry> top_keys() const {
+    const_cast<NitroSketch*>(this)->flush();
+    std::vector<sketch::TopKHeap::Entry> out;
+    for (const auto& e : heap_.entries_sorted()) {
+      out.push_back({e.key, Traits::query(base_, e.key)});
+    }
+    return out;
+  }
+
+  const Base& base() const noexcept { return base_; }
+  Base& base() noexcept { return base_; }
+  const sketch::TopKHeap& heap() const noexcept { return heap_; }
+
+  double current_probability() const noexcept { return sampler_.probability(); }
+  bool converged() const noexcept {
+    return cfg_.mode != Mode::kAlwaysCorrect || detector_.converged();
+  }
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t sampled_updates() const noexcept { return sampled_updates_; }
+  const NitroConfig& config() const noexcept { return cfg_; }
+
+  std::size_t memory_bytes() const noexcept {
+    return base_.memory_bytes() + heap_.memory_bytes();
+  }
+
+ private:
+  static double initial_probability(const NitroConfig& cfg) {
+    switch (cfg.mode) {
+      case Mode::kVanilla:
+      case Mode::kAlwaysCorrect:   // p = 1 until converged
+      case Mode::kAlwaysLineRate:  // first epoch runs at p = 1
+        return 1.0;
+      case Mode::kFixedRate:
+        return cfg.probability;
+    }
+    return 1.0;
+  }
+
+  void vanilla_update(const FlowKey& key, std::int64_t count) {
+    for (std::uint32_t r = 0; r < base_.depth(); ++r) {
+      base_.matrix().update_row(r, key, count);
+    }
+    sampled_updates_ += base_.depth();
+    if (heap_.capacity() > 0) heap_.offer(key, Traits::query(base_, key));
+  }
+
+  void sampled_update(const FlowKey& key, std::int64_t count) {
+    std::uint32_t rows[64];
+    const std::uint32_t n = sampler_.rows_for_packet(rows);
+    if (n == 0) return;
+    const std::int64_t delta = count * sampler_.increment();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (cfg_.buffered_updates) {
+        buffer_.push(base_.matrix(), key, rows[i], delta);
+      } else {
+        base_.matrix().update_row(rows[i], key, delta);
+      }
+    }
+    sampled_updates_ += n;
+    // Bottleneck-3 mitigation: the heap is consulted only here, i.e. with
+    // probability <= d·p per packet.  With buffering enabled the estimate
+    // may lag by at most kBatch-1 pending deltas; top_keys() re-queries
+    // through a flush, so reported estimates are always current.
+    if (heap_.capacity() > 0) {
+      heap_.offer(key, Traits::query(base_, key));
+    }
+  }
+
+  Base base_;
+  NitroConfig cfg_;
+  RowSampler sampler_;
+  RateController rate_;
+  ConvergenceDetector detector_;
+  sketch::TopKHeap heap_;
+  BufferedUpdater buffer_;
+  std::uint64_t packets_ = 0;
+  std::uint64_t sampled_updates_ = 0;
+};
+
+using NitroCountMin = NitroSketch<sketch::CountMinSketch>;
+using NitroCountSketch = NitroSketch<sketch::CountSketch>;
+using NitroKAry = NitroSketch<sketch::KArySketch>;
+
+}  // namespace nitro::core

@@ -1,0 +1,128 @@
+// NitroSketch applied to UnivMon (§6, §8).
+//
+// Each of UnivMon's L Count-Sketch levels is wrapped in its own Nitro row
+// sampler that advances only on the packets belonging to that level's
+// substream — exactly "replace each Count Sketch instance in UnivMon with
+// NitroSketch".  A packet costs one level hash (trailing-ones selector)
+// plus, for each of its ~2 expected member levels, a single geometric
+// countdown; counter, heap and further hash work only happens on sampled
+// slots.  In AlwaysCorrect mode every level carries its own convergence
+// detector (deeper levels see exponentially fewer packets and converge
+// later); unconverged levels run vanilla while converged ones sample.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/convergence.hpp"
+#include "core/nitro_config.hpp"
+#include "core/rate_controller.hpp"
+#include "core/row_sampler.hpp"
+#include "sketch/univmon.hpp"
+
+namespace nitro::core {
+
+class NitroUnivMon {
+ public:
+  NitroUnivMon(const sketch::UnivMonConfig& um_cfg, const NitroConfig& cfg,
+               std::uint64_t seed = 0x0417c0deULL)
+      : um_(um_cfg, seed), cfg_(cfg) {
+    SplitMix64 sm(mix64(cfg.seed ^ seed));
+    const double p0 = initial_probability(cfg);
+    for (std::uint32_t j = 0; j < um_.num_levels(); ++j) {
+      samplers_.emplace_back(um_cfg.depth, p0, sm.next());
+      detectors_.emplace_back(cfg.epsilon, cfg.probability,
+                              cfg.convergence_check_interval,
+                              /*signed_rows=*/true, um_cfg.depth);
+    }
+    rate_ = std::make_unique<RateController>(cfg.target_sampled_rate_pps,
+                                             cfg.rate_epoch_ns, cfg.probability);
+  }
+
+  void update(const FlowKey& key, std::int64_t count = 1, std::uint64_t now_ns = 0) {
+    um_.add_total(count);
+
+    if (cfg_.mode == Mode::kAlwaysLineRate && rate_->on_packet(now_ns)) {
+      for (auto& s : samplers_) s.set_probability(rate_->probability());
+    }
+
+    // One hash decides the deepest level this packet belongs to.
+    const std::uint32_t z = um_.level_of(key);
+
+    for (std::uint32_t j = 0; j <= z; ++j) {
+      const bool vanilla =
+          cfg_.mode == Mode::kVanilla ||
+          (cfg_.mode == Mode::kAlwaysCorrect && !detectors_[j].converged());
+      if (vanilla) {
+        um_.level_sketch_mut(j).update(key, count);
+        um_.offer_to_heap(j, key);
+        if (cfg_.mode == Mode::kAlwaysCorrect &&
+            detectors_[j].on_packet(um_.level_sketch(j).matrix())) {
+          samplers_[j].set_probability(cfg_.probability);
+        }
+        continue;
+      }
+      // Sampled regime: this level's sampler advances only for its
+      // substream (this packet is a member), d slots per packet.
+      std::uint32_t rows[64];
+      const std::uint32_t n = samplers_[j].rows_for_packet(rows);
+      if (n == 0) continue;
+      const std::int64_t delta = count * samplers_[j].increment();
+      auto& matrix = um_.level_sketch_mut(j).matrix();
+      const std::uint64_t digest = flow_digest(key);
+      for (std::uint32_t i = 0; i < n; ++i) {
+        matrix.update_row_digest(rows[i], digest, delta);
+      }
+      sampled_updates_ += n;
+      um_.offer_to_heap(j, key);
+    }
+  }
+
+  // --- Queries (all reuse UnivMon's estimators) ---------------------------
+  std::int64_t query(const FlowKey& key) const { return um_.query(key); }
+  double estimate_entropy() const { return um_.estimate_entropy(); }
+  double estimate_distinct() const { return um_.estimate_distinct(); }
+  double estimate_l2() const { return um_.estimate_l2(); }
+  std::vector<sketch::TopKHeap::Entry> heavy_hitters(std::int64_t threshold) const {
+    return um_.heavy_hitters(threshold);
+  }
+
+  const sketch::UnivMon& univmon() const noexcept { return um_; }
+  sketch::UnivMon& univmon_mut() noexcept { return um_; }
+  std::int64_t total() const noexcept { return um_.total(); }
+  std::uint64_t sampled_updates() const noexcept { return sampled_updates_; }
+  std::size_t memory_bytes() const { return um_.memory_bytes(); }
+
+  bool level_converged(std::uint32_t j) const { return detectors_[j].converged(); }
+
+  /// Effective sampling probability of level j's counter arrays.
+  double level_probability(std::uint32_t j) const {
+    if (cfg_.mode == Mode::kVanilla) return 1.0;
+    if (cfg_.mode == Mode::kAlwaysCorrect && !detectors_[j].converged()) return 1.0;
+    return samplers_[j].probability();
+  }
+
+ private:
+  static double initial_probability(const NitroConfig& cfg) {
+    switch (cfg.mode) {
+      case Mode::kVanilla:
+      case Mode::kAlwaysLineRate:  // first epoch runs at p = 1
+        return 1.0;
+      case Mode::kAlwaysCorrect:  // sampled path only serves converged levels
+      case Mode::kFixedRate:
+        return cfg.probability;
+    }
+    return 1.0;
+  }
+
+  sketch::UnivMon um_;
+  NitroConfig cfg_;
+  std::vector<RowSampler> samplers_;  // one per level, advanced per member packet
+  std::vector<ConvergenceDetector> detectors_;
+  std::unique_ptr<RateController> rate_;
+  std::uint64_t sampled_updates_ = 0;
+};
+
+}  // namespace nitro::core

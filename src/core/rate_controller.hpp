@@ -1,0 +1,63 @@
+// AlwaysLineRate adaptation (Idea C.1, Algorithm 1 lines 5-9).
+//
+// Every fixed time epoch (100ms by default) the controller measures the
+// packet arrival rate and sets the sampling probability inversely
+// proportional to it, snapped to {1, 2^-1, ..., 2^-7}.  The effect is a
+// roughly constant number of sampled updates per second regardless of the
+// offered load, which is what lets a single core keep up with 40GbE.
+#pragma once
+
+#include <cstdint>
+
+#include "common/math_util.hpp"
+
+namespace nitro::core {
+
+class RateController {
+ public:
+  RateController(double target_sampled_rate_pps, std::uint64_t epoch_ns, double p_min)
+      : target_pps_(target_sampled_rate_pps), epoch_ns_(epoch_ns), p_min_(p_min) {}
+
+  /// Feed one packet arrival.  Returns true when an epoch boundary was
+  /// crossed and `probability()` was re-tuned.
+  bool on_packet(std::uint64_t now_ns) {
+    if (epoch_start_ns_ == 0) epoch_start_ns_ = now_ns;
+    ++epoch_packets_;
+    if (now_ns - epoch_start_ns_ < epoch_ns_) return false;
+
+    // epoch_start is the first packet's own timestamp, so the elapsed time
+    // spans epoch_packets-1 inter-arrival gaps.
+    const double seconds = static_cast<double>(now_ns - epoch_start_ns_) * 1e-9;
+    const double rate_pps = static_cast<double>(epoch_packets_ - 1) / seconds;
+    retune(rate_pps);
+    epoch_start_ns_ = now_ns;
+    epoch_packets_ = 0;
+    return true;
+  }
+
+  /// Direct retune from a measured rate (used by tests and by integrations
+  /// that already track their own arrival rate).
+  void retune(double rate_pps) {
+    double p = rate_pps > 0 ? target_pps_ / rate_pps : 1.0;
+    p = snap_probability_pow2(p, max_shift_);
+    probability_ = std::max(p, p_min_);
+  }
+
+  double probability() const noexcept { return probability_; }
+
+  /// p_min determines the memory provisioning (§4.3: "this mode is
+  /// allocated with the space required for sampling with p_min = 2^-7").
+  double p_min() const noexcept { return p_min_; }
+
+ private:
+  static constexpr int max_shift_ = 7;  // p ∈ {1 ... 2^-7}
+
+  double target_pps_;
+  std::uint64_t epoch_ns_;
+  double p_min_;
+  double probability_ = 1.0;
+  std::uint64_t epoch_start_ns_ = 0;
+  std::uint64_t epoch_packets_ = 0;
+};
+
+}  // namespace nitro::core

@@ -1,0 +1,84 @@
+// Counter-array sampling with a single geometric draw (Ideas A + B).
+//
+// Conceptually every packet offers d update slots, one per counter array.
+// NitroSketch walks this infinite slot sequence and updates only the slots
+// selected by a Bernoulli(p) process, realized as Geometric(p) gaps so the
+// PRNG is touched once per *sampled* slot rather than once per slot.
+#pragma once
+
+#include <cstdint>
+
+#include "common/geometric.hpp"
+
+namespace nitro::core {
+
+class RowSampler {
+ public:
+  RowSampler(std::uint32_t depth, double p, std::uint64_t seed)
+      : depth_(depth), geo_(1.0, seed) {
+    set_probability(p);
+    // Position the first update: slot Geo(p)-1 of the slot sequence,
+    // so each slot (including the very first) is selected w.p. p.
+    next_slot_ = geo_.next() - 1;
+  }
+
+  /// Re-tunes p.  Takes effect from the next drawn gap; increments stay
+  /// consistent because callers read `increment()` at update time.
+  void set_probability(double p) {
+    if (p >= 1.0) {
+      increment_ = 1;
+      effective_p_ = 1.0;
+    } else {
+      // Round 1/p to an integer so sampled counter updates (+p⁻¹·g) stay
+      // exactly unbiased; the geometric draw uses the matching p.
+      increment_ = static_cast<std::int64_t>(1.0 / p + 0.5);
+      if (increment_ < 1) increment_ = 1;
+      effective_p_ = 1.0 / static_cast<double>(increment_);
+    }
+    geo_.set_probability(effective_p_);
+  }
+
+  double probability() const noexcept { return effective_p_; }
+
+  /// p⁻¹: the value added to a sampled counter (Algorithm 1 line 20).
+  std::int64_t increment() const noexcept { return increment_; }
+
+  /// Rows of the *current* packet to update.  Call exactly once per
+  /// packet; returns the number of rows written into `rows_out` (size
+  /// must be >= depth).  Zero means the packet is skipped entirely —
+  /// the common case for small p.
+  std::uint32_t rows_for_packet(std::uint32_t* rows_out) {
+    if (next_slot_ >= depth_) {
+      next_slot_ -= depth_;
+      return 0;
+    }
+    std::uint32_t n = 0;
+    do {
+      rows_out[n++] = static_cast<std::uint32_t>(next_slot_);
+      next_slot_ += geo_.next();
+    } while (next_slot_ < depth_);
+    next_slot_ -= depth_;
+    return n;
+  }
+
+  /// Fast check used by integrations that want to skip even key extraction
+  /// for unsampled packets: true iff the current packet updates >= 1 row.
+  bool current_packet_sampled() const noexcept { return next_slot_ < depth_; }
+
+  /// Number of whole packets guaranteed to be skipped before the next
+  /// sampled one (lets batch pre-processing jump ahead).
+  std::uint64_t packets_until_next_sample() const noexcept {
+    return next_slot_ / depth_;
+  }
+
+  std::uint32_t depth() const noexcept { return depth_; }
+
+ private:
+  std::uint32_t depth_;
+  GeometricSampler geo_;
+  std::uint64_t next_slot_ = 0;  // slots from row 0 of the current packet
+  std::int64_t increment_ = 1;
+  double effective_p_ = 1.0;
+};
+
+}  // namespace nitro::core

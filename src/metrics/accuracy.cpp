@@ -1,0 +1,53 @@
+#include "metrics/accuracy.hpp"
+
+#include <unordered_set>
+
+namespace nitro::metrics {
+
+double hh_mean_relative_error(const trace::GroundTruth& truth, std::int64_t threshold,
+                              const std::function<std::int64_t(const FlowKey&)>& query) {
+  const auto hh = truth.heavy_hitters(threshold);
+  if (hh.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [key, count] : hh) {
+    sum += relative_error(static_cast<double>(query(key)), static_cast<double>(count));
+  }
+  return sum / static_cast<double>(hh.size());
+}
+
+double topk_recall(const trace::GroundTruth& truth, std::size_t k,
+                   const std::vector<FlowKey>& reported) {
+  const auto top = truth.top_k(k);
+  if (top.empty()) return 1.0;
+  std::unordered_set<FlowKey> got(reported.begin(), reported.end());
+  std::size_t hits = 0;
+  for (const auto& [key, count] : top) {
+    if (got.count(key)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(top.size());
+}
+
+double hh_precision(const trace::GroundTruth& truth, std::int64_t threshold,
+                    const std::vector<FlowKey>& reported) {
+  if (reported.empty()) return 1.0;
+  std::size_t correct = 0;
+  for (const auto& key : reported) {
+    if (truth.count(key) >= threshold) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(reported.size());
+}
+
+double change_mean_relative_error(
+    const trace::GroundTruth& prev, const trace::GroundTruth& cur, std::int64_t threshold,
+    const std::function<std::int64_t(const FlowKey&)>& query_change) {
+  const auto changed = trace::GroundTruth::changes(prev, cur, threshold);
+  if (changed.empty()) return 0.0;
+  double sum = 0.0;
+  for (const auto& [key, delta] : changed) {
+    sum += relative_error(static_cast<double>(query_change(key)),
+                          static_cast<double>(delta));
+  }
+  return sum / static_cast<double>(changed.size());
+}
+
+}  // namespace nitro::metrics

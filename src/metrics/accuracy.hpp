@@ -1,0 +1,41 @@
+// Accuracy metrics used throughout the evaluation (§7 "Sketches and
+// metrics"): relative error, mean relative error over the detected heavy
+// hitters, and recall/precision of heavy-hitter sets.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "trace/ground_truth.hpp"
+
+namespace nitro::metrics {
+
+/// |t - t_real| / t_real, the paper's relative-error definition.
+inline double relative_error(double measured, double truth) {
+  if (truth == 0.0) return measured == 0.0 ? 0.0 : 1.0;
+  return std::abs(measured - truth) / std::abs(truth);
+}
+
+/// Mean relative error of per-flow estimates over the true heavy hitters
+/// at `threshold` (the paper's "HH" error metric: mean relative error on
+/// the detected heavy flows).
+double hh_mean_relative_error(const trace::GroundTruth& truth, std::int64_t threshold,
+                              const std::function<std::int64_t(const FlowKey&)>& query);
+
+/// Recall of a reported set against the true top-k flows (Figure 15).
+double topk_recall(const trace::GroundTruth& truth, std::size_t k,
+                   const std::vector<FlowKey>& reported);
+
+/// Precision of a reported HH set against truth at `threshold`.
+double hh_precision(const trace::GroundTruth& truth, std::int64_t threshold,
+                    const std::vector<FlowKey>& reported);
+
+/// F-measure aggregates for change detection: mean relative error of the
+/// estimated change magnitudes of the true changed flows.
+double change_mean_relative_error(
+    const trace::GroundTruth& prev, const trace::GroundTruth& cur, std::int64_t threshold,
+    const std::function<std::int64_t(const FlowKey&)>& query_change);
+
+}  // namespace nitro::metrics

@@ -1,0 +1,64 @@
+// Count Sketch (Charikar, Chen & Farach-Colton, 2002).
+//
+// d rows of w counters with ±1 sign hashes; Query returns the median of
+// the per-row signed estimates.  Unbiased, with |f̂_x - f_x| ≤ εL2 w.h.p.
+// for w = O(ε⁻²), d = O(log 1/δ).  The row structure doubles as an L2-norm
+// estimator (median of per-row Σ C² — used by AlwaysCorrect convergence).
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "sketch/counter_matrix.hpp"
+
+namespace nitro::sketch {
+
+class CountSketch {
+ public:
+  CountSketch(std::uint32_t depth, std::uint32_t width, std::uint64_t seed)
+      : matrix_(depth, width, seed, /*signed_updates=*/true) {}
+
+  void update(const FlowKey& key, std::int64_t count = 1) noexcept {
+    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) matrix_.update_row(r, key, count);
+  }
+
+  /// Point query: median over the per-row signed estimates.
+  std::int64_t query(const FlowKey& key) const noexcept {
+    row_buf_.clear();
+    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) {
+      row_buf_.push_back(matrix_.row_estimate(r, key));
+    }
+    return median(row_buf_);
+  }
+
+  /// (1+ε)-approximate L2² of the processed stream: median over rows of
+  /// the row's sum of squared counters (AMS-style; paper §4.3 and Lemma 6).
+  double l2_squared_estimate() const noexcept {
+    std::vector<double> sums;
+    sums.reserve(matrix_.depth());
+    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) {
+      sums.push_back(matrix_.row_sum_squares(r));
+    }
+    return median(sums);
+  }
+
+  double l2_estimate() const noexcept { return std::sqrt(l2_squared_estimate()); }
+
+  void clear() noexcept { matrix_.clear(); }
+  void merge(const CountSketch& other) { matrix_.merge(other.matrix_); }
+
+  std::uint32_t depth() const noexcept { return matrix_.depth(); }
+  std::uint32_t width() const noexcept { return matrix_.width(); }
+  std::size_t memory_bytes() const noexcept { return matrix_.memory_bytes(); }
+
+  CounterMatrix& matrix() noexcept { return matrix_; }
+  const CounterMatrix& matrix() const noexcept { return matrix_; }
+
+ private:
+  CounterMatrix matrix_;
+  mutable std::vector<std::int64_t> row_buf_;
+};
+
+}  // namespace nitro::sketch

@@ -1,0 +1,117 @@
+// Shared d x w counter structure underlying every sketch in this library.
+//
+// The paper's key observation (§1, §4.2) is that Count-Min, Count Sketch,
+// K-ary and UnivMon's components all share the same canonical layout:
+// d independent counter arrays of width w, each paired with a
+// pairwise-independent index hash h_i and (for L2 sketches) a sign hash
+// g_i.  Centralizing the layout lets the NitroSketch framework wrap any of
+// them uniformly, and keeps rows contiguous for cache-friendly updates.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "common/tabulation.hpp"
+
+namespace nitro::sketch {
+
+class CounterMatrix {
+ public:
+  /// `signed_updates` selects between Count-Sketch-style ±1 updates (an
+  /// εL2 guarantee) and Count-Min-style +1 updates (εL1); see Algorithm 1
+  /// line 3 of the paper.
+  CounterMatrix(std::uint32_t depth, std::uint32_t width, std::uint64_t seed,
+                bool signed_updates)
+      : depth_(depth), width_(width), counters_(std::size_t{depth} * width, 0) {
+    row_hash_.reserve(depth);
+    sign_hash_.reserve(depth);
+    SplitMix64 sm(seed);
+    for (std::uint32_t r = 0; r < depth; ++r) {
+      row_hash_.emplace_back(width, sm.next());
+      sign_hash_.emplace_back(sm.next(), signed_updates);
+    }
+  }
+
+  std::uint32_t depth() const noexcept { return depth_; }
+  std::uint32_t width() const noexcept { return width_; }
+  bool signed_updates() const noexcept { return !sign_hash_.empty() && sign_hash_[0].is_signed(); }
+
+  /// C[r][h_r(key)] += delta * g_r(key).
+  void update_row(std::uint32_t r, const FlowKey& key, std::int64_t delta) noexcept {
+    const std::uint64_t digest = flow_digest(key);
+    update_row_digest(r, digest, delta);
+  }
+
+  /// Same as update_row but with the 64-bit digest precomputed (the
+  /// buffered batch path hashes keys up front).
+  void update_row_digest(std::uint32_t r, std::uint64_t digest, std::int64_t delta) noexcept {
+    const std::uint32_t col = row_hash_[r].index_of_digest(digest);
+    counters_[std::size_t{r} * width_ + col] += delta * sign_hash_[r].sign_of_digest(digest);
+  }
+
+  /// Raw counter write with a precomputed column (used by instrumented
+  /// paths that separate hash cost from memory cost).
+  void add_at(std::uint32_t r, std::uint32_t col, std::int64_t value) noexcept {
+    counters_[std::size_t{r} * width_ + col] += value;
+  }
+
+  /// Per-row frequency estimate C[r][h_r(key)] * g_r(key).
+  std::int64_t row_estimate(std::uint32_t r, const FlowKey& key) const noexcept {
+    const std::uint64_t digest = flow_digest(key);
+    const std::uint32_t col = row_hash_[r].index_of_digest(digest);
+    return counters_[std::size_t{r} * width_ + col] * sign_hash_[r].sign_of_digest(digest);
+  }
+
+  std::span<const std::int64_t> row(std::uint32_t r) const noexcept {
+    return {counters_.data() + std::size_t{r} * width_, width_};
+  }
+
+  /// Mutable row view — used by the control-plane codec to load snapshots
+  /// into a replica and by epoch-difference computations.
+  std::span<std::int64_t> row_mut(std::uint32_t r) noexcept {
+    return {counters_.data() + std::size_t{r} * width_, width_};
+  }
+
+  /// Sum of squared counters of row r — the per-row L2² estimator used by
+  /// the AlwaysCorrect convergence test (Algorithm 1 line 14).
+  double row_sum_squares(std::uint32_t r) const noexcept {
+    double s = 0.0;
+    for (std::int64_t c : row(r)) {
+      const double d = static_cast<double>(c);
+      s += d * d;
+    }
+    return s;
+  }
+
+  /// Sum of counters of row r (equals the L1 processed by that row when
+  /// updates are unsigned).
+  std::int64_t row_sum(std::uint32_t r) const noexcept {
+    std::int64_t s = 0;
+    for (std::int64_t c : row(r)) s += c;
+    return s;
+  }
+
+  void clear() noexcept { std::fill(counters_.begin(), counters_.end(), 0); }
+
+  /// Element-wise accumulate (epoch merging).  Requires identical shape and
+  /// seeds; callers are expected to construct both sketches identically.
+  void merge(const CounterMatrix& other) {
+    for (std::size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+  }
+
+  std::size_t memory_bytes() const noexcept { return counters_.size() * sizeof(std::int64_t); }
+
+  const RowHash& row_hash(std::uint32_t r) const noexcept { return row_hash_[r]; }
+  const SignHash& sign_hash(std::uint32_t r) const noexcept { return sign_hash_[r]; }
+
+ private:
+  std::uint32_t depth_;
+  std::uint32_t width_;
+  std::vector<std::int64_t> counters_;
+  std::vector<RowHash> row_hash_;
+  std::vector<SignHash> sign_hash_;
+};
+
+}  // namespace nitro::sketch

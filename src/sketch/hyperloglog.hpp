@@ -1,0 +1,80 @@
+// HyperLogLog (Flajolet et al., 2007) — cardinality estimation substrate.
+//
+// The paper lists counting distinct flows among the measurement tasks
+// sketches serve ([6, 7, 55]).  UnivMon answers it through a G-sum; HLL is
+// the standard special-purpose structure and serves as the reference
+// baseline for the distinct-count experiments.  2^precision 6-bit
+// registers; standard bias correction for the small- and large-range
+// regimes.
+#pragma once
+
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::sketch {
+
+class HyperLogLog {
+ public:
+  /// `precision` in [4, 18]: 2^precision registers (~0.5KB at 12).
+  explicit HyperLogLog(std::uint32_t precision = 12, std::uint64_t seed = 0)
+      : precision_(precision), seed_(seed), registers_(1u << precision, 0) {}
+
+  void update(const FlowKey& key) {
+    const std::uint64_t h = mix64(flow_digest(key) ^ seed_);
+    const std::uint32_t idx = static_cast<std::uint32_t>(h >> (64 - precision_));
+    // Rank of the first set bit in the remaining 64-p bits (1-based).
+    const std::uint64_t rest = (h << precision_) | (1ull << (precision_ - 1));
+    const auto rank = static_cast<std::uint8_t>(std::countl_zero(rest) + 1);
+    if (rank > registers_[idx]) registers_[idx] = rank;
+  }
+
+  double estimate() const {
+    const double m = static_cast<double>(registers_.size());
+    double sum = 0.0;
+    std::uint32_t zeros = 0;
+    for (std::uint8_t r : registers_) {
+      sum += std::ldexp(1.0, -static_cast<int>(r));
+      if (r == 0) ++zeros;
+    }
+    const double alpha = alpha_for(registers_.size());
+    double est = alpha * m * m / sum;
+    if (est <= 2.5 * m && zeros != 0) {
+      // Small-range correction: linear counting.
+      est = m * std::log(m / static_cast<double>(zeros));
+    } else if (est > (1.0 / 30.0) * 4294967296.0) {
+      // Large-range correction (32-bit hash-space convention).
+      est = -4294967296.0 * std::log1p(-est / 4294967296.0);
+    }
+    return est;
+  }
+
+  /// Registers merge by max: union semantics across switches.
+  void merge(const HyperLogLog& other) {
+    for (std::size_t i = 0; i < registers_.size(); ++i) {
+      registers_[i] = std::max(registers_[i], other.registers_[i]);
+    }
+  }
+
+  void clear() { std::fill(registers_.begin(), registers_.end(), 0); }
+
+  std::uint32_t precision() const noexcept { return precision_; }
+  std::size_t memory_bytes() const noexcept { return registers_.size(); }
+
+ private:
+  static double alpha_for(std::size_t m) {
+    if (m <= 16) return 0.673;
+    if (m <= 32) return 0.697;
+    if (m <= 64) return 0.709;
+    return 0.7213 / (1.0 + 1.079 / static_cast<double>(m));
+  }
+
+  std::uint32_t precision_;
+  std::uint64_t seed_;
+  std::vector<std::uint8_t> registers_;
+};
+
+}  // namespace nitro::sketch

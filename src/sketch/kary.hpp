@@ -1,0 +1,79 @@
+// K-ary Sketch (Krishnamurthy, Sen, Zhang & Chen, IMC 2003).
+//
+// Count-Min-shaped structure with an unbiased per-row estimator
+//   est_r(x) = (C[r][h_r(x)] - S/w) / (1 - 1/w)
+// (S = total count), combined by the row median.  Built for sketch-based
+// change detection: subtract two epochs' sketches and query the
+// difference.  One of the four sketches the paper integrates (§6).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "sketch/counter_matrix.hpp"
+
+namespace nitro::sketch {
+
+class KArySketch {
+ public:
+  KArySketch(std::uint32_t depth, std::uint32_t width, std::uint64_t seed)
+      : matrix_(depth, width, seed, /*signed_updates=*/false) {}
+
+  void update(const FlowKey& key, std::int64_t count = 1) noexcept {
+    total_ += count;
+    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) matrix_.update_row(r, key, count);
+  }
+
+  /// Unbiased point estimate (may be negative for absent keys).
+  double query(const FlowKey& key) const noexcept {
+    const double w = matrix_.width();
+    row_buf_.clear();
+    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) {
+      const double raw = static_cast<double>(matrix_.row_estimate(r, key));
+      row_buf_.push_back((raw - static_cast<double>(total_) / w) / (1.0 - 1.0 / w));
+    }
+    return median(row_buf_);
+  }
+
+  /// Forecast-difference sketch for change detection: this - prev,
+  /// element-wise.  Both sketches must share shape and seed.
+  KArySketch difference(const KArySketch& prev) const {
+    KArySketch out = *this;
+    for (std::uint32_t r = 0; r < out.matrix_.depth(); ++r) {
+      auto dst = out.matrix_.row(r);
+      auto src = prev.matrix_.row(r);
+      // Rows are only exposed const; mutate through update-free access.
+      auto* raw = const_cast<std::int64_t*>(dst.data());
+      for (std::uint32_t c = 0; c < out.matrix_.width(); ++c) raw[c] -= src[c];
+    }
+    out.total_ -= prev.total_;
+    return out;
+  }
+
+  std::int64_t total() const noexcept { return total_; }
+
+  /// Adds `count` to the running total without touching counters — used by
+  /// the Nitro wrapper, which performs row updates itself but must keep
+  /// the unbiased estimator's S term consistent.
+  void add_total(std::int64_t count) noexcept { total_ += count; }
+
+  void clear() noexcept {
+    matrix_.clear();
+    total_ = 0;
+  }
+
+  std::uint32_t depth() const noexcept { return matrix_.depth(); }
+  std::uint32_t width() const noexcept { return matrix_.width(); }
+  std::size_t memory_bytes() const noexcept { return matrix_.memory_bytes(); }
+
+  CounterMatrix& matrix() noexcept { return matrix_; }
+  const CounterMatrix& matrix() const noexcept { return matrix_; }
+
+ private:
+  CounterMatrix matrix_;
+  std::int64_t total_ = 0;
+  mutable std::vector<double> row_buf_;
+};
+
+}  // namespace nitro::sketch

@@ -1,0 +1,73 @@
+// Misra-Gries frequent-items summary (Misra & Gries, 1982).
+//
+// Deterministic k-counter summary with error ≤ L1/k per key.  It is the
+// algorithmic core of SketchVisor's fast path (§2, [43][63]) and a useful
+// exact-ish baseline for small key sets.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::sketch {
+
+class MisraGries {
+ public:
+  explicit MisraGries(std::size_t capacity) : capacity_(capacity) {
+    counters_.reserve(capacity * 2);
+  }
+
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    total_ += count;
+    auto it = counters_.find(key);
+    if (it != counters_.end()) {
+      it->second += count;
+      return;
+    }
+    if (counters_.size() < capacity_) {
+      counters_.emplace(key, count);
+      return;
+    }
+    // Decrement-all step: subtract the smallest stored count (classic MG
+    // batches the unit decrements; subtracting min keeps amortized O(1)).
+    std::int64_t dec = count;
+    for (const auto& [k, v] : counters_) dec = std::min(dec, v);
+    for (auto it2 = counters_.begin(); it2 != counters_.end();) {
+      it2->second -= dec;
+      if (it2->second <= 0) {
+        it2 = counters_.erase(it2);
+      } else {
+        ++it2;
+      }
+    }
+    if (count > dec) counters_.emplace(key, count - dec);
+  }
+
+  /// Lower-bound estimate; true count is within [est, est + total/capacity].
+  std::int64_t query(const FlowKey& key) const {
+    auto it = counters_.find(key);
+    return it == counters_.end() ? 0 : it->second;
+  }
+
+  std::int64_t total() const noexcept { return total_; }
+  std::size_t size() const noexcept { return counters_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+  const std::unordered_map<FlowKey, std::int64_t>& entries() const noexcept {
+    return counters_;
+  }
+
+  void clear() {
+    counters_.clear();
+    total_ = 0;
+  }
+
+ private:
+  std::size_t capacity_;
+  std::int64_t total_ = 0;
+  std::unordered_map<FlowKey, std::int64_t> counters_;
+};
+
+}  // namespace nitro::sketch

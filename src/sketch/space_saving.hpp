@@ -1,0 +1,148 @@
+// Space-Saving (Metwally, Agrawal & El Abbadi, ICDT 2005).
+//
+// Deterministic top-k summary: k counters; a miss when full takes over the
+// minimum counter and inherits its value as error.  Guarantees
+// f̂_x ∈ [f_x, f_x + L1/k] and finds every flow above L1/k.  Cited by the
+// paper as the classic heavy-hitter structure [61] and the building block
+// of the deterministic HHH algorithm that R-HHH randomizes [64].
+//
+// Layout: stable cells + a heap of cell ids + a position table, so heap
+// sifts move 32-bit ids and never re-hash keys — the per-packet cost is
+// one hash-map find (plus one erase/insert on takeover).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::sketch {
+
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {
+    cells_.reserve(capacity);
+    heap_.reserve(capacity);
+    pos_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  void update(const FlowKey& key, std::int64_t count = 1) {
+    total_ += count;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      cells_[it->second].count += count;
+      sift_down(pos_[it->second]);
+      return;
+    }
+    if (cells_.size() < capacity_) {
+      const auto id = static_cast<std::uint32_t>(cells_.size());
+      cells_.push_back({key, count, 0});
+      heap_.push_back(id);
+      pos_.push_back(static_cast<std::uint32_t>(heap_.size() - 1));
+      index_.emplace(key, id);
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    // Take over the minimum: new key inherits min's count as its error.
+    const std::uint32_t id = heap_[0];
+    Cell& min = cells_[id];
+    index_.erase(min.key);
+    min.error = min.count;
+    min.count += count;
+    min.key = key;
+    index_.emplace(key, id);
+    sift_down(0);
+  }
+
+  /// Upper-bound estimate (0 if untracked).
+  std::int64_t query(const FlowKey& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : cells_[it->second].count;
+  }
+
+  /// Guaranteed lower bound: count - error.
+  std::int64_t guaranteed(const FlowKey& key) const {
+    auto it = index_.find(key);
+    if (it == index_.end()) return 0;
+    return cells_[it->second].count - cells_[it->second].error;
+  }
+
+  /// All flows whose estimate reaches `threshold`, sorted descending.
+  std::vector<std::pair<FlowKey, std::int64_t>> heavy_hitters(
+      std::int64_t threshold) const {
+    std::vector<std::pair<FlowKey, std::int64_t>> out;
+    for (const auto& c : cells_) {
+      if (c.count >= threshold) out.emplace_back(c.key, c.count);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const auto& a, const auto& b) { return a.second > b.second; });
+    return out;
+  }
+
+  std::int64_t total() const noexcept { return total_; }
+  std::size_t size() const noexcept { return cells_.size(); }
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::int64_t min_count() const noexcept {
+    return heap_.empty() ? 0 : cells_[heap_[0]].count;
+  }
+
+  void clear() {
+    cells_.clear();
+    heap_.clear();
+    pos_.clear();
+    index_.clear();
+    total_ = 0;
+  }
+
+ private:
+  struct Cell {
+    FlowKey key;
+    std::int64_t count = 0;
+    std::int64_t error = 0;
+  };
+
+  std::int64_t count_at(std::size_t heap_idx) const { return cells_[heap_[heap_idx]].count; }
+
+  void place(std::size_t heap_idx, std::uint32_t id) {
+    heap_[heap_idx] = id;
+    pos_[id] = static_cast<std::uint32_t>(heap_idx);
+  }
+
+  void sift_up(std::size_t i) {
+    const std::uint32_t id = heap_[i];
+    const std::int64_t c = cells_[id].count;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (count_at(parent) <= c) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, id);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::uint32_t id = heap_[i];
+    const std::int64_t c = cells_[id].count;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && count_at(child + 1) < count_at(child)) ++child;
+      if (count_at(child) >= c) break;
+      place(i, heap_[child]);
+      i = child;
+    }
+    place(i, id);
+  }
+
+  std::size_t capacity_;
+  std::int64_t total_ = 0;
+  std::vector<Cell> cells_;          // stable cell storage
+  std::vector<std::uint32_t> heap_;  // min-heap of cell ids (on count)
+  std::vector<std::uint32_t> pos_;   // cell id -> heap index
+  std::unordered_map<FlowKey, std::uint32_t> index_;  // key -> cell id
+};
+
+}  // namespace nitro::sketch

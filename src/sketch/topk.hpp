@@ -1,0 +1,149 @@
+// Top-K heavy-key store ("TopKeys" in the paper's figures).
+//
+// Sketches only answer point queries; to report heavy hitters you must
+// also remember *which* keys are heavy.  The classic companion structure
+// is a min-heap of the K largest estimates plus a membership hash map
+// (paper Bottleneck 3).  NitroSketch reduces its cost by consulting it
+// only on sampled updates.
+//
+// Layout: stable entries + a heap of ids + a position table so heap sifts
+// move 32-bit ids without re-hashing keys, and a one-comparison early
+// reject filters the mice before any hash-map lookup.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::sketch {
+
+class TopKHeap {
+ public:
+  struct Entry {
+    FlowKey key;
+    std::int64_t estimate = 0;
+  };
+
+  explicit TopKHeap(std::size_t capacity) : capacity_(capacity) {
+    entries_.reserve(capacity);
+    heap_.reserve(capacity);
+    pos_.reserve(capacity);
+    index_.reserve(capacity * 2);
+  }
+
+  std::size_t capacity() const noexcept { return capacity_; }
+  std::size_t size() const noexcept { return entries_.size(); }
+
+  /// Offer a (key, fresh-estimate) pair.  If the key is tracked its
+  /// estimate is refreshed; otherwise it displaces the current minimum
+  /// when larger.  O(log K) worst case, O(1) for rejected mice.
+  void offer(const FlowKey& key, std::int64_t estimate) {
+    // Early reject: when the heap is full, an estimate at or below the
+    // current minimum can neither enter nor usefully refresh an entry
+    // (stored estimates are only ever refreshed upward past the minimum).
+    if (entries_.size() == capacity_ && estimate <= min_estimate()) return;
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      const std::uint32_t id = it->second;
+      if (estimate > entries_[id].estimate) {
+        entries_[id].estimate = estimate;
+        sift_down(pos_[id]);
+      } else if (estimate < entries_[id].estimate) {
+        entries_[id].estimate = estimate;
+        sift_up(pos_[id]);
+      }
+      return;
+    }
+    if (entries_.size() < capacity_) {
+      const auto id = static_cast<std::uint32_t>(entries_.size());
+      entries_.push_back({key, estimate});
+      heap_.push_back(id);
+      pos_.push_back(static_cast<std::uint32_t>(heap_.size() - 1));
+      index_.emplace(key, id);
+      sift_up(heap_.size() - 1);
+      return;
+    }
+    if (capacity_ == 0) return;
+    const std::uint32_t id = heap_[0];
+    index_.erase(entries_[id].key);
+    entries_[id] = {key, estimate};
+    index_.emplace(key, id);
+    sift_down(0);
+  }
+
+  bool contains(const FlowKey& key) const { return index_.count(key) != 0; }
+
+  std::int64_t min_estimate() const noexcept {
+    return heap_.empty() ? 0 : entries_[heap_[0]].estimate;
+  }
+
+  /// All tracked entries, largest first.
+  std::vector<Entry> entries_sorted() const {
+    std::vector<Entry> out = entries_;
+    std::sort(out.begin(), out.end(),
+              [](const Entry& a, const Entry& b) { return a.estimate > b.estimate; });
+    return out;
+  }
+
+  void clear() {
+    entries_.clear();
+    heap_.clear();
+    pos_.clear();
+    index_.clear();
+  }
+
+  /// Approximate resident memory, for the Figure 13b comparison.
+  std::size_t memory_bytes() const noexcept {
+    return entries_.capacity() * sizeof(Entry) +
+           heap_.capacity() * sizeof(std::uint32_t) * 2 +
+           index_.size() * (sizeof(FlowKey) + sizeof(std::uint32_t) + 16);
+  }
+
+ private:
+  std::int64_t est_at(std::size_t heap_idx) const {
+    return entries_[heap_[heap_idx]].estimate;
+  }
+
+  void place(std::size_t heap_idx, std::uint32_t id) {
+    heap_[heap_idx] = id;
+    pos_[id] = static_cast<std::uint32_t>(heap_idx);
+  }
+
+  void sift_up(std::size_t i) {
+    const std::uint32_t id = heap_[i];
+    const std::int64_t e = entries_[id].estimate;
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / 2;
+      if (est_at(parent) <= e) break;
+      place(i, heap_[parent]);
+      i = parent;
+    }
+    place(i, id);
+  }
+
+  void sift_down(std::size_t i) {
+    const std::uint32_t id = heap_[i];
+    const std::int64_t e = entries_[id].estimate;
+    const std::size_t n = heap_.size();
+    for (;;) {
+      std::size_t child = 2 * i + 1;
+      if (child >= n) break;
+      if (child + 1 < n && est_at(child + 1) < est_at(child)) ++child;
+      if (est_at(child) >= e) break;
+      place(i, heap_[child]);
+      i = child;
+    }
+    place(i, id);
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;       // stable entry storage
+  std::vector<std::uint32_t> heap_;  // min-heap of entry ids (on estimate)
+  std::vector<std::uint32_t> pos_;   // entry id -> heap index
+  std::unordered_map<FlowKey, std::uint32_t> index_;  // key -> entry id
+};
+
+}  // namespace nitro::sketch

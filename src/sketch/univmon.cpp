@@ -1,0 +1,124 @@
+#include "sketch/univmon.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <stdexcept>
+
+#include "common/math_util.hpp"
+
+namespace nitro::sketch {
+
+UnivMon::UnivMon(const UnivMonConfig& cfg, std::uint64_t seed)
+    : cfg_(cfg), level_seed_(mix64(seed ^ 0x1e7e15e1ULL)) {
+  SplitMix64 sm(seed);
+  levels_.reserve(cfg.levels);
+  for (std::uint32_t j = 0; j < cfg.levels; ++j) {
+    levels_.emplace_back(cfg.depth, cfg.width_at(j), cfg.heap_capacity, sm.next());
+  }
+}
+
+std::uint32_t UnivMon::level_of(const FlowKey& key) const {
+  // Seeded finalizer over the flow digest: one multiply-xor chain instead
+  // of a table-based hash — this sits on the every-packet path of
+  // NitroUnivMon, where the 8 tabulation lookups were the dominant cost.
+  const std::uint64_t h = mix64(flow_digest(key) ^ level_seed_);
+  const auto z = static_cast<std::uint32_t>(std::countr_one(h));
+  return std::min(z, static_cast<std::uint32_t>(levels_.size()) - 1);
+}
+
+void UnivMon::update(const FlowKey& key, std::int64_t count) {
+  total_ += count;
+  const std::uint32_t z = level_of(key);
+  for (std::uint32_t j = 0; j <= z; ++j) {
+    Level& lv = levels_[j];
+    lv.cs.update(key, count);
+    lv.heap.offer(key, lv.cs.query(key));
+  }
+}
+
+double UnivMon::estimate_gsum(const std::function<double(double)>& g) const {
+  const auto L = static_cast<std::int32_t>(levels_.size());
+  double y_next = 0.0;  // Y_{j+1}
+
+  for (std::int32_t j = L - 1; j >= 0; --j) {
+    const Level& lv = levels_[static_cast<std::size_t>(j)];
+    double y = (j == L - 1) ? 0.0 : 2.0 * y_next;
+    for (const auto& e : lv.heap.entries_sorted()) {
+      const double fx = static_cast<double>(std::max<std::int64_t>(e.estimate, 1));
+      if (j == L - 1) {
+        y += g(fx);
+      } else {
+        const bool promoted =
+            level_of(e.key) >= static_cast<std::uint32_t>(j) + 1;
+        y += g(fx) * (1.0 - 2.0 * (promoted ? 1.0 : 0.0));
+      }
+    }
+    y_next = y;
+  }
+  return y_next;
+}
+
+double UnivMon::estimate_entropy() const {
+  if (total_ <= 0) return 0.0;
+  const double m = static_cast<double>(total_);
+  const double gsum = estimate_gsum([](double f) { return xlog2x(f); });
+  // Entropy is bounded by [0, log2(m)]; estimator noise at deep levels can
+  // push the raw G-sum outside the feasible range, so clamp.
+  const double h = std::log2(m) - gsum / m;
+  return std::clamp(h, 0.0, std::log2(m));
+}
+
+double UnivMon::estimate_distinct() const {
+  const double d = estimate_gsum([](double) { return 1.0; });
+  return std::max(d, 0.0);
+}
+
+double UnivMon::estimate_moment(double k) const {
+  const double m = estimate_gsum([k](double f) { return std::pow(f, k); });
+  return std::max(m, 0.0);
+}
+
+std::vector<TopKHeap::Entry> UnivMon::heavy_hitters(std::int64_t threshold) const {
+  std::vector<TopKHeap::Entry> out;
+  for (const auto& e : levels_[0].heap.entries_sorted()) {
+    if (e.estimate >= threshold) out.push_back(e);
+  }
+  return out;
+}
+
+void UnivMon::merge(const UnivMon& other) {
+  if (other.levels_.size() != levels_.size()) {
+    throw std::invalid_argument("UnivMon::merge: level count mismatch");
+  }
+  total_ += other.total_;
+  for (std::size_t j = 0; j < levels_.size(); ++j) {
+    levels_[j].cs.merge(other.levels_[j].cs);
+  }
+  // Union the heavy keys; their estimates come from the merged counters.
+  for (std::size_t j = 0; j < levels_.size(); ++j) {
+    for (const auto& e : other.levels_[j].heap.entries_sorted()) {
+      levels_[j].heap.offer(e.key, levels_[j].cs.query(e.key));
+    }
+    // Refresh survivors too: merged counters changed every estimate.
+    for (const auto& e : levels_[j].heap.entries_sorted()) {
+      levels_[j].heap.offer(e.key, levels_[j].cs.query(e.key));
+    }
+  }
+}
+
+std::size_t UnivMon::memory_bytes() const {
+  std::size_t bytes = 0;
+  for (const auto& lv : levels_) bytes += lv.cs.memory_bytes() + lv.heap.memory_bytes();
+  return bytes;
+}
+
+void UnivMon::clear() {
+  for (auto& lv : levels_) {
+    lv.cs.clear();
+    lv.heap.clear();
+  }
+  total_ = 0;
+}
+
+}  // namespace nitro::sketch

@@ -1,0 +1,117 @@
+// OVS-style three-tier lookup: Exact Match Cache (EMC) backed by a
+// tuple-space classifier backed by a slow OpenFlow table (§6 "OVS-DPDK
+// Integration").  The EMC is a fixed-size open-addressing table keyed on
+// the miniflow; a hit resolves the action in one probe, a miss walks the
+// classifier's subtables and installs the result.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::switchsim {
+
+using ActionId = std::uint32_t;
+constexpr ActionId kActionDrop = 0xffffffffu;
+
+/// Exact Match Cache: fixed 8192-entry table, 2-way probing.
+class Emc {
+ public:
+  explicit Emc(std::size_t entries = 8192) : slots_(entries) {}
+
+  /// nullopt on miss.
+  std::optional<ActionId> lookup(const FlowKey& key, std::uint64_t digest) {
+    const std::size_t a = digest % slots_.size();
+    if (slots_[a].valid && slots_[a].key == key) {
+      ++hits_;
+      return slots_[a].action;
+    }
+    const std::size_t b = (digest >> 32) % slots_.size();
+    if (slots_[b].valid && slots_[b].key == key) {
+      ++hits_;
+      return slots_[b].action;
+    }
+    ++misses_;
+    return std::nullopt;
+  }
+
+  /// Install after classifier resolution (evicts the first probe slot).
+  void insert(const FlowKey& key, std::uint64_t digest, ActionId action) {
+    Slot& s = slots_[digest % slots_.size()];
+    s.valid = true;
+    s.key = key;
+    s.action = action;
+  }
+
+  std::uint64_t hits() const noexcept { return hits_; }
+  std::uint64_t misses() const noexcept { return misses_; }
+
+ private:
+  struct Slot {
+    FlowKey key;
+    ActionId action = kActionDrop;
+    bool valid = false;
+  };
+
+  std::vector<Slot> slots_;
+  std::uint64_t hits_ = 0;
+  std::uint64_t misses_ = 0;
+};
+
+/// Tuple-space classifier: ordered subtables, each matching under a mask.
+/// Rules here are forwarding rules ("src subnet X -> port N"); the bench
+/// setups install two bidirectional rules plus a catch-all, as in §7.
+class TupleSpaceClassifier {
+ public:
+  struct Mask {
+    std::uint32_t src_ip_mask = 0;
+    std::uint32_t dst_ip_mask = 0;
+    bool match_ports = false;
+    bool match_proto = false;
+  };
+
+  void add_subtable(const Mask& mask) { subtables_.push_back({mask, {}}); }
+
+  void add_rule(std::size_t subtable, const FlowKey& match, ActionId action) {
+    auto& st = subtables_.at(subtable);
+    st.rules[masked(match, st.mask)] = action;
+  }
+
+  void set_default_action(ActionId a) { default_action_ = a; }
+
+  ActionId classify(const FlowKey& key) {
+    ++lookups_;
+    for (auto& st : subtables_) {
+      auto it = st.rules.find(masked(key, st.mask));
+      if (it != st.rules.end()) return it->second;
+    }
+    return default_action_;
+  }
+
+  std::uint64_t lookups() const noexcept { return lookups_; }
+
+ private:
+  static FlowKey masked(const FlowKey& k, const Mask& m) {
+    FlowKey out;
+    out.src_ip = k.src_ip & m.src_ip_mask;
+    out.dst_ip = k.dst_ip & m.dst_ip_mask;
+    out.src_port = m.match_ports ? k.src_port : 0;
+    out.dst_port = m.match_ports ? k.dst_port : 0;
+    out.proto = m.match_proto ? k.proto : 0;
+    return out;
+  }
+
+  struct Subtable {
+    Mask mask;
+    std::unordered_map<FlowKey, ActionId> rules;
+  };
+
+  std::vector<Subtable> subtables_;
+  ActionId default_action_ = 1;  // forward to port 1 (bench default)
+  std::uint64_t lookups_ = 0;
+};
+
+}  // namespace nitro::switchsim

@@ -1,0 +1,89 @@
+// Instrumented UnivMon measurement hook for the Table 2 reproduction.
+//
+// Performs exactly the work of a vanilla UnivMon update, but brackets the
+// three bottleneck classes of §3 with cycle counters:
+//   (1) hash computations        (bottleneck 1: d1·H)
+//   (2) counter updates          (bottleneck 2: d2·C)
+//   (3) heavy-key heap queries   (bottleneck 3: P)
+// The pipeline adds parse/lookup/recv shares, giving the full VTune-style
+// hotspot table.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "common/timing.hpp"
+#include "sketch/univmon.hpp"
+#include "switchsim/measurement.hpp"
+
+namespace nitro::switchsim {
+
+class InstrumentedUnivMon final : public Measurement {
+ public:
+  InstrumentedUnivMon(const sketch::UnivMonConfig& cfg, std::uint64_t seed)
+      : um_(cfg, seed) {}
+
+  void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t) override {
+    um_.add_total(1);
+    for (std::uint32_t j = 0; j < um_.num_levels(); ++j) {
+      if (!um_.level_passes(j, key)) break;
+      auto& cs = um_.level_sketch_mut(j);
+      auto& m = cs.matrix();
+
+      // (1) Hash: flow digest + per-row index/sign hashes.
+      std::uint64_t t0 = rdtsc();
+      const std::uint64_t digest = flow_digest(key);
+      cols_.resize(m.depth());
+      signs_.resize(m.depth());
+      for (std::uint32_t r = 0; r < m.depth(); ++r) {
+        cols_[r] = m.row_hash(r).index_of_digest(digest);
+        signs_[r] = m.sign_hash(r).sign_of_digest(digest);
+      }
+      std::uint64_t t1 = rdtsc();
+      hash_.add(t1 - t0);
+
+      // (2) Counter updates (one random access per row; columns and signs
+      // were precomputed in the hash stage).  The fresh estimate (median
+      // of the touched counters) falls out of the same pass.
+      est_buf_.resize(m.depth());
+      for (std::uint32_t r = 0; r < m.depth(); ++r) {
+        m.add_at(r, cols_[r], signs_[r]);
+        est_buf_[r] = m.row(r)[cols_[r]] * signs_[r];
+      }
+      std::uint64_t t2 = rdtsc();
+      counters_.add(t2 - t1);
+
+      // (2b) Estimate assembly (median of the touched rows) — the paper's
+      // "univmon_proc" bucket.
+      const auto mid =
+          est_buf_.begin() + static_cast<std::ptrdiff_t>(est_buf_.size() / 2);
+      std::nth_element(est_buf_.begin(), mid, est_buf_.end());
+      const std::int64_t estimate = *mid;
+      std::uint64_t t3 = rdtsc();
+      proc_.add(t3 - t2);
+
+      // (3) Heap query + maintenance (pure heap cost; no re-hash).
+      um_.offer_to_heap_with_estimate(j, key, estimate);
+      heap_.add(rdtsc() - t3);
+    }
+  }
+
+  const sketch::UnivMon& univmon() const noexcept { return um_; }
+  std::uint64_t hash_cycles() const noexcept { return hash_.cycles(); }
+  std::uint64_t counter_cycles() const noexcept { return counters_.cycles(); }
+  std::uint64_t heap_cycles() const noexcept { return heap_.cycles(); }
+  std::uint64_t proc_cycles() const noexcept { return proc_.cycles(); }
+
+ private:
+  sketch::UnivMon um_;
+  CycleAccumulator hash_;
+  CycleAccumulator counters_;
+  CycleAccumulator heap_;
+  CycleAccumulator proc_;
+  std::vector<std::uint32_t> cols_;
+  std::vector<std::int32_t> signs_;
+  std::vector<std::int64_t> est_buf_;
+};
+
+}  // namespace nitro::switchsim

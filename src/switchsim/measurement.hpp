@@ -1,0 +1,123 @@
+// Measurement-hook interface between a switch pipeline and a sketch.
+//
+// A pipeline invokes the hook once per parsed packet on its forwarding
+// thread ("all-in-one" / AIO integration), or the hook's pre-processing
+// stage pushes selected flow keys into an SPSC ring drained by a separate
+// sketching thread ("separate-thread" integration, §6).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include "common/flow_key.hpp"
+#include "common/spsc_ring.hpp"
+
+namespace nitro::switchsim {
+
+class Measurement {
+ public:
+  virtual ~Measurement() = default;
+
+  /// Called on the forwarding thread for every successfully parsed packet.
+  virtual void on_packet(const FlowKey& key, std::uint16_t wire_bytes,
+                         std::uint64_t ts_ns) = 0;
+
+  /// End-of-run barrier: flush buffers / drain rings so queries observe
+  /// every packet.
+  virtual void finish() {}
+};
+
+/// Null hook — the plain-switch baselines ("OVS-DPDK" bars in Figure 2/8).
+class NoMeasurement final : public Measurement {
+ public:
+  void on_packet(const FlowKey&, std::uint16_t, std::uint64_t) override {}
+};
+
+/// AIO adapter: calls Sketch::update(key, 1, ts) inline.  Works for every
+/// sketch in this repository (vanilla and Nitro-wrapped).
+template <typename Sketch>
+class InlineMeasurement final : public Measurement {
+ public:
+  explicit InlineMeasurement(Sketch& sketch) : sketch_(sketch) {}
+
+  void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
+    sketch_.update(key, 1, ts_ns);
+  }
+
+ private:
+  Sketch& sketch_;
+};
+
+/// AIO adapter for sketches whose update() takes (key, count) only.
+template <typename Sketch>
+class InlineMeasurementNoTs final : public Measurement {
+ public:
+  explicit InlineMeasurementNoTs(Sketch& sketch) : sketch_(sketch) {}
+
+  void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t) override {
+    sketch_.update(key, 1);
+  }
+
+ private:
+  Sketch& sketch_;
+};
+
+/// Separate-thread integration: the forwarding thread enqueues every flow
+/// key (vanilla sketches) or lets the sketch's own sampling decide later;
+/// a dedicated thread drains the ring and updates the sketch.  If the ring
+/// fills, samples are dropped and counted — matching the shared-buffer
+/// design modified from moodycamel's queue in the paper.
+template <typename Sketch>
+class SeparateThreadMeasurement final : public Measurement {
+ public:
+  struct Item {
+    FlowKey key;
+    std::uint64_t ts_ns;
+  };
+
+  explicit SeparateThreadMeasurement(Sketch& sketch, std::size_t ring_capacity = 1 << 16)
+      : sketch_(sketch), ring_(ring_capacity) {
+    consumer_ = std::thread([this] { run(); });
+  }
+
+  ~SeparateThreadMeasurement() override { stop(); }
+
+  void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
+    if (!ring_.try_push({key, ts_ns})) ++drops_;
+  }
+
+  void finish() override { stop(); }
+
+  std::uint64_t drops() const noexcept { return drops_; }
+
+ private:
+  void run() {
+    Item item;
+    while (!done_.load(std::memory_order_acquire) || !ring_.empty_approx()) {
+      if (ring_.try_pop(item)) {
+        if constexpr (requires { sketch_.update(item.key, std::int64_t{1}, item.ts_ns); }) {
+          sketch_.update(item.key, 1, item.ts_ns);
+        } else {
+          sketch_.update(item.key, 1);
+        }
+      }
+    }
+  }
+
+  void stop() {
+    if (consumer_.joinable()) {
+      done_.store(true, std::memory_order_release);
+      consumer_.join();
+    }
+  }
+
+  Sketch& sketch_;
+  SpscRing<Item> ring_;
+  std::thread consumer_;
+  std::atomic<bool> done_{false};
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace nitro::switchsim

@@ -1,0 +1,110 @@
+// NitroSketch separate-thread integration (§4.3 + §6).
+//
+// The paper splits the data plane into a *pre-processing stage* (geometric
+// selection of which packets/rows update a counter — runs inside the
+// vswitchd forwarding thread) and a *sketch-updating stage* (hashing and
+// counter writes — runs in a dedicated thread fed through a shared SPSC
+// buffer).  Because only ~p of packets are selected, the ring carries a
+// tiny fraction of the traffic and the forwarding thread's measurement
+// cost collapses to the geometric countdown.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/flow_key.hpp"
+#include "common/spsc_ring.hpp"
+#include "core/nitro_config.hpp"
+#include "core/nitro_sketch.hpp"
+#include "core/rate_controller.hpp"
+#include "core/row_sampler.hpp"
+#include "sketch/topk.hpp"
+#include "switchsim/measurement.hpp"
+
+namespace nitro::switchsim {
+
+template <typename Base>
+class NitroSeparateThread final : public Measurement {
+ public:
+  using Traits = core::SketchTraitsFor<Base>;
+
+  NitroSeparateThread(Base base, const core::NitroConfig& cfg,
+                      std::size_t ring_capacity = 1 << 16)
+      : base_(std::move(base)),
+        cfg_(cfg),
+        sampler_(base_.depth(),
+                 cfg.mode == core::Mode::kFixedRate ? cfg.probability : 1.0,
+                 cfg.seed ^ 0x51e9a7eULL),
+        rate_(cfg.target_sampled_rate_pps, cfg.rate_epoch_ns, cfg.probability),
+        heap_(cfg.track_top_keys ? cfg.top_keys : 0),
+        ring_(ring_capacity) {
+    consumer_ = std::thread([this] { run(); });
+  }
+
+  ~NitroSeparateThread() override { stop(); }
+
+  /// Pre-processing stage: geometric selection only; selected (key, row,
+  /// delta) tuples go to the ring.
+  void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
+    ++packets_;
+    if (cfg_.mode == core::Mode::kAlwaysLineRate && rate_.on_packet(ts_ns)) {
+      sampler_.set_probability(rate_.probability());
+    }
+    std::uint32_t rows[64];
+    const std::uint32_t n = sampler_.rows_for_packet(rows);
+    if (n == 0) return;
+    const std::int64_t delta = sampler_.increment();
+    for (std::uint32_t i = 0; i < n; ++i) {
+      if (!ring_.try_push({key, rows[i], delta})) ++drops_;
+    }
+  }
+
+  void finish() override { stop(); }
+
+  /// Queries run on the control path after finish().
+  std::int64_t query(const FlowKey& key) const { return Traits::query(base_, key); }
+  const Base& base() const noexcept { return base_; }
+  const sketch::TopKHeap& heap() const noexcept { return heap_; }
+  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t applied() const noexcept { return applied_.load(std::memory_order_relaxed); }
+
+ private:
+  struct Item {
+    FlowKey key;
+    std::uint32_t row;
+    std::int64_t delta;
+  };
+
+  void run() {
+    Item item;
+    while (!done_.load(std::memory_order_acquire) || !ring_.empty_approx()) {
+      if (!ring_.try_pop(item)) continue;
+      base_.matrix().update_row(item.row, item.key, item.delta);
+      applied_.fetch_add(1, std::memory_order_relaxed);
+      if (heap_.capacity() > 0) heap_.offer(item.key, Traits::query(base_, item.key));
+    }
+  }
+
+  void stop() {
+    if (consumer_.joinable()) {
+      done_.store(true, std::memory_order_release);
+      consumer_.join();
+    }
+  }
+
+  Base base_;
+  core::NitroConfig cfg_;
+  core::RowSampler sampler_;       // producer-side
+  core::RateController rate_;      // producer-side
+  sketch::TopKHeap heap_;          // consumer-side
+  SpscRing<Item> ring_;
+  std::thread consumer_;
+  std::atomic<bool> done_{false};
+  std::atomic<std::uint64_t> applied_{0};
+  std::uint64_t packets_ = 0;
+  std::uint64_t drops_ = 0;
+};
+
+}  // namespace nitro::switchsim

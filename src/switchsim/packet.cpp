@@ -1,0 +1,77 @@
+#include "switchsim/packet.hpp"
+
+namespace nitro::switchsim {
+
+namespace {
+
+inline void put16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void put32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline std::uint16_t get16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t get32(const std::uint8_t* p) {
+  return (static_cast<std::uint32_t>(p[0]) << 24) | (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+RawPacket make_raw(const trace::PacketRecord& rec) {
+  RawPacket pkt;
+  std::uint8_t* h = pkt.header.data();
+  // Ethernet: dst MAC / src MAC derived from the flow key (keeps EMC keys
+  // distinct per flow, as the paper does by rewriting MACs), EtherType.
+  put32(h + 0, rec.key.dst_ip);
+  put16(h + 4, rec.key.dst_port);
+  put32(h + 6, rec.key.src_ip);
+  put16(h + 10, rec.key.src_port);
+  put16(h + 12, 0x0800);
+  // IPv4: version/IHL, ToS, total length, id, flags, TTL, proto, checksum.
+  h[14] = 0x45;
+  h[15] = 0;
+  put16(h + 16, static_cast<std::uint16_t>(rec.wire_bytes - 14));
+  put16(h + 18, 0);
+  put16(h + 20, 0x4000);  // DF
+  h[22] = 64;             // TTL
+  h[23] = rec.key.proto;
+  put16(h + 24, 0);  // checksum (not validated by the fast path)
+  put32(h + 26, rec.key.src_ip);
+  put32(h + 30, rec.key.dst_ip);
+  // L4 ports.
+  put16(h + 34, rec.key.src_port);
+  put16(h + 36, rec.key.dst_port);
+  put32(h + 38, 0);  // seq / len+csum
+  pkt.wire_bytes = rec.wire_bytes;
+  pkt.ts_ns = rec.ts_ns;
+  return pkt;
+}
+
+std::optional<FlowKey> extract_miniflow(const RawPacket& pkt) {
+  const std::uint8_t* h = pkt.header.data();
+  if (get16(h + 12) != 0x0800) return std::nullopt;  // not IPv4
+  if ((h[14] >> 4) != 4) return std::nullopt;
+  FlowKey key;
+  key.proto = h[23];
+  key.src_ip = get32(h + 26);
+  key.dst_ip = get32(h + 30);
+  key.src_port = get16(h + 34);
+  key.dst_port = get16(h + 36);
+  return key;
+}
+
+std::vector<RawPacket> materialize(const trace::Trace& trace) {
+  std::vector<RawPacket> out;
+  out.reserve(trace.size());
+  for (const auto& rec : trace) out.push_back(make_raw(rec));
+  return out;
+}
+
+}  // namespace nitro::switchsim

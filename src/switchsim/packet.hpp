@@ -1,0 +1,41 @@
+// Wire-level packet representation for the software-switch substrate.
+//
+// To charge the same per-packet CPU costs a real vSwitch pays, packets are
+// materialized as raw Ethernet/IPv4/L4 header bytes that the pipeline must
+// actually parse (miniflow extraction), rather than pre-parsed structs.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <optional>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "trace/packet_record.hpp"
+
+namespace nitro::switchsim {
+
+constexpr std::size_t kHeaderBytes = 42;  // 14 (Eth) + 20 (IPv4) + 8 (UDP/TCP ports+)
+
+struct RawPacket {
+  std::array<std::uint8_t, kHeaderBytes> header{};
+  std::uint16_t wire_bytes = 64;
+  std::uint64_t ts_ns = 0;
+};
+
+/// Serialize a trace record into on-wire header bytes (big-endian fields,
+/// EtherType 0x0800).
+RawPacket make_raw(const trace::PacketRecord& rec);
+
+/// Miniflow extraction (the `miniflow_extract` of OVS, Table 2): parse the
+/// L2/L3/L4 headers back into a FlowKey.  Returns nullopt for non-IPv4.
+std::optional<FlowKey> extract_miniflow(const RawPacket& pkt);
+
+/// Materialize a whole trace.
+std::vector<RawPacket> materialize(const trace::Trace& trace);
+
+/// DPDK-style burst view: pointers into the materialized trace.
+constexpr std::size_t kBurstSize = 32;
+
+}  // namespace nitro::switchsim

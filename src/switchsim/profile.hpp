@@ -1,0 +1,52 @@
+// Per-stage CPU accounting — the substitute for Intel VTune (Table 2,
+// Figure 10).  Each pipeline stage accumulates TSC cycles; shares are
+// reported over the run's total.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/timing.hpp"
+
+namespace nitro::switchsim {
+
+struct Profile {
+  CycleAccumulator recv;         // burst assembly ("recv_pkts_vecs")
+  CycleAccumulator parse;        // miniflow_extract
+  CycleAccumulator lookup;       // EMC + classifier
+  CycleAccumulator measurement;  // the sketch hook (all of it)
+  CycleAccumulator action;       // forwarding/output
+
+  std::uint64_t total_cycles() const noexcept {
+    return recv.cycles() + parse.cycles() + lookup.cycles() + measurement.cycles() +
+           action.cycles();
+  }
+
+  struct Share {
+    std::string stage;
+    double percent;
+  };
+
+  std::vector<Share> shares() const {
+    const double total = static_cast<double>(total_cycles());
+    auto pct = [total](const CycleAccumulator& a) {
+      return total > 0 ? 100.0 * static_cast<double>(a.cycles()) / total : 0.0;
+    };
+    return {
+        {"recv", pct(recv)},       {"parse(miniflow)", pct(parse)},
+        {"lookup(EMC+cls)", pct(lookup)}, {"measurement", pct(measurement)},
+        {"action", pct(action)},
+    };
+  }
+
+  void reset() {
+    recv.reset();
+    parse.reset();
+    lookup.reset();
+    measurement.reset();
+    action.reset();
+  }
+};
+
+}  // namespace nitro::switchsim

@@ -1,0 +1,64 @@
+#include "trace/ground_truth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/math_util.hpp"
+
+namespace nitro::trace {
+
+double GroundTruth::l2() const {
+  double s = 0.0;
+  for (const auto& [k, v] : counts_) {
+    const double f = static_cast<double>(v);
+    s += f * f;
+  }
+  return std::sqrt(s);
+}
+
+double GroundTruth::entropy() const {
+  if (total_ <= 0) return 0.0;
+  const double m = static_cast<double>(total_);
+  double sum = 0.0;
+  for (const auto& [k, v] : counts_) sum += xlog2x(static_cast<double>(v));
+  return std::log2(m) - sum / m;
+}
+
+std::vector<std::pair<FlowKey, std::int64_t>> GroundTruth::heavy_hitters(
+    std::int64_t threshold) const {
+  std::vector<std::pair<FlowKey, std::int64_t>> out;
+  for (const auto& [k, v] : counts_) {
+    if (v >= threshold) out.emplace_back(k, v);
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+std::vector<std::pair<FlowKey, std::int64_t>> GroundTruth::top_k(std::size_t k) const {
+  std::vector<std::pair<FlowKey, std::int64_t>> out(counts_.begin(), counts_.end());
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  if (out.size() > k) out.resize(k);
+  return out;
+}
+
+std::vector<std::pair<FlowKey, std::int64_t>> GroundTruth::changes(
+    const GroundTruth& prev, const GroundTruth& cur, std::int64_t threshold) {
+  std::vector<std::pair<FlowKey, std::int64_t>> out;
+  for (const auto& [k, v] : cur.counts_) {
+    const std::int64_t delta = std::llabs(v - prev.count(k));
+    if (delta >= threshold) out.emplace_back(k, delta);
+  }
+  // Flows that disappeared entirely.
+  for (const auto& [k, v] : prev.counts_) {
+    if (cur.counts_.find(k) == cur.counts_.end() && v >= threshold) {
+      out.emplace_back(k, v);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  return out;
+}
+
+}  // namespace nitro::trace

@@ -1,0 +1,63 @@
+// Exact stream statistics, used as the reference for every accuracy
+// experiment (relative error, recall, entropy, distinct count, change).
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "trace/packet_record.hpp"
+
+namespace nitro::trace {
+
+class GroundTruth {
+ public:
+  GroundTruth() = default;
+  explicit GroundTruth(const Trace& trace) { add(trace); }
+
+  void add(const Trace& trace) {
+    for (const auto& p : trace) add(p.key, 1);
+  }
+
+  void add(const FlowKey& key, std::int64_t count) {
+    counts_[key] += count;
+    total_ += count;
+  }
+
+  std::int64_t count(const FlowKey& key) const {
+    auto it = counts_.find(key);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  std::int64_t total() const noexcept { return total_; }
+  std::size_t distinct() const noexcept { return counts_.size(); }
+
+  /// First and second norms of the frequency vector.
+  double l1() const noexcept { return static_cast<double>(total_); }
+  double l2() const;
+
+  /// Empirical entropy of the flow-size distribution, in bits.
+  double entropy() const;
+
+  /// Flows with count >= threshold, sorted by descending count.
+  std::vector<std::pair<FlowKey, std::int64_t>> heavy_hitters(std::int64_t threshold) const;
+
+  /// The k largest flows, descending.
+  std::vector<std::pair<FlowKey, std::int64_t>> top_k(std::size_t k) const;
+
+  /// Flows whose |count_this - count_prev| >= threshold (exact change
+  /// ground truth between two epochs).
+  static std::vector<std::pair<FlowKey, std::int64_t>> changes(
+      const GroundTruth& prev, const GroundTruth& cur, std::int64_t threshold);
+
+  const std::unordered_map<FlowKey, std::int64_t>& counts() const noexcept {
+    return counts_;
+  }
+
+ private:
+  std::unordered_map<FlowKey, std::int64_t> counts_;
+  std::int64_t total_ = 0;
+};
+
+}  // namespace nitro::trace

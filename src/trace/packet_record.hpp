@@ -1,0 +1,22 @@
+// A replayable packet record: everything the measurement path consumes.
+//
+// Real traces (CAIDA, UNI1/2, MACCDC) reduce to exactly this for every
+// algorithm in the paper — a 5-tuple, a wire length, and an arrival time.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::trace {
+
+struct PacketRecord {
+  FlowKey key;
+  std::uint16_t wire_bytes = 64;
+  std::uint64_t ts_ns = 0;
+};
+
+using Trace = std::vector<PacketRecord>;
+
+}  // namespace nitro::trace

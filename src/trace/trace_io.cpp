@@ -1,0 +1,90 @@
+#include "trace/trace_io.hpp"
+
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <vector>
+
+namespace nitro::trace {
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x3152544eu;  // "NTR1"
+constexpr std::size_t kRecordBytes = 13 + 2 + 8;
+
+void pack_record(const PacketRecord& rec, std::uint8_t* out) {
+  std::memcpy(out, &rec.key, 13);
+  std::memcpy(out + 13, &rec.wire_bytes, 2);
+  std::memcpy(out + 15, &rec.ts_ns, 8);
+}
+
+PacketRecord unpack_record(const std::uint8_t* in) {
+  PacketRecord rec;
+  std::memcpy(&rec.key, in, 13);
+  std::memcpy(&rec.wire_bytes, in + 13, 2);
+  std::memcpy(&rec.ts_ns, in + 15, 8);
+  return rec;
+}
+
+}  // namespace
+
+void save_trace(const std::string& path, const Trace& trace) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
+
+  const std::uint32_t magic = kMagic;
+  const std::uint64_t count = trace.size();
+  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
+  out.write(reinterpret_cast<const char*>(&count), sizeof count);
+
+  // Buffered in 64K-record chunks to keep write() syscalls amortized.
+  std::vector<std::uint8_t> chunk;
+  chunk.reserve(kRecordBytes * 65536);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    std::uint8_t rec[kRecordBytes];
+    pack_record(trace[i], rec);
+    chunk.insert(chunk.end(), rec, rec + kRecordBytes);
+    if (chunk.size() >= kRecordBytes * 65536) {
+      out.write(reinterpret_cast<const char*>(chunk.data()),
+                static_cast<std::streamsize>(chunk.size()));
+      chunk.clear();
+    }
+  }
+  if (!chunk.empty()) {
+    out.write(reinterpret_cast<const char*>(chunk.data()),
+              static_cast<std::streamsize>(chunk.size()));
+  }
+  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
+}
+
+Trace load_trace(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_trace: cannot open " + path);
+
+  std::uint32_t magic = 0;
+  std::uint64_t count = 0;
+  in.read(reinterpret_cast<char*>(&magic), sizeof magic);
+  in.read(reinterpret_cast<char*>(&count), sizeof count);
+  if (!in || magic != kMagic) {
+    throw std::runtime_error("load_trace: bad magic in " + path);
+  }
+
+  Trace trace;
+  trace.reserve(count);
+  std::vector<std::uint8_t> chunk(kRecordBytes * 65536);
+  std::uint64_t remaining = count;
+  while (remaining > 0) {
+    const std::uint64_t batch =
+        std::min<std::uint64_t>(remaining, chunk.size() / kRecordBytes);
+    in.read(reinterpret_cast<char*>(chunk.data()),
+            static_cast<std::streamsize>(batch * kRecordBytes));
+    if (!in) throw std::runtime_error("load_trace: truncated file " + path);
+    for (std::uint64_t i = 0; i < batch; ++i) {
+      trace.push_back(unpack_record(chunk.data() + i * kRecordBytes));
+    }
+    remaining -= batch;
+  }
+  return trace;
+}
+
+}  // namespace nitro::trace

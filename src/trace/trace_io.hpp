@@ -1,0 +1,23 @@
+// Binary trace persistence.
+//
+// Generated workloads can be saved and replayed so experiments are
+// repeatable without regenerating (and so real packet captures, reduced
+// to 5-tuple records, can be fed in).  Format: little-endian
+//   magic "NTR1" (u32) | record count (u64) | records
+// with each record = FlowKey (13B) + wire_bytes (u16) + ts_ns (u64).
+#pragma once
+
+#include <string>
+
+#include "trace/packet_record.hpp"
+
+namespace nitro::trace {
+
+/// Writes the trace; throws std::runtime_error on I/O failure.
+void save_trace(const std::string& path, const Trace& trace);
+
+/// Reads a trace written by save_trace; throws std::runtime_error on
+/// missing file, bad magic, or truncation.
+Trace load_trace(const std::string& path);
+
+}  // namespace nitro::trace

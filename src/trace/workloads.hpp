@@ -1,0 +1,54 @@
+// Synthetic workloads standing in for the paper's traces (§7 "Workloads").
+//
+// | Paper trace            | Generator here     | Character                          |
+// |------------------------|--------------------|------------------------------------|
+// | CAIDA 2016/2018        | caida_like()       | Zipf s≈1.0, ~714B mean packets     |
+// | UNI1/UNI2 data center  | datacenter()       | high skew (s≈1.3), ~747B packets   |
+// | MACCDC DDoS/malware    | ddos()             | near-uniform sources → one victim, |
+// |                        |                    | 272B packets, huge flow count      |
+// | MoonGen 64B stress     | min_sized_stress() | random 64B packets, worst case     |
+//
+// All generators are fully deterministic from their seed.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "trace/packet_record.hpp"
+
+namespace nitro::trace {
+
+/// Parameters shared by the generators.
+struct WorkloadSpec {
+  std::uint64_t packets = 1'000'000;
+  std::uint64_t flows = 100'000;  // flow-space size (Zipf support)
+  double zipf_s = 1.0;            // skew
+  double mean_packet_bytes = 714.0;
+  double rate_pps = 14'880'000.0;  // arrival rate used for timestamps
+  std::uint64_t seed = 1;
+};
+
+/// CAIDA-like backbone trace: Zipf-distributed flow sizes, heavy tail.
+Trace caida_like(const WorkloadSpec& spec);
+
+/// Data-center trace: few elephants carry most bytes (higher skew).
+Trace datacenter(std::uint64_t packets, std::uint64_t flows, std::uint64_t seed);
+
+/// DDoS trace: `flows` distinct sources hammering one destination with
+/// small packets; source popularity is near-uniform (heavy-tailed regime
+/// where skew-dependent baselines break).
+Trace ddos(std::uint64_t packets, std::uint64_t sources, std::uint64_t seed);
+
+/// Min-sized 64B stress traffic with `flows` uniformly random flows.
+Trace min_sized_stress(std::uint64_t packets, std::uint64_t flows, std::uint64_t seed);
+
+/// Uniform flow popularity over exactly `flows` keys (Figure 3a sweeps).
+Trace uniform_flows(std::uint64_t packets, std::uint64_t flows, std::uint64_t seed);
+
+/// Deterministic flow key for rank `i` within a workload family.
+FlowKey flow_key_for_rank(std::uint64_t rank, std::uint64_t family_seed);
+
+/// Human-readable workload name -> generator, for bench CLI symmetry.
+Trace by_name(const std::string& name, const WorkloadSpec& spec);
+
+}  // namespace nitro::trace

@@ -1,0 +1,77 @@
+// Zipf(N, s) sampling by rejection-inversion (Hörmann & Derflinger 1996).
+//
+// Draws ranks in [1, N] with P(k) ∝ k^-s in O(1) time and O(1) memory —
+// no CDF table, so workloads with tens of millions of flows (Figure 3)
+// cost nothing to set up.  Internet traffic flow sizes are classically
+// Zipf-like, which is how we synthesize CAIDA-like traces.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace nitro::trace {
+
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double s, std::uint64_t seed)
+      : n_(n), s_(s), rng_(seed) {
+    inverse_s_ = 1.0 - s;  // must precede the h_integral() calls below
+    h_integral_x1_ = h_integral(1.5) - 1.0;
+    h_integral_n_ = h_integral(static_cast<double>(n) + 0.5);
+  }
+
+  std::uint64_t n() const noexcept { return n_; }
+  double exponent() const noexcept { return s_; }
+
+  /// One rank sample in [1, n].
+  std::uint64_t next() {
+    for (;;) {
+      const double u = h_integral_n_ +
+                       rng_.next_double() * (h_integral_x1_ - h_integral_n_);
+      const double x = h_integral_inverse(u);
+      std::uint64_t k = static_cast<std::uint64_t>(x + 0.5);
+      if (k < 1) k = 1;
+      if (k > n_) k = n_;
+      if (k - x <= s_acceptance_ ||
+          u >= h_integral(static_cast<double>(k) + 0.5) - h(static_cast<double>(k))) {
+        return k;
+      }
+    }
+  }
+
+ private:
+  // H(x) = integral of x^-s; helper(x) = (exp(x·(1-s)) - 1)/(1-s) handled
+  // via expm1/log1p for numerical stability near s = 1.
+  double h_integral(double x) const {
+    const double log_x = std::log(x);
+    return helper2(inverse_s_ * log_x) * log_x;
+  }
+
+  double h(double x) const { return std::exp(-s_ * std::log(x)); }
+
+  double h_integral_inverse(double x) const {
+    double t = x * inverse_s_;
+    if (t < -1.0) t = -1.0;  // numerical guard
+    return std::exp(helper1(t) * x);
+  }
+
+  // helper1(x) = log1p(x)/x, helper2(x) = expm1(x)/x, both -> 1 as x -> 0.
+  static double helper1(double x) {
+    return std::abs(x) > 1e-8 ? std::log1p(x) / x : 1.0 - x / 2.0 + x * x / 3.0;
+  }
+  static double helper2(double x) {
+    return std::abs(x) > 1e-8 ? std::expm1(x) / x : 1.0 + x / 2.0 + x * x / 6.0;
+  }
+
+  std::uint64_t n_;
+  double s_;
+  Pcg32 rng_;
+  double h_integral_x1_ = 0.0;
+  double h_integral_n_ = 0.0;
+  double inverse_s_ = 0.0;
+  static constexpr double s_acceptance_ = 0.5;
+};
+
+}  // namespace nitro::trace

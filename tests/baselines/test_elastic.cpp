@@ -1,0 +1,115 @@
+#include "baselines/elastic.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::baseline {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(ElasticSketch, SingleFlowExactInHeavyPart) {
+  ElasticSketch es(1024, 3, 4096, 1);
+  const FlowKey k = flow_key_for_rank(0, 0);
+  for (int i = 0; i < 1000; ++i) es.update(k);
+  EXPECT_EQ(es.query(k), 1000);
+}
+
+TEST(ElasticSketch, MiceLandInLightPart) {
+  ElasticSketch es(4, 3, 4096, 2);  // tiny heavy part -> collisions
+  // A dominant flow plus many mice sharing its bucket region.
+  const FlowKey big = flow_key_for_rank(0, 0);
+  for (int i = 0; i < 10000; ++i) {
+    es.update(big);
+    es.update(flow_key_for_rank(1 + (i % 500), 0));
+  }
+  // Mice must still be queryable (through the light part).
+  std::int64_t mice_mass = 0;
+  for (int i = 1; i <= 500; ++i) mice_mass += es.query(flow_key_for_rank(i, 0));
+  EXPECT_GT(mice_mass, 5000);  // ~20 each, CM overestimates allowed
+}
+
+TEST(ElasticSketch, EvictionPreservesTotalMassApproximately) {
+  ElasticSketch es(8, 3, 8192, 3);
+  trace::WorkloadSpec spec;
+  spec.packets = 50000;
+  spec.flows = 2000;
+  spec.seed = 4;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) es.update(p.key);
+  // Sum of estimates over all true flows >= true mass (CM overestimates,
+  // nothing is lost by eviction).
+  std::int64_t mass = 0;
+  for (const auto& [key, count] : truth.counts()) mass += es.query(key);
+  EXPECT_GE(mass, 50000 * 9 / 10);
+}
+
+TEST(ElasticSketch, HeavyHittersDetected) {
+  ElasticSketch es(2048, 3, 8192, 5);
+  trace::WorkloadSpec spec;
+  spec.packets = 100000;
+  spec.flows = 10000;
+  spec.seed = 6;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) es.update(p.key);
+  const auto threshold = static_cast<std::int64_t>(0.001 * 100000);
+  const auto got = es.heavy_hitters(threshold);
+  std::size_t found = 0;
+  const auto want = truth.heavy_hitters(threshold);
+  for (const auto& [key, count] : want) {
+    for (const auto& [k2, e] : got) {
+      if (k2 == key) {
+        ++found;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(want.empty());
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(want.size()), 0.8);
+}
+
+TEST(ElasticSketch, DistinctAccurateForFewFlows) {
+  ElasticSketch es(1024, 3, 65536, 7);
+  for (int i = 0; i < 3000; ++i) es.update(flow_key_for_rank(i, 0));
+  EXPECT_NEAR(es.estimate_distinct() / 3000.0, 1.0, 0.2);
+}
+
+TEST(ElasticSketch, DistinctOverflowsForManyFlows) {
+  // Figure 3b's failure mode: flows >> light counters -> linear counting
+  // saturates and the error explodes past 100%.
+  ElasticSketch es(1024, 3, 8192, 8);
+  constexpr int kFlows = 200000;
+  for (int i = 0; i < kFlows; ++i) es.update(flow_key_for_rank(i, 0));
+  const double est = es.estimate_distinct();
+  const double rel_err = std::abs(est - kFlows) / static_cast<double>(kFlows);
+  EXPECT_GT(rel_err, 0.5);
+}
+
+TEST(ElasticSketch, EntropyDegradesWithFlowCount) {
+  auto entropy_error = [](int flows) {
+    ElasticSketch es(1024, 3, 8192, 9);
+    trace::Trace stream = trace::uniform_flows(200000, flows, 10);
+    trace::GroundTruth truth(stream);
+    for (const auto& p : stream) es.update(p.key);
+    return std::abs(es.estimate_entropy() - truth.entropy()) / truth.entropy();
+  };
+  EXPECT_GT(entropy_error(150000), entropy_error(1000));
+}
+
+TEST(ElasticSketch, MemoryBytesAccountsBothParts) {
+  ElasticSketch es(1000, 3, 1000, 11);
+  EXPECT_GT(es.memory_bytes(), 3u * 1000u * sizeof(std::int64_t));
+}
+
+TEST(ElasticSketch, TotalCounted) {
+  ElasticSketch es(64, 2, 256, 12);
+  for (int i = 0; i < 500; ++i) es.update(flow_key_for_rank(i % 9, 0));
+  EXPECT_EQ(es.total(), 500);
+}
+
+}  // namespace
+}  // namespace nitro::baseline

@@ -1,0 +1,75 @@
+#include "baselines/netflow.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::baseline {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(NetFlow, SamplesExpectedFraction) {
+  NetFlowSampler nf(0.01, 1);
+  trace::WorkloadSpec spec;
+  spec.packets = 500000;
+  spec.flows = 10000;
+  spec.seed = 2;
+  for (const auto& p : trace::caida_like(spec)) nf.update(p.key);
+  EXPECT_NEAR(static_cast<double>(nf.sampled_packets()) / 500000.0, 0.01, 0.002);
+}
+
+TEST(NetFlow, RateOneIsExact) {
+  NetFlowSampler nf(1.0, 3);
+  for (int i = 0; i < 100; ++i) nf.update(flow_key_for_rank(i % 10, 0));
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(nf.query(flow_key_for_rank(i, 0)), 10);
+  }
+}
+
+TEST(NetFlow, EstimatesScaleBySamplingRate) {
+  NetFlowSampler nf(0.1, 5);
+  const FlowKey big = flow_key_for_rank(0, 0);
+  for (int i = 0; i < 100000; ++i) nf.update(big);
+  EXPECT_NEAR(static_cast<double>(nf.query(big)), 100000.0, 10000.0);
+}
+
+TEST(NetFlow, MissesMostMiceAtLowRate) {
+  NetFlowSampler nf(0.001, 7);
+  // 10000 flows with 5 packets each: expect ~ 10000*5*0.001 = 50 sampled
+  // packets -> at most ~50 cache entries; the vast majority of flows unseen.
+  for (int rep = 0; rep < 5; ++rep) {
+    for (int i = 0; i < 10000; ++i) nf.update(flow_key_for_rank(i, 0));
+  }
+  EXPECT_LT(nf.cache_entries(), 200u);
+}
+
+TEST(NetFlow, MemoryProportionalToCacheEntries) {
+  NetFlowSampler nf(1.0, 9);
+  for (int i = 0; i < 1000; ++i) nf.update(flow_key_for_rank(i, 0));
+  EXPECT_EQ(nf.cache_entries(), 1000u);
+  EXPECT_GE(nf.memory_bytes(), 1000u * sizeof(FlowKey));
+}
+
+TEST(NetFlow, TopKSortedDescending) {
+  NetFlowSampler nf(1.0, 11);
+  for (int i = 0; i < 10; ++i) {
+    for (int rep = 0; rep <= 10 * i; ++rep) nf.update(flow_key_for_rank(i, 0));
+  }
+  const auto top = nf.top_k(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_GE(top[i - 1].second, top[i].second);
+  }
+  EXPECT_EQ(top[0].first, flow_key_for_rank(9, 0));
+}
+
+TEST(NetFlow, TotalCountsAllPackets) {
+  NetFlowSampler nf(0.01, 13);
+  for (int i = 0; i < 5000; ++i) nf.update(flow_key_for_rank(i % 7, 0));
+  EXPECT_EQ(nf.total(), 5000);
+}
+
+}  // namespace
+}  // namespace nitro::baseline

@@ -1,0 +1,105 @@
+#include "baselines/rhhh.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hpp"
+
+namespace nitro::baseline {
+namespace {
+
+FlowKey key_with_src(std::uint32_t src_ip) {
+  FlowKey k;
+  k.src_ip = src_ip;
+  k.dst_ip = 0x08080808;
+  k.src_port = 1000;
+  k.dst_port = 80;
+  k.proto = 6;
+  return k;
+}
+
+TEST(Rhhh, SingleHeavySourceDetectedAtSlash32) {
+  Rhhh rhhh(64, 1);
+  // One source is 50% of traffic.
+  for (int i = 0; i < 40000; ++i) {
+    rhhh.update(key_with_src(0x0a000001));
+    rhhh.update(key_with_src(0xc0000000u + static_cast<std::uint32_t>(i % 10000)));
+  }
+  const auto hhh = rhhh.hierarchical_heavy_hitters(0.1);
+  bool found = false;
+  for (const auto& h : hhh) {
+    if (h.prefix_len == 32 && h.prefix == 0x0a000001) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Rhhh, AggregatePrefixDetectedWhenNoSingleSourceIsHeavy) {
+  Rhhh rhhh(64, 2);
+  // 1000 sources inside 10.0.0.0/8 together carry 50% — no /32 is heavy,
+  // the /8 must be reported.
+  Pcg32 rng(3);
+  for (int i = 0; i < 50000; ++i) {
+    rhhh.update(key_with_src(0x0a000000u | (rng.next() & 0x00ffffffu)));
+    rhhh.update(key_with_src(rng.next() | 0x80000000u));  // scattered others
+  }
+  const auto hhh = rhhh.hierarchical_heavy_hitters(0.2);
+  bool found_slash8 = false;
+  for (const auto& h : hhh) {
+    if (h.prefix_len == 8 && (h.prefix >> 24) == 0x0a) found_slash8 = true;
+    if (h.prefix_len == 32 && (h.prefix >> 24) == 0x0a) {
+      FAIL() << "no single 10/8 source should be heavy";
+    }
+  }
+  EXPECT_TRUE(found_slash8);
+}
+
+TEST(Rhhh, QueryScalesByLevelCount) {
+  Rhhh rhhh(64, 4);
+  for (int i = 0; i < 40000; ++i) rhhh.update(key_with_src(0x0a000001));
+  // Each level sees ~1/4 of updates; scaled estimate recovers the total.
+  const auto est = rhhh.query(0x0a000001, 32);
+  EXPECT_NEAR(static_cast<double>(est), 40000.0, 4000.0);
+  const auto est8 = rhhh.query(0x0a000000, 8);
+  EXPECT_NEAR(static_cast<double>(est8), 40000.0, 4000.0);
+}
+
+TEST(Rhhh, ConstantUpdateCostOneLevelPerPacket) {
+  Rhhh rhhh(64, 5);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) rhhh.update(key_with_src(static_cast<std::uint32_t>(i)));
+  std::int64_t level_updates = 0;
+  for (std::uint32_t l = 0; l < Rhhh::kLevels; ++l) {
+    level_updates += rhhh.level(l).total();
+  }
+  EXPECT_EQ(level_updates, kN);  // exactly one Space-Saving update per packet
+}
+
+TEST(Rhhh, LevelsDrawnUniformly) {
+  Rhhh rhhh(64, 6);
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) rhhh.update(key_with_src(static_cast<std::uint32_t>(i)));
+  for (std::uint32_t l = 0; l < Rhhh::kLevels; ++l) {
+    EXPECT_NEAR(static_cast<double>(rhhh.level(l).total()) / kN, 0.25, 0.02);
+  }
+}
+
+TEST(Rhhh, DescendantDiscountingAvoidsDoubleReport) {
+  Rhhh rhhh(64, 7);
+  // One /32 carries 40%; its /24 has nothing else -> the /24 (and above)
+  // must not be reported as an *additional* HHH at a 25% threshold.
+  for (int i = 0; i < 40000; ++i) {
+    rhhh.update(key_with_src(0x0a000001));
+    if (i % 2 == 0) rhhh.update(key_with_src(0xc0a80000u + (i % 5000)));
+    if (i % 2 == 1) rhhh.update(key_with_src(0x55000000u + (i % 5000)));
+  }
+  const auto hhh = rhhh.hierarchical_heavy_hitters(0.25);
+  int reports_for_10_slash24 = 0;
+  for (const auto& h : hhh) {
+    if (h.prefix_len == 24 && (h.prefix & 0xffffff00u) == 0x0a000000u) {
+      ++reports_for_10_slash24;
+    }
+  }
+  EXPECT_EQ(reports_for_10_slash24, 0);
+}
+
+}  // namespace
+}  // namespace nitro::baseline

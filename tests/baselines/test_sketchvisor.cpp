@@ -1,0 +1,105 @@
+#include "baselines/sketchvisor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::baseline {
+namespace {
+
+using trace::flow_key_for_rank;
+
+sketch::UnivMonConfig um_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 10;
+  cfg.depth = 5;
+  cfg.top_width = 1024;
+  cfg.min_width = 256;
+  cfg.heap_capacity = 200;
+  return cfg;
+}
+
+trace::Trace zipf_stream(std::uint64_t packets, std::uint64_t flows, std::uint64_t seed) {
+  trace::WorkloadSpec spec;
+  spec.packets = packets;
+  spec.flows = flows;
+  spec.seed = seed;
+  return trace::caida_like(spec);
+}
+
+TEST(SketchVisor, ZeroFastFractionIsPureNormalPath) {
+  SketchVisor sv(um_config(), 900, 0.0, 1);
+  for (const auto& p : zipf_stream(10000, 1000, 1)) sv.update(p.key);
+  EXPECT_EQ(sv.fast_packets(), 0u);
+  EXPECT_EQ(sv.normal_packets(), 10000u);
+}
+
+TEST(SketchVisor, FullFastFractionBypassesNormalPath) {
+  SketchVisor sv(um_config(), 900, 1.0, 2);
+  for (const auto& p : zipf_stream(10000, 1000, 2)) sv.update(p.key);
+  EXPECT_EQ(sv.fast_packets(), 10000u);
+  EXPECT_EQ(sv.normal_packets(), 0u);
+}
+
+TEST(SketchVisor, SplitsTrafficByConfiguredFraction) {
+  SketchVisor sv(um_config(), 900, 0.2, 3);
+  for (const auto& p : zipf_stream(50000, 1000, 3)) sv.update(p.key);
+  EXPECT_NEAR(static_cast<double>(sv.fast_packets()) / 50000.0, 0.2, 0.02);
+}
+
+TEST(SketchVisor, MergeFoldsFastPathIntoNormal) {
+  SketchVisor sv(um_config(), 900, 1.0, 4);
+  const FlowKey big = flow_key_for_rank(0, 0);
+  for (int i = 0; i < 5000; ++i) sv.update(big);
+  EXPECT_EQ(sv.normal_path().query(big), 0);  // nothing merged yet
+  sv.merge();
+  EXPECT_GT(sv.normal_path().query(big), 4000);
+  EXPECT_EQ(sv.merges(), 1u);
+}
+
+TEST(SketchVisor, QueryCombinesBothPaths) {
+  SketchVisor sv(um_config(), 900, 0.5, 5);
+  const FlowKey big = flow_key_for_rank(0, 0);
+  for (int i = 0; i < 10000; ++i) sv.update(big);
+  // Without a merge, the estimate must still see both halves.
+  EXPECT_NEAR(static_cast<double>(sv.query(big)), 10000.0, 1500.0);
+}
+
+TEST(SketchVisor, AccuracyDegradesWithFastPathShareOnHeavyTail) {
+  // The robustness failure of §2: mostly-fast-path on a heavy-tailed trace
+  // is strictly worse than mostly-normal-path.
+  const auto stream = zipf_stream(200000, 50000, 6);
+  trace::GroundTruth truth(stream);
+  const auto threshold = static_cast<std::int64_t>(0.0005 * 200000);
+
+  auto run = [&](double frac) {
+    SketchVisor sv(um_config(), 64, frac, 7);  // small fast path
+    for (const auto& p : stream) sv.update(p.key);
+    sv.merge();
+    double err = 0.0;
+    const auto hh = truth.heavy_hitters(threshold);
+    for (const auto& [key, count] : hh) {
+      err += std::abs(static_cast<double>(sv.query(key) - count)) /
+             static_cast<double>(count);
+    }
+    return err / static_cast<double>(hh.size());
+  };
+
+  EXPECT_GT(run(1.0), run(0.0));
+}
+
+TEST(SketchVisor, HeavyHittersIncludeFastPathResidents) {
+  SketchVisor sv(um_config(), 900, 1.0, 8);
+  const FlowKey big = flow_key_for_rank(0, 0);
+  for (int i = 0; i < 5000; ++i) sv.update(big);
+  const auto hh = sv.heavy_hitters(1000);
+  bool found = false;
+  for (const auto& e : hh) {
+    if (e.key == big) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+}  // namespace
+}  // namespace nitro::baseline

@@ -1,0 +1,71 @@
+#include "baselines/small_hashtable.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::baseline {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(SmallHashTable, ExactCountsWhenSized) {
+  SmallHashTable ht(1000);
+  trace::WorkloadSpec spec;
+  spec.packets = 20000;
+  spec.flows = 800;
+  spec.seed = 1;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) ht.update(p.key);
+  for (const auto& [key, count] : truth.counts()) {
+    EXPECT_EQ(ht.query(key), count);
+  }
+  EXPECT_EQ(ht.dropped(), 0u);
+}
+
+TEST(SmallHashTable, AbsentKeyIsZero) {
+  SmallHashTable ht(100);
+  ht.update(flow_key_for_rank(0, 0));
+  EXPECT_EQ(ht.query(flow_key_for_rank(1, 0)), 0);
+}
+
+TEST(SmallHashTable, WeightedUpdates) {
+  SmallHashTable ht(10);
+  ht.update(flow_key_for_rank(0, 0), 100);
+  ht.update(flow_key_for_rank(0, 0), 23);
+  EXPECT_EQ(ht.query(flow_key_for_rank(0, 0)), 123);
+}
+
+TEST(SmallHashTable, DropsWhenOverSubscribed) {
+  SmallHashTable ht(8);  // capacity rounds to 32 slots
+  for (int i = 0; i < 1000; ++i) ht.update(flow_key_for_rank(i, 0));
+  EXPECT_GT(ht.dropped(), 0u);  // the skew assumption broke
+}
+
+TEST(SmallHashTable, SizeTracksDistinctFlows) {
+  SmallHashTable ht(100);
+  for (int i = 0; i < 50; ++i) {
+    ht.update(flow_key_for_rank(i, 0));
+    ht.update(flow_key_for_rank(i, 0));
+  }
+  EXPECT_EQ(ht.size(), 50u);
+  EXPECT_EQ(ht.total(), 100);
+}
+
+TEST(SmallHashTable, MemoryGrowsWithExpectedFlows) {
+  EXPECT_GT(SmallHashTable(1'000'000).memory_bytes(),
+            SmallHashTable(1'000).memory_bytes());
+}
+
+TEST(SmallHashTable, EntriesEnumeratesEverything) {
+  SmallHashTable ht(10);
+  ht.update(flow_key_for_rank(0, 0), 1);
+  ht.update(flow_key_for_rank(1, 0), 2);
+  const auto entries = ht.entries();
+  EXPECT_EQ(entries.size(), 2u);
+}
+
+}  // namespace
+}  // namespace nitro::baseline

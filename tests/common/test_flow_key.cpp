@@ -1,0 +1,80 @@
+#include "common/flow_key.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace nitro {
+namespace {
+
+FlowKey sample_key() {
+  FlowKey k;
+  k.src_ip = 0x0a000001;  // 10.0.0.1
+  k.dst_ip = 0xc0a80102;  // 192.168.1.2
+  k.src_port = 1234;
+  k.dst_port = 80;
+  k.proto = 6;
+  return k;
+}
+
+TEST(FlowKey, PackedSizeIs13Bytes) {
+  EXPECT_EQ(sizeof(FlowKey), 13u);
+}
+
+TEST(FlowKey, EqualityComparesAllFields) {
+  FlowKey a = sample_key();
+  FlowKey b = a;
+  EXPECT_EQ(a, b);
+  b.src_port = 9999;
+  EXPECT_NE(a, b);
+  b = a;
+  b.proto = 17;
+  EXPECT_NE(a, b);
+}
+
+TEST(FlowKey, OrderingIsTotal) {
+  FlowKey a = sample_key();
+  FlowKey b = a;
+  b.dst_port = a.dst_port + 1;
+  EXPECT_TRUE(a < b || b < a);
+  EXPECT_FALSE(a < a);
+}
+
+TEST(FlowKey, DigestIsStable) {
+  EXPECT_EQ(flow_digest(sample_key()), flow_digest(sample_key()));
+}
+
+TEST(FlowKey, DigestSeparatesDistinctKeys) {
+  std::unordered_set<std::uint64_t> digests;
+  FlowKey k = sample_key();
+  for (std::uint32_t i = 0; i < 10000; ++i) {
+    k.src_ip = i;
+    digests.insert(flow_digest(k));
+  }
+  EXPECT_EQ(digests.size(), 10000u);  // 64-bit digests: collisions ~0
+}
+
+TEST(FlowKey, StdHashUsable) {
+  std::unordered_set<FlowKey> set;
+  FlowKey k = sample_key();
+  set.insert(k);
+  EXPECT_TRUE(set.count(k));
+  k.dst_ip += 1;
+  EXPECT_FALSE(set.count(k));
+}
+
+TEST(FlowKey, ToStringFormatsTuple) {
+  EXPECT_EQ(to_string(sample_key()), "10.0.0.1:1234 -> 192.168.1.2:80/6");
+}
+
+TEST(FlowKey, DefaultConstructedIsZero) {
+  FlowKey k;
+  EXPECT_EQ(k.src_ip, 0u);
+  EXPECT_EQ(k.dst_ip, 0u);
+  EXPECT_EQ(k.src_port, 0);
+  EXPECT_EQ(k.dst_port, 0);
+  EXPECT_EQ(k.proto, 0);
+}
+
+}  // namespace
+}  // namespace nitro

@@ -1,0 +1,92 @@
+#include "common/geometric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace nitro {
+namespace {
+
+TEST(GeometricSampler, ProbabilityOneAlwaysReturnsOne) {
+  GeometricSampler geo(1.0, 42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(geo.next(), 1u);
+}
+
+TEST(GeometricSampler, AlwaysAtLeastOne) {
+  for (double p : {0.9, 0.5, 0.1, 0.01}) {
+    GeometricSampler geo(p, 7);
+    for (int i = 0; i < 10000; ++i) EXPECT_GE(geo.next(), 1u);
+  }
+}
+
+// Parameterized property check: mean of Geometric(p) is 1/p, variance is
+// (1-p)/p².  This is the mathematical-equivalence claim of Figure 5 —
+// geometric gaps reproduce per-slot Bernoulli(p) statistics.
+class GeometricMoments : public ::testing::TestWithParam<double> {};
+
+TEST_P(GeometricMoments, MeanMatchesInverseP) {
+  const double p = GetParam();
+  GeometricSampler geo(p, 1234);
+  constexpr int kN = 400000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(geo.next());
+  const double mean = sum / kN;
+  const double expected = 1.0 / p;
+  const double stderr_mean = std::sqrt((1.0 - p) / (p * p) / kN);
+  EXPECT_NEAR(mean, expected, 6.0 * stderr_mean + 1e-9) << "p=" << p;
+}
+
+TEST_P(GeometricMoments, VarianceMatchesTheory) {
+  const double p = GetParam();
+  GeometricSampler geo(p, 999);
+  constexpr int kN = 400000;
+  std::vector<double> xs(kN);
+  double sum = 0.0;
+  for (auto& x : xs) {
+    x = static_cast<double>(geo.next());
+    sum += x;
+  }
+  const double mean = sum / kN;
+  double var = 0.0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= kN;
+  const double expected = (1.0 - p) / (p * p);
+  EXPECT_NEAR(var / (expected + 1e-12), 1.0, 0.1) << "p=" << p;
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, GeometricMoments,
+                         ::testing::Values(0.5, 0.25, 0.1, 0.05, 0.01, 1.0 / 128.0));
+
+TEST(GeometricSampler, TailDecaysGeometrically) {
+  // P(G > k) = (1-p)^k: check the empirical survival at k = 1/p.
+  const double p = 0.1;
+  GeometricSampler geo(p, 4321);
+  constexpr int kN = 200000;
+  int beyond = 0;
+  const std::uint64_t k = 10;  // 1/p
+  for (int i = 0; i < kN; ++i) {
+    if (geo.next() > k) ++beyond;
+  }
+  const double expected = std::pow(1.0 - p, static_cast<double>(k));
+  EXPECT_NEAR(static_cast<double>(beyond) / kN, expected, 0.01);
+}
+
+TEST(GeometricSampler, SetProbabilityTakesEffect) {
+  GeometricSampler geo(0.5, 8);
+  geo.set_probability(1.0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(geo.next(), 1u);
+  geo.set_probability(0.01);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) sum += static_cast<double>(geo.next());
+  EXPECT_NEAR(sum / kN, 100.0, 5.0);
+}
+
+TEST(GeometricSampler, DeterministicFromSeed) {
+  GeometricSampler a(0.05, 77), b(0.05, 77);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace nitro

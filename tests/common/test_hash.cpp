@@ -1,0 +1,130 @@
+#include "common/hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace nitro {
+namespace {
+
+// Reference vectors from the published xxHash specification.
+TEST(XxHash32, KnownVectors) {
+  EXPECT_EQ(xxhash32("", 0), 0x02CC5D05u);
+  EXPECT_EQ(xxhash32("a", 0), 0x550D7456u);
+  EXPECT_EQ(xxhash32("abc", 0), 0x32D153FFu);
+}
+
+TEST(XxHash64, KnownVectors) {
+  EXPECT_EQ(xxhash64("", 0), 0xEF46DB3751D8E999ull);
+  EXPECT_EQ(xxhash64("a", 0), 0xD24EC4F1A98C6E5Bull);
+  EXPECT_EQ(xxhash64("abc", 0), 0x44BC2CF5AD770999ull);
+}
+
+TEST(XxHash32, SeedChangesOutput) {
+  const std::string s = "nitrosketch";
+  EXPECT_NE(xxhash32(s, 0), xxhash32(s, 1));
+  EXPECT_NE(xxhash32(s, 1), xxhash32(s, 2));
+}
+
+TEST(XxHash32, Deterministic) {
+  const std::string s = "deterministic-input";
+  EXPECT_EQ(xxhash32(s, 99), xxhash32(s, 99));
+  EXPECT_EQ(xxhash64(s, 99), xxhash64(s, 99));
+}
+
+TEST(XxHash32, LongInputExercisesStripeLoop) {
+  // >= 16 bytes takes the 4-lane path; make sure boundaries are stable.
+  std::string s(64, 'x');
+  const auto h64bytes = xxhash32(s, 7);
+  s.push_back('y');
+  const auto h65bytes = xxhash32(s, 7);
+  EXPECT_NE(h64bytes, h65bytes);
+  // Every prefix length from 0..64 must produce a distinct-ish value; at
+  // minimum adjacent lengths must differ (no truncation bug).
+  std::uint32_t prev = xxhash32(s.data(), 0, 7);
+  for (std::size_t len = 1; len <= 64; ++len) {
+    const std::uint32_t cur = xxhash32(s.data(), len, 7);
+    EXPECT_NE(cur, prev) << "len=" << len;
+    prev = cur;
+  }
+}
+
+TEST(XxHash64, LongInputExercisesStripeLoop) {
+  std::string s(96, 'z');
+  std::uint64_t prev = xxhash64(s.data(), 0, 3);
+  for (std::size_t len = 1; len <= 96; ++len) {
+    const std::uint64_t cur = xxhash64(s.data(), len, 3);
+    EXPECT_NE(cur, prev) << "len=" << len;
+    prev = cur;
+  }
+}
+
+TEST(XxHash32, AvalancheOnSingleBitFlip) {
+  // Flipping one input bit should flip ~half the output bits on average.
+  std::array<std::uint8_t, 13> key{};
+  for (std::size_t i = 0; i < key.size(); ++i) key[i] = static_cast<std::uint8_t>(i * 37);
+  const std::uint32_t base = xxhash32(key.data(), key.size(), 0);
+  int total_flipped = 0;
+  int cases = 0;
+  for (std::size_t byte = 0; byte < key.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto mutated = key;
+      mutated[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      const std::uint32_t h = xxhash32(mutated.data(), mutated.size(), 0);
+      total_flipped += __builtin_popcount(base ^ h);
+      ++cases;
+    }
+  }
+  const double avg = static_cast<double>(total_flipped) / cases;
+  EXPECT_GT(avg, 12.0);  // ideal 16; generous band
+  EXPECT_LT(avg, 20.0);
+}
+
+TEST(XxHash32, ValueOverloadMatchesBufferHash) {
+  const std::uint64_t v = 0x0123456789abcdefULL;
+  EXPECT_EQ(xxhash32_value(v, 5), xxhash32(&v, sizeof v, 5));
+  EXPECT_EQ(xxhash64_value(v, 5), xxhash64(&v, sizeof v, 5));
+}
+
+TEST(XxHash32, Batch8MatchesScalar) {
+  std::array<std::array<std::uint8_t, 13>, 8> keys{};
+  std::array<const void*, 8> ptrs{};
+  for (int i = 0; i < 8; ++i) {
+    for (int j = 0; j < 13; ++j) keys[i][j] = static_cast<std::uint8_t>(i * 13 + j);
+    ptrs[i] = keys[i].data();
+  }
+  std::uint32_t out[8];
+  xxhash32_batch8(ptrs.data(), 13, 77, out);
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(out[i], xxhash32(keys[i].data(), 13, 77)) << i;
+  }
+}
+
+TEST(Mix64, BijectiveOnSamples) {
+  // mix64 is a bijection; no two of many sequential inputs may collide.
+  std::vector<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 10000; ++i) seen.push_back(mix64(i));
+  std::sort(seen.begin(), seen.end());
+  EXPECT_EQ(std::adjacent_find(seen.begin(), seen.end()), seen.end());
+}
+
+TEST(XxHash32, DistributionUniformAcrossBuckets) {
+  // Chi-square-style sanity: hash sequential integers into 64 buckets.
+  constexpr int kBuckets = 64;
+  constexpr int kSamples = 64000;
+  std::array<int, kBuckets> counts{};
+  for (std::uint64_t i = 0; i < kSamples; ++i) {
+    counts[xxhash32_value(i, 0) % kBuckets] += 1;
+  }
+  const double expected = static_cast<double>(kSamples) / kBuckets;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.8);
+    EXPECT_LT(c, expected * 1.2);
+  }
+}
+
+}  // namespace
+}  // namespace nitro

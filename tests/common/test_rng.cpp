@@ -1,0 +1,101 @@
+#include "common/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <array>
+#include <vector>
+
+namespace nitro {
+namespace {
+
+TEST(Pcg32, DeterministicFromSeed) {
+  Pcg32 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Pcg32, DifferentSeedsDiverge) {
+  Pcg32 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, StreamsAreIndependent) {
+  Pcg32 a(7, 1), b(7, 2);
+  int equal = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(Pcg32, DoubleInUnitInterval) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Pcg32, DoubleOpen0NeverZero) {
+  Pcg32 rng(5);
+  for (int i = 0; i < 100000; ++i) {
+    const double d = rng.next_double_open0();
+    EXPECT_GT(d, 0.0);
+    EXPECT_LE(d, 1.0);
+  }
+}
+
+TEST(Pcg32, DoubleMeanIsHalf) {
+  Pcg32 rng(11);
+  double sum = 0.0;
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) sum += rng.next_double();
+  EXPECT_NEAR(sum / kN, 0.5, 0.005);
+}
+
+TEST(Pcg32, NextBelowRespectsBound) {
+  Pcg32 rng(17);
+  for (std::uint32_t bound : {1u, 2u, 7u, 100u, 1000000u}) {
+    for (int i = 0; i < 1000; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Pcg32, NextBelowIsRoughlyUniform) {
+  Pcg32 rng(19);
+  std::array<int, 10> counts{};
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) counts[rng.next_below(10)] += 1;
+  for (int c : counts) {
+    EXPECT_GT(c, kN / 10 * 0.9);
+    EXPECT_LT(c, kN / 10 * 1.1);
+  }
+}
+
+TEST(Pcg32, SatisfiesUniformRandomBitGenerator) {
+  static_assert(Pcg32::min() == 0);
+  static_assert(Pcg32::max() == 0xffffffffu);
+  Pcg32 rng(3);
+  std::vector<int> v{1, 2, 3, 4, 5};
+  std::shuffle(v.begin(), v.end(), rng);  // must compile and not crash
+  EXPECT_EQ(v.size(), 5u);
+}
+
+TEST(SplitMix64, KnownSequenceIsDeterministic) {
+  SplitMix64 a(0), b(0);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(SplitMix64, SeedSensitivity) {
+  SplitMix64 a(0), b(1);
+  EXPECT_NE(a.next(), b.next());
+}
+
+}  // namespace
+}  // namespace nitro

@@ -1,0 +1,68 @@
+#include "common/simd_hash.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+
+#include "common/hash.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro {
+namespace {
+
+std::array<FlowKey, 8> sample_keys(std::uint64_t family) {
+  std::array<FlowKey, 8> keys;
+  for (int i = 0; i < 8; ++i) keys[i] = trace::flow_key_for_rank(i, family);
+  return keys;
+}
+
+TEST(SimdHash, MatchesScalarXxHash32) {
+  for (std::uint64_t family = 0; family < 50; ++family) {
+    const auto keys = sample_keys(family);
+    std::uint32_t out[8];
+    xxhash32_x8_flowkeys(keys.data(), 0, out);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(out[i], xxhash32(&keys[i], sizeof(FlowKey), 0))
+          << "family " << family << " lane " << i;
+    }
+  }
+}
+
+TEST(SimdHash, MatchesScalarAcrossSeeds) {
+  const auto keys = sample_keys(7);
+  for (std::uint32_t seed : {0u, 1u, 0xdeadbeefu, 0xffffffffu}) {
+    std::uint32_t out[8];
+    xxhash32_x8_flowkeys(keys.data(), seed, out);
+    for (int i = 0; i < 8; ++i) {
+      EXPECT_EQ(out[i], xxhash32(&keys[i], sizeof(FlowKey), seed)) << seed;
+    }
+  }
+}
+
+TEST(SimdHash, IdenticalKeysProduceIdenticalLanes) {
+  std::array<FlowKey, 8> keys;
+  keys.fill(trace::flow_key_for_rank(3, 1));
+  std::uint32_t out[8];
+  xxhash32_x8_flowkeys(keys.data(), 42, out);
+  for (int i = 1; i < 8; ++i) EXPECT_EQ(out[i], out[0]);
+}
+
+TEST(SimdHash, DistinctKeysProduceDistinctLanes) {
+  const auto keys = sample_keys(9);
+  std::uint32_t out[8];
+  xxhash32_x8_flowkeys(keys.data(), 0, out);
+  for (int i = 0; i < 8; ++i) {
+    for (int j = i + 1; j < 8; ++j) EXPECT_NE(out[i], out[j]);
+  }
+}
+
+TEST(SimdHash, AvailabilityFlagConsistentWithBuild) {
+#if defined(__AVX2__)
+  EXPECT_TRUE(simd_hash_available());
+#else
+  EXPECT_FALSE(simd_hash_available());
+#endif
+}
+
+}  // namespace
+}  // namespace nitro

@@ -1,0 +1,102 @@
+#include "common/spsc_ring.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace nitro {
+namespace {
+
+TEST(SpscRing, PushPopSingleThread) {
+  SpscRing<int> ring(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(ring.try_push(i));
+  int v;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscRing, RejectsWhenFull) {
+  SpscRing<int> ring(4);  // rounded to capacity >= 4
+  const std::size_t cap = ring.capacity();
+  for (std::size_t i = 0; i < cap; ++i) EXPECT_TRUE(ring.try_push(static_cast<int>(i)));
+  EXPECT_FALSE(ring.try_push(999));
+  int v;
+  EXPECT_TRUE(ring.try_pop(v));
+  EXPECT_TRUE(ring.try_push(999));  // space again after a pop
+}
+
+TEST(SpscRing, EmptyInitially) {
+  SpscRing<int> ring(16);
+  EXPECT_TRUE(ring.empty_approx());
+  int v;
+  EXPECT_FALSE(ring.try_pop(v));
+}
+
+TEST(SpscRing, SizeApproxTracksOccupancy) {
+  SpscRing<int> ring(16);
+  EXPECT_EQ(ring.size_approx(), 0u);
+  ring.try_push(1);
+  ring.try_push(2);
+  EXPECT_EQ(ring.size_approx(), 2u);
+  int v;
+  ring.try_pop(v);
+  EXPECT_EQ(ring.size_approx(), 1u);
+}
+
+TEST(SpscRing, WrapAroundPreservesFifo) {
+  SpscRing<int> ring(4);
+  int v;
+  for (int round = 0; round < 100; ++round) {
+    EXPECT_TRUE(ring.try_push(round * 2));
+    EXPECT_TRUE(ring.try_push(round * 2 + 1));
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, round * 2);
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, round * 2 + 1);
+  }
+}
+
+TEST(SpscRing, TwoThreadStressDeliversEverythingInOrder) {
+  SpscRing<std::uint64_t> ring(1024);
+  constexpr std::uint64_t kN = 500000;
+  std::uint64_t consumed_sum = 0;
+  std::uint64_t expected_next = 0;
+  bool in_order = true;
+
+  std::thread consumer([&] {
+    std::uint64_t v;
+    std::uint64_t received = 0;
+    while (received < kN) {
+      if (ring.try_pop(v)) {
+        if (v != expected_next) in_order = false;
+        ++expected_next;
+        consumed_sum += v;
+        ++received;
+      }
+    }
+  });
+
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    while (!ring.try_push(i)) {
+      // producer spins when full
+    }
+  }
+  consumer.join();
+
+  EXPECT_TRUE(in_order);
+  EXPECT_EQ(consumed_sum, kN * (kN - 1) / 2);
+}
+
+TEST(SpscRing, CapacityRoundedToPowerOfTwoMinusOne) {
+  SpscRing<int> ring(100);
+  EXPECT_GE(ring.capacity(), 100u);
+}
+
+}  // namespace
+}  // namespace nitro

@@ -1,0 +1,105 @@
+#include "common/tabulation.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <unordered_set>
+
+#include "trace/workloads.hpp"
+
+namespace nitro {
+namespace {
+
+TEST(TabulationHash, Deterministic) {
+  TabulationHash h(5);
+  for (std::uint64_t x : {0ull, 1ull, 42ull, 0xffffffffffffffffull}) {
+    EXPECT_EQ(h(x), h(x));
+  }
+}
+
+TEST(TabulationHash, SeedSensitivity) {
+  TabulationHash a(1), b(2);
+  int equal = 0;
+  for (std::uint64_t x = 0; x < 1000; ++x) {
+    if (a(x) == b(x)) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RowHash, IndexWithinWidth) {
+  for (std::uint32_t width : {1u, 2u, 7u, 1000u, 65536u}) {
+    RowHash h(width, 99);
+    for (std::uint64_t d = 0; d < 2000; ++d) {
+      EXPECT_LT(h.index_of_digest(mix64(d)), width);
+    }
+  }
+}
+
+TEST(RowHash, RoughlyUniformOverColumns) {
+  constexpr std::uint32_t kWidth = 32;
+  RowHash h(kWidth, 7);
+  std::array<int, kWidth> counts{};
+  constexpr int kN = 64000;
+  for (std::uint64_t d = 0; d < kN; ++d) counts[h.index_of_digest(mix64(d))] += 1;
+  const double expected = static_cast<double>(kN) / kWidth;
+  for (int c : counts) {
+    EXPECT_GT(c, expected * 0.85);
+    EXPECT_LT(c, expected * 1.15);
+  }
+}
+
+TEST(SignHash, UnsignedVariantAlwaysPlusOne) {
+  SignHash g(123, /*signed_updates=*/false);
+  for (std::uint64_t d = 0; d < 1000; ++d) EXPECT_EQ(g.sign_of_digest(d), 1);
+}
+
+TEST(SignHash, SignedVariantBalanced) {
+  SignHash g(123, /*signed_updates=*/true);
+  int plus = 0;
+  constexpr int kN = 100000;
+  for (std::uint64_t d = 0; d < kN; ++d) {
+    const auto s = g.sign_of_digest(mix64(d));
+    EXPECT_TRUE(s == 1 || s == -1);
+    if (s == 1) ++plus;
+  }
+  EXPECT_NEAR(static_cast<double>(plus) / kN, 0.5, 0.01);
+}
+
+TEST(SignHash, PairwiseIndependenceOfProducts) {
+  // For pairwise-independent ±1 hashes, E[g(x)g(y)] = 0 for x != y.
+  SignHash g(55, true);
+  double sum = 0.0;
+  constexpr int kN = 100000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    sum += g.sign_of_digest(mix64(i)) * g.sign_of_digest(mix64(i + kN));
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+}
+
+TEST(LevelHash, FiresForHalfTheKeys) {
+  LevelHash lh(31);
+  int fired = 0;
+  constexpr int kN = 50000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    if (lh(trace::flow_key_for_rank(i, 9))) ++fired;
+  }
+  EXPECT_NEAR(static_cast<double>(fired) / kN, 0.5, 0.02);
+}
+
+TEST(RowHash, PairwiseCollisionRateMatchesUniform) {
+  // Pr[h(x) = h(y)] should be ~1/w for x != y.
+  constexpr std::uint32_t kWidth = 256;
+  RowHash h(kWidth, 3);
+  int collisions = 0;
+  constexpr int kPairs = 200000;
+  for (std::uint64_t i = 0; i < kPairs; ++i) {
+    if (h.index_of_digest(mix64(2 * i)) == h.index_of_digest(mix64(2 * i + 1))) {
+      ++collisions;
+    }
+  }
+  const double rate = static_cast<double>(collisions) / kPairs;
+  EXPECT_NEAR(rate, 1.0 / kWidth, 1.5 / kWidth);
+}
+
+}  // namespace
+}  // namespace nitro

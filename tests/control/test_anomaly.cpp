@@ -1,0 +1,73 @@
+#include "control/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nitro::control {
+namespace {
+
+TEST(AnomalyDetector, SilentDuringWarmup) {
+  AnomalyDetector det(3, 3.0);
+  EXPECT_FALSE(det.observe(10.0, 1000).anomalous);
+  EXPECT_FALSE(det.observe(1.0, 99999).anomalous);  // wild, but still warmup
+  EXPECT_FALSE(det.observe(10.0, 1000).anomalous);
+}
+
+TEST(AnomalyDetector, SteadyTrafficNeverAlerts) {
+  AnomalyDetector det(3, 3.0);
+  for (int i = 0; i < 50; ++i) {
+    const double jitter = (i % 2 == 0) ? 0.1 : -0.1;
+    EXPECT_FALSE(det.observe(10.0 + jitter, 20000.0 + 100 * jitter).anomalous) << i;
+  }
+}
+
+TEST(AnomalyDetector, CardinalitySurgeAlerts) {
+  AnomalyDetector det(3, 3.0);
+  for (int i = 0; i < 10; ++i) det.observe(10.0, 20000.0 + (i % 3) * 50);
+  const auto v = det.observe(10.0, 200000.0);  // 10x distinct flows
+  EXPECT_TRUE(v.anomalous);
+  EXPECT_GT(v.distinct_score, 3.0);
+  EXPECT_NE(v.reason.find("cardinality surge"), std::string::npos);
+}
+
+TEST(AnomalyDetector, EntropyCollapseAlerts) {
+  AnomalyDetector det(3, 3.0);
+  for (int i = 0; i < 10; ++i) det.observe(12.0 + 0.1 * (i % 2), 20000.0);
+  const auto v = det.observe(2.0, 20000.0);  // single-victim flood
+  EXPECT_TRUE(v.anomalous);
+  EXPECT_LT(v.entropy_score, -3.0);
+  EXPECT_NE(v.reason.find("entropy collapse"), std::string::npos);
+}
+
+TEST(AnomalyDetector, CombinedSignalsConcatenateReason) {
+  AnomalyDetector det(3, 3.0);
+  for (int i = 0; i < 10; ++i) det.observe(12.0 + 0.1 * (i % 2), 20000.0 + 50 * (i % 2));
+  const auto v = det.observe(2.0, 300000.0);
+  EXPECT_TRUE(v.anomalous);
+  EXPECT_NE(v.reason.find("entropy collapse"), std::string::npos);
+  EXPECT_NE(v.reason.find("cardinality surge"), std::string::npos);
+}
+
+TEST(AnomalyDetector, AttackEpochsDoNotPoisonBaseline) {
+  AnomalyDetector det(3, 3.0);
+  for (int i = 0; i < 10; ++i) det.observe(12.0 + 0.1 * (i % 2), 20000.0);
+  const auto before = det.baseline_epochs();
+  // Sustained attack: every epoch flagged, baseline frozen.
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_TRUE(det.observe(2.0, 300000.0).anomalous) << i;
+  }
+  EXPECT_EQ(det.baseline_epochs(), before);
+  // Traffic normalizes: no alert.
+  EXPECT_FALSE(det.observe(12.0, 20000.0).anomalous);
+}
+
+TEST(AnomalyDetector, RecoversAfterAttackEnds) {
+  AnomalyDetector det(2, 3.0);
+  for (int i = 0; i < 8; ++i) det.observe(10.0 + 0.1 * (i % 2), 10000.0);
+  EXPECT_TRUE(det.observe(1.0, 10000.0).anomalous);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_FALSE(det.observe(10.0 + 0.1 * (i % 2), 10000.0).anomalous);
+  }
+}
+
+}  // namespace
+}  // namespace nitro::control

@@ -1,0 +1,105 @@
+#include "control/daemon.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::control {
+namespace {
+
+using trace::flow_key_for_rank;
+
+sketch::UnivMonConfig um_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 10;
+  cfg.depth = 5;
+  cfg.top_width = 2048;
+  cfg.min_width = 256;
+  cfg.heap_capacity = 200;
+  return cfg;
+}
+
+core::NitroConfig nitro_config() {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.1;
+  return cfg;
+}
+
+TEST(Daemon, ReportsPacketsAndTasks) {
+  MeasurementDaemon::Tasks tasks;
+  MeasurementDaemon daemon(um_config(), nitro_config(), tasks, 1);
+  trace::WorkloadSpec spec;
+  spec.packets = 100000;
+  spec.flows = 5000;
+  spec.seed = 2;
+  const auto stream = trace::caida_like(spec);
+  for (const auto& p : stream) daemon.on_packet(p.key, p.ts_ns);
+  const auto report = daemon.end_epoch();
+  EXPECT_EQ(report.epoch, 0u);
+  EXPECT_EQ(report.packets, 100000);
+  EXPECT_FALSE(report.heavy_hitters.empty());
+  EXPECT_GT(report.entropy, 0.0);
+  EXPECT_GT(report.distinct, 0.0);
+  EXPECT_TRUE(report.changed_flows.empty());  // no previous epoch yet
+}
+
+TEST(Daemon, DetectsChangeAcrossEpochs) {
+  MeasurementDaemon::Tasks tasks;
+  tasks.change_fraction = 0.02;
+  MeasurementDaemon daemon(um_config(), nitro_config(), tasks, 3);
+
+  // Epoch 1: steady background.
+  for (int i = 0; i < 50000; ++i) daemon.on_packet(flow_key_for_rank(i % 500, 0));
+  (void)daemon.end_epoch();
+
+  // Epoch 2: one flow surges to ~20% of traffic.
+  for (int i = 0; i < 50000; ++i) {
+    daemon.on_packet(flow_key_for_rank(i % 5 == 0 ? 99999 : i % 500, 0));
+  }
+  const auto report = daemon.end_epoch();
+  EXPECT_EQ(report.epoch, 1u);
+  bool found = false;
+  for (const auto& c : report.changed_flows) {
+    if (c.key == flow_key_for_rank(99999, 0)) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Daemon, EpochCounterAdvances) {
+  MeasurementDaemon::Tasks tasks;
+  tasks.change_detection = false;
+  tasks.entropy = false;
+  tasks.distinct = false;
+  MeasurementDaemon daemon(um_config(), nitro_config(), tasks, 4);
+  for (int e = 0; e < 3; ++e) {
+    daemon.on_packet(flow_key_for_rank(0, 0));
+    EXPECT_EQ(daemon.end_epoch().epoch, static_cast<std::uint64_t>(e));
+  }
+}
+
+TEST(Daemon, TasksCanBeDisabled) {
+  MeasurementDaemon::Tasks tasks;
+  tasks.heavy_hitters = false;
+  tasks.entropy = false;
+  tasks.distinct = false;
+  tasks.change_detection = false;
+  MeasurementDaemon daemon(um_config(), nitro_config(), tasks, 5);
+  for (int i = 0; i < 10000; ++i) daemon.on_packet(flow_key_for_rank(i % 10, 0));
+  const auto report = daemon.end_epoch();
+  EXPECT_TRUE(report.heavy_hitters.empty());
+  EXPECT_DOUBLE_EQ(report.entropy, 0.0);
+  EXPECT_DOUBLE_EQ(report.distinct, 0.0);
+}
+
+TEST(Daemon, FreshEpochStartsEmpty) {
+  MeasurementDaemon::Tasks tasks;
+  MeasurementDaemon daemon(um_config(), nitro_config(), tasks, 6);
+  for (int i = 0; i < 1000; ++i) daemon.on_packet(flow_key_for_rank(i, 0));
+  (void)daemon.end_epoch();
+  EXPECT_EQ(daemon.data_plane().total(), 0);
+}
+
+}  // namespace
+}  // namespace nitro::control

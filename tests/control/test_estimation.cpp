@@ -1,0 +1,96 @@
+#include "control/estimation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sketch/univmon.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::control {
+namespace {
+
+using trace::flow_key_for_rank;
+
+sketch::UnivMonConfig um_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 10;
+  cfg.depth = 5;
+  cfg.top_width = 2048;
+  cfg.min_width = 256;
+  cfg.heap_capacity = 200;
+  return cfg;
+}
+
+TEST(Estimation, HeavyHittersThresholdedByFraction) {
+  sketch::UnivMon um(um_config(), 1);
+  // One dominant flow (20%) plus background.
+  for (int i = 0; i < 20000; ++i) um.update(flow_key_for_rank(0, 0));
+  for (int i = 0; i < 80000; ++i) um.update(flow_key_for_rank(1 + i % 5000, 0));
+  const auto hh = heavy_hitters(um, 0.05);
+  ASSERT_FALSE(hh.empty());
+  EXPECT_EQ(hh.front().key, flow_key_for_rank(0, 0));
+  // Nothing else reaches 5% of 100K packets.
+  for (const auto& h : hh) {
+    EXPECT_GE(h.estimate, 5000);
+  }
+}
+
+TEST(Estimation, ChangesFindsGrowthBetweenEpochs) {
+  sketch::UnivMon prev(um_config(), 2), cur(um_config(), 2);
+  for (int i = 0; i < 50; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 0);
+    for (int r = 0; r < 100; ++r) prev.update(k);
+    for (int r = 0; r < (i == 7 ? 2000 : 100); ++r) cur.update(k);
+  }
+  const auto candidates =
+      candidate_union(prev.heavy_hitters(1), cur.heavy_hitters(1));
+  const auto changed = changes(prev, cur, candidates, 0.05);
+  ASSERT_FALSE(changed.empty());
+  EXPECT_EQ(changed.front().key, flow_key_for_rank(7, 0));
+  EXPECT_NEAR(static_cast<double>(changed.front().estimate), 1900.0, 400.0);
+}
+
+TEST(Estimation, CandidateUnionDeduplicatesNothingButCombines) {
+  std::vector<sketch::TopKHeap::Entry> a{{flow_key_for_rank(0, 0), 10}};
+  std::vector<sketch::TopKHeap::Entry> b{{flow_key_for_rank(1, 0), 20}};
+  const auto u = candidate_union(a, b);
+  EXPECT_EQ(u.size(), 2u);
+}
+
+TEST(KAryChangeDetector, DetectsInjectedChange) {
+  KAryChangeDetector det(8, 4096, 3);
+  // Epoch 1.
+  for (int i = 0; i < 100; ++i) {
+    for (int r = 0; r < 50; ++r) det.current_epoch().update(flow_key_for_rank(i, 0));
+  }
+  det.end_epoch();
+  // Epoch 2: flow 13 spikes 10x.
+  for (int i = 0; i < 100; ++i) {
+    const int reps = (i == 13) ? 500 : 50;
+    for (int r = 0; r < reps; ++r) det.current_epoch().update(flow_key_for_rank(i, 0));
+  }
+  std::vector<FlowKey> candidates;
+  for (int i = 0; i < 100; ++i) candidates.push_back(flow_key_for_rank(i, 0));
+  const auto found = det.detect(candidates, 0.02);
+  ASSERT_FALSE(found.empty());
+  EXPECT_EQ(found.front().key, flow_key_for_rank(13, 0));
+  EXPECT_NEAR(static_cast<double>(det.change_estimate(flow_key_for_rank(13, 0))),
+              450.0, 60.0);
+}
+
+TEST(KAryChangeDetector, QuietFlowsNotReported) {
+  KAryChangeDetector det(8, 4096, 4);
+  for (int i = 0; i < 100; ++i) {
+    for (int r = 0; r < 50; ++r) det.current_epoch().update(flow_key_for_rank(i, 0));
+  }
+  det.end_epoch();
+  for (int i = 0; i < 100; ++i) {
+    for (int r = 0; r < 50; ++r) det.current_epoch().update(flow_key_for_rank(i, 0));
+  }
+  std::vector<FlowKey> candidates;
+  for (int i = 0; i < 100; ++i) candidates.push_back(flow_key_for_rank(i, 0));
+  EXPECT_TRUE(det.detect(candidates, 0.02).empty());
+}
+
+}  // namespace
+}  // namespace nitro::control

@@ -1,0 +1,85 @@
+#include "metrics/accuracy.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hpp"
+
+namespace nitro::metrics {
+namespace {
+
+using trace::flow_key_for_rank;
+using trace::GroundTruth;
+
+TEST(RelativeError, Basics) {
+  EXPECT_DOUBLE_EQ(relative_error(110.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(90.0, 100.0), 0.1);
+  EXPECT_DOUBLE_EQ(relative_error(100.0, 100.0), 0.0);
+}
+
+TEST(RelativeError, ZeroTruthConvention) {
+  EXPECT_DOUBLE_EQ(relative_error(0.0, 0.0), 0.0);
+  EXPECT_DOUBLE_EQ(relative_error(5.0, 0.0), 1.0);
+}
+
+TEST(HhMeanRelativeError, PerfectOracleIsZero) {
+  GroundTruth truth;
+  for (int i = 0; i < 10; ++i) truth.add(flow_key_for_rank(i, 0), 100 * (i + 1));
+  const double err = hh_mean_relative_error(
+      truth, 300, [&](const FlowKey& k) { return truth.count(k); });
+  EXPECT_DOUBLE_EQ(err, 0.0);
+}
+
+TEST(HhMeanRelativeError, BiasedOracleMeasured) {
+  GroundTruth truth;
+  for (int i = 0; i < 4; ++i) truth.add(flow_key_for_rank(i, 0), 1000);
+  const double err = hh_mean_relative_error(
+      truth, 500, [&](const FlowKey& k) { return truth.count(k) + 100; });
+  EXPECT_DOUBLE_EQ(err, 0.1);
+}
+
+TEST(HhMeanRelativeError, EmptyHhSetIsZero) {
+  GroundTruth truth;
+  truth.add(flow_key_for_rank(0, 0), 10);
+  EXPECT_DOUBLE_EQ(
+      hh_mean_relative_error(truth, 1000, [](const FlowKey&) { return 0; }), 0.0);
+}
+
+TEST(TopkRecall, FullAndPartial) {
+  GroundTruth truth;
+  for (int i = 0; i < 10; ++i) truth.add(flow_key_for_rank(i, 0), 100 - i);
+  std::vector<FlowKey> all;
+  for (int i = 0; i < 10; ++i) all.push_back(flow_key_for_rank(i, 0));
+  EXPECT_DOUBLE_EQ(topk_recall(truth, 10, all), 1.0);
+  std::vector<FlowKey> half(all.begin(), all.begin() + 5);
+  EXPECT_DOUBLE_EQ(topk_recall(truth, 10, half), 0.5);
+  EXPECT_DOUBLE_EQ(topk_recall(truth, 10, {}), 0.0);
+}
+
+TEST(TopkRecall, IrrelevantReportsDoNotHelp) {
+  GroundTruth truth;
+  for (int i = 0; i < 5; ++i) truth.add(flow_key_for_rank(i, 0), 100);
+  std::vector<FlowKey> junk;
+  for (int i = 100; i < 200; ++i) junk.push_back(flow_key_for_rank(i, 0));
+  EXPECT_DOUBLE_EQ(topk_recall(truth, 5, junk), 0.0);
+}
+
+TEST(HhPrecision, Mixed) {
+  GroundTruth truth;
+  truth.add(flow_key_for_rank(0, 0), 1000);
+  truth.add(flow_key_for_rank(1, 0), 10);
+  std::vector<FlowKey> reported{flow_key_for_rank(0, 0), flow_key_for_rank(1, 0)};
+  EXPECT_DOUBLE_EQ(hh_precision(truth, 500, reported), 0.5);
+  EXPECT_DOUBLE_EQ(hh_precision(truth, 500, {}), 1.0);
+}
+
+TEST(ChangeMeanRelativeError, PerfectChangeOracle) {
+  GroundTruth prev, cur;
+  prev.add(flow_key_for_rank(0, 0), 100);
+  cur.add(flow_key_for_rank(0, 0), 500);
+  const double err = change_mean_relative_error(
+      prev, cur, 100, [](const FlowKey&) { return 400; });
+  EXPECT_DOUBLE_EQ(err, 0.0);
+}
+
+}  // namespace
+}  // namespace nitro::metrics

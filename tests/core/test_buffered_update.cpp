@@ -1,0 +1,76 @@
+#include "core/buffered_update.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hpp"
+
+namespace nitro::core {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(BufferedUpdater, FlushAppliesAllPending) {
+  sketch::CounterMatrix m(3, 64, 1, false);
+  BufferedUpdater buf;
+  const FlowKey k = flow_key_for_rank(0, 0);
+  buf.push(m, k, 0, 5);
+  buf.push(m, k, 1, 7);
+  EXPECT_EQ(m.row_estimate(0, k), 0);  // nothing applied yet
+  buf.flush(m);
+  EXPECT_EQ(m.row_estimate(0, k), 5);
+  EXPECT_EQ(m.row_estimate(1, k), 7);
+  EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST(BufferedUpdater, AutoFlushOnFullBatch) {
+  sketch::CounterMatrix m(1, 64, 2, false);
+  BufferedUpdater buf;
+  const FlowKey k = flow_key_for_rank(1, 0);
+  for (std::size_t i = 0; i < BufferedUpdater::kBatch - 1; ++i) {
+    EXPECT_FALSE(buf.push(m, k, 0, 1));
+  }
+  EXPECT_TRUE(buf.push(m, k, 0, 1));  // 8th push flushes
+  EXPECT_EQ(m.row_estimate(0, k), static_cast<std::int64_t>(BufferedUpdater::kBatch));
+  EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST(BufferedUpdater, EquivalentToDirectUpdates) {
+  sketch::CounterMatrix direct(5, 256, 3, true);
+  sketch::CounterMatrix buffered(5, 256, 3, true);
+  BufferedUpdater buf;
+  Pcg32 rng(77);
+  for (int i = 0; i < 1000; ++i) {
+    const FlowKey k = flow_key_for_rank(rng.next_below(100), 0);
+    const std::uint32_t row = rng.next_below(5);
+    const std::int64_t delta = 1 + rng.next_below(10);
+    direct.update_row(row, k, delta);
+    buf.push(buffered, k, row, delta);
+  }
+  buf.flush(buffered);
+  for (int i = 0; i < 100; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 0);
+    for (std::uint32_t r = 0; r < 5; ++r) {
+      EXPECT_EQ(direct.row_estimate(r, k), buffered.row_estimate(r, k));
+    }
+  }
+}
+
+TEST(BufferedUpdater, FlushOnEmptyIsNoop) {
+  sketch::CounterMatrix m(1, 16, 4, false);
+  BufferedUpdater buf;
+  buf.flush(m);
+  for (auto c : m.row(0)) EXPECT_EQ(c, 0);
+}
+
+TEST(BufferedUpdater, PendingCountsQueuedItems) {
+  sketch::CounterMatrix m(1, 16, 5, false);
+  BufferedUpdater buf;
+  EXPECT_EQ(buf.pending(), 0u);
+  buf.push(m, flow_key_for_rank(0, 0), 0, 1);
+  EXPECT_EQ(buf.pending(), 1u);
+  buf.push(m, flow_key_for_rank(1, 0), 0, 1);
+  EXPECT_EQ(buf.pending(), 2u);
+}
+
+}  // namespace
+}  // namespace nitro::core

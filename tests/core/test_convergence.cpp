@@ -1,0 +1,100 @@
+#include "core/convergence.hpp"
+
+#include <gtest/gtest.h>
+
+#include "sketch/count_sketch.hpp"
+#include "sketch/count_min.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::core {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(Convergence, ThresholdMatchesFormula) {
+  const double eps = 0.05;
+  const double p = 1.0 / 128.0;
+  ConvergenceDetector det(eps, p, 1000, true, 5);
+  const double expected =
+      121.0 * (1.0 + eps * std::sqrt(p)) / (eps * eps * eps * eps * p * p);
+  EXPECT_NEAR(det.l2_threshold(), expected, expected * 1e-12);
+}
+
+TEST(Convergence, NotConvergedInitially) {
+  ConvergenceDetector det(0.05, 0.01, 100, true, 5);
+  EXPECT_FALSE(det.converged());
+}
+
+TEST(Convergence, ChecksOnlyEveryQPackets) {
+  // A sketch already past the threshold: detection still waits for the
+  // Q-packet boundary (Algorithm 1 line 14 costs are amortized).
+  sketch::CountSketch cs(5, 64, 1);
+  const FlowKey k = flow_key_for_rank(0, 0);
+  cs.update(k, 1'000'000'000);  // enormous counters -> above any threshold
+
+  ConvergenceDetector det(0.3, 0.5, 100, true, 5);
+  for (int i = 0; i < 99; ++i) {
+    EXPECT_FALSE(det.on_packet(cs.matrix()));
+  }
+  EXPECT_TRUE(det.on_packet(cs.matrix()));  // packet #100
+  EXPECT_TRUE(det.converged());
+}
+
+TEST(Convergence, FiresOnceL2CrossesThreshold) {
+  // eps = 0.5, p = 0.5 -> T = 121*(1+0.5*sqrt(0.5))/(0.0625*0.25) ~ 10486.
+  ConvergenceDetector det(0.5, 0.5, 10, true, 3);
+  sketch::CountSketch cs(3, 64, 2);
+  bool fired = false;
+  std::uint64_t fired_at = 0;
+  for (std::uint64_t i = 0; i < 100000 && !fired; ++i) {
+    cs.update(flow_key_for_rank(i % 37, 0));
+    fired = det.on_packet(cs.matrix());
+    if (fired) fired_at = i + 1;
+  }
+  ASSERT_TRUE(fired);
+  // At detection the sketch's L2^2 estimate must really exceed T.
+  EXPECT_GT(cs.l2_squared_estimate(), det.l2_threshold());
+  EXPECT_GT(fired_at, 0u);
+}
+
+TEST(Convergence, StaysConvergedAfterFiring) {
+  ConvergenceDetector det(0.5, 0.5, 10, true, 3);
+  sketch::CountSketch cs(3, 64, 3);
+  cs.update(flow_key_for_rank(0, 0), 1'000'000'000);
+  for (int i = 0; i < 10; ++i) det.on_packet(cs.matrix());
+  ASSERT_TRUE(det.converged());
+  // on_packet now returns false (no re-fire) but stays converged.
+  EXPECT_FALSE(det.on_packet(cs.matrix()));
+  EXPECT_TRUE(det.converged());
+}
+
+TEST(Convergence, UnsignedVariantUsesL1) {
+  ConvergenceDetector det(0.1, 0.1, 10, /*signed_rows=*/false, 5);
+  sketch::CountMinSketch cm(5, 1024, 4);
+  // L1 threshold = 16/(eps^2*p)*sqrt(5*ln2) ~ 16/(0.01*0.1)*1.86 ~ 29.8K.
+  bool fired = false;
+  std::uint64_t count = 0;
+  while (!fired && count < 200000) {
+    cm.update(flow_key_for_rank(count % 1000, 0));
+    ++count;
+    fired = det.on_packet(cm.matrix());
+  }
+  ASSERT_TRUE(fired);
+  EXPECT_GT(static_cast<double>(count), det.l1_threshold() * 0.9);
+  EXPECT_LT(static_cast<double>(count), det.l1_threshold() + 11.0);
+}
+
+TEST(Convergence, HigherEpsilonConvergesSooner) {
+  ConvergenceDetector strict(0.01, 0.01, 1000, true, 5);
+  ConvergenceDetector loose(0.1, 0.01, 1000, true, 5);
+  EXPECT_GT(strict.l2_threshold(), loose.l2_threshold());
+}
+
+TEST(Convergence, SmallerPMinRaisesThreshold) {
+  ConvergenceDetector big_p(0.05, 0.1, 1000, true, 5);
+  ConvergenceDetector small_p(0.05, 0.01, 1000, true, 5);
+  EXPECT_GT(small_p.l2_threshold(), big_p.l2_threshold());
+}
+
+}  // namespace
+}  // namespace nitro::core

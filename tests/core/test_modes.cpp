@@ -1,0 +1,157 @@
+// Cross-mode behavioral tests of the NitroSketch framework: mode
+// transitions, bursty-arrival adaptation, and end-to-end change detection
+// under sampling.
+#include <gtest/gtest.h>
+
+#include "control/estimation.hpp"
+#include "core/nitro_sketch.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::core {
+namespace {
+
+using sketch::CountSketch;
+using trace::flow_key_for_rank;
+
+TEST(Modes, AlwaysLineRateBurstRaisesThenLowersP) {
+  NitroConfig cfg;
+  cfg.mode = Mode::kAlwaysLineRate;
+  cfg.probability = 1.0 / 128.0;
+  cfg.target_sampled_rate_pps = 625000.0;
+  cfg.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 4096, 1), cfg);
+
+  // Phase 1: slow traffic (0.5Mpps) for 3 epochs -> p should sit at 1.
+  std::uint64_t now = 0;
+  for (int i = 0; i < 200'000; ++i) {
+    now += 2000;  // 0.5Mpps
+    nitro.update(flow_key_for_rank(i % 100, 1), 1, now);
+  }
+  EXPECT_DOUBLE_EQ(nitro.current_probability(), 1.0);
+
+  // Phase 2: a 40Mpps burst -> p collapses to 1/64.
+  for (int i = 0; i < 8'000'000; ++i) {
+    now += 25;
+    nitro.update(flow_key_for_rank(i % 100, 1), 1, now);
+  }
+  EXPECT_DOUBLE_EQ(nitro.current_probability(), 1.0 / 64.0);
+
+  // Phase 3: traffic calms down again -> p recovers upward.
+  for (int i = 0; i < 300'000; ++i) {
+    now += 2000;
+    nitro.update(flow_key_for_rank(i % 100, 1), 1, now);
+  }
+  EXPECT_DOUBLE_EQ(nitro.current_probability(), 1.0);
+}
+
+TEST(Modes, AlwaysCorrectConvergencePointMatchesTheorem) {
+  NitroConfig ac;
+  ac.mode = Mode::kAlwaysCorrect;
+  ac.probability = 0.05;
+  ac.epsilon = 0.2;
+  ac.convergence_check_interval = 500;
+  ac.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 8192, 3), ac);
+
+  // T = 121(1+eps*sqrt(p))/(eps^4 p^2) ~ 31.4M; with ~200 uniform flows the
+  // row L2^2 after n packets is ~ n^2/200, so convergence near n ~ 79K.
+  trace::WorkloadSpec spec;
+  spec.packets = 400'000;
+  spec.flows = 200;
+  spec.zipf_s = 0.01;  // near-uniform
+  spec.seed = 4;
+  const auto stream = trace::caida_like(spec);
+  std::uint64_t converged_at = 0;
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    nitro.update(stream[i].key);
+    if (converged_at == 0 && nitro.converged()) converged_at = i + 1;
+  }
+  ASSERT_GT(converged_at, 0u);
+  EXPECT_GT(converged_at, 30'000u);
+  EXPECT_LT(converged_at, 300'000u);
+}
+
+TEST(Modes, FixedRateKAryChangeDetectionEndToEnd) {
+  // Two sampled K-ary epochs: the injected spike must dominate the
+  // change report.
+  NitroConfig cfg;
+  cfg.mode = Mode::kFixedRate;
+  cfg.probability = 0.05;
+  cfg.track_top_keys = false;
+  NitroKAry prev(sketch::KArySketch(8, 8192, 5), cfg);
+  NitroKAry cur(sketch::KArySketch(8, 8192, 5), cfg);
+
+  trace::WorkloadSpec spec;
+  spec.packets = 200'000;
+  spec.flows = 5000;
+  spec.seed = 6;
+  const auto stream = trace::caida_like(spec);
+  for (const auto& p : stream) prev.update(p.key);
+  const FlowKey spiked = flow_key_for_rank(777777, 0x5a1ceULL);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    cur.update(stream[i].key);
+    if (i % 50 == 0) cur.update(spiked);  // 4000 extra packets
+  }
+  const std::int64_t diff = std::llabs(cur.query(spiked) - prev.query(spiked));
+  EXPECT_NEAR(static_cast<double>(diff), 4000.0, 1500.0);
+}
+
+TEST(Modes, VanillaAndFixedRateConvergeToSameHeavyHitters) {
+  trace::WorkloadSpec spec;
+  spec.packets = 400'000;
+  spec.flows = 20'000;
+  spec.seed = 7;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+
+  NitroConfig vanilla_cfg;
+  vanilla_cfg.mode = Mode::kVanilla;
+  vanilla_cfg.top_keys = 100;
+  NitroConfig fixed_cfg;
+  fixed_cfg.mode = Mode::kFixedRate;
+  fixed_cfg.probability = 0.05;
+  fixed_cfg.top_keys = 100;
+
+  NitroCountMin v(sketch::CountMinSketch(5, 8192, 8), vanilla_cfg);
+  NitroCountMin f(sketch::CountMinSketch(5, 8192, 8), fixed_cfg);
+  for (const auto& p : stream) {
+    v.update(p.key);
+    f.update(p.key);
+  }
+  // The true top-10 must appear in both top-keys stores.
+  const auto vt = v.top_keys();
+  const auto ft = f.top_keys();
+  for (const auto& [key, count] : truth.top_k(10)) {
+    const auto in = [&](const auto& vec) {
+      for (const auto& e : vec) {
+        if (e.key == key) return true;
+      }
+      return false;
+    };
+    EXPECT_TRUE(in(vt)) << count;
+    EXPECT_TRUE(in(ft)) << count;
+  }
+}
+
+TEST(Modes, ConfigSeedChangesSamplingPattern) {
+  NitroConfig a;
+  a.mode = Mode::kFixedRate;
+  a.probability = 0.1;
+  a.track_top_keys = false;
+  NitroConfig b = a;
+  b.seed = a.seed ^ 0x1234;
+  NitroCountSketch na(CountSketch(5, 1024, 9), a);
+  NitroCountSketch nb(CountSketch(5, 1024, 9), b);
+  for (int i = 0; i < 20000; ++i) {
+    const FlowKey k = flow_key_for_rank(i % 500, 2);
+    na.update(k);
+    nb.update(k);
+  }
+  // Same sketch seeds, different sampling seeds: counts differ but both
+  // are valid samples (same expectation).
+  EXPECT_NE(na.sampled_updates(), nb.sampled_updates());
+}
+
+}  // namespace
+}  // namespace nitro::core

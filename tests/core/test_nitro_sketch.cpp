@@ -1,0 +1,223 @@
+#include "core/nitro_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::core {
+namespace {
+
+using sketch::CountMinSketch;
+using sketch::CountSketch;
+using sketch::KArySketch;
+using trace::flow_key_for_rank;
+
+trace::Trace zipf_stream(std::uint64_t packets, std::uint64_t flows, std::uint64_t seed) {
+  trace::WorkloadSpec spec;
+  spec.packets = packets;
+  spec.flows = flows;
+  spec.seed = seed;
+  return trace::caida_like(spec);
+}
+
+NitroConfig fixed_rate(double p) {
+  NitroConfig cfg;
+  cfg.mode = Mode::kFixedRate;
+  cfg.probability = p;
+  return cfg;
+}
+
+TEST(NitroSketch, VanillaModeMatchesBaseSketchExactly) {
+  NitroConfig cfg;
+  cfg.mode = Mode::kVanilla;
+  cfg.track_top_keys = false;
+  NitroCountMin nitro(CountMinSketch(5, 1024, 7), cfg);
+  CountMinSketch plain(5, 1024, 7);
+  const auto stream = zipf_stream(20000, 2000, 1);
+  for (const auto& p : stream) {
+    nitro.update(p.key);
+    plain.update(p.key);
+  }
+  for (int i = 0; i < 200; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 1);
+    EXPECT_EQ(nitro.query(k), plain.query(k));
+  }
+}
+
+TEST(NitroSketch, FixedRateSamplesExpectedFraction) {
+  auto cfg = fixed_rate(0.01);
+  cfg.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 4096, 3), cfg);
+  const auto stream = zipf_stream(500000, 10000, 2);
+  for (const auto& p : stream) nitro.update(p.key);
+  const double rate = static_cast<double>(nitro.sampled_updates()) /
+                      (5.0 * static_cast<double>(nitro.packets()));
+  EXPECT_NEAR(rate, 0.01, 0.002);
+}
+
+TEST(NitroSketch, EstimatesUnbiasedAcrossSeeds) {
+  // Mean of the Nitro-CS estimate over many independent runs approaches
+  // the true count (Theorem 2's unbiasedness).
+  const FlowKey target = flow_key_for_rank(1, 5);
+  double sum = 0.0;
+  constexpr int kTrials = 30;
+  for (int t = 0; t < kTrials; ++t) {
+    auto cfg = fixed_rate(0.1);
+    cfg.seed = 1000 + t;
+    cfg.track_top_keys = false;
+    NitroCountSketch nitro(CountSketch(5, 8192, 100 + t), cfg);
+    const auto stream = zipf_stream(50000, 5000, 5);
+    for (const auto& p : stream) nitro.update(p.key);
+    sum += static_cast<double>(nitro.query(target));
+  }
+  trace::GroundTruth truth(zipf_stream(50000, 5000, 5));
+  const double real = static_cast<double>(truth.count(target));
+  ASSERT_GT(real, 100.0);  // target must actually be a sizable flow
+  EXPECT_NEAR(sum / kTrials / real, 1.0, 0.2);
+}
+
+TEST(NitroSketch, ErrorWithinEpsL2AfterConvergence) {
+  auto cfg = fixed_rate(0.05);
+  cfg.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 16384, 11), cfg);
+  const auto stream = zipf_stream(400000, 20000, 6);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) nitro.update(p.key);
+  // w = 8 eps^-2 p^-1  =>  eps = sqrt(8/(w p)).
+  const double eps = std::sqrt(8.0 / (16384.0 * 0.05));
+  const double bound = eps * truth.l2();
+  std::size_t violations = 0;
+  for (const auto& [key, count] : truth.top_k(100)) {
+    if (std::abs(static_cast<double>(nitro.query(key) - count)) > bound) ++violations;
+  }
+  EXPECT_LE(violations, 5u);
+}
+
+TEST(NitroSketch, AlwaysCorrectIdenticalToVanillaBeforeConvergence) {
+  NitroConfig ac;
+  ac.mode = Mode::kAlwaysCorrect;
+  ac.probability = 1.0 / 128.0;
+  ac.epsilon = 0.01;  // strict -> convergence far away
+  ac.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 2048, 13), ac);
+  CountSketch plain(5, 2048, 13);
+  const auto stream = zipf_stream(30000, 3000, 7);
+  for (const auto& p : stream) {
+    nitro.update(p.key);
+    plain.update(p.key);
+  }
+  ASSERT_FALSE(nitro.converged());
+  for (int i = 0; i < 200; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 7);
+    EXPECT_EQ(nitro.query(k), plain.query(k));
+  }
+}
+
+TEST(NitroSketch, AlwaysCorrectSwitchesToSampling) {
+  NitroConfig ac;
+  ac.mode = Mode::kAlwaysCorrect;
+  ac.probability = 0.1;
+  ac.epsilon = 0.3;  // loose -> converges quickly
+  ac.convergence_check_interval = 1000;
+  ac.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 2048, 17), ac);
+  const auto stream = zipf_stream(400000, 2000, 8);
+  for (const auto& p : stream) nitro.update(p.key);
+  EXPECT_TRUE(nitro.converged());
+  // After convergence only ~p of slots update; over the whole stream the
+  // update fraction must be well below the vanilla 100%.
+  const double rate = static_cast<double>(nitro.sampled_updates()) /
+                      (5.0 * static_cast<double>(nitro.packets()));
+  EXPECT_LT(rate, 0.5);
+}
+
+TEST(NitroSketch, AlwaysLineRateAdaptsProbability) {
+  NitroConfig alr;
+  alr.mode = Mode::kAlwaysLineRate;
+  alr.probability = 1.0 / 128.0;
+  alr.target_sampled_rate_pps = 625000.0;
+  alr.track_top_keys = false;
+  NitroCountSketch nitro(CountSketch(5, 4096, 19), alr);
+  // 40Mpps arrival: ts spaced 25ns.
+  std::uint64_t now = 0;
+  for (int i = 0; i < 8'000'000; ++i) {
+    now += 25;
+    nitro.update(flow_key_for_rank(i % 1000, 9), 1, now);
+  }
+  EXPECT_DOUBLE_EQ(nitro.current_probability(), 1.0 / 64.0);
+}
+
+TEST(NitroSketch, TopKeysTrackHeavyHitters) {
+  auto cfg = fixed_rate(0.05);
+  cfg.track_top_keys = true;
+  cfg.top_keys = 50;
+  NitroCountMin nitro(CountMinSketch(5, 8192, 23), cfg);
+  const auto stream = zipf_stream(300000, 20000, 10);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) nitro.update(p.key);
+  const auto tracked = nitro.top_keys();
+  ASSERT_FALSE(tracked.empty());
+  // The top-5 true flows must all be tracked.
+  std::size_t found = 0;
+  for (const auto& [key, count] : truth.top_k(5)) {
+    for (const auto& e : tracked) {
+      if (e.key == key) {
+        ++found;
+        break;
+      }
+    }
+  }
+  EXPECT_EQ(found, 5u);
+}
+
+TEST(NitroSketch, KAryTotalIsExactUnderSampling) {
+  auto cfg = fixed_rate(0.01);
+  cfg.track_top_keys = false;
+  NitroKAry nitro(KArySketch(5, 2048, 29), cfg);
+  const auto stream = zipf_stream(50000, 1000, 11);
+  for (const auto& p : stream) nitro.update(p.key);
+  EXPECT_EQ(nitro.base().total(), 50000);
+}
+
+TEST(NitroSketch, BufferedAndUnbufferedAgreeAfterFlush) {
+  auto buffered_cfg = fixed_rate(0.1);
+  buffered_cfg.buffered_updates = true;
+  buffered_cfg.track_top_keys = false;
+  auto direct_cfg = buffered_cfg;
+  direct_cfg.buffered_updates = false;
+  NitroCountSketch a(CountSketch(5, 2048, 31), buffered_cfg);
+  NitroCountSketch b(CountSketch(5, 2048, 31), direct_cfg);
+  const auto stream = zipf_stream(50000, 5000, 12);
+  for (const auto& p : stream) {
+    a.update(p.key);
+    b.update(p.key);
+  }
+  a.flush();
+  // Same seeds -> identical geometric sequences -> identical sketches.
+  for (int i = 0; i < 100; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 12);
+    EXPECT_EQ(a.query(k), b.query(k));
+  }
+}
+
+TEST(NitroSketch, QueryFlushesPendingBuffer) {
+  auto cfg = fixed_rate(1.0);  // every row sampled; buffer fills fast
+  cfg.buffered_updates = true;
+  cfg.track_top_keys = false;
+  NitroCountMin nitro(CountMinSketch(2, 256, 37), cfg);
+  const FlowKey k = flow_key_for_rank(0, 13);
+  nitro.update(k);  // 2 row updates pending in the buffer
+  EXPECT_EQ(nitro.query(k), 1);
+}
+
+TEST(NitroSketch, MemoryBytesIncludesBaseSketch) {
+  auto cfg = fixed_rate(0.01);
+  NitroCountMin nitro(CountMinSketch(5, 10000, 41), cfg);
+  EXPECT_GE(nitro.memory_bytes(), 5u * 10000u * sizeof(std::int64_t));
+}
+
+}  // namespace
+}  // namespace nitro::core

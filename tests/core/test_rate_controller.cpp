@@ -1,0 +1,83 @@
+#include "core/rate_controller.hpp"
+
+#include <gtest/gtest.h>
+
+namespace nitro::core {
+namespace {
+
+constexpr std::uint64_t kEpochNs = 100'000'000;  // 100ms (paper default)
+
+TEST(RateController, StartsAtProbabilityOne) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0);
+}
+
+TEST(RateController, RetuneInverselyProportionalToRate) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  // Figure 6's examples: 40Mpps -> 1/64, 10Mpps -> 1/16.
+  rc.retune(40e6);
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0 / 64.0);
+  rc.retune(10e6);
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0 / 16.0);
+}
+
+TEST(RateController, LowRateKeepsProbabilityHigh) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  rc.retune(100e3);  // 100Kpps, below the budget
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0);
+}
+
+TEST(RateController, ClampsAtPMin) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  rc.retune(1e9);  // absurdly fast
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0 / 128.0);
+}
+
+TEST(RateController, ProbabilityIsAlwaysPowerOfTwo) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  for (double rate : {1e5, 7e5, 1.3e6, 2.6e6, 5e6, 1e7, 2e7, 4e7, 8e7}) {
+    rc.retune(rate);
+    const double p = rc.probability();
+    // p = 2^-k for integer k in [0, 7]
+    bool ok = false;
+    for (int k = 0; k <= 7; ++k) {
+      if (p == std::ldexp(1.0, -k)) ok = true;
+    }
+    EXPECT_TRUE(ok) << "rate=" << rate << " p=" << p;
+  }
+}
+
+TEST(RateController, OnPacketFiresAtEpochBoundary) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  // 10Mpps: 1M packets in 100ms.
+  bool fired = false;
+  std::uint64_t now = 0;
+  for (int i = 0; i < 1'100'000 && !fired; ++i) {
+    now += 100;  // 100ns spacing = 10Mpps
+    fired = rc.on_packet(now);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0 / 16.0);
+}
+
+TEST(RateController, AdaptsWhenRateDrops) {
+  RateController rc(625000.0, kEpochNs, 1.0 / 128.0);
+  std::uint64_t now = 0;
+  // Fast epoch: 40Mpps.
+  for (int i = 0; i < 4'100'000; ++i) {
+    now += 25;
+    if (rc.on_packet(now)) break;
+  }
+  EXPECT_DOUBLE_EQ(rc.probability(), 1.0 / 64.0);
+  // Slow epoch: 1Mpps.
+  bool fired = false;
+  for (int i = 0; i < 110'000 && !fired; ++i) {
+    now += 1000;
+    fired = rc.on_packet(now);
+  }
+  EXPECT_TRUE(fired);
+  EXPECT_DOUBLE_EQ(rc.probability(), 0.5);  // 625K/1M = 0.625 -> snap 0.5
+}
+
+}  // namespace
+}  // namespace nitro::core

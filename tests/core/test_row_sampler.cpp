@@ -1,0 +1,122 @@
+#include "core/row_sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+#include <vector>
+
+namespace nitro::core {
+namespace {
+
+TEST(RowSampler, ProbabilityOneUpdatesEveryRow) {
+  RowSampler s(5, 1.0, 1);
+  std::uint32_t rows[64];
+  for (int pkt = 0; pkt < 100; ++pkt) {
+    const std::uint32_t n = s.rows_for_packet(rows);
+    ASSERT_EQ(n, 5u);
+    for (std::uint32_t r = 0; r < 5; ++r) EXPECT_EQ(rows[r], r);
+  }
+}
+
+TEST(RowSampler, IncrementIsInverseProbability) {
+  EXPECT_EQ(RowSampler(5, 1.0, 1).increment(), 1);
+  EXPECT_EQ(RowSampler(5, 0.5, 1).increment(), 2);
+  EXPECT_EQ(RowSampler(5, 0.01, 1).increment(), 100);
+  EXPECT_EQ(RowSampler(5, 1.0 / 128.0, 1).increment(), 128);
+}
+
+TEST(RowSampler, EffectiveProbabilityRoundsToExactInverse) {
+  RowSampler s(5, 0.3, 1);  // 1/0.3 = 3.33 -> increment 3 -> p = 1/3
+  EXPECT_EQ(s.increment(), 3);
+  EXPECT_NEAR(s.probability(), 1.0 / 3.0, 1e-12);
+}
+
+// The marginal probability that any given (packet, row) slot is updated
+// must equal p — the equivalence claim of Figure 5.
+class RowSamplerMarginals : public ::testing::TestWithParam<double> {};
+
+TEST_P(RowSamplerMarginals, PerRowUpdateRateIsP) {
+  const double p = GetParam();
+  constexpr std::uint32_t kDepth = 5;
+  RowSampler s(kDepth, p, 42);
+  const double effective = s.probability();
+  std::array<std::uint64_t, kDepth> row_updates{};
+  std::uint32_t rows[64];
+  constexpr std::uint64_t kPackets = 300000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    const std::uint32_t n = s.rows_for_packet(rows);
+    for (std::uint32_t j = 0; j < n; ++j) row_updates[rows[j]] += 1;
+  }
+  for (std::uint32_t r = 0; r < kDepth; ++r) {
+    const double rate = static_cast<double>(row_updates[r]) / kPackets;
+    const double sigma = std::sqrt(effective * (1 - effective) / kPackets);
+    EXPECT_NEAR(rate, effective, 6 * sigma + 1e-4) << "row " << r << " p=" << p;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, RowSamplerMarginals,
+                         ::testing::Values(0.5, 0.2, 0.1, 0.05, 0.01, 1.0 / 128.0));
+
+TEST(RowSampler, SkipsWholePacketsAtSmallP) {
+  RowSampler s(5, 0.001, 7);
+  std::uint32_t rows[64];
+  std::uint64_t zero_packets = 0;
+  constexpr std::uint64_t kPackets = 100000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) {
+    if (s.rows_for_packet(rows) == 0) ++zero_packets;
+  }
+  // P(packet untouched) = (1-p)^5 ~ 0.995
+  EXPECT_GT(static_cast<double>(zero_packets) / kPackets, 0.99);
+}
+
+TEST(RowSampler, SetProbabilityChangesRate) {
+  RowSampler s(4, 1.0, 9);
+  std::uint32_t rows[64];
+  s.set_probability(0.01);
+  std::uint64_t updates = 0;
+  constexpr std::uint64_t kPackets = 200000;
+  for (std::uint64_t i = 0; i < kPackets; ++i) updates += s.rows_for_packet(rows);
+  EXPECT_NEAR(static_cast<double>(updates) / (4.0 * kPackets), 0.01, 0.002);
+}
+
+TEST(RowSampler, RowsAreStrictlyIncreasingWithinPacket) {
+  RowSampler s(8, 0.6, 11);
+  std::uint32_t rows[64];
+  for (int pkt = 0; pkt < 10000; ++pkt) {
+    const std::uint32_t n = s.rows_for_packet(rows);
+    for (std::uint32_t j = 1; j < n; ++j) {
+      EXPECT_LT(rows[j - 1], rows[j]);
+    }
+    for (std::uint32_t j = 0; j < n; ++j) EXPECT_LT(rows[j], 8u);
+  }
+}
+
+TEST(RowSampler, DeterministicFromSeed) {
+  RowSampler a(5, 0.1, 123), b(5, 0.1, 123);
+  std::uint32_t ra[64], rb[64];
+  for (int pkt = 0; pkt < 5000; ++pkt) {
+    const std::uint32_t na = a.rows_for_packet(ra);
+    const std::uint32_t nb = b.rows_for_packet(rb);
+    ASSERT_EQ(na, nb);
+    for (std::uint32_t j = 0; j < na; ++j) EXPECT_EQ(ra[j], rb[j]);
+  }
+}
+
+TEST(RowSampler, PacketsUntilNextSampleConsistent) {
+  RowSampler s(5, 0.02, 13);
+  std::uint32_t rows[64];
+  for (int i = 0; i < 1000; ++i) {
+    const std::uint64_t promised_skips = s.packets_until_next_sample();
+    if (promised_skips > 0) {
+      EXPECT_FALSE(s.current_packet_sampled());
+      EXPECT_EQ(s.rows_for_packet(rows), 0u);
+    } else {
+      EXPECT_TRUE(s.current_packet_sampled());
+      EXPECT_GT(s.rows_for_packet(rows), 0u);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace nitro::core

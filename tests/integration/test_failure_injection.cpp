@@ -1,0 +1,150 @@
+// Failure-injection and adversarial-input tests: the library must stay
+// correct (or degrade loudly, never silently) under pathological inputs.
+#include <gtest/gtest.h>
+
+#include "baselines/small_hashtable.hpp"
+#include "core/nitro_sketch.hpp"
+#include "core/nitro_univmon.hpp"
+#include "switchsim/measurement.hpp"
+#include "switchsim/nitro_separate_thread.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(FailureInjection, SingleFlowStreamStaysExact) {
+  // Degenerate workload: one flow only.  Every sketch must return ~m.
+  constexpr std::int64_t kM = 200000;
+  const FlowKey k = flow_key_for_rank(0, 1);
+
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.01;
+  core::NitroCountMin cm(sketch::CountMinSketch(5, 1024, 1), cfg);
+  core::NitroCountSketch cs(sketch::CountSketch(5, 1024, 2), cfg);
+  for (std::int64_t i = 0; i < kM; ++i) {
+    cm.update(k);
+    cs.update(k);
+  }
+  EXPECT_NEAR(static_cast<double>(cm.query(k)), static_cast<double>(kM), 0.05 * kM);
+  EXPECT_NEAR(static_cast<double>(cs.query(k)), static_cast<double>(kM), 0.05 * kM);
+}
+
+TEST(FailureInjection, EmptySketchQueriesAreZeroish) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.01;
+  core::NitroCountSketch cs(sketch::CountSketch(5, 1024, 3), cfg);
+  EXPECT_EQ(cs.query(flow_key_for_rank(0, 1)), 0);
+  core::NitroUnivMon um({}, cfg, 4);
+  EXPECT_EQ(um.query(flow_key_for_rank(0, 1)), 0);
+  EXPECT_DOUBLE_EQ(um.estimate_entropy(), 0.0);
+  EXPECT_DOUBLE_EQ(um.estimate_distinct(), 0.0);
+}
+
+TEST(FailureInjection, TinyRingDropsAreCountedNotLost) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 1.0;  // every row selected: guaranteed ring pressure
+  cfg.track_top_keys = false;
+  switchsim::NitroSeparateThread<sketch::CountMinSketch> meas(
+      sketch::CountMinSketch(5, 1024, 5), cfg, /*ring_capacity=*/8);
+  constexpr std::uint64_t kN = 100000;
+  for (std::uint64_t i = 0; i < kN; ++i) {
+    meas.on_packet(flow_key_for_rank(i % 100, 2), 64, 0);
+  }
+  meas.finish();
+  // Applied row updates + dropped row updates == 5 per packet.
+  EXPECT_EQ(meas.applied() + meas.drops(), 5 * kN);
+}
+
+TEST(FailureInjection, ZeroProbabilityFloorsAtOneIncrement) {
+  // p smaller than representable: increment must stay sane (no div by 0).
+  core::RowSampler sampler(5, 1e-12, 7);
+  EXPECT_GE(sampler.increment(), 1);
+  std::uint32_t rows[64];
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LE(sampler.rows_for_packet(rows), 5u);
+  }
+}
+
+TEST(FailureInjection, AdversarialSameBucketKeysStillBounded) {
+  // Keys engineered to collide in row 0 of a tiny sketch: the other rows'
+  // median keeps Count Sketch estimates bounded.
+  sketch::CountSketch cs(5, 8, 11);  // tiny on purpose
+  std::vector<FlowKey> colliders;
+  const auto target_col = cs.matrix().row_hash(0).index_of_digest(
+      flow_digest(flow_key_for_rank(0, 3)));
+  for (std::uint64_t i = 0; colliders.size() < 50 && i < 100000; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 3);
+    if (cs.matrix().row_hash(0).index_of_digest(flow_digest(k)) == target_col) {
+      colliders.push_back(k);
+    }
+  }
+  ASSERT_GE(colliders.size(), 10u);
+  for (const auto& k : colliders) cs.update(k, 100);
+  // Every collider still gets an estimate within [0, total]; the row-0
+  // pileup cannot push the median beyond the stream mass.
+  const double total = 100.0 * static_cast<double>(colliders.size());
+  for (const auto& k : colliders) {
+    EXPECT_LE(std::abs(static_cast<double>(cs.query(k))), total);
+  }
+}
+
+TEST(FailureInjection, HashTableFullIsReportedNotSilent) {
+  baseline::SmallHashTable ht(4);
+  for (int i = 0; i < 10000; ++i) ht.update(flow_key_for_rank(i, 5));
+  EXPECT_GT(ht.dropped(), 0u);
+  // Entries that were admitted are still exact.
+  for (const auto& [key, count] : ht.entries()) {
+    EXPECT_GE(count, 1);
+  }
+}
+
+TEST(FailureInjection, MassiveCountsDontOverflowInt64Path) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.5;
+  core::NitroCountMin cm(sketch::CountMinSketch(3, 64, 13), cfg);
+  const FlowKey k = flow_key_for_rank(0, 7);
+  cm.update(k, 1'000'000'000'000LL);  // 1e12-weight update (byte counting)
+  cm.update(k, 1'000'000'000'000LL);
+  EXPECT_GT(cm.query(k), 0);
+  EXPECT_LE(cm.query(k), 8'000'000'000'000LL);
+}
+
+TEST(FailureInjection, ByteCountingModeTracksVolumes) {
+  // Weighted updates (byte counts) through the full Nitro path.
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  core::NitroCountMin cm(sketch::CountMinSketch(5, 8192, 17), cfg);
+  trace::WorkloadSpec spec;
+  spec.packets = 200000;
+  spec.flows = 5000;
+  spec.seed = 8;
+  const auto stream = trace::caida_like(spec);
+  std::unordered_map<FlowKey, std::int64_t> bytes_truth;
+  for (const auto& p : stream) {
+    cm.update(p.key, p.wire_bytes);
+    bytes_truth[p.key] += p.wire_bytes;
+  }
+  // Top byte-consumer estimated within 25%.
+  const FlowKey* top_key = nullptr;
+  std::int64_t top_bytes = 0;
+  for (const auto& [k, b] : bytes_truth) {
+    if (b > top_bytes) {
+      top_bytes = b;
+      top_key = &k;
+    }
+  }
+  ASSERT_NE(top_key, nullptr);
+  EXPECT_NEAR(static_cast<double>(cm.query(*top_key)), static_cast<double>(top_bytes),
+              0.25 * static_cast<double>(top_bytes));
+}
+
+}  // namespace
+}  // namespace nitro

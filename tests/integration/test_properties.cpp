@@ -1,0 +1,152 @@
+// Property-style parameterized sweeps over the NitroSketch design space:
+// sampling probability x sketch shape x workload skew.  These encode the
+// theorems' qualitative content as executable checks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/nitro_sketch.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro {
+namespace {
+
+struct PropCase {
+  double p;
+  std::uint32_t depth;
+  std::uint32_t width;
+  double zipf_s;
+};
+
+std::string case_name(const ::testing::TestParamInfo<PropCase>& info) {
+  const auto& c = info.param;
+  char buf[96];
+  std::snprintf(buf, sizeof buf, "p%03d_d%u_w%u_s%03d", static_cast<int>(c.p * 1000),
+                c.depth, c.width, static_cast<int>(c.zipf_s * 100));
+  return buf;
+}
+
+class NitroProperty : public ::testing::TestWithParam<PropCase> {};
+
+// Theorem 2's content: after enough packets, |f̂ - f| <= eps*L2 for
+// eps = sqrt(8/(w*p)) with high probability.
+TEST_P(NitroProperty, ErrorWithinEpsL2Bound) {
+  const auto c = GetParam();
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = c.p;
+  cfg.track_top_keys = false;
+  core::NitroCountSketch nitro(sketch::CountSketch(c.depth, c.width, 31), cfg);
+
+  trace::WorkloadSpec spec;
+  spec.packets = 300000;
+  spec.flows = 20000;
+  spec.zipf_s = c.zipf_s;
+  spec.seed = 17;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& pkt : stream) nitro.update(pkt.key);
+
+  const double eps = std::sqrt(8.0 / (static_cast<double>(c.width) * c.p));
+  const double bound = eps * truth.l2();
+  std::size_t violations = 0;
+  const auto top = truth.top_k(100);
+  for (const auto& [key, count] : top) {
+    if (std::abs(static_cast<double>(nitro.query(key) - count)) > bound) ++violations;
+  }
+  // Failure probability per query is delta ~ exp(-Theta(d)); allow slack.
+  EXPECT_LE(violations, 10u) << "eps=" << eps << " bound=" << bound;
+}
+
+// The sampled-update budget: expected row updates per packet is d*p.
+TEST_P(NitroProperty, WorkMatchesDp) {
+  const auto c = GetParam();
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = c.p;
+  cfg.track_top_keys = false;
+  core::NitroCountSketch nitro(sketch::CountSketch(c.depth, c.width, 37), cfg);
+  trace::WorkloadSpec spec;
+  spec.packets = 200000;
+  spec.flows = 1000;
+  spec.zipf_s = c.zipf_s;
+  spec.seed = 19;
+  for (const auto& pkt : trace::caida_like(spec)) nitro.update(pkt.key);
+  const double per_packet = static_cast<double>(nitro.sampled_updates()) /
+                            static_cast<double>(nitro.packets());
+  const double expected = static_cast<double>(c.depth) * nitro.current_probability();
+  EXPECT_NEAR(per_packet / expected, 1.0, 0.1);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NitroProperty,
+    ::testing::Values(PropCase{0.1, 5, 8192, 1.0}, PropCase{0.05, 5, 8192, 1.0},
+                      PropCase{0.02, 5, 16384, 1.0}, PropCase{0.1, 3, 8192, 1.3},
+                      PropCase{0.05, 8, 8192, 0.8}, PropCase{1.0 / 128.0, 5, 32768, 1.0}),
+    case_name);
+
+// Count-Min + Nitro: Theorem 1's L1 regime.  The relative error on true
+// heavy hitters decreases as the stream grows (convergence).
+class NitroCmConvergence : public ::testing::TestWithParam<double> {};
+
+TEST_P(NitroCmConvergence, ErrorShrinksWithStreamLength) {
+  const double p = GetParam();
+  auto run_err = [&](std::uint64_t packets) {
+    core::NitroConfig cfg;
+    cfg.mode = core::Mode::kFixedRate;
+    cfg.probability = p;
+    cfg.track_top_keys = false;
+    core::NitroCountMin nitro(sketch::CountMinSketch(5, 8192, 41), cfg);
+    trace::WorkloadSpec spec;
+    spec.packets = packets;
+    spec.flows = 10000;
+    spec.seed = 23;
+    const auto stream = trace::caida_like(spec);
+    trace::GroundTruth truth(stream);
+    for (const auto& pkt : stream) nitro.update(pkt.key);
+    double err = 0.0;
+    const auto top = truth.top_k(30);
+    for (const auto& [key, count] : top) {
+      err += std::abs(static_cast<double>(nitro.query(key) - count)) /
+             static_cast<double>(count);
+    }
+    return err / static_cast<double>(top.size());
+  };
+  const double err_short = run_err(20000);
+  const double err_long = run_err(640000);
+  EXPECT_LT(err_long, err_short);
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, NitroCmConvergence, ::testing::Values(0.1, 0.02));
+
+// Geometric-sampling equivalence at the sketch level: the total mass
+// absorbed by each row, scaled by p^-1, is an unbiased estimate of the
+// stream length.
+class RowMassProperty : public ::testing::TestWithParam<double> {};
+
+TEST_P(RowMassProperty, PerRowMassUnbiased) {
+  const double p = GetParam();
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = p;
+  cfg.track_top_keys = false;
+  cfg.buffered_updates = false;
+  core::NitroCountMin nitro(sketch::CountMinSketch(5, 4096, 43), cfg);
+  constexpr std::uint64_t kPackets = 400000;
+  trace::WorkloadSpec spec;
+  spec.packets = kPackets;
+  spec.flows = 5000;
+  spec.seed = 29;
+  for (const auto& pkt : trace::caida_like(spec)) nitro.update(pkt.key);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    const double mass = static_cast<double>(nitro.base().matrix().row_sum(r));
+    EXPECT_NEAR(mass / static_cast<double>(kPackets), 1.0, 0.05) << "row " << r;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(SweepP, RowMassProperty,
+                         ::testing::Values(1.0, 0.5, 0.1, 0.01, 1.0 / 128.0));
+
+}  // namespace
+}  // namespace nitro

@@ -1,0 +1,122 @@
+#include "sketch/count_min.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(CountMin, ExactForFewFlows) {
+  CountMinSketch cm(5, 1000, 1);
+  for (int i = 0; i < 10; ++i) {
+    for (int rep = 0; rep <= i; ++rep) cm.update(flow_key_for_rank(i, 0));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cm.query(flow_key_for_rank(i, 0)), i + 1);
+  }
+}
+
+TEST(CountMin, NeverUnderestimates) {
+  CountMinSketch cm(4, 64, 2);  // deliberately tiny -> collisions
+  trace::WorkloadSpec spec;
+  spec.packets = 20000;
+  spec.flows = 2000;
+  spec.seed = 3;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) cm.update(p.key);
+  for (const auto& [key, count] : truth.counts()) {
+    EXPECT_GE(cm.query(key), count);
+  }
+}
+
+TEST(CountMin, WeightedUpdates) {
+  CountMinSketch cm(3, 100, 4);
+  const FlowKey k = flow_key_for_rank(0, 0);
+  cm.update(k, 100);
+  cm.update(k, 23);
+  EXPECT_EQ(cm.query(k), 123);
+}
+
+TEST(CountMin, TotalCountsAllUpdates) {
+  CountMinSketch cm(3, 100, 5);
+  for (int i = 0; i < 50; ++i) cm.update(flow_key_for_rank(i, 0), 2);
+  EXPECT_EQ(cm.total(), 100);
+}
+
+TEST(CountMin, AbsentKeyBoundedByEpsilonL1) {
+  // w = 1000 -> eps = e/w ~ 0.0027; with L1 = 50k the error on an absent
+  // key should be well below eps*L1 in the typical case and never crazy.
+  CountMinSketch cm(5, 1000, 6);
+  trace::WorkloadSpec spec;
+  spec.packets = 50000;
+  spec.flows = 5000;
+  spec.seed = 7;
+  for (const auto& p : trace::caida_like(spec)) cm.update(p.key);
+  const FlowKey absent = flow_key_for_rank(1, 0xdeadULL);  // different family
+  EXPECT_LE(cm.query(absent), static_cast<std::int64_t>(0.01 * 50000));
+}
+
+TEST(CountMin, MergeEquivalentToSequential) {
+  CountMinSketch a(4, 256, 8), b(4, 256, 8), c(4, 256, 8);
+  for (int i = 0; i < 100; ++i) {
+    a.update(flow_key_for_rank(i, 0));
+    c.update(flow_key_for_rank(i, 0));
+  }
+  for (int i = 50; i < 150; ++i) {
+    b.update(flow_key_for_rank(i, 0));
+    c.update(flow_key_for_rank(i, 0));
+  }
+  a.merge(b);
+  for (int i = 0; i < 150; ++i) {
+    EXPECT_EQ(a.query(flow_key_for_rank(i, 0)), c.query(flow_key_for_rank(i, 0)));
+  }
+}
+
+TEST(CountMin, ClearResets) {
+  CountMinSketch cm(3, 64, 9);
+  cm.update(flow_key_for_rank(0, 0), 5);
+  cm.clear();
+  EXPECT_EQ(cm.query(flow_key_for_rank(0, 0)), 0);
+  EXPECT_EQ(cm.total(), 0);
+}
+
+// Property sweep: the (ε, δ) bound. For w counters, the error on any
+// tracked flow is <= e*L1/w with probability >= 1-exp(-d) per query.
+class CountMinBound : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(CountMinBound, ErrorWithinTheoryOnZipf) {
+  const auto [depth, width] = GetParam();
+  CountMinSketch cm(depth, width, 11);
+  trace::WorkloadSpec spec;
+  spec.packets = 100000;
+  spec.flows = 10000;
+  spec.seed = 13;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) cm.update(p.key);
+
+  const double eps_l1 = 2.71828 * static_cast<double>(spec.packets) / width;
+  std::size_t violations = 0;
+  std::size_t queries = 0;
+  for (const auto& [key, count] : truth.top_k(200)) {
+    ++queries;
+    if (static_cast<double>(cm.query(key) - count) > eps_l1) ++violations;
+  }
+  // Allowed failure probability per query is exp(-depth); generous slack.
+  EXPECT_LE(violations, std::max<std::size_t>(2, queries / 10))
+      << "depth=" << depth << " width=" << width;
+}
+
+INSTANTIATE_TEST_SUITE_P(Shapes, CountMinBound,
+                         ::testing::Values(std::make_tuple(3, 512),
+                                           std::make_tuple(5, 1000),
+                                           std::make_tuple(5, 4096),
+                                           std::make_tuple(8, 2048)));
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,122 @@
+#include "sketch/count_sketch.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(CountSketch, ExactForFewFlows) {
+  CountSketch cs(5, 1024, 1);
+  for (int i = 0; i < 10; ++i) {
+    for (int rep = 0; rep < 5 * (i + 1); ++rep) cs.update(flow_key_for_rank(i, 0));
+  }
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cs.query(flow_key_for_rank(i, 0)), 5 * (i + 1));
+  }
+}
+
+TEST(CountSketch, UnbiasedOverRandomSeeds) {
+  // Average the estimate of one mid-size flow across many independent
+  // sketches; the mean must approach the true count.
+  const FlowKey target = flow_key_for_rank(1, 0);
+  const std::int64_t target_count = 50;
+  double sum = 0.0;
+  constexpr int kTrials = 60;
+  for (int t = 0; t < kTrials; ++t) {
+    CountSketch cs(1, 32, 1000 + t);  // single row -> raw unbiased estimator
+    cs.update(target, target_count);
+    for (int i = 2; i < 300; ++i) cs.update(flow_key_for_rank(i, 0), 5);
+    sum += static_cast<double>(cs.query(target));
+  }
+  EXPECT_NEAR(sum / kTrials, static_cast<double>(target_count), 25.0);
+}
+
+TEST(CountSketch, ErrorBoundedByEpsL2) {
+  CountSketch cs(5, 4096, 2);
+  trace::WorkloadSpec spec;
+  spec.packets = 200000;
+  spec.flows = 20000;
+  spec.seed = 3;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) cs.update(p.key);
+
+  const double eps_l2 = 3.0 / std::sqrt(4096.0) * truth.l2();
+  std::size_t violations = 0;
+  for (const auto& [key, count] : truth.top_k(100)) {
+    if (std::abs(static_cast<double>(cs.query(key) - count)) > eps_l2) ++violations;
+  }
+  EXPECT_LE(violations, 5u);
+}
+
+TEST(CountSketch, L2EstimateTracksGroundTruth) {
+  CountSketch cs(5, 8192, 4);
+  trace::WorkloadSpec spec;
+  spec.packets = 100000;
+  spec.flows = 5000;
+  spec.seed = 5;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) cs.update(p.key);
+  EXPECT_NEAR(cs.l2_estimate() / truth.l2(), 1.0, 0.1);
+}
+
+TEST(CountSketch, L2EstimateGrowsMonotonically) {
+  CountSketch cs(5, 1024, 6);
+  double prev = 0.0;
+  trace::WorkloadSpec spec;
+  spec.packets = 50000;
+  spec.flows = 1000;
+  spec.seed = 7;
+  const auto stream = trace::caida_like(spec);
+  for (std::size_t i = 0; i < stream.size(); ++i) {
+    cs.update(stream[i].key);
+    if ((i + 1) % 10000 == 0) {
+      const double cur = cs.l2_squared_estimate();
+      EXPECT_GE(cur, prev * 0.99);  // up to estimator noise
+      prev = cur;
+    }
+  }
+}
+
+TEST(CountSketch, MergeEquivalentToSequential) {
+  CountSketch a(3, 512, 8), b(3, 512, 8), c(3, 512, 8);
+  for (int i = 0; i < 200; ++i) {
+    a.update(flow_key_for_rank(i, 0), 2);
+    c.update(flow_key_for_rank(i, 0), 2);
+  }
+  for (int i = 100; i < 300; ++i) {
+    b.update(flow_key_for_rank(i, 0), 3);
+    c.update(flow_key_for_rank(i, 0), 3);
+  }
+  a.merge(b);
+  for (int i = 0; i < 300; i += 7) {
+    EXPECT_EQ(a.query(flow_key_for_rank(i, 0)), c.query(flow_key_for_rank(i, 0)));
+  }
+}
+
+TEST(CountSketch, NegativeUpdatesSupported) {
+  CountSketch cs(5, 256, 9);
+  const FlowKey k = flow_key_for_rank(0, 0);
+  cs.update(k, 100);
+  cs.update(k, -40);
+  EXPECT_EQ(cs.query(k), 60);
+}
+
+TEST(CountSketch, ClearResets) {
+  CountSketch cs(3, 64, 10);
+  cs.update(flow_key_for_rank(0, 0), 5);
+  cs.clear();
+  EXPECT_EQ(cs.query(flow_key_for_rank(0, 0)), 0);
+  EXPECT_DOUBLE_EQ(cs.l2_squared_estimate(), 0.0);
+}
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,88 @@
+#include "sketch/hyperloglog.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(HyperLogLog, EmptyEstimatesZeroish) {
+  HyperLogLog hll(12, 1);
+  EXPECT_LT(hll.estimate(), 1.0);
+}
+
+TEST(HyperLogLog, SmallCardinalityViaLinearCounting) {
+  HyperLogLog hll(12, 2);
+  for (int i = 0; i < 100; ++i) hll.update(flow_key_for_rank(i, 0));
+  EXPECT_NEAR(hll.estimate(), 100.0, 10.0);
+}
+
+TEST(HyperLogLog, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12, 3);
+  for (int round = 0; round < 100; ++round) {
+    for (int i = 0; i < 50; ++i) hll.update(flow_key_for_rank(i, 0));
+  }
+  EXPECT_NEAR(hll.estimate(), 50.0, 8.0);
+}
+
+// Standard error is ~1.04/sqrt(2^p); sweep cardinalities at p = 12 (~1.6%).
+class HllAccuracy : public ::testing::TestWithParam<int> {};
+
+TEST_P(HllAccuracy, WithinFivePercent) {
+  const int n = GetParam();
+  HyperLogLog hll(12, 5);
+  for (int i = 0; i < n; ++i) hll.update(flow_key_for_rank(i, 1));
+  EXPECT_NEAR(hll.estimate() / n, 1.0, 0.05) << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Cardinalities, HllAccuracy,
+                         ::testing::Values(1000, 10000, 100000, 1000000));
+
+TEST(HyperLogLog, MergeEqualsUnion) {
+  HyperLogLog a(12, 7), b(12, 7);  // same seed -> same hash space
+  for (int i = 0; i < 5000; ++i) a.update(flow_key_for_rank(i, 2));
+  for (int i = 2500; i < 7500; ++i) b.update(flow_key_for_rank(i, 2));
+  a.merge(b);
+  EXPECT_NEAR(a.estimate() / 7500.0, 1.0, 0.05);
+}
+
+TEST(HyperLogLog, PrecisionTradesMemoryForAccuracy) {
+  HyperLogLog coarse(6, 9), fine(14, 9);
+  EXPECT_LT(coarse.memory_bytes(), fine.memory_bytes());
+  constexpr int kN = 200000;
+  for (int i = 0; i < kN; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 3);
+    coarse.update(k);
+    fine.update(k);
+  }
+  const double err_coarse = std::abs(coarse.estimate() - kN) / kN;
+  const double err_fine = std::abs(fine.estimate() - kN) / kN;
+  EXPECT_LT(err_fine, 0.03);
+  EXPECT_LT(err_fine, err_coarse + 0.02);
+}
+
+TEST(HyperLogLog, ClearResets) {
+  HyperLogLog hll(10, 11);
+  for (int i = 0; i < 1000; ++i) hll.update(flow_key_for_rank(i, 4));
+  hll.clear();
+  EXPECT_LT(hll.estimate(), 1.0);
+}
+
+TEST(HyperLogLog, AgreesWithGroundTruthOnZipf) {
+  HyperLogLog hll(13, 13);
+  trace::WorkloadSpec spec;
+  spec.packets = 300000;
+  spec.flows = 50000;
+  spec.seed = 5;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) hll.update(p.key);
+  EXPECT_NEAR(hll.estimate() / static_cast<double>(truth.distinct()), 1.0, 0.05);
+}
+
+}  // namespace
+}  // namespace nitro::sketch

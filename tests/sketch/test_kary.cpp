@@ -1,0 +1,91 @@
+#include "sketch/kary.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(KAry, NearExactForFewFlows) {
+  KArySketch ka(10, 4096, 1);
+  for (int i = 0; i < 5; ++i) ka.update(flow_key_for_rank(i, 0), 100 * (i + 1));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_NEAR(ka.query(flow_key_for_rank(i, 0)), 100.0 * (i + 1), 2.0);
+  }
+}
+
+TEST(KAry, AbsentKeyEstimateNearZero) {
+  KArySketch ka(10, 4096, 2);
+  trace::WorkloadSpec spec;
+  spec.packets = 50000;
+  spec.flows = 5000;
+  spec.seed = 3;
+  for (const auto& p : trace::caida_like(spec)) ka.update(p.key);
+  const FlowKey absent = flow_key_for_rank(1, 0xab5eULL);
+  EXPECT_NEAR(ka.query(absent), 0.0, 0.01 * 50000);
+}
+
+TEST(KAry, TotalTracked) {
+  KArySketch ka(5, 256, 4);
+  ka.update(flow_key_for_rank(0, 0), 10);
+  ka.update(flow_key_for_rank(1, 0), 5);
+  EXPECT_EQ(ka.total(), 15);
+}
+
+TEST(KAry, AddTotalOnlyAffectsEstimatorBias) {
+  KArySketch ka(5, 256, 5);
+  ka.update(flow_key_for_rank(0, 0), 100);
+  const double before = ka.query(flow_key_for_rank(0, 0));
+  ka.add_total(1000);  // counters untouched, S term grows
+  const double after = ka.query(flow_key_for_rank(0, 0));
+  EXPECT_LT(after, before);  // estimate shrinks as S/w subtraction grows
+  EXPECT_EQ(ka.total(), 1100);
+}
+
+TEST(KAry, DifferenceIsolatesEpochChange) {
+  KArySketch prev(8, 2048, 6), cur(8, 2048, 6);
+  // Epoch 1: flows 0..9 at 100 each.
+  for (int i = 0; i < 10; ++i) prev.update(flow_key_for_rank(i, 0), 100);
+  // Epoch 2: same, but flow 3 quadruples.
+  for (int i = 0; i < 10; ++i) cur.update(flow_key_for_rank(i, 0), i == 3 ? 400 : 100);
+  const auto diff = cur.difference(prev);
+  EXPECT_NEAR(diff.query(flow_key_for_rank(3, 0)), 300.0, 10.0);
+  EXPECT_NEAR(diff.query(flow_key_for_rank(5, 0)), 0.0, 10.0);
+}
+
+TEST(KAry, EstimatorUnbiasedOnZipf) {
+  trace::WorkloadSpec spec;
+  spec.packets = 100000;
+  spec.flows = 10000;
+  spec.seed = 8;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  KArySketch ka(10, 8192, 9);
+  for (const auto& p : stream) ka.update(p.key);
+  // Mean signed error over the top flows should be near zero (unbiased),
+  // unlike Count-Min's one-sided overestimation.
+  double signed_err = 0.0;
+  const auto top = truth.top_k(100);
+  for (const auto& [key, count] : top) {
+    signed_err += ka.query(key) - static_cast<double>(count);
+  }
+  signed_err /= static_cast<double>(top.size());
+  EXPECT_NEAR(signed_err, 0.0, 0.005 * 100000);
+}
+
+TEST(KAry, ClearResets) {
+  KArySketch ka(3, 64, 10);
+  ka.update(flow_key_for_rank(0, 0), 50);
+  ka.clear();
+  EXPECT_EQ(ka.total(), 0);
+  EXPECT_NEAR(ka.query(flow_key_for_rank(0, 0)), 0.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,91 @@
+#include "sketch/misra_gries.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(MisraGries, ExactWhenUnderCapacity) {
+  MisraGries mg(10);
+  for (int i = 0; i < 5; ++i) mg.update(flow_key_for_rank(i, 0), 10 * (i + 1));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(mg.query(flow_key_for_rank(i, 0)), 10 * (i + 1));
+  }
+}
+
+TEST(MisraGries, NeverOverestimates) {
+  MisraGries mg(8);
+  trace::WorkloadSpec spec;
+  spec.packets = 20000;
+  spec.flows = 500;
+  spec.seed = 1;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) mg.update(p.key);
+  for (const auto& [key, count] : truth.counts()) {
+    EXPECT_LE(mg.query(key), count);
+  }
+}
+
+TEST(MisraGries, ErrorBoundedByL1OverK) {
+  constexpr std::size_t kK = 32;
+  MisraGries mg(kK);
+  trace::WorkloadSpec spec;
+  spec.packets = 50000;
+  spec.flows = 2000;
+  spec.seed = 2;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) mg.update(p.key);
+  const auto bound = static_cast<std::int64_t>(spec.packets / kK);
+  for (const auto& [key, count] : truth.counts()) {
+    EXPECT_GE(mg.query(key), count - bound);
+  }
+}
+
+TEST(MisraGries, CapacityNeverExceeded) {
+  MisraGries mg(4);
+  for (int i = 0; i < 1000; ++i) mg.update(flow_key_for_rank(i % 50, 0));
+  EXPECT_LE(mg.size(), 4u);
+}
+
+TEST(MisraGries, HeavyDominatorSurvives) {
+  MisraGries mg(4);
+  // One flow is 60% of traffic: it must be tracked at the end.
+  for (int i = 0; i < 1000; ++i) {
+    mg.update(flow_key_for_rank(0, 0));
+    if (i % 3 == 0) mg.update(flow_key_for_rank(1 + (i % 7), 0));
+  }
+  EXPECT_GT(mg.query(flow_key_for_rank(0, 0)), 0);
+}
+
+TEST(MisraGries, TotalCountsEverything) {
+  MisraGries mg(2);
+  for (int i = 0; i < 100; ++i) mg.update(flow_key_for_rank(i, 0), 3);
+  EXPECT_EQ(mg.total(), 300);
+}
+
+TEST(MisraGries, ClearResets) {
+  MisraGries mg(4);
+  mg.update(flow_key_for_rank(0, 0), 5);
+  mg.clear();
+  EXPECT_EQ(mg.size(), 0u);
+  EXPECT_EQ(mg.total(), 0);
+}
+
+TEST(MisraGries, WeightedMissWithFullTableInsertsResidual) {
+  MisraGries mg(2);
+  mg.update(flow_key_for_rank(0, 0), 10);
+  mg.update(flow_key_for_rank(1, 0), 10);
+  mg.update(flow_key_for_rank(2, 0), 25);  // decrement-all by 10, insert 15
+  EXPECT_EQ(mg.query(flow_key_for_rank(2, 0)), 15);
+  EXPECT_EQ(mg.query(flow_key_for_rank(0, 0)), 0);
+}
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,116 @@
+#include "sketch/space_saving.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(SpaceSaving, ExactUnderCapacity) {
+  SpaceSaving ss(10);
+  for (int i = 0; i < 5; ++i) ss.update(flow_key_for_rank(i, 0), 10 * (i + 1));
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(ss.query(flow_key_for_rank(i, 0)), 10 * (i + 1));
+    EXPECT_EQ(ss.guaranteed(flow_key_for_rank(i, 0)), 10 * (i + 1));
+  }
+}
+
+TEST(SpaceSaving, NeverUnderestimates) {
+  SpaceSaving ss(16);
+  trace::WorkloadSpec spec;
+  spec.packets = 20000;
+  spec.flows = 1000;
+  spec.seed = 1;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) ss.update(p.key);
+  for (const auto& [key, count] : truth.counts()) {
+    const auto est = ss.query(key);
+    if (est != 0) EXPECT_GE(est, count);
+  }
+}
+
+TEST(SpaceSaving, ErrorBoundedByL1OverK) {
+  constexpr std::size_t kK = 64;
+  SpaceSaving ss(kK);
+  trace::WorkloadSpec spec;
+  spec.packets = 50000;
+  spec.flows = 3000;
+  spec.seed = 2;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) ss.update(p.key);
+  const auto bound = static_cast<std::int64_t>(spec.packets / kK);
+  for (const auto& [key, count] : truth.counts()) {
+    const auto est = ss.query(key);
+    if (est != 0) EXPECT_LE(est - count, bound);
+  }
+}
+
+TEST(SpaceSaving, FindsEveryFlowAboveL1OverK) {
+  constexpr std::size_t kK = 32;
+  SpaceSaving ss(kK);
+  trace::WorkloadSpec spec;
+  spec.packets = 60000;
+  spec.flows = 5000;
+  spec.seed = 3;
+  const auto stream = trace::caida_like(spec);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) ss.update(p.key);
+  const auto threshold = static_cast<std::int64_t>(spec.packets / kK);
+  for (const auto& [key, count] : truth.counts()) {
+    if (count > threshold) {
+      EXPECT_GT(ss.query(key), 0) << "flow of size " << count << " missing";
+    }
+  }
+}
+
+TEST(SpaceSaving, CapacityRespected) {
+  SpaceSaving ss(4);
+  for (int i = 0; i < 100; ++i) ss.update(flow_key_for_rank(i, 0));
+  EXPECT_EQ(ss.size(), 4u);
+}
+
+TEST(SpaceSaving, TakeoverInheritsMinAsError) {
+  SpaceSaving ss(1);
+  ss.update(flow_key_for_rank(0, 0), 7);
+  ss.update(flow_key_for_rank(1, 0), 1);  // takes over: count = 8, error = 7
+  EXPECT_EQ(ss.query(flow_key_for_rank(1, 0)), 8);
+  EXPECT_EQ(ss.guaranteed(flow_key_for_rank(1, 0)), 1);
+  EXPECT_EQ(ss.query(flow_key_for_rank(0, 0)), 0);  // evicted
+}
+
+TEST(SpaceSaving, HeavyHittersSortedDescending) {
+  SpaceSaving ss(16);
+  for (int i = 0; i < 8; ++i) {
+    for (int r = 0; r < 100 * (i + 1); ++r) ss.update(flow_key_for_rank(i, 0));
+  }
+  const auto hh = ss.heavy_hitters(300);
+  ASSERT_FALSE(hh.empty());
+  for (std::size_t i = 1; i < hh.size(); ++i) EXPECT_GE(hh[i - 1].second, hh[i].second);
+  EXPECT_EQ(hh.front().first, flow_key_for_rank(7, 0));
+}
+
+TEST(SpaceSaving, ClearResets) {
+  SpaceSaving ss(4);
+  ss.update(flow_key_for_rank(0, 0), 9);
+  ss.clear();
+  EXPECT_EQ(ss.size(), 0u);
+  EXPECT_EQ(ss.total(), 0);
+  EXPECT_EQ(ss.min_count(), 0);
+}
+
+TEST(SpaceSaving, MinCountIsHeapRoot) {
+  SpaceSaving ss(3);
+  ss.update(flow_key_for_rank(0, 0), 5);
+  ss.update(flow_key_for_rank(1, 0), 2);
+  ss.update(flow_key_for_rank(2, 0), 9);
+  EXPECT_EQ(ss.min_count(), 2);
+}
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,123 @@
+#include "sketch/topk.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(TopKHeap, KeepsLargestK) {
+  TopKHeap heap(3);
+  for (int i = 0; i < 10; ++i) heap.offer(flow_key_for_rank(i, 0), i * 10);
+  const auto entries = heap.entries_sorted();
+  ASSERT_EQ(entries.size(), 3u);
+  EXPECT_EQ(entries[0].estimate, 90);
+  EXPECT_EQ(entries[1].estimate, 80);
+  EXPECT_EQ(entries[2].estimate, 70);
+}
+
+TEST(TopKHeap, RefreshesExistingKeyUp) {
+  TopKHeap heap(3);
+  heap.offer(flow_key_for_rank(0, 0), 5);
+  heap.offer(flow_key_for_rank(1, 0), 10);
+  heap.offer(flow_key_for_rank(0, 0), 50);
+  const auto entries = heap.entries_sorted();
+  EXPECT_EQ(entries[0].key, flow_key_for_rank(0, 0));
+  EXPECT_EQ(entries[0].estimate, 50);
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(TopKHeap, RefreshesExistingKeyDown) {
+  TopKHeap heap(3);
+  heap.offer(flow_key_for_rank(0, 0), 50);
+  heap.offer(flow_key_for_rank(1, 0), 10);
+  heap.offer(flow_key_for_rank(0, 0), 1);  // estimate revised downward
+  EXPECT_EQ(heap.min_estimate(), 1);
+  EXPECT_TRUE(heap.contains(flow_key_for_rank(0, 0)));
+}
+
+TEST(TopKHeap, RejectsSmallWhenFull) {
+  TopKHeap heap(2);
+  heap.offer(flow_key_for_rank(0, 0), 100);
+  heap.offer(flow_key_for_rank(1, 0), 200);
+  heap.offer(flow_key_for_rank(2, 0), 50);
+  EXPECT_FALSE(heap.contains(flow_key_for_rank(2, 0)));
+  EXPECT_EQ(heap.size(), 2u);
+}
+
+TEST(TopKHeap, EvictsMinimum) {
+  TopKHeap heap(2);
+  heap.offer(flow_key_for_rank(0, 0), 100);
+  heap.offer(flow_key_for_rank(1, 0), 200);
+  heap.offer(flow_key_for_rank(2, 0), 150);
+  EXPECT_FALSE(heap.contains(flow_key_for_rank(0, 0)));
+  EXPECT_TRUE(heap.contains(flow_key_for_rank(2, 0)));
+}
+
+TEST(TopKHeap, MinEstimateIsHeapRoot) {
+  TopKHeap heap(4);
+  heap.offer(flow_key_for_rank(0, 0), 40);
+  heap.offer(flow_key_for_rank(1, 0), 10);
+  heap.offer(flow_key_for_rank(2, 0), 30);
+  EXPECT_EQ(heap.min_estimate(), 10);
+}
+
+TEST(TopKHeap, ZeroCapacityNeverStores) {
+  TopKHeap heap(0);
+  heap.offer(flow_key_for_rank(0, 0), 1000);
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_EQ(heap.min_estimate(), 0);
+}
+
+TEST(TopKHeap, ClearEmpties) {
+  TopKHeap heap(4);
+  heap.offer(flow_key_for_rank(0, 0), 5);
+  heap.clear();
+  EXPECT_EQ(heap.size(), 0u);
+  EXPECT_FALSE(heap.contains(flow_key_for_rank(0, 0)));
+}
+
+TEST(TopKHeap, StressAgainstSortedReference) {
+  // Monotonically increasing estimates (the sketch-estimate pattern):
+  // final heap must contain exactly the keys with the k largest finals.
+  constexpr std::size_t kK = 16;
+  constexpr int kKeys = 400;
+  TopKHeap heap(kK);
+  std::vector<std::int64_t> finals(kKeys);
+  Pcg32 rng(99);
+  for (int round = 1; round <= 50; ++round) {
+    for (int i = 0; i < kKeys; ++i) {
+      if (rng.next_double() < 0.3) {
+        finals[i] += rng.next_below(100);
+        heap.offer(flow_key_for_rank(i, 0), finals[i]);
+      }
+    }
+  }
+  std::vector<std::pair<std::int64_t, int>> ranked;
+  for (int i = 0; i < kKeys; ++i) ranked.push_back({finals[i], i});
+  std::sort(ranked.rbegin(), ranked.rend());
+  // Every key whose final estimate strictly exceeds the (k+1)-th largest
+  // must be present.
+  const std::int64_t cutoff = ranked[kK].first;
+  for (std::size_t r = 0; r < kK; ++r) {
+    if (ranked[r].first > cutoff) {
+      EXPECT_TRUE(heap.contains(flow_key_for_rank(ranked[r].second, 0)))
+          << "rank " << r;
+    }
+  }
+}
+
+TEST(TopKHeap, MemoryBytesNonZeroWhenPopulated) {
+  TopKHeap heap(8);
+  heap.offer(flow_key_for_rank(0, 0), 1);
+  EXPECT_GT(heap.memory_bytes(), 0u);
+}
+
+}  // namespace
+}  // namespace nitro::sketch

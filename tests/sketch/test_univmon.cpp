@@ -1,0 +1,198 @@
+#include "sketch/univmon.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+using trace::flow_key_for_rank;
+
+UnivMonConfig small_config() {
+  UnivMonConfig cfg;
+  cfg.levels = 12;
+  cfg.depth = 5;
+  cfg.top_width = 2048;
+  cfg.min_width = 256;
+  cfg.heap_capacity = 200;
+  return cfg;
+}
+
+trace::Trace zipf_stream(std::uint64_t packets, std::uint64_t flows, std::uint64_t seed) {
+  trace::WorkloadSpec spec;
+  spec.packets = packets;
+  spec.flows = flows;
+  spec.seed = seed;
+  return trace::caida_like(spec);
+}
+
+TEST(UnivMon, PointQueryTracksBigFlows) {
+  UnivMon um(small_config(), 1);
+  const auto stream = zipf_stream(100000, 10000, 2);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) um.update(p.key);
+  for (const auto& [key, count] : truth.top_k(10)) {
+    EXPECT_NEAR(static_cast<double>(um.query(key)), static_cast<double>(count),
+                0.15 * static_cast<double>(count) + 50.0);
+  }
+}
+
+TEST(UnivMon, TotalEqualsPackets) {
+  UnivMon um(small_config(), 1);
+  const auto stream = zipf_stream(5000, 500, 3);
+  for (const auto& p : stream) um.update(p.key);
+  EXPECT_EQ(um.total(), 5000);
+}
+
+TEST(UnivMon, LevelMembershipIsPrefixClosed) {
+  UnivMon um(small_config(), 4);
+  for (int i = 0; i < 100; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 7);
+    for (std::uint32_t j = 1; j < um.num_levels(); ++j) {
+      if (!um.sampled_to_level(k, j)) {
+        EXPECT_FALSE(um.sampled_to_level(k, j + 1));
+        break;
+      }
+    }
+  }
+}
+
+TEST(UnivMon, LevelPopulationHalvesApproximately) {
+  UnivMon um(small_config(), 5);
+  int counts[4] = {0, 0, 0, 0};
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 11);
+    for (int j = 1; j <= 4; ++j) {
+      if (um.sampled_to_level(k, j)) counts[j - 1]++;
+    }
+  }
+  EXPECT_NEAR(counts[0] / static_cast<double>(kN), 0.5, 0.03);
+  EXPECT_NEAR(counts[1] / static_cast<double>(kN), 0.25, 0.03);
+  EXPECT_NEAR(counts[2] / static_cast<double>(kN), 0.125, 0.02);
+  EXPECT_NEAR(counts[3] / static_cast<double>(kN), 0.0625, 0.02);
+}
+
+TEST(UnivMon, EntropyCloseToGroundTruth) {
+  UnivMon um(small_config(), 6);
+  const auto stream = zipf_stream(200000, 20000, 7);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) um.update(p.key);
+  EXPECT_NEAR(um.estimate_entropy() / truth.entropy(), 1.0, 0.15);
+}
+
+TEST(UnivMon, DistinctCloseToGroundTruth) {
+  UnivMon um(small_config(), 8);
+  const auto stream = zipf_stream(200000, 20000, 9);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) um.update(p.key);
+  EXPECT_NEAR(um.estimate_distinct() / static_cast<double>(truth.distinct()), 1.0, 0.35);
+}
+
+TEST(UnivMon, L2CloseToGroundTruth) {
+  UnivMon um(small_config(), 10);
+  const auto stream = zipf_stream(100000, 10000, 11);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) um.update(p.key);
+  EXPECT_NEAR(um.estimate_l2() / truth.l2(), 1.0, 0.1);
+}
+
+TEST(UnivMon, HeavyHittersRecallHigh) {
+  UnivMon um(small_config(), 12);
+  const auto stream = zipf_stream(200000, 20000, 13);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) um.update(p.key);
+
+  const auto threshold = static_cast<std::int64_t>(0.0005 * 200000);  // 0.05%
+  const auto true_hh = truth.heavy_hitters(threshold);
+  const auto got = um.heavy_hitters(threshold);
+  std::size_t found = 0;
+  for (const auto& [key, count] : true_hh) {
+    for (const auto& e : got) {
+      if (e.key == key) {
+        ++found;
+        break;
+      }
+    }
+  }
+  ASSERT_FALSE(true_hh.empty());
+  EXPECT_GE(static_cast<double>(found) / static_cast<double>(true_hh.size()), 0.9);
+}
+
+TEST(UnivMon, ClearResets) {
+  UnivMon um(small_config(), 14);
+  um.update(flow_key_for_rank(0, 0), 100);
+  um.clear();
+  EXPECT_EQ(um.total(), 0);
+  EXPECT_EQ(um.query(flow_key_for_rank(0, 0)), 0);
+  EXPECT_DOUBLE_EQ(um.estimate_distinct(), 0.0);
+}
+
+TEST(UnivMon, WidthDecayConfig) {
+  UnivMonConfig cfg;
+  cfg.top_width = 1000;
+  cfg.width_decay = 0.5;
+  cfg.min_width = 100;
+  EXPECT_EQ(cfg.width_at(0), 1000u);
+  EXPECT_EQ(cfg.width_at(1), 500u);
+  EXPECT_EQ(cfg.width_at(2), 250u);
+  EXPECT_EQ(cfg.width_at(5), 100u);  // clamped at min_width
+}
+
+TEST(UnivMon, MomentEstimatesTrackGroundTruth) {
+  UnivMon um(small_config(), 18);
+  const auto stream = zipf_stream(200000, 20000, 19);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) um.update(p.key);
+  // F1 = stream length (exact identity of the G-sum with g(f) = f).
+  EXPECT_NEAR(um.estimate_moment(1.0) / 200000.0, 1.0, 0.25);
+  // F2 = L2^2.
+  const double f2_true = truth.l2() * truth.l2();
+  EXPECT_NEAR(um.estimate_moment(2.0) / f2_true, 1.0, 0.3);
+  // F0 = distinct count.
+  EXPECT_NEAR(um.estimate_moment(0.0) / static_cast<double>(truth.distinct()), 1.0,
+              0.35);
+}
+
+TEST(UnivMon, MergeCombinesTwoVantagePoints) {
+  UnivMon a(small_config(), 21), b(small_config(), 21);  // same seeds
+  const auto s1 = zipf_stream(50000, 5000, 15);
+  const auto s2 = zipf_stream(50000, 5000, 16);
+  trace::GroundTruth truth;
+  for (const auto& p : s1) {
+    a.update(p.key);
+    truth.add(p.key, 1);
+  }
+  for (const auto& p : s2) {
+    b.update(p.key);
+    truth.add(p.key, 1);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.total(), 100000);
+  for (const auto& [key, count] : truth.top_k(10)) {
+    EXPECT_NEAR(static_cast<double>(a.query(key)), static_cast<double>(count),
+                0.2 * static_cast<double>(count) + 50.0);
+  }
+}
+
+TEST(UnivMon, MergeRejectsMismatchedShape) {
+  UnivMon a(small_config(), 21);
+  auto other_cfg = small_config();
+  other_cfg.levels = 4;
+  UnivMon b(other_cfg, 21);
+  EXPECT_THROW(a.merge(b), std::invalid_argument);
+}
+
+TEST(UnivMon, MemoryBytesGrowsWithWidth) {
+  UnivMonConfig small = small_config();
+  UnivMonConfig big = small;
+  big.top_width *= 4;
+  EXPECT_GT(UnivMon(big, 1).memory_bytes(), UnivMon(small, 1).memory_bytes());
+}
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,73 @@
+#include "switchsim/packet.hpp"
+
+#include <gtest/gtest.h>
+
+#include "trace/workloads.hpp"
+
+namespace nitro::switchsim {
+namespace {
+
+trace::PacketRecord sample_record() {
+  trace::PacketRecord rec;
+  rec.key.src_ip = 0x0a000001;
+  rec.key.dst_ip = 0xc0a80102;
+  rec.key.src_port = 1234;
+  rec.key.dst_port = 80;
+  rec.key.proto = 6;
+  rec.wire_bytes = 128;
+  rec.ts_ns = 999;
+  return rec;
+}
+
+TEST(Packet, RoundTripsThroughWireFormat) {
+  const auto rec = sample_record();
+  const RawPacket raw = make_raw(rec);
+  const auto key = extract_miniflow(raw);
+  ASSERT_TRUE(key.has_value());
+  EXPECT_EQ(*key, rec.key);
+  EXPECT_EQ(raw.wire_bytes, 128);
+  EXPECT_EQ(raw.ts_ns, 999u);
+}
+
+TEST(Packet, NonIpv4Rejected) {
+  auto raw = make_raw(sample_record());
+  raw.header[12] = 0x86;  // EtherType -> not 0x0800
+  raw.header[13] = 0xdd;
+  EXPECT_FALSE(extract_miniflow(raw).has_value());
+}
+
+TEST(Packet, BadIpVersionRejected) {
+  auto raw = make_raw(sample_record());
+  raw.header[14] = 0x65;  // version 6
+  EXPECT_FALSE(extract_miniflow(raw).has_value());
+}
+
+TEST(Packet, MaterializePreservesOrderAndKeys) {
+  trace::WorkloadSpec spec;
+  spec.packets = 1000;
+  spec.flows = 100;
+  spec.seed = 1;
+  const auto stream = trace::caida_like(spec);
+  const auto raws = materialize(stream);
+  ASSERT_EQ(raws.size(), stream.size());
+  for (std::size_t i = 0; i < raws.size(); ++i) {
+    const auto key = extract_miniflow(raws[i]);
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, stream[i].key);
+  }
+}
+
+TEST(Packet, EveryProtoAndPortSurvives) {
+  trace::PacketRecord rec = sample_record();
+  for (std::uint8_t proto : {6, 17, 1, 47}) {
+    rec.key.proto = proto;
+    rec.key.src_port = static_cast<std::uint16_t>(proto * 1000 + 1);
+    rec.key.dst_port = static_cast<std::uint16_t>(65535 - proto);
+    const auto key = extract_miniflow(make_raw(rec));
+    ASSERT_TRUE(key.has_value());
+    EXPECT_EQ(*key, rec.key);
+  }
+}
+
+}  // namespace
+}  // namespace nitro::switchsim

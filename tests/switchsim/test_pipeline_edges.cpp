@@ -1,0 +1,124 @@
+// Edge cases of the switch substrate: malformed packets, drop actions,
+// partial bursts, and cross-pipeline consistency.
+#include <gtest/gtest.h>
+
+#include "sketch/count_min.hpp"
+#include "switchsim/bess_pipeline.hpp"
+#include "switchsim/measurement.hpp"
+#include "switchsim/ovs_pipeline.hpp"
+#include "switchsim/vpp_graph.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::switchsim {
+namespace {
+
+std::vector<RawPacket> with_corruption(std::size_t n, std::size_t every) {
+  trace::WorkloadSpec spec;
+  spec.packets = n;
+  spec.flows = 100;
+  spec.seed = 3;
+  auto raws = materialize(trace::caida_like(spec));
+  for (std::size_t i = 0; i < raws.size(); i += every) {
+    raws[i].header[12] = 0x08;
+    raws[i].header[13] = 0x06;  // ARP EtherType -> parse rejects
+  }
+  return raws;
+}
+
+TEST(PipelineEdges, OvsCountsMalformedAsDrops) {
+  NoMeasurement none;
+  OvsPipeline pipe(none);
+  const auto raws = with_corruption(1000, 10);
+  const auto stats = pipe.run(raws);
+  EXPECT_EQ(stats.drops, 100u);
+  EXPECT_EQ(stats.packets, 900u);
+}
+
+TEST(PipelineEdges, MeasurementNeverSeesMalformedPackets) {
+  sketch::CountMinSketch cm(3, 1024, 1);
+  InlineMeasurementNoTs<sketch::CountMinSketch> meas(cm);
+  OvsPipeline pipe(meas);
+  pipe.run(with_corruption(1000, 10));
+  EXPECT_EQ(cm.total(), 900);
+}
+
+TEST(PipelineEdges, VppAndBessAgreeOnDropCount) {
+  const auto raws = with_corruption(2048, 8);
+  NoMeasurement m1, m2;
+  VppGraph vpp(m1);
+  BessPipeline bess(m2);
+  const auto s1 = vpp.run(raws);
+  const auto s2 = bess.run(raws);
+  EXPECT_EQ(s1.drops, s2.drops);
+  EXPECT_EQ(s1.packets, s2.packets);
+}
+
+TEST(PipelineEdges, PartialFinalBurstProcessed) {
+  // 33 packets = one full burst of 32 + a 1-packet tail.
+  trace::WorkloadSpec spec;
+  spec.packets = 33;
+  spec.flows = 4;
+  spec.seed = 5;
+  const auto raws = materialize(trace::caida_like(spec));
+  NoMeasurement none;
+  OvsPipeline pipe(none);
+  EXPECT_EQ(pipe.run(raws).packets, 33u);
+}
+
+TEST(PipelineEdges, EmptyTraceYieldsZeroStats) {
+  NoMeasurement none;
+  OvsPipeline pipe(none);
+  const auto stats = pipe.run(std::vector<RawPacket>{});
+  EXPECT_EQ(stats.packets, 0u);
+  EXPECT_EQ(stats.drops, 0u);
+}
+
+TEST(PipelineEdges, DropActionRuleDropsMatchingFlows) {
+  NoMeasurement none;
+  OvsPipeline pipe(none);
+  // Install a drop rule for one /8 in the classifier.
+  FlowKey victim_net;
+  victim_net.src_ip = 0x0a000000;
+  pipe.classifier().add_rule(0, victim_net, kActionDrop);
+
+  trace::Trace stream;
+  trace::PacketRecord rec;
+  rec.key.src_ip = 0x0a112233;  // matches the drop rule's /8
+  rec.key.dst_ip = 1;
+  rec.wire_bytes = 64;
+  for (int i = 0; i < 100; ++i) stream.push_back(rec);
+  rec.key.src_ip = 0x0b000001;  // different /8: forwarded
+  for (int i = 0; i < 50; ++i) stream.push_back(rec);
+
+  const auto stats = pipe.run(materialize(stream));
+  EXPECT_EQ(stats.drops, 100u);
+  EXPECT_EQ(stats.packets, 50u);
+}
+
+TEST(PipelineEdges, TinyEmcStillForwardsEverything) {
+  NoMeasurement none;
+  OvsPipeline pipe(none, /*emc_entries=*/2);  // constant EMC thrash
+  trace::WorkloadSpec spec;
+  spec.packets = 10000;
+  spec.flows = 1000;
+  spec.seed = 7;
+  const auto stats = pipe.run(materialize(trace::caida_like(spec)));
+  EXPECT_EQ(stats.packets, 10000u);
+  EXPECT_GT(pipe.emc().misses(), 1000u);  // classifier fallback exercised
+}
+
+TEST(PipelineEdges, ByteAccountingMatchesWireSizes) {
+  trace::WorkloadSpec spec;
+  spec.packets = 5000;
+  spec.flows = 100;
+  spec.seed = 9;
+  const auto stream = trace::caida_like(spec);
+  std::uint64_t expected = 0;
+  for (const auto& p : stream) expected += p.wire_bytes;
+  NoMeasurement none;
+  OvsPipeline pipe(none);
+  EXPECT_EQ(pipe.run(materialize(stream)).bytes, expected);
+}
+
+}  // namespace
+}  // namespace nitro::switchsim

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "core/nitro_sketch.hpp"
+#include "switchsim/bess_pipeline.hpp"
+#include "switchsim/instrumented_univmon.hpp"
+#include "switchsim/ovs_pipeline.hpp"
+#include "switchsim/vpp_graph.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::switchsim {
+namespace {
+
+trace::Trace small_trace(std::uint64_t packets = 50000) {
+  trace::WorkloadSpec spec;
+  spec.packets = packets;
+  spec.flows = 2000;
+  spec.seed = 7;
+  return trace::caida_like(spec);
+}
+
+TEST(OvsPipeline, ForwardsAllValidPackets) {
+  NoMeasurement nomeas;
+  OvsPipeline pipe(nomeas);
+  const auto stream = small_trace();
+  const auto raws = materialize(stream);
+  const auto stats = pipe.run(raws);
+  EXPECT_EQ(stats.packets, stream.size());
+  EXPECT_EQ(stats.drops, 0u);
+  EXPECT_GT(stats.seconds, 0.0);
+  EXPECT_GT(stats.throughput().mpps, 0.0);
+}
+
+TEST(OvsPipeline, EmcAbsorbsRepeatedFlows) {
+  NoMeasurement nomeas;
+  OvsPipeline pipe(nomeas);
+  const auto raws = materialize(small_trace());
+  pipe.run(raws);
+  // 2000 flows into an 8192-entry EMC: hits dominate misses.
+  EXPECT_GT(pipe.emc().hits(), pipe.emc().misses() * 5);
+}
+
+TEST(OvsPipeline, InlineMeasurementSeesEveryPacket) {
+  sketch::CountMinSketch cm(5, 4096, 1);
+  InlineMeasurementNoTs<sketch::CountMinSketch> meas(cm);
+  OvsPipeline pipe(meas);
+  const auto stream = small_trace();
+  pipe.run(materialize(stream));
+  EXPECT_EQ(cm.total(), static_cast<std::int64_t>(stream.size()));
+}
+
+TEST(OvsPipeline, NitroAioEndToEndAccuracy) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  core::NitroCountMin nitro(sketch::CountMinSketch(5, 8192, 2), cfg);
+  InlineMeasurement<core::NitroCountMin> meas(nitro);
+  OvsPipeline pipe(meas);
+  const auto stream = small_trace(200000);
+  trace::GroundTruth truth(stream);
+  pipe.run(materialize(stream));
+  const auto top = truth.top_k(5);
+  for (const auto& [key, count] : top) {
+    EXPECT_NEAR(static_cast<double>(nitro.query(key)), static_cast<double>(count),
+                0.3 * static_cast<double>(count) + 100.0);
+  }
+}
+
+TEST(OvsPipeline, ProfiledRunAccountsAllStages) {
+  sketch::CountMinSketch cm(5, 4096, 3);
+  InlineMeasurementNoTs<sketch::CountMinSketch> meas(cm);
+  OvsPipeline pipe(meas);
+  Profile prof;
+  pipe.run(materialize(small_trace(20000)), &prof);
+  EXPECT_GT(prof.parse.cycles(), 0u);
+  EXPECT_GT(prof.lookup.cycles(), 0u);
+  EXPECT_GT(prof.measurement.cycles(), 0u);
+  double total = 0.0;
+  for (const auto& s : prof.shares()) total += s.percent;
+  EXPECT_NEAR(total, 100.0, 0.1);
+}
+
+TEST(VppGraph, ForwardsAndMeasures) {
+  sketch::CountMinSketch cm(5, 4096, 4);
+  InlineMeasurementNoTs<sketch::CountMinSketch> meas(cm);
+  VppGraph graph(meas);
+  const auto stream = small_trace();
+  const auto stats = graph.run(materialize(stream));
+  EXPECT_EQ(stats.packets, stream.size());
+  EXPECT_EQ(cm.total(), static_cast<std::int64_t>(stream.size()));
+}
+
+TEST(VppGraph, RoutesViaPrefixTable) {
+  NoMeasurement nomeas;
+  VppGraph graph(nomeas);
+  graph.ip4_lookup().add_route(10, 3);
+  const auto stats = graph.run(materialize(small_trace(1000)));
+  EXPECT_EQ(stats.packets, 1000u);
+}
+
+TEST(BessPipeline, ForwardsAndMeasures) {
+  sketch::CountMinSketch cm(5, 4096, 5);
+  InlineMeasurementNoTs<sketch::CountMinSketch> meas(cm);
+  BessPipeline pipe(meas);
+  const auto stream = small_trace();
+  const auto stats = pipe.run(materialize(stream));
+  EXPECT_EQ(stats.packets, stream.size());
+  EXPECT_EQ(cm.total(), static_cast<std::int64_t>(stream.size()));
+}
+
+TEST(Pipelines, AllThreeAgreeOnPacketCounts) {
+  const auto stream = small_trace(30000);
+  const auto raws = materialize(stream);
+  NoMeasurement m1, m2, m3;
+  OvsPipeline ovs(m1);
+  VppGraph vpp(m2);
+  BessPipeline bess(m3);
+  EXPECT_EQ(ovs.run(raws).packets, stream.size());
+  EXPECT_EQ(vpp.run(raws).packets, stream.size());
+  EXPECT_EQ(bess.run(raws).packets, stream.size());
+}
+
+TEST(InstrumentedUnivMon, BreakdownCoversHashCountersHeap) {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 8;
+  cfg.depth = 5;
+  cfg.top_width = 1024;
+  cfg.min_width = 256;
+  cfg.heap_capacity = 100;
+  InstrumentedUnivMon meas(cfg, 6);
+  OvsPipeline pipe(meas);
+  pipe.run(materialize(small_trace(20000)));
+  EXPECT_GT(meas.hash_cycles(), 0u);
+  EXPECT_GT(meas.counter_cycles(), 0u);
+  EXPECT_GT(meas.heap_cycles(), 0u);
+  EXPECT_EQ(meas.univmon().total(), 20000);
+}
+
+TEST(Throughput, UnitConversions) {
+  // 14.88Mpps of 64B packets == 10GbE with framing overhead.
+  const auto t = Throughput::from(14'880'000, 14'880'000ull * 64, 1.0);
+  EXPECT_NEAR(t.mpps, 14.88, 0.01);
+  EXPECT_NEAR(t.gbps, 10.0, 0.05);
+}
+
+}  // namespace
+}  // namespace nitro::switchsim

@@ -1,0 +1,92 @@
+#include "trace/ground_truth.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "trace/workloads.hpp"
+
+namespace nitro::trace {
+namespace {
+
+TEST(GroundTruth, CountsAndTotal) {
+  GroundTruth gt;
+  gt.add(flow_key_for_rank(0, 0), 5);
+  gt.add(flow_key_for_rank(0, 0), 3);
+  gt.add(flow_key_for_rank(1, 0), 2);
+  EXPECT_EQ(gt.count(flow_key_for_rank(0, 0)), 8);
+  EXPECT_EQ(gt.count(flow_key_for_rank(1, 0)), 2);
+  EXPECT_EQ(gt.count(flow_key_for_rank(2, 0)), 0);
+  EXPECT_EQ(gt.total(), 10);
+  EXPECT_EQ(gt.distinct(), 2u);
+}
+
+TEST(GroundTruth, NormsOnKnownDistribution) {
+  GroundTruth gt;
+  gt.add(flow_key_for_rank(0, 0), 3);
+  gt.add(flow_key_for_rank(1, 0), 4);
+  EXPECT_DOUBLE_EQ(gt.l1(), 7.0);
+  EXPECT_DOUBLE_EQ(gt.l2(), 5.0);
+}
+
+TEST(GroundTruth, EntropyUniformIsLogN) {
+  GroundTruth gt;
+  for (int i = 0; i < 16; ++i) gt.add(flow_key_for_rank(i, 0), 10);
+  EXPECT_NEAR(gt.entropy(), 4.0, 1e-9);
+}
+
+TEST(GroundTruth, EntropySingleFlowIsZero) {
+  GroundTruth gt;
+  gt.add(flow_key_for_rank(0, 0), 1000);
+  EXPECT_NEAR(gt.entropy(), 0.0, 1e-9);
+}
+
+TEST(GroundTruth, HeavyHittersSortedAndThresholded) {
+  GroundTruth gt;
+  for (int i = 0; i < 10; ++i) gt.add(flow_key_for_rank(i, 0), 10 * (i + 1));
+  const auto hh = gt.heavy_hitters(50);
+  ASSERT_EQ(hh.size(), 6u);  // counts 50..100
+  EXPECT_EQ(hh.front().second, 100);
+  for (std::size_t i = 1; i < hh.size(); ++i) EXPECT_GE(hh[i - 1].second, hh[i].second);
+}
+
+TEST(GroundTruth, TopKTruncates) {
+  GroundTruth gt;
+  for (int i = 0; i < 100; ++i) gt.add(flow_key_for_rank(i, 0), i + 1);
+  const auto top = gt.top_k(5);
+  ASSERT_EQ(top.size(), 5u);
+  EXPECT_EQ(top[0].second, 100);
+  EXPECT_EQ(top[4].second, 96);
+}
+
+TEST(GroundTruth, ChangesDetectsGrowthAndDisappearance) {
+  GroundTruth prev, cur;
+  prev.add(flow_key_for_rank(0, 0), 100);
+  prev.add(flow_key_for_rank(1, 0), 50);
+  cur.add(flow_key_for_rank(0, 0), 500);  // grew by 400
+  cur.add(flow_key_for_rank(2, 0), 30);   // new flow, +30
+  const auto changes = GroundTruth::changes(prev, cur, 40);
+  // Expect: flow 0 (+400) and flow 1 (disappeared, 50).
+  ASSERT_EQ(changes.size(), 2u);
+  EXPECT_EQ(changes[0].first, flow_key_for_rank(0, 0));
+  EXPECT_EQ(changes[0].second, 400);
+  EXPECT_EQ(changes[1].first, flow_key_for_rank(1, 0));
+  EXPECT_EQ(changes[1].second, 50);
+}
+
+TEST(GroundTruth, FromTraceMatchesManual) {
+  WorkloadSpec spec;
+  spec.packets = 5000;
+  spec.flows = 100;
+  spec.seed = 1;
+  const auto stream = caida_like(spec);
+  GroundTruth from_trace(stream);
+  GroundTruth manual;
+  for (const auto& p : stream) manual.add(p.key, 1);
+  EXPECT_EQ(from_trace.total(), manual.total());
+  EXPECT_EQ(from_trace.distinct(), manual.distinct());
+  EXPECT_DOUBLE_EQ(from_trace.l2(), manual.l2());
+}
+
+}  // namespace
+}  // namespace nitro::trace

@@ -1,0 +1,90 @@
+#include "trace/trace_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "trace/workloads.hpp"
+
+namespace nitro::trace {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+class TraceIoTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    for (const auto& p : created_) std::filesystem::remove(p);
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(TraceIoTest, RoundTripsTrace) {
+  WorkloadSpec spec;
+  spec.packets = 10000;
+  spec.flows = 500;
+  spec.seed = 1;
+  const auto original = caida_like(spec);
+  const auto path = track(temp_path("nitro_trace_roundtrip.ntr"));
+  save_trace(path, original);
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  for (std::size_t i = 0; i < loaded.size(); ++i) {
+    EXPECT_EQ(loaded[i].key, original[i].key);
+    EXPECT_EQ(loaded[i].wire_bytes, original[i].wire_bytes);
+    EXPECT_EQ(loaded[i].ts_ns, original[i].ts_ns);
+  }
+}
+
+TEST_F(TraceIoTest, EmptyTraceRoundTrips) {
+  const auto path = track(temp_path("nitro_trace_empty.ntr"));
+  save_trace(path, {});
+  EXPECT_TRUE(load_trace(path).empty());
+}
+
+TEST_F(TraceIoTest, LargeTraceCrossesChunkBoundary) {
+  // > 65536 records exercises the chunked writer/reader.
+  const auto original = uniform_flows(70000, 100, 2);
+  const auto path = track(temp_path("nitro_trace_large.ntr"));
+  save_trace(path, original);
+  const auto loaded = load_trace(path);
+  ASSERT_EQ(loaded.size(), original.size());
+  EXPECT_EQ(loaded.front().key, original.front().key);
+  EXPECT_EQ(loaded.back().key, original.back().key);
+  EXPECT_EQ(loaded[65536].key, original[65536].key);
+}
+
+TEST_F(TraceIoTest, MissingFileThrows) {
+  EXPECT_THROW((void)load_trace("/nonexistent/dir/nope.ntr"), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, BadMagicThrows) {
+  const auto path = track(temp_path("nitro_trace_badmagic.ntr"));
+  std::ofstream out(path, std::ios::binary);
+  const char junk[16] = "not a trace....";
+  out.write(junk, sizeof junk);
+  out.close();
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+}
+
+TEST_F(TraceIoTest, TruncatedFileThrows) {
+  WorkloadSpec spec;
+  spec.packets = 1000;
+  spec.seed = 3;
+  const auto original = caida_like(spec);
+  const auto path = track(temp_path("nitro_trace_trunc.ntr"));
+  save_trace(path, original);
+  std::filesystem::resize_file(path, std::filesystem::file_size(path) / 2);
+  EXPECT_THROW((void)load_trace(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace nitro::trace

@@ -1,0 +1,136 @@
+#include "trace/workloads.hpp"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "trace/ground_truth.hpp"
+
+namespace nitro::trace {
+namespace {
+
+TEST(Workloads, CaidaDeterministicFromSeed) {
+  WorkloadSpec spec;
+  spec.packets = 10000;
+  spec.seed = 42;
+  const auto a = caida_like(spec);
+  const auto b = caida_like(spec);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key);
+    EXPECT_EQ(a[i].wire_bytes, b[i].wire_bytes);
+    EXPECT_EQ(a[i].ts_ns, b[i].ts_ns);
+  }
+}
+
+TEST(Workloads, SeedChangesTrace) {
+  WorkloadSpec spec;
+  spec.packets = 1000;
+  spec.seed = 1;
+  const auto a = caida_like(spec);
+  spec.seed = 2;
+  const auto b = caida_like(spec);
+  std::size_t same = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].key == b[i].key) ++same;
+  }
+  EXPECT_LT(same, 50u);
+}
+
+TEST(Workloads, CaidaMeanPacketSizeNear714) {
+  WorkloadSpec spec;
+  spec.packets = 100000;
+  spec.seed = 3;
+  const auto stream = caida_like(spec);
+  double sum = 0.0;
+  for (const auto& p : stream) sum += p.wire_bytes;
+  EXPECT_NEAR(sum / static_cast<double>(stream.size()), 714.0, 25.0);
+}
+
+TEST(Workloads, DatacenterIsMoreSkewedThanCaida) {
+  WorkloadSpec spec;
+  spec.packets = 200000;
+  spec.flows = 50000;
+  spec.seed = 4;
+  const GroundTruth caida(caida_like(spec));
+  const GroundTruth dc(datacenter(spec.packets, spec.flows, spec.seed));
+  auto top10_share = [](const GroundTruth& t) {
+    std::int64_t top = 0;
+    for (const auto& [k, v] : t.top_k(10)) top += v;
+    return static_cast<double>(top) / static_cast<double>(t.total());
+  };
+  EXPECT_GT(top10_share(dc), top10_share(caida));
+}
+
+TEST(Workloads, DdosConvergesOnOneDestination) {
+  const auto stream = ddos(10000, 5000, 5);
+  std::unordered_set<std::uint32_t> dsts;
+  for (const auto& p : stream) dsts.insert(p.key.dst_ip);
+  EXPECT_EQ(dsts.size(), 1u);
+}
+
+TEST(Workloads, DdosHasManyFlowsAndSmallPackets) {
+  const auto stream = ddos(200000, 100000, 6);
+  GroundTruth truth(stream);
+  EXPECT_GT(truth.distinct(), 50000u);
+  double sum = 0.0;
+  for (const auto& p : stream) sum += p.wire_bytes;
+  EXPECT_NEAR(sum / static_cast<double>(stream.size()), 272.0, 30.0);
+}
+
+TEST(Workloads, MinSizedAll64Bytes) {
+  const auto stream = min_sized_stress(5000, 1000, 7);
+  for (const auto& p : stream) EXPECT_EQ(p.wire_bytes, 64);
+}
+
+TEST(Workloads, UniformFlowsCoverKeySpaceEvenly) {
+  const auto stream = uniform_flows(100000, 100, 8);
+  GroundTruth truth(stream);
+  EXPECT_EQ(truth.distinct(), 100u);
+  for (const auto& [key, count] : truth.counts()) {
+    EXPECT_NEAR(static_cast<double>(count), 1000.0, 200.0);
+  }
+}
+
+TEST(Workloads, TimestampsMonotonic) {
+  WorkloadSpec spec;
+  spec.packets = 1000;
+  spec.seed = 9;
+  const auto stream = caida_like(spec);
+  for (std::size_t i = 1; i < stream.size(); ++i) {
+    EXPECT_GE(stream[i].ts_ns, stream[i - 1].ts_ns);
+  }
+}
+
+TEST(Workloads, TimestampsMatchConfiguredRate) {
+  WorkloadSpec spec;
+  spec.packets = 14'880'0;  // 148800 packets at 14.88Mpps -> 10ms
+  spec.rate_pps = 14'880'000.0;
+  spec.seed = 10;
+  const auto stream = caida_like(spec);
+  EXPECT_NEAR(static_cast<double>(stream.back().ts_ns), 1e7, 1e4);
+}
+
+TEST(Workloads, FlowKeyForRankStableAndDistinct) {
+  std::unordered_set<FlowKey> keys;
+  for (int i = 0; i < 10000; ++i) keys.insert(flow_key_for_rank(i, 0));
+  EXPECT_EQ(keys.size(), 10000u);
+  EXPECT_EQ(flow_key_for_rank(5, 1), flow_key_for_rank(5, 1));
+  EXPECT_NE(flow_key_for_rank(5, 1), flow_key_for_rank(5, 2));
+}
+
+TEST(Workloads, ByNameDispatch) {
+  WorkloadSpec spec;
+  spec.packets = 100;
+  spec.flows = 10;
+  spec.seed = 11;
+  EXPECT_EQ(by_name("caida", spec).size(), 100u);
+  EXPECT_EQ(by_name("dc", spec).size(), 100u);
+  EXPECT_EQ(by_name("ddos", spec).size(), 100u);
+  EXPECT_EQ(by_name("64b", spec).size(), 100u);
+  EXPECT_EQ(by_name("uniform", spec).size(), 100u);
+  EXPECT_THROW(by_name("nope", spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nitro::trace

@@ -1,0 +1,84 @@
+#include "trace/zipf.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <vector>
+
+namespace nitro::trace {
+namespace {
+
+TEST(Zipf, SamplesWithinRange) {
+  ZipfSampler z(1000, 1.0, 1);
+  for (int i = 0; i < 100000; ++i) {
+    const auto k = z.next();
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 1000u);
+  }
+}
+
+TEST(Zipf, Deterministic) {
+  ZipfSampler a(1000, 1.1, 42), b(1000, 1.1, 42);
+  for (int i = 0; i < 10000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Zipf, RankOneIsMostFrequent) {
+  ZipfSampler z(10000, 1.0, 3);
+  std::map<std::uint64_t, int> counts;
+  for (int i = 0; i < 200000; ++i) counts[z.next()] += 1;
+  int best_rank_count = counts.count(1) ? counts[1] : 0;
+  for (const auto& [rank, c] : counts) {
+    EXPECT_LE(c, best_rank_count + 3) << "rank " << rank;
+  }
+}
+
+TEST(Zipf, FrequencyRatioMatchesExponent) {
+  // P(1)/P(2) = 2^s.
+  const double s = 1.0;
+  ZipfSampler z(100000, s, 5);
+  std::uint64_t c1 = 0, c2 = 0;
+  for (int i = 0; i < 2000000; ++i) {
+    const auto k = z.next();
+    if (k == 1) ++c1;
+    if (k == 2) ++c2;
+  }
+  ASSERT_GT(c2, 0u);
+  EXPECT_NEAR(static_cast<double>(c1) / static_cast<double>(c2), std::pow(2.0, s), 0.2);
+}
+
+TEST(Zipf, HigherSkewConcentratesMass) {
+  auto top10_share = [](double s) {
+    ZipfSampler z(100000, s, 7);
+    std::uint64_t top = 0;
+    constexpr int kN = 300000;
+    for (int i = 0; i < kN; ++i) {
+      if (z.next() <= 10) ++top;
+    }
+    return static_cast<double>(top) / kN;
+  };
+  EXPECT_GT(top10_share(1.3), top10_share(0.8));
+}
+
+TEST(Zipf, SupportsHugeNWithoutTables) {
+  ZipfSampler z(100'000'000ULL, 1.0, 9);  // 100M flows, O(1) memory
+  for (int i = 0; i < 10000; ++i) {
+    const auto k = z.next();
+    EXPECT_GE(k, 1u);
+    EXPECT_LE(k, 100'000'000ULL);
+  }
+}
+
+TEST(Zipf, MildSkewCoversTail) {
+  // s = 0.4 (the DDoS generator's setting) must actually hit deep ranks.
+  ZipfSampler z(1'000'000, 0.4, 11);
+  std::uint64_t deep = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) {
+    if (z.next() > 500'000) ++deep;
+  }
+  EXPECT_GT(deep, kN / 10u);
+}
+
+}  // namespace
+}  // namespace nitro::trace

@@ -1,0 +1,200 @@
+// nitro_monitor — command-line flow-monitoring driver.
+//
+// Runs a NitroSketch data plane over a workload (generated or loaded from
+// a .ntr trace file), splits it into epochs, and prints per-epoch reports:
+// heavy hitters, changed flows, entropy, distinct count, throughput.
+//
+// Usage:
+//   nitro_monitor [--workload caida|dc|ddos|64b|uniform] [--trace FILE]
+//                 [--packets N] [--flows N] [--epochs N]
+//                 [--mode fixed|linerate|correct|vanilla] [--p PROB]
+//                 [--hh-threshold FRAC] [--top N] [--seed N]
+//                 [--save-trace FILE]
+//
+// Examples:
+//   nitro_monitor --workload caida --packets 4000000 --epochs 4 --p 0.01
+//   nitro_monitor --trace capture.ntr --mode correct
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timing.hpp"
+#include "control/daemon.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+
+namespace {
+
+struct Options {
+  std::string workload = "caida";
+  std::string trace_file;
+  std::string save_trace;
+  std::uint64_t packets = 2'000'000;
+  std::uint64_t flows = 100'000;
+  int epochs = 2;
+  std::string mode = "fixed";
+  double p = 0.01;
+  double hh_threshold = 0.0005;
+  int top = 10;
+  std::uint64_t seed = 1;
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--workload caida|dc|ddos|64b|uniform] [--trace FILE]\n"
+               "          [--packets N] [--flows N] [--epochs N]\n"
+               "          [--mode fixed|linerate|correct|vanilla] [--p PROB]\n"
+               "          [--hh-threshold FRAC] [--top N] [--seed N]\n"
+               "          [--save-trace FILE]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--workload") {
+      if (!(v = next())) return false;
+      opt.workload = v;
+    } else if (arg == "--trace") {
+      if (!(v = next())) return false;
+      opt.trace_file = v;
+    } else if (arg == "--save-trace") {
+      if (!(v = next())) return false;
+      opt.save_trace = v;
+    } else if (arg == "--packets") {
+      if (!(v = next())) return false;
+      opt.packets = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--flows") {
+      if (!(v = next())) return false;
+      opt.flows = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--epochs") {
+      if (!(v = next())) return false;
+      opt.epochs = std::atoi(v);
+    } else if (arg == "--mode") {
+      if (!(v = next())) return false;
+      opt.mode = v;
+    } else if (arg == "--p") {
+      if (!(v = next())) return false;
+      opt.p = std::atof(v);
+    } else if (arg == "--hh-threshold") {
+      if (!(v = next())) return false;
+      opt.hh_threshold = std::atof(v);
+    } else if (arg == "--top") {
+      if (!(v = next())) return false;
+      opt.top = std::atoi(v);
+    } else if (arg == "--seed") {
+      if (!(v = next())) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+nitro::core::Mode mode_of(const std::string& name) {
+  using nitro::core::Mode;
+  if (name == "fixed") return Mode::kFixedRate;
+  if (name == "linerate") return Mode::kAlwaysLineRate;
+  if (name == "correct") return Mode::kAlwaysCorrect;
+  if (name == "vanilla") return Mode::kVanilla;
+  std::fprintf(stderr, "unknown mode '%s', using fixed\n", name.c_str());
+  return Mode::kFixedRate;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nitro;
+
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  trace::Trace stream;
+  if (!opt.trace_file.empty()) {
+    std::printf("loading trace %s...\n", opt.trace_file.c_str());
+    stream = trace::load_trace(opt.trace_file);
+  } else {
+    trace::WorkloadSpec spec;
+    spec.packets = opt.packets;
+    spec.flows = opt.flows;
+    spec.seed = opt.seed;
+    std::printf("generating %s workload: %llu packets, %llu flows...\n",
+                opt.workload.c_str(), static_cast<unsigned long long>(spec.packets),
+                static_cast<unsigned long long>(spec.flows));
+    stream = trace::by_name(opt.workload, spec);
+  }
+  if (!opt.save_trace.empty()) {
+    trace::save_trace(opt.save_trace, stream);
+    std::printf("saved trace to %s\n", opt.save_trace.c_str());
+  }
+  if (stream.empty() || opt.epochs < 1) {
+    std::fprintf(stderr, "nothing to do\n");
+    return 2;
+  }
+
+  sketch::UnivMonConfig um_cfg;
+  um_cfg.levels = 16;
+  um_cfg.depth = 5;
+  um_cfg.top_width = 10000;
+  um_cfg.heap_capacity = 1000;
+
+  core::NitroConfig nitro_cfg;
+  nitro_cfg.mode = mode_of(opt.mode);
+  nitro_cfg.probability = opt.p;
+
+  control::MeasurementDaemon::Tasks tasks;
+  tasks.hh_fraction = opt.hh_threshold;
+  tasks.change_fraction = opt.hh_threshold;
+
+  control::MeasurementDaemon daemon(um_cfg, nitro_cfg, tasks, opt.seed);
+
+  const std::size_t per_epoch = stream.size() / static_cast<std::size_t>(opt.epochs);
+  std::size_t cursor = 0;
+  for (int e = 0; e < opt.epochs; ++e) {
+    const std::size_t end =
+        (e == opt.epochs - 1) ? stream.size() : cursor + per_epoch;
+    WallTimer timer;
+    for (; cursor < end; ++cursor) {
+      daemon.on_packet(stream[cursor].key, stream[cursor].ts_ns);
+    }
+    const double secs = timer.seconds();
+    const auto report = daemon.end_epoch();
+
+    std::printf("\n=== epoch %llu: %lld packets in %.2fs (%.2f Mpps) ===\n",
+                static_cast<unsigned long long>(report.epoch),
+                static_cast<long long>(report.packets), secs,
+                static_cast<double>(report.packets) / secs / 1e6);
+    std::printf("entropy %.3f bits | distinct ~%.0f flows | %zu heavy hitters |"
+                " %zu changed flows\n",
+                report.entropy, report.distinct, report.heavy_hitters.size(),
+                report.changed_flows.size());
+    int shown = 0;
+    for (const auto& h : report.heavy_hitters) {
+      std::printf("  HH  %-44s %10lld\n", to_string(h.key).c_str(),
+                  static_cast<long long>(h.estimate));
+      if (++shown >= opt.top) break;
+    }
+    shown = 0;
+    for (const auto& c : report.changed_flows) {
+      std::printf("  CHG %-44s %+10lld\n", to_string(c.key).c_str(),
+                  static_cast<long long>(c.estimate));
+      if (++shown >= opt.top) break;
+    }
+  }
+  return 0;
+}
