@@ -16,6 +16,7 @@
 #include "switchsim/measurement.hpp"
 #include "switchsim/ovs_pipeline.hpp"
 #include "switchsim/packet.hpp"
+#include "telemetry/telemetry.hpp"
 #include "trace/ground_truth.hpp"
 #include "trace/workloads.hpp"
 
@@ -95,6 +96,19 @@ double mpps_of_direct_replay_ts(const trace::Trace& stream, Sketch& sketch) {
   for (const auto& p : stream) sketch.update(p.key, 1, p.ts_ns);
   const double secs = timer.seconds();
   return static_cast<double>(stream.size()) / secs / 1e6;
+}
+
+/// Write the bench's telemetry registry as a JSON sidecar next to the
+/// printed rows (e.g. "tab02_telemetry.json"), so figure scripts can read
+/// stage shares / p-timelines without scraping stdout.
+inline void write_telemetry_sidecar(const telemetry::Registry& registry,
+                                    const char* bench_id) {
+  const std::string path = std::string(bench_id) + "_telemetry.json";
+  if (telemetry::write_file(path, telemetry::to_json(registry))) {
+    note("telemetry sidecar: %s", path.c_str());
+  } else {
+    note("telemetry sidecar: failed to write %s", path.c_str());
+  }
 }
 
 }  // namespace nitro::bench

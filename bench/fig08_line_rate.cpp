@@ -55,12 +55,15 @@ struct StRow {
 
 template <typename Base>
 StRow separate_thread_rates(Base make_base(std::uint64_t),
-                            const std::vector<switchsim::RawPacket>& raws) {
+                            const std::vector<switchsim::RawPacket>& raws,
+                            telemetry::Registry* registry = nullptr,
+                            const char* prefix = nullptr) {
   core::NitroConfig cfg = nitro_fixed(kP);
   cfg.track_top_keys = false;
   StRow row{};
   {
     switchsim::NitroSeparateThread<Base> meas(make_base(101), cfg);
+    if (registry) meas.attach_telemetry(*registry, prefix);
     row.ovs = ovs_mpps(meas, raws);
   }
   {
@@ -87,6 +90,7 @@ sketch::KArySketch make_kary(std::uint64_t seed) {
 }  // namespace
 
 int main() {
+  telemetry::Registry registry;
   banner("Figure 8a", "AIO throughput on OVS-like pipeline, CAIDA-like trace");
   trace::WorkloadSpec caida;
   caida.packets = kPackets;
@@ -115,8 +119,10 @@ int main() {
     auto cm = make_cm(3);
     switchsim::InlineMeasurementNoTs<sketch::CountMinSketch> v(cm);
     core::NitroCountMin ncm(make_cm(4), nitro_fixed(kP));
+    ncm.attach_telemetry(telemetry::SketchTelemetry::in(registry, "nitro_cm_aio"));
     switchsim::InlineMeasurement<core::NitroCountMin> n(ncm);
     aio_row("Count-Min", ovs_tput(v, caida_raws), ovs_tput(n, caida_raws));
+    ncm.publish_telemetry();
   }
   {
     auto cs = make_cs(5);
@@ -145,7 +151,8 @@ int main() {
                 bess_mpps(n3, stress_raws));
   }
   {
-    const auto r = separate_thread_rates<sketch::CountMinSketch>(make_cm, stress_raws);
+    const auto r = separate_thread_rates<sketch::CountMinSketch>(make_cm, stress_raws,
+                                                                 &registry, "nitro_cm_st");
     std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-CM ST", r.ovs, r.vpp, r.bess);
   }
   {
@@ -174,5 +181,6 @@ int main() {
     const auto r = separate_thread_rates<sketch::CountSketch>(make_cs, dc_raws);
     std::printf("  %-12s %10.2f %10.2f %10.2f\n", "Nitro-CS ST", r.ovs, r.vpp, r.bess);
   }
+  write_telemetry_sidecar(registry, "fig08");
   return 0;
 }

@@ -27,10 +27,13 @@ struct AioResult {
 };
 
 template <typename Meas>
-AioResult aio_run(Meas& meas, const std::vector<switchsim::RawPacket>& raws) {
+AioResult aio_run(Meas& meas, const std::vector<switchsim::RawPacket>& raws,
+                  telemetry::Registry* registry = nullptr,
+                  const char* prefix = nullptr) {
   switchsim::OvsPipeline pipe(meas);
   switchsim::Profile prof;
   const auto stats = pipe.run(raws, &prof);
+  if (registry) prof.publish(*registry, prefix);
   const double total = static_cast<double>(prof.total_cycles());
   return {stats.throughput().mpps,
           100.0 * static_cast<double>(prof.measurement.cycles()) / total};
@@ -46,6 +49,7 @@ void aio_pair(const char* name, const std::vector<switchsim::RawPacket>& raws,
 }  // namespace
 
 int main() {
+  telemetry::Registry registry;
   banner("Figure 10a", "CPU share of sketching, AIO integration (vanilla vs Nitro)");
   trace::WorkloadSpec spec;
   spec.packets = kPackets;
@@ -61,7 +65,8 @@ int main() {
     switchsim::InlineMeasurementNoTs<sketch::UnivMon> v(um);
     core::NitroUnivMon nu(paper_univmon(), nitro_fixed(0.01), 2);
     switchsim::InlineMeasurement<core::NitroUnivMon> n(nu);
-    aio_pair("UnivMon", raws, aio_run(v, raws), aio_run(n, raws));
+    aio_pair("UnivMon", raws, aio_run(v, raws, &registry, "fig10a_univmon_vanilla"),
+             aio_run(n, raws, &registry, "fig10a_univmon_nitro"));
   }
   {
     sketch::CountMinSketch cm(5, 10000, 3);
@@ -91,10 +96,11 @@ int main() {
   const auto stress_raws = switchsim::materialize(stress);
   std::printf("\n  %-12s %10s %18s %22s\n", "sketch", "Mpps", "ring items/pkt",
               "consumer updates/pkt");
-  auto st_row = [&](const char* name, auto base) {
+  auto st_row = [&](const char* name, const char* prefix, auto base) {
     core::NitroConfig cfg = nitro_fixed(0.01);
     cfg.track_top_keys = false;
     switchsim::NitroSeparateThread<decltype(base)> meas(std::move(base), cfg);
+    meas.attach_telemetry(registry, prefix);
     switchsim::OvsPipeline pipe(meas);
     const auto stats = pipe.run(stress_raws);
     const double per_pkt = static_cast<double>(meas.applied()) /
@@ -102,9 +108,10 @@ int main() {
     std::printf("  %-12s %10.2f %18.4f %22.4f\n", name, stats.throughput().mpps,
                 per_pkt, per_pkt);
   };
-  st_row("Nitro-CM", sketch::CountMinSketch(5, 10000, 9));
-  st_row("Nitro-CS", sketch::CountSketch(5, 102400, 10));
-  st_row("Nitro-Kary", sketch::KArySketch(10, 51200, 11));
+  st_row("Nitro-CM", "fig10b_cm_ring", sketch::CountMinSketch(5, 10000, 9));
+  st_row("Nitro-CS", "fig10b_cs_ring", sketch::CountSketch(5, 102400, 10));
+  st_row("Nitro-Kary", "fig10b_kary_ring", sketch::KArySketch(10, 51200, 11));
   std::printf("\n  paper: switching cores ~100%% busy, NitroSketch thread <50%%\n");
+  write_telemetry_sidecar(registry, "fig10");
   return 0;
 }

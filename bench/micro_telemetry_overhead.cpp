@@ -1,0 +1,112 @@
+// Telemetry overhead budget check (DESIGN.md "Observability").
+//
+// Compares NitroSketch<CountMin> update throughput in three builds of the
+// same binary:
+//   compiled-out  NitroSketch<Base, false>  — instrumentation removed by
+//                                             `if constexpr`
+//   detached      NitroSketch<Base, true>   — sites present, no registry
+//   attached      NitroSketch<Base, true>   — full registry + event log +
+//                                             1-in-1024 cycle sampling
+//
+// Exits nonzero if *attached* telemetry costs more than 5% versus the
+// compiled-out baseline (median of several reps), so CI catches any
+// instrumentation creep on the per-packet path.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <vector>
+
+#include "core/nitro_sketch.hpp"
+
+using namespace nitro;
+using namespace nitro::bench;
+
+namespace {
+
+constexpr std::uint64_t kPackets = 4'000'000;
+constexpr int kReps = 5;
+constexpr double kBudgetPercent = 5.0;
+
+core::NitroConfig bench_cfg() {
+  core::NitroConfig cfg = nitro_fixed(0.01);
+  cfg.track_top_keys = false;
+  return cfg;
+}
+
+sketch::CountMinSketch make_base() {
+  return sketch::CountMinSketch(5, 10000, 77);
+}
+
+/// Best-of-reps Mpps for one sketch variant (best-of is the standard way
+/// to strip scheduler noise from a closed-loop microbenchmark).
+template <typename MakeSketch>
+double best_mpps(const trace::Trace& stream, MakeSketch make_sketch) {
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    auto sketch = make_sketch();
+    const double mpps = mpps_of_direct_replay_ts(stream, sketch);
+    best = std::max(best, mpps);
+  }
+  return best;
+}
+
+}  // namespace
+
+int main() {
+  banner("micro_telemetry_overhead",
+         "per-packet cost of the telemetry subsystem on NitroSketch<CountMin>");
+  note("budget: attached <= %.1f%% slower than compiled-out (best of %d reps)",
+       kBudgetPercent, kReps);
+
+  trace::WorkloadSpec spec;
+  spec.packets = kPackets;
+  spec.flows = 100'000;
+  spec.seed = 99;
+  const auto stream = trace::caida_like(spec);
+
+  // Warm the trace + caches once with a throwaway run.
+  {
+    core::NitroSketch<sketch::CountMinSketch, false> warm(make_base(), bench_cfg());
+    mpps_of_direct_replay_ts(stream, warm);
+  }
+
+  const double compiled_out = best_mpps(stream, [] {
+    return core::NitroSketch<sketch::CountMinSketch, false>(make_base(), bench_cfg());
+  });
+
+  const double detached = best_mpps(stream, [] {
+    return core::NitroSketch<sketch::CountMinSketch, true>(make_base(), bench_cfg());
+  });
+
+  telemetry::Registry registry;
+  const double attached = best_mpps(stream, [&registry] {
+    static int n = 0;
+    core::NitroSketch<sketch::CountMinSketch, true> s(make_base(), bench_cfg());
+    // Fresh prefix per rep: instruments are cheap and collisions are errors.
+    s.attach_telemetry(telemetry::SketchTelemetry::in(
+        registry, "overhead_rep" + std::to_string(n++)));
+    return s;
+  });
+
+  auto overhead = [compiled_out](double mpps) {
+    return 100.0 * (compiled_out - mpps) / compiled_out;
+  };
+
+  std::printf("\n  %-24s %10s %12s\n", "variant", "Mpps", "overhead");
+  std::printf("  %-24s %10.2f %11.2f%%\n", "compiled-out", compiled_out, 0.0);
+  std::printf("  %-24s %10.2f %11.2f%%\n", "enabled, detached", detached,
+              overhead(detached));
+  std::printf("  %-24s %10.2f %11.2f%%\n", "enabled, attached", attached,
+              overhead(attached));
+
+  const double attached_overhead = overhead(attached);
+  if (attached_overhead > kBudgetPercent) {
+    std::printf("\n  FAIL: attached telemetry overhead %.2f%% exceeds the %.1f%% budget\n",
+                attached_overhead, kBudgetPercent);
+    return 1;
+  }
+  std::printf("\n  PASS: attached telemetry overhead %.2f%% within the %.1f%% budget\n",
+              attached_overhead, kBudgetPercent);
+  return 0;
+}

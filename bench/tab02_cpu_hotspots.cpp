@@ -19,10 +19,13 @@ int main() {
   const auto stream = trace::min_sized_stress(1'000'000, 100'000, 3);
   const auto raws = switchsim::materialize(stream);
 
+  telemetry::Registry registry;
   switchsim::InstrumentedUnivMon meas(paper_univmon(), 17);
   switchsim::OvsPipeline pipe(meas);
+  pipe.set_telemetry(telemetry::PipelineTelemetry::in(registry, "nitro_pipeline"));
   switchsim::Profile prof;
   pipe.run(raws, &prof);
+  prof.publish(registry);
 
   // The measurement stage subdivides into hash / counter / heap.
   const double hash = static_cast<double>(meas.hash_cycles());
@@ -55,5 +58,6 @@ int main() {
   }
   std::printf("\n  paper: hashing ~37%%, counter updates ~16%%, heap ~16%%"
               " of total CPU\n");
+  write_telemetry_sidecar(registry, "tab02");
   return 0;
 }

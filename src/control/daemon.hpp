@@ -11,6 +11,7 @@
 
 #include "control/estimation.hpp"
 #include "core/nitro_univmon.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::control {
 
@@ -44,6 +45,33 @@ class MeasurementDaemon {
     current_.update(key, 1, ts_ns);
   }
 
+  /// Bind the daemon (and its rotating data plane) to a registry.  The
+  /// sketch-level instruments live under "nitro_univmon"; because the data
+  /// plane is rotated every epoch, the daemon re-attaches after each
+  /// rotation and folds per-epoch counts into cumulative counters, so the
+  /// exported counters stay monotonic across epochs.
+  void attach_telemetry(telemetry::Registry& registry) {
+    registry_ = &registry;
+    tel_ = telemetry::SketchTelemetry::in(registry, "nitro_univmon");
+    current_.attach_telemetry(tel_);
+    publish_telemetry();
+  }
+
+  /// Refresh exported counters/gauges from the live data plane (cheap;
+  /// call before any scrape/snapshot).
+  void publish_telemetry() {
+    if (!registry_) return;
+    if (tel_.packets) {
+      tel_.packets->store(cum_packets_ + static_cast<std::uint64_t>(current_.total()));
+    }
+    if (tel_.sampled_updates) {
+      tel_.sampled_updates->store(cum_sampled_ + current_.sampled_updates());
+    }
+    if (tel_.probability) tel_.probability->set(current_.level_probability(0));
+    registry_->gauge("nitro_daemon_epoch", "epochs closed so far")
+        .set(static_cast<double>(epoch_));
+  }
+
   /// Close the epoch: compute all configured task results, rotate sketches.
   EpochReport end_epoch() {
     EpochReport report;
@@ -63,9 +91,18 @@ class MeasurementDaemon {
           changes(*previous_, current_, candidates, tasks_.change_fraction);
     }
 
+    // Fold this epoch's counts into the cumulative totals before the data
+    // plane is rotated away, so exported counters never move backwards.
+    cum_packets_ += static_cast<std::uint64_t>(current_.total());
+    cum_sampled_ += current_.sampled_updates();
+
     // Rotate: current becomes previous; fresh sketch for the next epoch.
     previous_ = std::make_unique<core::NitroUnivMon>(std::move(current_));
     current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, seed_);
+    if (registry_) {
+      current_.attach_telemetry(tel_);
+      publish_telemetry();
+    }
     return report;
   }
 
@@ -79,6 +116,10 @@ class MeasurementDaemon {
   std::uint64_t epoch_ = 0;
   core::NitroUnivMon current_;
   std::unique_ptr<core::NitroUnivMon> previous_;
+  telemetry::Registry* registry_ = nullptr;
+  telemetry::SketchTelemetry tel_{};
+  std::uint64_t cum_packets_ = 0;
+  std::uint64_t cum_sampled_ = 0;
 };
 
 }  // namespace nitro::control

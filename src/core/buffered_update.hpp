@@ -39,6 +39,7 @@ class BufferedUpdater {
   /// Apply all queued updates.  Digests are computed for the whole batch
   /// first, then counters are updated.
   void flush(sketch::CounterMatrix& matrix) {
+    if (count_ == 0) return;
     std::array<std::uint64_t, kBatch> digests;
     for (std::size_t i = 0; i < count_; ++i) {
       digests[i] = flow_digest(pending_[i].key);
@@ -47,13 +48,19 @@ class BufferedUpdater {
       matrix.update_row_digest(pending_[i].row, digests[i], pending_[i].delta);
     }
     count_ = 0;
+    ++flushes_;
   }
 
   std::size_t pending() const noexcept { return count_; }
 
+  /// Batches drained so far (telemetry publishes this as
+  /// `*_buffer_batch_flushes_total`).
+  std::uint64_t flushes() const noexcept { return flushes_; }
+
  private:
   std::array<Pending, kBatch> pending_{};
   std::size_t count_ = 0;
+  std::uint64_t flushes_ = 0;
 };
 
 }  // namespace nitro::core

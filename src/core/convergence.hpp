@@ -13,6 +13,7 @@
 
 #include "common/math_util.hpp"
 #include "sketch/counter_matrix.hpp"
+#include "telemetry/event_log.hpp"
 
 namespace nitro::core {
 
@@ -35,14 +36,22 @@ class ConvergenceDetector {
 
   bool converged() const noexcept { return converged_; }
 
+  /// Observability hook: the exact->sampled flip appends a kConvergence
+  /// event (value = packets seen at the flip, arg = `level`, which
+  /// NitroUnivMon uses to tag the UnivMon level this detector guards).
+  void attach_telemetry(telemetry::EventLog* events, std::uint32_t level = 0) noexcept {
+    events_ = events;
+    level_ = level;
+  }
+
   /// The Σ C² threshold T (exposed for tests and EXPERIMENTS.md).
   double l2_threshold() const noexcept { return l2_threshold_; }
   double l1_threshold() const noexcept { return l1_threshold_; }
 
   /// Called once per packet; performs the (amortized) convergence test
   /// every Q packets.  Returns true on the packet where convergence is
-  /// first declared.
-  bool on_packet(const sketch::CounterMatrix& matrix) {
+  /// first declared.  `now_ns` (optional) timestamps the flip event.
+  bool on_packet(const sketch::CounterMatrix& matrix, std::uint64_t now_ns = 0) {
     if (converged_) return false;
     if (++packets_ % check_interval_ != 0) return false;
     if (signed_rows_) {
@@ -55,6 +64,10 @@ class ConvergenceDetector {
       // For unsigned rows every counter increment is +1 per packet per
       // row, so row 0's sum is exactly the L1 processed so far.
       converged_ = static_cast<double>(matrix.row_sum(0)) > l1_threshold_;
+    }
+    if (converged_ && events_) {
+      events_->append(telemetry::EventKind::kConvergence, now_ns,
+                      static_cast<double>(packets_), level_);
     }
     return converged_;
   }
@@ -69,6 +82,8 @@ class ConvergenceDetector {
   bool converged_ = false;
   std::uint64_t packets_ = 0;
   std::vector<double> sums_;
+  telemetry::EventLog* events_ = nullptr;
+  std::uint32_t level_ = 0;
 };
 
 }  // namespace nitro::core

@@ -14,8 +14,10 @@
 
 #include <cstdint>
 #include <optional>
+#include <type_traits>
 
 #include "common/flow_key.hpp"
+#include "common/timing.hpp"
 #include "core/buffered_update.hpp"
 #include "core/convergence.hpp"
 #include "core/nitro_config.hpp"
@@ -25,6 +27,7 @@
 #include "sketch/count_sketch.hpp"
 #include "sketch/kary.hpp"
 #include "sketch/topk.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::core {
 
@@ -66,10 +69,21 @@ struct SketchTraits<sketch::KArySketch> {
   static void on_packet(sketch::KArySketch& s, std::int64_t count) { s.add_total(count); }
 };
 
-template <typename Base>
+/// `WithTelemetry = false` compiles every instrumentation site out of the
+/// update path (verified byte-for-byte cheap by
+/// bench/micro_telemetry_overhead); the default follows the
+/// NITRO_TELEMETRY_DISABLED macro.  Enabled-but-detached telemetry costs
+/// one predicted null check per sampled timing site.
+template <typename Base, bool WithTelemetry = telemetry::kDefaultEnabled>
 class NitroSketch {
  public:
   using Traits = SketchTraits<Base>;
+
+  /// 1-in-1024 packets get their update() bracketed by rdtsc for the
+  /// per-packet cycle histogram.  The bracket costs ~200 cycles (two
+  /// serializing reads + a cold call), so at 1/1024 it amortizes to well
+  /// under 1% of a ~16-cycle sampled-mode update.
+  static constexpr std::uint64_t kCycleSampleMask = 1023;
 
   NitroSketch(Base base, const NitroConfig& cfg)
       : base_(std::move(base)),
@@ -83,24 +97,46 @@ class NitroSketch {
   /// Process one packet (`count` = packet or byte weight, `now_ns` = its
   /// timestamp; only AlwaysLineRate consults the clock).
   void update(const FlowKey& key, std::int64_t count = 1, std::uint64_t now_ns = 0) {
-    Traits::on_packet(base_, count);
-    ++packets_;
-
-    if (cfg_.mode == Mode::kVanilla ||
-        (cfg_.mode == Mode::kAlwaysCorrect && !detector_.converged())) {
-      vanilla_update(key, count);
-      if (cfg_.mode == Mode::kAlwaysCorrect && detector_.on_packet(base_.matrix())) {
-        // Converged: fall into the sampled regime (Algorithm 1 line 15).
-        sampler_.set_probability(cfg_.probability);
+    if constexpr (WithTelemetry) {
+      if (tel_.update_cycles != nullptr && (packets_ & kCycleSampleMask) == 0)
+          [[unlikely]] {
+        // Out-of-line so the rdtsc bracket's spills stay off the fast path.
+        update_timed(key, count, now_ns);
+        return;
       }
-      return;
     }
+    update_impl(key, count, now_ns);
+  }
 
-    if (cfg_.mode == Mode::kAlwaysLineRate && rate_.on_packet(now_ns)) {
-      sampler_.set_probability(rate_.probability());
+  /// Bind registry instruments (see telemetry::SketchTelemetry).  The
+  /// adaptive controllers get their event sinks wired here, and the
+  /// current probability is logged as the timeline's starting point.
+  void attach_telemetry(const telemetry::SketchTelemetry& tel) {
+    if constexpr (WithTelemetry) {
+      tel_ = tel;
+      rate_.attach_telemetry(tel_.events, tel_.probability);
+      detector_.attach_telemetry(tel_.events);
+      if (tel_.probability) tel_.probability->set(sampler_.probability());
+      if (tel_.events) {
+        tel_.events->append(telemetry::EventKind::kProbabilityChange, 0,
+                            sampler_.probability());
+      }
+      publish_telemetry();
+    } else {
+      (void)tel;
     }
+  }
 
-    sampled_update(key, count);
+  /// Copy the internal (single-threaded) counters into the bound registry
+  /// instruments.  Called at epoch boundaries / before export; keeps the
+  /// per-packet path free of atomic increments.
+  void publish_telemetry() {
+    if constexpr (WithTelemetry) {
+      if (tel_.packets) tel_.packets->store(packets_);
+      if (tel_.sampled_updates) tel_.sampled_updates->store(sampled_updates_);
+      if (tel_.batch_flushes) tel_.batch_flushes->store(buffer_.flushes());
+      if (tel_.probability) tel_.probability->set(sampler_.probability());
+    }
   }
 
   /// Point frequency estimate.  Flushes pending buffered updates first so
@@ -112,7 +148,16 @@ class NitroSketch {
 
   /// Drain the Idea-D buffer (call at epoch end; queries do it implicitly).
   void flush() {
-    if (buffer_.pending() > 0) buffer_.flush(base_.matrix());
+    const std::size_t drained = buffer_.pending();
+    if (drained == 0) return;
+    buffer_.flush(base_.matrix());
+    if constexpr (WithTelemetry) {
+      if (tel_.explicit_flushes) tel_.explicit_flushes->inc();
+      if (tel_.events) {
+        tel_.events->append(telemetry::EventKind::kBufferFlush, 0,
+                            static_cast<double>(drained));
+      }
+    }
   }
 
   /// Heavy keys observed so far (empty when track_top_keys is off).
@@ -142,6 +187,48 @@ class NitroSketch {
   }
 
  private:
+#if defined(__GNUC__)
+  __attribute__((noinline, cold))
+#endif
+  void update_timed(const FlowKey& key, std::int64_t count, std::uint64_t now_ns) {
+    if constexpr (WithTelemetry) {
+      const std::uint64_t t0 = rdtsc();
+      update_impl(key, count, now_ns);
+      tel_.update_cycles->observe(rdtsc() - t0);
+    }
+  }
+
+  // Force-inlined: with telemetry enabled update_impl has two call sites
+  // (fast path + timed path), which otherwise defeats the "called once"
+  // inlining heuristic and costs ~25% on the per-packet path.
+#if defined(__GNUC__)
+  __attribute__((always_inline))
+#endif
+  inline void update_impl(const FlowKey& key, std::int64_t count, std::uint64_t now_ns) {
+    Traits::on_packet(base_, count);
+    ++packets_;
+
+    if (cfg_.mode == Mode::kVanilla ||
+        (cfg_.mode == Mode::kAlwaysCorrect && !detector_.converged())) {
+      vanilla_update(key, count);
+      if (cfg_.mode == Mode::kAlwaysCorrect &&
+          detector_.on_packet(base_.matrix(), now_ns)) {
+        // Converged: fall into the sampled regime (Algorithm 1 line 15).
+        sampler_.set_probability(cfg_.probability);
+        if constexpr (WithTelemetry) {
+          if (tel_.probability) tel_.probability->set(cfg_.probability);
+        }
+      }
+      return;
+    }
+
+    if (cfg_.mode == Mode::kAlwaysLineRate && rate_.on_packet(now_ns)) {
+      sampler_.set_probability(rate_.probability());
+    }
+
+    sampled_update(key, count);
+  }
+
   static double initial_probability(const NitroConfig& cfg) {
     switch (cfg.mode) {
       case Mode::kVanilla:
@@ -193,6 +280,9 @@ class NitroSketch {
   BufferedUpdater buffer_;
   std::uint64_t packets_ = 0;
   std::uint64_t sampled_updates_ = 0;
+  [[no_unique_address]] std::conditional_t<WithTelemetry, telemetry::SketchTelemetry,
+                                           telemetry::Disabled>
+      tel_{};
 };
 
 using NitroCountMin = NitroSketch<sketch::CountMinSketch>;

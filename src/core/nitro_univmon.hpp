@@ -16,11 +16,13 @@
 #include <memory>
 #include <vector>
 
+#include "common/timing.hpp"
 #include "core/convergence.hpp"
 #include "core/nitro_config.hpp"
 #include "core/rate_controller.hpp"
 #include "core/row_sampler.hpp"
 #include "sketch/univmon.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::core {
 
@@ -41,8 +43,56 @@ class NitroUnivMon {
                                              cfg.rate_epoch_ns, cfg.probability);
   }
 
+  /// Bind registry instruments.  The rate controller logs the p timeline,
+  /// each level's convergence detector logs its flip tagged with the level
+  /// index, and 1-in-1024 packets feed the update-cycle histogram.
+  void attach_telemetry(const telemetry::SketchTelemetry& tel) {
+    tel_ = tel;
+    rate_->attach_telemetry(tel_.events, tel_.probability);
+    for (std::uint32_t j = 0; j < detectors_.size(); ++j) {
+      detectors_[j].attach_telemetry(tel_.events, j);
+    }
+    if (tel_.probability) tel_.probability->set(level_probability(0));
+    if (tel_.events) {
+      tel_.events->append(telemetry::EventKind::kProbabilityChange, 0,
+                          level_probability(0));
+    }
+    publish_telemetry();
+  }
+
+  /// Copy internal counters into the bound instruments (epoch boundaries /
+  /// export time; the per-packet path never touches an atomic).
+  void publish_telemetry() {
+    if (tel_.packets) tel_.packets->store(packets_);
+    if (tel_.sampled_updates) tel_.sampled_updates->store(sampled_updates_);
+    if (tel_.probability) tel_.probability->set(level_probability(0));
+  }
+
+  /// Same 1-in-1024 cycle-sampling policy as NitroSketch::update.
+  static constexpr std::uint64_t kCycleSampleMask = 1023;
+
   void update(const FlowKey& key, std::int64_t count = 1, std::uint64_t now_ns = 0) {
+    if (tel_.update_cycles != nullptr && (packets_ & kCycleSampleMask) == 0)
+        [[unlikely]] {
+      update_timed(key, count, now_ns);
+      return;
+    }
+    update_impl(key, count, now_ns);
+  }
+
+ private:
+#if defined(__GNUC__)
+  __attribute__((noinline, cold))
+#endif
+  void update_timed(const FlowKey& key, std::int64_t count, std::uint64_t now_ns) {
+    const std::uint64_t t0 = rdtsc();
+    update_impl(key, count, now_ns);
+    tel_.update_cycles->observe(rdtsc() - t0);
+  }
+
+  void update_impl(const FlowKey& key, std::int64_t count, std::uint64_t now_ns) {
     um_.add_total(count);
+    ++packets_;
 
     if (cfg_.mode == Mode::kAlwaysLineRate && rate_->on_packet(now_ns)) {
       for (auto& s : samplers_) s.set_probability(rate_->probability());
@@ -59,7 +109,7 @@ class NitroUnivMon {
         um_.level_sketch_mut(j).update(key, count);
         um_.offer_to_heap(j, key);
         if (cfg_.mode == Mode::kAlwaysCorrect &&
-            detectors_[j].on_packet(um_.level_sketch(j).matrix())) {
+            detectors_[j].on_packet(um_.level_sketch(j).matrix(), now_ns)) {
           samplers_[j].set_probability(cfg_.probability);
         }
         continue;
@@ -80,6 +130,7 @@ class NitroUnivMon {
     }
   }
 
+ public:
   // --- Queries (all reuse UnivMon's estimators) ---------------------------
   std::int64_t query(const FlowKey& key) const { return um_.query(key); }
   double estimate_entropy() const { return um_.estimate_entropy(); }
@@ -123,6 +174,8 @@ class NitroUnivMon {
   std::vector<ConvergenceDetector> detectors_;
   std::unique_ptr<RateController> rate_;
   std::uint64_t sampled_updates_ = 0;
+  std::uint64_t packets_ = 0;
+  telemetry::SketchTelemetry tel_{};
 };
 
 }  // namespace nitro::core

@@ -10,6 +10,8 @@
 #include <cstdint>
 
 #include "common/math_util.hpp"
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
 
 namespace nitro::core {
 
@@ -17,6 +19,18 @@ class RateController {
  public:
   RateController(double target_sampled_rate_pps, std::uint64_t epoch_ns, double p_min)
       : target_pps_(target_sampled_rate_pps), epoch_ns_(epoch_ns), p_min_(p_min) {}
+
+  /// Observability hooks (all optional): every epoch retune bumps
+  /// `retunes`, every *change* of p appends a kProbabilityChange event
+  /// (timestamped with the packet clock) and refreshes the gauge.
+  void attach_telemetry(telemetry::EventLog* events,
+                        telemetry::Gauge* probability_gauge = nullptr,
+                        telemetry::Counter* retunes = nullptr) noexcept {
+    events_ = events;
+    probability_gauge_ = probability_gauge;
+    retunes_ = retunes;
+    if (probability_gauge_) probability_gauge_->set(probability_);
+  }
 
   /// Feed one packet arrival.  Returns true when an epoch boundary was
   /// crossed and `probability()` was re-tuned.
@@ -29,6 +43,7 @@ class RateController {
     // spans epoch_packets-1 inter-arrival gaps.
     const double seconds = static_cast<double>(now_ns - epoch_start_ns_) * 1e-9;
     const double rate_pps = static_cast<double>(epoch_packets_ - 1) / seconds;
+    last_now_ns_ = now_ns;
     retune(rate_pps);
     epoch_start_ns_ = now_ns;
     epoch_packets_ = 0;
@@ -40,7 +55,15 @@ class RateController {
   void retune(double rate_pps) {
     double p = rate_pps > 0 ? target_pps_ / rate_pps : 1.0;
     p = snap_probability_pow2(p, max_shift_);
-    probability_ = std::max(p, p_min_);
+    p = std::max(p, p_min_);
+    if (retunes_) retunes_->inc();
+    if (p != probability_) {
+      probability_ = p;
+      if (events_) {
+        events_->append(telemetry::EventKind::kProbabilityChange, last_now_ns_, p);
+      }
+      if (probability_gauge_) probability_gauge_->set(p);
+    }
   }
 
   double probability() const noexcept { return probability_; }
@@ -58,6 +81,10 @@ class RateController {
   double probability_ = 1.0;
   std::uint64_t epoch_start_ns_ = 0;
   std::uint64_t epoch_packets_ = 0;
+  std::uint64_t last_now_ns_ = 0;
+  telemetry::EventLog* events_ = nullptr;
+  telemetry::Gauge* probability_gauge_ = nullptr;
+  telemetry::Counter* retunes_ = nullptr;
 };
 
 }  // namespace nitro::core

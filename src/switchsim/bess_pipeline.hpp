@@ -89,26 +89,33 @@ class BessPipeline {
     modules_.push_back(std::make_unique<BessL2Forward>());
   }
 
+  /// Bind registry counters; folded in once per run().
+  void set_telemetry(const telemetry::PipelineTelemetry& tel) { tel_ = tel; }
+
   RunStats run(std::span<const RawPacket> packets) {
     RunStats stats;
     WallTimer timer;
     BessContext ctx;
     ctx.stats = &stats;
     std::size_t i = 0;
+    std::uint64_t bursts = 0;
     while (i < packets.size()) {
       const std::size_t burst = std::min(kBurstSize, packets.size() - i);
       ctx.batch = packets.subspan(i, burst);
       for (auto& m : modules_) m->process(ctx);
       i += burst;
+      ++bursts;
     }
     measurement_->finish();
     stats.seconds = timer.seconds();
+    tel_.add_run(stats.packets, stats.bytes, stats.drops, bursts);
     return stats;
   }
 
  private:
   std::vector<std::unique_ptr<BessModule>> modules_;
   Measurement* measurement_ = nullptr;
+  telemetry::PipelineTelemetry tel_{};
 };
 
 }  // namespace nitro::switchsim

@@ -9,12 +9,32 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
 
 #include "common/flow_key.hpp"
 #include "common/spsc_ring.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::switchsim {
+
+/// One polite busy-wait iteration (PAUSE on x86; plain yield elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Consecutive empty polls tolerated at PAUSE granularity before a
+/// consumer thread escalates to yielding the core (bounded backoff: an
+/// empty ring costs scheduler quanta, not a spinning core).
+inline constexpr std::uint32_t kSpinsBeforeYield = 64;
 
 class Measurement {
  public:
@@ -77,6 +97,10 @@ class SeparateThreadMeasurement final : public Measurement {
     std::uint64_t ts_ns;
   };
 
+  /// The consumer samples ring occupancy into the telemetry histogram once
+  /// every this many pops.
+  static constexpr std::uint64_t kOccupancySampleInterval = 256;
+
   explicit SeparateThreadMeasurement(Sketch& sketch, std::size_t ring_capacity = 1 << 16)
       : sketch_(sketch), ring_(ring_capacity) {
     consumer_ = std::thread([this] { run(); });
@@ -85,22 +109,78 @@ class SeparateThreadMeasurement final : public Measurement {
   ~SeparateThreadMeasurement() override { stop(); }
 
   void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
-    if (!ring_.try_push({key, ts_ns})) ++drops_;
+    if (ring_.try_push({key, ts_ns})) {
+      ++pushed_;
+      return;
+    }
+    // Overruns are dropped and counted, never blocked on (§6: losing a
+    // sample costs accuracy, stalling the forwarding thread costs packets).
+    drops_.inc();
+    const std::uint64_t n = drops_.value();
+    // Acquire pairs with the release store in attach_telemetry() so the
+    // log's construction is visible before first use.
+    telemetry::EventLog* events = events_.load(std::memory_order_acquire);
+    if (events && (n == 1 || (n & 0xffff) == 0)) {
+      events->append(telemetry::EventKind::kRingDrop, ts_ns,
+                     static_cast<double>(n));
+    }
   }
 
-  void finish() override { stop(); }
+  /// Drain barrier: blocks until the consumer has applied every pushed
+  /// item, then returns with the consumer still running, so a pipeline can
+  /// run multiple epochs against one measurement.  The thread itself stops
+  /// in the destructor.
+  void finish() override {
+    while (applied_.load(std::memory_order_acquire) < pushed_) cpu_relax();
+  }
 
-  std::uint64_t drops() const noexcept { return drops_; }
+  /// Expose the internal counters in `registry` (the drop and idle-spin
+  /// counters live here and are registered by reference; occupancy
+  /// histogram and the event log are registry-owned).
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix) {
+    registry.register_external_counter(prefix + "_drops_total",
+                                       "ring overruns: samples dropped", drops_);
+    registry.register_external_counter(
+        prefix + "_idle_spins_total",
+        "consumer poll rounds that found the ring empty", idle_spins_);
+    occupancy_.store(&registry.histogram(prefix + "_occupancy",
+                                         "ring occupancy sampled by the consumer"),
+                     std::memory_order_release);
+    events_.store(&registry.event_log(prefix + "_events"), std::memory_order_release);
+  }
+
+  std::uint64_t drops() const noexcept { return drops_.value(); }
+  std::uint64_t idle_spins() const noexcept { return idle_spins_.value(); }
+  std::uint64_t applied() const noexcept {
+    return applied_.load(std::memory_order_relaxed);
+  }
 
  private:
   void run() {
     Item item;
+    std::uint32_t idle = 0;
+    std::uint64_t pops_since_sample = 0;
     while (!done_.load(std::memory_order_acquire) || !ring_.empty_approx()) {
       if (ring_.try_pop(item)) {
+        idle = 0;
         if constexpr (requires { sketch_.update(item.key, std::int64_t{1}, item.ts_ns); }) {
           sketch_.update(item.key, 1, item.ts_ns);
         } else {
           sketch_.update(item.key, 1);
+        }
+        telemetry::Histogram* occ = occupancy_.load(std::memory_order_acquire);
+        if (occ && ++pops_since_sample >= kOccupancySampleInterval) {
+          pops_since_sample = 0;
+          occ->observe(ring_.size_approx());
+        }
+        applied_.fetch_add(1, std::memory_order_release);
+      } else {
+        idle_spins_.inc();
+        if (idle < kSpinsBeforeYield) {
+          ++idle;
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
         }
       }
     }
@@ -117,7 +197,13 @@ class SeparateThreadMeasurement final : public Measurement {
   SpscRing<Item> ring_;
   std::thread consumer_;
   std::atomic<bool> done_{false};
-  std::uint64_t drops_ = 0;
+  std::uint64_t pushed_ = 0;                   // producer-thread only
+  std::atomic<std::uint64_t> applied_{0};      // consumer -> producer barrier
+  telemetry::Counter drops_;  // relaxed atomic (was a racy plain u64)
+  telemetry::Counter idle_spins_;
+  // Atomic because attach_telemetry() may run after the consumer started.
+  std::atomic<telemetry::Histogram*> occupancy_{nullptr};
+  std::atomic<telemetry::EventLog*> events_{nullptr};
 };
 
 }  // namespace nitro::switchsim

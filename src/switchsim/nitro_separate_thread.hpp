@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <string>
 #include <thread>
 
 #include "common/flow_key.hpp"
@@ -21,6 +22,7 @@
 #include "core/row_sampler.hpp"
 #include "sketch/topk.hpp"
 #include "switchsim/measurement.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::switchsim {
 
@@ -56,18 +58,32 @@ class NitroSeparateThread final : public Measurement {
     if (n == 0) return;
     const std::int64_t delta = sampler_.increment();
     for (std::uint32_t i = 0; i < n; ++i) {
-      if (!ring_.try_push({key, rows[i], delta})) ++drops_;
+      if (!ring_.try_push({key, rows[i], delta})) drops_.inc();
     }
   }
 
   void finish() override { stop(); }
+
+  /// Expose ring counters and wire the rate controller's p-timeline into
+  /// `registry` (same layout as SeparateThreadMeasurement).
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix) {
+    registry.register_external_counter(prefix + "_drops_total",
+                                       "ring overruns: samples dropped", drops_);
+    registry.register_external_counter(
+        prefix + "_idle_spins_total",
+        "consumer poll rounds that found the ring empty", idle_spins_);
+    rate_.attach_telemetry(&registry.event_log(prefix + "_events"),
+                           &registry.gauge(prefix + "_sampling_probability",
+                                           "current geometric sampling probability p"));
+  }
 
   /// Queries run on the control path after finish().
   std::int64_t query(const FlowKey& key) const { return Traits::query(base_, key); }
   const Base& base() const noexcept { return base_; }
   const sketch::TopKHeap& heap() const noexcept { return heap_; }
   std::uint64_t packets() const noexcept { return packets_; }
-  std::uint64_t drops() const noexcept { return drops_; }
+  std::uint64_t drops() const noexcept { return drops_.value(); }
+  std::uint64_t idle_spins() const noexcept { return idle_spins_.value(); }
   std::uint64_t applied() const noexcept { return applied_.load(std::memory_order_relaxed); }
 
  private:
@@ -79,8 +95,21 @@ class NitroSeparateThread final : public Measurement {
 
   void run() {
     Item item;
+    std::uint32_t idle = 0;
     while (!done_.load(std::memory_order_acquire) || !ring_.empty_approx()) {
-      if (!ring_.try_pop(item)) continue;
+      if (!ring_.try_pop(item)) {
+        // Bounded backoff: PAUSE for a while, then hand the core back to
+        // the scheduler instead of burning it on an empty ring.
+        idle_spins_.inc();
+        if (idle < kSpinsBeforeYield) {
+          ++idle;
+          cpu_relax();
+        } else {
+          std::this_thread::yield();
+        }
+        continue;
+      }
+      idle = 0;
       base_.matrix().update_row(item.row, item.key, item.delta);
       applied_.fetch_add(1, std::memory_order_relaxed);
       if (heap_.capacity() > 0) heap_.offer(item.key, Traits::query(base_, item.key));
@@ -104,7 +133,8 @@ class NitroSeparateThread final : public Measurement {
   std::atomic<bool> done_{false};
   std::atomic<std::uint64_t> applied_{0};
   std::uint64_t packets_ = 0;
-  std::uint64_t drops_ = 0;
+  telemetry::Counter drops_;  // relaxed atomic: producer writes, control reads
+  telemetry::Counter idle_spins_;
 };
 
 }  // namespace nitro::switchsim

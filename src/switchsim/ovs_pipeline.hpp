@@ -16,6 +16,7 @@
 #include "switchsim/measurement.hpp"
 #include "switchsim/packet.hpp"
 #include "switchsim/profile.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::switchsim {
 
@@ -38,12 +39,17 @@ class OvsPipeline {
 
   TupleSpaceClassifier& classifier() { return classifier_; }
 
+  /// Bind registry counters for forwarded packets/bytes/drops/bursts;
+  /// folded in once per run(), so the per-packet path is untouched.
+  void set_telemetry(const telemetry::PipelineTelemetry& tel) { tel_ = tel; }
+
   /// Replay a materialized trace through the pipeline.  `profile` may be
   /// null to skip instrumentation (lower overhead for pure throughput).
   RunStats run(std::span<const RawPacket> packets, Profile* profile = nullptr) {
     RunStats stats;
     WallTimer timer;
     std::size_t i = 0;
+    std::uint64_t bursts = 0;
     const std::size_t n = packets.size();
     while (i < n) {
       const std::size_t burst = std::min(kBurstSize, n - i);
@@ -53,9 +59,11 @@ class OvsPipeline {
         run_burst(packets.subspan(i, burst), stats);
       }
       i += burst;
+      ++bursts;
     }
     measurement_.finish();
     stats.seconds = timer.seconds();
+    tel_.add_run(stats.packets, stats.bytes, stats.drops, bursts);
     return stats;
   }
 
@@ -124,6 +132,7 @@ class OvsPipeline {
   Measurement& measurement_;
   Emc emc_;
   TupleSpaceClassifier classifier_;
+  telemetry::PipelineTelemetry tel_{};
   std::uint64_t port_packets_[4] = {0, 0, 0, 0};
   std::uint64_t port_bytes_[4] = {0, 0, 0, 0};
 };

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/timing.hpp"
+#include "telemetry/telemetry.hpp"
 
 namespace nitro::switchsim {
 
@@ -46,6 +47,37 @@ struct Profile {
     lookup.reset();
     measurement.reset();
     action.reset();
+  }
+
+  /// Fold the stage accounting into a telemetry registry (the one source
+  /// Table 2 / Figure 10 and the exporters read): absolute cycles as
+  /// counters `<prefix>_cycles_total_<stage>` and the percentage shares as
+  /// gauges `<prefix>_share_percent_<stage>`.  Idempotent — repeated calls
+  /// refresh the same instruments.
+  void publish(telemetry::Registry& registry,
+               const std::string& prefix = "nitro_stage") const {
+    struct StageRef {
+      const char* id;
+      const CycleAccumulator* acc;
+    };
+    const StageRef stages[] = {
+        {"recv", &recv},
+        {"parse", &parse},
+        {"lookup", &lookup},
+        {"measurement", &measurement},
+        {"action", &action},
+    };
+    const double total = static_cast<double>(total_cycles());
+    for (const auto& s : stages) {
+      registry
+          .counter(prefix + "_cycles_total_" + s.id,
+                   "TSC cycles accumulated in the pipeline stage")
+          .store(s.acc->cycles());
+      registry
+          .gauge(prefix + "_share_percent_" + s.id,
+                 "stage share of total pipeline cycles")
+          .set(total > 0 ? 100.0 * static_cast<double>(s.acc->cycles()) / total : 0.0);
+    }
   }
 };
 

@@ -111,11 +111,15 @@ class VppGraph {
 
   Ip4LookupNode& ip4_lookup() { return *lookup_; }
 
+  /// Bind registry counters; folded in once per run().
+  void set_telemetry(const telemetry::PipelineTelemetry& tel) { tel_ = tel; }
+
   RunStats run(std::span<const RawPacket> packets) {
     RunStats stats;
     WallTimer timer;
     std::vector<VppBuffer> frame(kBurstSize);
     std::size_t i = 0;
+    std::uint64_t bursts = 0;
     while (i < packets.size()) {
       const std::size_t burst = std::min(kBurstSize, packets.size() - i);
       for (std::size_t j = 0; j < burst; ++j) frame[j].pkt = &packets[i + j];
@@ -130,9 +134,11 @@ class VppGraph {
         }
       }
       i += burst;
+      ++bursts;
     }
     measurement_->finish();
     stats.seconds = timer.seconds();
+    tel_.add_run(stats.packets, stats.bytes, stats.drops, bursts);
     return stats;
   }
 
@@ -140,6 +146,7 @@ class VppGraph {
   std::vector<std::unique_ptr<VppNode>> nodes_;
   Ip4LookupNode* lookup_ = nullptr;
   Measurement* measurement_ = nullptr;
+  telemetry::PipelineTelemetry tel_{};
 };
 
 }  // namespace nitro::switchsim

@@ -1,0 +1,131 @@
+// Bounded ring of timestamped data-plane events.
+//
+// Records the *adaptive* behavior of the framework — the things a mean or
+// a counter cannot show: every sampling-probability change decided by the
+// RateController (the paper's AlwaysLineRate `p` timeline, §4 Idea C.1),
+// every exact->sampled flip of a ConvergenceDetector (AlwaysCorrect, Idea
+// C.2), explicit buffer flushes, and (rate-limited) ring overruns.
+//
+// Appends are lock-free: a relaxed fetch_add claims a slot, the slot is
+// written, and a per-slot sequence number is published with release order
+// so snapshot() can skip slots that are mid-write.  The ring keeps the
+// most recent `capacity` events; older ones are overwritten (wraparound is
+// reported via overwritten()).
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nitro::telemetry {
+
+enum class EventKind : std::uint8_t {
+  kProbabilityChange,  // value = new sampling probability p
+  kConvergence,        // value = packets seen when the detector fired; arg = level
+  kBufferFlush,        // value = entries drained by an explicit flush
+  kRingDrop,           // value = cumulative drop count at the time of logging
+  kModeChange,         // value = numeric Mode; arg = previous Mode
+};
+
+inline const char* to_string(EventKind k) noexcept {
+  switch (k) {
+    case EventKind::kProbabilityChange: return "probability_change";
+    case EventKind::kConvergence: return "convergence";
+    case EventKind::kBufferFlush: return "buffer_flush";
+    case EventKind::kRingDrop: return "ring_drop";
+    case EventKind::kModeChange: return "mode_change";
+  }
+  return "unknown";
+}
+
+struct Event {
+  std::uint64_t ts_ns = 0;
+  double value = 0.0;
+  std::uint32_t arg = 0;
+  EventKind kind = EventKind::kProbabilityChange;
+};
+
+class EventLog {
+ public:
+  /// Capacity is rounded up to a power of two (min 8).
+  explicit EventLog(std::size_t capacity = 1024) {
+    std::size_t cap = 8;
+    while (cap < capacity) cap <<= 1;
+    mask_ = cap - 1;
+    slots_ = std::vector<Slot>(cap);
+  }
+
+  EventLog(const EventLog&) = delete;
+  EventLog& operator=(const EventLog&) = delete;
+
+  void append(EventKind kind, std::uint64_t ts_ns, double value,
+              std::uint32_t arg = 0) noexcept {
+    const std::uint64_t seq = next_.fetch_add(1, std::memory_order_relaxed);
+    Slot& s = slots_[seq & mask_];
+    // Payload words are individually atomic (relaxed) so concurrent
+    // snapshots never tear a field; the sequence check below discards
+    // slots whose words belong to different events.
+    s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+    s.value_bits.store(std::bit_cast<std::uint64_t>(value), std::memory_order_relaxed);
+    s.arg_kind.store(static_cast<std::uint64_t>(arg) << 8 |
+                         static_cast<std::uint64_t>(kind),
+                     std::memory_order_relaxed);
+    // Publishing seq+1 marks the slot as "written by sequence seq"; a
+    // reader that observes a stale sequence treats the slot as invalid.
+    s.seq.store(seq + 1, std::memory_order_release);
+  }
+
+  /// Events appended so far (including overwritten ones).
+  std::uint64_t total_recorded() const noexcept {
+    return next_.load(std::memory_order_relaxed);
+  }
+
+  /// Events lost to wraparound.
+  std::uint64_t overwritten() const noexcept {
+    const std::uint64_t n = total_recorded();
+    const std::uint64_t cap = capacity();
+    return n > cap ? n - cap : 0;
+  }
+
+  std::size_t capacity() const noexcept { return mask_ + 1; }
+
+  /// The retained events, oldest first.  Safe to call concurrently with
+  /// appenders: slots being overwritten mid-snapshot are skipped.
+  std::vector<Event> snapshot() const {
+    const std::uint64_t end = total_recorded();
+    const std::uint64_t cap = capacity();
+    const std::uint64_t begin = end > cap ? end - cap : 0;
+    std::vector<Event> out;
+    out.reserve(static_cast<std::size_t>(end - begin));
+    for (std::uint64_t seq = begin; seq < end; ++seq) {
+      const Slot& s = slots_[seq & mask_];
+      if (s.seq.load(std::memory_order_acquire) != seq + 1) continue;
+      Event e;
+      e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+      e.value = std::bit_cast<double>(s.value_bits.load(std::memory_order_relaxed));
+      const std::uint64_t ak = s.arg_kind.load(std::memory_order_relaxed);
+      e.arg = static_cast<std::uint32_t>(ak >> 8);
+      e.kind = static_cast<EventKind>(ak & 0xff);
+      // Re-check: if an appender lapped us while copying, drop the slot.
+      if (s.seq.load(std::memory_order_acquire) != seq + 1) continue;
+      out.push_back(e);
+    }
+    return out;
+  }
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> ts_ns{0};
+    std::atomic<std::uint64_t> value_bits{0};
+    std::atomic<std::uint64_t> arg_kind{0};
+  };
+
+  std::vector<Slot> slots_;
+  std::size_t mask_ = 0;
+  std::atomic<std::uint64_t> next_{0};
+};
+
+}  // namespace nitro::telemetry

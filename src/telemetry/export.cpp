@@ -1,0 +1,254 @@
+#include "telemetry/export.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cmath>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+
+namespace nitro::telemetry {
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+/// Escape a HELP string per the exposition format (backslash and newline).
+std::string escape_help(const std::string& help) {
+  std::string out;
+  out.reserve(help.size());
+  for (char c : help) {
+    if (c == '\\') out += "\\\\";
+    else if (c == '\n') out += "\\n";
+    else out += c;
+  }
+  return out;
+}
+
+std::string escape_json(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_fmt(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// Double formatting that is valid in both exposition text and JSON.
+void append_double(std::string& out, double v) {
+  if (std::isnan(v)) {
+    out += "0";
+    return;
+  }
+  if (v == static_cast<double>(static_cast<std::int64_t>(v)) &&
+      std::fabs(v) < 1e15) {
+    append_fmt(out, "%" PRId64, static_cast<std::int64_t>(v));
+  } else {
+    append_fmt(out, "%.9g", v);
+  }
+}
+
+}  // namespace
+
+std::string to_prometheus(const Registry& registry) {
+  std::string out;
+  out.reserve(4096);
+
+  registry.for_each_counter([&](const std::string& name, const std::string& help,
+                                const Counter& c) {
+    append_fmt(out, "# HELP %s %s\n", name.c_str(), escape_help(help).c_str());
+    append_fmt(out, "# TYPE %s counter\n", name.c_str());
+    append_fmt(out, "%s %" PRIu64 "\n", name.c_str(), c.value());
+  });
+
+  registry.for_each_gauge([&](const std::string& name, const std::string& help,
+                              const Gauge& g) {
+    append_fmt(out, "# HELP %s %s\n", name.c_str(), escape_help(help).c_str());
+    append_fmt(out, "# TYPE %s gauge\n", name.c_str());
+    append_fmt(out, "%s ", name.c_str());
+    append_double(out, g.value());
+    out += "\n";
+  });
+
+  registry.for_each_histogram([&](const std::string& name, const std::string& help,
+                                  const Histogram& h) {
+    append_fmt(out, "# HELP %s %s\n", name.c_str(), escape_help(help).c_str());
+    append_fmt(out, "# TYPE %s histogram\n", name.c_str());
+    const std::size_t top = h.populated_buckets();
+    std::uint64_t cumulative = 0;
+    for (std::size_t i = 0; i < top; ++i) {
+      cumulative += h.bucket_count(i);
+      append_fmt(out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n", name.c_str(),
+                 Histogram::bucket_upper_bound(i), cumulative);
+    }
+    append_fmt(out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", name.c_str(), cumulative);
+    append_fmt(out, "%s_sum %" PRIu64 "\n", name.c_str(), h.sum());
+    append_fmt(out, "%s_count %" PRIu64 "\n", name.c_str(), cumulative);
+  });
+
+  // Event logs surface as counters of recorded events; the timeline itself
+  // is JSON-only.
+  registry.for_each_event_log([&](const std::string& name, const EventLog& log) {
+    append_fmt(out, "# HELP %s_total events recorded in the %s log\n", name.c_str(),
+               name.c_str());
+    append_fmt(out, "# TYPE %s_total counter\n", name.c_str());
+    append_fmt(out, "%s_total %" PRIu64 "\n", name.c_str(), log.total_recorded());
+  });
+
+  return out;
+}
+
+std::string to_json(const Registry& registry, bool indent) {
+  const char* nl = indent ? "\n" : "";
+  const char* pad1 = indent ? "  " : "";
+  const char* pad2 = indent ? "    " : "";
+  const char* pad3 = indent ? "      " : "";
+  std::string out = "{";
+  out += nl;
+
+  bool first_section = true;
+  auto open_section = [&](const char* key) {
+    if (!first_section) {
+      out += ",";
+      out += nl;
+    }
+    first_section = false;
+    append_fmt(out, "%s\"%s\": {", pad1, key);
+    out += nl;
+  };
+  auto close_section = [&]() {
+    out += nl;
+    out += pad1;
+    out += "}";
+  };
+
+  open_section("counters");
+  {
+    bool first = true;
+    registry.for_each_counter([&](const std::string& name, const std::string&,
+                                  const Counter& c) {
+      if (!first) {
+        out += ",";
+        out += nl;
+      }
+      first = false;
+      append_fmt(out, "%s\"%s\": %" PRIu64, pad2, escape_json(name).c_str(), c.value());
+    });
+  }
+  close_section();
+
+  open_section("gauges");
+  {
+    bool first = true;
+    registry.for_each_gauge([&](const std::string& name, const std::string&,
+                                const Gauge& g) {
+      if (!first) {
+        out += ",";
+        out += nl;
+      }
+      first = false;
+      append_fmt(out, "%s\"%s\": ", pad2, escape_json(name).c_str());
+      append_double(out, g.value());
+    });
+  }
+  close_section();
+
+  open_section("histograms");
+  {
+    bool first = true;
+    registry.for_each_histogram([&](const std::string& name, const std::string&,
+                                    const Histogram& h) {
+      if (!first) {
+        out += ",";
+        out += nl;
+      }
+      first = false;
+      append_fmt(out, "%s\"%s\": {\"count\": %" PRIu64 ", \"sum\": %" PRIu64
+                      ", \"buckets\": [",
+                 pad2, escape_json(name).c_str(), h.count(), h.sum());
+      const std::size_t top = h.populated_buckets();
+      for (std::size_t i = 0; i < top; ++i) {
+        if (i > 0) out += ", ";
+        append_fmt(out, "{\"le\": %" PRIu64 ", \"count\": %" PRIu64 "}",
+                   Histogram::bucket_upper_bound(i), h.bucket_count(i));
+      }
+      out += "]}";
+    });
+  }
+  close_section();
+
+  open_section("events");
+  {
+    bool first = true;
+    registry.for_each_event_log([&](const std::string& name, const EventLog& log) {
+      if (!first) {
+        out += ",";
+        out += nl;
+      }
+      first = false;
+      append_fmt(out, "%s\"%s\": {\"recorded\": %" PRIu64 ", \"overwritten\": %" PRIu64
+                      ", \"entries\": [",
+                 pad2, escape_json(name).c_str(), log.total_recorded(),
+                 log.overwritten());
+      out += nl;
+      const auto events = log.snapshot();
+      for (std::size_t i = 0; i < events.size(); ++i) {
+        if (i > 0) {
+          out += ",";
+          out += nl;
+        }
+        const Event& e = events[i];
+        append_fmt(out, "%s{\"ts_ns\": %" PRIu64 ", \"kind\": \"%s\", \"value\": ",
+                   pad3, e.ts_ns, to_string(e.kind));
+        append_double(out, e.value);
+        append_fmt(out, ", \"arg\": %u}", e.arg);
+      }
+      out += nl;
+      out += pad2;
+      out += "]}";
+    });
+  }
+  close_section();
+
+  out += nl;
+  out += "}";
+  out += nl;
+  return out;
+}
+
+bool write_file(const std::string& path, const std::string& text) {
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (!f) return false;
+  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
+  std::fclose(f);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    return false;
+  }
+  return std::rename(tmp.c_str(), path.c_str()) == 0;
+}
+
+}  // namespace nitro::telemetry

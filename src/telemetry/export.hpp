@@ -1,0 +1,32 @@
+// Registry exporters: Prometheus text exposition format and JSON.
+//
+// Prometheus output follows the exposition-format rules the scrapers
+// actually enforce: one `# HELP` + `# TYPE` pair per metric family, all
+// samples of a family contiguous, no duplicate names, histogram `le`
+// buckets cumulative and terminated by `+Inf`.  EventLogs have no
+// Prometheus representation beyond a `<name>_total` counter; the full
+// timeline is exported in JSON only.
+//
+// JSON output is a single object:
+//   { "counters": {...}, "gauges": {...},
+//     "histograms": { name: {count, sum, buckets:[{le, count}, ...]}, ... },
+//     "events": { name: {recorded, overwritten,
+//                        entries:[{ts_ns, kind, value, arg}, ...]}, ... } }
+#pragma once
+
+#include <string>
+
+#include "telemetry/registry.hpp"
+
+namespace nitro::telemetry {
+
+std::string to_prometheus(const Registry& registry);
+
+/// `indent` pretty-prints (2 spaces) when true; compact otherwise.
+std::string to_json(const Registry& registry, bool indent = true);
+
+/// Write `text` to `path` atomically enough for a scraper (tmp + rename).
+/// Returns false on I/O failure.
+bool write_file(const std::string& path, const std::string& text);
+
+}  // namespace nitro::telemetry

@@ -1,0 +1,93 @@
+// Low-overhead metric primitives for the data-plane telemetry subsystem.
+//
+// All instruments are safe to write from the hot path: Counter and
+// Histogram use relaxed atomics (no ordering, just atomicity — readers see
+// a slightly stale but never torn value), Gauge uses relaxed stores.  None
+// of them allocate after construction.  Exporters read concurrently; every
+// exported number is a monotonic-counter or last-written snapshot, which is
+// the usual Prometheus contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace nitro::telemetry {
+
+/// Monotonically increasing event count (wraps at 2^64 like every
+/// Prometheus counter).  `store()` exists for publish-style instruments
+/// that mirror an internal single-threaded counter at snapshot time; it
+/// must only be used by a single publisher.
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) noexcept { v_.fetch_add(n, std::memory_order_relaxed); }
+  void store(std::uint64_t v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  std::uint64_t value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> v_{0};
+};
+
+/// Last-written floating-point level (ring occupancy, current sampling
+/// probability, CPU share, ...).
+class Gauge {
+ public:
+  void set(double v) noexcept { v_.store(v, std::memory_order_relaxed); }
+  double value() const noexcept { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> v_{0.0};
+};
+
+/// Log2-bucketed histogram of unsigned values (cycle counts, queue
+/// depths).  Bucket index of value v is bit_width(v): bucket 0 holds only
+/// v == 0, bucket i (i >= 1) holds v in [2^(i-1), 2^i - 1].  65 buckets
+/// cover the full u64 range, so observe() never clamps.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  void observe(std::uint64_t v) noexcept {
+    buckets_[bucket_index(v)].fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+
+  static std::size_t bucket_index(std::uint64_t v) noexcept {
+    return static_cast<std::size_t>(std::bit_width(v));
+  }
+
+  /// Inclusive upper bound of bucket i (the Prometheus `le` value);
+  /// bucket 64's bound is u64 max.
+  static std::uint64_t bucket_upper_bound(std::size_t i) noexcept {
+    if (i == 0) return 0;
+    if (i >= 64) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << i) - 1;
+  }
+
+  std::uint64_t bucket_count(std::size_t i) const noexcept {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+  std::uint64_t count() const noexcept {
+    std::uint64_t total = 0;
+    for (const auto& b : buckets_) total += b.load(std::memory_order_relaxed);
+    return total;
+  }
+
+  std::uint64_t sum() const noexcept { return sum_.load(std::memory_order_relaxed); }
+
+  /// Highest non-empty bucket index + 1 (export trims trailing zeros).
+  std::size_t populated_buckets() const noexcept {
+    for (std::size_t i = kBuckets; i > 0; --i) {
+      if (bucket_count(i - 1) > 0) return i;
+    }
+    return 0;
+  }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> sum_{0};
+};
+
+}  // namespace nitro::telemetry

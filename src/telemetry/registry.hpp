@@ -1,0 +1,184 @@
+// Named registry of telemetry instruments.
+//
+// The registry is the export surface: everything registered here shows up
+// in the Prometheus / JSON snapshots (export.hpp).  Instruments are either
+// *owned* (created via counter()/gauge()/histogram()/event_log(), stored
+// behind stable unique_ptrs) or *external* (register_external_counter():
+// the instrument lives inside a data-plane object — e.g. the separate
+// thread's drop counter — and the registry only points at it).
+//
+// Naming follows Prometheus conventions: [a-zA-Z_:][a-zA-Z0-9_:]*, units
+// spelled out, counters suffixed `_total`.  Registering an existing name
+// with the same type returns the existing instrument; re-registering under
+// a different type (or aliasing an owned name with an external pointer)
+// throws std::invalid_argument — collisions are bugs, not data.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "telemetry/event_log.hpp"
+#include "telemetry/metrics.hpp"
+
+namespace nitro::telemetry {
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  Counter& counter(const std::string& name, const std::string& help = "") {
+    return get_or_create<Counter>(name, help, counters_, owned_counters_);
+  }
+
+  Gauge& gauge(const std::string& name, const std::string& help = "") {
+    return get_or_create<Gauge>(name, help, gauges_, owned_gauges_);
+  }
+
+  Histogram& histogram(const std::string& name, const std::string& help = "") {
+    return get_or_create<Histogram>(name, help, histograms_, owned_histograms_);
+  }
+
+  EventLog& event_log(const std::string& name, std::size_t capacity = 1024) {
+    std::lock_guard<std::mutex> lk(mu_);
+    validate_name(name);
+    auto it = event_logs_.find(name);
+    if (it != event_logs_.end()) return *it->second.log;
+    reserve_name(name, "event_log");
+    auto log = std::make_unique<EventLog>(capacity);
+    EventLog& ref = *log;
+    event_logs_.emplace(name, EventLogEntry{&ref, std::move(log)});
+    return ref;
+  }
+
+  /// Expose a counter owned by a data-plane component (it must outlive the
+  /// registry or be deregistered by destroying the registry first).
+  void register_external_counter(const std::string& name, const std::string& help,
+                                 Counter& external) {
+    std::lock_guard<std::mutex> lk(mu_);
+    validate_name(name);
+    auto it = counters_.find(name);
+    if (it != counters_.end()) {
+      if (it->second.instrument == &external) return;
+      throw std::invalid_argument("telemetry name already registered: " + name);
+    }
+    reserve_name(name, "counter");
+    counters_.emplace(name, Entry<Counter>{&external, help});
+  }
+
+  // --- Snapshot access (exporters, tests) --------------------------------
+
+  template <typename Fn>
+  void for_each_counter(Fn&& fn) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, e] : counters_) fn(name, e.help, *e.instrument);
+  }
+
+  template <typename Fn>
+  void for_each_gauge(Fn&& fn) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, e] : gauges_) fn(name, e.help, *e.instrument);
+  }
+
+  template <typename Fn>
+  void for_each_histogram(Fn&& fn) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, e] : histograms_) fn(name, e.help, *e.instrument);
+  }
+
+  template <typename Fn>
+  void for_each_event_log(Fn&& fn) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (const auto& [name, e] : event_logs_) fn(name, *e.log);
+  }
+
+  bool contains(const std::string& name) const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return types_.count(name) > 0;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return types_.size();
+  }
+
+  /// Prometheus metric-name validation, exposed for tests.
+  static bool valid_name(const std::string& name) noexcept {
+    if (name.empty()) return false;
+    auto head = [](char c) {
+      return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_' || c == ':';
+    };
+    if (!head(name[0])) return false;
+    for (char c : name) {
+      if (!head(c) && !(c >= '0' && c <= '9')) return false;
+    }
+    return true;
+  }
+
+ private:
+  template <typename T>
+  struct Entry {
+    T* instrument = nullptr;
+    std::string help;
+  };
+
+  struct EventLogEntry {
+    EventLog* log = nullptr;
+    std::unique_ptr<EventLog> owned;
+  };
+
+  static void validate_name(const std::string& name) {
+    if (!valid_name(name)) {
+      throw std::invalid_argument("invalid telemetry metric name: '" + name + "'");
+    }
+  }
+
+  void reserve_name(const std::string& name, const char* type) {
+    auto [it, inserted] = types_.emplace(name, type);
+    if (!inserted) {
+      throw std::invalid_argument("telemetry name already registered as " +
+                                  it->second + ": " + name);
+    }
+  }
+
+  template <typename T>
+  T& get_or_create(const std::string& name, const std::string& help,
+                   std::map<std::string, Entry<T>>& table,
+                   std::vector<std::unique_ptr<T>>& owned) {
+    std::lock_guard<std::mutex> lk(mu_);
+    validate_name(name);
+    auto it = table.find(name);
+    if (it != table.end()) return *it->second.instrument;
+    reserve_name(name, type_name<T>());
+    owned.push_back(std::make_unique<T>());
+    T& ref = *owned.back();
+    table.emplace(name, Entry<T>{&ref, help});
+    return ref;
+  }
+
+  template <typename T>
+  static const char* type_name() noexcept {
+    if constexpr (std::is_same_v<T, Counter>) return "counter";
+    if constexpr (std::is_same_v<T, Gauge>) return "gauge";
+    if constexpr (std::is_same_v<T, Histogram>) return "histogram";
+    return "instrument";
+  }
+
+  mutable std::mutex mu_;
+  std::map<std::string, std::string> types_;  // name -> type (collision check)
+  std::map<std::string, Entry<Counter>> counters_;
+  std::map<std::string, Entry<Gauge>> gauges_;
+  std::map<std::string, Entry<Histogram>> histograms_;
+  std::map<std::string, EventLogEntry> event_logs_;
+  std::vector<std::unique_ptr<Counter>> owned_counters_;
+  std::vector<std::unique_ptr<Gauge>> owned_gauges_;
+  std::vector<std::unique_ptr<Histogram>> owned_histograms_;
+};
+
+}  // namespace nitro::telemetry

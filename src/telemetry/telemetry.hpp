@@ -1,0 +1,105 @@
+// Umbrella header + instrument-binding structs for the data plane.
+//
+// Hot-path components do not talk to the Registry directly (that would put
+// a map lookup and a mutex on the packet path).  Instead a binding struct
+// of raw instrument pointers is resolved once, at attach time, and handed
+// to the component.  All pointers may be null individually; components
+// only touch the ones they own.
+//
+// Overhead policy (DESIGN.md "Observability"):
+//  * compiled-out:  NitroSketch<Base, /*WithTelemetry=*/false> removes every
+//    instrumentation site via `if constexpr` — the update path is the same
+//    machine code as before this subsystem existed.
+//  * enabled, detached: one well-predicted null check per site.
+//  * enabled, attached: counters are *published* (copied) at snapshot time
+//    rather than incremented per packet; only the sampled cycle histogram
+//    (1 in 64 packets) and rare events (p changes, convergence, flushes)
+//    write from the hot path.  Budget: <5% on the NitroSketch update path,
+//    enforced by bench/micro_telemetry_overhead.
+#pragma once
+
+#include <string>
+
+#include "telemetry/event_log.hpp"
+#include "telemetry/export.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+
+namespace nitro::telemetry {
+
+/// Compile-time default for telemetry-capable templates.  Define
+/// NITRO_TELEMETRY_DISABLED project-wide to compile every instrumentation
+/// site out of the default instantiations.
+#if defined(NITRO_TELEMETRY_DISABLED)
+inline constexpr bool kDefaultEnabled = false;
+#else
+inline constexpr bool kDefaultEnabled = true;
+#endif
+
+/// Empty stand-in stored by telemetry-capable templates compiled with
+/// WithTelemetry = false ([[no_unique_address]] makes it free).
+struct Disabled {};
+
+/// Instruments consumed by the NitroSketch / NitroUnivMon update paths.
+struct SketchTelemetry {
+  Counter* packets = nullptr;          // published, not hot-incremented
+  Counter* sampled_updates = nullptr;  // published
+  Counter* batch_flushes = nullptr;    // published from BufferedUpdater
+  Counter* explicit_flushes = nullptr; // epoch/query-driven drains
+  Gauge* probability = nullptr;        // current sampling probability p
+  Histogram* update_cycles = nullptr;  // sampled 1-in-64 per-packet cost
+  EventLog* events = nullptr;          // p changes, convergence, flushes
+
+  /// Resolve the standard instrument set under `prefix` (e.g.
+  /// "nitro_sketch") in `registry`.
+  static SketchTelemetry in(Registry& registry, const std::string& prefix) {
+    SketchTelemetry t;
+    t.packets = &registry.counter(prefix + "_packets_total",
+                                  "packets processed by the sketch update path");
+    t.sampled_updates =
+        &registry.counter(prefix + "_sampled_updates_total",
+                          "row-counter updates applied (sampled regime)");
+    t.batch_flushes =
+        &registry.counter(prefix + "_buffer_batch_flushes_total",
+                          "Idea-D buffered-update batches drained into counters");
+    t.explicit_flushes =
+        &registry.counter(prefix + "_buffer_explicit_flushes_total",
+                          "explicit buffer drains (epoch end / query)");
+    t.probability = &registry.gauge(prefix + "_sampling_probability",
+                                    "current geometric sampling probability p");
+    t.update_cycles =
+        &registry.histogram(prefix + "_update_cycles",
+                            "TSC cycles per update() call (1-in-64 sampled)");
+    t.events = &registry.event_log(prefix + "_events");
+    return t;
+  }
+};
+
+/// Per-pipeline forwarding counters (OVS / VPP / BESS switchsim).
+struct PipelineTelemetry {
+  Counter* packets = nullptr;
+  Counter* bytes = nullptr;
+  Counter* drops = nullptr;
+  Counter* bursts = nullptr;
+
+  static PipelineTelemetry in(Registry& registry, const std::string& prefix) {
+    PipelineTelemetry t;
+    t.packets = &registry.counter(prefix + "_packets_total", "packets forwarded");
+    t.bytes = &registry.counter(prefix + "_bytes_total", "bytes forwarded");
+    t.drops = &registry.counter(prefix + "_drops_total",
+                                "packets dropped (parse failure or drop action)");
+    t.bursts = &registry.counter(prefix + "_bursts_total", "bursts processed");
+    return t;
+  }
+
+  /// Fold one finished run's RunStats-style totals into the counters.
+  void add_run(std::uint64_t packets_n, std::uint64_t bytes_n, std::uint64_t drops_n,
+               std::uint64_t bursts_n) noexcept {
+    if (packets) packets->inc(packets_n);
+    if (bytes) bytes->inc(bytes_n);
+    if (drops) drops->inc(drops_n);
+    if (bursts) bursts->inc(bursts_n);
+  }
+};
+
+}  // namespace nitro::telemetry

@@ -1,0 +1,69 @@
+#include "telemetry/event_log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace nitro::telemetry {
+namespace {
+
+TEST(EventLog, CapacityRoundsUpToPowerOfTwoMinEight) {
+  EXPECT_EQ(EventLog(1).capacity(), 8u);
+  EXPECT_EQ(EventLog(8).capacity(), 8u);
+  EXPECT_EQ(EventLog(9).capacity(), 16u);
+  EXPECT_EQ(EventLog(1000).capacity(), 1024u);
+}
+
+TEST(EventLog, AppendAndSnapshotPreservesOrderAndFields) {
+  EventLog log(8);
+  log.append(EventKind::kProbabilityChange, 100, 0.5);
+  log.append(EventKind::kConvergence, 200, 12345.0, 3);
+  log.append(EventKind::kBufferFlush, 300, 8.0);
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].kind, EventKind::kProbabilityChange);
+  EXPECT_EQ(events[0].ts_ns, 100u);
+  EXPECT_DOUBLE_EQ(events[0].value, 0.5);
+  EXPECT_EQ(events[1].kind, EventKind::kConvergence);
+  EXPECT_EQ(events[1].arg, 3u);
+  EXPECT_DOUBLE_EQ(events[1].value, 12345.0);
+  EXPECT_EQ(events[2].kind, EventKind::kBufferFlush);
+  EXPECT_EQ(log.total_recorded(), 3u);
+  EXPECT_EQ(log.overwritten(), 0u);
+}
+
+TEST(EventLog, WraparoundKeepsMostRecentCapacityEvents) {
+  EventLog log(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    log.append(EventKind::kRingDrop, i, static_cast<double>(i));
+  }
+  EXPECT_EQ(log.total_recorded(), 20u);
+  EXPECT_EQ(log.overwritten(), 12u);
+
+  const auto events = log.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // Oldest retained is event #12, newest is #19, in order.
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].ts_ns, 12 + i);
+    EXPECT_DOUBLE_EQ(events[i].value, static_cast<double>(12 + i));
+  }
+}
+
+TEST(EventLog, EmptySnapshot) {
+  EventLog log(8);
+  EXPECT_TRUE(log.snapshot().empty());
+  EXPECT_EQ(log.overwritten(), 0u);
+}
+
+TEST(EventLog, KindStringsAreStable) {
+  // The JSON exporter and downstream scripts key on these strings.
+  EXPECT_STREQ(to_string(EventKind::kProbabilityChange), "probability_change");
+  EXPECT_STREQ(to_string(EventKind::kConvergence), "convergence");
+  EXPECT_STREQ(to_string(EventKind::kBufferFlush), "buffer_flush");
+  EXPECT_STREQ(to_string(EventKind::kRingDrop), "ring_drop");
+  EXPECT_STREQ(to_string(EventKind::kModeChange), "mode_change");
+}
+
+}  // namespace
+}  // namespace nitro::telemetry

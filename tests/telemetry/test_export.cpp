@@ -1,0 +1,153 @@
+#include "telemetry/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace nitro::telemetry {
+namespace {
+
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> out;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) out.push_back(line);
+  return out;
+}
+
+TEST(Prometheus, CounterGoldenFraming) {
+  Registry r;
+  r.counter("nitro_pkts_total", "packets seen").inc(42);
+  const std::string expected =
+      "# HELP nitro_pkts_total packets seen\n"
+      "# TYPE nitro_pkts_total counter\n"
+      "nitro_pkts_total 42\n";
+  EXPECT_EQ(to_prometheus(r), expected);
+}
+
+TEST(Prometheus, GaugeGoldenFraming) {
+  Registry r;
+  r.gauge("nitro_p", "sampling probability").set(0.125);
+  const std::string expected =
+      "# HELP nitro_p sampling probability\n"
+      "# TYPE nitro_p gauge\n"
+      "nitro_p 0.125\n";
+  EXPECT_EQ(to_prometheus(r), expected);
+}
+
+TEST(Prometheus, HistogramBucketsAreCumulativeWithInf) {
+  Registry r;
+  Histogram& h = r.histogram("nitro_cycles", "cycles");
+  h.observe(1);  // bucket 1 (le=1)
+  h.observe(3);  // bucket 2 (le=3)
+  h.observe(3);
+  const std::string expected =
+      "# HELP nitro_cycles cycles\n"
+      "# TYPE nitro_cycles histogram\n"
+      "nitro_cycles_bucket{le=\"0\"} 0\n"
+      "nitro_cycles_bucket{le=\"1\"} 1\n"
+      "nitro_cycles_bucket{le=\"3\"} 3\n"
+      "nitro_cycles_bucket{le=\"+Inf\"} 3\n"
+      "nitro_cycles_sum 7\n"
+      "nitro_cycles_count 3\n";
+  EXPECT_EQ(to_prometheus(r), expected);
+}
+
+TEST(Prometheus, EventLogExportsAsTotalCounter) {
+  Registry r;
+  EventLog& log = r.event_log("nitro_events", 8);
+  log.append(EventKind::kProbabilityChange, 1, 0.5);
+  log.append(EventKind::kProbabilityChange, 2, 0.25);
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("# TYPE nitro_events_total counter\n"), std::string::npos);
+  EXPECT_NE(text.find("nitro_events_total 2\n"), std::string::npos);
+}
+
+TEST(Prometheus, NoDuplicateTypeLinesAcrossInstrumentKinds) {
+  Registry r;
+  r.counter("nitro_a_total").inc();
+  r.counter("nitro_b_total").inc(2);
+  r.gauge("nitro_g").set(1.5);
+  r.histogram("nitro_h").observe(9);
+  r.event_log("nitro_ev", 8).append(EventKind::kRingDrop, 0, 1.0);
+
+  std::map<std::string, int> type_counts;
+  for (const auto& line : lines_of(to_prometheus(r))) {
+    if (line.rfind("# TYPE ", 0) == 0) ++type_counts[line];
+  }
+  EXPECT_EQ(type_counts.size(), 5u);
+  for (const auto& [line, n] : type_counts) {
+    EXPECT_EQ(n, 1) << "duplicate TYPE line: " << line;
+  }
+}
+
+TEST(Prometheus, HelpEscapesBackslashAndNewline) {
+  Registry r;
+  r.counter("nitro_esc_total", "line1\nline2\\end");
+  const std::string text = to_prometheus(r);
+  EXPECT_NE(text.find("# HELP nitro_esc_total line1\\nline2\\\\end\n"),
+            std::string::npos);
+}
+
+TEST(Json, ContainsAllSectionsAndValues) {
+  Registry r;
+  r.counter("nitro_c_total").inc(5);
+  r.gauge("nitro_g").set(2.5);
+  r.histogram("nitro_h").observe(4);
+  EventLog& log = r.event_log("nitro_ev", 8);
+  log.append(EventKind::kConvergence, 77, 123.0, 9);
+
+  const std::string text = to_json(r);
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"nitro_c_total\": 5"), std::string::npos);
+  EXPECT_NE(text.find("\"nitro_g\": 2.5"), std::string::npos);
+  EXPECT_NE(text.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(text.find("\"kind\": \"convergence\""), std::string::npos);
+  EXPECT_NE(text.find("\"ts_ns\": 77"), std::string::npos);
+  EXPECT_NE(text.find("\"arg\": 9"), std::string::npos);
+  // Balanced braces/brackets (cheap structural sanity; full parse is done
+  // by the acceptance script with a real JSON parser).
+  int braces = 0, brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (c == '"' && (i == 0 || text[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+  }
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+  EXPECT_FALSE(in_string);
+}
+
+TEST(Json, CompactModeHasNoNewlines) {
+  Registry r;
+  r.counter("nitro_c_total").inc();
+  const std::string text = to_json(r, /*indent=*/false);
+  EXPECT_EQ(text.find('\n'), std::string::npos);
+}
+
+TEST(WriteFile, RoundTripsAndReplacesAtomically) {
+  const std::string path = "telemetry_export_test.tmp.json";
+  ASSERT_TRUE(write_file(path, "first"));
+  ASSERT_TRUE(write_file(path, "second version"));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf), f);
+  std::fclose(f);
+  std::remove(path.c_str());
+  EXPECT_EQ(std::string(buf, n), "second version");
+}
+
+}  // namespace
+}  // namespace nitro::telemetry

@@ -1,0 +1,116 @@
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace nitro::telemetry {
+namespace {
+
+TEST(Counter, StartsAtZeroAndIncrements) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.inc();
+  c.inc(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(Counter, StoreOverwrites) {
+  Counter c;
+  c.inc(10);
+  c.store(3);
+  EXPECT_EQ(c.value(), 3u);
+}
+
+TEST(Gauge, LastWriteWins) {
+  Gauge g;
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+  g.set(0.125);
+  g.set(-7.5);
+  EXPECT_DOUBLE_EQ(g.value(), -7.5);
+}
+
+TEST(Histogram, BucketIndexBoundaries) {
+  // Bucket 0 holds only v == 0; bucket i holds [2^(i-1), 2^i - 1].
+  EXPECT_EQ(Histogram::bucket_index(0), 0u);
+  EXPECT_EQ(Histogram::bucket_index(1), 1u);
+  EXPECT_EQ(Histogram::bucket_index(2), 2u);
+  EXPECT_EQ(Histogram::bucket_index(3), 2u);
+  EXPECT_EQ(Histogram::bucket_index(4), 3u);
+  EXPECT_EQ(Histogram::bucket_index(1023), 10u);
+  EXPECT_EQ(Histogram::bucket_index(1024), 11u);
+  EXPECT_EQ(Histogram::bucket_index(~std::uint64_t{0}), 64u);
+}
+
+TEST(Histogram, BucketUpperBoundMatchesIndex) {
+  // Every value must satisfy v <= bucket_upper_bound(bucket_index(v)).
+  for (std::uint64_t v : {0ull, 1ull, 2ull, 3ull, 4ull, 7ull, 8ull, 1000ull,
+                          (1ull << 40), ~0ull}) {
+    const std::size_t i = Histogram::bucket_index(v);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(i)) << "v=" << v;
+    if (i > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper_bound(i - 1)) << "v=" << v;
+    }
+  }
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(10), 1023u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(64), ~std::uint64_t{0});
+}
+
+TEST(Histogram, ObserveAccumulatesCountAndSum) {
+  Histogram h;
+  h.observe(0);
+  h.observe(5);
+  h.observe(5);
+  h.observe(300);
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_EQ(h.sum(), 310u);
+  EXPECT_EQ(h.bucket_count(0), 1u);                            // the zero
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(5)), 2u);   // both fives
+  EXPECT_EQ(h.bucket_count(Histogram::bucket_index(300)), 1u);
+}
+
+TEST(Histogram, PopulatedBucketsTrimsTrailingZeros) {
+  Histogram h;
+  EXPECT_EQ(h.populated_buckets(), 0u);
+  h.observe(6);  // bucket 3
+  EXPECT_EQ(h.populated_buckets(), 4u);
+  h.observe(0);  // bucket 0 does not extend the range
+  EXPECT_EQ(h.populated_buckets(), 4u);
+}
+
+TEST(Counter, MultiThreadedIncrementsAreLossless) {
+  Counter c;
+  constexpr int kThreads = 8;
+  constexpr std::uint64_t kPerThread = 100'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) c.inc();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.value(), kThreads * kPerThread);
+}
+
+TEST(Histogram, MultiThreadedObservesAreLossless) {
+  Histogram h;
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kPerThread = 50'000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (std::uint64_t i = 0; i < kPerThread; ++i) {
+        h.observe(static_cast<std::uint64_t>(t) * 1000 + 1);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.count(), kThreads * kPerThread);
+}
+
+}  // namespace
+}  // namespace nitro::telemetry

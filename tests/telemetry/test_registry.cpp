@@ -1,0 +1,107 @@
+#include "telemetry/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace nitro::telemetry {
+namespace {
+
+TEST(Registry, GetOrCreateReturnsSameInstrument) {
+  Registry r;
+  Counter& a = r.counter("nitro_test_total", "help");
+  Counter& b = r.counter("nitro_test_total");
+  EXPECT_EQ(&a, &b);
+  a.inc(3);
+  EXPECT_EQ(b.value(), 3u);
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, CrossTypeCollisionThrows) {
+  Registry r;
+  r.counter("nitro_name");
+  EXPECT_THROW(r.gauge("nitro_name"), std::invalid_argument);
+  EXPECT_THROW(r.histogram("nitro_name"), std::invalid_argument);
+  EXPECT_THROW(r.event_log("nitro_name"), std::invalid_argument);
+  // The failed registrations must not have clobbered the original.
+  EXPECT_TRUE(r.contains("nitro_name"));
+  EXPECT_EQ(r.size(), 1u);
+}
+
+TEST(Registry, InvalidNamesAreRejected) {
+  Registry r;
+  EXPECT_THROW(r.counter(""), std::invalid_argument);
+  EXPECT_THROW(r.counter("9starts_with_digit"), std::invalid_argument);
+  EXPECT_THROW(r.counter("has-dash"), std::invalid_argument);
+  EXPECT_THROW(r.counter("has space"), std::invalid_argument);
+  EXPECT_NO_THROW(r.counter("ok_name:with_colon_123"));
+}
+
+TEST(Registry, ValidNameRules) {
+  EXPECT_TRUE(Registry::valid_name("a"));
+  EXPECT_TRUE(Registry::valid_name("_leading_underscore"));
+  EXPECT_TRUE(Registry::valid_name(":colon"));
+  EXPECT_FALSE(Registry::valid_name(""));
+  EXPECT_FALSE(Registry::valid_name("1abc"));
+  EXPECT_FALSE(Registry::valid_name("a.b"));
+}
+
+TEST(Registry, ExternalCounterIsExported) {
+  Registry r;
+  Counter mine;
+  r.register_external_counter("nitro_ext_total", "external", mine);
+  mine.inc(7);
+  std::uint64_t seen = 0;
+  r.for_each_counter([&](const std::string& name, const std::string&,
+                         const Counter& c) {
+    if (name == "nitro_ext_total") seen = c.value();
+  });
+  EXPECT_EQ(seen, 7u);
+}
+
+TEST(Registry, ExternalCounterReRegisterSamePointerIsIdempotent) {
+  Registry r;
+  Counter mine;
+  r.register_external_counter("nitro_ext_total", "external", mine);
+  EXPECT_NO_THROW(r.register_external_counter("nitro_ext_total", "external", mine));
+  Counter other;
+  EXPECT_THROW(r.register_external_counter("nitro_ext_total", "external", other),
+               std::invalid_argument);
+}
+
+TEST(Registry, ExternalCannotAliasOwnedCounter) {
+  Registry r;
+  r.counter("nitro_owned_total");
+  Counter mine;
+  EXPECT_THROW(r.register_external_counter("nitro_owned_total", "x", mine),
+               std::invalid_argument);
+}
+
+TEST(Registry, IterationIsSortedByName) {
+  Registry r;
+  r.counter("zeta_total");
+  r.counter("alpha_total");
+  r.counter("mid_total");
+  std::vector<std::string> names;
+  r.for_each_counter(
+      [&](const std::string& name, const std::string&, const Counter&) {
+        names.push_back(name);
+      });
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "alpha_total");
+  EXPECT_EQ(names[1], "mid_total");
+  EXPECT_EQ(names[2], "zeta_total");
+}
+
+TEST(Registry, EventLogGetOrCreate) {
+  Registry r;
+  EventLog& a = r.event_log("nitro_events", 16);
+  EventLog& b = r.event_log("nitro_events", 4096);  // capacity of first call wins
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(a.capacity(), 16u);
+}
+
+}  // namespace
+}  // namespace nitro::telemetry
