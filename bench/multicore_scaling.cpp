@@ -1,0 +1,186 @@
+// Multi-core scaling of the sharded data plane (ROADMAP north star;
+// paper §6 runs one sketch instance per forwarding thread and merges at
+// query time).
+//
+// Series 1 — aggregate Mpps vs worker count on the Zipf (caida-like)
+// trace, vanilla CountMin per shard (the regime where per-packet sketch
+// work dominates and sharding pays): a single dispatcher thread fans the
+// trace out by flow hash through the per-worker SPSC rings.
+//
+// Series 2 — merged-view fidelity: for CM, CS and K-ary, a 4-shard run's
+// merged snapshot is compared against a single-instance NitroSketch fed
+// the identical packets.  Vanilla mode must match *exactly* (same hash
+// functions, disjoint flow partitions, additive merge); sampled mode must
+// agree with ground truth within the configured ε.
+//
+// Gate: with enough hardware parallelism (>= 5 cores for 1 dispatcher +
+// 4 workers), 4 workers must deliver >= 3x the 1-worker aggregate Mpps.
+// On smaller machines the scaling series is reported but the ratio gate
+// is skipped — threads cannot scale past the physical cores.  The
+// fidelity checks always gate.
+#include "bench_common.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "shard/sharded_nitro.hpp"
+#include "trace/ground_truth.hpp"
+
+using namespace nitro;
+using namespace nitro::bench;
+
+namespace {
+
+constexpr std::uint64_t kPackets = 1'000'000;
+constexpr std::uint64_t kFlows = 50'000;
+constexpr double kRequiredSpeedup = 3.0;
+
+trace::Trace zipf_trace() {
+  trace::WorkloadSpec spec;
+  spec.packets = kPackets;
+  spec.flows = kFlows;
+  spec.seed = 2024;
+  spec.zipf_s = 1.0;
+  return trace::caida_like(spec);
+}
+
+core::NitroConfig vanilla_cfg() {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kVanilla;
+  cfg.track_top_keys = true;
+  cfg.top_keys = 512;
+  return cfg;
+}
+
+/// One dispatcher thread replays the trace through update(); time covers
+/// dispatch through drain (every packet applied).
+template <typename Sharded>
+double sharded_mpps(const trace::Trace& stream, Sharded& sharded) {
+  WallTimer timer;
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  sharded.drain();
+  const double secs = timer.seconds();
+  return static_cast<double>(stream.size()) / secs / 1e6;
+}
+
+double run_scaling_point(const trace::Trace& stream, std::uint32_t workers) {
+  shard::ShardedNitroSketch<sketch::CountMinSketch> sharded(
+      workers, [] { return sketch::CountMinSketch(5, 10000, 42); }, vanilla_cfg());
+  double best = 0.0;
+  for (int rep = 0; rep < 3; ++rep) best = std::max(best, sharded_mpps(stream, sharded));
+  return best;
+}
+
+/// Merged 4-shard vanilla run must equal the single-instance run exactly.
+template <typename Base, typename MakeBase>
+bool check_exact_vanilla(const trace::Trace& stream, MakeBase make_base,
+                         const char* name) {
+  using Traits = core::SketchTraitsFor<Base>;
+  shard::ShardedNitroSketch<Base> sharded(4, make_base, vanilla_cfg());
+  core::NitroSketch<Base> single(make_base(), vanilla_cfg());
+  for (const auto& p : stream) {
+    sharded.update(p.key, 1, p.ts_ns);
+    single.update(p.key, 1, p.ts_ns);
+  }
+  const auto& snap = sharded.snapshot();
+  trace::GroundTruth truth(stream);
+  std::size_t mismatches = 0;
+  for (const auto& [key, count] : truth.top_k(200)) {
+    (void)count;
+    if (snap.query(key) != single.query(key)) ++mismatches;
+  }
+  note("%-8s vanilla merged-vs-single on top-200 keys: %zu mismatches", name,
+       mismatches);
+  return mismatches == 0;
+}
+
+/// Sampled (fixed p) 4-shard merged estimates must track ground truth
+/// within the sampling-noise tolerance used across the repo's accuracy
+/// tests (the configured ε regime).
+template <typename Base, typename MakeBase>
+bool check_sampled_accuracy(const trace::Trace& stream, MakeBase make_base,
+                            const char* name) {
+  core::NitroConfig cfg = nitro_fixed(0.02);
+  cfg.top_keys = 512;
+  shard::ShardedNitroSketch<Base> sharded(4, make_base, cfg);
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  const auto& snap = sharded.snapshot();
+  trace::GroundTruth truth(stream);
+  std::size_t bad = 0;
+  double worst = 0.0;
+  for (const auto& [key, count] : truth.top_k(50)) {
+    const double est = static_cast<double>(snap.query(key));
+    const double err = std::abs(est - static_cast<double>(count));
+    const double tol = 0.3 * static_cast<double>(count) + 200.0;
+    worst = std::max(worst, err / (static_cast<double>(count) + 1.0));
+    if (err > tol) ++bad;
+  }
+  note("%-8s sampled (p=0.02) merged vs truth on top-50: %zu out of tolerance "
+       "(worst rel err %.3f)",
+       name, bad, worst);
+  return bad == 0;
+}
+
+}  // namespace
+
+int main() {
+  banner("multicore_scaling",
+         "sharded data plane: aggregate Mpps vs workers + merged-view fidelity");
+  const unsigned hw = std::thread::hardware_concurrency();
+  note("hardware threads available: %u", hw);
+
+  const auto stream = zipf_trace();
+  note("trace: Zipf s=1.0, %llu packets, %llu flows",
+       static_cast<unsigned long long>(kPackets),
+       static_cast<unsigned long long>(kFlows));
+
+  std::printf("\n  %-10s %12s %10s\n", "workers", "Mpps", "speedup");
+  const double base_mpps = run_scaling_point(stream, 1);
+  std::printf("  %-10u %12.2f %9.2fx\n", 1u, base_mpps, 1.0);
+  double mpps4 = 0.0;
+  for (std::uint32_t workers : {2u, 4u, 8u}) {
+    const double mpps = run_scaling_point(stream, workers);
+    if (workers == 4) mpps4 = mpps;
+    std::printf("  %-10u %12.2f %9.2fx\n", workers, mpps, mpps / base_mpps);
+  }
+
+  bool ok = true;
+  std::printf("\n");
+  ok &= check_exact_vanilla<sketch::CountMinSketch>(
+      stream, [] { return sketch::CountMinSketch(5, 10000, 42); }, "CM");
+  ok &= check_exact_vanilla<sketch::CountSketch>(
+      stream, [] { return sketch::CountSketch(5, 10000, 43); }, "CS");
+  ok &= check_exact_vanilla<sketch::KArySketch>(
+      stream, [] { return sketch::KArySketch(5, 10000, 44); }, "K-ary");
+  ok &= check_sampled_accuracy<sketch::CountMinSketch>(
+      stream, [] { return sketch::CountMinSketch(5, 10000, 42); }, "CM");
+  ok &= check_sampled_accuracy<sketch::CountSketch>(
+      stream, [] { return sketch::CountSketch(5, 10000, 43); }, "CS");
+  ok &= check_sampled_accuracy<sketch::KArySketch>(
+      stream, [] { return sketch::KArySketch(5, 10000, 44); }, "K-ary");
+
+  if (!ok) {
+    std::printf("\n  FAIL: merged shard view diverged from the single-instance run\n");
+    return 1;
+  }
+
+  // 1 dispatcher + 4 workers need 5 cores to scale; below that the ratio
+  // measures the scheduler, not the data plane.
+  if (hw >= 5) {
+    const double speedup = mpps4 / base_mpps;
+    if (speedup < kRequiredSpeedup) {
+      std::printf("\n  FAIL: 4-worker speedup %.2fx below required %.2fx\n", speedup,
+                  kRequiredSpeedup);
+      return 1;
+    }
+    std::printf("\n  PASS: 4-worker speedup %.2fx (>= %.2fx), merged view faithful\n",
+                speedup, kRequiredSpeedup);
+  } else {
+    std::printf("\n  PASS (scaling gate skipped: %u hardware threads < 5; "
+                "merged-view fidelity checks all passed)\n", hw);
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Polite busy-wait primitives shared by every thread-coordination loop
+// (separate-thread consumer, shard workers, drain barriers).
+//
+// The policy is bounded backoff: PAUSE-granularity spinning while a
+// response is expected within a cache miss or two, escalating to yielding
+// the core so an empty ring costs scheduler quanta, not a spinning CPU —
+// which matters doubly on machines with fewer cores than threads.
+#pragma once
+
+#include <cstdint>
+#include <thread>
+
+#if defined(__x86_64__)
+#include <immintrin.h>
+#endif
+
+namespace nitro {
+
+/// One polite busy-wait iteration (PAUSE on x86; plain yield elsewhere).
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__)
+  _mm_pause();
+#else
+  std::this_thread::yield();
+#endif
+}
+
+/// Consecutive empty polls tolerated at PAUSE granularity before a
+/// waiting thread escalates to yielding the core.
+inline constexpr std::uint32_t kSpinsBeforeYield = 64;
+
+/// Stateful helper wrapping the spin-then-yield policy: call wait() once
+/// per failed poll, reset() on success.
+class BoundedBackoff {
+ public:
+  void wait() noexcept {
+    if (spins_ < kSpinsBeforeYield) {
+      ++spins_;
+      cpu_relax();
+    } else {
+      std::this_thread::yield();
+    }
+  }
+
+  void reset() noexcept { spins_ = 0; }
+
+ private:
+  std::uint32_t spins_ = 0;
+};
+
+}  // namespace nitro

@@ -108,6 +108,12 @@ class MeasurementDaemon {
 
   const core::NitroUnivMon& data_plane() const noexcept { return current_; }
 
+  /// Mutable data-plane access for the sharded integration: at each epoch
+  /// boundary the monitor merges every quiesced shard instance into the
+  /// daemon's (otherwise idle) data plane, then runs end_epoch() as usual
+  /// so task estimation and rotation see the global merged view.
+  core::NitroUnivMon& data_plane_mut() noexcept { return current_; }
+
  private:
   sketch::UnivMonConfig um_cfg_;
   core::NitroConfig nitro_cfg_;

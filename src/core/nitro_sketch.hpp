@@ -12,6 +12,7 @@
 // vanilla d1·H + d2·C + P (§3).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <optional>
 #include <type_traits>
@@ -62,7 +63,10 @@ template <>
 struct SketchTraits<sketch::KArySketch> {
   static constexpr bool kSignedRows = false;
   static std::int64_t query(const sketch::KArySketch& s, const FlowKey& k) {
-    return static_cast<std::int64_t>(s.query(k) + 0.5);
+    // llround, not floor(x + 0.5): K-ary's unbiased estimate is legitimately
+    // negative for absent keys, and floor-style rounding biases those
+    // toward zero (e.g. -0.7 must round to -1, not 0).
+    return std::llround(s.query(k));
   }
   // K-ary's unbiased estimator needs the exact stream length S; counting
   // it is a single add per packet and involves no hashing.

@@ -148,6 +148,26 @@ class NitroUnivMon {
 
   bool level_converged(std::uint32_t j) const { return detectors_[j].converged(); }
 
+  // --- Shard support (src/shard/) -----------------------------------------
+
+  /// Fold another instance's UnivMon state (level counters, stream total,
+  /// per-level heavy keys) into this one.  Both instances must be built
+  /// from the same UnivMonConfig and UnivMon seed — the per-level
+  /// CounterMatrix merge checks enforce it.  Sampler/convergence state
+  /// stays per-instance (it is data-plane, not query, state).
+  void merge_from(const NitroUnivMon& other) {
+    um_.merge(other.um_);
+    sampled_updates_ += other.sampled_updates_;
+  }
+
+  /// Reset counters, heaps and the stream total for the next epoch while
+  /// keeping samplers, detectors and telemetry bindings.
+  void clear() {
+    um_.clear();
+    packets_ = 0;
+    sampled_updates_ = 0;
+  }
+
   /// Effective sampling probability of level j's counter arrays.
   double level_probability(std::uint32_t j) const {
     if (cfg_.mode == Mode::kVanilla) return 1.0;

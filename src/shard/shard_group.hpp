@@ -1,0 +1,235 @@
+// Sharded multi-core data plane: N worker threads, each owning a private
+// sketch instance fed through its own SPSC ring.
+//
+// This is the paper's §6 scaling recipe (one sketch instance per
+// forwarding thread, merged at query time) rather than a shared sketch
+// with atomic counters: per-core instances keep the per-packet path free
+// of cross-core cache-line contention, and the standard mergeability of
+// linear sketches recovers a coherent global view at epoch boundaries.
+//
+// Dispatch is RSS-style: a flow-hash (independent of every sketch row
+// hash) picks the shard, so all packets of a flow land on the same worker
+// — per-shard heavy-hitter heaps then see whole flows, and the merged
+// counters equal a single sketch fed the union stream.
+//
+// Threading contract (mirrors the NIC-RSS reality it models):
+//  * update() is single-dispatcher: one thread fans out to all rings.
+//  * update_on_shard() supports pre-partitioned producers — at most one
+//    producer thread per shard (each ring stays SPSC).
+//  * drain()/instance() are control-plane: call them only while producers
+//    are quiescent (epoch boundary).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/backoff.hpp"
+#include "common/flow_key.hpp"
+#include "common/hash.hpp"
+#include "common/spsc_ring.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nitro::shard {
+
+/// What a producer does when a shard's ring is full.  kBlock (default)
+/// spins politely until the worker catches up — lossless, so merged
+/// results match a single-instance run.  kDrop sheds the packet and
+/// counts it, trading accuracy for a never-stalling forwarding thread
+/// (the separate-thread integration's policy).
+enum class OverflowPolicy { kBlock, kDrop };
+
+struct ShardOptions {
+  std::size_t ring_capacity = 1 << 16;
+  OverflowPolicy overflow = OverflowPolicy::kBlock;
+};
+
+/// One queued packet. `count` is the update weight, `ts_ns` feeds the
+/// adaptive (AlwaysLineRate) modes.
+struct ShardItem {
+  FlowKey key;
+  std::int64_t count;
+  std::uint64_t ts_ns;
+};
+
+/// Generic shard fan-out over any instance with
+/// `update(const FlowKey&, std::int64_t, std::uint64_t)` — NitroSketch<B>
+/// and NitroUnivMon both qualify.
+template <typename Instance>
+class ShardGroup {
+ public:
+  /// `make(i)` builds worker i's instance.  Mergeability is the caller's
+  /// contract: every instance must share base-sketch seeds and dimensions
+  /// (the sketches' own merge() checks enforce it at merge time).
+  template <typename Factory>
+  ShardGroup(std::uint32_t workers, Factory&& make, ShardOptions opts = {})
+      : opts_(opts) {
+    if (workers == 0) {
+      throw std::invalid_argument("ShardGroup: need at least one worker");
+    }
+    shards_.reserve(workers);
+    for (std::uint32_t i = 0; i < workers; ++i) {
+      shards_.push_back(std::make_unique<Shard>(make(i), opts_.ring_capacity));
+    }
+    for (auto& s : shards_) {
+      s->worker = std::thread([this, shard = s.get()] { run(*shard); });
+    }
+  }
+
+  ~ShardGroup() { stop(); }
+
+  ShardGroup(const ShardGroup&) = delete;
+  ShardGroup& operator=(const ShardGroup&) = delete;
+
+  std::uint32_t workers() const noexcept {
+    return static_cast<std::uint32_t>(shards_.size());
+  }
+
+  /// RSS-style shard selection: a keyed mix of the flow digest, salted so
+  /// it is independent of every row hash (the digest itself seeds those).
+  /// Stable per flow — a flow always lands on the same shard.
+  std::uint32_t shard_of(const FlowKey& key) const noexcept {
+    return shard_of_digest(flow_digest(key));
+  }
+
+  std::uint32_t shard_of_digest(std::uint64_t digest) const noexcept {
+    const std::uint64_t h = mix64(digest ^ kShardSalt);
+    // Multiply-shift reduction onto [0, workers) — same technique as the
+    // row hashes, no modulo on the per-packet path.
+    return static_cast<std::uint32_t>(
+        (static_cast<unsigned __int128>(h) * shards_.size()) >> 64);
+  }
+
+  /// Single-dispatcher entry point: hash, then enqueue on the owning
+  /// shard's ring.
+  void update(const FlowKey& key, std::int64_t count = 1, std::uint64_t ts_ns = 0) {
+    update_on_shard(shard_of(key), key, count, ts_ns);
+  }
+
+  /// Pre-partitioned entry point (one producer thread per shard, e.g. a
+  /// bench emulating NIC RSS).  The caller must route each key to
+  /// shard_of(key) for merged results to equal a single-instance run.
+  void update_on_shard(std::uint32_t shard, const FlowKey& key,
+                       std::int64_t count = 1, std::uint64_t ts_ns = 0) {
+    Shard& s = *shards_[shard];
+    s.packets.inc();
+    if (s.ring.try_push({key, count, ts_ns})) {
+      s.pushed.inc();
+      return;
+    }
+    if (opts_.overflow == OverflowPolicy::kDrop) {
+      s.drops.inc();
+      return;
+    }
+    BoundedBackoff backoff;
+    while (!s.ring.try_push({key, count, ts_ns})) backoff.wait();
+    s.pushed.inc();
+  }
+
+  /// Barrier: returns once every enqueued packet has been applied by its
+  /// worker.  Producers must be quiescent (this is the epoch boundary).
+  void drain() const {
+    for (const auto& s : shards_) {
+      const std::uint64_t target = s->pushed.value();
+      BoundedBackoff backoff;
+      while (s->applied.load(std::memory_order_acquire) < target) backoff.wait();
+    }
+  }
+
+  /// Control-plane access to worker i's instance.  Only safe after
+  /// drain() with producers quiescent; the worker thread itself touches
+  /// the instance only while applying ring items.
+  Instance& instance(std::uint32_t i) noexcept { return shards_[i]->instance; }
+  const Instance& instance(std::uint32_t i) const noexcept {
+    return shards_[i]->instance;
+  }
+
+  std::uint64_t shard_packets(std::uint32_t i) const noexcept {
+    return shards_[i]->packets.value();
+  }
+  std::uint64_t shard_drops(std::uint32_t i) const noexcept {
+    return shards_[i]->drops.value();
+  }
+
+  std::uint64_t total_packets() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->packets.value();
+    return n;
+  }
+  std::uint64_t total_drops() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->drops.value();
+    return n;
+  }
+
+  /// Per-shard packet/drop counters plus a worker-count gauge, registered
+  /// under `<prefix>_shard<i>_...` (ISSUE: per-shard telemetry).
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix) {
+    registry.gauge(prefix + "_workers", "number of shard worker threads")
+        .set(static_cast<double>(shards_.size()));
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      const std::string base = prefix + "_shard" + std::to_string(i);
+      registry.register_external_counter(
+          base + "_packets_total", "packets dispatched to this shard",
+          shards_[i]->packets);
+      registry.register_external_counter(
+          base + "_drops_total", "packets shed on ring overflow (kDrop policy)",
+          shards_[i]->drops);
+    }
+  }
+
+  /// Join every worker (drains rings first).  Idempotent; the destructor
+  /// calls it.  After stop(), instances stay readable single-threaded.
+  void stop() {
+    for (auto& s : shards_) {
+      if (s->worker.joinable()) {
+        s->done.store(true, std::memory_order_release);
+        s->worker.join();
+      }
+    }
+  }
+
+ private:
+  // Salt for the dispatch hash; any fixed odd constant distinct from the
+  // digest seed works.
+  static constexpr std::uint64_t kShardSalt = 0x5a4dd15bA7c4e11fULL;
+
+  struct Shard {
+    Shard(Instance inst, std::size_t ring_capacity)
+        : instance(std::move(inst)), ring(ring_capacity) {}
+
+    Instance instance;
+    SpscRing<ShardItem> ring;
+    std::thread worker;
+    std::atomic<bool> done{false};
+    std::atomic<std::uint64_t> applied{0};  // worker -> control barrier
+    telemetry::Counter packets;             // producer writes, control reads
+    telemetry::Counter pushed;              // packets minus drops
+    telemetry::Counter drops;
+  };
+
+  void run(Shard& s) {
+    ShardItem item;
+    BoundedBackoff backoff;
+    while (!s.done.load(std::memory_order_acquire) || !s.ring.empty_approx()) {
+      if (!s.ring.try_pop(item)) {
+        backoff.wait();
+        continue;
+      }
+      backoff.reset();
+      s.instance.update(item.key, item.count, item.ts_ns);
+      // Release pairs with drain()'s acquire: once applied covers a push,
+      // the control plane sees every instance write behind it.
+      s.applied.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  ShardOptions opts_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace nitro::shard

@@ -1,0 +1,181 @@
+// ShardedNitroSketch<Base>: N NitroSketch<Base> workers behind a
+// ShardGroup, with epoch-boundary snapshot()/query() that merge the
+// per-shard counters into one coherent global sketch.
+//
+// Mergeability requirements handled here:
+//  * every shard's Base is built by one caller-supplied factory, so all
+//    shards share seeds and dimensions (CounterMatrix::merge checks);
+//  * the per-shard Nitro sampler seeds are decorrelated (seed ^ shard id)
+//    so shards do not sample the same geometric schedule in lockstep;
+//  * K-ary stream totals add up because KArySketch::merge folds them, and
+//    each shard's Traits::on_packet counted only its own packets.
+//
+// Snapshot consistency: snapshot() first drains every ring (barrier),
+// then flushes each worker's Idea-D buffer, then merges.  Because
+// producers are quiescent at the epoch boundary, the merged view reflects
+// exactly the packets dispatched before the call — a flow is never split
+// across "before" and "after" (dispatch is per-flow sticky).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/nitro_config.hpp"
+#include "core/nitro_sketch.hpp"
+#include "shard/shard_group.hpp"
+#include "sketch/topk.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nitro::shard {
+
+template <typename Base, bool WithTelemetry = telemetry::kDefaultEnabled>
+class ShardedNitroSketch {
+ public:
+  using Nitro = core::NitroSketch<Base, WithTelemetry>;
+  using Traits = core::SketchTraitsFor<Base>;
+
+  /// Coherent global view merged from all shards at one epoch boundary.
+  /// Self-contained (owns copies), so it stays valid while the shards run
+  /// the next epoch.
+  struct Snapshot {
+    Base base;
+    sketch::TopKHeap heap;
+    std::uint64_t packets = 0;
+    std::uint64_t drops = 0;
+
+    std::int64_t query(const FlowKey& key) const { return Traits::query(base, key); }
+
+    std::vector<sketch::TopKHeap::Entry> top_keys() const {
+      std::vector<sketch::TopKHeap::Entry> out;
+      for (const auto& e : heap.entries_sorted()) {
+        out.push_back({e.key, Traits::query(base, e.key)});
+      }
+      return out;
+    }
+  };
+
+  /// `make_base()` must return identically-seeded Base sketches (it is
+  /// called once per shard).  The per-shard NitroConfig only differs in
+  /// its sampler seed.
+  template <typename MakeBase>
+  ShardedNitroSketch(std::uint32_t workers, MakeBase&& make_base,
+                     const core::NitroConfig& cfg, ShardOptions opts = {})
+      : cfg_(cfg),
+        group_(
+            workers,
+            [&](std::uint32_t i) {
+              core::NitroConfig shard_cfg = cfg;
+              shard_cfg.seed = mix64(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+              return Nitro(make_base(), shard_cfg);
+            },
+            opts) {}
+
+  std::uint32_t workers() const noexcept { return group_.workers(); }
+  std::uint32_t shard_of(const FlowKey& key) const noexcept {
+    return group_.shard_of(key);
+  }
+
+  /// Data-plane entry points — see ShardGroup for the threading contract.
+  void update(const FlowKey& key, std::int64_t count = 1, std::uint64_t ts_ns = 0) {
+    group_.update(key, count, ts_ns);
+  }
+  void update_on_shard(std::uint32_t shard, const FlowKey& key,
+                       std::int64_t count = 1, std::uint64_t ts_ns = 0) {
+    group_.update_on_shard(shard, key, count, ts_ns);
+  }
+
+  /// Wait until every dispatched packet is applied by its worker.
+  void drain() const { group_.drain(); }
+
+  /// Merge all shards into a global view (drains first).  Cached: repeated
+  /// calls without intervening traffic reuse the previous merge.
+  const Snapshot& snapshot() {
+    group_.drain();
+    const std::uint64_t seen = group_.total_packets();
+    if (cached_ && cached_packets_ == seen) return *cached_;
+
+    // Post-drain, workers only poll their rings; touching the instances
+    // from this thread is single-threaded (release/acquire on the applied
+    // counters ordered the workers' writes before the drain() return).
+    for (std::uint32_t i = 0; i < group_.workers(); ++i) {
+      group_.instance(i).flush();  // drain Idea-D buffered updates
+    }
+
+    Snapshot snap{group_.instance(0).base(),
+                  sketch::TopKHeap(cfg_.track_top_keys ? cfg_.top_keys : 0), 0, 0};
+    for (std::uint32_t i = 1; i < group_.workers(); ++i) {
+      snap.base.merge(group_.instance(i).base());
+    }
+    if (cfg_.track_top_keys) {
+      for (std::uint32_t i = 0; i < group_.workers(); ++i) {
+        // Re-estimate against the merged counters: per-shard estimates do
+        // not account for collisions contributed by other shards' flows.
+        snap.heap.merge(group_.instance(i).heap(),
+                        [&snap](const FlowKey& k, std::int64_t) {
+                          return Traits::query(snap.base, k);
+                        });
+      }
+    }
+    snap.packets = seen;
+    snap.drops = group_.total_drops();
+    cached_ = std::move(snap);
+    cached_packets_ = seen;
+    publish_merged_telemetry();
+    return *cached_;
+  }
+
+  /// Epoch-boundary point query against the merged view.
+  std::int64_t query(const FlowKey& key) { return snapshot().query(key); }
+
+  /// Heavy keys of the merged view, estimates from the merged counters.
+  std::vector<sketch::TopKHeap::Entry> top_keys() { return snapshot().top_keys(); }
+
+  std::uint64_t packets() const noexcept { return group_.total_packets(); }
+  std::uint64_t drops() const noexcept { return group_.total_drops(); }
+
+  /// Control-plane access to one shard's NitroSketch (post-drain only).
+  Nitro& shard_sketch(std::uint32_t i) noexcept { return group_.instance(i); }
+  const Nitro& shard_sketch(std::uint32_t i) const noexcept {
+    return group_.instance(i);
+  }
+
+  /// Per-shard counters via ShardGroup plus merged-view gauges refreshed
+  /// on every snapshot().
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix) {
+    group_.attach_telemetry(registry, prefix);
+    merged_packets_ = &registry.gauge(prefix + "_merged_packets",
+                                      "packets covered by the last merged snapshot");
+    merged_heavy_keys_ = &registry.gauge(prefix + "_merged_heavy_keys",
+                                         "heavy keys tracked in the last merged snapshot");
+    merges_ = &registry.counter(prefix + "_snapshot_merges_total",
+                                "epoch-boundary shard merges performed");
+  }
+
+  void stop() { group_.stop(); }
+
+ private:
+  void publish_merged_telemetry() {
+    if (merges_) merges_->inc();
+    if (merged_packets_) merged_packets_->set(static_cast<double>(cached_->packets));
+    if (merged_heavy_keys_) {
+      merged_heavy_keys_->set(static_cast<double>(cached_->heap.size()));
+    }
+  }
+
+  core::NitroConfig cfg_;
+  ShardGroup<Nitro> group_;
+  std::optional<Snapshot> cached_;
+  std::uint64_t cached_packets_ = ~std::uint64_t{0};
+  telemetry::Gauge* merged_packets_ = nullptr;
+  telemetry::Gauge* merged_heavy_keys_ = nullptr;
+  telemetry::Counter* merges_ = nullptr;
+};
+
+using ShardedNitroCountMin = ShardedNitroSketch<sketch::CountMinSketch>;
+using ShardedNitroCountSketch = ShardedNitroSketch<sketch::CountSketch>;
+using ShardedNitroKAry = ShardedNitroSketch<sketch::KArySketch>;
+
+}  // namespace nitro::shard

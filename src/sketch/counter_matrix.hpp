@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
 #include "common/flow_key.hpp"
@@ -24,7 +25,8 @@ class CounterMatrix {
   /// line 3 of the paper.
   CounterMatrix(std::uint32_t depth, std::uint32_t width, std::uint64_t seed,
                 bool signed_updates)
-      : depth_(depth), width_(width), counters_(std::size_t{depth} * width, 0) {
+      : depth_(depth), width_(width), seed_(seed),
+        counters_(std::size_t{depth} * width, 0) {
     row_hash_.reserve(depth);
     sign_hash_.reserve(depth);
     SplitMix64 sm(seed);
@@ -36,6 +38,7 @@ class CounterMatrix {
 
   std::uint32_t depth() const noexcept { return depth_; }
   std::uint32_t width() const noexcept { return width_; }
+  std::uint64_t seed() const noexcept { return seed_; }
   bool signed_updates() const noexcept { return !sign_hash_.empty() && sign_hash_[0].is_signed(); }
 
   /// C[r][h_r(key)] += delta * g_r(key).
@@ -95,9 +98,23 @@ class CounterMatrix {
 
   void clear() noexcept { std::fill(counters_.begin(), counters_.end(), 0); }
 
-  /// Element-wise accumulate (epoch merging).  Requires identical shape and
-  /// seeds; callers are expected to construct both sketches identically.
+  /// Two matrices are mergeable iff they were constructed with the same
+  /// shape, seed and signedness — i.e. they share hash functions, so
+  /// corresponding counters count the same (key, row) events.
+  bool mergeable_with(const CounterMatrix& other) const noexcept {
+    return depth_ == other.depth_ && width_ == other.width_ &&
+           seed_ == other.seed_ && signed_updates() == other.signed_updates();
+  }
+
+  /// Element-wise accumulate (epoch / per-shard merging).  Throws unless
+  /// `mergeable_with(other)`: merging sketches with different hash
+  /// functions silently produces garbage, so the mismatch is an error.
   void merge(const CounterMatrix& other) {
+    if (!mergeable_with(other)) {
+      throw std::invalid_argument(
+          "CounterMatrix::merge: shape/seed mismatch (sketches must be "
+          "constructed identically to share hash functions)");
+    }
     for (std::size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
   }
 
@@ -109,6 +126,7 @@ class CounterMatrix {
  private:
   std::uint32_t depth_;
   std::uint32_t width_;
+  std::uint64_t seed_;
   std::vector<std::int64_t> counters_;
   std::vector<RowHash> row_hash_;
   std::vector<SignHash> sign_hash_;

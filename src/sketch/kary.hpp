@@ -53,6 +53,14 @@ class KArySketch {
 
   std::int64_t total() const noexcept { return total_; }
 
+  /// Shard/epoch merge: counters element-wise (checked for identical shape
+  /// and seed) plus the stream totals, so the merged unbiased estimator
+  /// sees the union stream's S.
+  void merge(const KArySketch& other) {
+    matrix_.merge(other.matrix_);
+    total_ += other.total_;
+  }
+
   /// Adds `count` to the running total without touching counters — used by
   /// the Nitro wrapper, which performs row updates itself but must keep
   /// the unbiased estimator's S term consistent.

@@ -7,8 +7,9 @@
 // only on sampled updates.
 //
 // Layout: stable entries + a heap of ids + a position table so heap sifts
-// move 32-bit ids without re-hashing keys, and a one-comparison early
-// reject filters the mice before any hash-map lookup.
+// move 32-bit ids without re-hashing keys.  Untracked mice that cannot
+// displace the current minimum are rejected after a single hash-map probe;
+// tracked keys are always refreshed, in either direction.
 #pragma once
 
 #include <algorithm>
@@ -41,11 +42,15 @@ class TopKHeap {
   /// estimate is refreshed; otherwise it displaces the current minimum
   /// when larger.  O(log K) worst case, O(1) for rejected mice.
   void offer(const FlowKey& key, std::int64_t estimate) {
-    // Early reject: when the heap is full, an estimate at or below the
-    // current minimum can neither enter nor usefully refresh an entry
-    // (stored estimates are only ever refreshed upward past the minimum).
-    if (entries_.size() == capacity_ && estimate <= min_estimate()) return;
     auto it = index_.find(key);
+    // Reject only *untracked* keys at or below the full heap's minimum:
+    // they cannot displace anything.  Tracked keys must fall through so a
+    // lower fresh estimate still refreshes the stored one downward (the
+    // branch below sifts in both directions).
+    if (it == index_.end() && entries_.size() == capacity_ &&
+        estimate <= min_estimate()) {
+      return;
+    }
     if (it != index_.end()) {
       const std::uint32_t id = it->second;
       if (estimate > entries_[id].estimate) {
@@ -75,6 +80,20 @@ class TopKHeap {
   }
 
   bool contains(const FlowKey& key) const { return index_.count(key) != 0; }
+
+  /// Union-merge: offer every entry tracked by `other`, keeping this heap's
+  /// capacity.  With the default identity re-estimator the other heap's
+  /// stored estimates are taken as-is; shard merges pass a callable that
+  /// re-queries each key against the merged counters (a per-shard estimate
+  /// undercounts a key whose packets were split across shards).
+  template <typename Reestimate>
+  void merge(const TopKHeap& other, Reestimate&& estimate_of) {
+    for (const auto& e : other.entries_) offer(e.key, estimate_of(e.key, e.estimate));
+  }
+
+  void merge(const TopKHeap& other) {
+    merge(other, [](const FlowKey&, std::int64_t est) { return est; });
+  }
 
   std::int64_t min_estimate() const noexcept {
     return heap_.empty() ? 0 : entries_[heap_[0]].estimate;

@@ -97,12 +97,14 @@ void UnivMon::merge(const UnivMon& other) {
   }
   // Union the heavy keys; their estimates come from the merged counters.
   for (std::size_t j = 0; j < levels_.size(); ++j) {
-    for (const auto& e : other.levels_[j].heap.entries_sorted()) {
-      levels_[j].heap.offer(e.key, levels_[j].cs.query(e.key));
-    }
+    auto& level = levels_[j];
+    level.heap.merge(other.levels_[j].heap,
+                     [&level](const FlowKey& k, std::int64_t) {
+                       return level.cs.query(k);
+                     });
     // Refresh survivors too: merged counters changed every estimate.
-    for (const auto& e : levels_[j].heap.entries_sorted()) {
-      levels_[j].heap.offer(e.key, levels_[j].cs.query(e.key));
+    for (const auto& e : level.heap.entries_sorted()) {
+      level.heap.offer(e.key, level.cs.query(e.key));
     }
   }
 }

@@ -12,29 +12,17 @@
 #include <string>
 #include <thread>
 
-#if defined(__x86_64__)
-#include <immintrin.h>
-#endif
-
+#include "common/backoff.hpp"
 #include "common/flow_key.hpp"
 #include "common/spsc_ring.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace nitro::switchsim {
 
-/// One polite busy-wait iteration (PAUSE on x86; plain yield elsewhere).
-inline void cpu_relax() noexcept {
-#if defined(__x86_64__)
-  _mm_pause();
-#else
-  std::this_thread::yield();
-#endif
-}
-
-/// Consecutive empty polls tolerated at PAUSE granularity before a
-/// consumer thread escalates to yielding the core (bounded backoff: an
-/// empty ring costs scheduler quanta, not a spinning core).
-inline constexpr std::uint32_t kSpinsBeforeYield = 64;
+// The backoff primitives moved to common/backoff.hpp so the shard layer
+// can share them; these aliases keep existing switchsim call sites intact.
+using nitro::cpu_relax;
+using nitro::kSpinsBeforeYield;
 
 class Measurement {
  public:

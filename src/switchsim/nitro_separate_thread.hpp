@@ -47,9 +47,13 @@ class NitroSeparateThread final : public Measurement {
   ~NitroSeparateThread() override { stop(); }
 
   /// Pre-processing stage: geometric selection only; selected (key, row,
-  /// delta) tuples go to the ring.
+  /// delta) tuples go to the ring.  The exact per-packet bookkeeping that
+  /// the inline integration does via Traits::on_packet (K-ary's stream
+  /// total S) is accumulated producer-side and folded into the base at
+  /// finish(), after the consumer has been joined.
   void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
-    ++packets_;
+    packets_.inc();
+    ++pending_stream_count_;
     if (cfg_.mode == core::Mode::kAlwaysLineRate && rate_.on_packet(ts_ns)) {
       sampler_.set_probability(rate_.probability());
     }
@@ -67,6 +71,9 @@ class NitroSeparateThread final : public Measurement {
   /// Expose ring counters and wire the rate controller's p-timeline into
   /// `registry` (same layout as SeparateThreadMeasurement).
   void attach_telemetry(telemetry::Registry& registry, const std::string& prefix) {
+    registry.register_external_counter(prefix + "_packets_total",
+                                       "packets seen by the pre-processing stage",
+                                       packets_);
     registry.register_external_counter(prefix + "_drops_total",
                                        "ring overruns: samples dropped", drops_);
     registry.register_external_counter(
@@ -81,7 +88,7 @@ class NitroSeparateThread final : public Measurement {
   std::int64_t query(const FlowKey& key) const { return Traits::query(base_, key); }
   const Base& base() const noexcept { return base_; }
   const sketch::TopKHeap& heap() const noexcept { return heap_; }
-  std::uint64_t packets() const noexcept { return packets_; }
+  std::uint64_t packets() const noexcept { return packets_.value(); }
   std::uint64_t drops() const noexcept { return drops_.value(); }
   std::uint64_t idle_spins() const noexcept { return idle_spins_.value(); }
   std::uint64_t applied() const noexcept { return applied_.load(std::memory_order_relaxed); }
@@ -121,6 +128,13 @@ class NitroSeparateThread final : public Measurement {
       done_.store(true, std::memory_order_release);
       consumer_.join();
     }
+    // Consumer joined: folding the producer-side stream total into the
+    // base is single-threaded here.  Without this, K-ary's unbiased
+    // estimator sees S = 0 and every estimate is shifted by S/w.
+    if (pending_stream_count_ != 0) {
+      Traits::on_packet(base_, pending_stream_count_);
+      pending_stream_count_ = 0;
+    }
   }
 
   Base base_;
@@ -132,7 +146,10 @@ class NitroSeparateThread final : public Measurement {
   std::thread consumer_;
   std::atomic<bool> done_{false};
   std::atomic<std::uint64_t> applied_{0};
-  std::uint64_t packets_ = 0;
+  // Relaxed atomic (same pattern as drops_): the producer writes while a
+  // control thread may read packets() mid-run.
+  telemetry::Counter packets_;
+  std::int64_t pending_stream_count_ = 0;  // producer-side, folded in stop()
   telemetry::Counter drops_;  // relaxed atomic: producer writes, control reads
   telemetry::Counter idle_spins_;
 };

@@ -1,0 +1,183 @@
+// Cross-thread behaviour of the shard layer, written for TSan
+// (`-DNITRO_SANITIZE=thread`, `ctest -L tsan`): pre-partitioned
+// multi-producer dispatch, epoch-boundary drain/snapshot interleaving,
+// concurrent telemetry readers, the kDrop overflow policy, and the
+// ShardGroup<NitroUnivMon> merge path the monitor daemon uses.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/nitro_univmon.hpp"
+#include "shard/sharded_nitro.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::shard {
+namespace {
+
+using trace::flow_key_for_rank;
+
+trace::Trace conc_trace(std::uint64_t packets = 80000, std::uint64_t seed = 61) {
+  trace::WorkloadSpec spec;
+  spec.packets = packets;
+  spec.flows = 2000;
+  spec.seed = seed;
+  return trace::caida_like(spec);
+}
+
+core::NitroConfig vanilla_cfg() {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kVanilla;
+  cfg.track_top_keys = false;
+  return cfg;
+}
+
+TEST(ShardConcurrency, PrePartitionedProducersMatchSingleInstance) {
+  // One producer thread per shard (the NIC-RSS shape): each producer
+  // routes exactly the keys that hash to its shard, so every ring stays
+  // single-producer.  The merged result must equal one sketch fed the
+  // union stream.
+  constexpr std::uint32_t kWorkers = 4;
+  const auto stream = conc_trace();
+  ShardedNitroCountMin sharded(
+      kWorkers, [] { return sketch::CountMinSketch(5, 4096, 31); }, vanilla_cfg());
+  core::NitroSketch<sketch::CountMinSketch> single(sketch::CountMinSketch(5, 4096, 31),
+                                                   vanilla_cfg());
+  for (const auto& p : stream) single.update(p.key, 1, p.ts_ns);
+
+  std::vector<std::thread> producers;
+  for (std::uint32_t s = 0; s < kWorkers; ++s) {
+    producers.emplace_back([&, s] {
+      for (const auto& p : stream) {
+        if (sharded.shard_of(p.key) == s) sharded.update_on_shard(s, p.key, 1, p.ts_ns);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  const auto& snap = sharded.snapshot();
+  EXPECT_EQ(snap.packets, stream.size());
+  EXPECT_EQ(snap.drops, 0u);
+  for (int rank = 0; rank < 3000; ++rank) {
+    const auto key = flow_key_for_rank(rank, 61);
+    EXPECT_EQ(snap.query(key), single.query(key)) << "rank " << rank;
+  }
+}
+
+TEST(ShardConcurrency, SnapshotAtEpochBoundariesStaysCoherent) {
+  // Dispatcher alternates traffic bursts with epoch-boundary snapshots.
+  // Every snapshot must account for exactly the packets dispatched so far
+  // (drain barrier), monotonically.
+  const auto stream = conc_trace(60000);
+  ShardedNitroCountMin sharded(3, [] { return sketch::CountMinSketch(5, 2048, 32); },
+                               vanilla_cfg());
+  constexpr std::size_t kEpochs = 6;
+  const std::size_t chunk = stream.size() / kEpochs;
+  std::uint64_t prev_packets = 0;
+  for (std::size_t e = 0; e < kEpochs; ++e) {
+    const std::size_t begin = e * chunk;
+    const std::size_t end = (e + 1 == kEpochs) ? stream.size() : begin + chunk;
+    for (std::size_t i = begin; i < end; ++i) {
+      sharded.update(stream[i].key, 1, stream[i].ts_ns);
+    }
+    const auto& snap = sharded.snapshot();
+    EXPECT_EQ(snap.packets, end);
+    EXPECT_GT(snap.packets, prev_packets);
+    prev_packets = snap.packets;
+  }
+  // Final view equals a single-instance run of the whole stream.
+  core::NitroSketch<sketch::CountMinSketch> single(sketch::CountMinSketch(5, 2048, 32),
+                                                   vanilla_cfg());
+  for (const auto& p : stream) single.update(p.key, 1, p.ts_ns);
+  const auto& snap = sharded.snapshot();
+  for (int rank = 0; rank < 1000; ++rank) {
+    const auto key = flow_key_for_rank(rank, 61);
+    EXPECT_EQ(snap.query(key), single.query(key)) << "rank " << rank;
+  }
+}
+
+TEST(ShardConcurrency, TelemetryCountersReadableDuringDispatch) {
+  // A monitoring thread polls the per-shard counters while the dispatcher
+  // is pushing — the counters are relaxed atomics, so TSan must stay
+  // quiet and the reads must be monotone.
+  const auto stream = conc_trace(50000);
+  ShardedNitroCountMin sharded(2, [] { return sketch::CountMinSketch(4, 2048, 33); },
+                               vanilla_cfg());
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t now = sharded.packets();
+      EXPECT_GE(now, prev);
+      prev = now;
+    }
+  });
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  sharded.drain();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  EXPECT_EQ(sharded.packets(), stream.size());
+}
+
+TEST(ShardConcurrency, DropPolicyNeverBlocksAndAccountsEveryPacket) {
+  // Tiny rings + kDrop: the dispatcher must never stall, and
+  // packets == applied + drops must balance exactly after drain (what the
+  // sketch saw is exactly the non-dropped packets).
+  ShardOptions opts;
+  opts.ring_capacity = 64;
+  opts.overflow = OverflowPolicy::kDrop;
+  const auto stream = conc_trace(50000);
+  ShardedNitroCountMin sharded(
+      2, [] { return sketch::CountMinSketch(4, 2048, 34); }, vanilla_cfg(), opts);
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  const auto& snap = sharded.snapshot();
+  EXPECT_EQ(snap.packets, stream.size());
+  EXPECT_EQ(snap.base.total(),
+            static_cast<std::int64_t>(stream.size()) -
+                static_cast<std::int64_t>(snap.drops));
+}
+
+TEST(ShardConcurrency, UnivMonShardsMergeIntoGlobalView) {
+  // The monitor daemon's --workers path: ShardGroup<NitroUnivMon> shards
+  // (same UnivMon seed, decorrelated sampler seeds) merged into one
+  // aggregate at the epoch boundary, compared against a single instance
+  // fed the union stream.  Vanilla mode keeps the comparison exact.
+  sketch::UnivMonConfig um_cfg;
+  um_cfg.levels = 6;
+  um_cfg.depth = 4;
+  um_cfg.top_width = 2048;
+  core::NitroConfig cfg = vanilla_cfg();
+  cfg.track_top_keys = true;
+  cfg.top_keys = 64;
+  constexpr std::uint64_t kUmSeed = 77;
+
+  const auto stream = conc_trace(60000);
+  core::NitroUnivMon single(um_cfg, cfg, kUmSeed);
+  for (const auto& p : stream) single.update(p.key, 1, p.ts_ns);
+
+  core::NitroUnivMon aggregate(um_cfg, cfg, kUmSeed);
+  {
+    ShardGroup<core::NitroUnivMon> group(
+        2,
+        [&](std::uint32_t i) {
+          core::NitroConfig shard_cfg = cfg;
+          shard_cfg.seed = mix64(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+          return core::NitroUnivMon(um_cfg, shard_cfg, kUmSeed);
+        },
+        ShardOptions{});
+    for (const auto& p : stream) group.update(p.key, 1, p.ts_ns);
+    group.drain();
+    for (std::uint32_t s = 0; s < group.workers(); ++s) {
+      aggregate.merge_from(group.instance(s));
+      group.instance(s).clear();
+    }
+  }
+  for (int rank = 0; rank < 500; ++rank) {
+    const auto key = flow_key_for_rank(rank, 61);
+    EXPECT_EQ(aggregate.query(key), single.query(key)) << "rank " << rank;
+  }
+}
+
+}  // namespace
+}  // namespace nitro::shard

@@ -1,0 +1,190 @@
+// ShardedNitroSketch: dispatch invariants, merged-view correctness
+// against a single-instance run, snapshot caching, heap re-estimation,
+// and pipeline integration.
+#include "shard/sharded_nitro.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "switchsim/ovs_pipeline.hpp"
+#include "switchsim/sharded_measurement.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::shard {
+namespace {
+
+using trace::flow_key_for_rank;
+
+trace::Trace shard_trace(std::uint64_t packets = 120000, std::uint64_t seed = 51) {
+  trace::WorkloadSpec spec;
+  spec.packets = packets;
+  spec.flows = 3000;
+  spec.seed = seed;
+  return trace::caida_like(spec);
+}
+
+core::NitroConfig vanilla_cfg(bool top_keys = true) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kVanilla;
+  cfg.track_top_keys = top_keys;
+  cfg.top_keys = 128;
+  return cfg;
+}
+
+TEST(ShardedNitro, DispatchIsStickyPerFlowAndCoversAllShards) {
+  ShardedNitroCountMin sharded(4, [] { return sketch::CountMinSketch(4, 1024, 3); },
+                               vanilla_cfg(false));
+  std::vector<bool> hit(4, false);
+  for (int rank = 0; rank < 2000; ++rank) {
+    const auto key = flow_key_for_rank(rank, 9);
+    const std::uint32_t s = sharded.shard_of(key);
+    ASSERT_LT(s, 4u);
+    EXPECT_EQ(sharded.shard_of(key), s);  // stable per flow
+    hit[s] = true;
+  }
+  for (int s = 0; s < 4; ++s) EXPECT_TRUE(hit[s]) << "shard " << s << " unused";
+}
+
+TEST(ShardedNitro, VanillaMergedSnapshotEqualsSingleInstanceExactly) {
+  const auto stream = shard_trace();
+  ShardedNitroCountMin sharded(4, [] { return sketch::CountMinSketch(5, 4096, 21); },
+                               vanilla_cfg());
+  core::NitroSketch<sketch::CountMinSketch> single(sketch::CountMinSketch(5, 4096, 21),
+                                                   vanilla_cfg());
+  for (const auto& p : stream) {
+    sharded.update(p.key, 1, p.ts_ns);
+    single.update(p.key, 1, p.ts_ns);
+  }
+  const auto& snap = sharded.snapshot();
+  EXPECT_EQ(snap.packets, stream.size());
+  EXPECT_EQ(snap.drops, 0u);
+  for (int rank = 0; rank < 4000; ++rank) {
+    const auto key = flow_key_for_rank(rank, 51);
+    EXPECT_EQ(snap.query(key), single.query(key)) << "rank " << rank;
+  }
+}
+
+TEST(ShardedNitro, KAryMergeFoldsShardTotals) {
+  const auto stream = shard_trace(60000);
+  ShardedNitroKAry sharded(3, [] { return sketch::KArySketch(5, 4096, 22); },
+                           vanilla_cfg(false));
+  core::NitroSketch<sketch::KArySketch> single(sketch::KArySketch(5, 4096, 22),
+                                               vanilla_cfg(false));
+  for (const auto& p : stream) {
+    sharded.update(p.key, 1, p.ts_ns);
+    single.update(p.key, 1, p.ts_ns);
+  }
+  const auto& snap = sharded.snapshot();
+  // Each shard counted only its own packets; the merge must recover the
+  // full stream length for the unbiased estimator.
+  EXPECT_EQ(snap.base.total(), static_cast<std::int64_t>(stream.size()));
+  for (int rank = 0; rank < 1000; ++rank) {
+    const auto key = flow_key_for_rank(rank, 51);
+    EXPECT_EQ(snap.query(key), single.query(key)) << "rank " << rank;
+  }
+}
+
+TEST(ShardedNitro, TopKeysReestimatedFromMergedCounters) {
+  const auto stream = shard_trace();
+  ShardedNitroCountMin sharded(4, [] { return sketch::CountMinSketch(5, 4096, 23); },
+                               vanilla_cfg());
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  const auto top = sharded.top_keys();
+  ASSERT_GT(top.size(), 0u);
+  const auto& snap = sharded.snapshot();
+  trace::GroundTruth truth(stream);
+  for (const auto& e : top) {
+    // Heap estimates come from the merged counters, not stale per-shard
+    // views: they must match a direct merged query and CM's one-sided
+    // guarantee (estimate >= true count) must hold globally.
+    EXPECT_EQ(e.estimate, snap.query(e.key));
+    EXPECT_GE(e.estimate, truth.count(e.key));
+  }
+  // The true heaviest flow must be tracked.
+  EXPECT_TRUE(snap.heap.contains(truth.top_k(1)[0].first));
+}
+
+TEST(ShardedNitro, SnapshotIsCachedUntilNewTraffic) {
+  ShardedNitroCountMin sharded(2, [] { return sketch::CountMinSketch(4, 1024, 24); },
+                               vanilla_cfg(false));
+  const auto key = flow_key_for_rank(0, 1);
+  sharded.update(key, 1, 0);
+  const auto* first = &sharded.snapshot();
+  EXPECT_EQ(first, &sharded.snapshot());  // no traffic: same object
+  sharded.update(key, 1, 0);
+  const auto& second = sharded.snapshot();
+  EXPECT_EQ(second.packets, 2u);
+  EXPECT_EQ(second.query(key), 2);
+}
+
+TEST(ShardedNitro, SampledMergedEstimatesTrackTruth) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  cfg.track_top_keys = true;
+  cfg.top_keys = 128;
+  const auto stream = shard_trace(300000);
+  ShardedNitroCountSketch sharded(4, [] { return sketch::CountSketch(5, 8192, 25); },
+                                  cfg);
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  trace::GroundTruth truth(stream);
+  for (const auto& [key, count] : truth.top_k(5)) {
+    EXPECT_NEAR(static_cast<double>(sharded.query(key)), static_cast<double>(count),
+                0.3 * static_cast<double>(count) + 100.0);
+  }
+}
+
+TEST(ShardedNitro, DrivesOvsPipelineAsMeasurementHook) {
+  const auto stream = shard_trace(80000);
+  ShardedNitroCountMin sharded(3, [] { return sketch::CountMinSketch(5, 4096, 26); },
+                               vanilla_cfg());
+  switchsim::ShardedNitroMeasurement<sketch::CountMinSketch> meas(sharded);
+  switchsim::OvsPipeline pipe(meas);
+  const auto stats = pipe.run(switchsim::materialize(stream));
+  EXPECT_EQ(stats.packets, stream.size());
+  const auto& snap = sharded.snapshot();
+  EXPECT_EQ(snap.packets, stream.size());
+  trace::GroundTruth truth(stream);
+  for (const auto& [key, count] : truth.top_k(5)) {
+    EXPECT_GE(snap.query(key), count);  // CM one-sided bound, merged view
+  }
+}
+
+TEST(ShardedNitro, PerShardTelemetryAndMergedGauges) {
+  telemetry::Registry registry;
+  ShardedNitroCountMin sharded(2, [] { return sketch::CountMinSketch(4, 1024, 27); },
+                               vanilla_cfg());
+  sharded.attach_telemetry(registry, "dp");
+  const auto stream = shard_trace(20000);
+  for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+  sharded.snapshot();
+  std::uint64_t shard_packets = 0;
+  double merged_packets = -1.0;
+  double workers = -1.0;
+  registry.for_each_counter([&](const std::string& name, const std::string&,
+                                const telemetry::Counter& c) {
+    if (name == "dp_shard0_packets_total" || name == "dp_shard1_packets_total") {
+      shard_packets += c.value();
+    }
+  });
+  registry.for_each_gauge([&](const std::string& name, const std::string&,
+                              const telemetry::Gauge& g) {
+    if (name == "dp_merged_packets") merged_packets = g.value();
+    if (name == "dp_workers") workers = g.value();
+  });
+  EXPECT_EQ(shard_packets, stream.size());
+  EXPECT_EQ(merged_packets, static_cast<double>(stream.size()));
+  EXPECT_EQ(workers, 2.0);
+}
+
+TEST(ShardGroup, RejectsZeroWorkers) {
+  EXPECT_THROW(ShardedNitroCountMin(0, [] { return sketch::CountMinSketch(4, 1024, 1); },
+                                    vanilla_cfg(false)),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nitro::shard

@@ -113,6 +113,25 @@ TEST(TopKHeap, StressAgainstSortedReference) {
   }
 }
 
+TEST(TopKHeap, RefreshesTrackedKeyDownwardWhenFull) {
+  // Regression: the full-heap early-reject used to fire before the
+  // tracked-key lookup, so a tracked key whose estimate was revised below
+  // min_estimate() kept its stale (higher) value once the heap filled.
+  TopKHeap heap(2);
+  heap.offer(flow_key_for_rank(0, 0), 10);
+  heap.offer(flow_key_for_rank(1, 0), 20);  // heap now full
+  heap.offer(flow_key_for_rank(0, 0), 5);   // downward refresh, below old min
+  EXPECT_TRUE(heap.contains(flow_key_for_rank(0, 0)));
+  EXPECT_EQ(heap.min_estimate(), 5);
+  const auto entries = heap.entries_sorted();
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[1].key, flow_key_for_rank(0, 0));
+  EXPECT_EQ(entries[1].estimate, 5);
+  // Untracked keys at or below the (new) minimum are still rejected.
+  heap.offer(flow_key_for_rank(2, 0), 5);
+  EXPECT_FALSE(heap.contains(flow_key_for_rank(2, 0)));
+}
+
 TEST(TopKHeap, MemoryBytesNonZeroWhenPopulated) {
   TopKHeap heap(8);
   heap.offer(flow_key_for_rank(0, 0), 1);

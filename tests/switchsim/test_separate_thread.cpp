@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <thread>
+
 #include "switchsim/ovs_pipeline.hpp"
 #include "trace/ground_truth.hpp"
 #include "trace/workloads.hpp"
@@ -78,6 +81,57 @@ TEST(SeparateThread, WorksInsideOvsPipeline) {
   const auto stats = pipe.run(materialize(stream));
   EXPECT_EQ(stats.packets, stream.size());
   EXPECT_GT(meas.applied(), 0u);
+}
+
+TEST(SeparateThread, KAryStreamTotalSurvivesRingDetour) {
+  // Regression: the ring path skipped Traits::on_packet entirely, so
+  // K-ary's stream total S stayed 0 and every estimate (C - S/w)/(1 - 1/w)
+  // was computed against an empty stream.  The producer now accumulates S
+  // and folds it into the base at finish().
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  cfg.track_top_keys = false;
+  NitroSeparateThread<sketch::KArySketch> meas(sketch::KArySketch(5, 8192, 6), cfg);
+  const auto stream = small_trace(300000);
+  trace::GroundTruth truth(stream);
+  for (const auto& p : stream) meas.on_packet(p.key, p.wire_bytes, p.ts_ns);
+  meas.finish();
+  EXPECT_EQ(meas.base().total(), static_cast<std::int64_t>(stream.size()));
+  for (const auto& [key, count] : truth.top_k(5)) {
+    EXPECT_NEAR(static_cast<double>(meas.query(key)), static_cast<double>(count),
+                0.3 * static_cast<double>(count) + 100.0);
+  }
+}
+
+TEST(SeparateThread, PacketCounterReadableWhileProducing) {
+  // Regression: packets_ was a plain uint64_t, torn/raced when telemetry
+  // or a monitoring thread read it mid-run.  It is a relaxed atomic now —
+  // this test gives TSan a concurrent reader to check.
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  cfg.track_top_keys = false;
+  NitroSeparateThread<sketch::CountMinSketch> meas(sketch::CountMinSketch(4, 2048, 8),
+                                                   cfg);
+  const auto stream = small_trace(100000);
+  std::atomic<bool> stop{false};
+  std::uint64_t last_seen = 0;
+  std::thread reader([&] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t now = meas.packets();
+      EXPECT_GE(now, prev);  // monotone, never torn
+      prev = now;
+    }
+    last_seen = prev;
+  });
+  for (const auto& p : stream) meas.on_packet(p.key, p.wire_bytes, p.ts_ns);
+  stop.store(true, std::memory_order_release);
+  reader.join();
+  meas.finish();
+  EXPECT_EQ(meas.packets(), stream.size());
+  EXPECT_LE(last_seen, stream.size());
 }
 
 TEST(SeparateThread, FinishIsIdempotent) {
