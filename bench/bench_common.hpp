@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/simd_hash.hpp"
 #include "core/nitro_config.hpp"
 #include "sketch/univmon.hpp"
 #include "switchsim/measurement.hpp"
@@ -104,7 +105,15 @@ double mpps_of_direct_replay_ts(const trace::Trace& stream, Sketch& sketch) {
 inline void write_telemetry_sidecar(const telemetry::Registry& registry,
                                     const char* bench_id) {
   const std::string path = std::string(bench_id) + "_telemetry.json";
-  if (telemetry::write_file(path, telemetry::to_json(registry))) {
+  std::string json = telemetry::to_json(registry);
+  // Stamp the build's SIMD capability so figure scripts can tell whether a
+  // recorded number used the batched hash kernels.
+  const auto brace = json.find('{');
+  if (brace != std::string::npos) {
+    json.insert(brace + 1, std::string("\n  \"avx2\": ") +
+                               (simd_hash_available() ? "true" : "false") + ",");
+  }
+  if (telemetry::write_file(path, json)) {
     note("telemetry sidecar: %s", path.c_str());
   } else {
     note("telemetry sidecar: failed to write %s", path.c_str());

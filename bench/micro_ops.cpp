@@ -4,6 +4,8 @@
 // cost of each sketch's update path.
 #include <benchmark/benchmark.h>
 
+#include <span>
+
 #include "baselines/elastic.hpp"
 #include "common/geometric.hpp"
 #include "common/hash.hpp"
@@ -106,8 +108,58 @@ void BM_NitroCountSketch_Update(benchmark::State& state) {
   const auto keys = make_keys(4096);
   std::size_t i = 0;
   for (auto _ : state) nitro.update(keys[i++ & 4095]);
+  state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_NitroCountSketch_Update)->Arg(10)->Arg(100);
+
+// Burst counterpart: one update_burst(32 keys) per iteration.  Compare
+// items/s against BM_NitroCountSketch_Update at the same Arg.
+void BM_NitroCountSketch_UpdateBurst(benchmark::State& state) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 1.0 / static_cast<double>(state.range(0));
+  cfg.track_top_keys = false;
+  core::NitroCountSketch nitro(sketch::CountSketch(5, 102400, 11), cfg);
+  const auto keys = make_keys(4096);
+  constexpr std::size_t kBurst = 32;
+  std::size_t b = 0;
+  for (auto _ : state) {
+    nitro.update_burst(std::span<const FlowKey>(&keys[(b * kBurst) & 4095], kBurst));
+    ++b;
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_NitroCountSketch_UpdateBurst)->Arg(10)->Arg(100);
+
+void BM_NitroCountMin_Update(benchmark::State& state) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 1.0 / static_cast<double>(state.range(0));
+  cfg.track_top_keys = false;
+  core::NitroCountMin nitro(sketch::CountMinSketch(5, 10000, 5), cfg);
+  const auto keys = make_keys(4096);
+  std::size_t i = 0;
+  for (auto _ : state) nitro.update(keys[i++ & 4095]);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_NitroCountMin_Update)->Arg(10)->Arg(100);
+
+void BM_NitroCountMin_UpdateBurst(benchmark::State& state) {
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 1.0 / static_cast<double>(state.range(0));
+  cfg.track_top_keys = false;
+  core::NitroCountMin nitro(sketch::CountMinSketch(5, 10000, 5), cfg);
+  const auto keys = make_keys(4096);
+  constexpr std::size_t kBurst = 32;
+  std::size_t b = 0;
+  for (auto _ : state) {
+    nitro.update_burst(std::span<const FlowKey>(&keys[(b * kBurst) & 4095], kBurst));
+    ++b;
+  }
+  state.SetItemsProcessed(state.iterations() * kBurst);
+}
+BENCHMARK(BM_NitroCountMin_UpdateBurst)->Arg(10)->Arg(100);
 
 void BM_ElasticSketch_Update(benchmark::State& state) {
   baseline::ElasticSketch es(8192, 3, 65536, 13);

@@ -1,0 +1,53 @@
+// Cache-line-aligned storage for hot counter arrays.
+//
+// CounterMatrix keeps its rows 64-byte aligned and padded to whole cache
+// lines so (a) a counter never straddles two lines and (b) the burst
+// path's prefetch distance is deterministic (one line per prefetch).  A
+// std::allocator drop-in keeps std::vector's value semantics — sketches
+// stay copyable/movable, which the shard snapshot machinery relies on.
+#pragma once
+
+#include <cstddef>
+#include <new>
+#include <vector>
+
+namespace nitro {
+
+/// 64B is the destructive-interference line size on every mainstream
+/// x86-64/ARM server part (the same constant SpscRing pins down rather
+/// than using std::hardware_destructive_interference_size, to keep
+/// layouts ABI-stable across toolchains).
+inline constexpr std::size_t kCacheLineBytes = 64;
+
+template <typename T, std::size_t Align>
+struct AlignedAllocator {
+  using value_type = T;
+  static_assert(Align >= alignof(T) && (Align & (Align - 1)) == 0,
+                "alignment must be a power of two covering alignof(T)");
+
+  AlignedAllocator() noexcept = default;
+  template <typename U>
+  AlignedAllocator(const AlignedAllocator<U, Align>&) noexcept {}
+
+  T* allocate(std::size_t n) {
+    if (n == 0) return nullptr;
+    return static_cast<T*>(::operator new(n * sizeof(T), std::align_val_t{Align}));
+  }
+  void deallocate(T* p, std::size_t) noexcept {
+    ::operator delete(p, std::align_val_t{Align});
+  }
+
+  template <typename U>
+  struct rebind {
+    using other = AlignedAllocator<U, Align>;
+  };
+
+  friend bool operator==(const AlignedAllocator&, const AlignedAllocator&) noexcept {
+    return true;
+  }
+};
+
+template <typename T>
+using CacheAlignedVector = std::vector<T, AlignedAllocator<T, kCacheLineBytes>>;
+
+}  // namespace nitro

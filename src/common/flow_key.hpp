@@ -31,10 +31,14 @@ struct FlowKey {
 
 static_assert(sizeof(FlowKey) == 13, "FlowKey must be a packed 13-byte 5-tuple");
 
+/// Fixed seed of flow_digest(); exposed so the batched AVX2 digest kernel
+/// (common/simd_hash.hpp) provably hashes with the same function.
+inline constexpr std::uint64_t kFlowDigestSeed = 0x9c0ffee5u;
+
 /// Stable 64-bit digest of a flow key (xxHash64 with a fixed seed); used
 /// by hash-map baselines and the exact-match cache.
 inline std::uint64_t flow_digest(const FlowKey& k) noexcept {
-  return xxhash64(&k, sizeof k, 0x9c0ffee5u);
+  return xxhash64(&k, sizeof k, kFlowDigestSeed);
 }
 
 /// Human-readable "a.b.c.d:p -> a.b.c.d:p/proto" form for logs and examples.

@@ -73,6 +73,98 @@ void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
   _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), h);
 }
 
+namespace {
+
+constexpr std::uint64_t kP64_1 = 0x9E3779B185EBCA87ULL;
+constexpr std::uint64_t kP64_2 = 0xC2B2AE3D27D4EB4FULL;
+constexpr std::uint64_t kP64_3 = 0x165667B19E3779F9ULL;
+constexpr std::uint64_t kP64_4 = 0x85EBCA77C2B2AE63ULL;
+constexpr std::uint64_t kP64_5 = 0x27D4EB2F165667C5ULL;
+
+inline __m256i rotl64x4(__m256i v, int r) {
+  return _mm256_or_si256(_mm256_slli_epi64(v, r), _mm256_srli_epi64(v, 64 - r));
+}
+
+/// Full 64-bit lane-wise multiply.  AVX2 has no _mm256_mullo_epi64, so the
+/// low 64 bits are assembled from 32x32 partial products:
+///   lo(a*b) = lo32(a)*lo32(b) + ((hi32(a)*lo32(b) + lo32(a)*hi32(b)) << 32).
+inline __m256i mullo64x4(__m256i a, __m256i b) {
+  const __m256i a_hi = _mm256_srli_epi64(a, 32);
+  const __m256i b_hi = _mm256_srli_epi64(b, 32);
+  const __m256i lo = _mm256_mul_epu32(a, b);
+  const __m256i cross =
+      _mm256_add_epi64(_mm256_mul_epu32(a_hi, b), _mm256_mul_epu32(a, b_hi));
+  return _mm256_add_epi64(lo, _mm256_slli_epi64(cross, 32));
+}
+
+/// Gathers the same qword (offset `byte_off`, 8 readable bytes) of 4 keys.
+inline __m256i gather_qword4(const FlowKey* keys, std::size_t byte_off) {
+  alignas(32) std::uint64_t lanes[4];
+  for (int i = 0; i < 4; ++i) {
+    std::memcpy(&lanes[i], reinterpret_cast<const std::uint8_t*>(&keys[i]) + byte_off,
+                sizeof(std::uint64_t));
+  }
+  return _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+}
+
+/// xxHash64 of 4 contiguous 13-byte keys, one per 64-bit lane.
+__m256i xxh64_13bytes_x4(const FlowKey* keys, std::uint64_t seed) {
+  static_assert(sizeof(FlowKey) == 13);
+  const __m256i p1 = _mm256_set1_epi64x(static_cast<long long>(kP64_1));
+  const __m256i p2 = _mm256_set1_epi64x(static_cast<long long>(kP64_2));
+  const __m256i p3 = _mm256_set1_epi64x(static_cast<long long>(kP64_3));
+  const __m256i p4 = _mm256_set1_epi64x(static_cast<long long>(kP64_4));
+  const __m256i p5 = _mm256_set1_epi64x(static_cast<long long>(kP64_5));
+
+  // len = 13 < 32: the scalar short path is h = seed + P5 + len, then one
+  // 8-byte round, one 4-byte round, one tail byte, avalanche.
+  __m256i h = _mm256_set1_epi64x(static_cast<long long>(seed + kP64_5 + 13));
+
+  {  // 8-byte round: h ^= round64(0, k); h = rotl(h,27)*P1 + P4.
+    const __m256i k = gather_qword4(keys, 0);
+    const __m256i r = mullo64x4(rotl64x4(mullo64x4(k, p2), 31), p1);
+    h = _mm256_xor_si256(h, r);
+    h = _mm256_add_epi64(mullo64x4(rotl64x4(h, 27), p1), p4);
+  }
+  {  // 4-byte round on the dword at offset 8 (zero-extended to 64 bits).
+    alignas(32) std::uint64_t lanes[4];
+    for (int i = 0; i < 4; ++i) {
+      std::uint32_t w;
+      std::memcpy(&w, reinterpret_cast<const std::uint8_t*>(&keys[i]) + 8, sizeof w);
+      lanes[i] = w;
+    }
+    const __m256i k = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+    h = _mm256_xor_si256(h, mullo64x4(k, p1));
+    h = _mm256_add_epi64(mullo64x4(rotl64x4(h, 23), p2), p3);
+  }
+  {  // tail byte (offset 12): h ^= b*P5; h = rotl(h,11)*P1.
+    alignas(32) std::uint64_t lanes[4];
+    for (int i = 0; i < 4; ++i) {
+      lanes[i] = reinterpret_cast<const std::uint8_t*>(&keys[i])[12];
+    }
+    const __m256i b = _mm256_load_si256(reinterpret_cast<const __m256i*>(lanes));
+    h = _mm256_xor_si256(h, mullo64x4(b, p5));
+    h = mullo64x4(rotl64x4(h, 11), p1);
+  }
+
+  // Avalanche: h ^= h>>33; h *= P2; h ^= h>>29; h *= P3; h ^= h>>32.
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 33));
+  h = mullo64x4(h, p2);
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 29));
+  h = mullo64x4(h, p3);
+  h = _mm256_xor_si256(h, _mm256_srli_epi64(h, 32));
+  return h;
+}
+
+}  // namespace
+
+void xxhash64_x8_flowkeys(const FlowKey keys[8], std::uint64_t seed,
+                          std::uint64_t out[8]) noexcept {
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out), xxh64_13bytes_x4(keys, seed));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(out + 4),
+                      xxh64_13bytes_x4(keys + 4, seed));
+}
+
 bool simd_hash_available() noexcept { return true; }
 
 #else  // !__AVX2__
@@ -81,6 +173,13 @@ void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
                           std::uint32_t out[8]) noexcept {
   for (int i = 0; i < 8; ++i) {
     out[i] = xxhash32(&keys[i], sizeof(FlowKey), seed);
+  }
+}
+
+void xxhash64_x8_flowkeys(const FlowKey keys[8], std::uint64_t seed,
+                          std::uint64_t out[8]) noexcept {
+  for (int i = 0; i < 8; ++i) {
+    out[i] = xxhash64(&keys[i], sizeof(FlowKey), seed);
   }
 }
 

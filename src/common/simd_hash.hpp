@@ -17,6 +17,21 @@ namespace nitro {
 void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
                           std::uint32_t out[8]) noexcept;
 
+/// Hash 8 contiguous flow keys with xxHash64(seed); out[i] corresponds to
+/// keys[i].  Results match xxhash64(&keys[i], sizeof(FlowKey), seed).  The
+/// AVX2 path keeps four 64-bit lanes per YMM register (two registers for
+/// the batch) and emulates the missing 64-bit vector multiply with
+/// 32x32-bit partial products.
+void xxhash64_x8_flowkeys(const FlowKey keys[8], std::uint64_t seed,
+                          std::uint64_t out[8]) noexcept;
+
+/// Batched flow_digest(): out[i] == flow_digest(keys[i]).  This is the
+/// kernel BufferedUpdater::flush feeds full batches of 8 through (Idea D:
+/// the hash mixing chains of a batch run in parallel lanes).
+inline void flow_digest_x8(const FlowKey keys[8], std::uint64_t out[8]) noexcept {
+  xxhash64_x8_flowkeys(keys, kFlowDigestSeed, out);
+}
+
 /// True when the build carries the AVX2 code path (informational; the
 /// function above is always correct either way).
 bool simd_hash_available() noexcept;

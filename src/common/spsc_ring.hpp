@@ -46,6 +46,25 @@ class SpscRing {
     return true;
   }
 
+  /// Producer side, bulk: enqueue up to `n` items from `items` with one
+  /// release store (one reservation for the whole run instead of one per
+  /// element).  Returns how many were enqueued — fewer than `n` only when
+  /// the ring filled up; the prefix that fit is visible to the consumer.
+  std::size_t try_push_bulk(const T* items, std::size_t n) {
+    const std::size_t head = head_.load(std::memory_order_relaxed);
+    std::size_t free = (cached_tail_ - head - 1) & mask_;
+    if (free < n) {
+      cached_tail_ = tail_.load(std::memory_order_acquire);
+      free = (cached_tail_ - head - 1) & mask_;
+    }
+    const std::size_t m = n < free ? n : free;
+    for (std::size_t i = 0; i < m; ++i) {
+      slots_[(head + i) & mask_] = items[i];
+    }
+    if (m > 0) head_.store((head + m) & mask_, std::memory_order_release);
+    return m;
+  }
+
   /// Consumer side.
   bool try_pop(T& out) {
     const std::size_t tail = tail_.load(std::memory_order_relaxed);
@@ -56,6 +75,23 @@ class SpscRing {
     out = slots_[tail];
     tail_.store((tail + 1) & mask_, std::memory_order_release);
     return true;
+  }
+
+  /// Consumer side, bulk: dequeue up to `max_n` items into `out` with one
+  /// release store.  Returns how many were dequeued (0 when empty).
+  std::size_t try_pop_bulk(T* out, std::size_t max_n) {
+    const std::size_t tail = tail_.load(std::memory_order_relaxed);
+    std::size_t avail = (cached_head_ - tail) & mask_;
+    if (avail < max_n) {
+      cached_head_ = head_.load(std::memory_order_acquire);
+      avail = (cached_head_ - tail) & mask_;
+    }
+    const std::size_t m = max_n < avail ? max_n : avail;
+    for (std::size_t i = 0; i < m; ++i) {
+      out[i] = slots_[(tail + i) & mask_];
+    }
+    if (m > 0) tail_.store((tail + m) & mask_, std::memory_order_release);
+    return m;
   }
 
   /// Approximate occupancy (exact only when both threads are quiescent).

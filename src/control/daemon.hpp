@@ -7,6 +7,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "control/estimation.hpp"
@@ -43,6 +44,12 @@ class MeasurementDaemon {
   /// Data-plane entry point.
   void on_packet(const FlowKey& key, std::uint64_t ts_ns = 0) {
     current_.update(key, 1, ts_ns);
+  }
+
+  /// Burst data-plane entry point: a whole rx burst of parsed keys with
+  /// the burst's poll timestamp.
+  void on_burst(std::span<const FlowKey> keys, std::uint64_t ts_ns = 0) {
+    current_.update_burst(keys, ts_ns);
   }
 
   /// Bind the daemon (and its rotating data plane) to a registry.  The

@@ -1,16 +1,20 @@
 // Buffered counter updates with batched hashing (Idea D, §4.2).
 //
-// Sampled updates are queued and applied in groups of eight: the flow-key
-// digests of a full group are computed back-to-back (xxhash32_batch8-style
-// batching keeps the hash mixing chains independent so the compiler can
-// vectorize them with AVX2), then the counters are touched in one pass,
-// which also gives the prefetcher a window.  Ablated in Figure 9b.
+// Sampled updates are queued and applied in groups of eight.  A full
+// group's flow-key digests go through the batched AVX2 xxHash64 kernel
+// (flow_digest_x8 — one lane per key, the mixing chains kept in YMM
+// registers); a partial group, which only an external flush() produces,
+// takes the scalar tail.  Columns and signs are then resolved for the
+// whole group and the target counter lines prefetched before the write
+// pass, giving the memory system a full batch of overlap.  Ablated in
+// Figure 9b.
 #pragma once
 
 #include <array>
 #include <cstdint>
 
 #include "common/flow_key.hpp"
+#include "common/simd_hash.hpp"
 #include "sketch/counter_matrix.hpp"
 
 namespace nitro::core {
@@ -30,22 +34,48 @@ class BufferedUpdater {
   /// heap after a flush).
   bool push(sketch::CounterMatrix& matrix, const FlowKey& key, std::uint32_t row,
             std::int64_t delta) {
+    // Overflow guard: if a caller (or a reentrant external flush) ever
+    // leaves the batch full without resetting count_, drain it before
+    // admitting the new entry instead of writing past the array.
+    if (count_ == kBatch) flush(matrix);
     pending_[count_++] = {key, row, delta};
     if (count_ < kBatch) return false;
     flush(matrix);
     return true;
   }
 
-  /// Apply all queued updates.  Digests are computed for the whole batch
-  /// first, then counters are updated.
+  /// Apply all queued updates in three passes: digest the whole group,
+  /// resolve (column, sign) and prefetch the counter lines, then write.
   void flush(sketch::CounterMatrix& matrix) {
     if (count_ == 0) return;
     std::array<std::uint64_t, kBatch> digests;
+    if (count_ == kBatch) {
+      // Full group: batched 64-bit digest kernel.  The keys must be
+      // contiguous for the gather loads, so copy them out of Pending.
+      std::array<FlowKey, kBatch> keys;
+      for (std::size_t i = 0; i < kBatch; ++i) keys[i] = pending_[i].key;
+      flow_digest_x8(keys.data(), digests.data());
+    } else {
+      // Partial group (external flush mid-batch): scalar tail.
+      for (std::size_t i = 0; i < count_; ++i) {
+        digests[i] = flow_digest(pending_[i].key);
+      }
+    }
+    std::array<std::uint32_t, kBatch> cols;
+    std::array<std::int32_t, kBatch> signs;
     for (std::size_t i = 0; i < count_; ++i) {
-      digests[i] = flow_digest(pending_[i].key);
+      const std::uint32_t r = pending_[i].row;
+      cols[i] = matrix.column_of_digest(r, digests[i]);
+      signs[i] = matrix.sign_of_digest(r, digests[i]);
+#if defined(__GNUC__)
+      // Rows are cache-line aligned (CounterMatrix padding), so each
+      // resolved counter is one line: prefetch it now, write it a batch
+      // later, when the load has had the whole resolve pass to complete.
+      __builtin_prefetch(matrix.counter_addr(r, cols[i]), 1, 3);
+#endif
     }
     for (std::size_t i = 0; i < count_; ++i) {
-      matrix.update_row_digest(pending_[i].row, digests[i], pending_[i].delta);
+      matrix.add_at(pending_[i].row, cols[i], pending_[i].delta * signs[i]);
     }
     count_ = 0;
     ++flushes_;

@@ -15,7 +15,9 @@
 #include <cmath>
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <type_traits>
+#include <vector>
 
 #include "common/flow_key.hpp"
 #include "common/timing.hpp"
@@ -112,6 +114,59 @@ class NitroSketch {
     update_impl(key, count, now_ns);
   }
 
+  /// Process a whole rx burst of unit-weight packets sharing one arrival
+  /// timestamp (a DPDK/BESS/VPP poll batch).  Bit-identical to calling
+  /// update() once per key in order — same PRNG draws, counter values,
+  /// heap contents and controller decisions — but amortized: the geometric
+  /// skip advances across the burst in one pass (one compare per *sampled*
+  /// slot instead of per packet), buffered updates flow through the
+  /// batched digest kernel, and the heap refreshes at flush boundaries
+  /// (once per ~kBatch sampled slots) rather than per sampled packet.
+  /// (The 1-in-1024 cycle histogram is not sampled on this path; its
+  /// counters still publish.)
+  void update_burst(std::span<const FlowKey> keys, std::uint64_t now_ns = 0) {
+    const std::size_t n = keys.size();
+    std::size_t i = 0;
+    // Exact regimes stay per-packet: kVanilla always, kAlwaysCorrect until
+    // its detector flips (possibly mid-burst — the remainder then falls
+    // through to the sampled fast path).
+    if (cfg_.mode == Mode::kVanilla) {
+      for (; i < n; ++i) update_impl(keys[i], 1, now_ns);
+      return;
+    }
+    if (cfg_.mode == Mode::kAlwaysCorrect) {
+      while (i < n && !detector_.converged()) update_impl(keys[i++], 1, now_ns);
+      if (i == n) return;
+    }
+    if (cfg_.mode == Mode::kAlwaysLineRate) {
+      // p may retune mid-burst (epoch boundary).  Feed the controller one
+      // packet at a time exactly as update() would, but run the sampler
+      // over maximal runs of constant p.  A retune fires *before* the
+      // triggering packet samples, so that packet heads the next segment
+      // with its controller feed already consumed.
+      bool head_fed = false;
+      while (i < n) {
+        if (!head_fed && rate_.on_packet(now_ns)) {
+          sampler_.set_probability(rate_.probability());
+        }
+        head_fed = false;
+        std::size_t seg = 1;
+        while (i + seg < n) {
+          if (rate_.on_packet(now_ns)) {
+            sampler_.set_probability(rate_.probability());
+            head_fed = true;
+            break;
+          }
+          ++seg;
+        }
+        sampled_burst(keys.subspan(i, seg));
+        i += seg;
+      }
+      return;
+    }
+    if (i < n) sampled_burst(keys.subspan(i, n - i));
+  }
+
   /// Bind registry instruments (see telemetry::SketchTelemetry).  The
   /// adaptive controllers get their event sinks wired here, and the
   /// current probability is logged as the timeline's starting point.
@@ -150,18 +205,21 @@ class NitroSketch {
     return Traits::query(base_, key);
   }
 
-  /// Drain the Idea-D buffer (call at epoch end; queries do it implicitly).
+  /// Drain the Idea-D buffer and apply any heap offers queued behind it
+  /// (call at epoch end; queries do it implicitly).
   void flush() {
     const std::size_t drained = buffer_.pending();
-    if (drained == 0) return;
-    buffer_.flush(base_.matrix());
-    if constexpr (WithTelemetry) {
-      if (tel_.explicit_flushes) tel_.explicit_flushes->inc();
-      if (tel_.events) {
-        tel_.events->append(telemetry::EventKind::kBufferFlush, 0,
-                            static_cast<double>(drained));
+    if (drained > 0) {
+      buffer_.flush(base_.matrix());
+      if constexpr (WithTelemetry) {
+        if (tel_.explicit_flushes) tel_.explicit_flushes->inc();
+        if (tel_.events) {
+          tel_.events->append(telemetry::EventKind::kBufferFlush, 0,
+                              static_cast<double>(drained));
+        }
       }
     }
+    if (!pending_offers_.empty()) drain_pending_offers();
   }
 
   /// Heavy keys observed so far (empty when track_top_keys is off).
@@ -253,26 +311,97 @@ class NitroSketch {
     if (heap_.capacity() > 0) heap_.offer(key, Traits::query(base_, key));
   }
 
+  // Bottleneck-3 mitigation: the heap is consulted only for sampled
+  // packets, i.e. with probability <= d·p per packet.  With buffering
+  // enabled the offer is additionally *deferred* to the next batch flush
+  // (at most kBatch pushes away) so it estimates against fully-applied
+  // counters and the heap work batches with the counter work; burst and
+  // per-packet ingestion share this protocol, which is what makes them
+  // bit-identical.  Without buffering the offer stays inline.
   void sampled_update(const FlowKey& key, std::int64_t count) {
     std::uint32_t rows[64];
     const std::uint32_t n = sampler_.rows_for_packet(rows);
     if (n == 0) return;
     const std::int64_t delta = count * sampler_.increment();
-    for (std::uint32_t i = 0; i < n; ++i) {
-      if (cfg_.buffered_updates) {
-        buffer_.push(base_.matrix(), key, rows[i], delta);
-      } else {
+    if (cfg_.buffered_updates) {
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (buffer_.push(base_.matrix(), key, rows[i], delta)) {
+          drain_pending_offers();
+        }
+      }
+      if (heap_.capacity() > 0) pending_offers_.push_back(key);
+    } else {
+      for (std::uint32_t i = 0; i < n; ++i) {
         base_.matrix().update_row(rows[i], key, delta);
       }
+      if (heap_.capacity() > 0) heap_.offer(key, Traits::query(base_, key));
     }
     sampled_updates_ += n;
-    // Bottleneck-3 mitigation: the heap is consulted only here, i.e. with
-    // probability <= d·p per packet.  With buffering enabled the estimate
-    // may lag by at most kBatch-1 pending deltas; top_keys() re-queries
-    // through a flush, so reported estimates are always current.
-    if (heap_.capacity() > 0) {
-      heap_.offer(key, Traits::query(base_, key));
+  }
+
+  /// Sampled fast path over a run of unit-weight packets at constant p.
+  /// One sample_burst() call advances the skip across the whole run; the
+  /// selected slots come back packet-major, so per-packet semantics
+  /// (stream-total accounting before a packet's writes, heap offer after
+  /// them) replay exactly.
+  void sampled_burst(std::span<const FlowKey> keys) {
+    const std::uint32_t m = static_cast<std::uint32_t>(keys.size());
+    packets_ += m;
+    const std::uint32_t nslots = sampler_.sample_burst(m, burst_slots_);
+    if (nslots == 0) {
+      Traits::on_packet(base_, m);
+      return;
     }
+    sampled_updates_ += nslots;
+    const std::int64_t delta = sampler_.increment();
+    // K-ary's stream total S feeds its estimator, which heap offers query
+    // mid-stream — so S must grow exactly as in the per-packet path: fold
+    // in each packet's contribution just before its first write.  (For
+    // CM/CS on_packet is a no-op and this folds away.)
+    std::uint32_t accounted = 0;
+    std::size_t s = 0;
+    while (s < nslots) {
+      const std::uint32_t pkt = burst_slots_[s].packet;
+      const FlowKey& key = keys[pkt];
+      Traits::on_packet(base_, pkt + 1 - accounted);
+      accounted = pkt + 1;
+      if (cfg_.buffered_updates) {
+        do {
+          if (buffer_.push(base_.matrix(), key, burst_slots_[s].row, delta)) {
+            drain_pending_offers();
+          }
+          ++s;
+        } while (s < nslots && burst_slots_[s].packet == pkt);
+        if (heap_.capacity() > 0) pending_offers_.push_back(key);
+      } else {
+        do {
+          base_.matrix().update_row(burst_slots_[s].row, key, delta);
+          ++s;
+        } while (s < nslots && burst_slots_[s].packet == pkt);
+        if (heap_.capacity() > 0) heap_.offer(key, Traits::query(base_, key));
+      }
+    }
+    Traits::on_packet(base_, m - accounted);  // trailing skipped packets
+  }
+
+  /// Apply deferred heavy-key offers against the just-flushed counters.
+  /// A key sampled more than once since the last flush is offered once:
+  /// no counters changed between the would-be duplicates, so they would
+  /// see identical estimates and leave the heap unchanged anyway.
+  void drain_pending_offers() {
+    const std::size_t n = pending_offers_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      const FlowKey& key = pending_offers_[i];
+      bool duplicate = false;
+      for (std::size_t j = 0; j < i; ++j) {
+        if (pending_offers_[j] == key) {
+          duplicate = true;
+          break;
+        }
+      }
+      if (!duplicate) heap_.offer(key, Traits::query(base_, key));
+    }
+    pending_offers_.clear();
   }
 
   Base base_;
@@ -282,6 +411,11 @@ class NitroSketch {
   ConvergenceDetector detector_;
   sketch::TopKHeap heap_;
   BufferedUpdater buffer_;
+  // Scratch for update_burst (reused across bursts to avoid allocation)
+  // and the offers deferred to the next buffer flush.  pending_offers_ is
+  // bounded by the batch size: every kBatch-th push drains it.
+  std::vector<BurstSlot> burst_slots_;
+  std::vector<FlowKey> pending_offers_;
   std::uint64_t packets_ = 0;
   std::uint64_t sampled_updates_ = 0;
   [[no_unique_address]] std::conditional_t<WithTelemetry, telemetry::SketchTelemetry,

@@ -14,6 +14,7 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "common/timing.hpp"
@@ -78,6 +79,14 @@ class NitroUnivMon {
       return;
     }
     update_impl(key, count, now_ns);
+  }
+
+  /// Burst entry point — API parity with NitroSketch::update_burst, so
+  /// burst-aware integrations (pipelines, shard workers) can feed either
+  /// uniformly.  UnivMon's work is already level-partitioned with a
+  /// per-level geometric skip, so this simply forwards per packet.
+  void update_burst(std::span<const FlowKey> keys, std::uint64_t now_ns = 0) {
+    for (const FlowKey& key : keys) update(key, 1, now_ns);
   }
 
  private:

@@ -7,10 +7,19 @@
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
 #include "common/geometric.hpp"
 
 namespace nitro::core {
+
+/// One selected update slot of a burst: packet index within the burst and
+/// the row it updates.  Emitted in slot order (packet-major, rows
+/// ascending within a packet).
+struct BurstSlot {
+  std::uint32_t packet;
+  std::uint32_t row;
+};
 
 class RowSampler {
  public:
@@ -59,6 +68,26 @@ class RowSampler {
     } while (next_slot_ < depth_);
     next_slot_ -= depth_;
     return n;
+  }
+
+  /// Burst counterpart of rows_for_packet(): advances the geometric skip
+  /// across `packets` whole packets in one pass, appending every selected
+  /// slot to `out` (cleared first).  Consumes exactly the same PRNG draws
+  /// and leaves the same skip position as `packets` consecutive
+  /// rows_for_packet() calls, so per-packet and burst ingestion stay
+  /// bit-identical.  The per-packet version pays a compare-and-subtract
+  /// per packet even when nothing is sampled; this pays one division per
+  /// *sampled* slot, which at small p is ~d·p per packet.
+  std::uint32_t sample_burst(std::uint32_t packets, std::vector<BurstSlot>& out) {
+    out.clear();
+    const std::uint64_t total = std::uint64_t{packets} * depth_;
+    while (next_slot_ < total) {
+      out.push_back({static_cast<std::uint32_t>(next_slot_ / depth_),
+                     static_cast<std::uint32_t>(next_slot_ % depth_)});
+      next_slot_ += geo_.next();
+    }
+    next_slot_ -= total;
+    return static_cast<std::uint32_t>(out.size());
   }
 
   /// Fast check used by integrations that want to skip even key extraction

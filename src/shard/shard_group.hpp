@@ -23,6 +23,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <stdexcept>
 #include <string>
 #include <thread>
@@ -75,6 +76,7 @@ class ShardGroup {
     for (std::uint32_t i = 0; i < workers; ++i) {
       shards_.push_back(std::make_unique<Shard>(make(i), opts_.ring_capacity));
     }
+    burst_runs_.resize(workers);
     for (auto& s : shards_) {
       s->worker = std::thread([this, shard = s.get()] { run(*shard); });
     }
@@ -128,6 +130,43 @@ class ShardGroup {
     BoundedBackoff backoff;
     while (!s.ring.try_push({key, count, ts_ns})) backoff.wait();
     s.pushed.inc();
+  }
+
+  /// Burst dispatch (single-dispatcher): partition the burst by shard,
+  /// then enqueue each shard's run with one bulk ring reservation instead
+  /// of one release store per packet.  Per-flow shard stickiness and the
+  /// per-shard packet order are identical to calling update() per key.
+  void update_burst(std::span<const FlowKey> keys, std::int64_t count = 1,
+                    std::uint64_t ts_ns = 0) {
+    for (auto& run : burst_runs_) run.clear();
+    for (const FlowKey& key : keys) {
+      burst_runs_[shard_of(key)].push_back({key, count, ts_ns});
+    }
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      auto& run = burst_runs_[i];
+      if (run.empty()) continue;
+      Shard& s = *shards_[i];
+      s.packets.inc(run.size());
+      std::size_t done = s.ring.try_push_bulk(run.data(), run.size());
+      if (done < run.size()) {
+        if (opts_.overflow == OverflowPolicy::kDrop) {
+          s.drops.inc(run.size() - done);
+        } else {
+          BoundedBackoff backoff;
+          while (done < run.size()) {
+            const std::size_t more =
+                s.ring.try_push_bulk(run.data() + done, run.size() - done);
+            if (more == 0) {
+              backoff.wait();
+            } else {
+              done += more;
+              backoff.reset();
+            }
+          }
+        }
+      }
+      s.pushed.inc(done);
+    }
   }
 
   /// Barrier: returns once every enqueued packet has been applied by its
@@ -212,24 +251,64 @@ class ShardGroup {
     telemetry::Counter drops;
   };
 
+  // Items the worker pops per bulk dequeue; matches the pipelines' rx
+  // burst so a dispatched burst usually drains in one pop.
+  static constexpr std::size_t kWorkerBurst = 32;
+
   void run(Shard& s) {
-    ShardItem item;
+    ShardItem items[kWorkerBurst];
+    std::vector<FlowKey> keys;
+    keys.reserve(kWorkerBurst);
     BoundedBackoff backoff;
     while (!s.done.load(std::memory_order_acquire) || !s.ring.empty_approx()) {
-      if (!s.ring.try_pop(item)) {
+      const std::size_t m = s.ring.try_pop_bulk(items, kWorkerBurst);
+      if (m == 0) {
         backoff.wait();
         continue;
       }
       backoff.reset();
-      s.instance.update(item.key, item.count, item.ts_ns);
-      // Release pairs with drain()'s acquire: once applied covers a push,
-      // the control plane sees every instance write behind it.
-      s.applied.fetch_add(1, std::memory_order_release);
+      std::size_t i = 0;
+      while (i < m) {
+        // A run of consecutive items with identical (count, ts) replays
+        // through the sketch's burst fast path when it has one; the burst
+        // path is update-sequence-equivalent, so results are bit-identical
+        // to the per-item loop below.
+        std::size_t j = i + 1;
+        while (j < m && items[j].count == items[i].count &&
+               items[j].ts_ns == items[i].ts_ns) {
+          ++j;
+        }
+        bool bursted = false;
+        if constexpr (requires(Instance& inst) {
+                        inst.update_burst(std::span<const FlowKey>{},
+                                          std::uint64_t{});
+                      }) {
+          if (items[i].count == 1 && j - i > 1) {
+            keys.clear();
+            for (std::size_t k = i; k < j; ++k) keys.push_back(items[k].key);
+            s.instance.update_burst(
+                std::span<const FlowKey>(keys.data(), keys.size()),
+                items[i].ts_ns);
+            bursted = true;
+          }
+        }
+        if (!bursted) {
+          for (std::size_t k = i; k < j; ++k) {
+            s.instance.update(items[k].key, items[k].count, items[k].ts_ns);
+          }
+        }
+        // Release pairs with drain()'s acquire: once applied covers a
+        // push, the control plane sees every instance write behind it.
+        s.applied.fetch_add(j - i, std::memory_order_release);
+        i = j;
+      }
     }
   }
 
   ShardOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
+  // Dispatcher-local scratch for update_burst(); one run per shard.
+  std::vector<std::vector<ShardItem>> burst_runs_;
 };
 
 }  // namespace nitro::shard

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -85,6 +86,13 @@ class ShardedNitroSketch {
   void update_on_shard(std::uint32_t shard, const FlowKey& key,
                        std::int64_t count = 1, std::uint64_t ts_ns = 0) {
     group_.update_on_shard(shard, key, count, ts_ns);
+  }
+
+  /// Burst dispatch: one shard partition + bulk ring reservation per
+  /// shard; workers replay their runs through NitroSketch::update_burst.
+  void update_burst(std::span<const FlowKey> keys, std::int64_t count = 1,
+                    std::uint64_t ts_ns = 0) {
+    group_.update_burst(keys, count, ts_ns);
   }
 
   /// Wait until every dispatched packet is applied by its worker.

@@ -6,13 +6,21 @@
 // pairwise-independent index hash h_i and (for L2 sketches) a sign hash
 // g_i.  Centralizing the layout lets the NitroSketch framework wrap any of
 // them uniformly, and keeps rows contiguous for cache-friendly updates.
+//
+// Storage is 64-byte aligned with each row padded to whole cache lines, so
+// a counter never straddles two lines and the burst ingestion path can
+// prefetch exactly one line per resolved update.  Padding counters are
+// permanently zero; row()/row_mut() expose only the live width, so codec,
+// merge and estimation observe the unpadded layout.
 #pragma once
 
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <stdexcept>
 #include <vector>
 
+#include "common/aligned.hpp"
 #include "common/flow_key.hpp"
 #include "common/tabulation.hpp"
 
@@ -20,13 +28,20 @@ namespace nitro::sketch {
 
 class CounterMatrix {
  public:
+  /// Counters per 64-byte cache line; rows are padded to a multiple of
+  /// this so every row starts on a line boundary.
+  static constexpr std::uint32_t kLineCounters =
+      static_cast<std::uint32_t>(kCacheLineBytes / sizeof(std::int64_t));
+
   /// `signed_updates` selects between Count-Sketch-style ±1 updates (an
   /// εL2 guarantee) and Count-Min-style +1 updates (εL1); see Algorithm 1
   /// line 3 of the paper.
   CounterMatrix(std::uint32_t depth, std::uint32_t width, std::uint64_t seed,
                 bool signed_updates)
-      : depth_(depth), width_(width), seed_(seed),
-        counters_(std::size_t{depth} * width, 0) {
+      : depth_(depth), width_(width),
+        stride_((width + kLineCounters - 1) / kLineCounters * kLineCounters),
+        seed_(seed),
+        counters_(std::size_t{depth} * stride_, 0) {
     row_hash_.reserve(depth);
     sign_hash_.reserve(depth);
     SplitMix64 sm(seed);
@@ -38,6 +53,8 @@ class CounterMatrix {
 
   std::uint32_t depth() const noexcept { return depth_; }
   std::uint32_t width() const noexcept { return width_; }
+  /// Counters per row as stored (width rounded up to whole cache lines).
+  std::uint32_t stride() const noexcept { return stride_; }
   std::uint64_t seed() const noexcept { return seed_; }
   bool signed_updates() const noexcept { return !sign_hash_.empty() && sign_hash_[0].is_signed(); }
 
@@ -51,41 +68,70 @@ class CounterMatrix {
   /// buffered batch path hashes keys up front).
   void update_row_digest(std::uint32_t r, std::uint64_t digest, std::int64_t delta) noexcept {
     const std::uint32_t col = row_hash_[r].index_of_digest(digest);
-    counters_[std::size_t{r} * width_ + col] += delta * sign_hash_[r].sign_of_digest(digest);
+    counters_[std::size_t{r} * stride_ + col] += delta * sign_hash_[r].sign_of_digest(digest);
+  }
+
+  /// Column of `digest` in row r — hash only, no write.  Batch paths
+  /// resolve columns for a whole group, prefetch the counter lines, then
+  /// write in a second pass.
+  std::uint32_t column_of_digest(std::uint32_t r, std::uint64_t digest) const noexcept {
+    return row_hash_[r].index_of_digest(digest);
+  }
+
+  /// Sign of `digest` in row r (±1 for signed sketches, +1 otherwise).
+  std::int32_t sign_of_digest(std::uint32_t r, std::uint64_t digest) const noexcept {
+    return sign_hash_[r].sign_of_digest(digest);
+  }
+
+  /// Address of counter (r, col), for __builtin_prefetch by batch writers.
+  const std::int64_t* counter_addr(std::uint32_t r, std::uint32_t col) const noexcept {
+    return counters_.data() + std::size_t{r} * stride_ + col;
   }
 
   /// Raw counter write with a precomputed column (used by instrumented
   /// paths that separate hash cost from memory cost).
   void add_at(std::uint32_t r, std::uint32_t col, std::int64_t value) noexcept {
-    counters_[std::size_t{r} * width_ + col] += value;
+    counters_[std::size_t{r} * stride_ + col] += value;
   }
 
   /// Per-row frequency estimate C[r][h_r(key)] * g_r(key).
   std::int64_t row_estimate(std::uint32_t r, const FlowKey& key) const noexcept {
     const std::uint64_t digest = flow_digest(key);
     const std::uint32_t col = row_hash_[r].index_of_digest(digest);
-    return counters_[std::size_t{r} * width_ + col] * sign_hash_[r].sign_of_digest(digest);
+    return counters_[std::size_t{r} * stride_ + col] * sign_hash_[r].sign_of_digest(digest);
   }
 
   std::span<const std::int64_t> row(std::uint32_t r) const noexcept {
-    return {counters_.data() + std::size_t{r} * width_, width_};
+    return {counters_.data() + std::size_t{r} * stride_, width_};
   }
 
   /// Mutable row view — used by the control-plane codec to load snapshots
   /// into a replica and by epoch-difference computations.
   std::span<std::int64_t> row_mut(std::uint32_t r) noexcept {
-    return {counters_.data() + std::size_t{r} * width_, width_};
+    return {counters_.data() + std::size_t{r} * stride_, width_};
   }
 
   /// Sum of squared counters of row r — the per-row L2² estimator used by
   /// the AlwaysCorrect convergence test (Algorithm 1 line 14).
+  /// Neumaier-compensated: on long streams the squared heavy-hitter
+  /// counters dwarf the tail's, and naive left-to-right accumulation
+  /// silently drops the small terms (everything below the running sum's
+  /// ulp), perturbing the T = 121(1+ε√p)ε⁻⁴p⁻² threshold comparison.
   double row_sum_squares(std::uint32_t r) const noexcept {
-    double s = 0.0;
+    double sum = 0.0;
+    double comp = 0.0;
     for (std::int64_t c : row(r)) {
       const double d = static_cast<double>(c);
-      s += d * d;
+      const double term = d * d;
+      const double t = sum + term;
+      if (std::abs(sum) >= term) {
+        comp += (sum - t) + term;
+      } else {
+        comp += (term - t) + sum;
+      }
+      sum = t;
     }
-    return s;
+    return sum + comp;
   }
 
   /// Sum of counters of row r (equals the L1 processed by that row when
@@ -109,6 +155,9 @@ class CounterMatrix {
   /// Element-wise accumulate (epoch / per-shard merging).  Throws unless
   /// `mergeable_with(other)`: merging sketches with different hash
   /// functions silently produces garbage, so the mismatch is an error.
+  /// Identical shapes imply identical strides, and padding counters are
+  /// zero on both sides, so accumulating the whole padded storage is
+  /// exact.
   void merge(const CounterMatrix& other) {
     if (!mergeable_with(other)) {
       throw std::invalid_argument(
@@ -126,8 +175,9 @@ class CounterMatrix {
  private:
   std::uint32_t depth_;
   std::uint32_t width_;
+  std::uint32_t stride_;
   std::uint64_t seed_;
-  std::vector<std::int64_t> counters_;
+  CacheAlignedVector<std::int64_t> counters_;
   std::vector<RowHash> row_hash_;
   std::vector<SignHash> sign_hash_;
 };

@@ -54,16 +54,29 @@ class BessParser final : public BessModule {
 class BessSketchModule final : public BessModule {
  public:
   explicit BessSketchModule(Measurement& m) : BessModule("nitrosketch"), m_(m) {}
+
+  /// Batch-native module: compact the parsed keys of the batch and hand
+  /// them to the hook in one on_burst() call, stamped with the batch's
+  /// last valid packet timestamp.
   void process(BessContext& ctx) override {
+    keys_.clear();
+    bytes_.clear();
+    std::uint64_t batch_ts = 0;
     for (std::size_t i = 0; i < ctx.batch.size(); ++i) {
-      if (ctx.valid[i]) {
-        m_.on_packet(ctx.keys[i], ctx.batch[i].wire_bytes, ctx.batch[i].ts_ns);
-      }
+      if (!ctx.valid[i]) continue;
+      keys_.push_back(ctx.keys[i]);
+      bytes_.push_back(ctx.batch[i].wire_bytes);
+      batch_ts = ctx.batch[i].ts_ns;
+    }
+    if (!keys_.empty()) {
+      m_.on_burst(keys_.data(), bytes_.data(), keys_.size(), batch_ts);
     }
   }
 
  private:
   Measurement& m_;
+  std::vector<FlowKey> keys_;
+  std::vector<std::uint16_t> bytes_;
 };
 
 class BessL2Forward final : public BessModule {

@@ -6,9 +6,11 @@
 // sketching thread ("separate-thread" integration, §6).
 #pragma once
 
+#include <algorithm>
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <string>
 #include <thread>
 
@@ -32,6 +34,16 @@ class Measurement {
   virtual void on_packet(const FlowKey& key, std::uint16_t wire_bytes,
                          std::uint64_t ts_ns) = 0;
 
+  /// Called once per rx burst with the successfully parsed keys (and the
+  /// parallel wire-byte array), all stamped with the burst's poll
+  /// timestamp.  The default unrolls to on_packet() so every existing
+  /// hook keeps working; burst-aware hooks override it to reach the
+  /// sketch's update_burst() fast path.
+  virtual void on_burst(const FlowKey* keys, const std::uint16_t* wire_bytes,
+                        std::size_t n, std::uint64_t ts_ns) {
+    for (std::size_t i = 0; i < n; ++i) on_packet(keys[i], wire_bytes[i], ts_ns);
+  }
+
   /// End-of-run barrier: flush buffers / drain rings so queries observe
   /// every packet.
   virtual void finish() {}
@@ -44,7 +56,9 @@ class NoMeasurement final : public Measurement {
 };
 
 /// AIO adapter: calls Sketch::update(key, 1, ts) inline.  Works for every
-/// sketch in this repository (vanilla and Nitro-wrapped).
+/// sketch in this repository (vanilla and Nitro-wrapped).  Bursts route to
+/// Sketch::update_burst when the sketch has one (NitroSketch,
+/// NitroUnivMon), otherwise unroll to per-packet updates.
 template <typename Sketch>
 class InlineMeasurement final : public Measurement {
  public:
@@ -52,6 +66,17 @@ class InlineMeasurement final : public Measurement {
 
   void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
     sketch_.update(key, 1, ts_ns);
+  }
+
+  void on_burst(const FlowKey* keys, const std::uint16_t*, std::size_t n,
+                std::uint64_t ts_ns) override {
+    if constexpr (requires(Sketch& s) {
+                    s.update_burst(std::span<const FlowKey>{}, std::uint64_t{});
+                  }) {
+      sketch_.update_burst(std::span<const FlowKey>(keys, n), ts_ns);
+    } else {
+      for (std::size_t i = 0; i < n; ++i) sketch_.update(keys[i], 1, ts_ns);
+    }
   }
 
  private:
@@ -89,6 +114,10 @@ class SeparateThreadMeasurement final : public Measurement {
   /// every this many pops.
   static constexpr std::uint64_t kOccupancySampleInterval = 256;
 
+  /// Items staged per bulk ring push on the burst path (covers the
+  /// pipelines' rx burst of 32 in one reservation).
+  static constexpr std::size_t kPushChunk = 32;
+
   explicit SeparateThreadMeasurement(Sketch& sketch, std::size_t ring_capacity = 1 << 16)
       : sketch_(sketch), ring_(ring_capacity) {
     consumer_ = std::thread([this] { run(); });
@@ -111,6 +140,35 @@ class SeparateThreadMeasurement final : public Measurement {
     if (events && (n == 1 || (n & 0xffff) == 0)) {
       events->append(telemetry::EventKind::kRingDrop, ts_ns,
                      static_cast<double>(n));
+    }
+  }
+
+  /// Burst fast path: one bulk ring reservation per chunk instead of one
+  /// release store per packet.  Whatever a full ring rejects is shed and
+  /// counted — the same policy as on_packet.
+  void on_burst(const FlowKey* keys, const std::uint16_t*, std::size_t n,
+                std::uint64_t ts_ns) override {
+    Item items[kPushChunk];
+    std::size_t i = 0;
+    while (i < n) {
+      const std::size_t chunk = std::min(n - i, kPushChunk);
+      for (std::size_t j = 0; j < chunk; ++j) items[j] = {keys[i + j], ts_ns};
+      const std::size_t accepted = ring_.try_push_bulk(items, chunk);
+      pushed_ += accepted;
+      const std::size_t shed = chunk - accepted;
+      if (shed > 0) {
+        const std::uint64_t before = drops_.value();
+        drops_.inc(shed);
+        telemetry::EventLog* events = events_.load(std::memory_order_acquire);
+        // Same rate limit as the scalar path: log the first drop and then
+        // once per 64Ki (detected as a 2^16 boundary crossing).
+        if (events &&
+            (before == 0 || (before >> 16) != ((before + shed) >> 16))) {
+          events->append(telemetry::EventKind::kRingDrop, ts_ns,
+                         static_cast<double>(before + shed));
+        }
+      }
+      i += chunk;
     }
   }
 

@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "common/flow_key.hpp"
 #include "common/spsc_ring.hpp"
@@ -63,6 +64,48 @@ class NitroSeparateThread final : public Measurement {
     const std::int64_t delta = sampler_.increment();
     for (std::uint32_t i = 0; i < n; ++i) {
       if (!ring_.try_push({key, rows[i], delta})) drops_.inc();
+    }
+  }
+
+  /// Burst pre-processing: one geometric advance across the whole burst
+  /// (segmented into constant-p runs under AlwaysLineRate), then only the
+  /// selected (key, row, delta) tuples touch the ring.  Same selections
+  /// and drop policy as per-packet on_packet with a shared timestamp.
+  void on_burst(const FlowKey* keys, const std::uint16_t*, std::size_t n,
+                std::uint64_t ts_ns) override {
+    packets_.inc(n);
+    pending_stream_count_ += static_cast<std::int64_t>(n);
+    std::size_t i = 0;
+    bool head_fed = false;
+    while (i < n) {
+      std::size_t seg = n - i;
+      if (cfg_.mode == core::Mode::kAlwaysLineRate) {
+        if (!head_fed && rate_.on_packet(ts_ns)) {
+          sampler_.set_probability(rate_.probability());
+        }
+        head_fed = false;
+        seg = 1;
+        while (i + seg < n) {
+          if (rate_.on_packet(ts_ns)) {
+            sampler_.set_probability(rate_.probability());
+            head_fed = true;
+            break;
+          }
+          ++seg;
+        }
+      }
+      const std::uint32_t selected =
+          sampler_.sample_burst(static_cast<std::uint32_t>(seg), burst_slots_);
+      if (selected > 0) {
+        const std::int64_t delta = sampler_.increment();
+        for (std::uint32_t s = 0; s < selected; ++s) {
+          if (!ring_.try_push({keys[i + burst_slots_[s].packet],
+                               burst_slots_[s].row, delta})) {
+            drops_.inc();
+          }
+        }
+      }
+      i += seg;
     }
   }
 
@@ -141,6 +184,7 @@ class NitroSeparateThread final : public Measurement {
   core::NitroConfig cfg_;
   core::RowSampler sampler_;       // producer-side
   core::RateController rate_;      // producer-side
+  std::vector<core::BurstSlot> burst_slots_;  // producer-side burst scratch
   sketch::TopKHeap heap_;          // consumer-side
   SpscRing<Item> ring_;
   std::thread consumer_;

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 #include "shard/sharded_nitro.hpp"
 #include "switchsim/measurement.hpp"
@@ -23,6 +24,13 @@ class ShardedNitroMeasurement final : public Measurement {
 
   void on_packet(const FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
     sharded_.update(key, 1, ts_ns);
+  }
+
+  /// Burst dispatch: partition the whole rx burst by shard and enqueue
+  /// each shard's run with one bulk ring reservation.
+  void on_burst(const FlowKey* keys, const std::uint16_t*, std::size_t n,
+                std::uint64_t ts_ns) override {
+    sharded_.update_burst(std::span<const FlowKey>(keys, n), 1, ts_ns);
   }
 
   void finish() override { sharded_.drain(); }

@@ -87,14 +87,29 @@ class Ip4LookupNode final : public VppNode {
 class MeasurementNode final : public VppNode {
  public:
   explicit MeasurementNode(Measurement& m) : VppNode("nitro-measure"), m_(m) {}
+
+  /// Vector-native node: the valid keys of the frame go to the hook in one
+  /// on_burst() call (this is exactly VPP's per-node batch amortization),
+  /// stamped with the frame's last valid packet timestamp.
   void process(std::span<VppBuffer> frame) override {
+    keys_.clear();
+    bytes_.clear();
+    std::uint64_t frame_ts = 0;
     for (auto& b : frame) {
-      if (b.valid) m_.on_packet(b.key, b.pkt->wire_bytes, b.pkt->ts_ns);
+      if (!b.valid) continue;
+      keys_.push_back(b.key);
+      bytes_.push_back(b.pkt->wire_bytes);
+      frame_ts = b.pkt->ts_ns;
+    }
+    if (!keys_.empty()) {
+      m_.on_burst(keys_.data(), bytes_.data(), keys_.size(), frame_ts);
     }
   }
 
  private:
   Measurement& m_;
+  std::vector<FlowKey> keys_;
+  std::vector<std::uint16_t> bytes_;
 };
 
 class VppGraph {

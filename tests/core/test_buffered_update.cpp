@@ -62,6 +62,48 @@ TEST(BufferedUpdater, FlushOnEmptyIsNoop) {
   for (auto c : m.row(0)) EXPECT_EQ(c, 0);
 }
 
+TEST(BufferedUpdater, PendingNeverExceedsBatchAcrossManyPushes) {
+  // Regression guard for the count_ overflow: pushing far more than one
+  // batch must keep pending() <= kBatch at every step and lose nothing.
+  sketch::CounterMatrix m(1, 64, 6, false);
+  BufferedUpdater buf;
+  const FlowKey k = flow_key_for_rank(2, 0);
+  const std::size_t n = 3 * BufferedUpdater::kBatch + 5;
+  for (std::size_t i = 0; i < n; ++i) {
+    buf.push(m, k, 0, 1);
+    ASSERT_LE(buf.pending(), BufferedUpdater::kBatch);
+  }
+  buf.flush(m);
+  EXPECT_EQ(m.row_estimate(0, k), static_cast<std::int64_t>(n));
+}
+
+TEST(BufferedUpdater, FullBatchKernelMatchesPartialTail) {
+  // The same 8 updates applied once through the batched x8 digest kernel
+  // (auto-flush on a full batch) and once through two partial flushes
+  // (scalar tail path) must produce identical counters.
+  sketch::CounterMatrix full(2, 128, 9, true);
+  sketch::CounterMatrix split(2, 128, 9, true);
+  BufferedUpdater bf, bs;
+  for (int i = 0; i < 8; ++i) {
+    bf.push(full, flow_key_for_rank(i, 3), static_cast<std::uint32_t>(i & 1), i + 1);
+  }
+  EXPECT_EQ(bf.pending(), 0u);  // 8th push flushed through the batched kernel
+  for (int i = 0; i < 5; ++i) {
+    bs.push(split, flow_key_for_rank(i, 3), static_cast<std::uint32_t>(i & 1), i + 1);
+  }
+  bs.flush(split);
+  for (int i = 5; i < 8; ++i) {
+    bs.push(split, flow_key_for_rank(i, 3), static_cast<std::uint32_t>(i & 1), i + 1);
+  }
+  bs.flush(split);
+  for (int i = 0; i < 8; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 3);
+    for (std::uint32_t r = 0; r < 2; ++r) {
+      EXPECT_EQ(full.row_estimate(r, k), split.row_estimate(r, k));
+    }
+  }
+}
+
 TEST(BufferedUpdater, PendingCountsQueuedItems) {
   sketch::CounterMatrix m(1, 16, 5, false);
   BufferedUpdater buf;

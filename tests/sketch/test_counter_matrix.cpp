@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <cstdint>
+
 #include "trace/workloads.hpp"
 
 namespace nitro::sketch {
@@ -89,6 +92,39 @@ TEST(CounterMatrix, AddAtWritesRawCell) {
 TEST(CounterMatrix, MemoryBytesMatchesShape) {
   CounterMatrix m(5, 1000, 10, false);
   EXPECT_EQ(m.memory_bytes(), 5u * 1000u * sizeof(std::int64_t));
+}
+
+TEST(CounterMatrix, RowsAreCacheLineAligned) {
+  // Width 10 is not a multiple of the 8 counters per 64B line, so the
+  // stride must pad up to 16 and every row must start on its own line.
+  CounterMatrix m(5, 10, 11, false);
+  EXPECT_EQ(m.stride() % CounterMatrix::kLineCounters, 0u);
+  EXPECT_GE(m.stride(), 10u);
+  for (std::uint32_t r = 0; r < 5; ++r) {
+    const auto addr = reinterpret_cast<std::uintptr_t>(m.row(r).data());
+    EXPECT_EQ(addr % kCacheLineBytes, 0u) << "row " << r;
+  }
+}
+
+TEST(CounterMatrix, PaddedStorageStaysInvisible) {
+  CounterMatrix a(3, 10, 12, false), b(3, 10, 12, false);
+  const FlowKey k = flow_key_for_rank(4, 0);
+  a.update_row(1, k, 3);
+  b.update_row(1, k, 4);
+  a.merge(b);
+  EXPECT_EQ(a.row_estimate(1, k), 7);
+  EXPECT_EQ(a.row(1).size(), 10u);  // padding never leaks into row views
+  EXPECT_EQ(a.row_sum(1), 7);
+}
+
+TEST(CounterMatrix, RowSumSquaresCompensated) {
+  // One giant counter (square 2^54, ulp 4) plus 127 unit counters: naive
+  // accumulation rounds every +1 away and returns exactly 2^54; the
+  // compensated sum keeps all 127.
+  CounterMatrix m(1, 256, 13, false);
+  m.add_at(0, 0, std::int64_t{1} << 27);
+  for (std::uint32_t c = 1; c <= 127; ++c) m.add_at(0, c, 1);
+  EXPECT_DOUBLE_EQ(m.row_sum_squares(0), std::ldexp(1.0, 54) + 127.0);
 }
 
 TEST(CounterMatrix, SignedFlagReflectsConstruction) {

@@ -2,6 +2,7 @@
 // partial bursts, and cross-pipeline consistency.
 #include <gtest/gtest.h>
 
+#include "core/nitro_sketch.hpp"
 #include "sketch/count_min.hpp"
 #include "switchsim/bess_pipeline.hpp"
 #include "switchsim/measurement.hpp"
@@ -118,6 +119,50 @@ TEST(PipelineEdges, ByteAccountingMatchesWireSizes) {
   NoMeasurement none;
   OvsPipeline pipe(none);
   EXPECT_EQ(pipe.run(materialize(stream)).bytes, expected);
+}
+
+TEST(PipelineEdges, BurstFeedMatchesScalarFeedBitExactly) {
+  // A fixed-rate Nitro sketch ignores timestamps, so driving the OVS
+  // pipeline with burst_size 32 (one on_burst per rx burst) and with
+  // burst_size 1 (per-packet on_packet) must leave identical counters —
+  // the pipeline-level restatement of update_burst's bit-identity.
+  trace::WorkloadSpec spec;
+  spec.packets = 50'000;
+  spec.flows = 2'000;
+  spec.seed = 17;
+  const auto raws = materialize(trace::caida_like(spec));
+
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  core::NitroSketch<sketch::CountMinSketch> scalar(sketch::CountMinSketch(5, 2048, 31),
+                                                   cfg);
+  core::NitroSketch<sketch::CountMinSketch> burst(sketch::CountMinSketch(5, 2048, 31),
+                                                  cfg);
+  {
+    InlineMeasurement<core::NitroSketch<sketch::CountMinSketch>> meas(scalar);
+    OvsPipeline pipe(meas, 8192, 1);
+    pipe.run(raws);
+  }
+  {
+    InlineMeasurement<core::NitroSketch<sketch::CountMinSketch>> meas(burst);
+    OvsPipeline pipe(meas, 8192, 32);
+    pipe.run(raws);
+  }
+  scalar.flush();
+  burst.flush();
+  EXPECT_EQ(scalar.packets(), burst.packets());
+  EXPECT_EQ(scalar.sampled_updates(), burst.sampled_updates());
+  const auto& ms = scalar.base().matrix();
+  const auto& mb = burst.base().matrix();
+  for (std::uint32_t r = 0; r < ms.depth(); ++r) {
+    const auto rs = ms.row(r);
+    const auto rb = mb.row(r);
+    ASSERT_EQ(rs.size(), rb.size());
+    for (std::size_t c = 0; c < rs.size(); ++c) {
+      ASSERT_EQ(rs[c], rb[c]) << "row " << r << " col " << c;
+    }
+  }
 }
 
 }  // namespace

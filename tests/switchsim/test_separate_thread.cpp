@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
+#include <vector>
 
 #include "switchsim/ovs_pipeline.hpp"
 #include "trace/ground_truth.hpp"
@@ -144,6 +146,51 @@ TEST(SeparateThread, FinishIsIdempotent) {
   meas.finish();
   meas.finish();  // must not hang or crash
   SUCCEED();
+}
+
+TEST(SeparateThread, BurstPreprocessingMatchesPerPacketExactly) {
+  // The burst pre-processing stage makes the same geometric selections as
+  // N per-packet calls (one shared sampler, identical draw sequence), and
+  // the ring preserves order, so with a ring large enough to never drop
+  // the final counters must be bit-identical.
+  const auto stream = small_trace(60000);
+  std::vector<FlowKey> keys;
+  keys.reserve(stream.size());
+  for (const auto& p : stream) keys.push_back(p.key);
+
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kFixedRate;
+  cfg.probability = 0.05;
+  cfg.track_top_keys = false;
+
+  NitroSeparateThread<sketch::CountMinSketch> scalar(
+      sketch::CountMinSketch(5, 4096, 41), cfg, 1 << 20);
+  for (const auto& p : stream) scalar.on_packet(p.key, p.wire_bytes, p.ts_ns);
+  scalar.finish();
+
+  NitroSeparateThread<sketch::CountMinSketch> burst(
+      sketch::CountMinSketch(5, 4096, 41), cfg, 1 << 20);
+  std::size_t i = 0;
+  while (i < keys.size()) {
+    const std::size_t n = std::min<std::size_t>(32, keys.size() - i);
+    burst.on_burst(keys.data() + i, nullptr, n, stream[i + n - 1].ts_ns);
+    i += n;
+  }
+  burst.finish();
+
+  ASSERT_EQ(scalar.drops(), 0u);
+  ASSERT_EQ(burst.drops(), 0u);
+  EXPECT_EQ(scalar.packets(), burst.packets());
+  EXPECT_EQ(scalar.applied(), burst.applied());
+  const auto& ms = scalar.base().matrix();
+  const auto& mb = burst.base().matrix();
+  for (std::uint32_t r = 0; r < ms.depth(); ++r) {
+    const auto rs = ms.row(r);
+    const auto rb = mb.row(r);
+    for (std::size_t c = 0; c < rs.size(); ++c) {
+      ASSERT_EQ(rs[c], rb[c]) << "row " << r << " col " << c;
+    }
+  }
 }
 
 }  // namespace

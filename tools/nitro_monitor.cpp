@@ -23,8 +23,13 @@
 //                 [--mode fixed|linerate|correct|vanilla] [--p PROB]
 //                 [--hh-threshold FRAC] [--top N] [--seed N]
 //                 [--save-trace FILE] [--separate-thread] [--workers N]
+//                 [--burst N]
 //                 [--stats-out FILE] [--stats-format prom|json]
 //                 [--stats-interval N]
+//
+// --burst N sets the pipeline's rx poll batch (default 32): parsed keys
+// reach the measurement hook in bursts of N through the sketch's
+// update_burst fast path; --burst 1 forces the scalar per-packet path.
 //
 // Examples:
 //   nitro_monitor --workload caida --packets 4000000 --epochs 4 --p 0.01
@@ -67,6 +72,7 @@ struct Options {
   std::uint64_t seed = 1;
   bool separate_thread = false;
   int workers = 1;
+  int burst = static_cast<int>(nitro::switchsim::kBurstSize);
   std::string stats_out;
   std::string stats_format = "json";
   int stats_interval = 1;
@@ -79,6 +85,7 @@ void usage(const char* argv0) {
                "          [--mode fixed|linerate|correct|vanilla] [--p PROB]\n"
                "          [--hh-threshold FRAC] [--top N] [--seed N]\n"
                "          [--save-trace FILE] [--separate-thread] [--workers N]\n"
+               "          [--burst N]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
                "          [--stats-interval N]\n",
                argv0);
@@ -137,6 +144,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "--workers must be >= 1\n");
         return false;
       }
+    } else if (arg == "--burst") {
+      if (!(v = next())) return false;
+      opt.burst = std::atoi(v);
+      if (opt.burst < 1) {
+        std::fprintf(stderr, "--burst must be >= 1\n");
+        return false;
+      }
     } else if (arg == "--stats-out") {
       if (!(v = next())) return false;
       opt.stats_out = v;
@@ -181,6 +195,11 @@ struct DaemonSketchAdapter {
               std::uint64_t ts_ns) {
     daemon->on_packet(key, ts_ns);
   }
+  // Burst entry point: InlineMeasurement detects it and routes whole rx
+  // bursts into NitroUnivMon::update_burst.
+  void update_burst(std::span<const nitro::FlowKey> keys, std::uint64_t ts_ns) {
+    daemon->on_burst(keys, ts_ns);
+  }
 };
 
 /// --workers N data plane: the pipeline thread dispatches into the shard
@@ -192,6 +211,11 @@ class ShardedDaemonMeasurement final : public nitro::switchsim::Measurement {
 
   void on_packet(const nitro::FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
     group_.update(key, 1, ts_ns);
+  }
+
+  void on_burst(const nitro::FlowKey* keys, const std::uint16_t*, std::size_t n,
+                std::uint64_t ts_ns) override {
+    group_.update_burst(std::span<const nitro::FlowKey>(keys, n), 1, ts_ns);
   }
 
   void finish() override { group_.drain(); }
@@ -299,7 +323,8 @@ int main(int argc, char** argv) {
     registry.counter("nitro_ring_idle_spins_total",
                      "consumer poll rounds that found the ring empty");
   }
-  switchsim::OvsPipeline pipe(*measurement);
+  switchsim::OvsPipeline pipe(*measurement, 8192,
+                              static_cast<std::size_t>(opt.burst));
   pipe.set_telemetry(telemetry::PipelineTelemetry::in(registry, "nitro_pipeline"));
   switchsim::Profile prof;
 
