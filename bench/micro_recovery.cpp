@@ -1,0 +1,140 @@
+// micro_recovery — checkpoint/restore latency for the fault-tolerance
+// layer (DESIGN.md §10).  Reported-only: numbers land in stdout + the JSON
+// sidecar for EXPERIMENTS.md; no ctest gate, since the cost is dominated
+// by fsync behaviour of the host filesystem.
+//
+// Measures, for the measurement daemon (UnivMon state) and a 4-shard
+// Count-Min data plane:
+//   * serialize: building the checkpoint payload (drain + flush + encode)
+//   * save:      CRC frame + tmp write + fsync + rename dance
+//   * load:      read + frame validation (CRC over the whole payload)
+//   * restore:   decoding into an identically configured replica
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <filesystem>
+#include <vector>
+
+#include "common/timing.hpp"
+#include "control/checkpoint.hpp"
+#include "control/daemon.hpp"
+#include "shard/sharded_nitro.hpp"
+#include "sketch/count_min.hpp"
+
+namespace nitro::bench {
+namespace {
+
+constexpr int kReps = 5;
+
+double avg_ms(double total_s) { return total_s / kReps * 1e3; }
+
+void run() {
+  banner("micro_recovery", "checkpoint/restore latency (reported-only)");
+
+  const std::string dir = "micro_recovery_ckpt";
+  telemetry::Registry registry;
+  control::CheckpointStore store(dir);
+  store.attach_telemetry(registry, "recovery_ckpt");
+
+  trace::WorkloadSpec spec;
+  spec.packets = 500'000;
+  spec.flows = 50'000;
+  spec.seed = 23;
+  const auto stream = trace::caida_like(spec);
+
+  // --- Measurement daemon (UnivMon) --------------------------------------
+  {
+    const auto um_cfg = univmon_sized(/*top_width=*/2048, /*heap=*/256);
+    core::NitroConfig nitro_cfg;
+    nitro_cfg.mode = core::Mode::kFixedRate;
+    nitro_cfg.probability = 0.1;
+    control::MeasurementDaemon daemon(um_cfg, nitro_cfg, {});
+    for (const auto& p : stream) daemon.on_packet(p.key, p.ts_ns);
+
+    WallTimer t;
+    std::vector<std::uint8_t> payload;
+    for (int i = 0; i < kReps; ++i) payload = daemon.checkpoint_bytes();
+    const double ser_s = t.seconds();
+
+    t.reset();
+    for (int i = 0; i < kReps; ++i) store.save("bench_daemon", payload);
+    const double save_s = t.seconds();
+
+    t.reset();
+    control::CheckpointStore::Restored got;
+    for (int i = 0; i < kReps; ++i) got = store.load("bench_daemon");
+    const double load_s = t.seconds();
+
+    control::MeasurementDaemon replica(um_cfg, nitro_cfg, {});
+    t.reset();
+    for (int i = 0; i < kReps; ++i) replica.restore_checkpoint(got.payload);
+    const double restore_s = t.seconds();
+
+    std::printf("  daemon/univmon  payload %8.2f KiB  serialize %7.3f ms  "
+                "save %7.3f ms  load %7.3f ms  restore %7.3f ms\n",
+                payload.size() / 1024.0, avg_ms(ser_s), avg_ms(save_s),
+                avg_ms(load_s), avg_ms(restore_s));
+    registry.gauge("recovery_daemon_payload_bytes", "daemon checkpoint size")
+        .set(static_cast<double>(payload.size()));
+    registry.gauge("recovery_daemon_save_ms", "avg daemon checkpoint save latency")
+        .set(avg_ms(save_s));
+    registry.gauge("recovery_daemon_restore_ms", "avg daemon restore latency")
+        .set(avg_ms(restore_s));
+  }
+
+  // --- Sharded data plane (4x Count-Min) ----------------------------------
+  {
+    core::NitroConfig cfg;
+    cfg.mode = core::Mode::kVanilla;
+    cfg.track_top_keys = true;
+    cfg.top_keys = 256;
+    auto make = [] { return sketch::CountMinSketch(5, 65536, 19); };
+    shard::ShardedNitroCountMin sharded(4, make, cfg);
+    for (const auto& p : stream) sharded.update(p.key, 1, p.ts_ns);
+    sharded.drain();
+
+    WallTimer t;
+    std::vector<std::uint8_t> payload;
+    for (int i = 0; i < kReps; ++i) payload = control::checkpoint_sharded(sharded);
+    const double ser_s = t.seconds();
+
+    t.reset();
+    for (int i = 0; i < kReps; ++i) store.save("bench_sharded", payload);
+    const double save_s = t.seconds();
+
+    t.reset();
+    control::CheckpointStore::Restored got;
+    for (int i = 0; i < kReps; ++i) got = store.load("bench_sharded");
+    const double load_s = t.seconds();
+
+    shard::ShardedNitroCountMin replica(4, make, cfg);
+    t.reset();
+    for (int i = 0; i < kReps; ++i) control::restore_sharded(got.payload, replica);
+    const double restore_s = t.seconds();
+
+    std::printf("  sharded/cm x4   payload %8.2f KiB  serialize %7.3f ms  "
+                "save %7.3f ms  load %7.3f ms  restore %7.3f ms\n",
+                payload.size() / 1024.0, avg_ms(ser_s), avg_ms(save_s),
+                avg_ms(load_s), avg_ms(restore_s));
+    registry.gauge("recovery_sharded_payload_bytes", "sharded checkpoint size")
+        .set(static_cast<double>(payload.size()));
+    registry.gauge("recovery_sharded_save_ms", "avg sharded checkpoint save latency")
+        .set(avg_ms(save_s));
+    registry.gauge("recovery_sharded_restore_ms", "avg sharded restore latency")
+        .set(avg_ms(restore_s));
+  }
+
+  note("save includes fsync(tmp) + rename rotation + dir fsync (durability "
+       "recipe of DESIGN.md §10); load includes CRC validation of the frame");
+  write_telemetry_sidecar(registry, "micro_recovery");
+  std::error_code ec;
+  std::filesystem::remove_all(dir, ec);  // bench artifacts, not checkpoints
+}
+
+}  // namespace
+}  // namespace nitro::bench
+
+int main() {
+  nitro::bench::run();
+  return 0;
+}

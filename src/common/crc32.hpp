@@ -1,0 +1,40 @@
+// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) for snapshot and
+// checkpoint integrity.  Table-driven, one byte per step — this runs on
+// control-plane buffers (epoch snapshots, checkpoint frames), never on the
+// per-packet path, so portability beats peak throughput here.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+
+namespace nitro {
+
+namespace detail {
+constexpr std::array<std::uint32_t, 256> make_crc32_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+inline constexpr std::array<std::uint32_t, 256> kCrc32Table = make_crc32_table();
+}  // namespace detail
+
+/// CRC-32 of `data`.  Pass a previous result as `seed` to checksum a
+/// buffer in chunks: crc32(b) == crc32(b2, crc32(b1)) for b = b1 || b2.
+inline std::uint32_t crc32(std::span<const std::uint8_t> data,
+                           std::uint32_t seed = 0) noexcept {
+  std::uint32_t c = ~seed;
+  for (std::uint8_t byte : data) {
+    c = detail::kCrc32Table[(c ^ byte) & 0xffu] ^ (c >> 8);
+  }
+  return ~c;
+}
+
+}  // namespace nitro

@@ -10,9 +10,12 @@
 
 #include <atomic>
 #include <cstddef>
+#include <cstdint>
 #include <new>
 #include <optional>
 #include <vector>
+
+#include "fault/fault.hpp"
 
 namespace nitro {
 
@@ -35,6 +38,14 @@ class SpscRing {
   /// spin or, like the AlwaysLineRate integration, drop the sample, which
   /// only costs accuracy, never correctness).
   bool try_push(const T& value) {
+    if constexpr (fault::kEnabled) {
+      // Overflow-storm injection: a kReject fault makes the ring report
+      // full, exercising every caller's overflow policy deterministically.
+      if (fault::point(fault::Site::kRingPush, fault_lane_) ==
+          fault::Action::kReject) [[unlikely]] {
+        return false;
+      }
+    }
     const std::size_t head = head_.load(std::memory_order_relaxed);
     const std::size_t next = (head + 1) & mask_;
     if (next == cached_tail_) {
@@ -51,6 +62,12 @@ class SpscRing {
   /// element).  Returns how many were enqueued — fewer than `n` only when
   /// the ring filled up; the prefix that fit is visible to the consumer.
   std::size_t try_push_bulk(const T* items, std::size_t n) {
+    if constexpr (fault::kEnabled) {
+      if (fault::point(fault::Site::kRingPush, fault_lane_) ==
+          fault::Action::kReject) [[unlikely]] {
+        return 0;
+      }
+    }
     const std::size_t head = head_.load(std::memory_order_relaxed);
     std::size_t free = (cached_tail_ - head - 1) & mask_;
     if (free < n) {
@@ -105,6 +122,10 @@ class SpscRing {
 
   std::size_t capacity() const { return mask_; }
 
+  /// Lane reported by this ring's fault points (the owning shard's index);
+  /// purely diagnostic, set once before producers start.
+  void set_fault_lane(std::uint32_t lane) noexcept { fault_lane_ = lane; }
+
  private:
   // 64B on every mainstream x86/ARM server part; fixed rather than
   // std::hardware_destructive_interference_size to keep the layout ABI-stable.
@@ -112,6 +133,7 @@ class SpscRing {
 
   std::vector<T> slots_;
   std::size_t mask_ = 0;
+  std::uint32_t fault_lane_ = 0;
 
   alignas(kCacheLine) std::atomic<std::size_t> head_{0};  // written by producer
   alignas(kCacheLine) std::size_t cached_tail_ = 0;       // producer-local

@@ -1,0 +1,179 @@
+#include "control/checkpoint.hpp"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+
+#include "control/codec.hpp"
+#include "fault/fault.hpp"
+
+namespace nitro::control {
+
+namespace {
+
+bool write_file_fsync(const std::string& path, std::span<const std::uint8_t> bytes) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  const bool synced = ::fsync(fd) == 0;
+  return (::close(fd) == 0) && synced;
+}
+
+bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out.clear();
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof buf);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+void fsync_dir(const std::string& dir) {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
+  ::fsync(fd);
+  ::close(fd);
+}
+
+}  // namespace
+
+CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
+  struct stat st{};
+  if (::stat(dir_.c_str(), &st) == 0) {
+    if (!S_ISDIR(st.st_mode)) {
+      throw std::runtime_error("CheckpointStore: not a directory: " + dir_);
+    }
+    return;
+  }
+  if (::mkdir(dir_.c_str(), 0755) != 0 && errno != EEXIST) {
+    throw std::runtime_error("CheckpointStore: cannot create " + dir_ + ": " +
+                             std::strerror(errno));
+  }
+}
+
+std::string CheckpointStore::current_path(const std::string& name) const {
+  return dir_ + "/" + name + ".ckpt";
+}
+
+std::string CheckpointStore::previous_path(const std::string& name) const {
+  return dir_ + "/" + name + ".prev";
+}
+
+std::string CheckpointStore::tmp_path(const std::string& name) const {
+  return dir_ + "/" + name + ".tmp";
+}
+
+bool CheckpointStore::save(const std::string& name,
+                           std::span<const std::uint8_t> payload) {
+  std::vector<std::uint8_t> frame = seal_frame(payload);
+
+  // Torn-write injection: persist only a prefix of the frame.  The rename
+  // sequence still completes, modelling a crash where metadata (the
+  // rename) reached the journal but the data blocks did not — exactly the
+  // corruption the CRC exists to catch at restore time.
+  std::uint64_t keep = frame.size();
+  if (fault::point(fault::Site::kCheckpointWrite, 0, &keep) ==
+      fault::Action::kTornWrite) {
+    if (keep > frame.size()) keep = frame.size() / 2;
+    frame.resize(static_cast<std::size_t>(keep));
+  }
+
+  const std::string tmp = tmp_path(name);
+  const std::string cur = current_path(name);
+  const std::string prev = previous_path(name);
+  if (!write_file_fsync(tmp, frame)) {
+    if (save_failures_) save_failures_->inc();
+    return false;
+  }
+  // Keep the last good checkpoint as the fallback generation.  ENOENT
+  // (first save) is fine; any other rename failure aborts with the old
+  // current still in place.
+  if (::rename(cur.c_str(), prev.c_str()) != 0 && errno != ENOENT) {
+    if (save_failures_) save_failures_->inc();
+    return false;
+  }
+  if (::rename(tmp.c_str(), cur.c_str()) != 0) {
+    if (save_failures_) save_failures_->inc();
+    return false;
+  }
+  fsync_dir(dir_);
+  if (saves_) saves_->inc();
+  if (last_bytes_) last_bytes_->set(static_cast<double>(frame.size()));
+  return true;
+}
+
+CheckpointStore::Restored CheckpointStore::load(const std::string& name) const {
+  Restored result;
+  std::vector<std::uint8_t> bytes;
+
+  auto try_one = [&](const std::string& path, Source source) -> bool {
+    if (!read_file(path, bytes)) return false;
+    // Read-side bit-rot injection happens after the disk read so the CRC
+    // check is what stands between the corruption and the sketch.
+    if (fault::point(fault::Site::kCheckpointRead) == fault::Action::kCorrupt) {
+      const fault::Schedule* s = fault::installed();
+      fault::corrupt_bytes(bytes, s != nullptr ? s->seed() : 0);
+    }
+    try {
+      const auto payload = open_frame(bytes);
+      result.payload.assign(payload.begin(), payload.end());
+      result.source = source;
+      return true;
+    } catch (const std::invalid_argument& e) {
+      if (result.error.empty()) result.error = path + ": " + e.what();
+      if (source == Source::kCurrent) {
+        result.current_rejected = true;
+        if (corrupt_rejected_) corrupt_rejected_->inc();
+      }
+      return false;
+    }
+  };
+
+  if (!try_one(current_path(name), Source::kCurrent)) {
+    try_one(previous_path(name), Source::kPrevious);
+  }
+  if (result.source != Source::kNone && restores_) restores_->inc();
+  return result;
+}
+
+void CheckpointStore::attach_telemetry(telemetry::Registry& registry,
+                                       const std::string& prefix) {
+  saves_ = &registry.counter(prefix + "_saves_total",
+                             "checkpoints written (atomic tmp+fsync+rename)");
+  save_failures_ = &registry.counter(prefix + "_save_failures_total",
+                                     "checkpoint writes that failed");
+  restores_ = &registry.counter(prefix + "_restores_total",
+                                "checkpoints successfully restored");
+  corrupt_rejected_ =
+      &registry.counter(prefix + "_corrupt_rejected_total",
+                        "checkpoints rejected by frame/CRC validation");
+  last_bytes_ = &registry.gauge(prefix + "_last_bytes",
+                                "size of the last checkpoint frame written");
+}
+
+}  // namespace nitro::control

@@ -1,5 +1,7 @@
 #include "control/codec.hpp"
 
+#include <string>
+
 namespace nitro::control {
 
 namespace {
@@ -7,6 +9,47 @@ constexpr std::uint32_t kMatrixMagic = 0x4e4d5458;  // "NMTX"
 constexpr std::uint32_t kHeapMagic = 0x4e484150;    // "NHAP"
 constexpr std::uint32_t kUnivMagic = 0x4e554d31;    // "NUM1"
 }  // namespace
+
+std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> payload) {
+  ByteWriter w;
+  w.put_u32(kFrameMagic);
+  w.put_u32(kFrameVersion);
+  w.put_u64(payload.size());
+  w.put_u32(crc32(payload));
+  std::vector<std::uint8_t> out = std::move(w).take();
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+std::span<const std::uint8_t> open_frame(std::span<const std::uint8_t> bytes) {
+  if (bytes.empty()) {
+    throw std::invalid_argument("frame: zero-length buffer");
+  }
+  if (bytes.size() < kFrameHeaderBytes) {
+    throw std::invalid_argument("frame: truncated header");
+  }
+  ByteReader r(bytes);
+  if (r.get_u32() != kFrameMagic) {
+    throw std::invalid_argument("frame: bad magic");
+  }
+  const std::uint32_t version = r.get_u32();
+  if (version != kFrameVersion) {
+    throw std::invalid_argument("frame: unsupported version " +
+                                std::to_string(version));
+  }
+  const std::uint64_t len = r.get_u64();
+  const std::uint32_t crc = r.get_u32();
+  const std::span<const std::uint8_t> payload = bytes.subspan(kFrameHeaderBytes);
+  if (len != payload.size()) {
+    throw std::invalid_argument(
+        len > payload.size() ? "frame: truncated payload"
+                             : "frame: trailing bytes after payload");
+  }
+  if (crc32(payload) != crc) {
+    throw std::invalid_argument("frame: CRC mismatch (corrupt payload)");
+  }
+  return payload;
+}
 
 void write_matrix(ByteWriter& w, const sketch::CounterMatrix& m) {
   w.put_u32(kMatrixMagic);
@@ -66,11 +109,11 @@ std::vector<std::uint8_t> snapshot_univmon(const sketch::UnivMon& um) {
     write_matrix(w, um.level_sketch(j).matrix());
     write_heap(w, um.level_heap(j));
   }
-  return std::move(w).take();
+  return seal_frame(w.bytes());
 }
 
 void load_univmon(std::span<const std::uint8_t> bytes, sketch::UnivMon& replica) {
-  ByteReader r(bytes);
+  ByteReader r(open_frame(bytes));
   if (r.get_u32() != kUnivMagic) {
     throw std::invalid_argument("snapshot: bad UnivMon magic");
   }

@@ -8,6 +8,12 @@
 // this mirrors how the real system shares seeds between vswitchd and the
 // monitoring controller.  All integers little-endian, bounds-checked on
 // read.
+//
+// Every snapshot is wrapped in a versioned frame with a CRC-32 over the
+// payload (seal_frame / open_frame below), so a truncated, bit-flipped or
+// torn buffer is rejected with a clear error instead of loading a silently
+// wrong sketch — the transfer link and the checkpoint files share this
+// armor.
 #pragma once
 
 #include <cstdint>
@@ -16,6 +22,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/crc32.hpp"
 #include "sketch/counter_matrix.hpp"
 #include "sketch/topk.hpp"
 #include "sketch/univmon.hpp"
@@ -32,6 +39,12 @@ class ByteWriter {
   void put_f64(double v) { put_raw(&v, sizeof v); }
 
   void put_key(const FlowKey& k) { put_raw(&k, sizeof k); }
+
+  /// Length-prefixed byte string (nested snapshots inside checkpoints).
+  void put_blob(std::span<const std::uint8_t> bytes) {
+    put_u64(bytes.size());
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
 
   const std::vector<std::uint8_t>& bytes() const noexcept { return buf_; }
   std::vector<std::uint8_t> take() && { return std::move(buf_); }
@@ -60,6 +73,18 @@ class ByteReader {
   std::size_t remaining() const noexcept { return data_.size() - pos_; }
   bool exhausted() const noexcept { return remaining() == 0; }
 
+  /// Length-prefixed byte string written by ByteWriter::put_blob.
+  std::vector<std::uint8_t> get_blob() {
+    const std::uint64_t n = get_u64();
+    if (n > remaining()) {
+      throw std::out_of_range("ByteReader: truncated blob");
+    }
+    std::vector<std::uint8_t> out(data_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                                  data_.begin() + static_cast<std::ptrdiff_t>(pos_ + n));
+    pos_ += static_cast<std::size_t>(n);
+    return out;
+  }
+
  private:
   template <typename T>
   T get_raw() {
@@ -75,6 +100,25 @@ class ByteReader {
   std::span<const std::uint8_t> data_;
   std::size_t pos_ = 0;
 };
+
+// --- Integrity frames ------------------------------------------------------
+
+/// Frame layout: magic u32 | version u32 | payload_len u64 | crc32 u32 |
+/// payload.  The CRC covers the payload only; the fixed-size header fields
+/// are each validated explicitly so every corruption mode gets a distinct,
+/// debuggable error.
+inline constexpr std::uint32_t kFrameMagic = 0x4e46524du;  // "NFRM"
+inline constexpr std::uint32_t kFrameVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
+
+/// Wrap `payload` in a versioned, CRC-protected frame.
+std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> payload);
+
+/// Validate and strip the frame, returning a view of the payload.  Throws
+/// std::invalid_argument with a specific reason for zero-length input,
+/// truncated headers/payloads, bad magic, unknown versions, trailing
+/// garbage and CRC mismatches — never UB, never a silently bad sketch.
+std::span<const std::uint8_t> open_frame(std::span<const std::uint8_t> bytes);
 
 // --- Counter matrices ------------------------------------------------------
 
@@ -113,13 +157,13 @@ std::vector<std::uint8_t> snapshot_sketch(const Sketch& s) {
     w.put_i64(0);
   }
   write_matrix(w, s.matrix());
-  return std::move(w).take();
+  return seal_frame(w.bytes());
 }
 
 /// Loads a single-sketch snapshot into an identically configured replica.
 template <typename Sketch>
 void load_sketch(std::span<const std::uint8_t> bytes, Sketch& replica) {
-  ByteReader r(bytes);
+  ByteReader r(open_frame(bytes));
   if (r.get_u32() != 0x4e534b31u) {
     throw std::invalid_argument("snapshot: bad sketch magic");
   }

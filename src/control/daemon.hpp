@@ -7,14 +7,25 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <span>
+#include <stdexcept>
 #include <vector>
 
+#include "control/codec.hpp"
 #include "control/estimation.hpp"
 #include "core/nitro_univmon.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace nitro::control {
+
+/// Thrown when the fault framework kills the daemon at an epoch boundary
+/// (Site::kDaemonEpoch, Action::kDie).  Tests catch it where a real
+/// deployment would crash the process and restart from the checkpoint.
+struct DaemonCrash : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
 
 struct EpochReport {
   std::uint64_t epoch = 0;
@@ -43,13 +54,13 @@ class MeasurementDaemon {
 
   /// Data-plane entry point.
   void on_packet(const FlowKey& key, std::uint64_t ts_ns = 0) {
-    current_.update(key, 1, ts_ns);
+    current_.update(key, 1, skewed(ts_ns));
   }
 
   /// Burst data-plane entry point: a whole rx burst of parsed keys with
   /// the burst's poll timestamp.
   void on_burst(std::span<const FlowKey> keys, std::uint64_t ts_ns = 0) {
-    current_.update_burst(keys, ts_ns);
+    current_.update_burst(keys, skewed(ts_ns));
   }
 
   /// Bind the daemon (and its rotating data plane) to a registry.  The
@@ -80,7 +91,13 @@ class MeasurementDaemon {
   }
 
   /// Close the epoch: compute all configured task results, rotate sketches.
+  /// May throw DaemonCrash under fault injection — callers that persist
+  /// checkpoints do so *before* calling this, so a crash here loses at
+  /// most the current (un-closed) epoch, never a reported one.
   EpochReport end_epoch() {
+    if (fault::point(fault::Site::kDaemonEpoch) == fault::Action::kDie) {
+      throw DaemonCrash("injected daemon crash at epoch boundary");
+    }
     EpochReport report;
     report.epoch = epoch_++;
     report.packets = current_.total();
@@ -115,6 +132,68 @@ class MeasurementDaemon {
 
   const core::NitroUnivMon& data_plane() const noexcept { return current_; }
 
+  std::uint64_t epoch() const noexcept { return epoch_; }
+
+  // --- Crash-safe checkpointing (control/checkpoint.hpp) ------------------
+
+  /// Serialize the daemon's full measurement state — epoch counter,
+  /// cumulative telemetry totals, the live data plane, and the previous
+  /// epoch's sketch (change detection needs it) — as a checkpoint payload.
+  /// Pair with CheckpointStore::save, which adds the CRC frame.
+  std::vector<std::uint8_t> checkpoint_bytes() const {
+    ByteWriter w;
+    w.put_u32(kCheckpointMagic);
+    w.put_u32(kCheckpointVersion);
+    w.put_u64(epoch_);
+    w.put_u64(cum_packets_);
+    w.put_u64(cum_sampled_);
+    w.put_blob(snapshot_univmon(current_.univmon()));
+    w.put_u8(previous_ ? 1 : 0);
+    if (previous_) w.put_blob(snapshot_univmon(previous_->univmon()));
+    return std::move(w).take();
+  }
+
+  /// Restore from a payload produced by checkpoint_bytes() on a daemon
+  /// built with the same configs and seed (the snapshot codec's shape
+  /// checks enforce it).  Throws std::invalid_argument on a malformed
+  /// payload — corruption is rejected loudly, never half-loaded.
+  void restore_checkpoint(std::span<const std::uint8_t> payload) {
+    ByteReader r(payload);
+    if (r.get_u32() != kCheckpointMagic) {
+      throw std::invalid_argument("daemon checkpoint: bad magic");
+    }
+    if (r.get_u32() != kCheckpointVersion) {
+      throw std::invalid_argument("daemon checkpoint: unsupported version");
+    }
+    const std::uint64_t epoch = r.get_u64();
+    const std::uint64_t cum_packets = r.get_u64();
+    const std::uint64_t cum_sampled = r.get_u64();
+    const auto current_snap = r.get_blob();
+
+    core::NitroUnivMon restored(um_cfg_, nitro_cfg_, seed_);
+    load_univmon(current_snap, restored.univmon_mut());
+    std::unique_ptr<core::NitroUnivMon> prev;
+    if (r.get_u8() != 0) {
+      prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, seed_);
+      load_univmon(r.get_blob(), prev->univmon_mut());
+    }
+    if (!r.exhausted()) {
+      throw std::invalid_argument("daemon checkpoint: trailing bytes");
+    }
+
+    // Validated end-to-end: only now mutate the daemon.
+    epoch_ = epoch;
+    cum_packets_ = cum_packets;
+    cum_sampled_ = cum_sampled;
+    current_ = std::move(restored);
+    current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
+    previous_ = std::move(prev);
+    if (registry_) {
+      current_.attach_telemetry(tel_);
+      publish_telemetry();
+    }
+  }
+
   /// Mutable data-plane access for the sharded integration: at each epoch
   /// boundary the monitor merges every quiesced shard instance into the
   /// daemon's (otherwise idle) data plane, then runs end_epoch() as usual
@@ -122,6 +201,24 @@ class MeasurementDaemon {
   core::NitroUnivMon& data_plane_mut() noexcept { return current_; }
 
  private:
+  static constexpr std::uint32_t kCheckpointMagic = 0x4e44434bu;  // "NDCK"
+  static constexpr std::uint32_t kCheckpointVersion = 1;
+
+  /// Clock-skew fault point: timestamps entering the daemon can be shifted
+  /// by a scheduled signed offset, exercising the AlwaysLineRate rate
+  /// controller's tolerance to non-monotonic clocks.
+  static std::uint64_t skewed(std::uint64_t ts_ns) noexcept {
+    if constexpr (fault::kEnabled) {
+      std::uint64_t param = 0;
+      if (fault::point(fault::Site::kDaemonClock, 0, &param) ==
+          fault::Action::kClockSkew) [[unlikely]] {
+        return static_cast<std::uint64_t>(static_cast<std::int64_t>(ts_ns) +
+                                          static_cast<std::int64_t>(param));
+      }
+    }
+    return ts_ns;
+  }
+
   sketch::UnivMonConfig um_cfg_;
   core::NitroConfig nitro_cfg_;
   Tasks tasks_;

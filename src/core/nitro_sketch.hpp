@@ -235,6 +235,42 @@ class NitroSketch {
   const Base& base() const noexcept { return base_; }
   Base& base() noexcept { return base_; }
   const sketch::TopKHeap& heap() const noexcept { return heap_; }
+  sketch::TopKHeap& heap_mut() noexcept { return heap_; }
+
+  // --- Graceful degradation (shard OverflowPolicy::kDegrade) --------------
+
+  /// Probability never degrades below this; past it the shard sheds.
+  static constexpr double kDegradeFloor = 1.0 / 1024.0;
+
+  /// Step the sampling probability to base_p·2^-level (floored at
+  /// kDegradeFloor); level 0 restores the pre-degradation probability.
+  /// The "base" is captured at the first nonzero level, so repeated steps
+  /// compound against the original p, not against each other.  Estimator
+  /// variance scales as 1/p (Theorem 1), so each step trades ~sqrt(2)×
+  /// stddev for half the counter-update work — a measured accuracy cost
+  /// instead of unaccounted drops.  In AlwaysLineRate mode the rate
+  /// controller may override at its next retune; degradation is meant for
+  /// the fixed-rate shard configuration where nothing else adapts p.
+  void apply_degradation(std::uint32_t level) {
+    if (level == 0) {
+      if (degrade_level_ != 0) sampler_.set_probability(degrade_base_p_);
+      degrade_level_ = 0;
+      return;
+    }
+    if (degrade_level_ == 0) degrade_base_p_ = sampler_.probability();
+    degrade_level_ = level;
+    const double p = std::ldexp(degrade_base_p_, -static_cast<int>(level));
+    sampler_.set_probability(p < kDegradeFloor ? kDegradeFloor : p);
+  }
+
+  std::uint32_t degrade_level() const noexcept { return degrade_level_; }
+
+  /// Restore ingestion counters from a checkpoint (control/checkpoint.hpp);
+  /// counters and heap are restored separately through the codec.
+  void set_ingest_counts(std::uint64_t packets, std::uint64_t sampled) noexcept {
+    packets_ = packets;
+    sampled_updates_ = sampled;
+  }
 
   double current_probability() const noexcept { return sampler_.probability(); }
   bool converged() const noexcept {
@@ -418,6 +454,8 @@ class NitroSketch {
   std::vector<FlowKey> pending_offers_;
   std::uint64_t packets_ = 0;
   std::uint64_t sampled_updates_ = 0;
+  double degrade_base_p_ = 1.0;
+  std::uint32_t degrade_level_ = 0;
   [[no_unique_address]] std::conditional_t<WithTelemetry, telemetry::SketchTelemetry,
                                            telemetry::Disabled>
       tel_{};

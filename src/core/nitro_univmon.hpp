@@ -12,6 +12,7 @@
 #pragma once
 
 #include <array>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -184,6 +185,45 @@ class NitroUnivMon {
     return samplers_[j].probability();
   }
 
+  // --- Graceful degradation + checkpoint support --------------------------
+
+  /// Same contract as NitroSketch::apply_degradation, applied to every
+  /// level's sampler: p_j = base_j·2^-level floored at kDegradeFloor,
+  /// level 0 restores the captured per-level baselines.
+  static constexpr double kDegradeFloor = 1.0 / 1024.0;
+
+  void apply_degradation(std::uint32_t level) {
+    if (level == 0) {
+      if (degrade_level_ != 0) {
+        for (std::size_t j = 0; j < samplers_.size(); ++j) {
+          samplers_[j].set_probability(degrade_base_[j]);
+        }
+      }
+      degrade_level_ = 0;
+      return;
+    }
+    if (degrade_level_ == 0) {
+      degrade_base_.clear();
+      for (const auto& s : samplers_) degrade_base_.push_back(s.probability());
+    }
+    degrade_level_ = level;
+    for (std::size_t j = 0; j < samplers_.size(); ++j) {
+      const double p = std::ldexp(degrade_base_[j], -static_cast<int>(level));
+      samplers_[j].set_probability(p < kDegradeFloor ? kDegradeFloor : p);
+    }
+  }
+
+  std::uint32_t degrade_level() const noexcept { return degrade_level_; }
+
+  std::uint64_t ingest_packets() const noexcept { return packets_; }
+
+  /// Restore ingestion counters from a checkpoint; the UnivMon levels and
+  /// heaps are restored separately through codec load_univmon.
+  void set_ingest_counts(std::uint64_t packets, std::uint64_t sampled) noexcept {
+    packets_ = packets;
+    sampled_updates_ = sampled;
+  }
+
  private:
   static double initial_probability(const NitroConfig& cfg) {
     switch (cfg.mode) {
@@ -201,6 +241,8 @@ class NitroUnivMon {
   NitroConfig cfg_;
   std::vector<RowSampler> samplers_;  // one per level, advanced per member packet
   std::vector<ConvergenceDetector> detectors_;
+  std::vector<double> degrade_base_;  // per-level p captured at first degrade
+  std::uint32_t degrade_level_ = 0;
   std::unique_ptr<RateController> rate_;
   std::uint64_t sampled_updates_ = 0;
   std::uint64_t packets_ = 0;

@@ -18,9 +18,20 @@
 //    producer thread per shard (each ring stays SPSC).
 //  * drain()/instance() are control-plane: call them only while producers
 //    are quiescent (epoch boundary).
+//
+// Supervision (DESIGN.md §10): each worker publishes a heartbeat per poll
+// iteration; drain() doubles as a watchdog — a shard whose worker makes no
+// progress for drain_timeout_ns (wedged, or killed by fault injection) is
+// *quarantined*: its producer paths start shedding, its worker (if merely
+// stalled) is told to abort without touching its instance again, and the
+// epoch completes from the surviving shards.  Quarantine is one-way within
+// a group's lifetime — the safe recovery point for a lost core is a
+// process restart from the last checkpoint, not an in-place resurrection.
 #pragma once
 
 #include <atomic>
+#include <chrono>
+#include <cmath>
 #include <cstdint>
 #include <memory>
 #include <span>
@@ -33,6 +44,7 @@
 #include "common/flow_key.hpp"
 #include "common/hash.hpp"
 #include "common/spsc_ring.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
 
 namespace nitro::shard {
@@ -41,12 +53,22 @@ namespace nitro::shard {
 /// spins politely until the worker catches up — lossless, so merged
 /// results match a single-instance run.  kDrop sheds the packet and
 /// counts it, trading accuracy for a never-stalling forwarding thread
-/// (the separate-thread integration's policy).
-enum class OverflowPolicy { kBlock, kDrop };
+/// (the separate-thread integration's policy).  kDegrade first steps the
+/// overloaded shard's sampling probability down (halving per step, which
+/// halves the worker's counter work at a ~sqrt(2)× stddev cost per
+/// Theorem 1) and only sheds once the ring stays full through a bounded
+/// retry window — accuracy is *spent*, measurably, before any packet is
+/// silently lost.
+enum class OverflowPolicy { kBlock, kDrop, kDegrade };
 
 struct ShardOptions {
   std::size_t ring_capacity = 1 << 16;
   OverflowPolicy overflow = OverflowPolicy::kBlock;
+  /// Watchdog: drain() quarantines a shard after this long with no
+  /// forward progress on its applied counter.
+  std::uint64_t drain_timeout_ns = 5'000'000'000ULL;
+  /// kDegrade stops escalating past this level (p floor = base·2^-steps).
+  std::uint32_t max_degrade_steps = 7;
 };
 
 /// One queued packet. `count` is the update weight, `ts_ns` feeds the
@@ -75,6 +97,8 @@ class ShardGroup {
     shards_.reserve(workers);
     for (std::uint32_t i = 0; i < workers; ++i) {
       shards_.push_back(std::make_unique<Shard>(make(i), opts_.ring_capacity));
+      shards_.back()->index = i;
+      shards_.back()->ring.set_fault_lane(i);
     }
     burst_runs_.resize(workers);
     for (auto& s : shards_) {
@@ -119,23 +143,55 @@ class ShardGroup {
                        std::int64_t count = 1, std::uint64_t ts_ns = 0) {
     Shard& s = *shards_[shard];
     s.packets.inc();
+    if (halted(s)) {
+      s.drops.inc();
+      return;
+    }
     if (s.ring.try_push({key, count, ts_ns})) {
       s.pushed.inc();
       return;
     }
-    if (opts_.overflow == OverflowPolicy::kDrop) {
-      s.drops.inc();
-      return;
+    switch (opts_.overflow) {
+      case OverflowPolicy::kDrop:
+        s.drops.inc();
+        return;
+      case OverflowPolicy::kDegrade: {
+        escalate_degradation(s);
+        BoundedBackoff backoff;
+        for (std::uint32_t attempt = 0; attempt < kDegradeRetries; ++attempt) {
+          if (halted(s)) break;
+          if (s.ring.try_push({key, count, ts_ns})) {
+            s.pushed.inc();
+            return;
+          }
+          backoff.wait();
+        }
+        s.drops.inc();
+        return;
+      }
+      case OverflowPolicy::kBlock: {
+        // Bounded-liveness blocking: never spin on a dead or quarantined
+        // worker — the push that will never drain becomes a counted drop
+        // instead of a wedged forwarding thread.
+        BoundedBackoff backoff;
+        while (!s.ring.try_push({key, count, ts_ns})) {
+          if (halted(s)) {
+            s.drops.inc();
+            return;
+          }
+          backoff.wait();
+        }
+        s.pushed.inc();
+        return;
+      }
     }
-    BoundedBackoff backoff;
-    while (!s.ring.try_push({key, count, ts_ns})) backoff.wait();
-    s.pushed.inc();
   }
 
   /// Burst dispatch (single-dispatcher): partition the burst by shard,
   /// then enqueue each shard's run with one bulk ring reservation instead
   /// of one release store per packet.  Per-flow shard stickiness and the
   /// per-shard packet order are identical to calling update() per key.
+  /// Accounting invariant (all policies): packets == pushed + drops.
   void update_burst(std::span<const FlowKey> keys, std::int64_t count = 1,
                     std::uint64_t ts_ns = 0) {
     for (auto& run : burst_runs_) run.clear();
@@ -147,21 +203,51 @@ class ShardGroup {
       if (run.empty()) continue;
       Shard& s = *shards_[i];
       s.packets.inc(run.size());
+      if (halted(s)) {
+        s.drops.inc(run.size());
+        continue;
+      }
       std::size_t done = s.ring.try_push_bulk(run.data(), run.size());
       if (done < run.size()) {
-        if (opts_.overflow == OverflowPolicy::kDrop) {
-          s.drops.inc(run.size() - done);
-        } else {
-          BoundedBackoff backoff;
-          while (done < run.size()) {
-            const std::size_t more =
-                s.ring.try_push_bulk(run.data() + done, run.size() - done);
-            if (more == 0) {
-              backoff.wait();
-            } else {
-              done += more;
-              backoff.reset();
+        switch (opts_.overflow) {
+          case OverflowPolicy::kDrop:
+            s.drops.inc(run.size() - done);
+            break;
+          case OverflowPolicy::kDegrade: {
+            escalate_degradation(s);
+            BoundedBackoff backoff;
+            std::uint32_t attempts = 0;
+            while (done < run.size() && attempts < kDegradeRetries && !halted(s)) {
+              const std::size_t more =
+                  s.ring.try_push_bulk(run.data() + done, run.size() - done);
+              if (more == 0) {
+                backoff.wait();
+                ++attempts;
+              } else {
+                done += more;
+                backoff.reset();
+              }
             }
+            if (done < run.size()) s.drops.inc(run.size() - done);
+            break;
+          }
+          case OverflowPolicy::kBlock: {
+            BoundedBackoff backoff;
+            while (done < run.size()) {
+              if (halted(s)) {
+                s.drops.inc(run.size() - done);
+                break;
+              }
+              const std::size_t more =
+                  s.ring.try_push_bulk(run.data() + done, run.size() - done);
+              if (more == 0) {
+                backoff.wait();
+              } else {
+                done += more;
+                backoff.reset();
+              }
+            }
+            break;
           }
         }
       }
@@ -169,19 +255,56 @@ class ShardGroup {
     }
   }
 
-  /// Barrier: returns once every enqueued packet has been applied by its
-  /// worker.  Producers must be quiescent (this is the epoch boundary).
-  void drain() const {
-    for (const auto& s : shards_) {
-      const std::uint64_t target = s->pushed.value();
+  /// Barrier + watchdog: returns true once every enqueued packet has been
+  /// applied by its worker.  A shard whose worker dies or makes no
+  /// progress for drain_timeout_ns is quarantined (producers shed to it,
+  /// its in-flight items are abandoned, a stalled worker is told to abort
+  /// without touching its instance) and the drain moves on — the epoch
+  /// then closes from the survivors, returning false.  Producers must be
+  /// quiescent (this is the epoch boundary).
+  bool drain() {
+    using clock = std::chrono::steady_clock;
+    bool complete = true;
+    for (auto& sp : shards_) {
+      Shard& s = *sp;
+      if (s.quarantined.load(std::memory_order_acquire)) {
+        complete = false;
+        continue;
+      }
+      const std::uint64_t target = s.pushed.value();
+      std::uint64_t last = s.applied.load(std::memory_order_acquire);
+      auto last_progress = clock::now();
       BoundedBackoff backoff;
-      while (s->applied.load(std::memory_order_acquire) < target) backoff.wait();
+      for (;;) {
+        const std::uint64_t applied = s.applied.load(std::memory_order_acquire);
+        if (applied >= target) break;
+        if (applied != last) {
+          last = applied;
+          last_progress = clock::now();
+          backoff.reset();
+        }
+        const bool dead = s.dead.load(std::memory_order_acquire);
+        const auto stagnant_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                     clock::now() - last_progress)
+                                     .count();
+        if (dead ||
+            static_cast<std::uint64_t>(stagnant_ns) >= opts_.drain_timeout_ns) {
+          quarantine(s);
+          complete = false;
+          break;
+        }
+        backoff.wait();
+      }
     }
+    publish_supervision_telemetry();
+    return complete;
   }
 
   /// Control-plane access to worker i's instance.  Only safe after
   /// drain() with producers quiescent; the worker thread itself touches
-  /// the instance only while applying ring items.
+  /// the instance only while applying ring items.  A quarantined shard's
+  /// instance is frozen (its worker aborted without further writes) and
+  /// reflects only the packets applied before the fault.
   Instance& instance(std::uint32_t i) noexcept { return shards_[i]->instance; }
   const Instance& instance(std::uint32_t i) const noexcept {
     return shards_[i]->instance;
@@ -192,6 +315,63 @@ class ShardGroup {
   }
   std::uint64_t shard_drops(std::uint32_t i) const noexcept {
     return shards_[i]->drops.value();
+  }
+  std::uint64_t shard_applied(std::uint32_t i) const noexcept {
+    return shards_[i]->applied.load(std::memory_order_acquire);
+  }
+
+  // --- Supervision observability -----------------------------------------
+
+  bool quarantined(std::uint32_t i) const noexcept {
+    return shards_[i]->quarantined.load(std::memory_order_acquire);
+  }
+  bool worker_alive(std::uint32_t i) const noexcept {
+    return !shards_[i]->dead.load(std::memory_order_acquire);
+  }
+  /// Monotonic per-worker liveness: increments once per poll iteration.
+  std::uint64_t worker_heartbeat(std::uint32_t i) const noexcept {
+    return shards_[i]->heartbeat.load(std::memory_order_relaxed);
+  }
+  std::uint32_t quarantined_shards() const noexcept {
+    std::uint32_t n = 0;
+    for (const auto& s : shards_) {
+      if (s->quarantined.load(std::memory_order_acquire)) ++n;
+    }
+    return n;
+  }
+  std::uint64_t quarantines() const noexcept { return quarantines_.value(); }
+
+  std::uint32_t degrade_level(std::uint32_t i) const noexcept {
+    return shards_[i]->degrade_level.load(std::memory_order_acquire);
+  }
+
+  /// Estimated accuracy impact of the current degradation: Theorem 1 puts
+  /// the estimator stddev at ∝ 1/sqrt(p), so level L inflates it by
+  /// sqrt(2^L).  Reported for the worst (live) shard.
+  double estimated_error_inflation() const noexcept {
+    std::uint32_t max_level = 0;
+    for (const auto& s : shards_) {
+      if (s->quarantined.load(std::memory_order_acquire)) continue;
+      const std::uint32_t l = s->degrade_level.load(std::memory_order_acquire);
+      if (l > max_level) max_level = l;
+    }
+    return std::sqrt(std::ldexp(1.0, static_cast<int>(max_level)));
+  }
+
+  /// Control-plane, post-drain: lift degradation for the next epoch (the
+  /// overload that triggered it was epoch-local).  Safe single-threaded:
+  /// after drain() workers only poll their rings.
+  void reset_degradation() {
+    for (auto& sp : shards_) {
+      Shard& s = *sp;
+      s.degrade_level.store(0, std::memory_order_release);
+      if constexpr (requires { s.instance.apply_degradation(0u); }) {
+        if (!s.quarantined.load(std::memory_order_acquire)) {
+          s.instance.apply_degradation(0u);
+        }
+      }
+    }
+    publish_supervision_telemetry();
   }
 
   std::uint64_t total_packets() const noexcept {
@@ -205,20 +385,37 @@ class ShardGroup {
     return n;
   }
 
-  /// Per-shard packet/drop counters plus a worker-count gauge, registered
-  /// under `<prefix>_shard<i>_...` (ISSUE: per-shard telemetry).
+  /// Per-shard packet/drop/degrade counters plus group-level supervision
+  /// instruments, registered under `<prefix>_...` (ISSUE: per-shard
+  /// telemetry + degraded-mode accounting).
   void attach_telemetry(telemetry::Registry& registry, const std::string& prefix) {
     registry.gauge(prefix + "_workers", "number of shard worker threads")
         .set(static_cast<double>(shards_.size()));
+    registry.register_external_counter(
+        prefix + "_quarantines_total",
+        "shards quarantined by the drain watchdog (dead or wedged worker)",
+        quarantines_);
+    quarantined_gauge_ =
+        &registry.gauge(prefix + "_quarantined_shards",
+                        "shards currently quarantined (degraded-coverage mode)");
+    inflation_gauge_ = &registry.gauge(
+        prefix + "_degrade_error_inflation",
+        "estimated stddev inflation from overload degradation, sqrt(2^level)");
     for (std::size_t i = 0; i < shards_.size(); ++i) {
       const std::string base = prefix + "_shard" + std::to_string(i);
       registry.register_external_counter(
           base + "_packets_total", "packets dispatched to this shard",
           shards_[i]->packets);
       registry.register_external_counter(
-          base + "_drops_total", "packets shed on ring overflow (kDrop policy)",
+          base + "_drops_total",
+          "packets shed on ring overflow or to a quarantined shard",
           shards_[i]->drops);
+      registry.register_external_counter(
+          base + "_degrade_steps_total",
+          "overload-driven sampling-probability halvings on this shard",
+          shards_[i]->degrade_steps);
     }
+    publish_supervision_telemetry();
   }
 
   /// Join every worker (drains rings first).  Idempotent; the destructor
@@ -237,6 +434,9 @@ class ShardGroup {
   // digest seed works.
   static constexpr std::uint64_t kShardSalt = 0x5a4dd15bA7c4e11fULL;
 
+  /// Full-ring retry budget under kDegrade before the producer sheds.
+  static constexpr std::uint32_t kDegradeRetries = 128;
+
   struct Shard {
     Shard(Instance inst, std::size_t ring_capacity)
         : instance(std::move(inst)), ring(ring_capacity) {}
@@ -244,12 +444,53 @@ class ShardGroup {
     Instance instance;
     SpscRing<ShardItem> ring;
     std::thread worker;
+    std::uint32_t index = 0;
     std::atomic<bool> done{false};
+    std::atomic<bool> abort{false};        // quarantine: exit, don't touch instance
+    std::atomic<bool> dead{false};         // worker exited (fault kDie or abort)
+    std::atomic<bool> quarantined{false};  // excluded from merges, producers shed
+    std::atomic<std::uint64_t> heartbeat{0};      // one tick per poll iteration
+    std::atomic<std::uint32_t> degrade_level{0};  // producer raises, worker applies
     std::atomic<std::uint64_t> applied{0};  // worker -> control barrier
     telemetry::Counter packets;             // producer writes, control reads
     telemetry::Counter pushed;              // packets minus drops
     telemetry::Counter drops;
+    telemetry::Counter degrade_steps;
   };
+
+  bool halted(const Shard& s) const noexcept {
+    return s.dead.load(std::memory_order_acquire) ||
+           s.quarantined.load(std::memory_order_acquire);
+  }
+
+  /// Producer side of kDegrade: raise the shard's level by one (bounded);
+  /// the worker applies the matching probability before its next item.
+  void escalate_degradation(Shard& s) {
+    std::uint32_t level = s.degrade_level.load(std::memory_order_relaxed);
+    while (level < opts_.max_degrade_steps) {
+      if (s.degrade_level.compare_exchange_weak(level, level + 1,
+                                                std::memory_order_acq_rel)) {
+        s.degrade_steps.inc();
+        return;
+      }
+    }
+  }
+
+  void quarantine(Shard& s) {
+    s.quarantined.store(true, std::memory_order_release);
+    // An injected-stall worker wakes from its 1ms slice, sees abort, and
+    // exits without another instance write — the quarantined sketch stays
+    // frozen at its pre-fault contents.
+    s.abort.store(true, std::memory_order_release);
+    quarantines_.inc();
+  }
+
+  void publish_supervision_telemetry() {
+    if (quarantined_gauge_) {
+      quarantined_gauge_->set(static_cast<double>(quarantined_shards()));
+    }
+    if (inflation_gauge_) inflation_gauge_->set(estimated_error_inflation());
+  }
 
   // Items the worker pops per bulk dequeue; matches the pipelines' rx
   // burst so a dispatched burst usually drains in one pop.
@@ -260,7 +501,34 @@ class ShardGroup {
     std::vector<FlowKey> keys;
     keys.reserve(kWorkerBurst);
     BoundedBackoff backoff;
+    std::uint32_t applied_level = 0;
     while (!s.done.load(std::memory_order_acquire) || !s.ring.empty_approx()) {
+      s.heartbeat.fetch_add(1, std::memory_order_relaxed);
+      if (s.abort.load(std::memory_order_acquire)) break;
+      if constexpr (fault::kEnabled) {
+        std::uint64_t param = 0;
+        switch (fault::point(fault::Site::kWorkerLoop, s.index, &param)) {
+          case fault::Action::kDie:
+            s.dead.store(true, std::memory_order_release);
+            return;
+          case fault::Action::kStall:
+            fault::stall_ns(param, [&s] {
+              return s.abort.load(std::memory_order_acquire) ||
+                     s.done.load(std::memory_order_acquire);
+            });
+            continue;  // re-check abort/done before touching the instance
+          default:
+            break;
+        }
+      }
+      if constexpr (requires { s.instance.apply_degradation(0u); }) {
+        const std::uint32_t level =
+            s.degrade_level.load(std::memory_order_acquire);
+        if (level != applied_level) {
+          s.instance.apply_degradation(level);
+          applied_level = level;
+        }
+      }
       const std::size_t m = s.ring.try_pop_bulk(items, kWorkerBurst);
       if (m == 0) {
         backoff.wait();
@@ -303,12 +571,18 @@ class ShardGroup {
         i = j;
       }
     }
+    if (s.abort.load(std::memory_order_acquire)) {
+      s.dead.store(true, std::memory_order_release);
+    }
   }
 
   ShardOptions opts_;
   std::vector<std::unique_ptr<Shard>> shards_;
   // Dispatcher-local scratch for update_burst(); one run per shard.
   std::vector<std::vector<ShardItem>> burst_runs_;
+  telemetry::Counter quarantines_;
+  telemetry::Gauge* quarantined_gauge_ = nullptr;
+  telemetry::Gauge* inflation_gauge_ = nullptr;
 };
 
 }  // namespace nitro::shard

@@ -46,6 +46,7 @@ class ShardedNitroSketch {
     sketch::TopKHeap heap;
     std::uint64_t packets = 0;
     std::uint64_t drops = 0;
+    std::uint32_t quarantined_shards = 0;  // shards excluded from this merge
 
     std::int64_t query(const FlowKey& key) const { return Traits::query(base, key); }
 
@@ -95,30 +96,49 @@ class ShardedNitroSketch {
     group_.update_burst(keys, count, ts_ns);
   }
 
-  /// Wait until every dispatched packet is applied by its worker.
-  void drain() const { group_.drain(); }
+  /// Wait until every dispatched packet is applied by its worker.  Returns
+  /// false when the watchdog quarantined a shard (the snapshot will then
+  /// exclude it and degrade coverage rather than hang).
+  bool drain() { return group_.drain(); }
 
-  /// Merge all shards into a global view (drains first).  Cached: repeated
-  /// calls without intervening traffic reuse the previous merge.
+  /// Merge all live shards into a global view (drains first).  Cached:
+  /// repeated calls without intervening traffic reuse the previous merge.
+  /// Quarantined shards are excluded — their counters stop at the fault
+  /// and merging them would double-count nothing but under-count
+  /// everything after it in an unquantifiable way; skipping them keeps the
+  /// merged view exactly "the union stream of the surviving shards", for
+  /// which Theorem 1 still holds.
   const Snapshot& snapshot() {
     group_.drain();
     const std::uint64_t seen = group_.total_packets();
-    if (cached_ && cached_packets_ == seen) return *cached_;
+    const std::uint32_t lost = group_.quarantined_shards();
+    if (cached_ && cached_packets_ == seen &&
+        cached_->quarantined_shards == lost) {
+      return *cached_;
+    }
 
     // Post-drain, workers only poll their rings; touching the instances
     // from this thread is single-threaded (release/acquire on the applied
     // counters ordered the workers' writes before the drain() return).
     for (std::uint32_t i = 0; i < group_.workers(); ++i) {
+      if (group_.quarantined(i)) continue;
       group_.instance(i).flush();  // drain Idea-D buffered updates
     }
 
-    Snapshot snap{group_.instance(0).base(),
-                  sketch::TopKHeap(cfg_.track_top_keys ? cfg_.top_keys : 0), 0, 0};
-    for (std::uint32_t i = 1; i < group_.workers(); ++i) {
+    std::uint32_t first_live = 0;
+    while (first_live + 1 < group_.workers() && group_.quarantined(first_live)) {
+      ++first_live;
+    }
+    Snapshot snap{group_.instance(first_live).base(),
+                  sketch::TopKHeap(cfg_.track_top_keys ? cfg_.top_keys : 0),
+                  0, 0, lost};
+    for (std::uint32_t i = first_live + 1; i < group_.workers(); ++i) {
+      if (group_.quarantined(i)) continue;
       snap.base.merge(group_.instance(i).base());
     }
     if (cfg_.track_top_keys) {
-      for (std::uint32_t i = 0; i < group_.workers(); ++i) {
+      for (std::uint32_t i = first_live; i < group_.workers(); ++i) {
+        if (i != first_live && group_.quarantined(i)) continue;
         // Re-estimate against the merged counters: per-shard estimates do
         // not account for collisions contributed by other shards' flows.
         snap.heap.merge(group_.instance(i).heap(),
@@ -149,6 +169,23 @@ class ShardedNitroSketch {
   const Nitro& shard_sketch(std::uint32_t i) const noexcept {
     return group_.instance(i);
   }
+
+  // --- Supervision passthroughs (see ShardGroup) --------------------------
+  bool quarantined(std::uint32_t i) const noexcept { return group_.quarantined(i); }
+  bool worker_alive(std::uint32_t i) const noexcept {
+    return group_.worker_alive(i);
+  }
+  std::uint32_t quarantined_shard_count() const noexcept {
+    return group_.quarantined_shards();
+  }
+  double estimated_error_inflation() const noexcept {
+    return group_.estimated_error_inflation();
+  }
+  /// Post-drain: lift overload degradation for the next epoch.
+  void reset_degradation() { group_.reset_degradation(); }
+
+  ShardGroup<Nitro>& group() noexcept { return group_; }
+  const ShardGroup<Nitro>& group() const noexcept { return group_; }
 
   /// Per-shard counters via ShardGroup plus merged-view gauges refreshed
   /// on every snapshot().

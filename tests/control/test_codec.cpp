@@ -186,6 +186,112 @@ TEST(SketchSnapshot, RejectsWrongShape) {
   EXPECT_THROW(load_sketch(snapshot_sketch(src), wrong), std::invalid_argument);
 }
 
+// --- Frame fuzzing ----------------------------------------------------------
+//
+// Every corruption mode of the CRC frame must be *rejected with a distinct
+// error*, never loaded as a silently wrong sketch (DESIGN.md §10).
+
+std::string open_error(std::span<const std::uint8_t> bytes) {
+  try {
+    (void)open_frame(bytes);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  }
+  return "";  // opened cleanly
+}
+
+std::vector<std::uint8_t> fuzz_frame() {
+  std::vector<std::uint8_t> payload;
+  for (int i = 0; i < 100; ++i) payload.push_back(static_cast<std::uint8_t>(i * 7));
+  return seal_frame(payload);
+}
+
+TEST(FrameFuzz, SealOpenRoundTripsIncludingEmptyPayload) {
+  const auto frame = fuzz_frame();
+  const auto view = open_frame(frame);
+  ASSERT_EQ(view.size(), 100u);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(view[i], static_cast<std::uint8_t>(i * 7));
+  // A zero-length payload is legitimate (empty checkpoint), distinct from a
+  // zero-length *buffer*.
+  const auto empty = seal_frame(std::span<const std::uint8_t>{});
+  EXPECT_EQ(open_frame(empty).size(), 0u);
+}
+
+TEST(FrameFuzz, ZeroLengthBufferIsRejected) {
+  EXPECT_EQ(open_error({}), "frame: zero-length buffer");
+}
+
+TEST(FrameFuzz, EveryHeaderTruncationIsRejected) {
+  const auto frame = fuzz_frame();
+  for (std::size_t n = 1; n < kFrameHeaderBytes; ++n) {
+    EXPECT_EQ(open_error(std::span(frame).first(n)), "frame: truncated header")
+        << "length " << n;
+  }
+}
+
+TEST(FrameFuzz, EveryPayloadTruncationIsRejected) {
+  const auto frame = fuzz_frame();
+  for (std::size_t n = kFrameHeaderBytes; n < frame.size(); ++n) {
+    EXPECT_EQ(open_error(std::span(frame).first(n)), "frame: truncated payload")
+        << "length " << n;
+  }
+}
+
+TEST(FrameFuzz, TrailingGarbageIsRejected) {
+  auto frame = fuzz_frame();
+  frame.push_back(0x00);
+  EXPECT_EQ(open_error(frame), "frame: trailing bytes after payload");
+}
+
+TEST(FrameFuzz, UnsupportedVersionIsRejectedByNumber) {
+  auto frame = fuzz_frame();
+  frame[4] = 9;  // version field (little-endian u32 after the magic)
+  EXPECT_EQ(open_error(frame), "frame: unsupported version 9");
+}
+
+TEST(FrameFuzz, EverySingleBitFlipIsCaught) {
+  const auto pristine = fuzz_frame();
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto frame = pristine;
+      frame[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      EXPECT_NE(open_error(frame), "")
+          << "flip at byte " << byte << " bit " << bit << " opened cleanly";
+    }
+  }
+}
+
+TEST(FrameFuzz, SketchLoadSurvivesRandomGarbageWithoutCrashing) {
+  // Random byte soup must always surface as invalid_argument /
+  // out_of_range — never UB, never a half-loaded replica.
+  sketch::CountMinSketch pristine(5, 1024, 41);
+  for (int i = 0; i < 100; ++i) pristine.update(flow_key_for_rank(i, 6));
+  const auto good = snapshot_sketch(pristine);
+
+  std::uint64_t state = 0x9e3779b97f4a7c15ULL;
+  auto next = [&state] {
+    state ^= state << 13;
+    state ^= state >> 7;
+    state ^= state << 17;
+    return state;
+  };
+  for (int trial = 0; trial < 200; ++trial) {
+    auto bytes = good;
+    const std::size_t flips = 1 + next() % 16;
+    for (std::size_t f = 0; f < flips; ++f) {
+      bytes[next() % bytes.size()] ^= static_cast<std::uint8_t>(1 + next() % 255);
+    }
+    sketch::CountMinSketch replica(5, 1024, 41);
+    try {
+      load_sketch(bytes, replica);
+      // Astronomically unlikely (CRC forgery); acceptable only if the
+      // payload still parsed to the right shape.
+    } catch (const std::invalid_argument&) {
+    } catch (const std::out_of_range&) {
+    }
+  }
+}
+
 TEST(UnivMonSnapshot, SizeIsDominatedByCounters) {
   sketch::UnivMon um(um_config(), 1);
   const auto bytes = snapshot_univmon(um);

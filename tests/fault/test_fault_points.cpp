@@ -1,0 +1,190 @@
+// Fault-injection framework: deterministic triggering, lane addressing,
+// zero-impact defaults, and the ring / daemon fault points.
+#include "fault/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "control/daemon.hpp"
+#include "trace/ground_truth.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::fault {
+namespace {
+
+using trace::flow_key_for_rank;
+
+TEST(FaultPoint, NoScheduleInstalledMeansNoFault) {
+  ASSERT_EQ(installed(), nullptr);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(point(Site::kRingPush, 0), Action::kNone);
+  }
+}
+
+TEST(FaultSchedule, FiresExactlyAtTheConfiguredHit) {
+  Schedule plan;
+  plan.kill_worker(/*lane=*/0, /*at_hit=*/5);
+  ScopedFaultInjection scoped(plan);
+  for (std::uint64_t h = 1; h <= 10; ++h) {
+    const Action a = point(Site::kWorkerLoop, 0);
+    EXPECT_EQ(a, h == 5 ? Action::kDie : Action::kNone) << "hit " << h;
+  }
+  EXPECT_EQ(plan.hits(Site::kWorkerLoop, 0), 10u);
+  EXPECT_EQ(plan.fired(Site::kWorkerLoop), 1u);
+}
+
+TEST(FaultSchedule, PeriodicRuleRefiresEveryN) {
+  Schedule plan;
+  plan.reject_ring_pushes(/*lane=*/0, /*at_hit=*/3, /*every=*/4);
+  ScopedFaultInjection scoped(plan);
+  std::vector<std::uint64_t> fired_at;
+  for (std::uint64_t h = 1; h <= 16; ++h) {
+    if (point(Site::kRingPush, 0) == Action::kReject) fired_at.push_back(h);
+  }
+  EXPECT_EQ(fired_at, (std::vector<std::uint64_t>{3, 7, 11, 15}));
+}
+
+TEST(FaultSchedule, LanesHaveIndependentHitCountersAndRules) {
+  Schedule plan;
+  plan.kill_worker(/*lane=*/2, /*at_hit=*/1);
+  ScopedFaultInjection scoped(plan);
+  // Lane 0 visits do not advance lane 2's counter or trigger its rule.
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(point(Site::kWorkerLoop, 0), Action::kNone);
+  }
+  EXPECT_EQ(point(Site::kWorkerLoop, 2), Action::kDie);
+  EXPECT_EQ(plan.hits(Site::kWorkerLoop, 0), 50u);
+  EXPECT_EQ(plan.hits(Site::kWorkerLoop, 2), 1u);
+}
+
+TEST(FaultSchedule, ParamIsDeliveredToTheSite) {
+  Schedule plan;
+  plan.stall_worker(/*lane=*/1, /*at_hit=*/1, /*ns=*/123456);
+  ScopedFaultInjection scoped(plan);
+  std::uint64_t param = 0;
+  EXPECT_EQ(point(Site::kWorkerLoop, 1, &param), Action::kStall);
+  EXPECT_EQ(param, 123456u);
+}
+
+TEST(FaultSchedule, UninstallStopsInjectionImmediately) {
+  Schedule plan;
+  plan.reject_ring_pushes(0, 1, 1);  // reject every push
+  {
+    ScopedFaultInjection scoped(plan);
+    EXPECT_EQ(point(Site::kRingPush, 0), Action::kReject);
+  }
+  EXPECT_EQ(installed(), nullptr);
+  EXPECT_EQ(point(Site::kRingPush, 0), Action::kNone);
+}
+
+TEST(RingFaultPoint, RejectMakesTryPushReportFull) {
+  SpscRing<int> ring(64);
+  Schedule plan;
+  plan.reject_ring_pushes(/*lane=*/0, /*at_hit=*/1, /*every=*/1);
+  {
+    ScopedFaultInjection scoped(plan);
+    EXPECT_FALSE(ring.try_push(7));
+    int items[4] = {1, 2, 3, 4};
+    EXPECT_EQ(ring.try_push_bulk(items, 4), 0u);
+  }
+  // Overflow storm over: the ring works again and lost nothing.
+  EXPECT_TRUE(ring.try_push(7));
+  int out = 0;
+  EXPECT_TRUE(ring.try_pop(out));
+  EXPECT_EQ(out, 7);
+}
+
+TEST(RingFaultPoint, LaneSelectsTheTargetRing) {
+  SpscRing<int> ring0(64), ring2(64);
+  ring0.set_fault_lane(0);
+  ring2.set_fault_lane(2);
+  Schedule plan;
+  plan.reject_ring_pushes(/*lane=*/2, /*at_hit=*/1, /*every=*/1);
+  ScopedFaultInjection scoped(plan);
+  EXPECT_TRUE(ring0.try_push(1));   // lane 0 unaffected
+  EXPECT_FALSE(ring2.try_push(1));  // lane 2 storms
+}
+
+TEST(StallNs, AbortPredicateInterruptsTheStall) {
+  using clock = std::chrono::steady_clock;
+  const auto t0 = clock::now();
+  stall_ns(10'000'000'000ULL, [] { return true; });  // 10s stall, instant abort
+  const auto elapsed = clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            1000);
+}
+
+TEST(CorruptBytes, DeterministicAndFlipsEveryWindow) {
+  std::vector<std::uint8_t> a(300, 0xcc), b(300, 0xcc);
+  corrupt_bytes(a, 42);
+  corrupt_bytes(b, 42);
+  EXPECT_EQ(a, b);  // same seed, same rot
+  // At least one bit flipped in every 64-byte window.
+  for (std::size_t base = 0; base < a.size(); base += 64) {
+    const std::size_t end = std::min(base + 64, a.size());
+    bool flipped = false;
+    for (std::size_t i = base; i < end; ++i) flipped |= a[i] != 0xcc;
+    EXPECT_TRUE(flipped) << "window at " << base;
+  }
+  std::vector<std::uint8_t> c(300, 0xcc);
+  corrupt_bytes(c, 43);
+  EXPECT_NE(a, c);  // different seed, different rot
+}
+
+TEST(DaemonFaultPoints, EpochCrashThrowsDaemonCrash) {
+  sketch::UnivMonConfig um_cfg;
+  um_cfg.levels = 4;
+  um_cfg.depth = 3;
+  um_cfg.top_width = 256;
+  um_cfg.heap_capacity = 32;
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kVanilla;
+  control::MeasurementDaemon daemon(um_cfg, cfg, {});
+  daemon.on_packet(flow_key_for_rank(1, 1));
+
+  Schedule plan;
+  plan.crash_daemon_epoch(/*at_hit=*/1);
+  ScopedFaultInjection scoped(plan);
+  EXPECT_THROW(daemon.end_epoch(), control::DaemonCrash);
+  EXPECT_EQ(plan.fired(Site::kDaemonEpoch), 1u);
+  // The daemon survives its own crash exception: the next epoch closes.
+  EXPECT_NO_THROW(daemon.end_epoch());
+}
+
+TEST(DaemonFaultPoints, ClockSkewDoesNotBreakLineRateMode) {
+  sketch::UnivMonConfig um_cfg;
+  um_cfg.levels = 4;
+  um_cfg.depth = 3;
+  um_cfg.top_width = 512;
+  um_cfg.heap_capacity = 32;
+  core::NitroConfig cfg;
+  cfg.mode = core::Mode::kAlwaysLineRate;
+  cfg.probability = 0.1;
+  control::MeasurementDaemon daemon(um_cfg, cfg, {});
+
+  // Every 64th packet's timestamp jumps a full second backwards: the rate
+  // controller must tolerate the non-monotonic clock without wedging or
+  // crashing, and the daemon must still count every packet.
+  Schedule plan;
+  plan.skew_clock(/*at_hit=*/64, /*every=*/64, /*skew_ns=*/-1'000'000'000);
+  ScopedFaultInjection scoped(plan);
+
+  trace::WorkloadSpec spec;
+  spec.packets = 20000;
+  spec.flows = 500;
+  spec.seed = 9;
+  const auto stream = trace::caida_like(spec);
+  for (const auto& p : stream) daemon.on_packet(p.key, p.ts_ns);
+
+  EXPECT_GT(plan.fired(Site::kDaemonClock), 0u);
+  EXPECT_EQ(daemon.data_plane().total(), static_cast<std::int64_t>(stream.size()));
+  const auto report = daemon.end_epoch();
+  EXPECT_EQ(report.packets, static_cast<std::int64_t>(stream.size()));
+}
+
+}  // namespace
+}  // namespace nitro::fault

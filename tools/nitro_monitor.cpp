@@ -46,6 +46,7 @@
 
 #include "common/hash.hpp"
 #include "common/timing.hpp"
+#include "control/checkpoint.hpp"
 #include "control/daemon.hpp"
 #include "shard/shard_group.hpp"
 #include "switchsim/measurement.hpp"
@@ -76,6 +77,7 @@ struct Options {
   std::string stats_out;
   std::string stats_format = "json";
   int stats_interval = 1;
+  std::string checkpoint_dir;
 };
 
 void usage(const char* argv0) {
@@ -87,7 +89,7 @@ void usage(const char* argv0) {
                "          [--save-trace FILE] [--separate-thread] [--workers N]\n"
                "          [--burst N]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
-               "          [--stats-interval N]\n",
+               "          [--stats-interval N] [--checkpoint-dir DIR]\n",
                argv0);
 }
 
@@ -165,6 +167,9 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!(v = next())) return false;
       opt.stats_interval = std::atoi(v);
       if (opt.stats_interval < 1) opt.stats_interval = 1;
+    } else if (arg == "--checkpoint-dir") {
+      if (!(v = next())) return false;
+      opt.checkpoint_dir = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -283,6 +288,43 @@ int main(int argc, char** argv) {
   telemetry::Registry registry;
   daemon.attach_telemetry(registry);
 
+  // Crash-safe operation: restore the daemon from the newest valid
+  // checkpoint (falling back to the previous generation on a torn write)
+  // and re-save at every epoch boundary.  Corruption is reported loudly,
+  // never silently loaded.
+  std::unique_ptr<control::CheckpointStore> ckpt;
+  if (!opt.checkpoint_dir.empty()) {
+    try {
+      ckpt = std::make_unique<control::CheckpointStore>(opt.checkpoint_dir);
+      ckpt->attach_telemetry(registry, "nitro_checkpoint");
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "checkpoint: %s\n", e.what());
+      return 2;
+    }
+    const auto restored = ckpt->load("daemon");
+    if (restored.current_rejected) {
+      std::fprintf(stderr, "checkpoint: CORRUPT checkpoint rejected (%s)\n",
+                   restored.error.c_str());
+    }
+    if (restored.source != control::CheckpointStore::Source::kNone) {
+      try {
+        daemon.restore_checkpoint(restored.payload);
+        std::printf("checkpoint: restored epoch %llu from %s\n",
+                    static_cast<unsigned long long>(daemon.epoch()),
+                    restored.source == control::CheckpointStore::Source::kCurrent
+                        ? "current"
+                        : "previous generation");
+      } catch (const std::exception& e) {
+        std::fprintf(stderr,
+                     "checkpoint: restore FAILED (%s); starting fresh\n",
+                     e.what());
+      }
+    } else if (!restored.error.empty()) {
+      std::fprintf(stderr, "checkpoint: no usable checkpoint (%s); starting fresh\n",
+                   restored.error.c_str());
+    }
+  }
+
   // Route the replay through the OVS-like pipeline so the per-stage cycle
   // profile (recv/parse/lookup/measurement/action) is real, not synthetic.
   const auto raws = switchsim::materialize(stream);
@@ -338,14 +380,31 @@ int main(int argc, char** argv) {
     cursor = end;
     if (shard_group) {
       // Epoch boundary: the pipeline's finish() drained the rings, so the
-      // shards are quiescent.  Merge every shard into the daemon's (idle)
-      // data plane, reset the shards for the next epoch, and let the
-      // daemon's task estimation run on the coherent merged view.
+      // shards are quiescent.  Merge every live shard into the daemon's
+      // (idle) data plane, reset the shards for the next epoch, and let
+      // the daemon's task estimation run on the coherent merged view.
+      // Quarantined shards (dead/wedged workers caught by the drain
+      // watchdog) are excluded — the report covers the survivors.
       for (std::uint32_t s = 0; s < shard_group->workers(); ++s) {
+        if (shard_group->quarantined(s)) {
+          std::fprintf(stderr,
+                       "shard %u QUARANTINED (worker %s); excluded from merge\n",
+                       s, shard_group->worker_alive(s) ? "wedged" : "dead");
+          continue;
+        }
         daemon.data_plane_mut().merge_from(shard_group->instance(s));
         shard_group->instance(s).clear();
       }
+      shard_group->reset_degradation();
       daemon.publish_telemetry();
+    }
+    if (ckpt) {
+      // Persist before closing the epoch: a crash inside end_epoch then
+      // costs at most the current epoch, never an already-reported one.
+      if (!ckpt->save("daemon", daemon.checkpoint_bytes())) {
+        std::fprintf(stderr, "checkpoint: save FAILED for epoch %llu\n",
+                     static_cast<unsigned long long>(daemon.epoch()));
+      }
     }
     const auto report = daemon.end_epoch();
     prof.publish(registry);
