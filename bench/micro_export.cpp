@@ -1,0 +1,111 @@
+// micro_export — cost of the network-wide aggregation path (DESIGN.md
+// §11).  Reported-only: numbers land in stdout + the JSON sidecar for
+// EXPERIMENTS.md; no ctest gate, since end-to-end latency is dominated by
+// loopback scheduling on the host.
+//
+// Measures:
+//   * delivery: publish -> ack round trip against a live loopback
+//     collector, one epoch in flight at a time (the exporter's frame
+//     encode + TCP send + collector decode/ingest/merge + ack)
+//   * coalesce: merging two epoch snapshots into one (the backlog
+//     degradation path: decode both, UnivMon::merge, re-encode)
+#include "bench_common.hpp"
+
+#include <cstdint>
+#include <vector>
+
+#include "control/codec.hpp"
+#include "export/collector.hpp"
+#include "export/exporter.hpp"
+
+namespace nitro::bench {
+namespace {
+
+constexpr std::uint64_t kSeed = 7;
+
+std::vector<std::uint8_t> snapshot_of(const sketch::UnivMonConfig& cfg,
+                                      const trace::Trace& stream,
+                                      std::size_t begin, std::size_t end) {
+  sketch::UnivMon um(cfg, kSeed);
+  for (std::size_t i = begin; i < end; ++i) um.update(stream[i].key);
+  return control::snapshot_univmon(um);
+}
+
+void run() {
+  banner("micro_export", "epoch delivery latency + coalesce cost (reported-only)");
+
+  telemetry::Registry registry;
+
+  trace::WorkloadSpec spec;
+  spec.packets = 400'000;
+  spec.flows = 40'000;
+  spec.seed = 29;
+  const auto stream = trace::caida_like(spec);
+
+  for (const std::uint32_t top_width : {512u, 2048u}) {
+    const auto um_cfg = univmon_sized(top_width, /*heap=*/256);
+    const auto half = stream.size() / 2;
+    const auto snap_a = snapshot_of(um_cfg, stream, 0, half);
+    const auto snap_b = snapshot_of(um_cfg, stream, half, stream.size());
+
+    // --- coalesce: the backlog degradation path --------------------------
+    const auto coalescer = xport::univmon_coalescer(um_cfg, kSeed);
+    constexpr int kMerges = 20;
+    WallTimer t;
+    std::vector<std::uint8_t> merged;
+    for (int i = 0; i < kMerges; ++i) merged = coalescer(snap_a, snap_b);
+    const double merge_ms = t.seconds() / kMerges * 1e3;
+
+    // --- delivery: publish -> ack over loopback, serially ----------------
+    xport::CollectorConfig ccfg;
+    ccfg.um_cfg = um_cfg;
+    ccfg.seed = kSeed;
+    xport::CollectorServer server(ccfg, *xport::parse_endpoint("tcp:127.0.0.1:0"));
+    if (!server.start()) {
+      note("could not bind a loopback listener; skipping delivery rows");
+      continue;
+    }
+
+    xport::ExporterConfig ecfg;
+    ecfg.endpoint = server.endpoint();
+    ecfg.source_id = top_width;  // distinct per config, cosmetic only
+    xport::EpochExporter exporter(ecfg, xport::univmon_coalescer(um_cfg, kSeed));
+    const std::string prefix = "export_w" + std::to_string(top_width);
+    exporter.attach_telemetry(registry, prefix);
+    exporter.start();
+
+    constexpr int kEpochs = 30;
+    t.reset();
+    for (int e = 0; e < kEpochs; ++e) {
+      exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)),
+                       static_cast<std::int64_t>(half), snap_a);
+      (void)exporter.flush(10'000);  // one epoch in flight: pure round trip
+    }
+    const double rtt_ms = t.seconds() / kEpochs * 1e3;
+    exporter.stop();
+    server.stop();
+
+    std::printf("  univmon w=%-5u snapshot %8.2f KiB  delivery %7.3f ms/epoch  "
+                "coalesce %7.3f ms/merge\n",
+                top_width, snap_a.size() / 1024.0, rtt_ms, merge_ms);
+    registry.gauge(prefix + "_snapshot_bytes", "epoch snapshot size")
+        .set(static_cast<double>(snap_a.size()));
+    registry.gauge(prefix + "_delivery_ms", "avg publish->ack round trip")
+        .set(rtt_ms);
+    registry.gauge(prefix + "_coalesce_ms", "avg two-snapshot merge cost")
+        .set(merge_ms);
+  }
+
+  note("delivery is a serial publish+flush round trip over loopback TCP "
+       "(frame encode, send, collector ingest+merge, ack); coalesce is the "
+       "backlog path: decode two snapshots, UnivMon::merge, re-encode");
+  write_telemetry_sidecar(registry, "micro_export");
+}
+
+}  // namespace
+}  // namespace nitro::bench
+
+int main() {
+  nitro::bench::run();
+  return 0;
+}

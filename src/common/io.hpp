@@ -1,0 +1,155 @@
+// EINTR-safe file-descriptor I/O helpers shared by every syscall-level
+// reader/writer in the tree (checkpoint files, stats snapshots, export
+// sockets).
+//
+// POSIX read()/write() may transfer fewer bytes than asked and may be
+// interrupted by signals; each call site used to re-implement the retry
+// loop (and some forgot the short-write case).  These helpers centralize
+// the policy: loop until the full count transferred, retry EINTR, report
+// EOF and hard errors distinctly.  All header-only so any library can use
+// them without a link-order dance.
+#pragma once
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace nitro::io {
+
+/// read() retrying EINTR.  Returns bytes read (0 = EOF) or -1 on error.
+inline ssize_t read_some(int fd, void* buf, std::size_t n) noexcept {
+  for (;;) {
+    const ssize_t r = ::read(fd, buf, n);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+/// Read exactly `n` bytes.  Returns true only when all arrived; false on
+/// EOF-before-n or a hard error (a signal mid-read is retried, not failed).
+inline bool read_full(int fd, void* buf, std::size_t n) noexcept {
+  auto* p = static_cast<std::uint8_t*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t r = read_some(fd, p + off, n - off);
+    if (r <= 0) return false;
+    off += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+/// Write exactly `n` bytes, retrying EINTR and short writes.
+inline bool write_full(int fd, const void* buf, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::write(fd, p + off, n - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// send() counterpart for sockets: MSG_NOSIGNAL so a dead peer surfaces as
+/// EPIPE instead of killing the process, EINTR and short sends retried.
+inline bool send_full(int fd, const void* buf, std::size_t n) noexcept {
+  const auto* p = static_cast<const std::uint8_t*>(buf);
+  std::size_t off = 0;
+  while (off < n) {
+    const ssize_t w = ::send(fd, p + off, n - off, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(w);
+  }
+  return true;
+}
+
+/// poll() one fd for `events` (POLLIN/POLLOUT), retrying EINTR.  Returns
+/// >0 when ready, 0 on timeout, -1 on error.
+inline int poll_fd(int fd, short events, int timeout_ms) noexcept {
+  struct pollfd pfd{fd, events, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r >= 0 || errno != EINTR) return r;
+  }
+}
+
+// --- Whole-file helpers (checkpoints, stats snapshots) ----------------------
+
+/// Write `bytes` to `path` and fsync before close.  No atomicity on its
+/// own — callers rename a tmp file into place (atomic_write_file below, or
+/// CheckpointStore's generation rotation).
+inline bool write_file_fsync(const std::string& path,
+                             std::span<const std::uint8_t> bytes) noexcept {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return false;
+  if (!write_full(fd, bytes.data(), bytes.size())) {
+    ::close(fd);
+    return false;
+  }
+  const bool synced = ::fsync(fd) == 0;
+  return (::close(fd) == 0) && synced;
+}
+
+/// Slurp `path` into `out`.  Returns false when the file cannot be opened
+/// or a read fails (out may hold a prefix then; callers treat false as
+/// "no file").
+inline bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out.clear();
+  std::uint8_t buf[64 * 1024];
+  for (;;) {
+    const ssize_t n = read_some(fd, buf, sizeof buf);
+    if (n < 0) {
+      ::close(fd);
+      return false;
+    }
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  ::close(fd);
+  return true;
+}
+
+/// fsync the directory so a just-renamed entry survives a crash.  Best
+/// effort: some filesystems refuse directory fsync.
+inline void fsync_dir(const std::string& dir) noexcept {
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+}
+
+/// Crash-safe whole-file replace: write `<path>.tmp`, fsync, rename over
+/// `path`.  A reader (or a crash at any point) sees either the old
+/// complete file or the new complete file, never a torn mix.
+inline bool atomic_write_file(const std::string& path,
+                              std::span<const std::uint8_t> bytes) {
+  const std::string tmp = path + ".tmp";
+  if (!write_file_fsync(tmp, bytes)) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    return false;
+  }
+  const auto slash = path.find_last_of('/');
+  fsync_dir(slash == std::string::npos ? "." : path.substr(0, slash));
+  return true;
+}
+
+}  // namespace nitro::io

@@ -1,66 +1,18 @@
 #include "control/checkpoint.hpp"
 
-#include <fcntl.h>
 #include <sys/stat.h>
 #include <sys/types.h>
-#include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <stdexcept>
 
+#include "common/io.hpp"
 #include "control/codec.hpp"
 #include "fault/fault.hpp"
 
 namespace nitro::control {
-
-namespace {
-
-bool write_file_fsync(const std::string& path, std::span<const std::uint8_t> bytes) {
-  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) return false;
-  std::size_t off = 0;
-  while (off < bytes.size()) {
-    const ssize_t n = ::write(fd, bytes.data() + off, bytes.size() - off);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
-    }
-    off += static_cast<std::size_t>(n);
-  }
-  const bool synced = ::fsync(fd) == 0;
-  return (::close(fd) == 0) && synced;
-}
-
-bool read_file(const std::string& path, std::vector<std::uint8_t>& out) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) return false;
-  out.clear();
-  std::uint8_t buf[64 * 1024];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof buf);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      ::close(fd);
-      return false;
-    }
-    if (n == 0) break;
-    out.insert(out.end(), buf, buf + n);
-  }
-  ::close(fd);
-  return true;
-}
-
-void fsync_dir(const std::string& dir) {
-  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
-  if (fd < 0) return;  // best effort: some filesystems refuse dir fsync
-  ::fsync(fd);
-  ::close(fd);
-}
-
-}  // namespace
 
 CheckpointStore::CheckpointStore(std::string dir) : dir_(std::move(dir)) {
   struct stat st{};
@@ -106,7 +58,7 @@ bool CheckpointStore::save(const std::string& name,
   const std::string tmp = tmp_path(name);
   const std::string cur = current_path(name);
   const std::string prev = previous_path(name);
-  if (!write_file_fsync(tmp, frame)) {
+  if (!io::write_file_fsync(tmp, frame)) {
     if (save_failures_) save_failures_->inc();
     return false;
   }
@@ -121,7 +73,7 @@ bool CheckpointStore::save(const std::string& name,
     if (save_failures_) save_failures_->inc();
     return false;
   }
-  fsync_dir(dir_);
+  io::fsync_dir(dir_);
   if (saves_) saves_->inc();
   if (last_bytes_) last_bytes_->set(static_cast<double>(frame.size()));
   return true;
@@ -132,7 +84,7 @@ CheckpointStore::Restored CheckpointStore::load(const std::string& name) const {
   std::vector<std::uint8_t> bytes;
 
   auto try_one = [&](const std::string& path, Source source) -> bool {
-    if (!read_file(path, bytes)) return false;
+    if (!io::read_file(path, bytes)) return false;
     // Read-side bit-rot injection happens after the disk read so the CRC
     // check is what stands between the corruption and the sketch.
     if (fault::point(fault::Site::kCheckpointRead) == fault::Action::kCorrupt) {

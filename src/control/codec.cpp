@@ -21,7 +21,7 @@ std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> payload) {
   return out;
 }
 
-std::span<const std::uint8_t> open_frame(std::span<const std::uint8_t> bytes) {
+FrameHeader parse_frame_header(std::span<const std::uint8_t> bytes) {
   if (bytes.empty()) {
     throw std::invalid_argument("frame: zero-length buffer");
   }
@@ -32,20 +32,26 @@ std::span<const std::uint8_t> open_frame(std::span<const std::uint8_t> bytes) {
   if (r.get_u32() != kFrameMagic) {
     throw std::invalid_argument("frame: bad magic");
   }
-  const std::uint32_t version = r.get_u32();
-  if (version != kFrameVersion) {
+  FrameHeader h;
+  h.version = r.get_u32();
+  if (h.version != kFrameVersion) {
     throw std::invalid_argument("frame: unsupported version " +
-                                std::to_string(version));
+                                std::to_string(h.version));
   }
-  const std::uint64_t len = r.get_u64();
-  const std::uint32_t crc = r.get_u32();
+  h.payload_len = r.get_u64();
+  h.crc = r.get_u32();
+  return h;
+}
+
+std::span<const std::uint8_t> open_frame(std::span<const std::uint8_t> bytes) {
+  const FrameHeader h = parse_frame_header(bytes);
   const std::span<const std::uint8_t> payload = bytes.subspan(kFrameHeaderBytes);
-  if (len != payload.size()) {
+  if (h.payload_len != payload.size()) {
     throw std::invalid_argument(
-        len > payload.size() ? "frame: truncated payload"
-                             : "frame: trailing bytes after payload");
+        h.payload_len > payload.size() ? "frame: truncated payload"
+                                       : "frame: trailing bytes after payload");
   }
-  if (crc32(payload) != crc) {
+  if (crc32(payload) != h.crc) {
     throw std::invalid_argument("frame: CRC mismatch (corrupt payload)");
   }
   return payload;

@@ -114,6 +114,22 @@ inline constexpr std::size_t kFrameHeaderBytes = 4 + 4 + 8 + 4;
 /// Wrap `payload` in a versioned, CRC-protected frame.
 std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> payload);
 
+/// Decoded fixed-size frame header (magic already validated and stripped).
+/// Stream transports read kFrameHeaderBytes, call this to learn
+/// payload_len, then read exactly that many payload bytes — the frame is
+/// self-delimiting on a byte stream.
+struct FrameHeader {
+  std::uint32_t version = 0;
+  std::uint64_t payload_len = 0;
+  std::uint32_t crc = 0;
+};
+
+/// Validate magic and version of the first kFrameHeaderBytes of `bytes`
+/// and return the parsed header.  Throws std::invalid_argument on a short
+/// buffer, bad magic or unsupported version — a stream reader treats any
+/// throw as a poisoned connection.
+FrameHeader parse_frame_header(std::span<const std::uint8_t> bytes);
+
 /// Validate and strip the frame, returning a view of the payload.  Throws
 /// std::invalid_argument with a specific reason for zero-length input,
 /// truncated headers/payloads, bad magic, unknown versions, trailing

@@ -7,13 +7,16 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <span>
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "control/codec.hpp"
 #include "control/estimation.hpp"
+#include "core/epoch_span.hpp"
 #include "core/nitro_univmon.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
@@ -34,6 +37,15 @@ struct EpochReport {
   std::vector<HeavyHitter> changed_flows;
   double entropy = 0.0;
   double distinct = 0.0;
+};
+
+/// One closed epoch handed to an export sink: the sealed UnivMon snapshot
+/// plus span/packets metadata for the wire message.  The span is a single
+/// epoch here; the exporter widens it when it coalesces a backlog.
+struct ExportedEpoch {
+  core::EpochSpan span;
+  std::int64_t packets = 0;
+  std::vector<std::uint8_t> snapshot;  // snapshot_univmon() frame
 };
 
 class MeasurementDaemon {
@@ -115,6 +127,15 @@ class MeasurementDaemon {
           changes(*previous_, current_, candidates, tasks_.change_fraction);
     }
 
+    // Hand the closed epoch to the export sink before rotation destroys
+    // the counters.  The sink (an EpochExporter queue push) must not
+    // block the epoch loop on a slow collector.
+    if (export_sink_) {
+      export_sink_(ExportedEpoch{core::EpochSpan::single(report.epoch),
+                                 report.packets,
+                                 snapshot_univmon(current_.univmon())});
+    }
+
     // Fold this epoch's counts into the cumulative totals before the data
     // plane is rotated away, so exported counters never move backwards.
     cum_packets_ += static_cast<std::uint64_t>(current_.total());
@@ -133,6 +154,13 @@ class MeasurementDaemon {
   const core::NitroUnivMon& data_plane() const noexcept { return current_; }
 
   std::uint64_t epoch() const noexcept { return epoch_; }
+
+  /// Register a network-export sink: every end_epoch() hands it the closed
+  /// epoch's sealed snapshot (see ExportedEpoch).  Pass an empty function
+  /// to detach.  Kept as std::function so the control plane does not
+  /// depend on the export subsystem.
+  using ExportSink = std::function<void(ExportedEpoch&&)>;
+  void set_export_sink(ExportSink sink) { export_sink_ = std::move(sink); }
 
   // --- Crash-safe checkpointing (control/checkpoint.hpp) ------------------
 
@@ -230,6 +258,7 @@ class MeasurementDaemon {
   telemetry::SketchTelemetry tel_{};
   std::uint64_t cum_packets_ = 0;
   std::uint64_t cum_sampled_ = 0;
+  ExportSink export_sink_;
 };
 
 }  // namespace nitro::control

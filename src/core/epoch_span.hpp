@@ -1,0 +1,34 @@
+// Epoch-span metadata carried by exported snapshots.
+//
+// A snapshot normally covers exactly one measurement epoch, but the
+// export path may *coalesce* backlogged epochs into one merged sketch
+// (lossless for counters) when the collector link is down.  The span
+// records which contiguous range of epochs a snapshot covers, so the
+// collector can report coverage honestly instead of pretending a merged
+// blob was a single epoch.
+#pragma once
+
+#include <cstdint>
+
+namespace nitro::core {
+
+struct EpochSpan {
+  std::uint64_t first = 0;  // inclusive
+  std::uint64_t last = 0;   // inclusive
+
+  static EpochSpan single(std::uint64_t epoch) noexcept { return {epoch, epoch}; }
+
+  std::uint64_t count() const noexcept { return last - first + 1; }
+
+  /// Widen to cover `other` as well (coalescing adjacent snapshots).
+  void widen(const EpochSpan& other) noexcept {
+    if (other.first < first) first = other.first;
+    if (other.last > last) last = other.last;
+  }
+
+  friend bool operator==(const EpochSpan& a, const EpochSpan& b) noexcept {
+    return a.first == b.first && a.last == b.last;
+  }
+};
+
+}  // namespace nitro::core

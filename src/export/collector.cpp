@@ -1,0 +1,331 @@
+#include "export/collector.hpp"
+
+#include <chrono>
+
+#include "control/codec.hpp"
+#include "fault/fault.hpp"
+
+namespace nitro::xport {
+
+// ---------------------------------------------------------------------------
+// CollectorCore
+
+CollectorCore::CollectorCore(const CollectorConfig& cfg) : cfg_(cfg) {}
+
+CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
+                                            std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  auto it = sources_.find(msg.source_id);
+  if (it == sources_.end()) {
+    auto src = std::make_unique<Source>(cfg_);
+    src->stats.source_id = msg.source_id;
+    it = sources_.emplace(msg.source_id, std::move(src)).first;
+  }
+  Source& src = *it->second;
+  // Any message — even a duplicate — proves the source is alive.
+  src.stats.last_seen_ns = now_ns;
+  if (src.stats.stale) {
+    src.stats.stale = false;  // rejoin the merged view
+  }
+
+  const std::uint64_t applied_up_to = src.stats.last_seq;
+  if (msg.seq_last <= applied_up_to) {
+    ++src.stats.duplicates;
+    if (duplicates_ != nullptr) duplicates_->inc();
+    return Ingest::kDuplicate;
+  }
+  if (msg.seq_first <= applied_up_to) {
+    // Straddles the applied boundary: part of this coalesced sketch is
+    // already in the accumulator and a merged sketch cannot be split, so
+    // applying any of it would double-count.  Drop whole, loudly.
+    ++src.stats.overlap_dropped;
+    if (overlap_dropped_ != nullptr) overlap_dropped_->inc();
+    return Ingest::kOverlapDropped;
+  }
+
+  sketch::UnivMon tmp(cfg_.um_cfg, cfg_.seed);
+  control::load_univmon(msg.snapshot, tmp);  // throws on corruption
+  src.acc.merge(tmp);
+
+  if (msg.seq_first > applied_up_to + 1) {
+    const std::uint64_t lost = msg.seq_first - applied_up_to - 1;
+    src.stats.gap_epochs += lost;
+    if (gap_epochs_ != nullptr) gap_epochs_->inc(lost);
+  }
+  const std::uint64_t covered = msg.epochs_covered();
+  src.stats.last_seq = msg.seq_last;
+  src.stats.epochs_applied += covered;
+  ++src.stats.messages_applied;
+  if (covered > 1) {
+    src.stats.coalesced_epochs += covered;
+    if (coalesced_epochs_ != nullptr) coalesced_epochs_->inc(covered);
+  }
+  if (src.stats.epochs_applied == covered) {
+    src.stats.span = msg.span;
+  } else {
+    src.stats.span.widen(msg.span);
+  }
+  src.stats.packets += msg.packets;
+  epochs_applied_ += covered;
+  if (messages_applied_ != nullptr) messages_applied_->inc();
+  if (epochs_applied_ctr_ != nullptr) epochs_applied_ctr_->inc(covered);
+  return Ingest::kApplied;
+}
+
+std::vector<CollectorCore::SourceStats> CollectorCore::sources(
+    std::uint64_t now_ns) const {
+  std::lock_guard lk(mu_);
+  std::vector<SourceStats> out;
+  out.reserve(sources_.size());
+  for (const auto& [id, src] : sources_) {
+    SourceStats s = src->stats;
+    s.stale = is_stale(s, now_ns);
+    out.push_back(s);
+  }
+  return out;
+}
+
+sketch::UnivMon CollectorCore::merged_view(std::uint64_t now_ns) const {
+  std::lock_guard lk(mu_);
+  sketch::UnivMon merged(cfg_.um_cfg, cfg_.seed);
+  for (const auto& [id, src] : sources_) {
+    if (is_stale(src->stats, now_ns)) continue;
+    merged.merge(src->acc);
+  }
+  return merged;
+}
+
+std::int64_t CollectorCore::merged_packets(std::uint64_t now_ns) const {
+  std::lock_guard lk(mu_);
+  std::int64_t total = 0;
+  for (const auto& [id, src] : sources_) {
+    if (is_stale(src->stats, now_ns)) continue;
+    total += src->stats.packets;
+  }
+  return total;
+}
+
+std::uint64_t CollectorCore::epochs_applied() const {
+  std::lock_guard lk(mu_);
+  return epochs_applied_;
+}
+
+void CollectorCore::attach_telemetry(telemetry::Registry& registry,
+                                     const std::string& prefix) {
+  std::lock_guard lk(mu_);
+  messages_applied_ = &registry.counter(prefix + "_messages_applied_total",
+                                        "epoch messages merged into a source");
+  epochs_applied_ctr_ = &registry.counter(prefix + "_epochs_applied_total",
+                                          "epochs merged (coalesced count as many)");
+  duplicates_ = &registry.counter(prefix + "_duplicate_messages_total",
+                                  "redelivered messages dropped idempotently");
+  overlap_dropped_ = &registry.counter(
+      prefix + "_overlap_dropped_total",
+      "messages straddling the applied boundary, dropped to avoid double-count");
+  gap_epochs_ = &registry.counter(prefix + "_gap_epochs_total",
+                                  "epochs lost to sequence gaps");
+  coalesced_epochs_ = &registry.counter(
+      prefix + "_coalesced_epochs_total", "epochs that arrived pre-merged");
+  quarantines_ = &registry.counter(prefix + "_quarantine_transitions_total",
+                                   "live -> stale source transitions");
+  sources_live_ = &registry.gauge(prefix + "_sources_live", "sources in the merged view");
+  sources_stale_ = &registry.gauge(prefix + "_sources_stale",
+                                   "sources quarantined for staleness");
+  merged_packets_gauge_ = &registry.gauge(prefix + "_merged_packets",
+                                          "packet total over live sources");
+}
+
+void CollectorCore::publish_telemetry(std::uint64_t now_ns) {
+  std::lock_guard lk(mu_);
+  std::int64_t packets = 0;
+  double live = 0, stale = 0;
+  for (auto& [id, src] : sources_) {
+    const bool s = is_stale(src->stats, now_ns);
+    if (s && !src->stats.stale) {
+      src->stats.stale = true;
+      if (quarantines_ != nullptr) quarantines_->inc();
+    }
+    if (s) {
+      stale += 1;
+    } else {
+      live += 1;
+      packets += src->stats.packets;
+    }
+  }
+  if (sources_live_ != nullptr) sources_live_->set(live);
+  if (sources_stale_ != nullptr) sources_stale_->set(stale);
+  if (merged_packets_gauge_ != nullptr) {
+    merged_packets_gauge_->set(static_cast<double>(packets));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// CollectorServer
+
+CollectorServer::CollectorServer(const CollectorConfig& cfg, const Endpoint& listen_ep)
+    : owned_core_(std::make_unique<CollectorCore>(cfg)), listen_ep_(listen_ep) {
+  core_ = owned_core_.get();
+}
+
+CollectorServer::CollectorServer(CollectorCore& core, const Endpoint& listen_ep)
+    : core_(&core), listen_ep_(listen_ep) {}
+
+CollectorServer::~CollectorServer() { stop(); }
+
+bool CollectorServer::start() {
+  if (started_) return true;
+  if (!listener_.open(listen_ep_)) return false;
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void CollectorServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  std::vector<std::thread> conns;
+  {
+    std::lock_guard lk(conn_mu_);
+    conns.swap(conn_threads_);
+  }
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
+  started_ = false;
+}
+
+Endpoint CollectorServer::endpoint() const {
+  Endpoint ep = listen_ep_;
+  if (ep.kind == Endpoint::Kind::kTcp && ep.port == 0) {
+    ep.port = listener_.bound_port();
+  }
+  return ep;
+}
+
+void CollectorServer::attach_telemetry(telemetry::Registry& registry,
+                                       const std::string& prefix) {
+  core_->attach_telemetry(registry, prefix);
+  connections_ = &registry.counter(prefix + "_connections_total",
+                                   "monitor connections accepted");
+  frames_rejected_ = &registry.counter(
+      prefix + "_frames_rejected_total",
+      "undecodable frames/messages (each poisons its connection)");
+  injected_drops_ = &registry.counter(prefix + "_injected_drops_total",
+                                      "fault-injected frame drops (no ack sent)");
+  injected_conn_kills_ = &registry.counter(prefix + "_injected_conn_kills_total",
+                                           "fault-injected connection kills");
+  acks_sent_ = &registry.counter(prefix + "_acks_sent_total", "acks written back");
+  active_connections_ = &registry.gauge(prefix + "_active_connections",
+                                        "currently connected monitors");
+}
+
+std::uint64_t CollectorServer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void CollectorServer::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    Socket sock = listener_.accept_conn(100);
+    if (!sock.valid()) continue;
+    if (connections_ != nullptr) connections_->inc();
+    std::lock_guard lk(conn_mu_);
+    conn_threads_.emplace_back(
+        [this, s = std::move(sock)]() mutable { handle_connection(std::move(s)); });
+  }
+}
+
+void CollectorServer::handle_connection(Socket sock) {
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
+  if (active_connections_ != nullptr) {
+    active_connections_->set(static_cast<double>(active_conns_.load()));
+  }
+  FrameAssembler assembler(core_->config().max_frame_bytes);
+  std::uint8_t buf[64 * 1024];
+  std::vector<std::uint8_t> frame;
+  bool alive = true;
+  while (alive && !stop_.load(std::memory_order_relaxed)) {
+    std::size_t got = 0;
+    switch (sock.recv_some(buf, sizeof buf, 200, &got)) {
+      case Socket::RecvResult::kData:
+        assembler.feed(std::span<const std::uint8_t>(buf, got));
+        break;
+      case Socket::RecvResult::kTimeout:
+        core_->publish_telemetry(now_ns());
+        continue;
+      case Socket::RecvResult::kClosed:
+      case Socket::RecvResult::kError:
+        alive = false;
+        continue;
+    }
+    try {
+      while (alive && assembler.next_frame(frame)) {
+        if (peek_message_magic(frame) != kEpochMsgMagic) {
+          // Monitors only send epoch messages; anything else is garbage
+          // the CRC happened to bless.  Poison the connection.
+          if (frames_rejected_ != nullptr) frames_rejected_->inc();
+          alive = false;
+          break;
+        }
+        const EpochMessage msg = decode_epoch(frame);
+
+        std::uint64_t param = 0;
+        const auto action = fault::point(fault::Site::kCollectorIngest,
+                                         static_cast<std::uint32_t>(msg.source_id),
+                                         &param);
+        if (action == fault::Action::kReject) {
+          // Simulated receive-side loss: no ack, the exporter must retry.
+          if (injected_drops_ != nullptr) injected_drops_->inc();
+          continue;
+        }
+        if (action == fault::Action::kDie) {
+          if (injected_conn_kills_ != nullptr) injected_conn_kills_->inc();
+          alive = false;  // abrupt close mid-stream
+          break;
+        }
+        if (action == fault::Action::kStall) {
+          fault::stall_ns(param, [this] {
+            return stop_.load(std::memory_order_relaxed);
+          });
+        }
+
+        AckMessage ack;
+        ack.source_id = msg.source_id;
+        ack.seq_last = msg.seq_last;
+        switch (core_->ingest(msg, now_ns())) {
+          case CollectorCore::Ingest::kApplied:
+            ack.status = AckStatus::kApplied;
+            break;
+          case CollectorCore::Ingest::kDuplicate:
+            ack.status = AckStatus::kDuplicate;
+            break;
+          case CollectorCore::Ingest::kOverlapDropped:
+            ack.status = AckStatus::kOverlapDropped;
+            break;
+        }
+        if (!sock.send_all(encode_ack(ack), 2000)) {
+          alive = false;
+          break;
+        }
+        if (acks_sent_ != nullptr) acks_sent_->inc();
+      }
+    } catch (const std::exception&) {
+      // Undecodable frame or corrupt snapshot: the stream cannot resync.
+      if (frames_rejected_ != nullptr) frames_rejected_->inc();
+      alive = false;
+    }
+    core_->publish_telemetry(now_ns());
+  }
+  sock.close();
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  if (active_connections_ != nullptr) {
+    active_connections_->set(static_cast<double>(active_conns_.load()));
+  }
+}
+
+}  // namespace nitro::xport

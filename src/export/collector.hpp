@@ -1,0 +1,175 @@
+// Idempotent network-wide collector (DESIGN.md §11): the aggregation side
+// of the epoch-export pipeline.
+//
+// CollectorCore is the pure, thread-safe aggregation state: per-source
+// accumulated sketches keyed by source id, deduplicated by contiguous
+// sequence ranges so at-least-once redelivery never double-counts an
+// epoch.  The rules per incoming message [seq_first, seq_last] against a
+// source's last applied sequence A:
+//
+//   seq_last  <= A            duplicate  — acked, dropped, no state change
+//   seq_first == A + 1        applied    — merged, A := seq_last
+//   seq_first <= A < seq_last overlap    — a coalesced message straddling
+//                                          applied epochs; applying it
+//                                          would double-count, so the
+//                                          whole message is dropped (and
+//                                          counted — the exporter never
+//                                          produces this, a forged or
+//                                          corrupt peer might)
+//   seq_first  > A + 1        applied with a gap — the missing epochs are
+//                                          counted as lost (gap_epochs)
+//
+// Sources that stop reporting go *stale* after `staleness_ns` and are
+// quarantined out of the merged network-wide view (their counters are
+// kept; they rejoin on the next applied message).
+//
+// CollectorServer wraps the core with a socket front end: an accept loop
+// plus one handler thread per monitor connection, each reassembling
+// frames, acking every decoded message, and tearing the connection down
+// on the first undecodable byte.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "export/transport.hpp"
+#include "export/wire.hpp"
+#include "sketch/univmon.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nitro::xport {
+
+struct CollectorConfig {
+  sketch::UnivMonConfig um_cfg;
+  std::uint64_t seed = 1;  // must match the monitors' sketch seed
+  std::uint64_t staleness_ns = 10'000'000'000ULL;  // 10 s
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class CollectorCore {
+ public:
+  enum class Ingest { kApplied, kDuplicate, kOverlapDropped };
+
+  struct SourceStats {
+    std::uint64_t source_id = 0;
+    std::uint64_t last_seq = 0;
+    std::uint64_t epochs_applied = 0;
+    std::uint64_t messages_applied = 0;
+    std::uint64_t duplicates = 0;
+    std::uint64_t overlap_dropped = 0;
+    std::uint64_t gap_epochs = 0;
+    std::uint64_t coalesced_epochs = 0;  // epochs arriving in width>1 messages
+    std::uint64_t last_seen_ns = 0;
+    core::EpochSpan span;  // union of applied spans
+    std::int64_t packets = 0;
+    bool stale = false;
+  };
+
+  explicit CollectorCore(const CollectorConfig& cfg);
+
+  /// Apply one decoded epoch message (already CRC/shape-validated by
+  /// decode_epoch).  `now_ns` drives liveness.  Thread-safe.
+  Ingest ingest(const EpochMessage& msg, std::uint64_t now_ns);
+
+  /// Per-source stats with staleness evaluated at `now_ns`, sorted by id.
+  std::vector<SourceStats> sources(std::uint64_t now_ns) const;
+
+  /// Network-wide merged sketch over the *live* sources (stale sources are
+  /// quarantined out until they report again).
+  sketch::UnivMon merged_view(std::uint64_t now_ns) const;
+
+  /// Sum of applied packet counts over live sources — the exact cross-check
+  /// against the merged sketch's total.
+  std::int64_t merged_packets(std::uint64_t now_ns) const;
+
+  std::uint64_t epochs_applied() const;
+
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
+
+  /// Refresh liveness gauges (sources_live/sources_stale/merged_packets);
+  /// called by the server loop and by exporters' scrape paths.
+  void publish_telemetry(std::uint64_t now_ns);
+
+  const CollectorConfig& config() const noexcept { return cfg_; }
+
+ private:
+  struct Source {
+    explicit Source(const CollectorConfig& cfg)
+        : acc(cfg.um_cfg, cfg.seed) {}
+    sketch::UnivMon acc;
+    SourceStats stats;
+  };
+
+  bool is_stale(const SourceStats& s, std::uint64_t now_ns) const noexcept {
+    return now_ns > s.last_seen_ns && now_ns - s.last_seen_ns > cfg_.staleness_ns;
+  }
+
+  CollectorConfig cfg_;
+  mutable std::mutex mu_;
+  std::map<std::uint64_t, std::unique_ptr<Source>> sources_;
+  std::uint64_t epochs_applied_ = 0;
+
+  telemetry::Counter* messages_applied_ = nullptr;
+  telemetry::Counter* epochs_applied_ctr_ = nullptr;
+  telemetry::Counter* duplicates_ = nullptr;
+  telemetry::Counter* overlap_dropped_ = nullptr;
+  telemetry::Counter* gap_epochs_ = nullptr;
+  telemetry::Counter* coalesced_epochs_ = nullptr;
+  telemetry::Counter* quarantines_ = nullptr;
+  telemetry::Gauge* sources_live_ = nullptr;
+  telemetry::Gauge* sources_stale_ = nullptr;
+  telemetry::Gauge* merged_packets_gauge_ = nullptr;
+};
+
+class CollectorServer {
+ public:
+  /// Owns its core.
+  CollectorServer(const CollectorConfig& cfg, const Endpoint& listen_ep);
+  /// Shares an externally owned core — lets a test (or a restarted server)
+  /// keep aggregation state across server instances.
+  CollectorServer(CollectorCore& core, const Endpoint& listen_ep);
+  ~CollectorServer();
+  CollectorServer(const CollectorServer&) = delete;
+  CollectorServer& operator=(const CollectorServer&) = delete;
+
+  /// Bind + listen + start the accept loop.  False if binding failed.
+  bool start();
+  void stop();
+
+  CollectorCore& core() noexcept { return *core_; }
+  /// Resolved listen endpoint (tcp:HOST:0 gets its kernel-assigned port).
+  Endpoint endpoint() const;
+
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
+
+ private:
+  void accept_loop();
+  void handle_connection(Socket sock);
+  static std::uint64_t now_ns() noexcept;
+
+  CollectorCore* core_;                   // owned_core_ or external
+  std::unique_ptr<CollectorCore> owned_core_;
+  Endpoint listen_ep_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread acceptor_;
+  std::mutex conn_mu_;
+  std::vector<std::thread> conn_threads_;
+
+  telemetry::Counter* connections_ = nullptr;
+  telemetry::Counter* frames_rejected_ = nullptr;
+  telemetry::Counter* injected_drops_ = nullptr;
+  telemetry::Counter* injected_conn_kills_ = nullptr;
+  telemetry::Counter* acks_sent_ = nullptr;
+  telemetry::Gauge* active_connections_ = nullptr;
+  std::atomic<std::int64_t> active_conns_{0};
+};
+
+}  // namespace nitro::xport

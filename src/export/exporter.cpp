@@ -1,0 +1,394 @@
+#include "export/exporter.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "control/codec.hpp"
+#include "fault/fault.hpp"
+
+namespace nitro::xport {
+
+std::uint64_t backoff_delay_ns(std::uint32_t attempt, std::uint64_t base_ns,
+                               std::uint64_t max_ns, SplitMix64& rng) {
+  if (base_ns == 0) base_ns = 1;
+  if (max_ns < base_ns) max_ns = base_ns;
+  const std::uint32_t doublings = attempt > 1 ? std::min(attempt - 1, 62u) : 0;
+  // Detect the overflow before shifting instead of after.
+  std::uint64_t d = base_ns > (max_ns >> doublings) ? max_ns : base_ns << doublings;
+  if (d > max_ns) d = max_ns;
+  const std::uint64_t half = d / 2;
+  return d - half + (half != 0 ? rng.next() % (half + 1) : 0);
+}
+
+Coalescer univmon_coalescer(const sketch::UnivMonConfig& cfg, std::uint64_t seed) {
+  return [cfg, seed](std::span<const std::uint8_t> older,
+                     std::span<const std::uint8_t> newer) {
+    sketch::UnivMon acc(cfg, seed);
+    sketch::UnivMon tmp(cfg, seed);
+    control::load_univmon(older, acc);
+    control::load_univmon(newer, tmp);
+    acc.merge(tmp);
+    return control::snapshot_univmon(acc);
+  };
+}
+
+EpochExporter::EpochExporter(const ExporterConfig& cfg, Coalescer coalescer)
+    : cfg_(cfg),
+      coalescer_(std::move(coalescer)),
+      assembler_(cfg.max_frame_bytes),
+      breaker_(cfg.breaker_threshold, cfg.breaker_cooldown_ns) {
+  if (cfg_.queue_capacity < 2) cfg_.queue_capacity = 2;
+}
+
+EpochExporter::~EpochExporter() { stop(); }
+
+void EpochExporter::attach_telemetry(telemetry::Registry& registry,
+                                     const std::string& prefix) {
+  published_ = &registry.counter(prefix + "_published_epochs_total",
+                                 "epochs handed to the exporter");
+  acked_ = &registry.counter(prefix + "_acked_epochs_total",
+                             "epochs acknowledged by the collector");
+  sent_frames_ = &registry.counter(prefix + "_sent_frames_total",
+                                   "epoch frames written to the socket");
+  coalesce_merges_ = &registry.counter(prefix + "_coalesce_merges_total",
+                                       "backlog merges of two queued epochs");
+  coalesced_epochs_ = &registry.counter(
+      prefix + "_coalesced_epochs_total",
+      "epochs that were absorbed into a wider coalesced message");
+  coalesce_failures_ = &registry.counter(
+      prefix + "_coalesce_failures_total",
+      "coalesce attempts that failed (queue grows past capacity instead)");
+  send_failures_ = &registry.counter(prefix + "_send_failures_total",
+                                     "frame sends that failed or timed out");
+  connect_failures_ = &registry.counter(prefix + "_connect_failures_total",
+                                        "connect attempts that failed");
+  reconnects_ = &registry.counter(prefix + "_reconnects_total",
+                                  "successful (re)connects to the collector");
+  retries_ = &registry.counter(prefix + "_retries_total",
+                               "delivery attempts after the first");
+  ack_timeouts_ = &registry.counter(prefix + "_ack_timeouts_total",
+                                    "deliveries that timed out waiting for an ack");
+  breaker_opens_ = &registry.counter(prefix + "_breaker_opens_total",
+                                     "circuit breaker open transitions");
+  injected_send_faults_ = &registry.counter(
+      prefix + "_injected_send_faults_total", "fault-injected connect/send failures");
+  injected_dup_frames_ = &registry.counter(
+      prefix + "_injected_dup_frames_total", "fault-injected duplicate frame sends");
+  queue_depth_gauge_ = &registry.gauge(prefix + "_queue_depth",
+                                       "epochs queued awaiting acknowledgement");
+  breaker_state_gauge_ = &registry.gauge(
+      prefix + "_breaker_state", "circuit breaker state (0 closed, 1 open, 2 half-open)");
+  delivery_ns_ = &registry.histogram(prefix + "_delivery_ns",
+                                     "publish-to-ack latency per epoch message");
+}
+
+void EpochExporter::start() {
+  std::lock_guard lk(mu_);
+  if (started_) return;
+  started_ = true;
+  stop_ = false;
+  sender_ = std::thread([this] { run(); });
+}
+
+void EpochExporter::stop() {
+  {
+    std::lock_guard lk(mu_);
+    if (!started_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (sender_.joinable()) sender_.join();
+  {
+    std::lock_guard lk(mu_);
+    started_ = false;
+  }
+  sock_.close();
+}
+
+void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
+                            std::vector<std::uint8_t> snapshot) {
+  {
+    std::lock_guard lk(mu_);
+    while (queue_.size() >= cfg_.queue_capacity) {
+      const std::size_t before = queue_.size();
+      coalesce_locked();
+      if (queue_.size() == before) break;  // nothing coalescible; grow instead
+    }
+    Pending p;
+    p.msg.source_id = cfg_.source_id;
+    p.msg.seq_first = p.msg.seq_last = next_seq_++;
+    p.msg.span = span;
+    p.msg.packets = packets;
+    p.msg.snapshot = std::move(snapshot);
+    p.enqueue_ns = now_ns();
+    queue_.push_back(std::move(p));
+    if (published_ != nullptr) published_->inc();
+    if (queue_depth_gauge_ != nullptr) {
+      queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+    }
+  }
+  cv_.notify_all();
+}
+
+void EpochExporter::coalesce_locked() {
+  // Merge the two oldest entries that are not in flight.  Only the front
+  // can be in flight (the sender works strictly in order), so this is the
+  // pair at [0,1] or [1,2].
+  std::size_t i = 0;
+  while (i < queue_.size() && queue_[i].in_flight) ++i;
+  if (i + 1 >= queue_.size()) return;
+  Pending& a = queue_[i];
+  Pending& b = queue_[i + 1];
+  std::vector<std::uint8_t> merged;
+  try {
+    merged = coalescer_(a.msg.snapshot, b.msg.snapshot);
+  } catch (const std::exception&) {
+    // A failed merge must not lose an epoch: leave both entries queued and
+    // let the queue exceed capacity (graceful degradation is memory, not
+    // data loss).
+    if (coalesce_failures_ != nullptr) coalesce_failures_->inc();
+    return;
+  }
+  const std::uint64_t absorbed = b.msg.epochs_covered();
+  a.msg.seq_last = b.msg.seq_last;
+  a.msg.span.widen(b.msg.span);
+  a.msg.packets += b.msg.packets;
+  a.msg.snapshot = std::move(merged);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  if (coalesce_merges_ != nullptr) coalesce_merges_->inc();
+  if (coalesced_epochs_ != nullptr) coalesced_epochs_->inc(absorbed);
+}
+
+bool EpochExporter::flush(int timeout_ms) {
+  std::unique_lock lk(mu_);
+  return drained_.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                           [this] { return queue_.empty(); });
+}
+
+std::size_t EpochExporter::queue_depth() const {
+  std::lock_guard lk(mu_);
+  return queue_.size();
+}
+
+CircuitBreaker::State EpochExporter::breaker_state() const {
+  std::lock_guard lk(breaker_mu_);
+  return breaker_.state();
+}
+
+std::uint64_t EpochExporter::epochs_acked() const {
+  std::lock_guard lk(mu_);
+  return acked_epochs_;
+}
+
+std::vector<EpochMessage> EpochExporter::pending_messages() const {
+  std::lock_guard lk(mu_);
+  std::vector<EpochMessage> out;
+  out.reserve(queue_.size());
+  for (const Pending& p : queue_) out.push_back(p.msg);
+  return out;
+}
+
+std::uint64_t EpochExporter::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void EpochExporter::interruptible_sleep_ns(std::uint64_t ns) {
+  std::unique_lock lk(mu_);
+  // Publishes also notify cv_, waking this early; the predicate only
+  // releases on stop, so a wakeup re-waits for the remaining time.
+  cv_.wait_for(lk, std::chrono::nanoseconds(ns), [this] { return stop_; });
+}
+
+void EpochExporter::run() {
+  SplitMix64 rng(cfg_.jitter_seed ^ cfg_.source_id);
+  std::uint32_t attempt = 0;
+  for (;;) {
+    EpochMessage msg;
+    std::uint64_t enqueue_ns = 0;
+    {
+      std::unique_lock lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !queue_.empty(); });
+      if (stop_) return;
+      queue_.front().in_flight = true;
+      msg = queue_.front().msg;  // copy: publish may coalesce behind us
+      enqueue_ns = queue_.front().enqueue_ns;
+    }
+
+    // Circuit breaker gate: while open, wait out the cooldown without
+    // touching the network (no failure recorded — no attempt was made).
+    bool gated;
+    std::uint64_t wait_ns = 0;
+    {
+      std::lock_guard lk(breaker_mu_);
+      const std::uint64_t now = now_ns();
+      gated = !breaker_.allow_attempt(now);
+      if (gated) {
+        wait_ns = breaker_.open_until_ns() > now
+                      ? breaker_.open_until_ns() - now
+                      : 1'000'000;
+      }
+      if (breaker_state_gauge_ != nullptr) {
+        breaker_state_gauge_->set(static_cast<double>(breaker_.state()));
+      }
+    }
+    if (gated) {
+      {
+        std::lock_guard lk(mu_);
+        queue_.front().in_flight = false;
+        if (stop_) return;
+      }
+      interruptible_sleep_ns(std::min<std::uint64_t>(wait_ns, 50'000'000));
+      continue;
+    }
+
+    if (attempt > 0 && retries_ != nullptr) retries_->inc();
+    const bool ok = attempt_delivery(msg);
+
+    {
+      std::lock_guard lk(breaker_mu_);
+      if (ok) {
+        breaker_.record_success();
+      } else {
+        const std::uint64_t opens_before = breaker_.opens();
+        breaker_.record_failure(now_ns());
+        if (breaker_.opens() != opens_before && breaker_opens_ != nullptr) {
+          breaker_opens_->inc();
+        }
+      }
+      if (breaker_state_gauge_ != nullptr) {
+        breaker_state_gauge_->set(static_cast<double>(breaker_.state()));
+      }
+    }
+
+    if (ok) {
+      bool notify = false;
+      {
+        std::lock_guard lk(mu_);
+        acked_epochs_ += msg.epochs_covered();
+        queue_.pop_front();
+        notify = queue_.empty();
+        if (queue_depth_gauge_ != nullptr) {
+          queue_depth_gauge_->set(static_cast<double>(queue_.size()));
+        }
+      }
+      if (acked_ != nullptr) acked_->inc(msg.epochs_covered());
+      if (delivery_ns_ != nullptr) delivery_ns_->observe(now_ns() - enqueue_ns);
+      if (notify) drained_.notify_all();
+      attempt = 0;
+      continue;
+    }
+
+    {
+      std::lock_guard lk(mu_);
+      queue_.front().in_flight = false;
+      if (stop_) return;
+    }
+    sock_.close();  // reconnect fresh on the next attempt
+    ++attempt;
+    interruptible_sleep_ns(
+        backoff_delay_ns(attempt, cfg_.backoff_base_ns, cfg_.backoff_max_ns, rng));
+  }
+}
+
+bool EpochExporter::attempt_delivery(const EpochMessage& msg) {
+  const std::uint32_t lane = static_cast<std::uint32_t>(cfg_.source_id);
+  if (!sock_.valid()) {
+    std::uint64_t param = 0;
+    const auto action = fault::point(fault::Site::kExportConnect, lane, &param);
+    if (action == fault::Action::kReject) {
+      if (injected_send_faults_ != nullptr) injected_send_faults_->inc();
+      if (connect_failures_ != nullptr) connect_failures_->inc();
+      return false;
+    }
+    if (action == fault::Action::kStall) {
+      fault::stall_ns(param, [this] {
+        std::lock_guard lk(mu_);
+        return stop_;
+      });
+    }
+    sock_ = connect_endpoint(cfg_.endpoint, cfg_.connect_timeout_ms);
+    if (!sock_.valid()) {
+      if (connect_failures_ != nullptr) connect_failures_->inc();
+      return false;
+    }
+    // Acks from the previous connection died with it.
+    assembler_ = FrameAssembler(cfg_.max_frame_bytes);
+    if (reconnects_ != nullptr) reconnects_->inc();
+  }
+
+  std::uint64_t param = 0;
+  const auto action = fault::point(fault::Site::kExportSend, lane, &param);
+  if (action == fault::Action::kReject) {
+    if (injected_send_faults_ != nullptr) injected_send_faults_->inc();
+    if (send_failures_ != nullptr) send_failures_->inc();
+    return false;
+  }
+  if (action == fault::Action::kStall) {
+    fault::stall_ns(param, [this] {
+      std::lock_guard lk(mu_);
+      return stop_;
+    });
+  }
+
+  const std::vector<std::uint8_t> frame = encode_epoch(msg);
+  const int sends = action == fault::Action::kDuplicate ? 2 : 1;
+  for (int s = 0; s < sends; ++s) {
+    if (!sock_.send_all(frame, cfg_.io_timeout_ms)) {
+      if (send_failures_ != nullptr) send_failures_->inc();
+      return false;
+    }
+    if (sent_frames_ != nullptr) sent_frames_->inc();
+  }
+  if (sends == 2 && injected_dup_frames_ != nullptr) injected_dup_frames_->inc();
+
+  if (await_ack(msg.seq_last)) return true;
+  if (ack_timeouts_ != nullptr) ack_timeouts_->inc();
+  return false;
+}
+
+bool EpochExporter::await_ack(std::uint64_t want_seq_last) {
+  using clock = std::chrono::steady_clock;
+  const auto deadline = clock::now() + std::chrono::milliseconds(cfg_.ack_timeout_ms);
+  std::uint8_t buf[4096];
+  std::vector<std::uint8_t> frame;
+  for (;;) {
+    // Drain whatever is already assembled (a duplicated send produces two
+    // acks; the stale one carries an older seq_last and is skipped).
+    try {
+      while (assembler_.next_frame(frame)) {
+        if (peek_message_magic(frame) != kAckMsgMagic) continue;
+        const AckMessage ack = decode_ack(frame);
+        if (ack.source_id != cfg_.source_id) continue;
+        if (ack.seq_last >= want_seq_last) return true;
+      }
+    } catch (const std::exception&) {
+      return false;  // poisoned ack stream: drop the connection
+    }
+
+    {
+      std::lock_guard lk(mu_);
+      if (stop_) return false;
+    }
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - clock::now());
+    if (left.count() <= 0) return false;
+    // Short slices keep stop() responsive during a long ack wait.
+    const int slice = static_cast<int>(std::min<long long>(left.count(), 100));
+    std::size_t got = 0;
+    switch (sock_.recv_some(buf, sizeof buf, slice, &got)) {
+      case Socket::RecvResult::kData:
+        assembler_.feed(std::span<const std::uint8_t>(buf, got));
+        break;
+      case Socket::RecvResult::kTimeout:
+        break;
+      case Socket::RecvResult::kClosed:
+      case Socket::RecvResult::kError:
+        return false;
+    }
+  }
+}
+
+}  // namespace nitro::xport

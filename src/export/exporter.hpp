@@ -1,0 +1,213 @@
+// Resilient epoch exporter (DESIGN.md §11): the monitor side of the
+// network-wide aggregation pipeline.
+//
+// Each closed measurement epoch is queued as a sequence-numbered wire
+// message and pushed to the collector over TCP or a Unix socket.  The
+// design goal is that a misbehaving peer can never hurt the data plane:
+//
+//   * every socket operation is bounded by a timeout (transport.hpp);
+//   * failures retry with exponential backoff + jitter, capped at a
+//     ceiling, so a dead collector costs a bounded, decorrelated trickle
+//     of connect attempts;
+//   * a circuit breaker opens after `breaker_threshold` consecutive
+//     failures and stops even attempting until a cooldown passes
+//     (half-open probe, then closed on success / reopen on failure);
+//   * the send queue is bounded: under backlog the two oldest queued
+//     epochs are *coalesced* — their sketches merged (lossless for
+//     counters, Theorem 1 holds across merges), sequence range and epoch
+//     span widened — instead of silently dropping an epoch;
+//   * an epoch leaves the queue only when the collector acknowledged it,
+//     giving at-least-once delivery; the collector dedupes by sequence
+//     range, so redelivery never double-counts.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <span>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/epoch_span.hpp"
+#include "export/transport.hpp"
+#include "export/wire.hpp"
+#include "sketch/univmon.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nitro::xport {
+
+/// Exponential backoff with jitter.  `attempt` is 1-based; the delay
+/// doubles per attempt from `base_ns`, is capped at `max_ns`, and the
+/// returned value is drawn uniformly from [d/2, d] so a fleet of monitors
+/// that failed together does not retry in lockstep.  Never exceeds
+/// `max_ns` — the ceiling tests pin this.
+std::uint64_t backoff_delay_ns(std::uint32_t attempt, std::uint64_t base_ns,
+                               std::uint64_t max_ns, SplitMix64& rng);
+
+/// Three-state circuit breaker, clock injected for testability.  Used
+/// single-threaded from the sender loop.
+class CircuitBreaker {
+ public:
+  enum class State : std::uint8_t { kClosed = 0, kOpen = 1, kHalfOpen = 2 };
+
+  CircuitBreaker(std::uint32_t threshold, std::uint64_t cooldown_ns)
+      : threshold_(threshold == 0 ? 1 : threshold), cooldown_ns_(cooldown_ns) {}
+
+  /// May this attempt proceed?  Open -> HalfOpen once the cooldown has
+  /// elapsed (the single probe); Open before that refuses.
+  bool allow_attempt(std::uint64_t now_ns) noexcept {
+    if (state_ == State::kClosed || state_ == State::kHalfOpen) return true;
+    if (now_ns >= open_until_ns_) {
+      state_ = State::kHalfOpen;
+      return true;
+    }
+    return false;
+  }
+
+  void record_success() noexcept {
+    state_ = State::kClosed;
+    consecutive_failures_ = 0;
+  }
+
+  /// A HalfOpen probe failure reopens immediately; in Closed the breaker
+  /// opens after `threshold` consecutive failures.
+  void record_failure(std::uint64_t now_ns) noexcept {
+    ++consecutive_failures_;
+    if (state_ == State::kHalfOpen || consecutive_failures_ >= threshold_) {
+      state_ = State::kOpen;
+      open_until_ns_ = now_ns + cooldown_ns_;
+      ++opens_;
+    }
+  }
+
+  State state() const noexcept { return state_; }
+  std::uint64_t opens() const noexcept { return opens_; }
+  std::uint32_t consecutive_failures() const noexcept { return consecutive_failures_; }
+  std::uint64_t open_until_ns() const noexcept { return open_until_ns_; }
+
+ private:
+  std::uint32_t threshold_;
+  std::uint64_t cooldown_ns_;
+  State state_ = State::kClosed;
+  std::uint32_t consecutive_failures_ = 0;
+  std::uint64_t open_until_ns_ = 0;
+  std::uint64_t opens_ = 0;
+};
+
+/// Merges the sealed snapshots of two adjacent queued epochs into one
+/// (older first).  Supplied by the integration because only it knows the
+/// sketch type behind the snapshot bytes.
+using Coalescer = std::function<std::vector<std::uint8_t>(
+    std::span<const std::uint8_t> older, std::span<const std::uint8_t> newer)>;
+
+/// Coalescer for UnivMon snapshots (the measurement daemon's export
+/// format): load both into identically seeded replicas, merge counters +
+/// heaps, re-snapshot.  Lossless for counters.
+Coalescer univmon_coalescer(const sketch::UnivMonConfig& cfg, std::uint64_t seed);
+
+struct ExporterConfig {
+  Endpoint endpoint;
+  std::uint64_t source_id = 1;
+  int connect_timeout_ms = 1000;
+  int io_timeout_ms = 2000;    // whole-frame send / single recv slice cap
+  int ack_timeout_ms = 3000;   // send -> ack deadline
+  std::uint64_t backoff_base_ns = 2'000'000;     // 2 ms
+  std::uint64_t backoff_max_ns = 500'000'000;    // 500 ms ceiling
+  std::uint32_t breaker_threshold = 8;           // consecutive failures
+  std::uint64_t breaker_cooldown_ns = 1'000'000'000;  // 1 s
+  std::size_t queue_capacity = 8;                // >= 2; then coalescing
+  std::uint64_t jitter_seed = 0x5eedf00dULL;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+};
+
+class EpochExporter {
+ public:
+  /// Does not start the sender; call start() after attach_telemetry().
+  EpochExporter(const ExporterConfig& cfg, Coalescer coalescer);
+  ~EpochExporter();
+  EpochExporter(const EpochExporter&) = delete;
+  EpochExporter& operator=(const EpochExporter&) = delete;
+
+  /// Bind instruments under `prefix` (e.g. "nitro_export").  Call before
+  /// start(); the sender thread reads the pointers unsynchronized.
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
+
+  void start();
+  void stop();  // stops the sender; queued-but-unsent epochs stay queued
+
+  /// Queue one closed epoch (called from the epoch loop; never blocks on
+  /// the network).  If the queue is at capacity the two oldest
+  /// non-in-flight entries are coalesced first — lossless, wider span.
+  void publish(core::EpochSpan span, std::int64_t packets,
+               std::vector<std::uint8_t> snapshot);
+
+  /// Block until every queued epoch is acked or `timeout_ms` passes.
+  bool flush(int timeout_ms);
+
+  std::size_t queue_depth() const;
+  CircuitBreaker::State breaker_state() const;
+  std::uint64_t epochs_acked() const;
+
+  /// Copies of the queued wire messages, oldest first (tests inspect
+  /// coalescing results without a live collector).
+  std::vector<EpochMessage> pending_messages() const;
+
+ private:
+  struct Pending {
+    EpochMessage msg;
+    std::uint64_t enqueue_ns = 0;
+    bool in_flight = false;
+  };
+
+  void run();
+  bool attempt_delivery(const EpochMessage& msg);
+  bool await_ack(std::uint64_t want_seq_last);
+  void coalesce_locked();
+  /// Sleep up to `ns`, waking early only on stop().
+  void interruptible_sleep_ns(std::uint64_t ns);
+  static std::uint64_t now_ns() noexcept;
+
+  ExporterConfig cfg_;
+  Coalescer coalescer_;
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;       // sender wakeups (publish/stop)
+  std::condition_variable drained_;  // flush waiters
+  std::deque<Pending> queue_;
+  std::uint64_t next_seq_ = 1;
+  bool stop_ = false;
+  bool started_ = false;
+
+  std::thread sender_;
+  Socket sock_;
+  FrameAssembler assembler_;
+  CircuitBreaker breaker_;
+  mutable std::mutex breaker_mu_;  // state read from other threads
+
+  std::uint64_t acked_epochs_ = 0;
+
+  // Telemetry (null when not attached; sender-side writes only).
+  telemetry::Counter* published_ = nullptr;
+  telemetry::Counter* acked_ = nullptr;
+  telemetry::Counter* sent_frames_ = nullptr;
+  telemetry::Counter* coalesce_merges_ = nullptr;
+  telemetry::Counter* coalesced_epochs_ = nullptr;
+  telemetry::Counter* coalesce_failures_ = nullptr;
+  telemetry::Counter* send_failures_ = nullptr;
+  telemetry::Counter* connect_failures_ = nullptr;
+  telemetry::Counter* reconnects_ = nullptr;
+  telemetry::Counter* retries_ = nullptr;
+  telemetry::Counter* ack_timeouts_ = nullptr;
+  telemetry::Counter* breaker_opens_ = nullptr;
+  telemetry::Counter* injected_send_faults_ = nullptr;
+  telemetry::Counter* injected_dup_frames_ = nullptr;
+  telemetry::Gauge* queue_depth_gauge_ = nullptr;
+  telemetry::Gauge* breaker_state_gauge_ = nullptr;
+  telemetry::Histogram* delivery_ns_ = nullptr;
+};
+
+}  // namespace nitro::xport

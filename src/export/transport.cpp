@@ -1,0 +1,225 @@
+#include "export/transport.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "common/io.hpp"
+
+namespace nitro::xport {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+int remaining_ms(clock::time_point deadline) {
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+      deadline - clock::now());
+  return left.count() < 0 ? 0 : static_cast<int>(left.count());
+}
+
+bool set_nonblocking(int fd, bool on) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return false;
+  return ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK)) == 0;
+}
+
+bool fill_sockaddr(const Endpoint& ep, sockaddr_storage& ss, socklen_t& len) {
+  std::memset(&ss, 0, sizeof ss);
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    auto* in = reinterpret_cast<sockaddr_in*>(&ss);
+    in->sin_family = AF_INET;
+    in->sin_port = htons(ep.port);
+    if (::inet_pton(AF_INET, ep.host.c_str(), &in->sin_addr) != 1) return false;
+    len = sizeof(sockaddr_in);
+    return true;
+  }
+  auto* un = reinterpret_cast<sockaddr_un*>(&ss);
+  un->sun_family = AF_UNIX;
+  if (ep.path.empty() || ep.path.size() >= sizeof(un->sun_path)) return false;
+  std::memcpy(un->sun_path, ep.path.c_str(), ep.path.size() + 1);
+  len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + ep.path.size() + 1);
+  return true;
+}
+
+}  // namespace
+
+std::string Endpoint::to_string() const {
+  if (kind == Kind::kTcp) return "tcp:" + host + ":" + std::to_string(port);
+  return "unix:" + path;
+}
+
+std::optional<Endpoint> parse_endpoint(const std::string& spec) {
+  Endpoint ep;
+  if (spec.rfind("unix:", 0) == 0) {
+    ep.kind = Endpoint::Kind::kUnix;
+    ep.path = spec.substr(5);
+    if (ep.path.empty()) return std::nullopt;
+    return ep;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const std::string rest = spec.substr(4);
+    const auto colon = rest.find_last_of(':');
+    if (colon == std::string::npos || colon == 0 || colon + 1 >= rest.size()) {
+      return std::nullopt;
+    }
+    ep.kind = Endpoint::Kind::kTcp;
+    ep.host = rest.substr(0, colon);
+    char* end = nullptr;
+    const unsigned long port = std::strtoul(rest.c_str() + colon + 1, &end, 10);
+    if (end == nullptr || *end != '\0' || port > 65535) return std::nullopt;
+    ep.port = static_cast<std::uint16_t>(port);
+    return ep;
+  }
+  return std::nullopt;
+}
+
+Socket& Socket::operator=(Socket&& o) noexcept {
+  if (this != &o) {
+    close();
+    fd_ = o.fd_;
+    o.fd_ = -1;
+  }
+  return *this;
+}
+
+void Socket::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool Socket::send_all(std::span<const std::uint8_t> bytes, int timeout_ms) noexcept {
+  if (fd_ < 0) return false;
+  const auto deadline = clock::now() + std::chrono::milliseconds(timeout_ms);
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const int ready = io::poll_fd(fd_, POLLOUT, remaining_ms(deadline));
+    if (ready <= 0) return false;  // timeout or poll error
+    const ssize_t n =
+        ::send(fd_, bytes.data() + off, bytes.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR || errno == EAGAIN || errno == EWOULDBLOCK) continue;
+      return false;
+    }
+    off += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+Socket::RecvResult Socket::recv_some(std::uint8_t* buf, std::size_t cap,
+                                     int timeout_ms, std::size_t* got) noexcept {
+  if (fd_ < 0) return RecvResult::kError;
+  const int ready = io::poll_fd(fd_, POLLIN, timeout_ms);
+  if (ready < 0) return RecvResult::kError;
+  if (ready == 0) return RecvResult::kTimeout;
+  for (;;) {
+    const ssize_t n = ::recv(fd_, buf, cap, 0);
+    if (n > 0) {
+      *got = static_cast<std::size_t>(n);
+      return RecvResult::kData;
+    }
+    if (n == 0) return RecvResult::kClosed;
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return RecvResult::kTimeout;
+    return RecvResult::kError;
+  }
+}
+
+Socket connect_endpoint(const Endpoint& ep, int timeout_ms) {
+  sockaddr_storage ss;
+  socklen_t len = 0;
+  if (!fill_sockaddr(ep, ss, len)) return Socket();
+  const int domain = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return Socket();
+  Socket sock(fd);
+  if (!set_nonblocking(fd, true)) return Socket();
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&ss), len) != 0) {
+    if (errno != EINPROGRESS && errno != EAGAIN) return Socket();
+    if (io::poll_fd(fd, POLLOUT, timeout_ms) <= 0) return Socket();
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0 || err != 0) {
+      return Socket();
+    }
+  }
+  return sock;  // left non-blocking: send/recv poll first
+}
+
+bool Listener::open(const Endpoint& ep) {
+  close();
+  sockaddr_storage ss;
+  socklen_t len = 0;
+  if (ep.kind == Endpoint::Kind::kUnix) {
+    ::unlink(ep.path.c_str());  // stale socket file must not block restart
+  }
+  if (!fill_sockaddr(ep, ss, len)) return false;
+  const int domain = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  const int fd = ::socket(domain, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  }
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&ss), len) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  if (ep.kind == Endpoint::Kind::kTcp) {
+    sockaddr_in bound{};
+    socklen_t blen = sizeof bound;
+    if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
+      bound_port_ = ntohs(bound.sin_port);
+    }
+  } else {
+    unlink_path_ = ep.path;
+  }
+  fd_ = fd;
+  return true;
+}
+
+Socket Listener::accept_conn(int timeout_ms) {
+  if (fd_ < 0) return Socket();
+  if (io::poll_fd(fd_, POLLIN, timeout_ms) <= 0) return Socket();
+  for (;;) {
+    const int cfd = ::accept(fd_, nullptr, nullptr);
+    if (cfd >= 0) {
+      Socket s(cfd);
+      // Accepted sockets inherit blocking mode on Linux; make explicit.
+      const int flags = ::fcntl(cfd, F_GETFL, 0);
+      if (flags >= 0) ::fcntl(cfd, F_SETFL, flags | O_NONBLOCK);
+      return s;
+    }
+    if (errno == EINTR) continue;
+    return Socket();
+  }
+}
+
+void Listener::close() noexcept {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!unlink_path_.empty()) {
+    ::unlink(unlink_path_.c_str());
+    unlink_path_.clear();
+  }
+  bound_port_ = 0;
+}
+
+}  // namespace nitro::xport

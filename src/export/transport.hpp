@@ -1,0 +1,95 @@
+// Minimal socket transport for the epoch-export pipeline: TCP and
+// Unix-domain stream sockets, all operations bounded by timeouts.
+//
+// The exporter must never hang on a misbehaving peer — a connect that
+// blackholes, a receive window that stops draining, an ack that never
+// comes.  Every call here is non-blocking under the hood (non-blocking
+// connect + poll; poll-before-write; poll-before-read) and returns within
+// its timeout so the retry/backoff/circuit-breaker ladder above stays in
+// control.  EINTR and short transfers are handled by common/io.hpp.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+namespace nitro::xport {
+
+struct Endpoint {
+  enum class Kind { kTcp, kUnix };
+  Kind kind = Kind::kTcp;
+  std::string host;         // kTcp
+  std::uint16_t port = 0;   // kTcp (0 = ephemeral, listeners only)
+  std::string path;         // kUnix
+
+  std::string to_string() const;
+};
+
+/// Parse "tcp:HOST:PORT" or "unix:PATH".  Returns nullopt (never throws)
+/// on a malformed spec so CLI code can print usage.
+std::optional<Endpoint> parse_endpoint(const std::string& spec);
+
+/// A connected stream socket (client side or accepted).  Move-only owner
+/// of the fd.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { close(); }
+  Socket(Socket&& o) noexcept : fd_(o.fd_) { o.fd_ = -1; }
+  Socket& operator=(Socket&& o) noexcept;
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  int fd() const noexcept { return fd_; }
+  void close() noexcept;
+
+  /// Send all of `bytes` within `timeout_ms` (wall clock across the whole
+  /// buffer).  False on error, peer close or timeout.
+  bool send_all(std::span<const std::uint8_t> bytes, int timeout_ms) noexcept;
+
+  enum class RecvResult { kData, kTimeout, kClosed, kError };
+
+  /// Receive up to `cap` bytes within `timeout_ms`; `*got` is set on kData.
+  RecvResult recv_some(std::uint8_t* buf, std::size_t cap, int timeout_ms,
+                       std::size_t* got) noexcept;
+
+ private:
+  int fd_ = -1;
+};
+
+/// Connect with a bounded timeout (non-blocking connect + poll).  Returns
+/// an invalid Socket on refusal, unreachability or timeout.
+Socket connect_endpoint(const Endpoint& ep, int timeout_ms);
+
+/// Listening socket.  For tcp:HOST:0 the kernel picks a port; bound_port()
+/// reports it so tests can listen ephemerally.
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener() { close(); }
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Bind + listen.  Unix paths are unlinked first (stale socket files
+  /// from a crashed collector must not block restart).  False on failure.
+  bool open(const Endpoint& ep);
+
+  /// Accept one connection, waiting at most `timeout_ms`.  Invalid Socket
+  /// on timeout or error — callers loop, checking their stop flag.
+  Socket accept_conn(int timeout_ms);
+
+  void close() noexcept;
+
+  bool valid() const noexcept { return fd_ >= 0; }
+  std::uint16_t bound_port() const noexcept { return bound_port_; }
+
+ private:
+  int fd_ = -1;
+  std::uint16_t bound_port_ = 0;
+  std::string unlink_path_;  // unix socket file removed on close
+};
+
+}  // namespace nitro::xport

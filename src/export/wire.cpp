@@ -1,0 +1,121 @@
+#include "export/wire.hpp"
+
+#include <cstring>
+#include <stdexcept>
+
+namespace nitro::xport {
+
+using control::ByteReader;
+using control::ByteWriter;
+using control::kFrameHeaderBytes;
+
+std::vector<std::uint8_t> encode_epoch(const EpochMessage& msg) {
+  ByteWriter w;
+  w.put_u32(kEpochMsgMagic);
+  w.put_u32(kWireVersion);
+  w.put_u64(msg.source_id);
+  w.put_u64(msg.seq_first);
+  w.put_u64(msg.seq_last);
+  w.put_u64(msg.span.first);
+  w.put_u64(msg.span.last);
+  w.put_i64(msg.packets);
+  w.put_blob(msg.snapshot);
+  return control::seal_frame(w.bytes());
+}
+
+std::vector<std::uint8_t> encode_ack(const AckMessage& ack) {
+  ByteWriter w;
+  w.put_u32(kAckMsgMagic);
+  w.put_u32(kWireVersion);
+  w.put_u64(ack.source_id);
+  w.put_u64(ack.seq_last);
+  w.put_u8(static_cast<std::uint8_t>(ack.status));
+  return control::seal_frame(w.bytes());
+}
+
+EpochMessage decode_epoch(std::span<const std::uint8_t> frame) {
+  ByteReader r(control::open_frame(frame));
+  if (r.get_u32() != kEpochMsgMagic) {
+    throw std::invalid_argument("epoch msg: bad magic");
+  }
+  const std::uint32_t version = r.get_u32();
+  if (version != kWireVersion) {
+    throw std::invalid_argument("epoch msg: unsupported version " +
+                                std::to_string(version));
+  }
+  EpochMessage msg;
+  msg.source_id = r.get_u64();
+  msg.seq_first = r.get_u64();
+  msg.seq_last = r.get_u64();
+  msg.span.first = r.get_u64();
+  msg.span.last = r.get_u64();
+  msg.packets = r.get_i64();
+  msg.snapshot = r.get_blob();
+  if (!r.exhausted()) {
+    throw std::invalid_argument("epoch msg: trailing bytes");
+  }
+  if (msg.seq_first == 0 || msg.seq_first > msg.seq_last) {
+    throw std::invalid_argument("epoch msg: bad sequence range");
+  }
+  if (msg.span.first > msg.span.last) {
+    throw std::invalid_argument("epoch msg: bad epoch span");
+  }
+  // The sequence range and the epoch span both count coalesced epochs;
+  // a mismatch means a corrupt or forged header the CRC happened to bless.
+  if (msg.seq_last - msg.seq_first != msg.span.last - msg.span.first) {
+    throw std::invalid_argument("epoch msg: sequence/span width mismatch");
+  }
+  return msg;
+}
+
+AckMessage decode_ack(std::span<const std::uint8_t> frame) {
+  ByteReader r(control::open_frame(frame));
+  if (r.get_u32() != kAckMsgMagic) {
+    throw std::invalid_argument("ack msg: bad magic");
+  }
+  const std::uint32_t version = r.get_u32();
+  if (version != kWireVersion) {
+    throw std::invalid_argument("ack msg: unsupported version " +
+                                std::to_string(version));
+  }
+  AckMessage ack;
+  ack.source_id = r.get_u64();
+  ack.seq_last = r.get_u64();
+  const std::uint8_t status = r.get_u8();
+  if (!r.exhausted()) {
+    throw std::invalid_argument("ack msg: trailing bytes");
+  }
+  if (status < static_cast<std::uint8_t>(AckStatus::kApplied) ||
+      status > static_cast<std::uint8_t>(AckStatus::kOverlapDropped)) {
+    throw std::invalid_argument("ack msg: unknown status");
+  }
+  ack.status = static_cast<AckStatus>(status);
+  return ack;
+}
+
+std::uint32_t peek_message_magic(std::span<const std::uint8_t> frame) {
+  const auto payload = control::open_frame(frame);
+  if (payload.size() < 4) {
+    throw std::invalid_argument("wire msg: payload too short for magic");
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, payload.data(), sizeof magic);
+  return magic;
+}
+
+bool FrameAssembler::next_frame(std::vector<std::uint8_t>& out) {
+  if (buf_.size() < kFrameHeaderBytes) return false;
+  // Throws on bad magic/version: a byte stream cannot resync after
+  // garbage, so the connection is poisoned and the caller drops it.
+  const control::FrameHeader h = control::parse_frame_header(buf_);
+  if (h.payload_len > max_frame_bytes_) {
+    throw std::invalid_argument("frame: oversized payload (corrupt length?)");
+  }
+  const std::size_t total = kFrameHeaderBytes + static_cast<std::size_t>(h.payload_len);
+  if (buf_.size() < total) return false;
+  out.assign(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(total));
+  return true;
+}
+
+}  // namespace nitro::xport

@@ -1,0 +1,108 @@
+// Wire messages of the network-wide aggregation layer (DESIGN.md §11).
+//
+// Two message kinds travel over a monitor->collector byte stream, each
+// wrapped in the codec's versioned CRC-32 frame (control/codec.hpp) so
+// the stream shares the checkpoint/transfer armor — truncation, bit rot
+// and torn buffers are rejected, never half-applied:
+//
+//   EpochMessage  monitor -> collector.  One sealed sketch snapshot plus
+//                 delivery metadata: the sender's source id, a contiguous
+//                 1-based sequence range [seq_first, seq_last] (a range
+//                 wider than one element means backlogged epochs were
+//                 coalesced into this snapshot), the covered epoch span,
+//                 and the packet total for cross-checks.
+//   AckMessage    collector -> monitor.  Acknowledges everything up to
+//                 seq_last for the source; the exporter holds an epoch in
+//                 its queue until acked, giving at-least-once delivery.
+//                 The collector deduplicates by sequence range, so
+//                 redelivery is idempotent (at-least-once + idempotent =
+//                 effectively-once for the merged counters).
+//
+// FrameAssembler turns an arbitrary byte stream (TCP/Unix sockets chunk
+// however they like) back into whole sealed frames, with a hard cap on
+// the frame size so a corrupt length field cannot balloon memory.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "control/codec.hpp"
+#include "core/epoch_span.hpp"
+
+namespace nitro::xport {
+
+inline constexpr std::uint32_t kEpochMsgMagic = 0x4e45504du;  // "NEPM"
+inline constexpr std::uint32_t kAckMsgMagic = 0x4e45504bu;    // "NEPK"
+inline constexpr std::uint32_t kWireVersion = 1;
+
+/// Frames larger than this are treated as stream corruption (a UnivMon
+/// snapshot at paper scale is a few MB; 64 MiB leaves generous headroom).
+inline constexpr std::size_t kDefaultMaxFrameBytes = 64u << 20;
+
+struct EpochMessage {
+  std::uint64_t source_id = 0;
+  std::uint64_t seq_first = 1;  // 1-based, inclusive
+  std::uint64_t seq_last = 1;   // inclusive; > seq_first after coalescing
+  core::EpochSpan span;
+  std::int64_t packets = 0;
+  std::vector<std::uint8_t> snapshot;  // sealed sketch snapshot (codec frame)
+
+  std::uint64_t epochs_covered() const noexcept { return seq_last - seq_first + 1; }
+};
+
+enum class AckStatus : std::uint8_t {
+  kApplied = 1,         // merged into the collector's view
+  kDuplicate = 2,       // already covered; dropped idempotently
+  kOverlapDropped = 3,  // partial overlap with applied range; dropped whole
+};
+
+struct AckMessage {
+  std::uint64_t source_id = 0;
+  std::uint64_t seq_last = 0;  // everything <= seq_last is settled
+  AckStatus status = AckStatus::kApplied;
+};
+
+/// Serialize to a sealed frame ready for the socket.
+std::vector<std::uint8_t> encode_epoch(const EpochMessage& msg);
+std::vector<std::uint8_t> encode_ack(const AckMessage& ack);
+
+/// Validate (CRC frame + inner magic/version/sequence sanity) and decode.
+/// Throws std::invalid_argument with a specific reason on any corruption.
+EpochMessage decode_epoch(std::span<const std::uint8_t> frame);
+AckMessage decode_ack(std::span<const std::uint8_t> frame);
+
+/// Is this sealed frame an epoch message (vs an ack)?  Peeks the inner
+/// magic without full validation; throws like open_frame on a bad frame.
+std::uint32_t peek_message_magic(std::span<const std::uint8_t> frame);
+
+/// Incremental reassembly of sealed frames from a byte stream.
+///
+///   FrameAssembler fa;
+///   fa.feed(bytes_from_socket);
+///   std::vector<std::uint8_t> frame;
+///   while (fa.next_frame(frame)) { ... open/decode frame ... }
+///
+/// next_frame() returns complete frames (header + payload) in arrival
+/// order.  A malformed header (bad magic/version, oversized length)
+/// throws std::invalid_argument: framing on a byte stream cannot resync
+/// after garbage, so the caller must drop the connection.
+class FrameAssembler {
+ public:
+  explicit FrameAssembler(std::size_t max_frame_bytes = kDefaultMaxFrameBytes)
+      : max_frame_bytes_(max_frame_bytes) {}
+
+  void feed(std::span<const std::uint8_t> bytes) {
+    buf_.insert(buf_.end(), bytes.begin(), bytes.end());
+  }
+
+  bool next_frame(std::vector<std::uint8_t>& out);
+
+  std::size_t buffered_bytes() const noexcept { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  std::size_t max_frame_bytes_;
+};
+
+}  // namespace nitro::xport

@@ -50,6 +50,9 @@ enum class Site : std::uint8_t {
   kDaemonClock,      // packet timestamps entering the daemon
   kCheckpointWrite,  // CheckpointStore::save, before the tmp write
   kCheckpointRead,   // CheckpointStore::load, after reading a file
+  kExportConnect,    // EpochExporter, before each connect attempt
+  kExportSend,       // EpochExporter, before each epoch frame send
+  kCollectorIngest,  // collector connection, per decoded epoch frame
   kSiteCount_,       // sentinel
 };
 
@@ -63,6 +66,9 @@ inline const char* to_string(Site s) noexcept {
     case Site::kDaemonClock: return "daemon_clock";
     case Site::kCheckpointWrite: return "checkpoint_write";
     case Site::kCheckpointRead: return "checkpoint_read";
+    case Site::kExportConnect: return "export_connect";
+    case Site::kExportSend: return "export_send";
+    case Site::kCollectorIngest: return "collector_ingest";
     case Site::kSiteCount_: break;
   }
   return "unknown";
@@ -79,6 +85,7 @@ enum class Action : std::uint8_t {
   kTornWrite,  // checkpoint save: persist only `param` bytes of the frame
   kCorrupt,    // checkpoint read: flip bits (seeded) before validation
   kClockSkew,  // param = ns offset added to the timestamp (as int64)
+  kDuplicate,  // exporter: transmit the epoch frame twice (dedup test)
 };
 
 inline constexpr std::uint32_t kAnyLane = 0xffffffffu;
@@ -139,6 +146,30 @@ class Schedule {
                        std::int64_t skew_ns) {
     return add({Site::kDaemonClock, at_hit, every, kAnyLane, Action::kClockSkew,
                 static_cast<std::uint64_t>(skew_ns)});
+  }
+  // Export-path injections (lane = exporter source id, truncated to u32,
+  // so per-monitor rules compose in multi-source tests).
+  Schedule& fail_export_connect(std::uint64_t at_hit, std::uint64_t every = 0,
+                                std::uint32_t lane = kAnyLane) {
+    return add({Site::kExportConnect, at_hit, every, lane, Action::kReject, 0});
+  }
+  Schedule& fail_export_send(std::uint64_t at_hit, std::uint64_t every = 0,
+                             std::uint32_t lane = kAnyLane) {
+    return add({Site::kExportSend, at_hit, every, lane, Action::kReject, 0});
+  }
+  Schedule& stall_export_send(std::uint64_t at_hit, std::uint64_t ns,
+                              std::uint64_t every = 0) {
+    return add({Site::kExportSend, at_hit, every, kAnyLane, Action::kStall, ns});
+  }
+  Schedule& duplicate_export_send(std::uint64_t at_hit, std::uint64_t every = 0,
+                                  std::uint32_t lane = kAnyLane) {
+    return add({Site::kExportSend, at_hit, every, lane, Action::kDuplicate, 0});
+  }
+  Schedule& drop_collector_frame(std::uint64_t at_hit, std::uint64_t every = 0) {
+    return add({Site::kCollectorIngest, at_hit, every, kAnyLane, Action::kReject, 0});
+  }
+  Schedule& kill_collector_conn(std::uint64_t at_hit) {
+    return add({Site::kCollectorIngest, at_hit, 0, kAnyLane, Action::kDie, 0});
   }
 
   /// Called by the woven fault points.  Thread-safe; returns the action to

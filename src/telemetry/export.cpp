@@ -7,6 +7,9 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstring>
+#include <span>
+
+#include "common/io.hpp"
 
 namespace nitro::telemetry {
 
@@ -239,16 +242,12 @@ std::string to_json(const Registry& registry, bool indent) {
 }
 
 bool write_file(const std::string& path, const std::string& text) {
-  const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (!f) return false;
-  const bool ok = std::fwrite(text.data(), 1, text.size(), f) == text.size();
-  std::fclose(f);
-  if (!ok) {
-    std::remove(tmp.c_str());
-    return false;
-  }
-  return std::rename(tmp.c_str(), path.c_str()) == 0;
+  // Same durability recipe as the checkpoint store (tmp + fsync + rename):
+  // a crash mid-write leaves either the previous complete snapshot or the
+  // new one, never a torn stats file for a scraper to choke on.
+  return io::atomic_write_file(
+      path, std::span<const std::uint8_t>(
+                reinterpret_cast<const std::uint8_t*>(text.data()), text.size()));
 }
 
 }  // namespace nitro::telemetry

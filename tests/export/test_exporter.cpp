@@ -1,0 +1,352 @@
+// Exporter resilience suite (DESIGN.md §11): backoff ceiling, circuit
+// breaker transitions, backlog coalescing equivalence, and clean resync
+// when a dead collector comes back.
+#include "export/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "control/codec.hpp"
+#include "export/collector.hpp"
+#include "fault/fault.hpp"
+#include "telemetry/registry.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::xport {
+namespace {
+
+using trace::flow_key_for_rank;
+
+sketch::UnivMonConfig um_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 4;
+  cfg.depth = 3;
+  cfg.top_width = 256;
+  cfg.min_width = 128;
+  cfg.heap_capacity = 64;
+  return cfg;
+}
+
+std::vector<std::uint8_t> snapshot_of_epoch(int epoch, int packets_per_key) {
+  sketch::UnivMon um(um_config(), 7);
+  for (int i = 0; i < 40; ++i) {
+    um.update(flow_key_for_rank(i, epoch + 1), packets_per_key);
+  }
+  return control::snapshot_univmon(um);
+}
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+// --- backoff ----------------------------------------------------------------
+
+TEST(Backoff, NeverExceedsCeilingAndNeverGoesBelowHalf) {
+  SplitMix64 rng(123);
+  const std::uint64_t base = 2'000'000, max = 500'000'000;
+  for (std::uint32_t attempt = 1; attempt < 80; ++attempt) {
+    for (int trial = 0; trial < 50; ++trial) {
+      const std::uint64_t d = backoff_delay_ns(attempt, base, max, rng);
+      EXPECT_LE(d, max) << "attempt " << attempt;
+      EXPECT_GE(d, base / 2) << "attempt " << attempt;
+    }
+  }
+}
+
+TEST(Backoff, GrowsExponentiallyThenSaturates) {
+  SplitMix64 rng(9);
+  const std::uint64_t base = 1'000'000, max = 64'000'000;
+  // Deterministic lower bound: delay for attempt a is >= 2^(a-1)*base/2.
+  EXPECT_GE(backoff_delay_ns(3, base, max, rng), 2'000'000u);
+  EXPECT_GE(backoff_delay_ns(5, base, max, rng), 8'000'000u);
+  // Far past the ceiling, including the shift-overflow regime.
+  for (const std::uint32_t attempt : {8u, 20u, 63u, 64u, 65u, 1000u}) {
+    const std::uint64_t d = backoff_delay_ns(attempt, base, max, rng);
+    EXPECT_GE(d, max / 2);
+    EXPECT_LE(d, max);
+  }
+}
+
+TEST(Backoff, DegenerateConfigsAreClamped) {
+  SplitMix64 rng(4);
+  EXPECT_GE(backoff_delay_ns(1, 0, 0, rng), 1u);         // zero base
+  EXPECT_LE(backoff_delay_ns(10, 1000, 10, rng), 1000u); // max < base
+}
+
+// --- circuit breaker --------------------------------------------------------
+
+TEST(CircuitBreaker, OpensAfterThresholdAndProbesAfterCooldown) {
+  CircuitBreaker br(3, 1000);
+  std::uint64_t now = 0;
+  // Two failures: still closed.
+  br.record_failure(now);
+  br.record_failure(now);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_TRUE(br.allow_attempt(now));
+  // Third: open, attempts refused until the cooldown elapses.
+  br.record_failure(now);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.opens(), 1u);
+  EXPECT_FALSE(br.allow_attempt(now + 999));
+  // Cooldown elapsed: exactly one half-open probe is let through.
+  EXPECT_TRUE(br.allow_attempt(now + 1000));
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kHalfOpen);
+  // Probe succeeds: closed, failure streak reset.
+  br.record_success();
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kClosed);
+  EXPECT_EQ(br.consecutive_failures(), 0u);
+}
+
+TEST(CircuitBreaker, FailedProbeReopensImmediately) {
+  CircuitBreaker br(3, 1000);
+  for (int i = 0; i < 3; ++i) br.record_failure(0);
+  ASSERT_TRUE(br.allow_attempt(1000));  // half-open probe
+  br.record_failure(2000);              // probe failed
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+  EXPECT_EQ(br.opens(), 2u);
+  EXPECT_FALSE(br.allow_attempt(2999));
+  EXPECT_TRUE(br.allow_attempt(3000));
+}
+
+TEST(CircuitBreaker, ZeroThresholdBehavesAsOne) {
+  CircuitBreaker br(0, 100);
+  br.record_failure(0);
+  EXPECT_EQ(br.state(), CircuitBreaker::State::kOpen);
+}
+
+// --- backlog coalescing -----------------------------------------------------
+
+TEST(Coalescing, MergedSnapshotEqualsSumOfIndividualEpochs) {
+  // Queue capacity 2 with 5 published epochs and no sender running: the
+  // exporter must coalesce down rather than drop, and the coalesced
+  // snapshot must answer every query exactly like the sum of its parts.
+  ExporterConfig cfg;
+  cfg.endpoint = *parse_endpoint("tcp:127.0.0.1:1");  // never dialed
+  cfg.queue_capacity = 2;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+
+  sketch::UnivMon reference(um_config(), 7);
+  const int epochs = 5;
+  for (int e = 0; e < epochs; ++e) {
+    for (int i = 0; i < 40; ++i) reference.update(flow_key_for_rank(i, e + 1), e + 1);
+    exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)), 40 * (e + 1),
+                     snapshot_of_epoch(e, e + 1));
+  }
+
+  EXPECT_LE(exporter.queue_depth(), 2u);
+  const auto pending = exporter.pending_messages();
+  ASSERT_FALSE(pending.empty());
+
+  // Sequence ranges must tile [1, epochs] contiguously — coalescing may
+  // never lose or duplicate an epoch.
+  std::uint64_t expect_next = 1;
+  std::int64_t packets = 0;
+  sketch::UnivMon rebuilt(um_config(), 7);
+  for (const auto& msg : pending) {
+    EXPECT_EQ(msg.seq_first, expect_next);
+    expect_next = msg.seq_last + 1;
+    packets += msg.packets;
+    sketch::UnivMon part(um_config(), 7);
+    control::load_univmon(msg.snapshot, part);
+    rebuilt.merge(part);
+  }
+  EXPECT_EQ(expect_next, static_cast<std::uint64_t>(epochs) + 1);
+
+  // Lossless counters: the rebuilt view answers exactly like the reference.
+  EXPECT_EQ(packets, reference.total());
+  EXPECT_EQ(rebuilt.total(), reference.total());
+  for (int i = 0; i < 40; ++i) {
+    for (int e = 0; e < epochs; ++e) {
+      const FlowKey k = flow_key_for_rank(i, e + 1);
+      EXPECT_EQ(rebuilt.query(k), reference.query(k));
+    }
+  }
+  // Entropy derives from the per-level top-k heaps, whose membership under
+  // capacity eviction depends on offer order — merge-approximate, unlike
+  // the counters above which are merge-exact.
+  EXPECT_NEAR(rebuilt.estimate_entropy(), reference.estimate_entropy(),
+              0.1 * reference.estimate_entropy());
+
+  // The front message's span covers the coalesced epochs.
+  EXPECT_EQ(pending.front().span.first, 0u);
+  EXPECT_EQ(pending.front().epochs_covered(),
+            pending.front().span.count());
+}
+
+TEST(Coalescing, TelemetryCountsMergesAndAbsorbedEpochs) {
+  ExporterConfig cfg;
+  cfg.endpoint = *parse_endpoint("tcp:127.0.0.1:1");
+  cfg.queue_capacity = 2;
+  telemetry::Registry registry;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.attach_telemetry(registry, "nitro_export");
+  for (int e = 0; e < 6; ++e) {
+    exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)), 40,
+                     snapshot_of_epoch(e, 1));
+  }
+  EXPECT_EQ(registry.counter("nitro_export_published_epochs_total").value(), 6u);
+  EXPECT_GE(registry.counter("nitro_export_coalesce_merges_total").value(), 4u);
+  EXPECT_GE(registry.counter("nitro_export_coalesced_epochs_total").value(), 4u);
+}
+
+// --- delivery against a live collector --------------------------------------
+
+Endpoint loopback_listener() { return *parse_endpoint("tcp:127.0.0.1:0"); }
+
+CollectorConfig collector_config() {
+  CollectorConfig cfg;
+  cfg.um_cfg = um_config();
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(ExporterDelivery, DeliversAndDrainsAgainstLiveCollector) {
+  CollectorServer server(collector_config(), loopback_listener());
+  ASSERT_TRUE(server.start());
+
+  ExporterConfig cfg;
+  cfg.endpoint = server.endpoint();
+  cfg.source_id = 3;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.start();
+  for (int e = 0; e < 4; ++e) {
+    exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)), 40,
+                     snapshot_of_epoch(e, 1));
+  }
+  ASSERT_TRUE(exporter.flush(10'000));
+  EXPECT_EQ(exporter.epochs_acked(), 4u);
+  exporter.stop();
+
+  EXPECT_EQ(server.core().epochs_applied(), 4u);
+  const auto sources = server.core().sources(steady_now_ns());
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].source_id, 3u);
+  EXPECT_EQ(sources[0].packets, 160);
+  EXPECT_EQ(sources[0].duplicates, 0u);
+  server.stop();
+}
+
+TEST(ExporterDelivery, ResyncsAfterCollectorComesBackAndRetriesAreCounted) {
+  // Phase 1: no collector — deliveries fail, retries accumulate, the
+  // breaker opens (threshold 2, short cooldown so the test stays fast).
+  Endpoint ep = *parse_endpoint("tcp:127.0.0.1:0");
+  {
+    // Reserve a concrete ephemeral port by briefly listening on it.
+    Listener probe;
+    ASSERT_TRUE(probe.open(ep));
+    ep.port = probe.bound_port();
+  }
+
+  ExporterConfig cfg;
+  cfg.endpoint = ep;
+  cfg.source_id = 5;
+  cfg.connect_timeout_ms = 200;
+  cfg.backoff_base_ns = 1'000'000;
+  cfg.backoff_max_ns = 20'000'000;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_cooldown_ns = 50'000'000;
+  telemetry::Registry registry;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.attach_telemetry(registry, "nitro_export");
+  exporter.start();
+  exporter.publish(core::EpochSpan::single(0), 40, snapshot_of_epoch(0, 1));
+  exporter.publish(core::EpochSpan::single(1), 40, snapshot_of_epoch(1, 1));
+
+  // Wait until the breaker has opened at least once.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (registry.counter("nitro_export_breaker_opens_total").value() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GE(registry.counter("nitro_export_breaker_opens_total").value(), 1u);
+  EXPECT_GE(registry.counter("nitro_export_connect_failures_total").value(), 2u);
+  EXPECT_EQ(exporter.epochs_acked(), 0u);
+
+  // Phase 2: the collector appears on the same port — the exporter must
+  // recover on its own (half-open probe succeeds) and drain everything.
+  CollectorServer server(collector_config(), ep);
+  ASSERT_TRUE(server.start());
+  EXPECT_TRUE(exporter.flush(15'000));
+  EXPECT_EQ(exporter.epochs_acked(), 2u);
+  EXPECT_GE(registry.counter("nitro_export_retries_total").value(), 1u);
+  EXPECT_EQ(server.core().epochs_applied(), 2u);
+  EXPECT_EQ(exporter.breaker_state(), CircuitBreaker::State::kClosed);
+  exporter.stop();
+  server.stop();
+}
+
+TEST(ExporterDelivery, InjectedSendFaultsForceRetryWithoutDoubleCount) {
+  CollectorServer server(collector_config(), loopback_listener());
+  ASSERT_TRUE(server.start());
+
+  // Every 2nd send attempt of source 6 fails before touching the socket.
+  fault::Schedule schedule;
+  schedule.fail_export_send(/*at_hit=*/1, /*every=*/2, /*lane=*/6);
+  fault::ScopedFaultInjection guard(schedule);
+
+  ExporterConfig cfg;
+  cfg.endpoint = server.endpoint();
+  cfg.source_id = 6;
+  cfg.backoff_base_ns = 500'000;
+  cfg.backoff_max_ns = 5'000'000;
+  telemetry::Registry registry;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.attach_telemetry(registry, "nitro_export");
+  exporter.start();
+  for (int e = 0; e < 5; ++e) {
+    exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)), 40,
+                     snapshot_of_epoch(e, 1));
+  }
+  ASSERT_TRUE(exporter.flush(15'000));
+  exporter.stop();
+
+  EXPECT_GE(schedule.fired(fault::Site::kExportSend), 1u);
+  EXPECT_GE(registry.counter("nitro_export_injected_send_faults_total").value(), 1u);
+  // Despite the injected failures: every epoch applied exactly once.
+  EXPECT_EQ(server.core().epochs_applied(), 5u);
+  const auto sources = server.core().sources(steady_now_ns());
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].packets, 200);
+  server.stop();
+}
+
+TEST(ExporterDelivery, DuplicatedFramesAreDedupedByTheCollector) {
+  CollectorServer server(collector_config(), loopback_listener());
+  ASSERT_TRUE(server.start());
+
+  // Every send of source 8 transmits the frame twice.
+  fault::Schedule schedule;
+  schedule.duplicate_export_send(/*at_hit=*/1, /*every=*/1, /*lane=*/8);
+  fault::ScopedFaultInjection guard(schedule);
+
+  ExporterConfig cfg;
+  cfg.endpoint = server.endpoint();
+  cfg.source_id = 8;
+  telemetry::Registry registry;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.attach_telemetry(registry, "nitro_export");
+  exporter.start();
+  for (int e = 0; e < 3; ++e) {
+    exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)), 40,
+                     snapshot_of_epoch(e, 1));
+  }
+  ASSERT_TRUE(exporter.flush(10'000));
+  exporter.stop();
+
+  EXPECT_EQ(registry.counter("nitro_export_injected_dup_frames_total").value(), 3u);
+  // The duplicates were received, acked as duplicates, and not applied.
+  EXPECT_EQ(server.core().epochs_applied(), 3u);
+  const auto sources = server.core().sources(steady_now_ns());
+  ASSERT_EQ(sources.size(), 1u);
+  EXPECT_EQ(sources[0].packets, 120);  // exactly once despite 6 frames
+  EXPECT_GE(sources[0].duplicates, 1u);
+  server.stop();
+}
+
+}  // namespace
+}  // namespace nitro::xport

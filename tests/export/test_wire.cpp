@@ -1,0 +1,240 @@
+// Wire-format fuzz suite for the epoch-export frames (DESIGN.md §11).
+//
+// Extends the codec frame fuzzing to the new message kinds: every
+// corruption mode — truncation at each length, every single-bit flip, bad
+// magic, bad version, insane sequence ranges — must be rejected with a
+// typed error, never crash, never decode to a silently wrong message.
+// FrameAssembler must reassemble frames from arbitrary chunkings of the
+// byte stream and treat undecodable headers as poison.
+#include "export/wire.hpp"
+
+#include <gtest/gtest.h>
+
+#include "control/codec.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::xport {
+namespace {
+
+using trace::flow_key_for_rank;
+
+sketch::UnivMonConfig um_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 4;
+  cfg.depth = 3;
+  cfg.top_width = 256;
+  cfg.min_width = 128;
+  cfg.heap_capacity = 32;
+  return cfg;
+}
+
+EpochMessage sample_message() {
+  sketch::UnivMon um(um_config(), 7);
+  for (int i = 0; i < 2000; ++i) um.update(flow_key_for_rank(i % 50, 1));
+  EpochMessage msg;
+  msg.source_id = 42;
+  msg.seq_first = 5;
+  msg.seq_last = 7;  // a coalesced message covering 3 epochs
+  msg.span = {10, 12};
+  msg.packets = 2000;
+  msg.snapshot = control::snapshot_univmon(um);
+  return msg;
+}
+
+std::string decode_error(std::span<const std::uint8_t> frame) {
+  try {
+    (void)decode_epoch(frame);
+  } catch (const std::invalid_argument& e) {
+    return e.what();
+  } catch (const std::out_of_range&) {
+    return "out_of_range";
+  }
+  return "";
+}
+
+TEST(WireCodec, EpochRoundTrip) {
+  const EpochMessage msg = sample_message();
+  const auto frame = encode_epoch(msg);
+  const EpochMessage back = decode_epoch(frame);
+  EXPECT_EQ(back.source_id, msg.source_id);
+  EXPECT_EQ(back.seq_first, msg.seq_first);
+  EXPECT_EQ(back.seq_last, msg.seq_last);
+  EXPECT_EQ(back.span, msg.span);
+  EXPECT_EQ(back.packets, msg.packets);
+  EXPECT_EQ(back.snapshot, msg.snapshot);
+  EXPECT_EQ(back.epochs_covered(), 3u);
+
+  // The carried snapshot is itself loadable into a replica.
+  sketch::UnivMon replica(um_config(), 7);
+  control::load_univmon(back.snapshot, replica);
+  EXPECT_EQ(replica.total(), 2000);
+}
+
+TEST(WireCodec, AckRoundTrip) {
+  for (const auto status :
+       {AckStatus::kApplied, AckStatus::kDuplicate, AckStatus::kOverlapDropped}) {
+    AckMessage ack;
+    ack.source_id = 9;
+    ack.seq_last = 1234;
+    ack.status = status;
+    const AckMessage back = decode_ack(encode_ack(ack));
+    EXPECT_EQ(back.source_id, 9u);
+    EXPECT_EQ(back.seq_last, 1234u);
+    EXPECT_EQ(back.status, status);
+  }
+}
+
+TEST(WireCodec, PeekDistinguishesMessageKinds) {
+  EXPECT_EQ(peek_message_magic(encode_epoch(sample_message())), kEpochMsgMagic);
+  EXPECT_EQ(peek_message_magic(encode_ack(AckMessage{1, 1, AckStatus::kApplied})),
+            kAckMsgMagic);
+}
+
+TEST(WireFuzz, EveryTruncationIsRejected) {
+  const auto frame = encode_epoch(sample_message());
+  for (std::size_t n = 0; n < frame.size(); ++n) {
+    EXPECT_NE(decode_error(std::span(frame).first(n)), "") << "length " << n;
+  }
+}
+
+TEST(WireFuzz, EverySingleBitFlipIsRejectedOrHarmless) {
+  // The frame CRC covers the payload; header flips break magic/version/
+  // length checks.  Nothing may crash, and nothing may decode to a
+  // *different* message undetected.
+  const EpochMessage msg = sample_message();
+  const auto pristine = encode_epoch(msg);
+  int clean_opens = 0;
+  for (std::size_t byte = 0; byte < pristine.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      auto frame = pristine;
+      frame[byte] ^= static_cast<std::uint8_t>(1u << bit);
+      try {
+        const EpochMessage back = decode_epoch(frame);
+        // CRC-32 forgery from one flip is impossible; reaching here means
+        // the decode was of the pristine content (cannot happen — count).
+        ++clean_opens;
+        EXPECT_EQ(back.seq_first, msg.seq_first);
+      } catch (const std::invalid_argument&) {
+      } catch (const std::out_of_range&) {
+      }
+    }
+  }
+  EXPECT_EQ(clean_opens, 0);
+}
+
+TEST(WireFuzz, BadInnerMagicAndVersionAreRejectedByName) {
+  // Rebuild the inner payload with a wrong magic / version and re-seal so
+  // the CRC is *valid* — the inner validation must still reject it.
+  {
+    control::ByteWriter w;
+    w.put_u32(0x12345678);  // not kEpochMsgMagic
+    w.put_u32(kWireVersion);
+    const auto frame = control::seal_frame(w.bytes());
+    EXPECT_EQ(decode_error(frame), "epoch msg: bad magic");
+  }
+  {
+    control::ByteWriter w;
+    w.put_u32(kEpochMsgMagic);
+    w.put_u32(99);
+    w.put_u64(1);
+    w.put_u64(1);
+    w.put_u64(1);
+    w.put_u64(0);
+    w.put_u64(0);
+    w.put_i64(0);
+    w.put_blob({});
+    const auto frame = control::seal_frame(w.bytes());
+    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99");
+  }
+}
+
+TEST(WireFuzz, InsaneSequenceRangesAreRejected) {
+  auto sealed = [](std::uint64_t seq_first, std::uint64_t seq_last,
+                   std::uint64_t span_first, std::uint64_t span_last) {
+    control::ByteWriter w;
+    w.put_u32(kEpochMsgMagic);
+    w.put_u32(kWireVersion);
+    w.put_u64(77);
+    w.put_u64(seq_first);
+    w.put_u64(seq_last);
+    w.put_u64(span_first);
+    w.put_u64(span_last);
+    w.put_i64(0);
+    w.put_blob({});
+    return control::seal_frame(w.bytes());
+  };
+  EXPECT_EQ(decode_error(sealed(0, 0, 0, 0)), "epoch msg: bad sequence range");
+  EXPECT_EQ(decode_error(sealed(5, 4, 0, 0)), "epoch msg: bad sequence range");
+  EXPECT_EQ(decode_error(sealed(1, 1, 3, 2)), "epoch msg: bad epoch span");
+  // Sequence range says 2 epochs, span says 5 — a forged coalesce header.
+  EXPECT_EQ(decode_error(sealed(1, 2, 10, 14)),
+            "epoch msg: sequence/span width mismatch");
+}
+
+TEST(WireFuzz, AckUnknownStatusIsRejected) {
+  control::ByteWriter w;
+  w.put_u32(kAckMsgMagic);
+  w.put_u32(kWireVersion);
+  w.put_u64(1);
+  w.put_u64(1);
+  w.put_u8(77);  // not a valid AckStatus
+  const auto frame = control::seal_frame(w.bytes());
+  EXPECT_THROW((void)decode_ack(frame), std::invalid_argument);
+}
+
+// --- FrameAssembler ---------------------------------------------------------
+
+TEST(FrameAssembler, ReassemblesAcrossEveryChunking) {
+  const auto f1 = encode_epoch(sample_message());
+  const auto f2 = encode_ack(AckMessage{42, 7, AckStatus::kApplied});
+  std::vector<std::uint8_t> stream;
+  stream.insert(stream.end(), f1.begin(), f1.end());
+  stream.insert(stream.end(), f2.begin(), f2.end());
+
+  for (const std::size_t chunk : {1ul, 3ul, 7ul, 64ul, 1000ul, stream.size()}) {
+    FrameAssembler fa;
+    std::vector<std::vector<std::uint8_t>> frames;
+    std::vector<std::uint8_t> out;
+    for (std::size_t off = 0; off < stream.size(); off += chunk) {
+      const std::size_t n = std::min(chunk, stream.size() - off);
+      fa.feed(std::span<const std::uint8_t>(stream).subspan(off, n));
+      while (fa.next_frame(out)) frames.push_back(out);
+    }
+    ASSERT_EQ(frames.size(), 2u) << "chunk " << chunk;
+    EXPECT_EQ(frames[0], f1);
+    EXPECT_EQ(frames[1], f2);
+    EXPECT_EQ(fa.buffered_bytes(), 0u);
+  }
+}
+
+TEST(FrameAssembler, GarbageHeaderPoisonsTheStream) {
+  FrameAssembler fa;
+  std::vector<std::uint8_t> garbage(64, 0xee);
+  fa.feed(garbage);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW((void)fa.next_frame(out), std::invalid_argument);
+}
+
+TEST(FrameAssembler, OversizedLengthFieldIsRejectedBeforeBuffering) {
+  // A corrupt length field must not make the assembler wait for (and
+  // buffer) gigabytes: it is rejected as soon as the header is complete.
+  auto frame = encode_ack(AckMessage{1, 1, AckStatus::kApplied});
+  FrameAssembler fa(/*max_frame_bytes=*/16);
+  fa.feed(frame);
+  std::vector<std::uint8_t> out;
+  EXPECT_THROW((void)fa.next_frame(out), std::invalid_argument);
+}
+
+TEST(FrameAssembler, PartialHeaderWaitsForMoreBytes) {
+  const auto frame = encode_ack(AckMessage{1, 1, AckStatus::kApplied});
+  FrameAssembler fa;
+  fa.feed(std::span<const std::uint8_t>(frame).first(control::kFrameHeaderBytes - 1));
+  std::vector<std::uint8_t> out;
+  EXPECT_FALSE(fa.next_frame(out));
+  fa.feed(std::span<const std::uint8_t>(frame).subspan(control::kFrameHeaderBytes - 1));
+  EXPECT_TRUE(fa.next_frame(out));
+  EXPECT_EQ(out, frame);
+}
+
+}  // namespace
+}  // namespace nitro::xport

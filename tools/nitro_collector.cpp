@@ -1,0 +1,234 @@
+// nitro_collector — network-wide aggregation endpoint.
+//
+// Listens for epoch streams from any number of nitro_monitor instances
+// (started with --export-to), deduplicates redelivered messages by
+// sequence range so retries never double-count, merges the per-source
+// UnivMon sketches into one network-wide view, and periodically prints
+// that view: live/stale sources, merged packet totals, and the global
+// heavy hitters.  Sources that stop reporting are quarantined out of the
+// merged view until they come back.
+//
+// The sketch geometry (+ seed) must match the monitors': mergeability
+// requires identical hash functions.
+//
+// Usage:
+//   nitro_collector --listen tcp:127.0.0.1:9909|unix:/tmp/nitro.sock
+//                   [--seed N] [--hh-threshold FRAC] [--top N]
+//                   [--interval-ms N] [--staleness-ms N] [--run-for-ms N]
+//                   [--stats-out FILE] [--stats-format prom|json]
+//
+// Examples:
+//   nitro_collector --listen tcp:127.0.0.1:9909
+//   nitro_monitor --workload caida --packets 1000000 --epochs 4
+//                 --export-to tcp:127.0.0.1:9909 --source-id 1
+#include <atomic>
+#include <chrono>
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/flow_key.hpp"
+#include "export/collector.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace {
+
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true); }
+
+struct Options {
+  std::string listen = "tcp:127.0.0.1:9909";
+  std::uint64_t seed = 1;
+  double hh_threshold = 0.0005;
+  int top = 10;
+  int interval_ms = 1000;
+  std::uint64_t staleness_ms = 10'000;
+  std::uint64_t run_for_ms = 0;  // 0 = until SIGINT/SIGTERM
+  std::string stats_out;
+  std::string stats_format = "json";
+};
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s --listen tcp:HOST:PORT|unix:PATH\n"
+               "          [--seed N] [--hh-threshold FRAC] [--top N]\n"
+               "          [--interval-ms N] [--staleness-ms N] [--run-for-ms N]\n"
+               "          [--stats-out FILE] [--stats-format prom|json]\n",
+               argv0);
+}
+
+bool parse_args(int argc, char** argv, Options& opt) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        return nullptr;
+      }
+      return argv[++i];
+    };
+    const char* v = nullptr;
+    if (arg == "--listen") {
+      if (!(v = next())) return false;
+      opt.listen = v;
+    } else if (arg == "--seed") {
+      if (!(v = next())) return false;
+      opt.seed = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--hh-threshold") {
+      if (!(v = next())) return false;
+      opt.hh_threshold = std::atof(v);
+    } else if (arg == "--top") {
+      if (!(v = next())) return false;
+      opt.top = std::atoi(v);
+    } else if (arg == "--interval-ms") {
+      if (!(v = next())) return false;
+      opt.interval_ms = std::atoi(v);
+      if (opt.interval_ms < 10) opt.interval_ms = 10;
+    } else if (arg == "--staleness-ms") {
+      if (!(v = next())) return false;
+      opt.staleness_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--run-for-ms") {
+      if (!(v = next())) return false;
+      opt.run_for_ms = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--stats-out") {
+      if (!(v = next())) return false;
+      opt.stats_out = v;
+    } else if (arg == "--stats-format") {
+      if (!(v = next())) return false;
+      opt.stats_format = v;
+      if (opt.stats_format != "prom" && opt.stats_format != "json") {
+        std::fprintf(stderr, "unknown stats format '%s' (want prom|json)\n", v);
+        return false;
+      }
+    } else if (arg == "--help" || arg == "-h") {
+      usage(argv[0]);
+      return false;
+    } else {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      usage(argv[0]);
+      return false;
+    }
+  }
+  return true;
+}
+
+std::uint64_t now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void print_view(const Options& opt, nitro::xport::CollectorCore& core) {
+  const std::uint64_t now = now_ns();
+  const auto sources = core.sources(now);
+  if (sources.empty()) {
+    std::printf("[collector] no sources yet\n");
+    return;
+  }
+  std::printf("\n=== network-wide view: %zu source(s) ===\n", sources.size());
+  for (const auto& s : sources) {
+    std::printf(
+        "  src %llu: epochs [%llu..%llu] applied=%llu packets=%lld"
+        " dup=%llu gap=%llu coalesced=%llu%s\n",
+        static_cast<unsigned long long>(s.source_id),
+        static_cast<unsigned long long>(s.span.first),
+        static_cast<unsigned long long>(s.span.last),
+        static_cast<unsigned long long>(s.epochs_applied),
+        static_cast<long long>(s.packets),
+        static_cast<unsigned long long>(s.duplicates),
+        static_cast<unsigned long long>(s.gap_epochs),
+        static_cast<unsigned long long>(s.coalesced_epochs),
+        s.stale ? "  [STALE — quarantined]" : "");
+  }
+  const auto merged = core.merged_view(now);
+  const std::int64_t packets = core.merged_packets(now);
+  std::printf("merged: %lld packets | entropy %.3f bits | distinct ~%.0f flows\n",
+              static_cast<long long>(packets), merged.estimate_entropy(),
+              merged.estimate_distinct());
+  const auto threshold =
+      static_cast<std::int64_t>(opt.hh_threshold * static_cast<double>(packets));
+  int shown = 0;
+  for (const auto& h : merged.heavy_hitters(threshold)) {
+    std::printf("  HH  %-44s %10lld\n", nitro::to_string(h.key).c_str(),
+                static_cast<long long>(h.estimate));
+    if (++shown >= opt.top) break;
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace nitro;
+
+  Options opt;
+  if (!parse_args(argc, argv, opt)) return 2;
+
+  const auto ep = xport::parse_endpoint(opt.listen);
+  if (!ep) {
+    std::fprintf(stderr, "bad --listen spec '%s' (want tcp:HOST:PORT or unix:PATH)\n",
+                 opt.listen.c_str());
+    return 2;
+  }
+
+  // Must mirror nitro_monitor's sketch geometry (mergeability needs
+  // identical hashes, hence also the shared --seed).
+  xport::CollectorConfig cfg;
+  cfg.um_cfg.levels = 16;
+  cfg.um_cfg.depth = 5;
+  cfg.um_cfg.top_width = 10000;
+  cfg.um_cfg.heap_capacity = 1000;
+  cfg.seed = opt.seed;
+  cfg.staleness_ns = opt.staleness_ms * 1'000'000ULL;
+
+  telemetry::Registry registry;
+  xport::CollectorServer server(cfg, *ep);
+  server.attach_telemetry(registry, "nitro_collector");
+  if (!server.start()) {
+    std::fprintf(stderr, "failed to listen on %s\n", ep->to_string().c_str());
+    return 2;
+  }
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGTERM, on_signal);
+  std::printf("[collector] listening on %s (seed %llu, staleness %llums)\n",
+              server.endpoint().to_string().c_str(),
+              static_cast<unsigned long long>(opt.seed),
+              static_cast<unsigned long long>(opt.staleness_ms));
+
+  const std::uint64_t start = now_ns();
+  std::uint64_t last_print = start;
+  while (!g_stop.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const std::uint64_t now = now_ns();
+    if (opt.run_for_ms != 0 && now - start >= opt.run_for_ms * 1'000'000ULL) break;
+    if (now - last_print >= static_cast<std::uint64_t>(opt.interval_ms) * 1'000'000ULL) {
+      last_print = now;
+      server.core().publish_telemetry(now);
+      print_view(opt, server.core());
+      if (!opt.stats_out.empty()) {
+        const std::string text = opt.stats_format == "prom"
+                                     ? telemetry::to_prometheus(registry)
+                                     : telemetry::to_json(registry);
+        telemetry::write_file(opt.stats_out, text);
+      }
+    }
+  }
+
+  server.core().publish_telemetry(now_ns());
+  print_view(opt, server.core());
+  if (!opt.stats_out.empty()) {
+    const std::string text = opt.stats_format == "prom"
+                                 ? telemetry::to_prometheus(registry)
+                                 : telemetry::to_json(registry);
+    if (telemetry::write_file(opt.stats_out, text)) {
+      std::printf("[collector] telemetry snapshot written to %s\n",
+                  opt.stats_out.c_str());
+    }
+  }
+  server.stop();
+  return 0;
+}

@@ -48,6 +48,7 @@
 #include "common/timing.hpp"
 #include "control/checkpoint.hpp"
 #include "control/daemon.hpp"
+#include "export/exporter.hpp"
 #include "shard/shard_group.hpp"
 #include "switchsim/measurement.hpp"
 #include "switchsim/ovs_pipeline.hpp"
@@ -78,6 +79,8 @@ struct Options {
   std::string stats_format = "json";
   int stats_interval = 1;
   std::string checkpoint_dir;
+  std::string export_to;  // tcp:HOST:PORT or unix:PATH (empty = no export)
+  std::uint64_t source_id = 1;
 };
 
 void usage(const char* argv0) {
@@ -89,7 +92,8 @@ void usage(const char* argv0) {
                "          [--save-trace FILE] [--separate-thread] [--workers N]\n"
                "          [--burst N]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
-               "          [--stats-interval N] [--checkpoint-dir DIR]\n",
+               "          [--stats-interval N] [--checkpoint-dir DIR]\n"
+               "          [--export-to tcp:HOST:PORT|unix:PATH] [--source-id N]\n",
                argv0);
 }
 
@@ -170,6 +174,16 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--checkpoint-dir") {
       if (!(v = next())) return false;
       opt.checkpoint_dir = v;
+    } else if (arg == "--export-to") {
+      if (!(v = next())) return false;
+      opt.export_to = v;
+    } else if (arg == "--source-id") {
+      if (!(v = next())) return false;
+      opt.source_id = std::strtoull(v, nullptr, 10);
+      if (opt.source_id == 0) {
+        std::fprintf(stderr, "--source-id must be >= 1\n");
+        return false;
+      }
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -325,6 +339,34 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Resilient epoch export: every closed epoch's sketch snapshot streams
+  // to a collector, surviving a slow/dead/flapping peer via retry with
+  // backoff, a circuit breaker, and backlog coalescing (never blocking
+  // the epoch loop, never dropping an epoch).
+  std::unique_ptr<xport::EpochExporter> exporter;
+  if (!opt.export_to.empty()) {
+    const auto export_ep = xport::parse_endpoint(opt.export_to);
+    if (!export_ep) {
+      std::fprintf(stderr,
+                   "bad --export-to spec '%s' (want tcp:HOST:PORT or unix:PATH)\n",
+                   opt.export_to.c_str());
+      return 2;
+    }
+    xport::ExporterConfig ecfg;
+    ecfg.endpoint = *export_ep;
+    ecfg.source_id = opt.source_id;
+    exporter = std::make_unique<xport::EpochExporter>(
+        ecfg, xport::univmon_coalescer(um_cfg, opt.seed));
+    exporter->attach_telemetry(registry, "nitro_export");
+    exporter->start();
+    daemon.set_export_sink([&exporter](control::ExportedEpoch&& e) {
+      exporter->publish(e.span, e.packets, std::move(e.snapshot));
+    });
+    std::printf("exporting epochs to %s as source %llu\n",
+                export_ep->to_string().c_str(),
+                static_cast<unsigned long long>(opt.source_id));
+  }
+
   // Route the replay through the OVS-like pipeline so the per-stage cycle
   // profile (recv/parse/lookup/measurement/action) is real, not synthetic.
   const auto raws = switchsim::materialize(stream);
@@ -434,6 +476,20 @@ int main(int argc, char** argv) {
         ((e + 1) % opt.stats_interval == 0 || e == opt.epochs - 1)) {
       write_stats(opt, registry);
     }
+  }
+
+  if (exporter) {
+    // Give in-flight epochs a chance to reach the collector before exit;
+    // an unreachable collector must not wedge the monitor.
+    if (!exporter->flush(10'000)) {
+      std::fprintf(stderr,
+                   "export: %zu epoch message(s) undelivered at shutdown\n",
+                   exporter->queue_depth());
+    }
+    exporter->stop();
+    std::printf("export: %llu epoch(s) acknowledged by the collector\n",
+                static_cast<unsigned long long>(exporter->epochs_acked()));
+    if (!opt.stats_out.empty()) write_stats(opt, registry);
   }
 
   if (!opt.stats_out.empty()) {
