@@ -186,15 +186,33 @@ void CollectorServer::stop() {
   stop_.store(true, std::memory_order_relaxed);
   if (acceptor_.joinable()) acceptor_.join();
   listener_.close();
-  std::vector<std::thread> conns;
+  reap_connections(/*join_all=*/true);  // handlers exit on stop_
+  started_ = false;
+}
+
+std::size_t CollectorServer::tracked_connections() const {
+  std::lock_guard lk(conn_mu_);
+  return conns_.size();
+}
+
+void CollectorServer::reap_connections(bool join_all) {
+  // Move joinable threads out of the registry first so the (possibly
+  // blocking) joins run without conn_mu_ held.
+  std::vector<std::thread> finished;
   {
     std::lock_guard lk(conn_mu_);
-    conns.swap(conn_threads_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || it->done->load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->thread));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
   }
-  for (std::thread& t : conns) {
+  for (std::thread& t : finished) {
     if (t.joinable()) t.join();
   }
-  started_ = false;
 }
 
 Endpoint CollectorServer::endpoint() const {
@@ -231,12 +249,21 @@ std::uint64_t CollectorServer::now_ns() noexcept {
 
 void CollectorServer::accept_loop() {
   while (!stop_.load(std::memory_order_relaxed)) {
+    // Reap before (possibly) blocking in accept: handler threads of
+    // disconnected monitors are joined here, so a flaky link that
+    // reconnects forever holds a bounded number of threads.
+    reap_connections(/*join_all=*/false);
     Socket sock = listener_.accept_conn(100);
     if (!sock.valid()) continue;
     if (connections_ != nullptr) connections_->inc();
+    auto done = std::make_shared<std::atomic<bool>>(false);
     std::lock_guard lk(conn_mu_);
-    conn_threads_.emplace_back(
-        [this, s = std::move(sock)]() mutable { handle_connection(std::move(s)); });
+    conns_.push_back(Conn{
+        std::thread([this, s = std::move(sock), done]() mutable {
+          handle_connection(std::move(s));
+          done->store(true, std::memory_order_release);
+        }),
+        done});
   }
 }
 

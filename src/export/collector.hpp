@@ -14,8 +14,12 @@
 //                                          would double-count, so the
 //                                          whole message is dropped (and
 //                                          counted — the exporter never
-//                                          produces this, a forged or
-//                                          corrupt peer might)
+//                                          produces this because it
+//                                          refuses to coalesce a message
+//                                          it ever put on the wire, and
+//                                          treats this ack as a hard
+//                                          failure; a forged or corrupt
+//                                          peer might still send one)
 //   seq_first  > A + 1        applied with a gap — the missing epochs are
 //                                          counted as lost (gap_epochs)
 //
@@ -148,9 +152,26 @@ class CollectorServer {
 
   void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
 
+  /// Handler threads currently tracked (live + finished-but-unreaped).
+  /// Tests pin that a churning exporter cannot accumulate threads.
+  std::size_t tracked_connections() const;
+
  private:
+  /// One tracked handler thread; `done` is set by the thread itself just
+  /// before it exits, telling the acceptor the thread is joinable without
+  /// blocking.
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
   void accept_loop();
   void handle_connection(Socket sock);
+  /// Join and forget finished handler threads (all of them when
+  /// `join_all`, e.g. from stop() once stop_ is set).  Called from the
+  /// accept loop on every iteration so a flaky exporter that reconnects
+  /// forever cannot accumulate unjoined threads.
+  void reap_connections(bool join_all);
   static std::uint64_t now_ns() noexcept;
 
   CollectorCore* core_;                   // owned_core_ or external
@@ -160,8 +181,8 @@ class CollectorServer {
   std::atomic<bool> stop_{false};
   bool started_ = false;
   std::thread acceptor_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> conn_threads_;
+  mutable std::mutex conn_mu_;
+  std::vector<Conn> conns_;
 
   telemetry::Counter* connections_ = nullptr;
   telemetry::Counter* frames_rejected_ = nullptr;

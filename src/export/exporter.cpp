@@ -58,6 +58,9 @@ void EpochExporter::attach_telemetry(telemetry::Registry& registry,
   coalesce_failures_ = &registry.counter(
       prefix + "_coalesce_failures_total",
       "coalesce attempts that failed (queue grows past capacity instead)");
+  overlap_nacks_ = &registry.counter(
+      prefix + "_overlap_nacks_total",
+      "overlap-dropped acks treated as hard delivery failures");
   send_failures_ = &registry.counter(prefix + "_send_failures_total",
                                      "frame sends that failed or timed out");
   connect_failures_ = &registry.counter(prefix + "_connect_failures_total",
@@ -108,11 +111,9 @@ void EpochExporter::stop() {
 void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
                             std::vector<std::uint8_t> snapshot) {
   {
-    std::lock_guard lk(mu_);
-    while (queue_.size() >= cfg_.queue_capacity) {
-      const std::size_t before = queue_.size();
-      coalesce_locked();
-      if (queue_.size() == before) break;  // nothing coalescible; grow instead
+    std::unique_lock lk(mu_);
+    while (queue_.size() >= cfg_.queue_capacity && !coalescing_) {
+      if (!coalesce_backlog(lk)) break;  // nothing coalescible; grow instead
     }
     Pending p;
     p.msg.source_id = cfg_.source_id;
@@ -130,33 +131,68 @@ void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
   cv_.notify_all();
 }
 
-void EpochExporter::coalesce_locked() {
-  // Merge the two oldest entries that are not in flight.  Only the front
-  // can be in flight (the sender works strictly in order), so this is the
-  // pair at [0,1] or [1,2].
+bool EpochExporter::coalesce_backlog(std::unique_lock<std::mutex>& lk) {
+  // Merge the two oldest entries whose bytes never touched the wire.  An
+  // entry that was sent at least once may already sit in the collector's
+  // accumulator even though its ack was lost; widening it would make the
+  // retry straddle the applied boundary, which the collector must drop
+  // whole — permanent data loss.  Only the front can have been sent (the
+  // sender works strictly in order), so at most one entry is excluded.
   std::size_t i = 0;
-  while (i < queue_.size() && queue_[i].in_flight) ++i;
-  if (i + 1 >= queue_.size()) return;
-  Pending& a = queue_[i];
-  Pending& b = queue_[i + 1];
+  while (i < queue_.size() && (queue_[i].in_flight || queue_[i].ever_sent)) ++i;
+  if (i + 1 >= queue_.size()) return false;
+  // Remember the pair by identity; snapshot copies survive the unlock.
+  const std::uint64_t a_first = queue_[i].msg.seq_first;
+  const std::uint64_t a_last = queue_[i].msg.seq_last;
+  const std::uint64_t b_last = queue_[i + 1].msg.seq_last;
+  const std::vector<std::uint8_t> older = queue_[i].msg.snapshot;
+  const std::vector<std::uint8_t> newer = queue_[i + 1].msg.snapshot;
+
+  // The sketch merge is the expensive part (potentially MBs of counters);
+  // run it unlocked so the sender and the epoch loop keep moving.
+  coalescing_ = true;
+  lk.unlock();
   std::vector<std::uint8_t> merged;
+  bool merge_ok = true;
   try {
-    merged = coalescer_(a.msg.snapshot, b.msg.snapshot);
+    merged = coalescer_(older, newer);
   } catch (const std::exception&) {
+    merge_ok = false;
+  }
+  lk.lock();
+  coalescing_ = false;
+  if (!merge_ok) {
     // A failed merge must not lose an epoch: leave both entries queued and
     // let the queue exceed capacity (graceful degradation is memory, not
     // data loss).
     if (coalesce_failures_ != nullptr) coalesce_failures_->inc();
-    return;
+    return false;
   }
+
+  // Re-find the pair: while unlocked the sender may have popped entries or
+  // put the older one on the wire.  If the pair is gone or the older entry
+  // is no longer coalescible, abandon the merge (the epochs are intact in
+  // their original entries — only the merge work is wasted).
+  std::size_t j = 0;
+  while (j < queue_.size() && (queue_[j].msg.seq_first != a_first ||
+                               queue_[j].msg.seq_last != a_last)) {
+    ++j;
+  }
+  if (j + 1 >= queue_.size() || queue_[j].in_flight || queue_[j].ever_sent ||
+      queue_[j + 1].msg.seq_last != b_last) {
+    return false;
+  }
+  Pending& a = queue_[j];
+  Pending& b = queue_[j + 1];
   const std::uint64_t absorbed = b.msg.epochs_covered();
   a.msg.seq_last = b.msg.seq_last;
   a.msg.span.widen(b.msg.span);
   a.msg.packets += b.msg.packets;
   a.msg.snapshot = std::move(merged);
-  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(i) + 1);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(j) + 1);
   if (coalesce_merges_ != nullptr) coalesce_merges_->inc();
   if (coalesced_epochs_ != nullptr) coalesced_epochs_->inc(absorbed);
+  return true;
 }
 
 bool EpochExporter::flush(int timeout_ms) {
@@ -333,6 +369,14 @@ bool EpochExporter::attempt_delivery(const EpochMessage& msg) {
     });
   }
 
+  {
+    // From here on bytes may reach the collector: mark the entry sticky
+    // so publish() never widens it (see coalesce_backlog).  The front is
+    // still our entry — only the sender pops, and we are the sender.
+    std::lock_guard lk(mu_);
+    if (!queue_.empty()) queue_.front().ever_sent = true;
+  }
+
   const std::vector<std::uint8_t> frame = encode_epoch(msg);
   const int sends = action == fault::Action::kDuplicate ? 2 : 1;
   for (int s = 0; s < sends; ++s) {
@@ -362,7 +406,17 @@ bool EpochExporter::await_ack(std::uint64_t want_seq_last) {
         if (peek_message_magic(frame) != kAckMsgMagic) continue;
         const AckMessage ack = decode_ack(frame);
         if (ack.source_id != cfg_.source_id) continue;
-        if (ack.seq_last >= want_seq_last) return true;
+        if (ack.seq_last < want_seq_last) continue;
+        if (ack.status == AckStatus::kOverlapDropped) {
+          // The collector dropped the message whole to avoid a double
+          // count.  Treating this as delivered would silently lose every
+          // epoch past its applied boundary; fail hard instead (a correct
+          // exporter never provokes this — it refuses to widen a message
+          // that was ever sent).
+          if (overlap_nacks_ != nullptr) overlap_nacks_->inc();
+          return false;
+        }
+        return true;
       }
     } catch (const std::exception&) {
       return false;  // poisoned ack stream: drop the connection

@@ -15,10 +15,18 @@
 //   * the send queue is bounded: under backlog the two oldest queued
 //     epochs are *coalesced* — their sketches merged (lossless for
 //     counters, Theorem 1 holds across merges), sequence range and epoch
-//     span widened — instead of silently dropping an epoch;
+//     span widened — instead of silently dropping an epoch.  Only entries
+//     whose bytes never touched the wire are coalescible: a message that
+//     was sent at least once may already be applied on the collector, and
+//     widening it would make the retry straddle the collector's applied
+//     boundary (dropped whole as an overlap — data loss).  The sketch
+//     merge itself runs with the queue lock released so the epoch loop
+//     and the sender never stall behind it;
 //   * an epoch leaves the queue only when the collector acknowledged it,
 //     giving at-least-once delivery; the collector dedupes by sequence
-//     range, so redelivery never double-counts.
+//     range, so redelivery never double-counts.  An overlap-dropped ack
+//     (which a correct exporter can never provoke, see above) is treated
+//     as a hard delivery failure, never as success.
 #pragma once
 
 #include <condition_variable>
@@ -140,8 +148,9 @@ class EpochExporter {
   void stop();  // stops the sender; queued-but-unsent epochs stay queued
 
   /// Queue one closed epoch (called from the epoch loop; never blocks on
-  /// the network).  If the queue is at capacity the two oldest
-  /// non-in-flight entries are coalesced first — lossless, wider span.
+  /// the network).  If the queue is at capacity the two oldest never-sent
+  /// entries are coalesced first — lossless, wider span; the merge runs
+  /// outside the queue lock so the sender keeps draining meanwhile.
   void publish(core::EpochSpan span, std::int64_t packets,
                std::vector<std::uint8_t> snapshot);
 
@@ -161,12 +170,19 @@ class EpochExporter {
     EpochMessage msg;
     std::uint64_t enqueue_ns = 0;
     bool in_flight = false;
+    // Sticky: any byte of this message may have reached the collector.
+    // Such an entry is never coalesced — a retried wider message could
+    // straddle the collector's applied boundary and be dropped whole.
+    bool ever_sent = false;
   };
 
   void run();
   bool attempt_delivery(const EpochMessage& msg);
   bool await_ack(std::uint64_t want_seq_last);
-  void coalesce_locked();
+  /// Merge the two oldest coalescible entries; `lk` (held on entry and
+  /// exit) is released around the sketch merge.  True iff the queue
+  /// shrank by one.
+  bool coalesce_backlog(std::unique_lock<std::mutex>& lk);
   /// Sleep up to `ns`, waking early only on stop().
   void interruptible_sleep_ns(std::uint64_t ns);
   static std::uint64_t now_ns() noexcept;
@@ -181,6 +197,7 @@ class EpochExporter {
   std::uint64_t next_seq_ = 1;
   bool stop_ = false;
   bool started_ = false;
+  bool coalescing_ = false;  // a publisher is merging outside the lock
 
   std::thread sender_;
   Socket sock_;
@@ -197,6 +214,7 @@ class EpochExporter {
   telemetry::Counter* coalesce_merges_ = nullptr;
   telemetry::Counter* coalesced_epochs_ = nullptr;
   telemetry::Counter* coalesce_failures_ = nullptr;
+  telemetry::Counter* overlap_nacks_ = nullptr;
   telemetry::Counter* send_failures_ = nullptr;
   telemetry::Counter* connect_failures_ = nullptr;
   telemetry::Counter* reconnects_ = nullptr;

@@ -2,6 +2,7 @@
 
 #include <arpa/inet.h>
 #include <fcntl.h>
+#include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -32,14 +33,27 @@ bool set_nonblocking(int fd, bool on) {
   return ::fcntl(fd, F_SETFL, on ? (flags | O_NONBLOCK) : (flags & ~O_NONBLOCK)) == 0;
 }
 
-bool fill_sockaddr(const Endpoint& ep, sockaddr_storage& ss, socklen_t& len) {
+// Resolves `ep` to a socket address; `family` is the domain to pass to
+// socket(2) (AF_INET, AF_INET6 or AF_UNIX).  TCP hosts go through
+// getaddrinfo, so hostnames and IPv6 literals work, not just dotted
+// quads; the first result wins.
+bool fill_sockaddr(const Endpoint& ep, sockaddr_storage& ss, socklen_t& len,
+                   int& family) {
   std::memset(&ss, 0, sizeof ss);
   if (ep.kind == Endpoint::Kind::kTcp) {
-    auto* in = reinterpret_cast<sockaddr_in*>(&ss);
-    in->sin_family = AF_INET;
-    in->sin_port = htons(ep.port);
-    if (::inet_pton(AF_INET, ep.host.c_str(), &in->sin_addr) != 1) return false;
-    len = sizeof(sockaddr_in);
+    addrinfo hints{};
+    hints.ai_family = AF_UNSPEC;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(ep.host.c_str(), std::to_string(ep.port).c_str(), &hints,
+                      &res) != 0 ||
+        res == nullptr) {
+      return false;
+    }
+    std::memcpy(&ss, res->ai_addr, res->ai_addrlen);
+    len = res->ai_addrlen;
+    family = res->ai_family;
+    ::freeaddrinfo(res);
     return true;
   }
   auto* un = reinterpret_cast<sockaddr_un*>(&ss);
@@ -47,6 +61,7 @@ bool fill_sockaddr(const Endpoint& ep, sockaddr_storage& ss, socklen_t& len) {
   if (ep.path.empty() || ep.path.size() >= sizeof(un->sun_path)) return false;
   std::memcpy(un->sun_path, ep.path.c_str(), ep.path.size() + 1);
   len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + ep.path.size() + 1);
+  family = AF_UNIX;
   return true;
 }
 
@@ -73,6 +88,11 @@ std::optional<Endpoint> parse_endpoint(const std::string& spec) {
     }
     ep.kind = Endpoint::Kind::kTcp;
     ep.host = rest.substr(0, colon);
+    // Bracketed IPv6 literals: "tcp:[::1]:9000" -> host "::1".
+    if (ep.host.size() >= 2 && ep.host.front() == '[' && ep.host.back() == ']') {
+      ep.host = ep.host.substr(1, ep.host.size() - 2);
+    }
+    if (ep.host.empty()) return std::nullopt;
     char* end = nullptr;
     const unsigned long port = std::strtoul(rest.c_str() + colon + 1, &end, 10);
     if (end == nullptr || *end != '\0' || port > 65535) return std::nullopt;
@@ -138,8 +158,8 @@ Socket::RecvResult Socket::recv_some(std::uint8_t* buf, std::size_t cap,
 Socket connect_endpoint(const Endpoint& ep, int timeout_ms) {
   sockaddr_storage ss;
   socklen_t len = 0;
-  if (!fill_sockaddr(ep, ss, len)) return Socket();
-  const int domain = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int domain = AF_UNIX;
+  if (!fill_sockaddr(ep, ss, len, domain)) return Socket();
   const int fd = ::socket(domain, SOCK_STREAM, 0);
   if (fd < 0) return Socket();
   Socket sock(fd);
@@ -167,8 +187,8 @@ bool Listener::open(const Endpoint& ep) {
   if (ep.kind == Endpoint::Kind::kUnix) {
     ::unlink(ep.path.c_str());  // stale socket file must not block restart
   }
-  if (!fill_sockaddr(ep, ss, len)) return false;
-  const int domain = ep.kind == Endpoint::Kind::kTcp ? AF_INET : AF_UNIX;
+  int domain = AF_UNIX;
+  if (!fill_sockaddr(ep, ss, len, domain)) return false;
   const int fd = ::socket(domain, SOCK_STREAM, 0);
   if (fd < 0) return false;
   if (ep.kind == Endpoint::Kind::kTcp) {
@@ -181,10 +201,13 @@ bool Listener::open(const Endpoint& ep) {
     return false;
   }
   if (ep.kind == Endpoint::Kind::kTcp) {
-    sockaddr_in bound{};
+    sockaddr_storage bound{};
     socklen_t blen = sizeof bound;
     if (::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen) == 0) {
-      bound_port_ = ntohs(bound.sin_port);
+      bound_port_ =
+          bound.ss_family == AF_INET6
+              ? ntohs(reinterpret_cast<sockaddr_in6*>(&bound)->sin6_port)
+              : ntohs(reinterpret_cast<sockaddr_in*>(&bound)->sin_port);
     }
   } else {
     unlink_path_ = ep.path;

@@ -26,8 +26,10 @@ struct Endpoint {
   std::string to_string() const;
 };
 
-/// Parse "tcp:HOST:PORT" or "unix:PATH".  Returns nullopt (never throws)
-/// on a malformed spec so CLI code can print usage.
+/// Parse "tcp:HOST:PORT" or "unix:PATH".  HOST may be an IPv4 literal, a
+/// hostname (resolved via getaddrinfo at connect/bind time) or a
+/// bracketed IPv6 literal ("tcp:[::1]:9000").  Returns nullopt (never
+/// throws) on a malformed spec so CLI code can print usage.
 std::optional<Endpoint> parse_endpoint(const std::string& spec);
 
 /// A connected stream socket (client side or accepted).  Move-only owner

@@ -5,6 +5,9 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <thread>
+
 #include "control/codec.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/workloads.hpp"
@@ -209,6 +212,42 @@ TEST(CollectorCore, MergedViewMatchesSingleInstanceReference) {
               0.1 * reference.estimate_entropy());
   EXPECT_NEAR(merged.estimate_distinct(), reference.estimate_distinct(),
               0.1 * reference.estimate_distinct());
+}
+
+TEST(CollectorServer, FinishedConnectionThreadsAreReapedWhileRunning) {
+  // A flaky exporter reconnects on every failed delivery; a long-running
+  // collector must join the finished handler threads as it goes, not only
+  // at stop(), or stack/kernel resources grow without bound.
+  CollectorServer server(collector_config(), *parse_endpoint("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(server.start());
+  const Endpoint ep = server.endpoint();
+
+  for (int round = 0; round < 8; ++round) {
+    Socket conn = connect_endpoint(ep, 2000);
+    ASSERT_TRUE(conn.valid()) << "round " << round;
+    const auto msg = make_message(7, static_cast<std::uint64_t>(round + 1),
+                                  static_cast<std::uint64_t>(round + 1), 3, 1);
+    ASSERT_TRUE(conn.send_all(encode_epoch(msg), 2000));
+    // Wait for the ack so the handler thread has definitely served us.
+    std::uint8_t buf[4096];
+    std::size_t got = 0;
+    Socket::RecvResult r;
+    do {
+      r = conn.recv_some(buf, sizeof buf, 2000, &got);
+    } while (r == Socket::RecvResult::kTimeout);
+    ASSERT_EQ(r, Socket::RecvResult::kData) << "round " << round;
+    conn.close();
+  }
+
+  // The accept loop reaps within one of its cycles; give it a few.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while (server.tracked_connections() != 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_EQ(server.tracked_connections(), 0u);
+  EXPECT_EQ(server.core().epochs_applied(), 8u);
+  server.stop();
 }
 
 TEST(CollectorCore, CorruptSnapshotInsideValidFrameThrows) {

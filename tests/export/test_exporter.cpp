@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <chrono>
 #include <thread>
 
@@ -194,6 +195,79 @@ TEST(Coalescing, TelemetryCountsMergesAndAbsorbedEpochs) {
   EXPECT_GE(registry.counter("nitro_export_coalesced_epochs_total").value(), 4u);
 }
 
+TEST(Coalescing, EntryThatTouchedTheWireIsNeverCoalesced) {
+  // A collector that receives but never acks: the front message goes out,
+  // its delivery cannot complete, and the exporter keeps retrying.  Under
+  // backlog pressure the exporter must coalesce only among the never-sent
+  // entries — if it widened the sent front and the original had in fact
+  // been applied (only the ack lost), the retry would straddle the
+  // collector's applied boundary and be dropped whole: silent data loss.
+  Listener silent;
+  ASSERT_TRUE(silent.open(*parse_endpoint("tcp:127.0.0.1:0")));
+  Endpoint ep = *parse_endpoint("tcp:127.0.0.1:0");
+  ep.port = silent.bound_port();
+
+  ExporterConfig cfg;
+  cfg.endpoint = ep;
+  cfg.queue_capacity = 2;
+  cfg.ack_timeout_ms = 150;
+  cfg.backoff_base_ns = 10'000'000;
+  cfg.backoff_max_ns = 50'000'000;
+  telemetry::Registry registry;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.attach_telemetry(registry, "nitro_export");
+  exporter.start();
+  exporter.publish(core::EpochSpan::single(0), 40, snapshot_of_epoch(0, 1));
+
+  // Swallow everything the exporter sends without ever replying.
+  Socket conn = silent.accept_conn(5000);
+  ASSERT_TRUE(conn.valid());
+  std::atomic<bool> stop_drain{false};
+  std::thread drain([&conn, &stop_drain] {
+    std::uint8_t buf[4096];
+    std::size_t got = 0;
+    while (!stop_drain.load(std::memory_order_relaxed)) {
+      if (conn.recv_some(buf, sizeof buf, 50, &got) == Socket::RecvResult::kError) {
+        break;
+      }
+    }
+  });
+
+  // Wait until epoch 1's bytes are on the wire, then pile on a backlog.
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (registry.counter("nitro_export_sent_frames_total").value() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  ASSERT_GE(registry.counter("nitro_export_sent_frames_total").value(), 1u);
+  for (int e = 1; e <= 6; ++e) {
+    exporter.publish(core::EpochSpan::single(static_cast<std::uint64_t>(e)), 40,
+                     snapshot_of_epoch(e, 1));
+    // Spaced out so publishes land both while the front is mid-retry and
+    // while it sits un-flagged in a backoff window.
+    std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  }
+
+  // Coalescing must have kicked in, but only behind the sent front, which
+  // keeps its exact [1,1] range for the retry.
+  const auto pending = exporter.pending_messages();
+  ASSERT_FALSE(pending.empty());
+  EXPECT_EQ(pending.front().seq_first, 1u);
+  EXPECT_EQ(pending.front().seq_last, 1u);
+  EXPECT_GE(registry.counter("nitro_export_coalesce_merges_total").value(), 1u);
+  // Sequence ranges still tile [1,7] — nothing lost, nothing duplicated.
+  std::uint64_t expect_next = 1;
+  for (const auto& msg : pending) {
+    EXPECT_EQ(msg.seq_first, expect_next);
+    expect_next = msg.seq_last + 1;
+  }
+  EXPECT_EQ(expect_next, 8u);
+
+  exporter.stop();
+  stop_drain.store(true, std::memory_order_relaxed);
+  drain.join();
+}
+
 // --- delivery against a live collector --------------------------------------
 
 Endpoint loopback_listener() { return *parse_endpoint("tcp:127.0.0.1:0"); }
@@ -313,6 +387,77 @@ TEST(ExporterDelivery, InjectedSendFaultsForceRetryWithoutDoubleCount) {
   ASSERT_EQ(sources.size(), 1u);
   EXPECT_EQ(sources[0].packets, 200);
   server.stop();
+}
+
+TEST(ExporterDelivery, OverlapDroppedAckIsAHardFailureNotSuccess) {
+  // A peer that answers the first delivery with kOverlapDropped reports
+  // that it dropped the message whole.  Treating that ack as success would
+  // pop the epoch as "delivered" while nothing was applied — the exporter
+  // must fail the attempt and retry until a real kApplied arrives.
+  Listener listener;
+  ASSERT_TRUE(listener.open(*parse_endpoint("tcp:127.0.0.1:0")));
+  Endpoint ep = *parse_endpoint("tcp:127.0.0.1:0");
+  ep.port = listener.bound_port();
+
+  std::atomic<bool> done{false};
+  std::atomic<int> messages_seen{0};
+  std::thread fake_collector([&] {
+    while (!done.load(std::memory_order_relaxed)) {
+      Socket conn = listener.accept_conn(100);
+      if (!conn.valid()) continue;
+      FrameAssembler fa;
+      std::uint8_t buf[64 * 1024];
+      std::vector<std::uint8_t> frame;
+      bool alive = true;
+      while (alive && !done.load(std::memory_order_relaxed)) {
+        std::size_t got = 0;
+        switch (conn.recv_some(buf, sizeof buf, 100, &got)) {
+          case Socket::RecvResult::kData:
+            fa.feed(std::span<const std::uint8_t>(buf, got));
+            break;
+          case Socket::RecvResult::kTimeout:
+            continue;
+          case Socket::RecvResult::kClosed:
+          case Socket::RecvResult::kError:
+            alive = false;
+            continue;
+        }
+        while (fa.next_frame(frame)) {
+          const EpochMessage msg = decode_epoch(frame);
+          AckMessage ack;
+          ack.source_id = msg.source_id;
+          ack.seq_last = msg.seq_last;
+          // First delivery: claim the message was dropped whole.  Every
+          // retry after that: accept it.
+          ack.status = messages_seen.fetch_add(1) == 0
+                           ? AckStatus::kOverlapDropped
+                           : AckStatus::kApplied;
+          conn.send_all(encode_ack(ack), 1000);
+        }
+      }
+    }
+  });
+
+  ExporterConfig cfg;
+  cfg.endpoint = ep;
+  cfg.source_id = 4;
+  cfg.backoff_base_ns = 1'000'000;
+  cfg.backoff_max_ns = 10'000'000;
+  telemetry::Registry registry;
+  EpochExporter exporter(cfg, univmon_coalescer(um_config(), 7));
+  exporter.attach_telemetry(registry, "nitro_export");
+  exporter.start();
+  exporter.publish(core::EpochSpan::single(0), 40, snapshot_of_epoch(0, 1));
+
+  // The epoch drains only via the retried delivery.
+  ASSERT_TRUE(exporter.flush(15'000));
+  EXPECT_EQ(exporter.epochs_acked(), 1u);
+  EXPECT_GE(registry.counter("nitro_export_overlap_nacks_total").value(), 1u);
+  EXPECT_GE(registry.counter("nitro_export_retries_total").value(), 1u);
+  EXPECT_GE(messages_seen.load(), 2);
+  exporter.stop();
+  done.store(true, std::memory_order_relaxed);
+  fake_collector.join();
 }
 
 TEST(ExporterDelivery, DuplicatedFramesAreDedupedByTheCollector) {
