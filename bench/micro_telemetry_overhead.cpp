@@ -11,22 +11,34 @@
 // Exits nonzero if *attached* telemetry costs more than 5% versus the
 // compiled-out baseline (median of several reps), so CI catches any
 // instrumentation creep on the per-packet path.
+//
+// The second half gates the span tracer (DESIGN.md §12) the same way on a
+// per-burst replay loop: a no-site loop (what -DNITRO_TRACE_DISABLED
+// compiles every span site down to, via `if constexpr`), the runtime-
+// disabled site (acquire-load + null check per burst), and the installed
+// tracer (two clock reads + one ring write per burst, reported only).
+//
+// `--quick` shrinks packets/reps for the `ctest -L trace` smoke run;
+// `--spans-only` skips the attached-telemetry half.
 #include "bench_common.hpp"
 
 #include <algorithm>
 #include <cstdlib>
+#include <cstring>
 #include <vector>
 
 #include "core/nitro_sketch.hpp"
+#include "telemetry/trace.hpp"
 
 using namespace nitro;
 using namespace nitro::bench;
 
 namespace {
 
-constexpr std::uint64_t kPackets = 4'000'000;
-constexpr int kReps = 5;
+std::uint64_t g_packets = 4'000'000;
+int g_reps = 5;
 constexpr double kBudgetPercent = 5.0;
+constexpr std::size_t kBurstLen = 32;
 
 core::NitroConfig bench_cfg() {
   core::NitroConfig cfg = nitro_fixed(0.01);
@@ -43,7 +55,7 @@ sketch::CountMinSketch make_base() {
 template <typename MakeSketch>
 double best_mpps(const trace::Trace& stream, MakeSketch make_sketch) {
   double best = 0.0;
-  for (int rep = 0; rep < kReps; ++rep) {
+  for (int rep = 0; rep < g_reps; ++rep) {
     auto sketch = make_sketch();
     const double mpps = mpps_of_direct_replay_ts(stream, sketch);
     best = std::max(best, mpps);
@@ -51,19 +63,100 @@ double best_mpps(const trace::Trace& stream, MakeSketch make_sketch) {
   return best;
 }
 
+/// Burst replay with (WithSpan) or without (the compiled-out shape) one
+/// ScopedSpan per burst — the finest-grained span site in the tree.
+template <bool WithSpan>
+double burst_replay_mpps(const trace::Trace& stream) {
+  core::NitroSketch<sketch::CountMinSketch, false> s(make_base(), bench_cfg());
+  WallTimer timer;
+  std::size_t i = 0;
+  const std::size_t n = stream.size();
+  while (i < n) {
+    const std::size_t end = std::min(i + kBurstLen, n);
+    if constexpr (WithSpan) {
+      telemetry::ScopedSpan span(telemetry::Stage::kBurstFlush, 1, 0);
+      for (; i < end; ++i) s.update(stream[i].key, 1, stream[i].ts_ns);
+    } else {
+      for (; i < end; ++i) s.update(stream[i].key, 1, stream[i].ts_ns);
+    }
+  }
+  const double secs = timer.seconds();
+  return static_cast<double>(n) / secs / 1e6;
+}
+
+template <bool WithSpan>
+double best_burst_mpps(const trace::Trace& stream) {
+  double best = 0.0;
+  for (int rep = 0; rep < g_reps; ++rep) {
+    best = std::max(best, burst_replay_mpps<WithSpan>(stream));
+  }
+  return best;
+}
+
+/// The span-path budget gate.  Returns 0 on pass.
+int run_span_gate(const trace::Trace& stream) {
+  note("span gate: one ScopedSpan per %zu-packet burst; runtime-disabled "
+       "<= %.1f%% vs the no-site loop",
+       kBurstLen, kBudgetPercent);
+  note("compiled out (-DNITRO_TRACE_DISABLED) every site *is* the no-site "
+       "loop: `if constexpr` removes it, zero overhead by construction");
+
+  burst_replay_mpps<false>(stream);  // warm
+  const double no_site = best_burst_mpps<false>(stream);
+  const double disabled = best_burst_mpps<true>(stream);  // no tracer installed
+
+  telemetry::Tracer tracer(1 << 12);
+  telemetry::install_tracer(&tracer);
+  const double installed = best_burst_mpps<true>(stream);
+  telemetry::uninstall_tracer();
+
+  auto overhead = [no_site](double mpps) {
+    return 100.0 * (no_site - mpps) / no_site;
+  };
+  std::printf("\n  %-24s %10s %12s\n", "span path", "Mpps", "overhead");
+  std::printf("  %-24s %10.2f %11.2f%%\n", "no site (compiled out)", no_site, 0.0);
+  std::printf("  %-24s %10.2f %11.2f%%\n", "site, no tracer", disabled,
+              overhead(disabled));
+  std::printf("  %-24s %10.2f %11.2f%%  (%llu spans)\n", "site, tracer installed",
+              installed, overhead(installed),
+              static_cast<unsigned long long>(tracer.total_recorded()));
+
+  const double disabled_overhead = overhead(disabled);
+  if (disabled_overhead > kBudgetPercent) {
+    std::printf("\n  FAIL: runtime-disabled span site costs %.2f%% (> %.1f%% budget)\n",
+                disabled_overhead, kBudgetPercent);
+    return 1;
+  }
+  std::printf("\n  PASS: runtime-disabled span site costs %.2f%% (<= %.1f%% budget)\n",
+              disabled_overhead, kBudgetPercent);
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bool spans_only = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      g_packets = 1'000'000;
+      g_reps = 3;
+    } else if (std::strcmp(argv[i], "--spans-only") == 0) {
+      spans_only = true;
+    }
+  }
+
   banner("micro_telemetry_overhead",
          "per-packet cost of the telemetry subsystem on NitroSketch<CountMin>");
   note("budget: attached <= %.1f%% slower than compiled-out (best of %d reps)",
-       kBudgetPercent, kReps);
+       kBudgetPercent, g_reps);
 
   trace::WorkloadSpec spec;
-  spec.packets = kPackets;
+  spec.packets = g_packets;
   spec.flows = 100'000;
   spec.seed = 99;
   const auto stream = trace::caida_like(spec);
+
+  if (spans_only) return run_span_gate(stream);
 
   // Warm the trace + caches once with a throwaway run.
   {
@@ -108,5 +201,6 @@ int main() {
   }
   std::printf("\n  PASS: attached telemetry overhead %.2f%% within the %.1f%% budget\n",
               attached_overhead, kBudgetPercent);
-  return 0;
+
+  return run_span_gate(stream);
 }

@@ -11,6 +11,7 @@
 #include "common/io.hpp"
 #include "control/codec.hpp"
 #include "fault/fault.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nitro::control {
 
@@ -42,6 +43,7 @@ std::string CheckpointStore::tmp_path(const std::string& name) const {
 
 bool CheckpointStore::save(const std::string& name,
                            std::span<const std::uint8_t> payload) {
+  telemetry::ScopedSpan trace(telemetry::Stage::kCheckpoint);
   std::vector<std::uint8_t> frame = seal_frame(payload);
 
   // Torn-write injection: persist only a prefix of the frame.  The rename

@@ -19,7 +19,9 @@
 #include "core/epoch_span.hpp"
 #include "core/nitro_univmon.hpp"
 #include "fault/fault.hpp"
+#include "telemetry/accuracy.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nitro::control {
 
@@ -37,6 +39,9 @@ struct EpochReport {
   std::vector<HeavyHitter> changed_flows;
   double entropy = 0.0;
   double distinct = 0.0;
+  /// Online bound check (telemetry/accuracy.hpp); tracked_flows == 0 when
+  /// no observer is attached (or nothing got sampled this epoch).
+  telemetry::EpochAccuracy accuracy{};
 };
 
 /// One closed epoch handed to an export sink: the sealed UnivMon snapshot
@@ -45,6 +50,9 @@ struct EpochReport {
 struct ExportedEpoch {
   core::EpochSpan span;
   std::int64_t packets = 0;
+  /// Steady-clock time the epoch closed; rides the v2 wire so the
+  /// collector can compute end-to-end freshness.
+  std::uint64_t close_ns = 0;
   std::vector<std::uint8_t> snapshot;  // snapshot_univmon() frame
 };
 
@@ -67,12 +75,15 @@ class MeasurementDaemon {
   /// Data-plane entry point.
   void on_packet(const FlowKey& key, std::uint64_t ts_ns = 0) {
     current_.update(key, 1, skewed(ts_ns));
+    if (accuracy_ != nullptr) accuracy_->observe(key);
   }
 
   /// Burst data-plane entry point: a whole rx burst of parsed keys with
   /// the burst's poll timestamp.
   void on_burst(std::span<const FlowKey> keys, std::uint64_t ts_ns = 0) {
+    telemetry::ScopedSpan trace(telemetry::Stage::kBurstFlush);
     current_.update_burst(keys, skewed(ts_ns));
+    if (accuracy_ != nullptr) accuracy_->observe_burst(keys);
   }
 
   /// Bind the daemon (and its rotating data plane) to a registry.  The
@@ -114,6 +125,15 @@ class MeasurementDaemon {
     report.epoch = epoch_++;
     report.packets = current_.total();
 
+    // Bound check against the *current* sketch before rotation wipes it:
+    // empirical |estimate - exact| over the sampled reservoir vs the
+    // eps*sqrt(n) bound, inflated by sqrt(2^level) while degraded.
+    if (accuracy_ != nullptr) {
+      report.accuracy = accuracy_->close_epoch(
+          [this](const FlowKey& k) { return current_.query(k); },
+          report.packets, static_cast<int>(current_.degrade_level()));
+    }
+
     if (tasks_.heavy_hitters) {
       report.heavy_hitters = heavy_hitters(current_, tasks_.hh_fraction);
     }
@@ -131,9 +151,14 @@ class MeasurementDaemon {
     // the counters.  The sink (an EpochExporter queue push) must not
     // block the epoch loop on a slow collector.
     if (export_sink_) {
+      std::vector<std::uint8_t> snap;
+      {
+        telemetry::ScopedSpan trace(telemetry::Stage::kSnapshot);
+        snap = snapshot_univmon(current_.univmon());
+      }
       export_sink_(ExportedEpoch{core::EpochSpan::single(report.epoch),
-                                 report.packets,
-                                 snapshot_univmon(current_.univmon())});
+                                 report.packets, telemetry::Tracer::now_ns(),
+                                 std::move(snap)});
     }
 
     // Fold this epoch's counts into the cumulative totals before the data
@@ -161,6 +186,17 @@ class MeasurementDaemon {
   /// depend on the export subsystem.
   using ExportSink = std::function<void(ExportedEpoch&&)>;
   void set_export_sink(ExportSink sink) { export_sink_ = std::move(sink); }
+
+  /// Attach an online accuracy observer (telemetry/accuracy.hpp): the
+  /// daemon mirrors every data-plane update into it and closes it each
+  /// epoch against the live sketch.  Caller keeps ownership; pass null to
+  /// detach.  Single-threaded like the data plane itself.
+  void set_accuracy_observer(telemetry::AccuracyObserver* observer) noexcept {
+    accuracy_ = observer;
+  }
+  telemetry::AccuracyObserver* accuracy_observer() const noexcept {
+    return accuracy_;
+  }
 
   // --- Crash-safe checkpointing (control/checkpoint.hpp) ------------------
 
@@ -259,6 +295,7 @@ class MeasurementDaemon {
   std::uint64_t cum_packets_ = 0;
   std::uint64_t cum_sampled_ = 0;
   ExportSink export_sink_;
+  telemetry::AccuracyObserver* accuracy_ = nullptr;
 };
 
 }  // namespace nitro::control

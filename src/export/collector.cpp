@@ -14,6 +14,10 @@ CollectorCore::CollectorCore(const CollectorConfig& cfg) : cfg_(cfg) {}
 
 CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
                                             std::uint64_t now_ns) {
+  // Collector-side half of the epoch's trace: keyed by the message's
+  // oldest covered epoch, matching the exporter's wire_send span.
+  telemetry::ScopedSpan trace(telemetry::Stage::kCollectorApply, msg.source_id,
+                              msg.span.first, tracer_);
   std::lock_guard lk(mu_);
   auto it = sources_.find(msg.source_id);
   if (it == sources_.end()) {
@@ -69,6 +73,36 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
   epochs_applied_ += covered;
   if (messages_applied_ != nullptr) messages_applied_->inc();
   if (epochs_applied_ctr_ != nullptr) epochs_applied_ctr_->inc(covered);
+
+  // End-to-end freshness from the v2 timestamps (0 = v1 peer, skip).
+  // Clocks are compared across processes: meaningful for same-host
+  // steady clocks (this repo's deployments/tests); clamp to 0 otherwise.
+  if (msg.epoch_close_ns != 0) {
+    src.stats.last_epoch_close_ns = msg.epoch_close_ns;
+    src.stats.e2e_lag_ns =
+        now_ns > msg.epoch_close_ns ? now_ns - msg.epoch_close_ns : 0;
+    if (e2e_lag_ns_ != nullptr) e2e_lag_ns_->observe(src.stats.e2e_lag_ns);
+    if (registry_ != nullptr && src.e2e_lag_gauge == nullptr) {
+      const std::string id = std::to_string(msg.source_id);
+      src.e2e_lag_gauge =
+          &registry_->gauge(prefix_ + "_source_" + id + "_e2e_lag_ns",
+                            "epoch close -> applied latency, last message");
+      src.freshness_gauge =
+          &registry_->gauge(prefix_ + "_source_" + id + "_freshness_ns",
+                            "age of the newest applied epoch (grows while silent)");
+    }
+    if (src.e2e_lag_gauge != nullptr) {
+      src.e2e_lag_gauge->set(static_cast<double>(src.stats.e2e_lag_ns));
+    }
+    if (src.freshness_gauge != nullptr) {
+      src.freshness_gauge->set(static_cast<double>(src.stats.e2e_lag_ns));
+    }
+  }
+  if (msg.send_ns != 0) {
+    src.stats.last_send_ns = msg.send_ns;
+    src.stats.wire_lag_ns = now_ns > msg.send_ns ? now_ns - msg.send_ns : 0;
+    if (wire_lag_ns_ != nullptr) wire_lag_ns_->observe(src.stats.wire_lag_ns);
+  }
   return Ingest::kApplied;
 }
 
@@ -90,6 +124,10 @@ sketch::UnivMon CollectorCore::merged_view(std::uint64_t now_ns) const {
   sketch::UnivMon merged(cfg_.um_cfg, cfg_.seed);
   for (const auto& [id, src] : sources_) {
     if (is_stale(src->stats, now_ns)) continue;
+    // One merge span per folded source, keyed by its newest applied
+    // epoch — the final stage of that epoch's end-to-end trace.
+    telemetry::ScopedSpan trace(telemetry::Stage::kNetworkMerge, id,
+                                src->stats.span.last, tracer_);
     merged.merge(src->acc);
   }
   return merged;
@@ -133,6 +171,13 @@ void CollectorCore::attach_telemetry(telemetry::Registry& registry,
                                    "sources quarantined for staleness");
   merged_packets_gauge_ = &registry.gauge(prefix + "_merged_packets",
                                           "packet total over live sources");
+  e2e_lag_ns_ = &registry.histogram(
+      prefix + "_e2e_lag_ns",
+      "epoch close at source -> applied here, per applied message");
+  wire_lag_ns_ = &registry.histogram(
+      prefix + "_wire_lag_ns", "send stamp -> applied here, per applied message");
+  registry_ = &registry;
+  prefix_ = prefix;
 }
 
 void CollectorCore::publish_telemetry(std::uint64_t now_ns) {
@@ -150,6 +195,13 @@ void CollectorCore::publish_telemetry(std::uint64_t now_ns) {
     } else {
       live += 1;
       packets += src->stats.packets;
+    }
+    // Freshness keeps growing while a source is silent — the gauge makes
+    // the staleness-quarantine decision visible as it approaches.
+    if (src->freshness_gauge != nullptr && src->stats.last_epoch_close_ns != 0 &&
+        now_ns > src->stats.last_epoch_close_ns) {
+      src->freshness_gauge->set(
+          static_cast<double>(now_ns - src->stats.last_epoch_close_ns));
     }
   }
   if (sources_live_ != nullptr) sources_live_->set(live);

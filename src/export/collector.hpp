@@ -46,6 +46,7 @@
 #include "export/wire.hpp"
 #include "sketch/univmon.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nitro::xport {
 
@@ -73,6 +74,14 @@ class CollectorCore {
     core::EpochSpan span;  // union of applied spans
     std::int64_t packets = 0;
     bool stale = false;
+    // Freshness (v2 wire timestamps; all 0 when the peer speaks v1).
+    // e2e lag = receive - epoch close at the source: how old the newest
+    // applied data was on arrival.  wire lag = receive - last send stamp:
+    // the transport share of it (the rest is queue + retry delay).
+    std::uint64_t last_epoch_close_ns = 0;
+    std::uint64_t last_send_ns = 0;
+    std::uint64_t e2e_lag_ns = 0;
+    std::uint64_t wire_lag_ns = 0;
   };
 
   explicit CollectorCore(const CollectorConfig& cfg);
@@ -100,6 +109,12 @@ class CollectorCore {
   /// called by the server loop and by exporters' scrape paths.
   void publish_telemetry(std::uint64_t now_ns);
 
+  /// Route this core's apply/merge spans to a specific tracer instead of
+  /// the ambient one (a test hosting monitor- and collector-side tracing
+  /// in one process needs two "processes" worth of spans).  Set before
+  /// traffic; not synchronized against in-flight ingests.
+  void set_tracer(telemetry::Tracer* tracer) noexcept { tracer_ = tracer; }
+
   const CollectorConfig& config() const noexcept { return cfg_; }
 
  private:
@@ -108,6 +123,10 @@ class CollectorCore {
         : acc(cfg.um_cfg, cfg.seed) {}
     sketch::UnivMon acc;
     SourceStats stats;
+    // Lazily created per-source gauges (null until first applied message
+    // with v2 timestamps / until attach_telemetry).
+    telemetry::Gauge* e2e_lag_gauge = nullptr;
+    telemetry::Gauge* freshness_gauge = nullptr;
   };
 
   bool is_stale(const SourceStats& s, std::uint64_t now_ns) const noexcept {
@@ -129,6 +148,11 @@ class CollectorCore {
   telemetry::Gauge* sources_live_ = nullptr;
   telemetry::Gauge* sources_stale_ = nullptr;
   telemetry::Gauge* merged_packets_gauge_ = nullptr;
+  telemetry::Histogram* e2e_lag_ns_ = nullptr;
+  telemetry::Histogram* wire_lag_ns_ = nullptr;
+  telemetry::Registry* registry_ = nullptr;  // for lazy per-source gauges
+  std::string prefix_;
+  telemetry::Tracer* tracer_ = nullptr;  // override; ambient when null
 };
 
 class CollectorServer {

@@ -5,6 +5,7 @@
 
 #include "control/codec.hpp"
 #include "fault/fault.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nitro::xport {
 
@@ -109,7 +110,10 @@ void EpochExporter::stop() {
 }
 
 void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
-                            std::vector<std::uint8_t> snapshot) {
+                            std::vector<std::uint8_t> snapshot,
+                            std::uint64_t epoch_close_ns) {
+  telemetry::ScopedSpan trace(telemetry::Stage::kExportEnqueue, cfg_.source_id,
+                              span.first);
   {
     std::unique_lock lk(mu_);
     while (queue_.size() >= cfg_.queue_capacity && !coalescing_) {
@@ -120,6 +124,7 @@ void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
     p.msg.seq_first = p.msg.seq_last = next_seq_++;
     p.msg.span = span;
     p.msg.packets = packets;
+    p.msg.epoch_close_ns = epoch_close_ns;
     p.msg.snapshot = std::move(snapshot);
     p.enqueue_ns = now_ns();
     queue_.push_back(std::move(p));
@@ -188,6 +193,8 @@ bool EpochExporter::coalesce_backlog(std::unique_lock<std::mutex>& lk) {
   a.msg.seq_last = b.msg.seq_last;
   a.msg.span.widen(b.msg.span);
   a.msg.packets += b.msg.packets;
+  // Freshness follows the newest covered epoch.
+  a.msg.epoch_close_ns = std::max(a.msg.epoch_close_ns, b.msg.epoch_close_ns);
   a.msg.snapshot = std::move(merged);
   queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(j) + 1);
   if (coalesce_merges_ != nullptr) coalesce_merges_->inc();
@@ -329,7 +336,11 @@ void EpochExporter::run() {
   }
 }
 
-bool EpochExporter::attempt_delivery(const EpochMessage& msg) {
+bool EpochExporter::attempt_delivery(EpochMessage& msg) {
+  // One span per attempt (retries show as repeated wire_send bars in the
+  // trace), keyed by the message's oldest covered epoch.
+  telemetry::ScopedSpan trace(telemetry::Stage::kWireSend, msg.source_id,
+                              msg.span.first);
   const std::uint32_t lane = static_cast<std::uint32_t>(cfg_.source_id);
   if (!sock_.valid()) {
     std::uint64_t param = 0;
@@ -377,6 +388,9 @@ bool EpochExporter::attempt_delivery(const EpochMessage& msg) {
     if (!queue_.empty()) queue_.front().ever_sent = true;
   }
 
+  // Stamp the send time per attempt (the collector's close->send gap then
+  // reflects queue + retry delay, not just the first try).
+  msg.send_ns = now_ns();
   const std::vector<std::uint8_t> frame = encode_epoch(msg);
   const int sends = action == fault::Action::kDuplicate ? 2 : 1;
   for (int s = 0; s < sends; ++s) {

@@ -151,8 +151,12 @@ class EpochExporter {
   /// the network).  If the queue is at capacity the two oldest never-sent
   /// entries are coalesced first — lossless, wider span; the merge runs
   /// outside the queue lock so the sender keeps draining meanwhile.
+  /// `epoch_close_ns` (steady clock, 0 = unknown) rides the v2 wire so the
+  /// collector can compute end-to-end freshness; coalescing keeps the
+  /// newest covered epoch's close time.
   void publish(core::EpochSpan span, std::int64_t packets,
-               std::vector<std::uint8_t> snapshot);
+               std::vector<std::uint8_t> snapshot,
+               std::uint64_t epoch_close_ns = 0);
 
   /// Block until every queued epoch is acked or `timeout_ms` passes.
   bool flush(int timeout_ms);
@@ -177,7 +181,8 @@ class EpochExporter {
   };
 
   void run();
-  bool attempt_delivery(const EpochMessage& msg);
+  /// Mutates msg only to stamp send_ns at the moment of this attempt.
+  bool attempt_delivery(EpochMessage& msg);
   bool await_ack(std::uint64_t want_seq_last);
   /// Merge the two oldest coalescible entries; `lk` (held on entry and
   /// exit) is released around the sketch merge.  True iff the queue

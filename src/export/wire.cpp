@@ -19,6 +19,8 @@ std::vector<std::uint8_t> encode_epoch(const EpochMessage& msg) {
   w.put_u64(msg.span.first);
   w.put_u64(msg.span.last);
   w.put_i64(msg.packets);
+  w.put_u64(msg.epoch_close_ns);
+  w.put_u64(msg.send_ns);
   w.put_blob(msg.snapshot);
   return control::seal_frame(w.bytes());
 }
@@ -38,10 +40,14 @@ EpochMessage decode_epoch(std::span<const std::uint8_t> frame) {
   if (r.get_u32() != kEpochMsgMagic) {
     throw std::invalid_argument("epoch msg: bad magic");
   }
+  // Version gate before any field decode: a frame from a newer peer is
+  // rejected by name here, never interpreted through an older layout.
   const std::uint32_t version = r.get_u32();
-  if (version != kWireVersion) {
+  if (version < kWireVersionMin || version > kWireVersion) {
     throw std::invalid_argument("epoch msg: unsupported version " +
-                                std::to_string(version));
+                                std::to_string(version) + " (speaks " +
+                                std::to_string(kWireVersionMin) + ".." +
+                                std::to_string(kWireVersion) + ")");
   }
   EpochMessage msg;
   msg.source_id = r.get_u64();
@@ -50,6 +56,10 @@ EpochMessage decode_epoch(std::span<const std::uint8_t> frame) {
   msg.span.first = r.get_u64();
   msg.span.last = r.get_u64();
   msg.packets = r.get_i64();
+  if (version >= 2) {
+    msg.epoch_close_ns = r.get_u64();
+    msg.send_ns = r.get_u64();
+  }
   msg.snapshot = r.get_blob();
   if (!r.exhausted()) {
     throw std::invalid_argument("epoch msg: trailing bytes");
@@ -73,10 +83,14 @@ AckMessage decode_ack(std::span<const std::uint8_t> frame) {
   if (r.get_u32() != kAckMsgMagic) {
     throw std::invalid_argument("ack msg: bad magic");
   }
+  // The ack layout is unchanged since v1; accept the whole speakable
+  // range so mixed-version pairs still complete the handshake.
   const std::uint32_t version = r.get_u32();
-  if (version != kWireVersion) {
+  if (version < kWireVersionMin || version > kWireVersion) {
     throw std::invalid_argument("ack msg: unsupported version " +
-                                std::to_string(version));
+                                std::to_string(version) + " (speaks " +
+                                std::to_string(kWireVersionMin) + ".." +
+                                std::to_string(kWireVersion) + ")");
   }
   AckMessage ack;
   ack.source_id = r.get_u64();

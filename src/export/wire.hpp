@@ -34,7 +34,13 @@ namespace nitro::xport {
 
 inline constexpr std::uint32_t kEpochMsgMagic = 0x4e45504du;  // "NEPM"
 inline constexpr std::uint32_t kAckMsgMagic = 0x4e45504bu;    // "NEPK"
-inline constexpr std::uint32_t kWireVersion = 1;
+/// v2 adds epoch-close and send timestamps to EpochMessage (freshness
+/// observability, DESIGN.md §12).  Decoders accept [kWireVersionMin,
+/// kWireVersion]; v1 frames decode with zeroed timestamps, and anything
+/// newer than kWireVersion is rejected by name *before* any field is
+/// read, so an old peer never garbage-decodes a newer layout.
+inline constexpr std::uint32_t kWireVersion = 2;
+inline constexpr std::uint32_t kWireVersionMin = 1;
 
 /// Frames larger than this are treated as stream corruption (a UnivMon
 /// snapshot at paper scale is a few MB; 64 MiB leaves generous headroom).
@@ -46,6 +52,12 @@ struct EpochMessage {
   std::uint64_t seq_last = 1;   // inclusive; > seq_first after coalescing
   core::EpochSpan span;
   std::int64_t packets = 0;
+  /// v2 freshness timestamps (monitor steady clock; 0 = unknown / v1 peer).
+  /// epoch_close_ns is when the *newest* covered epoch closed at the
+  /// source; send_ns is stamped at each delivery attempt, so close->send
+  /// is queue+retry delay and send->receive is the wire.
+  std::uint64_t epoch_close_ns = 0;
+  std::uint64_t send_ns = 0;
   std::vector<std::uint8_t> snapshot;  // sealed sketch snapshot (codec frame)
 
   std::uint64_t epochs_covered() const noexcept { return seq_last - seq_first + 1; }

@@ -46,6 +46,7 @@
 #include "common/spsc_ring.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace nitro::shard {
 
@@ -264,6 +265,9 @@ class ShardGroup {
   /// quiescent (this is the epoch boundary).
   bool drain() {
     using clock = std::chrono::steady_clock;
+    // Ambient keys: the epoch loop sets (source, epoch) on the tracer at
+    // each boundary before draining.
+    telemetry::ScopedSpan trace(telemetry::Stage::kShardDrain);
     bool complete = true;
     for (auto& sp : shards_) {
       Shard& s = *sp;

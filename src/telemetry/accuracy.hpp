@@ -1,0 +1,193 @@
+// Online accuracy observer: is the sketch inside the paper's bound *right
+// now*?
+//
+// NitroSketch's Theorem 1 promises per-flow error within eps*sqrt(n) of a
+// plain Count-Min/UnivMon, and the kDegrade overload ladder trades that
+// for throughput by halving the sampling probability — inflating the error
+// stddev by sqrt(2^level).  Offline evaluations measure this after the
+// fact; this observer measures it live: it exactly counts a small
+// digest-sampled reservoir of flows in the data plane, and at every epoch
+// close compares each tracked flow's sketch estimate against its exact
+// count, exporting the empirical error next to the theoretical bound so an
+// operator (or a fault test) can watch the bound hold, inflate, and break.
+//
+// Sampling: a flow is tracked iff (flow_digest(key) & mask) == 0 — an
+// unbiased 1-in-2^bits hash sample, not "first N flows", so heavy and
+// light flows are both represented — capped at `capacity` tracked flows
+// per epoch.  Because admission happens at a flow's *first* packet of the
+// epoch, tracked counts are exact for the epoch.  The per-packet cost for
+// non-sampled flows is one 64-bit hash and a mask test.
+//
+// Not thread-safe: feed it from the same single thread that owns the data
+// plane (the daemon path), mirroring every update the sketch sees.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/registry.hpp"
+
+namespace nitro::telemetry {
+
+/// One epoch's verdict, produced by AccuracyObserver::close_epoch.
+struct EpochAccuracy {
+  std::uint64_t epoch = 0;
+  std::size_t tracked_flows = 0;   // reservoir size this epoch
+  double mean_abs_error = 0.0;     // mean |estimate - exact| over reservoir
+  double max_abs_error = 0.0;
+  double bound = 0.0;              // eps * sqrt(n) * sqrt(2^level)
+  double inflation = 1.0;          // sqrt(2^level), 1.0 when undegraded
+  int degrade_level = 0;
+  // mean_abs_error <= bound.  The Theorem-1 bound is per-flow at
+  // confidence 1-delta, so the *max* over dozens of tracked flows is
+  // expected to poke past it occasionally even when the sketch is
+  // healthy; the mean sits far below it unless something is wrong.
+  bool within_bound = true;
+};
+
+class AccuracyObserver {
+ public:
+  /// `sample_bits`: track flows whose digest's low `sample_bits` bits are
+  /// zero (1-in-2^bits of the flow space); 0 tracks every flow up to
+  /// capacity.  `capacity` caps per-epoch reservoir memory.
+  explicit AccuracyObserver(double epsilon, unsigned sample_bits = 6,
+                            std::size_t capacity = 64)
+      : epsilon_(epsilon),
+        mask_((1ULL << sample_bits) - 1),
+        capacity_(capacity) {
+    // Open addressing wants head-room: 2x capacity, power of two.
+    std::size_t buckets = 8;
+    while (buckets < capacity_ * 2) buckets <<= 1;
+    slots_.resize(buckets);
+  }
+
+  /// Mirror one data-plane update.  O(1); near-free for unsampled flows.
+  void observe(const FlowKey& key, std::int64_t count = 1) noexcept {
+    const std::uint64_t digest = flow_digest(key);
+    if ((digest & mask_) != 0) return;
+    upsert(key, digest, count);
+  }
+
+  void observe_burst(std::span<const FlowKey> keys) noexcept {
+    for (const auto& k : keys) observe(k);
+  }
+
+  /// Close the epoch: query the sketch for every tracked flow, compare
+  /// with exact counts, reset the reservoir for the next epoch.
+  ///
+  /// `query` maps a flow key to the sketch's estimate; `stream_total` is n
+  /// in the eps*sqrt(n) bound; `degrade_level` scales it by sqrt(2^level).
+  EpochAccuracy close_epoch(const std::function<std::int64_t(const FlowKey&)>& query,
+                            std::int64_t stream_total, int degrade_level) {
+    EpochAccuracy acc;
+    acc.epoch = epochs_closed_++;
+    acc.degrade_level = degrade_level;
+    acc.inflation = std::sqrt(static_cast<double>(1ULL << degrade_level));
+    acc.bound = epsilon_ *
+                std::sqrt(static_cast<double>(stream_total > 0 ? stream_total : 0)) *
+                acc.inflation;
+
+    double sum_abs = 0.0;
+    for (auto& s : slots_) {
+      if (!s.used) continue;
+      const double err = std::abs(static_cast<double>(query(s.key) - s.count));
+      sum_abs += err;
+      if (err > acc.max_abs_error) acc.max_abs_error = err;
+      ++acc.tracked_flows;
+      s = Slot{};  // reset for next epoch
+    }
+    size_ = 0;
+    if (acc.tracked_flows > 0) {
+      acc.mean_abs_error = sum_abs / static_cast<double>(acc.tracked_flows);
+    }
+    acc.within_bound = acc.mean_abs_error <= acc.bound;
+    last_ = acc;
+    publish(acc);
+    return acc;
+  }
+
+  /// Export gauges under `<prefix>_accuracy_*`, refreshed at every
+  /// close_epoch: empirical mean/max error, the theoretical bound, the
+  /// degradation inflation factor, reservoir size, and a 0/1 bound-held
+  /// flag a dashboard can alert on.
+  void attach_telemetry(Registry& registry, const std::string& prefix) {
+    mean_err_ = &registry.gauge(prefix + "_accuracy_mean_abs_error",
+                                "mean |estimate-exact| over the sampled reservoir");
+    max_err_ = &registry.gauge(prefix + "_accuracy_max_abs_error",
+                               "max |estimate-exact| over the sampled reservoir");
+    bound_ = &registry.gauge(prefix + "_accuracy_bound",
+                             "theoretical eps*sqrt(n)*sqrt(2^level) bound");
+    inflation_ = &registry.gauge(prefix + "_accuracy_error_inflation",
+                                 "sqrt(2^level) degradation inflation");
+    tracked_ = &registry.gauge(prefix + "_accuracy_tracked_flows",
+                               "flows exactly tracked this epoch");
+    within_ = &registry.gauge(prefix + "_accuracy_within_bound",
+                              "1 when mean empirical error <= bound");
+  }
+
+  const EpochAccuracy& last() const noexcept { return last_; }
+  std::size_t tracked_flows() const noexcept { return size_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+
+ private:
+  struct Slot {
+    FlowKey key{};
+    std::uint64_t digest = 0;
+    std::int64_t count = 0;
+    bool used = false;
+  };
+
+  void upsert(const FlowKey& key, std::uint64_t digest, std::int64_t count) noexcept {
+    const std::size_t n = slots_.size();
+    std::size_t i = static_cast<std::size_t>(digest) & (n - 1);
+    for (std::size_t probes = 0; probes < n; ++probes) {
+      Slot& s = slots_[i];
+      if (s.used) {
+        if (s.digest == digest && s.key == key) {
+          s.count += count;
+          return;
+        }
+      } else {
+        if (size_ >= capacity_) return;  // reservoir full this epoch
+        s.key = key;
+        s.digest = digest;
+        s.count = count;
+        s.used = true;
+        ++size_;
+        return;
+      }
+      i = (i + 1) & (n - 1);
+    }
+  }
+
+  void publish(const EpochAccuracy& acc) noexcept {
+    if (mean_err_ != nullptr) mean_err_->set(acc.mean_abs_error);
+    if (max_err_ != nullptr) max_err_->set(acc.max_abs_error);
+    if (bound_ != nullptr) bound_->set(acc.bound);
+    if (inflation_ != nullptr) inflation_->set(acc.inflation);
+    if (tracked_ != nullptr) tracked_->set(static_cast<double>(acc.tracked_flows));
+    if (within_ != nullptr) within_->set(acc.within_bound ? 1.0 : 0.0);
+  }
+
+  double epsilon_;
+  std::uint64_t mask_;
+  std::size_t capacity_;
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::uint64_t epochs_closed_ = 0;
+  EpochAccuracy last_{};
+
+  Gauge* mean_err_ = nullptr;
+  Gauge* max_err_ = nullptr;
+  Gauge* bound_ = nullptr;
+  Gauge* inflation_ = nullptr;
+  Gauge* tracked_ = nullptr;
+  Gauge* within_ = nullptr;
+};
+
+}  // namespace nitro::telemetry

@@ -1,0 +1,233 @@
+#include "telemetry/trace.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+
+namespace nitro::telemetry {
+
+namespace detail {
+
+std::uint32_t thread_index() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local std::uint32_t mine =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return mine;
+}
+
+}  // namespace detail
+
+namespace {
+
+std::size_t round_up_pow2(std::size_t v) {
+  if (v < 8) v = 8;
+  return std::bit_ceil(v);
+}
+
+}  // namespace
+
+Tracer::Tracer(std::size_t capacity) : mask_(round_up_pow2(capacity) - 1) {}
+
+Tracer::~Tracer() {
+  // A still-installed tracer dying is a use-after-free waiting to happen in
+  // any thread racing a record(); clear the slot defensively.
+  Tracer* self = this;
+  detail::tracer_slot().compare_exchange_strong(self, nullptr,
+                                                std::memory_order_acq_rel);
+  for (auto& slot : bufs_) {
+    delete slot.load(std::memory_order_acquire);
+  }
+}
+
+Tracer::ThreadBuf& Tracer::buffer_for_thread() noexcept {
+  std::uint32_t idx = detail::thread_index();
+  if (idx >= kMaxThreads) idx = kMaxThreads - 1;
+  ThreadBuf* buf = bufs_[idx].load(std::memory_order_acquire);
+  if (buf == nullptr) {
+    auto* fresh = new ThreadBuf(mask_ + 1);
+    // Threads beyond kMaxThreads can race on the shared last index; the
+    // loser frees its allocation and uses the winner's buffer.
+    if (bufs_[idx].compare_exchange_strong(buf, fresh,
+                                           std::memory_order_acq_rel)) {
+      return *fresh;
+    }
+    delete fresh;
+  }
+  return *buf;
+}
+
+void Tracer::record(Stage stage, std::uint64_t source_id, std::uint64_t epoch,
+                    std::uint64_t start_ns, std::uint64_t end_ns) noexcept {
+  ThreadBuf& buf = buffer_for_thread();
+  const std::uint64_t ticket = buf.next.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = buf.slots[ticket & mask_];
+
+  // Seqlock write: odd seq marks the slot in-flight so a concurrent
+  // snapshot discards it, the final release store republishes it whole.
+  slot.seq.store(2 * ticket + 1, std::memory_order_release);
+  slot.start_ns.store(start_ns, std::memory_order_relaxed);
+  slot.end_ns.store(end_ns, std::memory_order_relaxed);
+  slot.source_id.store(source_id, std::memory_order_relaxed);
+  slot.epoch.store(epoch, std::memory_order_relaxed);
+  slot.stage.store(static_cast<std::uint64_t>(stage), std::memory_order_relaxed);
+  slot.seq.store(2 * ticket + 2, std::memory_order_release);
+
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+  const auto si = static_cast<std::size_t>(stage);
+  if (si < kNumStages && stage_ns_[si] != nullptr) {
+    stage_ns_[si]->observe(end_ns >= start_ns ? end_ns - start_ns : 0);
+  }
+  if (spans_total_ != nullptr) spans_total_->inc();
+}
+
+void Tracer::attach_telemetry(Registry& registry, const std::string& prefix) {
+  for (std::size_t i = 0; i < kNumStages; ++i) {
+    stage_ns_[i] = &registry.histogram(prefix + "_span_" +
+                                       to_string(static_cast<Stage>(i)) + "_ns");
+  }
+  spans_total_ = &registry.counter(prefix + "_spans_recorded_total");
+}
+
+std::vector<Span> Tracer::snapshot() const {
+  std::vector<Span> out;
+  for (std::uint32_t t = 0; t < kMaxThreads; ++t) {
+    const ThreadBuf* buf = bufs_[t].load(std::memory_order_acquire);
+    if (buf == nullptr) continue;
+    const std::uint64_t next = buf->next.load(std::memory_order_acquire);
+    const std::uint64_t cap = mask_ + 1;
+    const std::uint64_t first = next > cap ? next - cap : 0;
+    for (std::uint64_t ticket = first; ticket < next; ++ticket) {
+      const Slot& slot = buf->slots[ticket & mask_];
+      const std::uint64_t seq_before = slot.seq.load(std::memory_order_acquire);
+      if (seq_before != 2 * ticket + 2) continue;  // torn or overwritten
+      Span s;
+      s.tid = t;
+      s.start_ns = slot.start_ns.load(std::memory_order_relaxed);
+      s.end_ns = slot.end_ns.load(std::memory_order_relaxed);
+      s.source_id = slot.source_id.load(std::memory_order_relaxed);
+      s.epoch = slot.epoch.load(std::memory_order_relaxed);
+      const std::uint64_t raw_stage = slot.stage.load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (slot.seq.load(std::memory_order_relaxed) != seq_before) continue;
+      if (raw_stage >= kNumStages) continue;
+      s.stage = static_cast<Stage>(raw_stage);
+      out.push_back(s);
+    }
+  }
+  std::sort(out.begin(), out.end(), [](const Span& a, const Span& b) {
+    return a.start_ns < b.start_ns;
+  });
+  return out;
+}
+
+std::uint64_t Tracer::dropped() const noexcept {
+  std::uint64_t lost = 0;
+  const std::uint64_t cap = mask_ + 1;
+  for (const auto& slot : bufs_) {
+    const ThreadBuf* buf = slot.load(std::memory_order_acquire);
+    if (buf == nullptr) continue;
+    const std::uint64_t next = buf->next.load(std::memory_order_relaxed);
+    if (next > cap) lost += next - cap;
+  }
+  return lost;
+}
+
+namespace {
+
+void append_fmt(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) {
+    out.append(buf, std::min(static_cast<std::size_t>(n), sizeof(buf) - 1));
+  }
+}
+
+void append_escaped(std::string& out, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          append_fmt(out, "\\u%04x", c);
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+void append_span_event(std::string& out, const Span& s) {
+  // Chrome trace-event "complete" event; ts/dur are microseconds (double).
+  const double ts_us = static_cast<double>(s.start_ns) / 1e3;
+  const double dur_us =
+      static_cast<double>(s.end_ns >= s.start_ns ? s.end_ns - s.start_ns : 0) /
+      1e3;
+  append_fmt(out,
+             "{\"name\":\"%s\",\"cat\":\"epoch\",\"ph\":\"X\","
+             "\"ts\":%.3f,\"dur\":%.3f,\"pid\":%" PRIu64 ",\"tid\":%u,"
+             "\"args\":{\"source_id\":%" PRIu64 ",\"epoch\":%" PRIu64 "}}",
+             to_string(s.stage), ts_us, dur_us, s.source_id, s.tid,
+             s.source_id, s.epoch);
+}
+
+}  // namespace
+
+std::string to_chrome_json(const Tracer& tracer, const std::string& process_name) {
+  const auto spans = tracer.snapshot();
+
+  std::string out = "{\"traceEvents\":[";
+  // Name each pid (= source_id) track once so Perfetto shows
+  // "<process_name> src <id>" instead of a bare number.
+  std::vector<std::uint64_t> pids;
+  for (const auto& s : spans) {
+    if (std::find(pids.begin(), pids.end(), s.source_id) == pids.end()) {
+      pids.push_back(s.source_id);
+    }
+  }
+  bool first = true;
+  for (std::uint64_t pid : pids) {
+    if (!first) out += ",";
+    first = false;
+    out += "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":";
+    append_fmt(out, "%" PRIu64, pid);
+    out += ",\"tid\":0,\"args\":{\"name\":\"";
+    append_escaped(out, process_name);
+    append_fmt(out, " src %" PRIu64, pid);
+    out += "\"}}";
+  }
+  for (const auto& s : spans) {
+    if (!first) out += ",";
+    first = false;
+    append_span_event(out, s);
+  }
+  out += "]}";
+  return out;
+}
+
+std::string merge_chrome_traces(const std::vector<std::string>& traces) {
+  static const std::string kPrefix = "{\"traceEvents\":[";
+  std::string out = kPrefix;
+  bool first = true;
+  for (const auto& t : traces) {
+    if (t.rfind(kPrefix, 0) != 0) continue;  // not one of ours
+    const std::size_t end = t.rfind("]}");
+    if (end == std::string::npos || end <= kPrefix.size()) continue;
+    const std::string body = t.substr(kPrefix.size(), end - kPrefix.size());
+    if (body.empty()) continue;
+    if (!first) out += ",";
+    first = false;
+    out += body;
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace nitro::telemetry

@@ -19,6 +19,7 @@
 #include "export/exporter.hpp"
 #include "fault/fault.hpp"
 #include "telemetry/registry.hpp"
+#include "telemetry/trace.hpp"
 #include "trace/workloads.hpp"
 
 namespace nitro::xport {
@@ -202,6 +203,136 @@ TEST(ExportE2e, ThreeMonitorsOneCollectorUnderInjectedFaults) {
                          [&](const auto& g) { return g.key == r.key; });
   }
   EXPECT_GE(found, static_cast<int>(ref_hh.size() * 9 / 10));
+
+  server.stop();
+}
+
+TEST(ExportE2e, TraceSpansStitchMonitorToCollectorWithE2eLag) {
+  // The observability acceptance run (DESIGN.md §12): monitors with tracing
+  // enabled stream to a collector with its own tracer, and afterwards the
+  // two sides' spans stitch into one timeline keyed by (source_id, epoch):
+  // ingest → snapshot → export enqueue → wire send on the monitor side,
+  // collector apply → network merge on the collector side, in causal
+  // order.  The v2 timestamps make per-source end-to-end lag visible in
+  // the collector's stats.
+  CollectorConfig ccfg;
+  ccfg.um_cfg = um_config();
+  ccfg.seed = kSeed;
+  CollectorServer server(ccfg, *parse_endpoint("tcp:127.0.0.1:0"));
+  telemetry::Registry registry;
+  server.attach_telemetry(registry, "nitro_collector");
+  telemetry::Tracer collector_tracer;
+  server.core().set_tracer(&collector_tracer);
+  ASSERT_TRUE(server.start());
+  const Endpoint ep = server.endpoint();
+
+  telemetry::Tracer monitor_tracer;
+  telemetry::install_tracer(&monitor_tracer);
+  // Sequential monitors: the ambient tracer context is process-wide, as it
+  // is in the real (one-monitor-per-process) deployment.
+  for (int m = 1; m <= kMonitors; ++m) {
+    control::MeasurementDaemon::Tasks tasks;
+    control::MeasurementDaemon daemon(um_config(), vanilla_config(), tasks, kSeed);
+    ExporterConfig ecfg;
+    ecfg.endpoint = ep;
+    ecfg.source_id = static_cast<std::uint64_t>(m);
+    ecfg.connect_timeout_ms = 500;
+    ecfg.ack_timeout_ms = 1500;
+    EpochExporter exporter(ecfg, univmon_coalescer(um_config(), kSeed));
+    exporter.start();
+    daemon.set_export_sink([&exporter](control::ExportedEpoch&& e) {
+      exporter.publish(e.span, e.packets, std::move(e.snapshot), e.close_ns);
+    });
+
+    const auto stream = monitor_stream(m);
+    const std::size_t per_epoch = stream.size() / kEpochsPerMonitor;
+    std::size_t cursor = 0;
+    for (int e = 0; e < kEpochsPerMonitor; ++e) {
+      monitor_tracer.set_context(static_cast<std::uint64_t>(m), daemon.epoch());
+      const std::size_t end =
+          e == kEpochsPerMonitor - 1 ? stream.size() : cursor + per_epoch;
+      {
+        telemetry::ScopedSpan ingest(telemetry::Stage::kIngest,
+                                     static_cast<std::uint64_t>(m), daemon.epoch());
+        for (; cursor < end; ++cursor) daemon.on_packet(stream[cursor].key);
+      }
+      (void)daemon.end_epoch();
+    }
+    ASSERT_TRUE(exporter.flush(30'000)) << "monitor " << m;
+    exporter.stop();
+  }
+  telemetry::uninstall_tracer();
+
+  // Force a network-view merge so the collector side records that stage.
+  const std::uint64_t now = telemetry::Tracer::now_ns();
+  (void)server.core().merged_view(now);
+  server.core().publish_telemetry(now);
+
+  // --- per-source freshness/lag stats from the v2 timestamps --------------
+  const auto sources = server.core().sources(now);
+  ASSERT_EQ(sources.size(), static_cast<std::size_t>(kMonitors));
+  for (const auto& s : sources) {
+    EXPECT_NE(s.last_epoch_close_ns, 0u) << "source " << s.source_id;
+    EXPECT_NE(s.last_send_ns, 0u) << "source " << s.source_id;
+    EXPECT_GT(s.e2e_lag_ns, 0u) << "source " << s.source_id;
+    EXPECT_GE(s.e2e_lag_ns, s.wire_lag_ns) << "source " << s.source_id;
+    EXPECT_TRUE(registry.contains("nitro_collector_source_" +
+                                  std::to_string(s.source_id) + "_e2e_lag_ns"));
+    EXPECT_TRUE(registry.contains("nitro_collector_source_" +
+                                  std::to_string(s.source_id) + "_freshness_ns"));
+  }
+  EXPECT_EQ(registry.histogram("nitro_collector_e2e_lag_ns").count(),
+            server.core().epochs_applied());
+
+  // --- the two sides stitch by (source_id, epoch) -------------------------
+  const auto mon_spans = monitor_tracer.snapshot();
+  const auto col_spans = collector_tracer.snapshot();
+  auto find = [](const std::vector<telemetry::Span>& spans, telemetry::Stage st,
+                 std::uint64_t src, std::uint64_t epoch) -> const telemetry::Span* {
+    for (const auto& s : spans) {
+      if (s.stage == st && s.source_id == src && s.epoch == epoch) return &s;
+    }
+    return nullptr;
+  };
+  std::size_t applies = 0;
+  for (const auto& apply : col_spans) {
+    if (apply.stage != telemetry::Stage::kCollectorApply) continue;
+    ++applies;
+    const auto* enq = find(mon_spans, telemetry::Stage::kExportEnqueue,
+                           apply.source_id, apply.epoch);
+    const auto* send = find(mon_spans, telemetry::Stage::kWireSend,
+                            apply.source_id, apply.epoch);
+    const auto* ingest = find(mon_spans, telemetry::Stage::kIngest,
+                              apply.source_id, apply.epoch);
+    const auto* snap = find(mon_spans, telemetry::Stage::kSnapshot,
+                            apply.source_id, apply.epoch);
+    ASSERT_NE(enq, nullptr) << "src " << apply.source_id << " epoch " << apply.epoch;
+    ASSERT_NE(send, nullptr) << "src " << apply.source_id << " epoch " << apply.epoch;
+    ASSERT_NE(ingest, nullptr) << "src " << apply.source_id << " epoch " << apply.epoch;
+    ASSERT_NE(snap, nullptr) << "src " << apply.source_id << " epoch " << apply.epoch;
+    // Causal order on the shared steady clock: ingest precedes the
+    // snapshot/enqueue, the first send attempt precedes the apply.
+    EXPECT_LE(ingest->start_ns, snap->start_ns);
+    EXPECT_LE(snap->start_ns, enq->end_ns);
+    EXPECT_LE(send->start_ns, apply.end_ns);
+  }
+  EXPECT_EQ(applies, server.core().epochs_applied());
+  // The network merge recorded one span per live source.
+  std::size_t merges = 0;
+  for (const auto& s : col_spans) {
+    merges += s.stage == telemetry::Stage::kNetworkMerge;
+  }
+  EXPECT_GE(merges, static_cast<std::size_t>(kMonitors));
+
+  // --- the merged file both UIs would load --------------------------------
+  const std::string merged = telemetry::merge_chrome_traces(
+      {telemetry::to_chrome_json(monitor_tracer, "nitro_monitor"),
+       telemetry::to_chrome_json(collector_tracer, "nitro_collector")});
+  EXPECT_EQ(merged.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(merged.find("\"wire_send\""), std::string::npos);
+  EXPECT_NE(merged.find("\"collector_apply\""), std::string::npos);
+  EXPECT_NE(merged.find("nitro_monitor src 1"), std::string::npos);
+  EXPECT_NE(merged.find("nitro_collector src 1"), std::string::npos);
 
   server.stop();
 }

@@ -144,7 +144,86 @@ TEST(WireFuzz, BadInnerMagicAndVersionAreRejectedByName) {
     w.put_i64(0);
     w.put_blob({});
     const auto frame = control::seal_frame(w.bytes());
-    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99");
+    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99 (speaks 1..2)");
+  }
+}
+
+// --- Version negotiation (wire v2: epoch-close + send timestamps) ----------
+
+TEST(WireCodec, TimestampsRoundTripOnV2Frames) {
+  EpochMessage msg = sample_message();
+  msg.epoch_close_ns = 111'222'333'444ULL;
+  msg.send_ns = 111'222'999'000ULL;
+  const EpochMessage back = decode_epoch(encode_epoch(msg));
+  EXPECT_EQ(back.epoch_close_ns, msg.epoch_close_ns);
+  EXPECT_EQ(back.send_ns, msg.send_ns);
+}
+
+TEST(WireCodec, V1FramesFromOldMonitorsDecodeWithZeroTimestamps) {
+  // A v1 peer never wrote the timestamp fields; a v2 collector must accept
+  // the frame through the old layout and report "no freshness data".
+  const EpochMessage msg = sample_message();
+  control::ByteWriter w;
+  w.put_u32(kEpochMsgMagic);
+  w.put_u32(1);  // kWireVersionMin layout: no timestamps
+  w.put_u64(msg.source_id);
+  w.put_u64(msg.seq_first);
+  w.put_u64(msg.seq_last);
+  w.put_u64(msg.span.first);
+  w.put_u64(msg.span.last);
+  w.put_i64(msg.packets);
+  w.put_blob(msg.snapshot);
+  const EpochMessage back = decode_epoch(control::seal_frame(w.bytes()));
+  EXPECT_EQ(back.source_id, msg.source_id);
+  EXPECT_EQ(back.span, msg.span);
+  EXPECT_EQ(back.packets, msg.packets);
+  EXPECT_EQ(back.snapshot, msg.snapshot);
+  EXPECT_EQ(back.epoch_close_ns, 0u);
+  EXPECT_EQ(back.send_ns, 0u);
+}
+
+TEST(WireFuzz, OldCollectorSimulationRejectsNewerFramesByName) {
+  // The other direction of negotiation: a frame one version ahead of what
+  // this build speaks (as a v2 frame looks to an old v1 collector) is
+  // rejected by version — before any field of the unknown layout is read.
+  control::ByteWriter w;
+  w.put_u32(kEpochMsgMagic);
+  w.put_u32(kWireVersion + 1);
+  // No body at all: the gate must fire before the decoder wants one.
+  const auto frame = control::seal_frame(w.bytes());
+  EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 3 (speaks 1..2)");
+
+  control::ByteWriter a;
+  a.put_u32(kAckMsgMagic);
+  a.put_u32(kWireVersion + 1);
+  EXPECT_THROW((void)decode_ack(control::seal_frame(a.bytes())),
+               std::invalid_argument);
+}
+
+TEST(WireCodec, V1AcksStillCompleteTheHandshake) {
+  // The ack layout is unchanged; a v1 ack must be accepted by a v2 peer.
+  control::ByteWriter w;
+  w.put_u32(kAckMsgMagic);
+  w.put_u32(1);
+  w.put_u64(9);
+  w.put_u64(55);
+  w.put_u8(1);  // kApplied
+  const AckMessage back = decode_ack(control::seal_frame(w.bytes()));
+  EXPECT_EQ(back.source_id, 9u);
+  EXPECT_EQ(back.seq_last, 55u);
+  EXPECT_EQ(back.status, AckStatus::kApplied);
+}
+
+TEST(WireFuzz, V2TimestampFieldTruncationsAreRejected) {
+  // Re-run the truncation sweep focused on the bytes the v2 fields occupy:
+  // header(4+4) + ids(5*8) + packets(8) = 56, timestamps at [56, 72).
+  EpochMessage msg = sample_message();
+  msg.epoch_close_ns = ~0ULL;
+  msg.send_ns = ~0ULL;
+  const auto frame = encode_epoch(msg);
+  for (std::size_t n = frame.size() - msg.snapshot.size() - 24;
+       n < frame.size() && n < frame.size() - msg.snapshot.size(); ++n) {
+    EXPECT_NE(decode_error(std::span(frame).first(n)), "") << "length " << n;
   }
 }
 
@@ -160,6 +239,8 @@ TEST(WireFuzz, InsaneSequenceRangesAreRejected) {
     w.put_u64(span_first);
     w.put_u64(span_last);
     w.put_i64(0);
+    w.put_u64(0);  // epoch_close_ns (v2)
+    w.put_u64(0);  // send_ns (v2)
     w.put_blob({});
     return control::seal_frame(w.bytes());
   };

@@ -1,0 +1,413 @@
+// Span tracer: recording, ambient context, Chrome-JSON emission, and the
+// cross-process stitch (DESIGN.md §12).
+#include "telemetry/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "telemetry/registry.hpp"
+
+namespace nitro::telemetry {
+namespace {
+
+// --- A minimal JSON checker -------------------------------------------------
+// Enough of a parser to assert the emitted trace is *well-formed* (balanced,
+// correctly quoted, valid scalars) and to pull out the trace events.  Kept
+// local on purpose: the repo has no JSON dependency, and the test must not
+// trust the very serializer it checks.
+
+struct JsonEvent {
+  std::map<std::string, std::string> fields;  // scalar fields, raw text
+  std::map<std::string, std::string> args;    // args{} scalar fields
+};
+
+class JsonChecker {
+ public:
+  explicit JsonChecker(const std::string& text) : s_(text) {}
+
+  /// Parses the document; false (with a position) on any malformation.
+  bool parse() {
+    skip_ws();
+    if (!value()) return false;
+    skip_ws();
+    return pos_ == s_.size();
+  }
+
+  std::size_t error_pos() const { return pos_; }
+  const std::vector<JsonEvent>& events() const { return events_; }
+
+ private:
+  bool value() {
+    skip_ws();
+    if (pos_ >= s_.size()) return false;
+    switch (s_[pos_]) {
+      case '{': return object(nullptr);
+      case '[': return array();
+      case '"': return string_lit(nullptr);
+      case 't': return literal("true");
+      case 'f': return literal("false");
+      case 'n': return literal("null");
+      default: return number(nullptr);
+    }
+  }
+
+  /// `out` non-null: collect scalar members into it (one nesting level).
+  bool object(JsonEvent* out) {
+    if (s_[pos_] != '{') return false;
+    ++pos_;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == '}') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      std::string key;
+      if (!string_lit(&key)) return false;
+      skip_ws();
+      if (pos_ >= s_.size() || s_[pos_] != ':') return false;
+      ++pos_;
+      skip_ws();
+      const bool is_trace_events = key == "traceEvents";
+      if (out != nullptr && pos_ < s_.size() && s_[pos_] != '{' && s_[pos_] != '[') {
+        std::string val;
+        if (s_[pos_] == '"') {
+          if (!string_lit(&val)) return false;
+        } else if (!number(&val) && !captured_literal(&val)) {
+          return false;
+        }
+        out->fields[key] = val;
+      } else if (out != nullptr && key == "args" && pos_ < s_.size() &&
+                 s_[pos_] == '{') {
+        JsonEvent args;
+        if (!object(&args)) return false;
+        out->args = args.fields;
+      } else if (is_trace_events) {
+        if (!event_array()) return false;
+      } else if (!value()) {
+        return false;
+      }
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == '}') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool event_array() {
+    if (pos_ >= s_.size() || s_[pos_] != '[') return false;
+    ++pos_;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    for (;;) {
+      skip_ws();
+      JsonEvent ev;
+      if (pos_ >= s_.size() || s_[pos_] != '{' || !object(&ev)) return false;
+      events_.push_back(std::move(ev));
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool array() {
+    if (s_[pos_] != '[') return false;
+    ++pos_;
+    skip_ws();
+    if (pos_ < s_.size() && s_[pos_] == ']') { ++pos_; return true; }
+    for (;;) {
+      if (!value()) return false;
+      skip_ws();
+      if (pos_ >= s_.size()) return false;
+      if (s_[pos_] == ',') { ++pos_; continue; }
+      if (s_[pos_] == ']') { ++pos_; return true; }
+      return false;
+    }
+  }
+
+  bool string_lit(std::string* out) {
+    if (pos_ >= s_.size() || s_[pos_] != '"') return false;
+    ++pos_;
+    std::string val;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_];
+      if (c == '"') { ++pos_; if (out) *out = val; return true; }
+      if (static_cast<unsigned char>(c) < 0x20) return false;  // raw control
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= s_.size()) return false;
+        const char esc = s_[pos_];
+        if (esc == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= s_.size() || !std::isxdigit(static_cast<unsigned char>(s_[pos_]))) {
+              return false;
+            }
+          }
+        } else if (std::string("\"\\/bfnrt").find(esc) == std::string::npos) {
+          return false;
+        }
+        ++pos_;
+        continue;
+      }
+      val += c;
+      ++pos_;
+    }
+    return false;  // unterminated
+  }
+
+  bool number(std::string* out) {
+    const std::size_t start = pos_;
+    if (pos_ < s_.size() && s_[pos_] == '-') ++pos_;
+    bool digits = false;
+    while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+      digits = true;
+    }
+    if (!digits) { pos_ = start; return false; }
+    if (pos_ < s_.size() && s_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (pos_ < s_.size() && (s_[pos_] == 'e' || s_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < s_.size() && (s_[pos_] == '+' || s_[pos_] == '-')) ++pos_;
+      if (pos_ >= s_.size() || !std::isdigit(static_cast<unsigned char>(s_[pos_]))) {
+        return false;
+      }
+      while (pos_ < s_.size() && std::isdigit(static_cast<unsigned char>(s_[pos_]))) ++pos_;
+    }
+    if (out) *out = s_.substr(start, pos_ - start);
+    return true;
+  }
+
+  bool literal(const std::string& word) {
+    if (s_.compare(pos_, word.size(), word) != 0) return false;
+    pos_ += word.size();
+    return true;
+  }
+
+  bool captured_literal(std::string* out) {
+    for (const char* word : {"true", "false", "null"}) {
+      if (s_.compare(pos_, std::strlen(word), word) == 0) {
+        *out = word;
+        pos_ += std::strlen(word);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  const std::string s_;  // by value: callers pass temporaries
+  std::size_t pos_ = 0;
+  std::vector<JsonEvent> events_;
+};
+
+// --- Recording --------------------------------------------------------------
+
+TEST(Tracer, RecordsSpansWithKeysAndSortsSnapshotByStart) {
+  Tracer t(64);
+  t.record(Stage::kSnapshot, 7, 3, 2000, 2500);
+  t.record(Stage::kIngest, 7, 3, 1000, 3000);
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].stage, Stage::kIngest);   // earlier start first
+  EXPECT_EQ(spans[0].source_id, 7u);
+  EXPECT_EQ(spans[0].epoch, 3u);
+  EXPECT_EQ(spans[0].start_ns, 1000u);
+  EXPECT_EQ(spans[0].end_ns, 3000u);
+  EXPECT_EQ(spans[1].stage, Stage::kSnapshot);
+  EXPECT_EQ(t.total_recorded(), 2u);
+  EXPECT_EQ(t.dropped(), 0u);
+}
+
+TEST(Tracer, RingWraparoundKeepsNewestAndCountsDropped) {
+  Tracer t(8);  // tiny ring
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    t.record(Stage::kIngest, 1, i, 100 * i, 100 * i + 50);
+  }
+  const auto spans = t.snapshot();
+  EXPECT_EQ(spans.size(), t.capacity_per_thread());
+  // The retained window is the newest `capacity` records.
+  EXPECT_EQ(spans.front().epoch, 20 - t.capacity_per_thread());
+  EXPECT_EQ(spans.back().epoch, 19u);
+  EXPECT_EQ(t.dropped(), 20 - t.capacity_per_thread());
+  EXPECT_EQ(t.total_recorded(), 20u);
+}
+
+TEST(Tracer, ScopedSpanUsesAmbientInstallAndContext) {
+  Tracer t;
+  t.set_context(42, 9);
+  install_tracer(&t);
+  { ScopedSpan span(Stage::kShardDrain); }
+  uninstall_tracer();
+  // After uninstall, spans go nowhere (and must not crash).
+  { ScopedSpan span(Stage::kShardDrain); }
+
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].stage, Stage::kShardDrain);
+  EXPECT_EQ(spans[0].source_id, 42u);
+  EXPECT_EQ(spans[0].epoch, 9u);
+  EXPECT_LE(spans[0].start_ns, spans[0].end_ns);
+}
+
+TEST(Tracer, ScopedSpanOverrideTracerBypassesAmbient) {
+  Tracer ambient;
+  Tracer mine;
+  install_tracer(&ambient);
+  { ScopedSpan span(Stage::kCollectorApply, 5, 1, &mine); }
+  uninstall_tracer();
+  EXPECT_EQ(ambient.total_recorded(), 0u);
+  ASSERT_EQ(mine.snapshot().size(), 1u);
+  EXPECT_EQ(mine.snapshot()[0].source_id, 5u);
+}
+
+TEST(Tracer, AttachTelemetryFeedsPerStageHistograms) {
+  Tracer t;
+  Registry reg;
+  t.attach_telemetry(reg, "nitro_trace");
+  t.record(Stage::kWireSend, 1, 1, 1000, 5000);
+  t.record(Stage::kWireSend, 1, 2, 1000, 9000);
+  const auto& h = reg.histogram("nitro_trace_span_wire_send_ns");
+  EXPECT_EQ(h.count(), 2u);
+  EXPECT_EQ(reg.counter("nitro_trace_spans_recorded_total").value(), 2u);
+  EXPECT_EQ(reg.histogram("nitro_trace_span_ingest_ns").count(), 0u);
+}
+
+TEST(Tracer, DisabledSlotCostsNothingAndRecordsNothing) {
+  // No tracer installed: the ScopedSpan must be a no-op.
+  ASSERT_EQ(tracer(), nullptr);
+  { ScopedSpan span(Stage::kIngest, 1, 1); }
+  { ScopedSpan span(Stage::kBurstFlush); }
+}
+
+// --- Chrome trace-event JSON ------------------------------------------------
+
+TEST(TraceJson, EmitsWellFormedChromeTraceJson) {
+  Tracer t;
+  t.record(Stage::kIngest, 7, 0, 1'000'000, 9'000'000);
+  t.record(Stage::kSnapshot, 7, 0, 9'100'000, 9'200'000);
+  const std::string json = to_chrome_json(t, "nitro_monitor");
+
+  JsonChecker check(json);
+  ASSERT_TRUE(check.parse()) << "malformed at byte " << check.error_pos()
+                             << " of: " << json;
+  // 1 process_name metadata event + 2 spans.
+  ASSERT_EQ(check.events().size(), 3u);
+  const auto& meta = check.events()[0];
+  EXPECT_EQ(meta.fields.at("ph"), "M");
+  EXPECT_EQ(meta.fields.at("name"), "process_name");
+  EXPECT_EQ(meta.args.at("name"), "nitro_monitor src 7");
+
+  const auto& ingest = check.events()[1];
+  EXPECT_EQ(ingest.fields.at("name"), "ingest");
+  EXPECT_EQ(ingest.fields.at("ph"), "X");
+  EXPECT_EQ(ingest.fields.at("pid"), "7");
+  EXPECT_EQ(ingest.args.at("epoch"), "0");
+  EXPECT_EQ(ingest.args.at("source_id"), "7");
+  // ts/dur are microseconds.
+  EXPECT_EQ(std::stod(ingest.fields.at("ts")), 1000.0);
+  EXPECT_EQ(std::stod(ingest.fields.at("dur")), 8000.0);
+}
+
+TEST(TraceJson, SpansNestWithinTheirEpochIngestSpan) {
+  Tracer t;
+  install_tracer(&t);
+  t.set_context(3, 11);
+  {
+    ScopedSpan ingest(Stage::kIngest, 3, 11);
+    { ScopedSpan burst(Stage::kBurstFlush); }
+    { ScopedSpan burst(Stage::kBurstFlush); }
+  }
+  uninstall_tracer();
+
+  const auto spans = t.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  const Span* ingest = nullptr;
+  std::vector<const Span*> bursts;
+  for (const auto& s : spans) {
+    if (s.stage == Stage::kIngest) ingest = &s;
+    if (s.stage == Stage::kBurstFlush) bursts.push_back(&s);
+  }
+  ASSERT_NE(ingest, nullptr);
+  ASSERT_EQ(bursts.size(), 2u);
+  for (const Span* b : bursts) {
+    // Nesting: children lie inside the parent interval and share its keys.
+    EXPECT_GE(b->start_ns, ingest->start_ns);
+    EXPECT_LE(b->end_ns, ingest->end_ns);
+    EXPECT_EQ(b->source_id, ingest->source_id);
+    EXPECT_EQ(b->epoch, ingest->epoch);
+  }
+}
+
+TEST(TraceJson, MergedTracesStitchAcrossProcessesByPidAndEpoch) {
+  // Monitor-side spans in one tracer, collector-side in another — two
+  // processes' worth.  After merging, the same (pid, epoch) identifies
+  // the same epoch's spans on both sides.
+  Tracer monitor_side;
+  monitor_side.record(Stage::kExportEnqueue, 7, 4, 1000, 1100);
+  monitor_side.record(Stage::kWireSend, 7, 4, 1200, 2000);
+  Tracer collector_side;
+  collector_side.record(Stage::kCollectorApply, 7, 4, 2100, 2600);
+
+  const std::string merged = merge_chrome_traces({
+      to_chrome_json(monitor_side, "nitro_monitor"),
+      to_chrome_json(collector_side, "nitro_collector"),
+  });
+  JsonChecker check(merged);
+  ASSERT_TRUE(check.parse()) << "malformed at byte " << check.error_pos();
+
+  bool saw_send = false, saw_apply = false;
+  for (const auto& ev : check.events()) {
+    if (ev.fields.at("ph") != "X") continue;
+    ASSERT_EQ(ev.fields.at("pid"), "7");
+    ASSERT_EQ(ev.args.at("epoch"), "4");
+    if (ev.fields.at("name") == "wire_send") saw_send = true;
+    if (ev.fields.at("name") == "collector_apply") saw_apply = true;
+  }
+  EXPECT_TRUE(saw_send);
+  EXPECT_TRUE(saw_apply);
+}
+
+TEST(TraceJson, MergeSkipsForeignInputsAndHandlesEmpty) {
+  Tracer t;
+  t.record(Stage::kIngest, 1, 0, 10, 20);
+  const std::string good = to_chrome_json(t, "m");
+  const std::string merged =
+      merge_chrome_traces({good, "not json at all", "", "{\"foo\":1}"});
+  JsonChecker check(merged);
+  ASSERT_TRUE(check.parse());
+  EXPECT_EQ(check.events().size(), 2u);  // metadata + 1 span, garbage skipped
+
+  JsonChecker empty_check(merge_chrome_traces({}));
+  EXPECT_TRUE(empty_check.parse());
+  EXPECT_TRUE(empty_check.events().empty());
+}
+
+TEST(TraceJson, EscapesProcessNames) {
+  Tracer t;
+  t.record(Stage::kIngest, 1, 0, 10, 20);
+  const std::string json = to_chrome_json(t, "we\"ird\\name\n");
+  JsonChecker check(json);
+  ASSERT_TRUE(check.parse()) << "malformed at byte " << check.error_pos()
+                             << " of: " << json;
+}
+
+}  // namespace
+}  // namespace nitro::telemetry

@@ -16,6 +16,12 @@
 //                   [--seed N] [--hh-threshold FRAC] [--top N]
 //                   [--interval-ms N] [--staleness-ms N] [--run-for-ms N]
 //                   [--stats-out FILE] [--stats-format prom|json]
+//                   [--stats-interval MS] [--trace-out FILE]
+//
+// --stats-interval decouples stats dumps from the (human-paced) print
+// interval; both files use the atomic tmp+rename write path.  --trace-out
+// records collector-side apply/merge spans as Chrome/Perfetto JSON; merge
+// with the monitors' trace files for the end-to-end timeline.
 //
 // Examples:
 //   nitro_collector --listen tcp:127.0.0.1:9909
@@ -27,12 +33,14 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
 #include "common/flow_key.hpp"
 #include "export/collector.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 
 namespace {
 
@@ -50,6 +58,8 @@ struct Options {
   std::uint64_t run_for_ms = 0;  // 0 = until SIGINT/SIGTERM
   std::string stats_out;
   std::string stats_format = "json";
+  int stats_interval_ms = 0;  // 0 = dump on the print interval (old behavior)
+  std::string trace_out;
 };
 
 void usage(const char* argv0) {
@@ -57,7 +67,8 @@ void usage(const char* argv0) {
                "usage: %s --listen tcp:HOST:PORT|unix:PATH\n"
                "          [--seed N] [--hh-threshold FRAC] [--top N]\n"
                "          [--interval-ms N] [--staleness-ms N] [--run-for-ms N]\n"
-               "          [--stats-out FILE] [--stats-format prom|json]\n",
+               "          [--stats-out FILE] [--stats-format prom|json]\n"
+               "          [--stats-interval MS] [--trace-out FILE]\n",
                argv0);
 }
 
@@ -104,6 +115,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "unknown stats format '%s' (want prom|json)\n", v);
         return false;
       }
+    } else if (arg == "--stats-interval") {
+      if (!(v = next())) return false;
+      opt.stats_interval_ms = std::atoi(v);
+      if (opt.stats_interval_ms < 10) opt.stats_interval_ms = 10;
+    } else if (arg == "--trace-out") {
+      if (!(v = next())) return false;
+      opt.trace_out = v;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -134,7 +152,7 @@ void print_view(const Options& opt, nitro::xport::CollectorCore& core) {
   for (const auto& s : sources) {
     std::printf(
         "  src %llu: epochs [%llu..%llu] applied=%llu packets=%lld"
-        " dup=%llu gap=%llu coalesced=%llu%s\n",
+        " dup=%llu gap=%llu coalesced=%llu",
         static_cast<unsigned long long>(s.source_id),
         static_cast<unsigned long long>(s.span.first),
         static_cast<unsigned long long>(s.span.last),
@@ -142,8 +160,17 @@ void print_view(const Options& opt, nitro::xport::CollectorCore& core) {
         static_cast<long long>(s.packets),
         static_cast<unsigned long long>(s.duplicates),
         static_cast<unsigned long long>(s.gap_epochs),
-        static_cast<unsigned long long>(s.coalesced_epochs),
-        s.stale ? "  [STALE — quarantined]" : "");
+        static_cast<unsigned long long>(s.coalesced_epochs));
+    if (s.last_epoch_close_ns != 0) {
+      // e2e lag at apply time; freshness keeps aging while the source is
+      // silent (it is what the staleness quarantine watches).
+      const std::uint64_t freshness =
+          now > s.last_epoch_close_ns ? now - s.last_epoch_close_ns : 0;
+      std::printf(" e2e-lag=%.1fms fresh=%.1fms",
+                  static_cast<double>(s.e2e_lag_ns) / 1e6,
+                  static_cast<double>(freshness) / 1e6);
+    }
+    std::printf("%s\n", s.stale ? "  [STALE — quarantined]" : "");
   }
   const auto merged = core.merged_view(now);
   const std::int64_t packets = core.merged_packets(now);
@@ -188,6 +215,13 @@ int main(int argc, char** argv) {
   telemetry::Registry registry;
   xport::CollectorServer server(cfg, *ep);
   server.attach_telemetry(registry, "nitro_collector");
+
+  std::unique_ptr<telemetry::Tracer> tracer;
+  if (!opt.trace_out.empty()) {
+    tracer = std::make_unique<telemetry::Tracer>();
+    tracer->attach_telemetry(registry, "nitro_collector_trace");
+    telemetry::install_tracer(tracer.get());
+  }
   if (!server.start()) {
     std::fprintf(stderr, "failed to listen on %s\n", ep->to_string().c_str());
     return 2;
@@ -199,8 +233,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.staleness_ms));
 
+  // Stats dumps run on their own cadence when --stats-interval is given
+  // (parity with nitro_monitor); otherwise they ride the print interval.
+  const std::uint64_t stats_period_ns =
+      static_cast<std::uint64_t>(opt.stats_interval_ms != 0 ? opt.stats_interval_ms
+                                                            : opt.interval_ms) *
+      1'000'000ULL;
   const std::uint64_t start = now_ns();
   std::uint64_t last_print = start;
+  std::uint64_t last_stats = start;
   while (!g_stop.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
     const std::uint64_t now = now_ns();
@@ -209,12 +250,14 @@ int main(int argc, char** argv) {
       last_print = now;
       server.core().publish_telemetry(now);
       print_view(opt, server.core());
-      if (!opt.stats_out.empty()) {
-        const std::string text = opt.stats_format == "prom"
-                                     ? telemetry::to_prometheus(registry)
-                                     : telemetry::to_json(registry);
-        telemetry::write_file(opt.stats_out, text);
-      }
+    }
+    if (!opt.stats_out.empty() && now - last_stats >= stats_period_ns) {
+      last_stats = now;
+      server.core().publish_telemetry(now);
+      const std::string text = opt.stats_format == "prom"
+                                   ? telemetry::to_prometheus(registry)
+                                   : telemetry::to_json(registry);
+      telemetry::write_file(opt.stats_out, text);
     }
   }
 
@@ -230,5 +273,19 @@ int main(int argc, char** argv) {
     }
   }
   server.stop();
+
+  if (tracer) {
+    telemetry::uninstall_tracer();
+    const std::string json =
+        telemetry::to_chrome_json(*tracer, "nitro_collector");
+    if (telemetry::write_file(opt.trace_out, json)) {
+      std::printf("[collector] trace: %llu span(s) written to %s\n",
+                  static_cast<unsigned long long>(tracer->total_recorded()),
+                  opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "[collector] trace: failed to write %s\n",
+                   opt.trace_out.c_str());
+    }
+  }
   return 0;
 }

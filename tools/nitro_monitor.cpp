@@ -54,7 +54,9 @@
 #include "switchsim/ovs_pipeline.hpp"
 #include "switchsim/packet.hpp"
 #include "switchsim/profile.hpp"
+#include "telemetry/accuracy.hpp"
 #include "telemetry/telemetry.hpp"
+#include "telemetry/trace.hpp"
 #include "trace/trace_io.hpp"
 #include "trace/workloads.hpp"
 
@@ -81,6 +83,8 @@ struct Options {
   std::string checkpoint_dir;
   std::string export_to;  // tcp:HOST:PORT or unix:PATH (empty = no export)
   std::uint64_t source_id = 1;
+  std::string trace_out;     // Chrome/Perfetto trace JSON (empty = no tracing)
+  int accuracy_sample = 0;   // reservoir size; 0 = observer off
 };
 
 void usage(const char* argv0) {
@@ -93,7 +97,8 @@ void usage(const char* argv0) {
                "          [--burst N]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
                "          [--stats-interval N] [--checkpoint-dir DIR]\n"
-               "          [--export-to tcp:HOST:PORT|unix:PATH] [--source-id N]\n",
+               "          [--export-to tcp:HOST:PORT|unix:PATH] [--source-id N]\n"
+               "          [--trace-out FILE] [--accuracy-sample N]\n",
                argv0);
 }
 
@@ -184,6 +189,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "--source-id must be >= 1\n");
         return false;
       }
+    } else if (arg == "--trace-out") {
+      if (!(v = next())) return false;
+      opt.trace_out = v;
+    } else if (arg == "--accuracy-sample") {
+      if (!(v = next())) return false;
+      opt.accuracy_sample = std::atoi(v);
+      if (opt.accuracy_sample < 0) opt.accuracy_sample = 0;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -225,22 +237,31 @@ struct DaemonSketchAdapter {
 /// group's rings; finish() is the per-epoch drain barrier.
 class ShardedDaemonMeasurement final : public nitro::switchsim::Measurement {
  public:
-  explicit ShardedDaemonMeasurement(nitro::shard::ShardGroup<nitro::core::NitroUnivMon>& group)
-      : group_(group) {}
+  /// `accuracy` (may be null) is fed from the dispatch thread — the only
+  /// place in the sharded integration that still sees every packet — so
+  /// the exact reservoir matches the post-merge global sketch.
+  ShardedDaemonMeasurement(nitro::shard::ShardGroup<nitro::core::NitroUnivMon>& group,
+                           nitro::telemetry::AccuracyObserver* accuracy)
+      : group_(group), accuracy_(accuracy) {}
 
   void on_packet(const nitro::FlowKey& key, std::uint16_t, std::uint64_t ts_ns) override {
     group_.update(key, 1, ts_ns);
+    if (accuracy_ != nullptr) accuracy_->observe(key);
   }
 
   void on_burst(const nitro::FlowKey* keys, const std::uint16_t*, std::size_t n,
                 std::uint64_t ts_ns) override {
     group_.update_burst(std::span<const nitro::FlowKey>(keys, n), 1, ts_ns);
+    if (accuracy_ != nullptr) {
+      accuracy_->observe_burst(std::span<const nitro::FlowKey>(keys, n));
+    }
   }
 
   void finish() override { group_.drain(); }
 
  private:
   nitro::shard::ShardGroup<nitro::core::NitroUnivMon>& group_;
+  nitro::telemetry::AccuracyObserver* accuracy_;
 };
 
 void write_stats(const Options& opt, nitro::telemetry::Registry& registry) {
@@ -302,6 +323,29 @@ int main(int argc, char** argv) {
   telemetry::Registry registry;
   daemon.attach_telemetry(registry);
 
+  // Span tracing (--trace-out): install a process-wide tracer; every
+  // lifecycle site (ingest, burst flush, shard drain/merge, snapshot,
+  // checkpoint, export enqueue, wire send) records into it, and the
+  // retained spans are written as Chrome/Perfetto-loadable JSON at exit.
+  std::unique_ptr<telemetry::Tracer> tracer;
+  if (!opt.trace_out.empty()) {
+    tracer = std::make_unique<telemetry::Tracer>();
+    tracer->attach_telemetry(registry, "nitro_trace");
+    tracer->set_context(opt.source_id, daemon.epoch());
+    telemetry::install_tracer(tracer.get());
+  }
+
+  // Online accuracy observer (--accuracy-sample N): exact-count a hash
+  // sample of flows and compare against the sketch each epoch.
+  std::unique_ptr<telemetry::AccuracyObserver> accuracy;
+  if (opt.accuracy_sample > 0) {
+    accuracy = std::make_unique<telemetry::AccuracyObserver>(
+        nitro_cfg.epsilon, /*sample_bits=*/6,
+        static_cast<std::size_t>(opt.accuracy_sample));
+    accuracy->attach_telemetry(registry, "nitro_univmon");
+    daemon.set_accuracy_observer(accuracy.get());
+  }
+
   // Crash-safe operation: restore the daemon from the newest valid
   // checkpoint (falling back to the previous generation on a torn write)
   // and re-save at every epoch boundary.  Corruption is reported loudly,
@@ -360,7 +404,7 @@ int main(int argc, char** argv) {
     exporter->attach_telemetry(registry, "nitro_export");
     exporter->start();
     daemon.set_export_sink([&exporter](control::ExportedEpoch&& e) {
-      exporter->publish(e.span, e.packets, std::move(e.snapshot));
+      exporter->publish(e.span, e.packets, std::move(e.snapshot), e.close_ns);
     });
     std::printf("exporting epochs to %s as source %llu\n",
                 export_ep->to_string().c_str(),
@@ -388,7 +432,8 @@ int main(int argc, char** argv) {
           return core::NitroUnivMon(um_cfg, shard_cfg, opt.seed);
         });
     shard_group->attach_telemetry(registry, "nitro_shard");
-    measurement = std::make_unique<ShardedDaemonMeasurement>(*shard_group);
+    measurement = std::make_unique<ShardedDaemonMeasurement>(*shard_group,
+                                                             accuracy.get());
     // Keep the snapshot schema stable across integrations.
     registry.counter("nitro_ring_drops_total", "ring overruns: samples dropped");
     registry.counter("nitro_ring_idle_spins_total",
@@ -416,11 +461,21 @@ int main(int argc, char** argv) {
   std::size_t cursor = 0;
   for (int e = 0; e < opt.epochs; ++e) {
     const std::size_t end = (e == opt.epochs - 1) ? raws.size() : cursor + per_epoch;
-    const auto stats =
-        pipe.run(std::span<const switchsim::RawPacket>(raws).subspan(cursor, end - cursor),
-                 &prof);
+    // Ambient trace keys for this epoch: deep sites (burst flush, shard
+    // drain, snapshot, checkpoint) pick them up without plumbing.
+    if (tracer) tracer->set_context(opt.source_id, daemon.epoch());
+    switchsim::RunStats stats;
+    {
+      telemetry::ScopedSpan ingest_span(telemetry::Stage::kIngest,
+                                        opt.source_id, daemon.epoch());
+      stats = pipe.run(
+          std::span<const switchsim::RawPacket>(raws).subspan(cursor, end - cursor),
+          &prof);
+    }
     cursor = end;
     if (shard_group) {
+      telemetry::ScopedSpan merge_span(telemetry::Stage::kShardMerge,
+                                       opt.source_id, daemon.epoch());
       // Epoch boundary: the pipeline's finish() drained the rings, so the
       // shards are quiescent.  Merge every live shard into the daemon's
       // (idle) data plane, reset the shards for the next epoch, and let
@@ -459,6 +514,13 @@ int main(int argc, char** argv) {
                 " %zu changed flows\n",
                 report.entropy, report.distinct, report.heavy_hitters.size(),
                 report.changed_flows.size());
+    if (accuracy && report.accuracy.tracked_flows > 0) {
+      const auto& a = report.accuracy;
+      std::printf("accuracy: %zu tracked | mean err %.1f | max err %.1f |"
+                  " bound %.1f (x%.2f degrade) | %s\n",
+                  a.tracked_flows, a.mean_abs_error, a.max_abs_error, a.bound,
+                  a.inflation, a.within_bound ? "WITHIN BOUND" : "BOUND EXCEEDED");
+    }
     int shown = 0;
     for (const auto& h : report.heavy_hitters) {
       std::printf("  HH  %-44s %10lld\n", to_string(h.key).c_str(),
@@ -495,6 +557,19 @@ int main(int argc, char** argv) {
   if (!opt.stats_out.empty()) {
     std::printf("\ntelemetry snapshot (%s) written to %s\n",
                 opt.stats_format.c_str(), opt.stats_out.c_str());
+  }
+
+  if (tracer) {
+    telemetry::uninstall_tracer();
+    const std::string json = telemetry::to_chrome_json(*tracer, "nitro_monitor");
+    if (telemetry::write_file(opt.trace_out, json)) {
+      std::printf("trace: %llu span(s) written to %s (load in ui.perfetto.dev"
+                  " or chrome://tracing)\n",
+                  static_cast<unsigned long long>(tracer->total_recorded()),
+                  opt.trace_out.c_str());
+    } else {
+      std::fprintf(stderr, "trace: failed to write %s\n", opt.trace_out.c_str());
+    }
   }
   return 0;
 }
