@@ -25,6 +25,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <vector>
 
 #include "core/nitro_sketch.hpp"
@@ -102,8 +103,33 @@ int run_span_gate(const trace::Trace& stream) {
        "loop: `if constexpr` removes it, zero overhead by construction");
 
   burst_replay_mpps<false>(stream);  // warm
-  const double no_site = best_burst_mpps<false>(stream);
-  const double disabled = best_burst_mpps<true>(stream);  // no tracer installed
+
+  // Paired reps: CPU frequency drifts between runs on a shared box, so
+  // measuring every baseline rep before every site rep folds that drift
+  // into the overhead number (it has shown the installed tracer "beating"
+  // the null-check path).  Run the two variants back-to-back within each
+  // rep — alternating which goes first, so a warmup/boost bias toward one
+  // slot cancels — and gate on the cleanest pair: interference only ever
+  // slows a run down, so the minimum paired overhead is the best estimate
+  // of true cost.  Pairs are ~tens of ms, so take plenty even in --quick.
+  const int pairs = std::max(g_reps, 7);
+  double no_site = 0.0;
+  double disabled = 0.0;
+  double disabled_overhead = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < pairs; ++rep) {
+    double base, site;  // site = span present, no tracer installed
+    if (rep % 2 == 0) {
+      base = burst_replay_mpps<false>(stream);
+      site = burst_replay_mpps<true>(stream);
+    } else {
+      site = burst_replay_mpps<true>(stream);
+      base = burst_replay_mpps<false>(stream);
+    }
+    no_site = std::max(no_site, base);
+    disabled = std::max(disabled, site);
+    disabled_overhead =
+        std::min(disabled_overhead, 100.0 * (base - site) / base);
+  }
 
   telemetry::Tracer tracer(1 << 12);
   telemetry::install_tracer(&tracer);
@@ -115,13 +141,12 @@ int run_span_gate(const trace::Trace& stream) {
   };
   std::printf("\n  %-24s %10s %12s\n", "span path", "Mpps", "overhead");
   std::printf("  %-24s %10.2f %11.2f%%\n", "no site (compiled out)", no_site, 0.0);
-  std::printf("  %-24s %10.2f %11.2f%%\n", "site, no tracer", disabled,
-              overhead(disabled));
+  std::printf("  %-24s %10.2f %11.2f%%  (best pair)\n", "site, no tracer",
+              disabled, disabled_overhead);
   std::printf("  %-24s %10.2f %11.2f%%  (%llu spans)\n", "site, tracer installed",
               installed, overhead(installed),
               static_cast<unsigned long long>(tracer.total_recorded()));
 
-  const double disabled_overhead = overhead(disabled);
   if (disabled_overhead > kBudgetPercent) {
     std::printf("\n  FAIL: runtime-disabled span site costs %.2f%% (> %.1f%% budget)\n",
                 disabled_overhead, kBudgetPercent);
