@@ -1,5 +1,6 @@
 #include "export/collector.hpp"
 
+#include <algorithm>
 #include <chrono>
 
 #include "control/codec.hpp"
@@ -10,7 +11,51 @@ namespace nitro::xport {
 // ---------------------------------------------------------------------------
 // CollectorCore
 
-CollectorCore::CollectorCore(const CollectorConfig& cfg) : cfg_(cfg) {}
+CollectorCore::CollectorCore(const CollectorConfig& cfg)
+    : cfg_(cfg), net_acc_(std::make_unique<sketch::UnivMon>(cfg.um_cfg, cfg.seed)) {
+  index_.store(std::make_shared<const Index>());
+  // Generation 0: empty view, valid until the first source appears.
+  auto v = std::make_shared<NetworkView>(cfg_.um_cfg, cfg_.seed);
+  view_.store(ViewPtr(std::move(v)));
+}
+
+bool CollectorCore::refresh_staleness(Source& src, std::uint64_t now_ns) const {
+  const bool stale_now =
+      is_stale(src.last_seen_ns.load(std::memory_order_relaxed), now_ns);
+  if (stale_now && !src.stats.stale) {
+    src.stats.stale = true;
+    if (quarantines_ != nullptr) quarantines_->inc();
+    version_.fetch_add(1, std::memory_order_release);
+  } else if (!stale_now && src.stats.stale) {
+    src.stats.stale = false;
+    ++src.stats.rejoins;
+    if (rejoins_ != nullptr) rejoins_->inc();
+    version_.fetch_add(1, std::memory_order_release);
+  }
+  return stale_now;
+}
+
+CollectorCore::Source* CollectorCore::find_or_create(std::uint64_t source_id) {
+  const IndexPtr idx = index_.load();
+  const auto it = std::lower_bound(
+      idx->begin(), idx->end(), source_id,
+      [](const IndexEntry& e, std::uint64_t id) { return e.id < id; });
+  if (it != idx->end() && it->id == source_id) return it->src;
+
+  std::lock_guard lk(map_mu_);
+  auto [map_it, inserted] =
+      sources_.try_emplace(source_id, nullptr);
+  if (inserted) {
+    map_it->second = std::make_unique<Source>(cfg_);
+    map_it->second->stats.source_id = source_id;
+    // Publish a new sorted index (copy-on-write; map iteration is sorted).
+    auto fresh = std::make_shared<Index>();
+    fresh->reserve(sources_.size());
+    for (const auto& [id, src] : sources_) fresh->push_back({id, src.get()});
+    index_.store(IndexPtr(std::move(fresh)));
+  }
+  return map_it->second.get();
+}
 
 CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
                                             std::uint64_t now_ns) {
@@ -18,19 +63,26 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
   // oldest covered epoch, matching the exporter's wire_send span.
   telemetry::ScopedSpan trace(telemetry::Stage::kCollectorApply, msg.source_id,
                               msg.span.first, tracer_);
-  std::lock_guard lk(mu_);
-  auto it = sources_.find(msg.source_id);
-  if (it == sources_.end()) {
-    auto src = std::make_unique<Source>(cfg_);
-    src->stats.source_id = msg.source_id;
-    it = sources_.emplace(msg.source_id, std::move(src)).first;
+
+  // Decode with NO lock held — it needs only the config, and it is the
+  // expensive part of ingest.  A stall here (injected or real) must never
+  // block another source's apply.
+  std::uint64_t param = 0;
+  if (fault::point(fault::Site::kCollectorDecode,
+                   static_cast<std::uint32_t>(msg.source_id),
+                   &param) == fault::Action::kStall) {
+    fault::stall_ns(param, [] { return false; });
   }
-  Source& src = *it->second;
-  // Any message — even a duplicate — proves the source is alive.
-  src.stats.last_seen_ns = now_ns;
-  if (src.stats.stale) {
-    src.stats.stale = false;  // rejoin the merged view
-  }
+  sketch::UnivMon tmp(cfg_.um_cfg, cfg_.seed);
+  control::load_univmon(msg.snapshot, tmp);  // throws on corruption
+
+  Source* src_ptr = find_or_create(msg.source_id);
+  Source& src = *src_ptr;
+  std::lock_guard lk(src.mu);
+  // Any message — even a duplicate — proves the source is alive; a
+  // quarantined source rejoins here (counted by refresh_staleness).
+  src.last_seen_ns.store(now_ns, std::memory_order_relaxed);
+  refresh_staleness(src, now_ns);
 
   const std::uint64_t applied_up_to = src.stats.last_seq;
   if (msg.seq_last <= applied_up_to) {
@@ -47,9 +99,9 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
     return Ingest::kOverlapDropped;
   }
 
-  sketch::UnivMon tmp(cfg_.um_cfg, cfg_.seed);
-  control::load_univmon(msg.snapshot, tmp);  // throws on corruption
-  src.acc.merge(tmp);
+  src.acc.merge(tmp);      // full accumulator (full re-folds)
+  src.pending.merge(tmp);  // delta since the last fold (incremental builds)
+  src.dirty = true;
 
   if (msg.seq_first > applied_up_to + 1) {
     const std::uint64_t lost = msg.seq_first - applied_up_to - 1;
@@ -70,7 +122,7 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
     src.stats.span.widen(msg.span);
   }
   src.stats.packets += msg.packets;
-  epochs_applied_ += covered;
+  epochs_applied_.fetch_add(covered, std::memory_order_relaxed);
   if (messages_applied_ != nullptr) messages_applied_->inc();
   if (epochs_applied_ctr_ != nullptr) epochs_applied_ctr_->inc(covered);
 
@@ -103,54 +155,143 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
     src.stats.wire_lag_ns = now_ns > msg.send_ns ? now_ns - msg.send_ns : 0;
     if (wire_lag_ns_ != nullptr) wire_lag_ns_->observe(src.stats.wire_lag_ns);
   }
+  // The applied epoch changed the network view: invalidate the published
+  // generation.  Release-ordered after every state write above so a
+  // reader that observes the new version also observes the new state.
+  version_.fetch_add(1, std::memory_order_release);
   return Ingest::kApplied;
 }
 
 std::vector<CollectorCore::SourceStats> CollectorCore::sources(
     std::uint64_t now_ns) const {
-  std::lock_guard lk(mu_);
+  const IndexPtr idx = index_.load();
   std::vector<SourceStats> out;
-  out.reserve(sources_.size());
-  for (const auto& [id, src] : sources_) {
-    SourceStats s = src->stats;
-    s.stale = is_stale(s, now_ns);
-    out.push_back(s);
+  out.reserve(idx->size());
+  for (const IndexEntry& e : *idx) {
+    std::lock_guard lk(e.src->mu);
+    refresh_staleness(*e.src, now_ns);
+    out.push_back(copy_stats(*e.src));
   }
   return out;
 }
 
-sketch::UnivMon CollectorCore::merged_view(std::uint64_t now_ns) const {
-  std::lock_guard lk(mu_);
-  sketch::UnivMon merged(cfg_.um_cfg, cfg_.seed);
-  for (const auto& [id, src] : sources_) {
-    if (is_stale(src->stats, now_ns)) continue;
-    // One merge span per folded source, keyed by its newest applied
-    // epoch — the final stage of that epoch's end-to-end trace.
-    telemetry::ScopedSpan trace(telemetry::Stage::kNetworkMerge, id,
-                                src->stats.span.last, tracer_);
-    merged.merge(src->acc);
+bool CollectorCore::is_current(const NetworkView& v, std::uint64_t now_ns) const {
+  // Optional rate limit: a young-enough generation is served as-is even
+  // if ingest moved on (bounded, configured staleness for read scaling).
+  if (cfg_.min_refresh_interval_ns != 0 && now_ns > v.built_at_ns &&
+      now_ns - v.built_at_ns < cfg_.min_refresh_interval_ns) {
+    return true;
   }
-  return merged;
+  if (v.version != version_.load(std::memory_order_acquire)) return false;
+  // Same data — but staleness is a function of time: re-evaluate each
+  // source's liveness at now_ns against what the generation folded.
+  // No source lock taken: last_seen is atomic and the index is
+  // copy-on-write (its slot mutex covers only the pointer copy).
+  const IndexPtr idx = index_.load();
+  if (idx->size() != v.sources.size()) return false;  // new source appeared
+  for (std::size_t i = 0; i < idx->size(); ++i) {
+    const std::uint64_t seen =
+        (*idx)[i].src->last_seen_ns.load(std::memory_order_relaxed);
+    if (is_stale(seen, now_ns) != v.sources[i].stale) return false;
+  }
+  return true;
 }
 
-std::int64_t CollectorCore::merged_packets(std::uint64_t now_ns) const {
-  std::lock_guard lk(mu_);
-  std::int64_t total = 0;
-  for (const auto& [id, src] : sources_) {
-    if (is_stale(src->stats, now_ns)) continue;
-    total += src->stats.packets;
-  }
-  return total;
+CollectorCore::ViewPtr CollectorCore::view(std::uint64_t now_ns) const {
+  ViewPtr cur = view_.load();
+  if (is_current(*cur, now_ns)) return cur;
+  std::lock_guard bl(build_mu_);
+  cur = view_.load();
+  if (is_current(*cur, now_ns)) return cur;  // a racing reader built it
+  return rebuild(now_ns);
 }
 
-std::uint64_t CollectorCore::epochs_applied() const {
-  std::lock_guard lk(mu_);
-  return epochs_applied_;
+CollectorCore::ViewPtr CollectorCore::rebuild(std::uint64_t now_ns) const {
+  // Capture the version BEFORE reading any source state: changes applied
+  // during the build bump past v0 and invalidate this generation, so a
+  // fold can include more than v0 promised but never less.
+  const std::uint64_t v0 = version_.load(std::memory_order_acquire);
+  const IndexPtr idx = index_.load();
+
+  // Pass 1 (cheap): staleness accounting + this build's liveness decision.
+  std::vector<std::uint64_t> live;
+  std::vector<char> live_flags(idx->size(), 0);
+  live.reserve(idx->size());
+  {
+    std::size_t i = 0;
+    for (const IndexEntry& e : *idx) {
+      std::lock_guard lk(e.src->mu);
+      if (!refresh_staleness(*e.src, now_ns)) {
+        live.push_back(e.id);
+        live_flags[i] = 1;
+      }
+      ++i;
+    }
+  }
+
+  const bool full = live != folded_live_;
+  if (full) {
+    // The live set changed (quarantine, rejoin, first build): the running
+    // fold contains sources it must no longer contain (or misses ones it
+    // must), and sketch merges cannot be subtracted — re-fold every live
+    // source from its full accumulator.
+    net_acc_->clear();
+  }
+
+  auto next = std::make_shared<NetworkView>(cfg_.um_cfg, cfg_.seed);
+  next->sources.reserve(idx->size());
+  std::uint64_t folds = 0;
+
+  // Pass 2: fold + copy stats under the SAME lock hold, so each folded
+  // source's (sketch delta, packets) pair is coherent — the conservation
+  // invariant merged.total() == sum(live packets) holds per generation
+  // even under concurrent ingest.  The dirty flag is re-read under the
+  // lock: an epoch applied between the passes is folded AND counted.
+  // Liveness sticks to the pass-1 decision — a source rejoining mid-build
+  // is excluded from both the fold and the packet sum of this generation
+  // (its version bump invalidates the generation immediately anyway).
+  for (std::size_t i = 0; i < idx->size(); ++i) {
+    Source& src = *(*idx)[i].src;
+    std::lock_guard lk(src.mu);
+    if (live_flags[i] && (full || src.dirty)) {
+      // One merge span per folded source, keyed by its newest applied
+      // epoch — the final stage of that epoch's end-to-end trace.
+      telemetry::ScopedSpan span(telemetry::Stage::kNetworkMerge, (*idx)[i].id,
+                                 src.stats.span.last, tracer_);
+      net_acc_->merge(full ? src.acc : src.pending);
+      src.pending.clear();
+      src.dirty = false;
+      ++folds;
+    }
+    SourceStats s = copy_stats(src);
+    s.stale = live_flags[i] == 0;  // this build's decision, not the current flag
+    if (live_flags[i]) next->packets += s.packets;
+    next->sources.push_back(std::move(s));
+  }
+
+  next->merged = *net_acc_;
+  next->generation = ++generation_seq_;
+  next->version = v0;
+  next->built_at_ns = now_ns;
+  next->epochs_applied = epochs_applied_.load(std::memory_order_relaxed);
+  next->folds = folds;
+  next->full_rebuild = full;
+
+  folded_live_ = std::move(live);
+  folds_total_.fetch_add(folds, std::memory_order_relaxed);
+  generations_.fetch_add(1, std::memory_order_relaxed);
+  if (full) full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
+  if (folds_ctr_ != nullptr) folds_ctr_->inc(folds);
+  if (generations_ctr_ != nullptr) generations_ctr_->inc();
+  if (full && full_rebuilds_ctr_ != nullptr) full_rebuilds_ctr_->inc();
+
+  ViewPtr published(std::move(next));
+  view_.store(published);
+  return published;
 }
 
 void CollectorCore::attach_telemetry(telemetry::Registry& registry,
                                      const std::string& prefix) {
-  std::lock_guard lk(mu_);
   messages_applied_ = &registry.counter(prefix + "_messages_applied_total",
                                         "epoch messages merged into a source");
   epochs_applied_ctr_ = &registry.counter(prefix + "_epochs_applied_total",
@@ -166,6 +307,16 @@ void CollectorCore::attach_telemetry(telemetry::Registry& registry,
       prefix + "_coalesced_epochs_total", "epochs that arrived pre-merged");
   quarantines_ = &registry.counter(prefix + "_quarantine_transitions_total",
                                    "live -> stale source transitions");
+  rejoins_ = &registry.counter(prefix + "_rejoin_transitions_total",
+                               "stale -> live source transitions");
+  folds_ctr_ = &registry.counter(
+      prefix + "_source_folds_total",
+      "per-source folds into the network view (dirty-only when incremental)");
+  full_rebuilds_ctr_ = &registry.counter(
+      prefix + "_full_rebuilds_total",
+      "generation builds that re-folded every live source (live set changed)");
+  generations_ctr_ = &registry.counter(prefix + "_generations_total",
+                                       "network-view generations published");
   sources_live_ = &registry.gauge(prefix + "_sources_live", "sources in the merged view");
   sources_stale_ = &registry.gauge(prefix + "_sources_stale",
                                    "sources quarantined for staleness");
@@ -181,27 +332,24 @@ void CollectorCore::attach_telemetry(telemetry::Registry& registry,
 }
 
 void CollectorCore::publish_telemetry(std::uint64_t now_ns) {
-  std::lock_guard lk(mu_);
+  const IndexPtr idx = index_.load();
   std::int64_t packets = 0;
   double live = 0, stale = 0;
-  for (auto& [id, src] : sources_) {
-    const bool s = is_stale(src->stats, now_ns);
-    if (s && !src->stats.stale) {
-      src->stats.stale = true;
-      if (quarantines_ != nullptr) quarantines_->inc();
-    }
-    if (s) {
+  for (const IndexEntry& e : *idx) {
+    Source& src = *e.src;
+    std::lock_guard lk(src.mu);
+    if (refresh_staleness(src, now_ns)) {
       stale += 1;
     } else {
       live += 1;
-      packets += src->stats.packets;
+      packets += src.stats.packets;
     }
     // Freshness keeps growing while a source is silent — the gauge makes
     // the staleness-quarantine decision visible as it approaches.
-    if (src->freshness_gauge != nullptr && src->stats.last_epoch_close_ns != 0 &&
-        now_ns > src->stats.last_epoch_close_ns) {
-      src->freshness_gauge->set(
-          static_cast<double>(now_ns - src->stats.last_epoch_close_ns));
+    if (src.freshness_gauge != nullptr && src.stats.last_epoch_close_ns != 0 &&
+        now_ns > src.stats.last_epoch_close_ns) {
+      src.freshness_gauge->set(
+          static_cast<double>(now_ns - src.stats.last_epoch_close_ns));
     }
   }
   if (sources_live_ != nullptr) sources_live_->set(live);

@@ -1,0 +1,568 @@
+#include "export/query_server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+#include <string_view>
+
+#include "common/flow_key.hpp"
+#include "telemetry/export.hpp"
+
+namespace nitro::xport {
+
+namespace {
+
+void appendf(std::string& out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
+  va_end(ap);
+  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
+                                                   sizeof buf - 1));
+}
+
+/// "a.b.c.d" -> host-order u32 (the FlowKey convention used by
+/// to_string).  False on anything else.
+bool parse_ip(const std::string& s, std::uint32_t& out) {
+  unsigned a = 0, b = 0, c = 0, d = 0;
+  char tail = 0;
+  if (std::sscanf(s.c_str(), "%u.%u.%u.%u%c", &a, &b, &c, &d, &tail) != 4) {
+    return false;
+  }
+  if (a > 255 || b > 255 || c > 255 || d > 255) return false;
+  out = (a << 24) | (b << 16) | (c << 8) | d;
+  return true;
+}
+
+bool parse_u64(const std::string& s, std::uint64_t& out) {
+  if (s.empty()) return false;
+  char* end = nullptr;
+  out = std::strtoull(s.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+/// Split "/path?k=v&k2=v2" (no percent-decoding: every parameter this API
+/// takes is an IP, a number or a fraction).
+void split_target(const std::string& target, std::string& path,
+                  std::unordered_map<std::string, std::string>& params) {
+  const auto q = target.find('?');
+  path = target.substr(0, q);
+  if (q == std::string::npos) return;
+  std::size_t pos = q + 1;
+  while (pos <= target.size()) {
+    auto amp = target.find('&', pos);
+    if (amp == std::string::npos) amp = target.size();
+    const std::string pair = target.substr(pos, amp - pos);
+    const auto eq = pair.find('=');
+    if (eq != std::string::npos) {
+      params[pair.substr(0, eq)] = pair.substr(eq + 1);
+    } else if (!pair.empty()) {
+      params[pair] = "";
+    }
+    pos = amp + 1;
+  }
+}
+
+std::string param(const std::unordered_map<std::string, std::string>& params,
+                  const char* key, const std::string& fallback = "") {
+  const auto it = params.find(key);
+  return it == params.end() ? fallback : it->second;
+}
+
+const char* status_text(int code) {
+  switch (code) {
+    case 200: return "OK";
+    case 400: return "Bad Request";
+    case 404: return "Not Found";
+    case 405: return "Method Not Allowed";
+    default: return "Internal Server Error";
+  }
+}
+
+std::string http_response(int code, const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  appendf(out, "HTTP/1.1 %d %s\r\n", code, status_text(code));
+  out += "Content-Type: application/json\r\n";
+  appendf(out, "Content-Length: %zu\r\n", body.size());
+  out += "Connection: keep-alive\r\n\r\n";
+  out += body;
+  return out;
+}
+
+std::string error_body(const char* message) {
+  std::string body = "{\"error\":\"";
+  body += message;
+  body += "\"}\n";
+  return body;
+}
+
+void append_flow_fields(std::string& out, const FlowKey& k) {
+  appendf(out, "\"flow\":\"%s\",\"src\":\"%u.%u.%u.%u\",\"dst\":\"%u.%u.%u.%u\","
+               "\"sport\":%u,\"dport\":%u,\"proto\":%u",
+          nitro::to_string(k).c_str(), (k.src_ip >> 24) & 0xff,
+          (k.src_ip >> 16) & 0xff, (k.src_ip >> 8) & 0xff, k.src_ip & 0xff,
+          (k.dst_ip >> 24) & 0xff, (k.dst_ip >> 16) & 0xff,
+          (k.dst_ip >> 8) & 0xff, k.dst_ip & 0xff, k.src_port, k.dst_port,
+          k.proto);
+}
+
+/// Heap entries of every level-0 tracked flow with estimates re-read from
+/// the generation's merged counters, sorted by estimate descending.
+std::vector<sketch::TopKHeap::Entry> ranked_hitters(const sketch::UnivMon& merged,
+                                                    std::int64_t threshold) {
+  auto rows = merged.heavy_hitters(threshold);
+  std::sort(rows.begin(), rows.end(),
+            [](const auto& a, const auto& b) { return a.estimate > b.estimate; });
+  return rows;
+}
+
+}  // namespace
+
+QueryServer::QueryServer(CollectorCore& core, const Endpoint& listen_ep,
+                         const QueryServerConfig& cfg)
+    : core_(core), cfg_(cfg), listen_ep_(listen_ep) {}
+
+QueryServer::~QueryServer() { stop(); }
+
+bool QueryServer::start() {
+  if (started_) return true;
+  if (!listener_.open(listen_ep_)) return false;
+  stop_.store(false, std::memory_order_relaxed);
+  started_ = true;
+  acceptor_ = std::thread([this] { accept_loop(); });
+  return true;
+}
+
+void QueryServer::stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_relaxed);
+  if (acceptor_.joinable()) acceptor_.join();
+  listener_.close();
+  reap_connections(/*join_all=*/true);
+  started_ = false;
+}
+
+Endpoint QueryServer::endpoint() const {
+  Endpoint ep = listen_ep_;
+  if (ep.kind == Endpoint::Kind::kTcp && ep.port == 0) {
+    ep.port = listener_.bound_port();
+  }
+  return ep;
+}
+
+void QueryServer::attach_telemetry(telemetry::Registry& registry,
+                                   const std::string& prefix) {
+  requests_ = &registry.counter(prefix + "_requests_total", "HTTP requests served");
+  cache_hits_ = &registry.counter(prefix + "_cache_hits_total",
+                                  "responses served from the generation cache");
+  cache_misses_ = &registry.counter(prefix + "_cache_misses_total",
+                                    "responses rendered fresh");
+  bad_requests_ = &registry.counter(prefix + "_bad_requests_total",
+                                    "4xx/5xx responses");
+  connections_ = &registry.counter(prefix + "_connections_total",
+                                   "query connections accepted");
+  latency_ns_ = &registry.histogram(prefix + "_latency_ns",
+                                    "request receipt -> response rendered");
+  active_connections_ = &registry.gauge(prefix + "_active_connections",
+                                        "currently connected query clients");
+}
+
+std::size_t QueryServer::tracked_connections() const {
+  std::lock_guard lk(conn_mu_);
+  return conns_.size();
+}
+
+void QueryServer::reap_connections(bool join_all) {
+  std::vector<std::thread> finished;
+  {
+    std::lock_guard lk(conn_mu_);
+    for (auto it = conns_.begin(); it != conns_.end();) {
+      if (join_all || it->done->load(std::memory_order_acquire)) {
+        finished.push_back(std::move(it->thread));
+        it = conns_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (std::thread& t : finished) {
+    if (t.joinable()) t.join();
+  }
+}
+
+std::uint64_t QueryServer::now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void QueryServer::remember(const CollectorCore::ViewPtr& view) {
+  std::lock_guard lk(history_mu_);
+  if (!history_.empty() && history_.front()->generation == view->generation) {
+    return;
+  }
+  history_.push_front(view);
+  while (history_.size() > cfg_.history_generations) history_.pop_back();
+}
+
+CollectorCore::ViewPtr QueryServer::recall(std::uint64_t generation) const {
+  std::lock_guard lk(history_mu_);
+  for (const auto& v : history_) {
+    if (v->generation == generation) return v;
+  }
+  return nullptr;
+}
+
+int QueryServer::render(const std::string& path,
+                        const std::unordered_map<std::string, std::string>& params,
+                        const CollectorCore::ViewPtr& view, std::string& body) {
+  const sketch::UnivMon& merged = view->merged;
+
+  if (path == "/view") {
+    appendf(body,
+            "{\"generation\":%" PRIu64 ",\"built_at_ns\":%" PRIu64
+            ",\"packets\":%lld,\"epochs_applied\":%" PRIu64
+            ",\"folds\":%" PRIu64 ",\"full_rebuild\":%s",
+            view->generation, view->built_at_ns,
+            static_cast<long long>(view->packets), view->epochs_applied,
+            view->folds, view->full_rebuild ? "true" : "false");
+    appendf(body, ",\"entropy_bits\":%.6f,\"distinct_flows\":%.1f,\"l2\":%.1f",
+            merged.estimate_entropy(), merged.estimate_distinct(),
+            merged.estimate_l2());
+    body += ",\"sources\":[";
+    bool first = true;
+    for (const auto& s : view->sources) {
+      if (!first) body += ",";
+      first = false;
+      appendf(body,
+              "{\"id\":%" PRIu64 ",\"packets\":%lld,\"epochs_applied\":%" PRIu64
+              ",\"span\":[%" PRIu64 ",%" PRIu64
+              "],\"stale\":%s,\"rejoins\":%" PRIu64 ",\"gap_epochs\":%" PRIu64
+              ",\"e2e_lag_ns\":%" PRIu64 "}",
+              s.source_id, static_cast<long long>(s.packets), s.epochs_applied,
+              s.span.first, s.span.last, s.stale ? "true" : "false", s.rejoins,
+              s.gap_epochs, s.e2e_lag_ns);
+    }
+    body += "]}\n";
+    return 200;
+  }
+
+  if (path == "/heavy-hitters") {
+    double frac = cfg_.default_hh_threshold;
+    const std::string t = param(params, "threshold");
+    if (!t.empty()) frac = std::atof(t.c_str());
+    int top = cfg_.default_top;
+    const std::string n = param(params, "top");
+    if (!n.empty()) top = std::atoi(n.c_str());
+    const auto threshold = static_cast<std::int64_t>(
+        frac * static_cast<double>(view->packets));
+    const auto rows = ranked_hitters(merged, threshold);
+    appendf(body,
+            "{\"generation\":%" PRIu64 ",\"packets\":%lld,\"threshold\":%lld,"
+            "\"flows\":[",
+            view->generation, static_cast<long long>(view->packets),
+            static_cast<long long>(threshold));
+    int shown = 0;
+    for (const auto& h : rows) {
+      if (shown >= top) break;
+      if (shown != 0) body += ",";
+      body += "{";
+      append_flow_fields(body, h.key);
+      const double share =
+          view->packets > 0
+              ? static_cast<double>(h.estimate) / static_cast<double>(view->packets)
+              : 0.0;
+      appendf(body, ",\"estimate\":%lld,\"fraction\":%.8f}",
+              static_cast<long long>(h.estimate), share);
+      ++shown;
+    }
+    body += "]}\n";
+    return 200;
+  }
+
+  if (path == "/flow") {
+    FlowKey key;
+    std::uint64_t sport = 0, dport = 0, proto = 0;
+    if (!parse_ip(param(params, "src"), key.src_ip) ||
+        !parse_ip(param(params, "dst"), key.dst_ip) ||
+        !parse_u64(param(params, "sport", "0"), sport) || sport > 0xffff ||
+        !parse_u64(param(params, "dport", "0"), dport) || dport > 0xffff ||
+        !parse_u64(param(params, "proto", "0"), proto) || proto > 0xff) {
+      body = error_body("want src=a.b.c.d&dst=a.b.c.d[&sport=N&dport=N&proto=N]");
+      return 400;
+    }
+    key.src_port = static_cast<std::uint16_t>(sport);
+    key.dst_port = static_cast<std::uint16_t>(dport);
+    key.proto = static_cast<std::uint8_t>(proto);
+    const std::int64_t estimate = merged.query(key);
+    appendf(body, "{\"generation\":%" PRIu64 ",", view->generation);
+    append_flow_fields(body, key);
+    const double share =
+        view->packets > 0
+            ? static_cast<double>(estimate) / static_cast<double>(view->packets)
+            : 0.0;
+    appendf(body, ",\"estimate\":%lld,\"fraction\":%.8f}\n",
+            static_cast<long long>(estimate), share);
+    return 200;
+  }
+
+  if (path == "/entropy") {
+    appendf(body,
+            "{\"generation\":%" PRIu64 ",\"entropy_bits\":%.6f,"
+            "\"distinct_flows\":%.1f,\"total\":%lld}\n",
+            view->generation, merged.estimate_entropy(),
+            merged.estimate_distinct(), static_cast<long long>(merged.total()));
+    return 200;
+  }
+
+  if (path == "/change") {
+    std::uint64_t from = 0;
+    const std::string f = param(params, "from");
+    if (f.empty()) {
+      // Default: the previous retained generation, if any.
+      std::lock_guard lk(history_mu_);
+      for (const auto& v : history_) {
+        if (v->generation < view->generation) {
+          from = v->generation;
+          break;
+        }
+      }
+      if (from == 0) {
+        body = error_body("no earlier generation retained yet; pass ?from=G");
+        return 404;
+      }
+    } else if (!parse_u64(f, from)) {
+      body = error_body("bad from= generation");
+      return 400;
+    }
+    const CollectorCore::ViewPtr old = recall(from);
+    if (old == nullptr || old->generation >= view->generation) {
+      body = error_body("generation not retained (history is bounded)");
+      return 404;
+    }
+    int top = cfg_.default_top;
+    const std::string n = param(params, "top");
+    if (!n.empty()) top = std::atoi(n.c_str());
+    double frac = 0.0;
+    const std::string t = param(params, "threshold");
+    if (!t.empty()) frac = std::atof(t.c_str());
+    const std::int64_t packets_delta = view->packets - old->packets;
+    const auto min_delta = static_cast<std::int64_t>(
+        frac * static_cast<double>(packets_delta > 0 ? packets_delta : 1));
+
+    // Candidates: every flow tracked by either generation's level-0 heap.
+    struct Change {
+      FlowKey key;
+      std::int64_t before, after, delta;
+    };
+    std::vector<Change> changes;
+    std::unordered_map<FlowKey, bool> seen;
+    auto consider = [&](const FlowKey& key) {
+      if (!seen.emplace(key, true).second) return;
+      const std::int64_t after = merged.query(key);
+      const std::int64_t before = old->merged.query(key);
+      const std::int64_t delta = after - before;
+      if (delta == 0) return;
+      if (delta < min_delta && -delta < min_delta) return;
+      changes.push_back({key, before, after, delta});
+    };
+    for (const auto& h : merged.heavy_hitters(1)) consider(h.key);
+    for (const auto& h : old->merged.heavy_hitters(1)) consider(h.key);
+    std::sort(changes.begin(), changes.end(), [](const Change& a, const Change& b) {
+      return std::llabs(a.delta) > std::llabs(b.delta);
+    });
+
+    appendf(body,
+            "{\"from\":%" PRIu64 ",\"to\":%" PRIu64
+            ",\"packets_delta\":%lld,\"min_delta\":%lld,\"changes\":[",
+            from, view->generation, static_cast<long long>(packets_delta),
+            static_cast<long long>(min_delta));
+    int shown = 0;
+    for (const auto& c : changes) {
+      if (shown >= top) break;
+      if (shown != 0) body += ",";
+      body += "{";
+      append_flow_fields(body, c.key);
+      appendf(body, ",\"before\":%lld,\"after\":%lld,\"delta\":%lld}",
+              static_cast<long long>(c.before), static_cast<long long>(c.after),
+              static_cast<long long>(c.delta));
+      ++shown;
+    }
+    body += "]}\n";
+    return 200;
+  }
+
+  return 0;  // not a view endpoint
+}
+
+std::string QueryServer::handle(const std::string& method,
+                                const std::string& target,
+                                std::uint64_t now_ns_val) {
+  const std::uint64_t t0 = now_ns();
+  if (requests_ != nullptr) requests_->inc();
+  auto finish = [&](int code, std::string body) {
+    if (code >= 400 && bad_requests_ != nullptr) bad_requests_->inc();
+    if (latency_ns_ != nullptr) latency_ns_->observe(now_ns() - t0);
+    return http_response(code, std::move(body));
+  };
+
+  if (method != "GET") {
+    return finish(405, error_body("GET only"));
+  }
+  std::string path;
+  std::unordered_map<std::string, std::string> params;
+  split_target(target, path, params);
+
+  if (path == "/healthz") {
+    return finish(200, "{\"ok\":true}\n");
+  }
+  if (path == "/stats") {
+    if (stats_registry_ == nullptr) {
+      return finish(404, error_body("no telemetry registry attached"));
+    }
+    return finish(200, telemetry::to_json(*stats_registry_));
+  }
+
+  // View endpoints: resolve a generation (lock-free when current), then
+  // serve from the per-generation cache or render fresh.
+  const CollectorCore::ViewPtr view = core_.view(now_ns_val);
+  remember(view);
+  {
+    std::lock_guard lk(cache_mu_);
+    if (cache_generation_ != view->generation) {
+      cache_.clear();
+      cache_generation_ = view->generation;
+    } else {
+      const auto it = cache_.find(target);
+      if (it != cache_.end()) {
+        if (cache_hits_ != nullptr) cache_hits_->inc();
+        return finish(200, it->second);
+      }
+    }
+  }
+  if (cache_misses_ != nullptr) cache_misses_->inc();
+
+  std::string body;  // rendered with no lock held
+  const int code = render(path, params, view, body);
+  if (code == 0) {
+    return finish(404, error_body("unknown endpoint"));
+  }
+  if (code == 200) {
+    std::lock_guard lk(cache_mu_);
+    if (cache_generation_ == view->generation &&
+        cache_.size() < cfg_.max_cached_responses) {
+      cache_.emplace(target, body);
+    }
+  }
+  return finish(code, std::move(body));
+}
+
+void QueryServer::accept_loop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    reap_connections(/*join_all=*/false);
+    Socket sock = listener_.accept_conn(100);
+    if (!sock.valid()) continue;
+    if (connections_ != nullptr) connections_->inc();
+    auto done = std::make_shared<std::atomic<bool>>(false);
+    std::lock_guard lk(conn_mu_);
+    conns_.push_back(Conn{
+        std::thread([this, s = std::move(sock), done]() mutable {
+          handle_connection(std::move(s));
+          done->store(true, std::memory_order_release);
+        }),
+        done});
+  }
+}
+
+void QueryServer::handle_connection(Socket sock) {
+  active_conns_.fetch_add(1, std::memory_order_relaxed);
+  if (active_connections_ != nullptr) {
+    active_connections_->set(static_cast<double>(active_conns_.load()));
+  }
+  std::string buf;
+  std::uint8_t chunk[8 * 1024];
+  bool alive = true;
+  while (alive && !stop_.load(std::memory_order_relaxed)) {
+    std::size_t got = 0;
+    switch (sock.recv_some(chunk, sizeof chunk, 200, &got)) {
+      case Socket::RecvResult::kData:
+        buf.append(reinterpret_cast<const char*>(chunk), got);
+        break;
+      case Socket::RecvResult::kTimeout:
+        continue;  // idle keep-alive connection
+      case Socket::RecvResult::kClosed:
+      case Socket::RecvResult::kError:
+        alive = false;
+        continue;
+    }
+    // Serve every complete request head in the buffer (pipelining-safe;
+    // GET has no body to skip).
+    for (;;) {
+      const auto head_end = buf.find("\r\n\r\n");
+      if (head_end == std::string::npos) {
+        if (buf.size() > cfg_.max_request_bytes) {
+          static constexpr std::string_view kTooBig =
+              "HTTP/1.1 400 Bad Request\r\nContent-Length: 0\r\n"
+              "Connection: close\r\n\r\n";
+          (void)sock.send_all(
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(kTooBig.data()),
+                  kTooBig.size()),
+              cfg_.io_timeout_ms);
+          alive = false;
+        }
+        break;
+      }
+      const std::string head = buf.substr(0, head_end);
+      buf.erase(0, head_end + 4);
+
+      const auto line_end = head.find("\r\n");
+      const std::string request_line =
+          line_end == std::string::npos ? head : head.substr(0, line_end);
+      const auto sp1 = request_line.find(' ');
+      const auto sp2 =
+          sp1 == std::string::npos ? std::string::npos : request_line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        alive = false;
+        break;
+      }
+      const std::string method = request_line.substr(0, sp1);
+      const std::string target = request_line.substr(sp1 + 1, sp2 - sp1 - 1);
+
+      // Case-insensitive "connection: close" scan of the header block.
+      std::string lowered = head;
+      std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                     [](unsigned char c) { return std::tolower(c); });
+      const bool close_requested =
+          lowered.find("connection: close") != std::string::npos ||
+          request_line.find("HTTP/1.0") != std::string::npos;
+
+      const std::string response = handle(method, target, now_ns());
+      if (!sock.send_all(
+              std::span<const std::uint8_t>(
+                  reinterpret_cast<const std::uint8_t*>(response.data()),
+                  response.size()),
+              cfg_.io_timeout_ms)) {
+        alive = false;
+        break;
+      }
+      if (close_requested) {
+        alive = false;
+        break;
+      }
+    }
+  }
+  sock.close();
+  active_conns_.fetch_sub(1, std::memory_order_relaxed);
+  if (active_connections_ != nullptr) {
+    active_connections_->set(static_cast<double>(active_conns_.load()));
+  }
+}
+
+}  // namespace nitro::xport

@@ -1,0 +1,139 @@
+// HTTP/JSON query front-end over the collector's versioned network view
+// (DESIGN.md §13).
+//
+// Serves any number of concurrent readers WITHOUT ever blocking ingest:
+// every request resolves a generation via CollectorCore::view(now) —
+// lock-free when nothing changed, an incremental dirty-source fold when
+// something did — then renders JSON from that immutable generation.
+// Responses are cached per (generation, request target): a dashboard
+// fleet asking the same question between epochs costs one render and N-1
+// string copies.  The cache is invalidated wholesale when a new
+// generation is published (generation number mismatch), which is the
+// only invalidation rule needed — generations are immutable.
+//
+// Endpoints (GET, JSON bodies):
+//   /healthz                         liveness probe
+//   /view                            generation summary: id, packets,
+//                                    entropy, distinct flows, L2, sources
+//   /heavy-hitters?threshold=F&top=N flows with estimate >= F * packets
+//   /flow?src=A&dst=B&sport=P&dport=Q&proto=R   per-flow point estimate
+//   /entropy                         entropy / distinct / total
+//   /change?from=G&top=N&threshold=F change detection: per-flow estimate
+//                                    deltas between retained generation G
+//                                    and the current one
+//   /stats                           telemetry registry JSON (if attached)
+//
+// Transport is the same bounded-timeout socket layer the epoch stream
+// uses (HTTP/1.1, keep-alive, Content-Length framing; GET only).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "export/collector.hpp"
+#include "export/transport.hpp"
+#include "telemetry/telemetry.hpp"
+
+namespace nitro::xport {
+
+struct QueryServerConfig {
+  double default_hh_threshold = 0.0005;  // fraction of merged packets
+  int default_top = 100;                 // row cap for list endpoints
+  std::size_t max_cached_responses = 256;  // per generation
+  std::size_t history_generations = 8;     // retained for /change
+  std::size_t max_request_bytes = 16 * 1024;  // request head cap
+  int io_timeout_ms = 2000;              // per send / response write
+};
+
+class QueryServer {
+ public:
+  QueryServer(CollectorCore& core, const Endpoint& listen_ep,
+              const QueryServerConfig& cfg = {});
+  ~QueryServer();
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  /// Bind + listen + start the accept loop.  False if binding failed.
+  bool start();
+  void stop();
+
+  /// Resolved listen endpoint (tcp:HOST:0 gets its kernel-assigned port).
+  Endpoint endpoint() const;
+
+  void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
+
+  /// Registry rendered by /stats (usually the process-wide one).  Set
+  /// before start(); read unsynchronized by handler threads.
+  void serve_stats_from(const telemetry::Registry* registry) noexcept {
+    stats_registry_ = registry;
+  }
+
+  /// Handler threads currently tracked (live + finished-but-unreaped).
+  std::size_t tracked_connections() const;
+
+  /// Testable seam (also what handler threads call): the full HTTP
+  /// response — status line, headers, body — for one request line.
+  std::string handle(const std::string& method, const std::string& target,
+                     std::uint64_t now_ns);
+
+ private:
+  struct Conn {
+    std::thread thread;
+    std::shared_ptr<std::atomic<bool>> done;
+  };
+
+  void accept_loop();
+  void handle_connection(Socket sock);
+  void reap_connections(bool join_all);
+  static std::uint64_t now_ns() noexcept;
+
+  /// Render (uncached) the JSON body for `path` against one generation.
+  /// Returns an HTTP status code; 0 means "not a view endpoint".
+  int render(const std::string& path,
+             const std::unordered_map<std::string, std::string>& params,
+             const CollectorCore::ViewPtr& view, std::string& body);
+
+  /// Remember `view` in the /change history ring (newest first).
+  void remember(const CollectorCore::ViewPtr& view);
+  CollectorCore::ViewPtr recall(std::uint64_t generation) const;
+
+  CollectorCore& core_;
+  QueryServerConfig cfg_;
+  Endpoint listen_ep_;
+  Listener listener_;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread acceptor_;
+  mutable std::mutex conn_mu_;
+  std::vector<Conn> conns_;
+
+  // Per-generation response cache: valid only while `cache_generation_`
+  // matches the served generation.  Rendering happens OUTSIDE the cache
+  // lock — a slow render never serializes other readers.
+  mutable std::mutex cache_mu_;
+  std::uint64_t cache_generation_ = 0;
+  std::unordered_map<std::string, std::string> cache_;
+
+  mutable std::mutex history_mu_;
+  std::deque<CollectorCore::ViewPtr> history_;  // newest first
+
+  const telemetry::Registry* stats_registry_ = nullptr;
+
+  telemetry::Counter* requests_ = nullptr;
+  telemetry::Counter* cache_hits_ = nullptr;
+  telemetry::Counter* cache_misses_ = nullptr;
+  telemetry::Counter* bad_requests_ = nullptr;
+  telemetry::Counter* connections_ = nullptr;
+  telemetry::Histogram* latency_ns_ = nullptr;
+  telemetry::Gauge* active_connections_ = nullptr;
+  std::atomic<std::int64_t> active_conns_{0};
+};
+
+}  // namespace nitro::xport

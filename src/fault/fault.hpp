@@ -53,6 +53,7 @@ enum class Site : std::uint8_t {
   kExportConnect,    // EpochExporter, before each connect attempt
   kExportSend,       // EpochExporter, before each epoch frame send
   kCollectorIngest,  // collector connection, per decoded epoch frame
+  kCollectorDecode,  // CollectorCore::ingest, before the (lock-free) decode
   kSiteCount_,       // sentinel
 };
 
@@ -69,6 +70,7 @@ inline const char* to_string(Site s) noexcept {
     case Site::kExportConnect: return "export_connect";
     case Site::kExportSend: return "export_send";
     case Site::kCollectorIngest: return "collector_ingest";
+    case Site::kCollectorDecode: return "collector_decode";
     case Site::kSiteCount_: break;
   }
   return "unknown";
@@ -170,6 +172,13 @@ class Schedule {
   }
   Schedule& kill_collector_conn(std::uint64_t at_hit) {
     return add({Site::kCollectorIngest, at_hit, 0, kAnyLane, Action::kDie, 0});
+  }
+  /// Stall one source's snapshot decode inside CollectorCore::ingest
+  /// (lane = source id): proves decode runs outside every lock — other
+  /// sources must keep applying while this one sleeps.
+  Schedule& stall_collector_decode(std::uint32_t lane, std::uint64_t at_hit,
+                                   std::uint64_t ns) {
+    return add({Site::kCollectorDecode, at_hit, 0, lane, Action::kStall, ns});
   }
 
   /// Called by the woven fault points.  Thread-safe; returns the action to

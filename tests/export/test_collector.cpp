@@ -9,6 +9,7 @@
 #include <thread>
 
 #include "control/codec.hpp"
+#include "fault/fault.hpp"
 #include "telemetry/registry.hpp"
 #include "trace/workloads.hpp"
 
@@ -212,6 +213,155 @@ TEST(CollectorCore, MergedViewMatchesSingleInstanceReference) {
               0.1 * reference.estimate_entropy());
   EXPECT_NEAR(merged.estimate_distinct(), reference.estimate_distinct(),
               0.1 * reference.estimate_distinct());
+}
+
+TEST(CollectorCore, ViewRefoldsOnlyChangedSources) {
+  // The incremental merge contract (DESIGN.md §13): a query after one
+  // source's epoch folds exactly that source's pending delta — not every
+  // source — and an unchanged collector serves the same generation object.
+  CollectorCore core(collector_config());
+  ASSERT_EQ(core.ingest(make_message(1, 1, 1, 3, 2), 100),
+            CollectorCore::Ingest::kApplied);
+  ASSERT_EQ(core.ingest(make_message(2, 1, 1, 4, 3), 150),
+            CollectorCore::Ingest::kApplied);
+
+  const auto v1 = core.view(200);
+  EXPECT_TRUE(v1->full_rebuild);  // first build: live set {} -> {1,2}
+  EXPECT_EQ(v1->folds, 2u);       // both sources folded
+  EXPECT_EQ(v1->packets, 40 * 2 + 40 * 3);
+  EXPECT_EQ(v1->merged.total(), v1->packets);
+  EXPECT_EQ(core.folds_total(), 2u);
+
+  // Nothing changed: the SAME immutable generation is served, no fold.
+  const auto v1_again = core.view(300);
+  EXPECT_EQ(v1_again.get(), v1.get());
+  EXPECT_EQ(core.folds_total(), 2u);
+
+  // One source reports: exactly one fold (its delta), no full rebuild.
+  ASSERT_EQ(core.ingest(make_message(1, 2, 2, 5, 1), 400),
+            CollectorCore::Ingest::kApplied);
+  const auto v2 = core.view(500);
+  EXPECT_GT(v2->generation, v1->generation);
+  EXPECT_FALSE(v2->full_rebuild);
+  EXPECT_EQ(v2->folds, 1u);
+  EXPECT_EQ(core.folds_total(), 3u);
+  EXPECT_EQ(core.full_rebuilds_total(), 1u);
+  EXPECT_EQ(v2->packets, v1->packets + 40);
+  EXPECT_EQ(v2->merged.total(), v2->packets);
+  // The superseded generation stays queryable (immutable snapshot).
+  EXPECT_EQ(v1->merged.total(), 40 * 2 + 40 * 3);
+
+  // Fold counters are also exposed through telemetry.
+  telemetry::Registry registry;
+  core.attach_telemetry(registry, "nitro_collector");
+  ASSERT_EQ(core.ingest(make_message(2, 2, 2, 6, 1), 600),
+            CollectorCore::Ingest::kApplied);
+  (void)core.view(700);
+  EXPECT_EQ(registry.counter("nitro_collector_source_folds_total").value(), 1u);
+  EXPECT_EQ(registry.counter("nitro_collector_generations_total").value(), 1u);
+}
+
+TEST(CollectorCore, StalenessTransitionForcesFullRebuild) {
+  // Sketch merges cannot be subtracted, so any live-set change (quarantine
+  // or rejoin) must rebuild the running accumulator from per-source state.
+  auto cfg = collector_config();
+  cfg.staleness_ns = 1000;
+  CollectorCore core(cfg);
+  ASSERT_EQ(core.ingest(make_message(1, 1, 1, 3, 10), 1000),
+            CollectorCore::Ingest::kApplied);
+  ASSERT_EQ(core.ingest(make_message(2, 1, 1, 4, 1), 1500),
+            CollectorCore::Ingest::kApplied);
+  EXPECT_EQ(core.view(1600)->packets, 440);
+  const auto rebuilds_before = core.full_rebuilds_total();
+
+  // Source 1 went stale: quarantined out, via a full rebuild.
+  const auto stale_view = core.view(2100);
+  EXPECT_EQ(stale_view->packets, 40);
+  EXPECT_EQ(stale_view->merged.total(), 40);
+  EXPECT_TRUE(stale_view->full_rebuild);
+  EXPECT_EQ(core.full_rebuilds_total(), rebuilds_before + 1);
+
+  // It rejoins on the next message: full rebuild again, totals restored.
+  ASSERT_EQ(core.ingest(make_message(1, 2, 2, 5, 1), 2200),
+            CollectorCore::Ingest::kApplied);
+  const auto back = core.view(2300);
+  EXPECT_EQ(back->packets, 480);
+  EXPECT_EQ(back->merged.total(), 480);
+  EXPECT_TRUE(back->full_rebuild);
+}
+
+TEST(CollectorCore, RejoinTransitionsAreCountedWithoutPublishTelemetry) {
+  // Transition accounting is unified: staleness observed by ANY path that
+  // refreshes per-source state (sources(), view(), ingest()) is counted,
+  // not only the periodic publish_telemetry() sweep.
+  auto cfg = collector_config();
+  cfg.staleness_ns = 1000;
+  CollectorCore core(cfg);
+  telemetry::Registry registry;
+  core.attach_telemetry(registry, "nitro_collector");
+  const auto& quarantines =
+      registry.counter("nitro_collector_quarantine_transitions_total");
+  const auto& rejoins = registry.counter("nitro_collector_rejoin_transitions_total");
+
+  ASSERT_EQ(core.ingest(make_message(1, 1, 1, 3, 1), 1000),
+            CollectorCore::Ingest::kApplied);
+  // sources() observes the quarantine — no publish_telemetry() involved.
+  EXPECT_TRUE(core.sources(2500)[0].stale);
+  EXPECT_EQ(quarantines.value(), 1u);
+  EXPECT_EQ(core.sources(3000)[0].stale, true);  // still stale: no re-count
+  EXPECT_EQ(quarantines.value(), 1u);
+  EXPECT_EQ(rejoins.value(), 0u);
+
+  // The next message rejoins the source: counted globally and per source.
+  ASSERT_EQ(core.ingest(make_message(1, 2, 2, 4, 1), 3500),
+            CollectorCore::Ingest::kApplied);
+  EXPECT_EQ(rejoins.value(), 1u);
+  const auto sources = core.sources(3600);
+  EXPECT_FALSE(sources[0].stale);
+  EXPECT_EQ(sources[0].rejoins, 1u);
+
+  // Second quarantine/rejoin cycle, observed through view() this time.
+  EXPECT_EQ(core.view(5000)->sources[0].stale, true);
+  EXPECT_EQ(quarantines.value(), 2u);
+  ASSERT_EQ(core.ingest(make_message(1, 3, 3, 5, 1), 5500),
+            CollectorCore::Ingest::kApplied);
+  EXPECT_EQ(rejoins.value(), 2u);
+  EXPECT_EQ(core.sources(5600)[0].rejoins, 2u);
+}
+
+TEST(CollectorCore, SlowDecodeDoesNotBlockOtherSources) {
+  // Regression for the readers/writers contention bug: snapshot decode
+  // used to run under the collector-wide lock, so ONE slow source (big
+  // snapshot, cold cache, injected stall) blocked every other source's
+  // apply.  Decode now runs before any lock is taken — a source stalled
+  // in decode must not delay an independent source.
+  fault::Schedule plan;
+  plan.stall_collector_decode(/*lane=*/1, /*at_hit=*/1,
+                              /*ns=*/300 * 1'000'000ULL);
+  fault::ScopedFaultInjection inject(plan);
+
+  CollectorCore core(collector_config());
+  std::thread stalled([&core] {
+    EXPECT_EQ(core.ingest(make_message(1, 1, 1, 3, 1), 100),
+              CollectorCore::Ingest::kApplied);
+  });
+  // Wait until the stalled thread is inside its decode stall.
+  while (plan.hits(fault::Site::kCollectorDecode, 1) == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+
+  // Source 2 applies — and is queryable — while source 1 is still asleep.
+  const auto t0 = std::chrono::steady_clock::now();
+  EXPECT_EQ(core.ingest(make_message(2, 1, 1, 4, 2), 150),
+            CollectorCore::Ingest::kApplied);
+  EXPECT_EQ(core.view(200)->packets, 80);
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::milliseconds>(elapsed).count(),
+            200)
+      << "source 2's apply waited on source 1's stalled decode";
+
+  stalled.join();
+  EXPECT_EQ(core.view(300)->packets, 120);  // both applied after the stall
 }
 
 TEST(CollectorServer, FinishedConnectionThreadsAreReapedWhileRunning) {

@@ -1,0 +1,283 @@
+// Query serving plane (DESIGN.md §13): the HTTP/JSON front-end over the
+// collector's versioned network view.  Endpoint rendering goes through
+// the handle() seam (deterministic, no sockets); the wire-level tests
+// cover real keep-alive connections against the accept loop.
+#include "export/query_server.hpp"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+
+#include "control/codec.hpp"
+#include "telemetry/registry.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::xport {
+namespace {
+
+using trace::flow_key_for_rank;
+
+sketch::UnivMonConfig um_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 4;
+  cfg.depth = 3;
+  cfg.top_width = 256;
+  cfg.min_width = 128;
+  cfg.heap_capacity = 64;
+  return cfg;
+}
+
+CollectorConfig collector_config() {
+  CollectorConfig cfg;
+  cfg.um_cfg = um_config();
+  cfg.seed = 7;
+  return cfg;
+}
+
+EpochMessage make_message(std::uint64_t source, std::uint64_t seq, int salt,
+                          std::int64_t count) {
+  sketch::UnivMon um(um_config(), 7);
+  for (int i = 0; i < 40; ++i) um.update(flow_key_for_rank(i, salt), count);
+  EpochMessage msg;
+  msg.source_id = source;
+  msg.seq_first = msg.seq_last = seq;
+  msg.span = core::EpochSpan::single(seq - 1);
+  msg.packets = 40 * count;
+  msg.snapshot = control::snapshot_univmon(um);
+  return msg;
+}
+
+std::string flow_query(const FlowKey& k) {
+  char buf[160];
+  std::snprintf(buf, sizeof buf,
+                "/flow?src=%u.%u.%u.%u&dst=%u.%u.%u.%u&sport=%u&dport=%u&proto=%u",
+                (k.src_ip >> 24) & 0xff, (k.src_ip >> 16) & 0xff,
+                (k.src_ip >> 8) & 0xff, k.src_ip & 0xff, (k.dst_ip >> 24) & 0xff,
+                (k.dst_ip >> 16) & 0xff, (k.dst_ip >> 8) & 0xff, k.dst_ip & 0xff,
+                k.src_port, k.dst_port, k.proto);
+  return buf;
+}
+
+class QueryServerTest : public ::testing::Test {
+ protected:
+  QueryServerTest()
+      : core_(collector_config()),
+        qs_(core_, *parse_endpoint("tcp:127.0.0.1:0")) {}
+
+  std::string body_of(const std::string& response) {
+    const auto pos = response.find("\r\n\r\n");
+    return pos == std::string::npos ? "" : response.substr(pos + 4);
+  }
+
+  CollectorCore core_;
+  QueryServer qs_;  // handle() needs no start()
+};
+
+TEST_F(QueryServerTest, ViewEndpointReportsGenerationAndSources) {
+  ASSERT_EQ(core_.ingest(make_message(1, 1, /*salt=*/3, /*count=*/5), 100),
+            CollectorCore::Ingest::kApplied);
+  const std::string resp = qs_.handle("GET", "/view", 200);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(resp.find("Content-Type: application/json"), std::string::npos);
+  const std::string body = body_of(resp);
+  EXPECT_NE(body.find("\"packets\":200"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"id\":1"), std::string::npos);
+  EXPECT_NE(body.find("\"stale\":false"), std::string::npos);
+  EXPECT_NE(body.find("\"entropy_bits\":"), std::string::npos);
+}
+
+TEST_F(QueryServerTest, FlowEndpointAnswersPointQueries) {
+  ASSERT_EQ(core_.ingest(make_message(1, 1, 3, 5), 100),
+            CollectorCore::Ingest::kApplied);
+  const FlowKey k = flow_key_for_rank(0, 3);
+  const std::string body = body_of(qs_.handle("GET", flow_query(k), 200));
+  // Exact point estimate: rank 0 was updated with count 5 once.
+  EXPECT_NE(body.find("\"estimate\":5"), std::string::npos) << body;
+
+  // Malformed addresses are a 400, not a crash or a zero answer.
+  const std::string bad = qs_.handle("GET", "/flow?src=999.1.2.3&dst=1.2.3.4", 200);
+  EXPECT_NE(bad.find("HTTP/1.1 400"), std::string::npos);
+}
+
+TEST_F(QueryServerTest, HeavyHittersRespectThresholdAndTop) {
+  // Rank 0 gets 100x the weight of the other 39 flows.
+  sketch::UnivMon um(um_config(), 7);
+  um.update(flow_key_for_rank(0, 3), 1000);
+  for (int i = 1; i < 40; ++i) um.update(flow_key_for_rank(i, 3), 10);
+  EpochMessage msg;
+  msg.source_id = 1;
+  msg.seq_first = msg.seq_last = 1;
+  msg.span = core::EpochSpan::single(0);
+  msg.packets = um.total();
+  msg.snapshot = control::snapshot_univmon(um);
+  ASSERT_EQ(core_.ingest(msg, 100), CollectorCore::Ingest::kApplied);
+
+  const std::string body =
+      body_of(qs_.handle("GET", "/heavy-hitters?threshold=0.5&top=5", 200));
+  // Only the elephant clears 50% of traffic.
+  EXPECT_NE(body.find("\"estimate\":1000"), std::string::npos) << body;
+  EXPECT_EQ(body.find("\"estimate\":10,"), std::string::npos) << body;
+}
+
+TEST_F(QueryServerTest, UnknownPathAndMethodAreRejected) {
+  EXPECT_NE(qs_.handle("GET", "/nope", 100).find("HTTP/1.1 404"),
+            std::string::npos);
+  EXPECT_NE(qs_.handle("POST", "/view", 100).find("HTTP/1.1 405"),
+            std::string::npos);
+}
+
+TEST_F(QueryServerTest, ResponsesAreCachedPerGeneration) {
+  telemetry::Registry registry;
+  qs_.attach_telemetry(registry, "q");
+  ASSERT_EQ(core_.ingest(make_message(1, 1, 3, 1), 100),
+            CollectorCore::Ingest::kApplied);
+
+  const std::string a = qs_.handle("GET", "/view", 200);
+  const std::string b = qs_.handle("GET", "/view", 300);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(registry.counter("q_cache_hits_total").value(), 1u);
+  EXPECT_EQ(registry.counter("q_cache_misses_total").value(), 1u);
+
+  // A new epoch publishes a new generation: the cache is invalidated.
+  ASSERT_EQ(core_.ingest(make_message(1, 2, 4, 1), 400),
+            CollectorCore::Ingest::kApplied);
+  const std::string c = qs_.handle("GET", "/view", 500);
+  EXPECT_NE(c, a);
+  EXPECT_EQ(registry.counter("q_cache_misses_total").value(), 2u);
+}
+
+TEST_F(QueryServerTest, ChangeDetectionBetweenRetainedGenerations) {
+  ASSERT_EQ(core_.ingest(make_message(1, 1, 3, 1), 100),
+            CollectorCore::Ingest::kApplied);
+  // Serve once so generation G1 enters the /change history.
+  std::string body = body_of(qs_.handle("GET", "/view", 200));
+  const auto gen_pos = body.find("\"generation\":");
+  ASSERT_NE(gen_pos, std::string::npos);
+  const std::uint64_t g1 = std::strtoull(body.c_str() + gen_pos + 13, nullptr, 10);
+
+  // Second epoch doubles every flow's count.
+  ASSERT_EQ(core_.ingest(make_message(1, 2, 3, 1), 300),
+            CollectorCore::Ingest::kApplied);
+  body = body_of(qs_.handle(
+      "GET", "/change?from=" + std::to_string(g1) + "&top=3", 400));
+  EXPECT_NE(body.find("\"packets_delta\":40"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"delta\":1"), std::string::npos) << body;
+
+  // An unretained generation is a 404, not a guess.
+  const std::string missing = qs_.handle("GET", "/change?from=9999", 500);
+  EXPECT_NE(missing.find("HTTP/1.1 404"), std::string::npos);
+}
+
+TEST_F(QueryServerTest, StatsServesAttachedRegistry) {
+  telemetry::Registry registry;
+  registry.counter("answer_total").inc(42);
+  qs_.serve_stats_from(&registry);
+  const std::string body = body_of(qs_.handle("GET", "/stats", 100));
+  EXPECT_NE(body.find("answer_total"), std::string::npos);
+
+  QueryServer bare(core_, *parse_endpoint("tcp:127.0.0.1:0"));
+  EXPECT_NE(bare.handle("GET", "/stats", 100).find("HTTP/1.1 404"),
+            std::string::npos);
+}
+
+TEST(QueryServerWire, KeepAliveConnectionServesMultipleRequests) {
+  CollectorCore core(collector_config());
+  ASSERT_EQ(core.ingest(make_message(1, 1, 3, 5), 100),
+            CollectorCore::Ingest::kApplied);
+  QueryServer qs(core, *parse_endpoint("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(qs.start());
+  const Endpoint ep = qs.endpoint();
+  ASSERT_NE(ep.port, 0);
+
+  Socket conn = connect_endpoint(ep, 2000);
+  ASSERT_TRUE(conn.valid());
+
+  auto roundtrip = [&](const std::string& target) {
+    const std::string req = "GET " + target + " HTTP/1.1\r\nHost: t\r\n\r\n";
+    EXPECT_TRUE(conn.send_all(
+        std::span<const std::uint8_t>(
+            reinterpret_cast<const std::uint8_t*>(req.data()), req.size()),
+        2000));
+    std::string resp;
+    std::uint8_t buf[8192];
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    // Read until the advertised Content-Length is fully in.
+    while (std::chrono::steady_clock::now() < deadline) {
+      const auto head_end = resp.find("\r\n\r\n");
+      if (head_end != std::string::npos) {
+        const auto cl = resp.find("Content-Length: ");
+        if (cl != std::string::npos) {
+          const std::size_t want = std::strtoull(resp.c_str() + cl + 16, nullptr, 10);
+          if (resp.size() >= head_end + 4 + want) break;
+        }
+      }
+      std::size_t got = 0;
+      const auto r = conn.recv_some(buf, sizeof buf, 200, &got);
+      if (r == Socket::RecvResult::kData) {
+        resp.append(reinterpret_cast<const char*>(buf), got);
+      } else if (r != Socket::RecvResult::kTimeout) {
+        break;
+      }
+    }
+    return resp;
+  };
+
+  // Three requests down ONE connection (keep-alive is the default).
+  const std::string health = roundtrip("/healthz");
+  EXPECT_NE(health.find("HTTP/1.1 200 OK"), std::string::npos);
+  EXPECT_NE(health.find("\"ok\":true"), std::string::npos);
+  const std::string view = roundtrip("/view");
+  EXPECT_NE(view.find("\"packets\":200"), std::string::npos);
+  const std::string miss = roundtrip("/nope");
+  EXPECT_NE(miss.find("HTTP/1.1 404"), std::string::npos);
+
+  conn.close();
+  qs.stop();
+}
+
+TEST(QueryServerWire, ConnectionCloseIsHonored) {
+  CollectorCore core(collector_config());
+  QueryServer qs(core, *parse_endpoint("tcp:127.0.0.1:0"));
+  ASSERT_TRUE(qs.start());
+
+  Socket conn = connect_endpoint(qs.endpoint(), 2000);
+  ASSERT_TRUE(conn.valid());
+  const std::string req =
+      "GET /healthz HTTP/1.1\r\nConnection: close\r\n\r\n";
+  ASSERT_TRUE(conn.send_all(
+      std::span<const std::uint8_t>(
+          reinterpret_cast<const std::uint8_t*>(req.data()), req.size()),
+      2000));
+
+  // Drain until the server closes its end (kClosed), bounded by a deadline.
+  std::string resp;
+  std::uint8_t buf[4096];
+  const auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool closed = false;
+  while (std::chrono::steady_clock::now() < deadline && !closed) {
+    std::size_t got = 0;
+    switch (conn.recv_some(buf, sizeof buf, 200, &got)) {
+      case Socket::RecvResult::kData:
+        resp.append(reinterpret_cast<const char*>(buf), got);
+        break;
+      case Socket::RecvResult::kClosed:
+        closed = true;
+        break;
+      case Socket::RecvResult::kTimeout:
+        break;
+      case Socket::RecvResult::kError:
+        closed = true;
+        break;
+    }
+  }
+  EXPECT_TRUE(closed);
+  EXPECT_NE(resp.find("HTTP/1.1 200 OK"), std::string::npos);
+  qs.stop();
+}
+
+}  // namespace
+}  // namespace nitro::xport

@@ -39,6 +39,7 @@
 
 #include "common/flow_key.hpp"
 #include "export/collector.hpp"
+#include "export/query_server.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -60,6 +61,8 @@ struct Options {
   std::string stats_format = "json";
   int stats_interval_ms = 0;  // 0 = dump on the print interval (old behavior)
   std::string trace_out;
+  std::string query_listen;    // empty = no HTTP query plane
+  int min_refresh_ms = 5;      // view rebuild rate limit under reader load
 };
 
 void usage(const char* argv0) {
@@ -68,7 +71,8 @@ void usage(const char* argv0) {
                "          [--seed N] [--hh-threshold FRAC] [--top N]\n"
                "          [--interval-ms N] [--staleness-ms N] [--run-for-ms N]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
-               "          [--stats-interval MS] [--trace-out FILE]\n",
+               "          [--stats-interval MS] [--trace-out FILE]\n"
+               "          [--query-listen tcp:HOST:PORT] [--min-refresh-ms N]\n",
                argv0);
 }
 
@@ -122,6 +126,13 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--trace-out") {
       if (!(v = next())) return false;
       opt.trace_out = v;
+    } else if (arg == "--query-listen") {
+      if (!(v = next())) return false;
+      opt.query_listen = v;
+    } else if (arg == "--min-refresh-ms") {
+      if (!(v = next())) return false;
+      opt.min_refresh_ms = std::atoi(v);
+      if (opt.min_refresh_ms < 0) opt.min_refresh_ms = 0;
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -143,13 +154,22 @@ std::uint64_t now_ns() {
 
 void print_view(const Options& opt, nitro::xport::CollectorCore& core) {
   const std::uint64_t now = now_ns();
-  const auto sources = core.sources(now);
-  if (sources.empty()) {
+  // One generation snapshot serves everything below: the source table, the
+  // merged sketch AND the packet total come from the same immutable view,
+  // so printing costs at most one incremental fold (and zero when nothing
+  // changed since the query server last refreshed it).
+  const auto view = core.view(now);
+  if (view->sources.empty()) {
     std::printf("[collector] no sources yet\n");
     return;
   }
-  std::printf("\n=== network-wide view: %zu source(s) ===\n", sources.size());
-  for (const auto& s : sources) {
+  std::printf("\n=== network-wide view: generation %llu, %zu source(s), "
+              "%llu fold(s)%s ===\n",
+              static_cast<unsigned long long>(view->generation),
+              view->sources.size(),
+              static_cast<unsigned long long>(view->folds),
+              view->full_rebuild ? " [full rebuild]" : "");
+  for (const auto& s : view->sources) {
     std::printf(
         "  src %llu: epochs [%llu..%llu] applied=%llu packets=%lld"
         " dup=%llu gap=%llu coalesced=%llu",
@@ -172,8 +192,8 @@ void print_view(const Options& opt, nitro::xport::CollectorCore& core) {
     }
     std::printf("%s\n", s.stale ? "  [STALE — quarantined]" : "");
   }
-  const auto merged = core.merged_view(now);
-  const std::int64_t packets = core.merged_packets(now);
+  const auto& merged = view->merged;
+  const std::int64_t packets = view->packets;
   std::printf("merged: %lld packets | entropy %.3f bits | distinct ~%.0f flows\n",
               static_cast<long long>(packets), merged.estimate_entropy(),
               merged.estimate_distinct());
@@ -211,6 +231,11 @@ int main(int argc, char** argv) {
   cfg.um_cfg.heap_capacity = 1000;
   cfg.seed = opt.seed;
   cfg.staleness_ns = opt.staleness_ms * 1'000'000ULL;
+  // Rate-limit view rebuilds: a reader fleet hammering the query plane
+  // coalesces onto one generation per window instead of re-folding on
+  // every dirty read.
+  cfg.min_refresh_interval_ns =
+      static_cast<std::uint64_t>(opt.min_refresh_ms) * 1'000'000ULL;
 
   telemetry::Registry registry;
   xport::CollectorServer server(cfg, *ep);
@@ -232,6 +257,30 @@ int main(int argc, char** argv) {
               server.endpoint().to_string().c_str(),
               static_cast<unsigned long long>(opt.seed),
               static_cast<unsigned long long>(opt.staleness_ms));
+
+  std::unique_ptr<xport::QueryServer> query_server;
+  if (!opt.query_listen.empty()) {
+    const auto qep = xport::parse_endpoint(opt.query_listen);
+    if (!qep) {
+      std::fprintf(stderr, "bad --query-listen spec '%s'\n",
+                   opt.query_listen.c_str());
+      return 2;
+    }
+    xport::QueryServerConfig qcfg;
+    qcfg.default_hh_threshold = opt.hh_threshold;
+    qcfg.default_top = opt.top;
+    query_server = std::make_unique<xport::QueryServer>(server.core(), *qep, qcfg);
+    query_server->attach_telemetry(registry, "nitro_collector_query");
+    query_server->serve_stats_from(&registry);
+    if (!query_server->start()) {
+      std::fprintf(stderr, "failed to listen on %s\n", qep->to_string().c_str());
+      return 2;
+    }
+    std::printf("[collector] query plane on http://%s:%u (try /view, "
+                "/heavy-hitters, /entropy)\n",
+                query_server->endpoint().host.c_str(),
+                query_server->endpoint().port);
+  }
 
   // Stats dumps run on their own cadence when --stats-interval is given
   // (parity with nitro_monitor); otherwise they ride the print interval.
@@ -272,6 +321,7 @@ int main(int argc, char** argv) {
                   opt.stats_out.c_str());
     }
   }
+  if (query_server) query_server->stop();
   server.stop();
 
   if (tracer) {
