@@ -10,16 +10,24 @@
 
 namespace nitro {
 
-/// Median of a span (copies; inputs stay untouched).  For even sizes the
-/// lower-middle element is returned, matching the sketch literature's
-/// convention for row medians.
+/// Median of a mutable span, partially reordering it in place (no copy —
+/// for callers holding their own scratch, e.g. per-query stack buffers).
+/// For even sizes the lower-middle element is returned, matching the
+/// sketch literature's convention for row medians.
+template <typename T>
+T median_in_place(std::span<T> values) {
+  if (values.empty()) throw std::invalid_argument("median of empty range");
+  const std::size_t mid = values.size() / 2;
+  std::nth_element(values.begin(), values.begin() + static_cast<std::ptrdiff_t>(mid),
+                   values.end());
+  return values[mid];
+}
+
+/// Median of a span (copies; inputs stay untouched).
 template <typename T>
 T median(std::span<const T> values) {
-  if (values.empty()) throw std::invalid_argument("median of empty range");
   std::vector<T> tmp(values.begin(), values.end());
-  const std::size_t mid = tmp.size() / 2;
-  std::nth_element(tmp.begin(), tmp.begin() + static_cast<std::ptrdiff_t>(mid), tmp.end());
-  return tmp[mid];
+  return median_in_place(std::span<T>(tmp));
 }
 
 template <typename T>

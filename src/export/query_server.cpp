@@ -19,10 +19,23 @@ void appendf(std::string& out, const char* fmt, ...) {
   char buf[256];
   va_list ap;
   va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
   const int n = std::vsnprintf(buf, sizeof buf, fmt, ap);
   va_end(ap);
-  if (n > 0) out.append(buf, std::min<std::size_t>(static_cast<std::size_t>(n),
-                                                   sizeof buf - 1));
+  if (n > 0) {
+    if (static_cast<std::size_t>(n) < sizeof buf) {
+      out.append(buf, static_cast<std::size_t>(n));
+    } else {
+      // Fragment outgrew the stack buffer: render it straight into the
+      // string — truncating would emit malformed JSON.
+      const std::size_t old = out.size();
+      out.resize(old + static_cast<std::size_t>(n) + 1);
+      std::vsnprintf(&out[old], static_cast<std::size_t>(n) + 1, fmt, ap2);
+      out.resize(old + static_cast<std::size_t>(n));
+    }
+  }
+  va_end(ap2);
 }
 
 /// "a.b.c.d" -> host-order u32 (the FlowKey convention used by
@@ -204,10 +217,14 @@ std::uint64_t QueryServer::now_ns() noexcept {
 
 void QueryServer::remember(const CollectorCore::ViewPtr& view) {
   std::lock_guard lk(history_mu_);
-  if (!history_.empty() && history_.front()->generation == view->generation) {
-    return;
-  }
-  history_.push_front(view);
+  // Handlers race: one that resolved an older generation may land here
+  // after a newer one already did.  Insert in newest-first position and
+  // dedup by generation, so /change's front-first "previous generation"
+  // scan stays correct and duplicates never evict retained generations.
+  auto it = history_.begin();
+  while (it != history_.end() && (*it)->generation > view->generation) ++it;
+  if (it != history_.end() && (*it)->generation == view->generation) return;
+  history_.insert(it, view);
   while (history_.size() > cfg_.history_generations) history_.pop_back();
 }
 

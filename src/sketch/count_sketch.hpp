@@ -8,6 +8,7 @@
 
 #include <cmath>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/math_util.hpp"
@@ -24,13 +25,22 @@ class CountSketch {
     for (std::uint32_t r = 0; r < matrix_.depth(); ++r) matrix_.update_row(r, key, count);
   }
 
-  /// Point query: median over the per-row signed estimates.
+  /// Point query: median over the per-row signed estimates.  Only local
+  /// scratch — concurrent const queries on a shared immutable sketch are
+  /// thread-safe (the collector's query plane renders /flow and /change
+  /// from one shared generation across handler threads).
   std::int64_t query(const FlowKey& key) const noexcept {
-    row_buf_.clear();
-    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) {
-      row_buf_.push_back(matrix_.row_estimate(r, key));
+    constexpr std::uint32_t kStackRows = 16;
+    const std::uint32_t d = matrix_.depth();
+    std::int64_t stack_buf[kStackRows];
+    std::vector<std::int64_t> heap_buf;
+    std::int64_t* est = stack_buf;
+    if (d > kStackRows) {
+      heap_buf.resize(d);
+      est = heap_buf.data();
     }
-    return median(row_buf_);
+    for (std::uint32_t r = 0; r < d; ++r) est[r] = matrix_.row_estimate(r, key);
+    return median_in_place(std::span<std::int64_t>(est, d));
   }
 
   /// (1+ε)-approximate L2² of the processed stream: median over rows of
@@ -58,7 +68,6 @@ class CountSketch {
 
  private:
   CounterMatrix matrix_;
-  mutable std::vector<std::int64_t> row_buf_;
 };
 
 }  // namespace nitro::sketch

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "common/math_util.hpp"
@@ -25,15 +26,25 @@ class KArySketch {
     for (std::uint32_t r = 0; r < matrix_.depth(); ++r) matrix_.update_row(r, key, count);
   }
 
-  /// Unbiased point estimate (may be negative for absent keys).
+  /// Unbiased point estimate (may be negative for absent keys).  Only
+  /// local scratch, so concurrent const queries are thread-safe (same
+  /// contract as CountSketch::query).
   double query(const FlowKey& key) const noexcept {
+    constexpr std::uint32_t kStackRows = 16;
     const double w = matrix_.width();
-    row_buf_.clear();
-    for (std::uint32_t r = 0; r < matrix_.depth(); ++r) {
-      const double raw = static_cast<double>(matrix_.row_estimate(r, key));
-      row_buf_.push_back((raw - static_cast<double>(total_) / w) / (1.0 - 1.0 / w));
+    const std::uint32_t d = matrix_.depth();
+    double stack_buf[kStackRows];
+    std::vector<double> heap_buf;
+    double* est = stack_buf;
+    if (d > kStackRows) {
+      heap_buf.resize(d);
+      est = heap_buf.data();
     }
-    return median(row_buf_);
+    for (std::uint32_t r = 0; r < d; ++r) {
+      const double raw = static_cast<double>(matrix_.row_estimate(r, key));
+      est[r] = (raw - static_cast<double>(total_) / w) / (1.0 - 1.0 / w);
+    }
+    return median_in_place(std::span<double>(est, d));
   }
 
   /// Forecast-difference sketch for change detection: this - prev,
@@ -81,7 +92,6 @@ class KArySketch {
  private:
   CounterMatrix matrix_;
   std::int64_t total_ = 0;
-  mutable std::vector<double> row_buf_;
 };
 
 }  // namespace nitro::sketch

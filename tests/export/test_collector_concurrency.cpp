@@ -12,6 +12,8 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdio>
+#include <string>
 #include <thread>
 #include <vector>
 
@@ -127,11 +129,25 @@ TEST(CollectorConcurrency, ReadersObserveConservedMonotonicGenerations) {
             static_cast<std::uint64_t>(kWriters * kEpochsPerWriter));
 }
 
+std::string flow_target(const FlowKey& k) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf,
+                "/flow?src=%u.%u.%u.%u&dst=%u.%u.%u.%u&sport=%u&dport=%u&proto=%u",
+                (k.src_ip >> 24) & 0xff, (k.src_ip >> 16) & 0xff,
+                (k.src_ip >> 8) & 0xff, k.src_ip & 0xff, (k.dst_ip >> 24) & 0xff,
+                (k.dst_ip >> 16) & 0xff, (k.dst_ip >> 8) & 0xff, k.dst_ip & 0xff,
+                k.src_port, k.dst_port, k.proto);
+  return buf;
+}
+
 TEST(CollectorConcurrency, QueryHandlersRaceWritersSafely) {
   // The HTTP seam under concurrent ingest: handler threads render from
   // whatever generation they resolve while writers keep applying.  TSan
-  // validates the cache + history locking; the assertions validate that
-  // every response is well-formed and internally consistent.
+  // validates the cache + history locking AND the sketch read path: /flow
+  // and /change call CountSketch::query on the SAME shared immutable
+  // generation from several threads at once (each thread queries a
+  // distinct flow, so the per-generation cache never coalesces the
+  // renders), which requires query() to use only local scratch.
   CollectorConfig cfg;
   cfg.um_cfg = um_config();
   cfg.seed = 7;
@@ -144,12 +160,22 @@ TEST(CollectorConcurrency, QueryHandlersRaceWritersSafely) {
 
   std::vector<std::thread> handlers;
   for (int r = 0; r < 3; ++r) {
-    handlers.emplace_back([&] {
+    handlers.emplace_back([&, r] {
+      const std::string flow = flow_target(flow_key_for_rank(r, /*salt=*/9));
       while (!writers_done.load(std::memory_order_acquire)) {
-        const std::string resp =
-            qs.handle("GET", "/view", clock.load(std::memory_order_relaxed));
+        const std::uint64_t now = clock.load(std::memory_order_relaxed);
+        std::string resp = qs.handle("GET", "/view", now);
         EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos);
         EXPECT_NE(resp.find("\"generation\":"), std::string::npos);
+
+        resp = qs.handle("GET", flow, now);
+        EXPECT_NE(resp.find("HTTP/1.1 200"), std::string::npos);
+        EXPECT_NE(resp.find("\"estimate\":"), std::string::npos);
+
+        // 404 until a second generation is retained, 200 after.
+        resp = qs.handle("GET", "/change", now);
+        EXPECT_TRUE(resp.find("HTTP/1.1 200") != std::string::npos ||
+                    resp.find("HTTP/1.1 404") != std::string::npos);
       }
     });
   }
