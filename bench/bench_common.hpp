@@ -103,15 +103,19 @@ double mpps_of_direct_replay_ts(const trace::Trace& stream, Sketch& sketch) {
 /// printed rows (e.g. "tab02_telemetry.json"), so figure scripts can read
 /// stage shares / p-timelines without scraping stdout.
 inline void write_telemetry_sidecar(const telemetry::Registry& registry,
-                                    const char* bench_id) {
+                                    const char* bench_id,
+                                    const std::string& extra_json = {}) {
   const std::string path = std::string(bench_id) + "_telemetry.json";
   std::string json = telemetry::to_json(registry);
-  // Stamp the build's SIMD capability so figure scripts can tell whether a
-  // recorded number used the batched hash kernels.
+  // Stamp the active hash-kernel tier ("scalar" | "avx2" | "avx512" —
+  // build capability AND runtime CPUID) so recorded numbers in the perf
+  // trajectory are attributable to the kernel that produced them.
+  // `extra_json` lets benches add fields of their own (e.g. the ingest
+  // gate's `"backend": "pcap",`) — pass complete `"key": value,` clauses.
   const auto brace = json.find('{');
   if (brace != std::string::npos) {
-    json.insert(brace + 1, std::string("\n  \"avx2\": ") +
-                               (simd_hash_available() ? "true" : "false") + ",");
+    json.insert(brace + 1, std::string("\n  \"isa\": \"") + simd_isa_name() +
+                               "\"," + extra_json);
   }
   if (telemetry::write_file(path, json)) {
     note("telemetry sidecar: %s", path.c_str());

@@ -167,7 +167,7 @@ void xxhash64_x8_flowkeys(const FlowKey keys[8], std::uint64_t seed,
 
 bool simd_hash_available() noexcept { return true; }
 
-#else  // !__AVX2__
+#else  // !__AVX2__ (scalar fallback lanes)
 
 void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
                           std::uint32_t out[8]) noexcept {
@@ -186,5 +186,51 @@ void xxhash64_x8_flowkeys(const FlowKey keys[8], std::uint64_t seed,
 bool simd_hash_available() noexcept { return false; }
 
 #endif
+
+namespace {
+
+/// CPUID says the cores can run the AVX-512 kernel (F for the registers,
+/// DQ for vpmullq).  Cached: cpu_supports compiles to a flag test but the
+/// call sits on a per-flush path.
+bool cpu_has_avx512() noexcept {
+#if defined(__x86_64__) && defined(__GNUC__)
+  static const bool ok =
+      __builtin_cpu_supports("avx512f") && __builtin_cpu_supports("avx512dq");
+  return ok;
+#else
+  return false;
+#endif
+}
+
+}  // namespace
+
+void xxhash64_x16_flowkeys(const FlowKey keys[16], std::uint64_t seed,
+                           std::uint64_t out[16]) noexcept {
+  if (detail::avx512_kernel_compiled() && cpu_has_avx512()) {
+    detail::xxhash64_x16_flowkeys_avx512(keys, seed, out);
+    return;
+  }
+  xxhash64_x8_flowkeys(keys, seed, out);
+  xxhash64_x8_flowkeys(keys + 8, seed, out + 8);
+}
+
+SimdIsa simd_isa() noexcept {
+  if (detail::avx512_kernel_compiled() && cpu_has_avx512()) return SimdIsa::kAvx512;
+  if (simd_hash_available()) return SimdIsa::kAvx2;
+  return SimdIsa::kScalar;
+}
+
+const char* simd_isa_name() noexcept {
+  switch (simd_isa()) {
+    case SimdIsa::kAvx512: return "avx512";
+    case SimdIsa::kAvx2: return "avx2";
+    case SimdIsa::kScalar: return "scalar";
+  }
+  return "scalar";
+}
+
+std::size_t simd_digest_batch() noexcept {
+  return simd_isa() == SimdIsa::kAvx512 ? 16 : 8;
+}
 
 }  // namespace nitro

@@ -1,11 +1,19 @@
-// SIMD (AVX2) batched hashing — paper Idea D.
+// SIMD batched hashing — paper Idea D.
 //
-// Eight 13-byte flow keys are hashed with xxHash32 in parallel: one AVX2
-// lane per key, the whole mixing chain kept in YMM registers.  Falls back
-// to the scalar implementation when AVX2 is not compiled in.  Produces
-// bit-identical results to nitro::xxhash32 (verified in tests).
+// Flow keys are hashed with xxHash in parallel lanes, the whole mixing
+// chain kept in vector registers.  Three tiers, all bit-identical to the
+// scalar nitro::xxhash32/xxhash64 (verified in tests):
+//   x8  — AVX2, one YMM lane per key (compile-time: -mavx2)
+//   x16 — AVX-512F/DQ, one ZMM lane per key, runtime-dispatched: the
+//         binary carries the kernel whenever the compiler can target
+//         AVX-512, and falls back to two x8 calls (or scalar lanes) on
+//         hardware without it
+// The active tier is reported by simd_isa(); BufferedUpdater sizes its
+// digest batch from simd_digest_batch() so the widest available kernel is
+// the one full groups flow through.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 #include "common/flow_key.hpp"
@@ -25,6 +33,14 @@ void xxhash32_x8_flowkeys(const FlowKey keys[8], std::uint32_t seed,
 void xxhash64_x8_flowkeys(const FlowKey keys[8], std::uint64_t seed,
                           std::uint64_t out[8]) noexcept;
 
+/// Hash 16 contiguous flow keys with xxHash64(seed).  Runtime-dispatched:
+/// on AVX-512F/DQ hardware (when the build carries the kernel) the batch
+/// runs eight 64-bit lanes per ZMM register with native vpmullq; otherwise
+/// it decomposes into two x8 calls.  Always bit-identical to the scalar
+/// xxhash64 per lane.
+void xxhash64_x16_flowkeys(const FlowKey keys[16], std::uint64_t seed,
+                           std::uint64_t out[16]) noexcept;
+
 /// Batched flow_digest(): out[i] == flow_digest(keys[i]).  This is the
 /// kernel BufferedUpdater::flush feeds full batches of 8 through (Idea D:
 /// the hash mixing chains of a batch run in parallel lanes).
@@ -32,8 +48,36 @@ inline void flow_digest_x8(const FlowKey keys[8], std::uint64_t out[8]) noexcept
   xxhash64_x8_flowkeys(keys, kFlowDigestSeed, out);
 }
 
+/// Widened batched flow_digest(): out[i] == flow_digest(keys[i]) for 16
+/// keys.  Full 16-groups of BufferedUpdater flow through this on AVX-512
+/// hardware.
+inline void flow_digest_x16(const FlowKey keys[16], std::uint64_t out[16]) noexcept {
+  xxhash64_x16_flowkeys(keys, kFlowDigestSeed, out);
+}
+
 /// True when the build carries the AVX2 code path (informational; the
-/// function above is always correct either way).
+/// functions above are always correct either way).
 bool simd_hash_available() noexcept;
+
+/// The widest batched-hash tier usable on THIS machine with THIS binary
+/// (build capability AND runtime CPUID agree).
+enum class SimdIsa { kScalar, kAvx2, kAvx512 };
+SimdIsa simd_isa() noexcept;
+
+/// "scalar" | "avx2" | "avx512" — stamped into bench JSON sidecars so
+/// recorded numbers are attributable to the kernel that produced them.
+const char* simd_isa_name() noexcept;
+
+/// Digest batch width the widest available kernel wants (16 on AVX-512,
+/// 8 otherwise).  BufferedUpdater's auto width.
+std::size_t simd_digest_batch() noexcept;
+
+namespace detail {
+/// AVX-512 kernel entry (only defined when the build carries it); callers
+/// go through xxhash64_x16_flowkeys, which owns the runtime dispatch.
+void xxhash64_x16_flowkeys_avx512(const FlowKey keys[16], std::uint64_t seed,
+                                  std::uint64_t out[16]) noexcept;
+bool avx512_kernel_compiled() noexcept;
+}  // namespace detail
 
 }  // namespace nitro

@@ -1,13 +1,16 @@
 // Buffered counter updates with batched hashing (Idea D, §4.2).
 //
-// Sampled updates are queued and applied in groups of eight.  A full
-// group's flow-key digests go through the batched AVX2 xxHash64 kernel
-// (flow_digest_x8 — one lane per key, the mixing chains kept in YMM
-// registers); a partial group, which only an external flush() produces,
-// takes the scalar tail.  Columns and signs are then resolved for the
-// whole group and the target counter lines prefetched before the write
-// pass, giving the memory system a full batch of overlap.  Ablated in
-// Figure 9b.
+// Sampled updates are queued and applied in groups.  A full group's
+// flow-key digests go through the widest batched xxHash64 kernel the
+// machine has (flow_digest_x16 on AVX-512, flow_digest_x8 on AVX2 — one
+// lane per key, the mixing chains kept in vector registers); a partial
+// group, which only an external flush() produces, takes the scalar tail.
+// Columns and signs are then resolved for the whole group and the target
+// counter lines prefetched ahead of the write pass.  The group width and
+// the prefetch distance are runtime-configurable (NitroConfig
+// digest_batch / prefetch_window) so ingest backends with different
+// memory behavior can tune how much overlap the memory system is given.
+// Ablated in Figure 9b.
 #pragma once
 
 #include <array>
@@ -21,13 +24,30 @@ namespace nitro::core {
 
 class BufferedUpdater {
  public:
-  static constexpr std::size_t kBatch = 8;
+  /// Widest group the queue can hold (the x16 kernel's width).
+  static constexpr std::size_t kBatchMax = 16;
 
   struct Pending {
     FlowKey key;
     std::uint32_t row = 0;
     std::int64_t delta = 0;
   };
+
+  /// `batch` 0 picks the widest kernel available at runtime
+  /// (simd_digest_batch(): 16 on AVX-512, 8 otherwise); explicit values
+  /// are clamped to [1, kBatchMax].  `prefetch_window` 0 prefetches the
+  /// whole group during the resolve pass (maximum overlap); a smaller
+  /// window software-pipelines the prefetches through the write pass,
+  /// keeping at most `window` lines in flight — backends whose packets
+  /// already stream through cache (mmap replay) want a short window so
+  /// the hints don't evict their own working set.
+  explicit BufferedUpdater(std::size_t batch = 0, std::size_t prefetch_window = 0)
+      : batch_(batch == 0 ? simd_digest_batch() : batch) {
+    if (batch_ > kBatchMax) batch_ = kBatchMax;
+    if (batch_ == 0) batch_ = 1;
+    window_ = (prefetch_window == 0 || prefetch_window > batch_) ? batch_
+                                                                 : prefetch_window;
+  }
 
   /// Queue one sampled update.  Returns true when the batch filled up and
   /// was flushed into `matrix` (callers that track top keys refresh their
@@ -37,44 +57,58 @@ class BufferedUpdater {
     // Overflow guard: if a caller (or a reentrant external flush) ever
     // leaves the batch full without resetting count_, drain it before
     // admitting the new entry instead of writing past the array.
-    if (count_ == kBatch) flush(matrix);
+    if (count_ == batch_) flush(matrix);
     pending_[count_++] = {key, row, delta};
-    if (count_ < kBatch) return false;
+    if (count_ < batch_) return false;
     flush(matrix);
     return true;
   }
 
   /// Apply all queued updates in three passes: digest the whole group,
-  /// resolve (column, sign) and prefetch the counter lines, then write.
+  /// resolve (column, sign) and prefetch up to `window` counter lines,
+  /// then write (prefetching the line `window` slots ahead as each
+  /// counter is retired).
   void flush(sketch::CounterMatrix& matrix) {
     if (count_ == 0) return;
-    std::array<std::uint64_t, kBatch> digests;
-    if (count_ == kBatch) {
-      // Full group: batched 64-bit digest kernel.  The keys must be
+    std::array<std::uint64_t, kBatchMax> digests;
+    {
+      // Widest-kernel-first: a full 16-group takes one x16 call, a full
+      // 8-group one x8 call; anything left (external flush mid-batch, or
+      // an odd configured width) takes the scalar tail.  The keys must be
       // contiguous for the gather loads, so copy them out of Pending.
-      std::array<FlowKey, kBatch> keys;
-      for (std::size_t i = 0; i < kBatch; ++i) keys[i] = pending_[i].key;
-      flow_digest_x8(keys.data(), digests.data());
-    } else {
-      // Partial group (external flush mid-batch): scalar tail.
-      for (std::size_t i = 0; i < count_; ++i) {
-        digests[i] = flow_digest(pending_[i].key);
+      std::array<FlowKey, kBatchMax> keys;
+      for (std::size_t i = 0; i < count_; ++i) keys[i] = pending_[i].key;
+      std::size_t i = 0;
+      if (count_ - i >= 16) {
+        flow_digest_x16(keys.data() + i, digests.data() + i);
+        i += 16;
       }
+      if (count_ - i >= 8) {
+        flow_digest_x8(keys.data() + i, digests.data() + i);
+        i += 8;
+      }
+      for (; i < count_; ++i) digests[i] = flow_digest(keys[i]);
     }
-    std::array<std::uint32_t, kBatch> cols;
-    std::array<std::int32_t, kBatch> signs;
+    std::array<std::uint32_t, kBatchMax> cols;
+    std::array<std::int32_t, kBatchMax> signs;
     for (std::size_t i = 0; i < count_; ++i) {
       const std::uint32_t r = pending_[i].row;
       cols[i] = matrix.column_of_digest(r, digests[i]);
       signs[i] = matrix.sign_of_digest(r, digests[i]);
 #if defined(__GNUC__)
       // Rows are cache-line aligned (CounterMatrix padding), so each
-      // resolved counter is one line: prefetch it now, write it a batch
-      // later, when the load has had the whole resolve pass to complete.
-      __builtin_prefetch(matrix.counter_addr(r, cols[i]), 1, 3);
+      // resolved counter is one line: prefetch the first `window` lines
+      // now; the rest are issued from the write pass as slots free up.
+      if (i < window_) __builtin_prefetch(matrix.counter_addr(r, cols[i]), 1, 3);
 #endif
     }
     for (std::size_t i = 0; i < count_; ++i) {
+#if defined(__GNUC__)
+      if (i + window_ < count_) {
+        __builtin_prefetch(
+            matrix.counter_addr(pending_[i + window_].row, cols[i + window_]), 1, 3);
+      }
+#endif
       matrix.add_at(pending_[i].row, cols[i], pending_[i].delta * signs[i]);
     }
     count_ = 0;
@@ -83,13 +117,22 @@ class BufferedUpdater {
 
   std::size_t pending() const noexcept { return count_; }
 
+  /// Configured group width (8 or 16 in the auto modes).
+  std::size_t batch() const noexcept { return batch_; }
+
+  /// Lines kept in flight by the prefetch pipeline (== batch() when the
+  /// whole group is prefetched up front).
+  std::size_t prefetch_window() const noexcept { return window_; }
+
   /// Batches drained so far (telemetry publishes this as
   /// `*_buffer_batch_flushes_total`).
   std::uint64_t flushes() const noexcept { return flushes_; }
 
  private:
-  std::array<Pending, kBatch> pending_{};
+  std::array<Pending, kBatchMax> pending_{};
   std::size_t count_ = 0;
+  std::size_t batch_ = 8;
+  std::size_t window_ = 8;
   std::uint64_t flushes_ = 0;
 };
 

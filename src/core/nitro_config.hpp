@@ -45,6 +45,20 @@ struct NitroConfig {
   /// Enable the Idea-D buffered/batched update path (ablated in Fig. 9b).
   bool buffered_updates = true;
 
+  /// Buffered-update group width: 0 picks the widest digest kernel the
+  /// machine has (16 on AVX-512, 8 on AVX2/scalar); explicit values are
+  /// clamped to BufferedUpdater::kBatchMax.  Changing the width changes
+  /// flush cadence (and thus top-key heap offer timing) but never the
+  /// counter values.
+  std::uint32_t digest_batch = 0;
+
+  /// Counter-line prefetch distance inside BufferedUpdater::flush: 0
+  /// prefetches the whole group during the resolve pass; smaller values
+  /// software-pipeline the hints through the write pass.  Ingest backends
+  /// publish a preferred distance (IngestBackend::preferred_prefetch_window)
+  /// matched to their memory behavior.
+  std::uint32_t prefetch_window = 0;
+
   /// Track heavy keys in a TopK heap on sampled updates (bottleneck 3
   /// mitigation).  Disable for pure frequency-estimation deployments.
   bool track_top_keys = true;

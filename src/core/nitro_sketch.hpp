@@ -98,7 +98,8 @@ class NitroSketch {
         rate_(cfg.target_sampled_rate_pps, cfg.rate_epoch_ns, cfg.probability),
         detector_(cfg.epsilon, cfg.probability, cfg.convergence_check_interval,
                   Traits::kSignedRows, base_.depth()),
-        heap_(cfg.track_top_keys ? cfg.top_keys : 0) {}
+        heap_(cfg.track_top_keys ? cfg.top_keys : 0),
+        buffer_(cfg.digest_batch, cfg.prefetch_window) {}
 
   /// Process one packet (`count` = packet or byte weight, `now_ns` = its
   /// timestamp; only AlwaysLineRate consults the clock).

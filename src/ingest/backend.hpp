@@ -1,0 +1,63 @@
+// Pluggable burst-oriented ingest backends (ROADMAP item 1; DESIGN.md §14).
+//
+// A backend is a packet source with the shape of a NIC RX loop: the
+// consumer thread calls next_burst() and receives up to `max` packet
+// descriptors, then parses/digests/updates *on the same thread* before
+// polling again (run-to-completion — no handoff between RX and sketch).
+// Descriptors are BORROWED: the frame bytes they point at belong to the
+// backend (an mmap'd trace, a hugepage frame pool) and remain valid only
+// until the next next_burst() call on the same backend, exactly like a
+// driver's RX descriptor ring.  Nothing is copied per packet except the
+// 13-byte FlowKey the header decode produces.
+#pragma once
+
+#include <cstdint>
+
+#include "common/flow_key.hpp"
+
+namespace nitro::ingest {
+
+/// One received packet, decoded.  `frame`/`frame_len` expose the raw
+/// on-wire bytes for consumers that want to re-parse (null for backends
+/// whose records were never materialized as frames, i.e. synth replay);
+/// they are valid only until the next next_burst() call.
+struct PacketView {
+  FlowKey key{};
+  std::uint16_t wire_bytes = 0;
+  std::uint64_t ts_ns = 0;
+  const std::uint8_t* frame = nullptr;
+  std::uint32_t frame_len = 0;
+};
+
+class IngestBackend {
+ public:
+  virtual ~IngestBackend() = default;
+
+  /// Fill `out[0..max)` with the next decoded packets of the stream.
+  /// Returns how many were delivered; 0 means end of stream.  May return
+  /// fewer than `max` without meaning EOF (a shim ring momentarily
+  /// drained) — only 0 terminates.  Invalidates the previous call's
+  /// descriptors.
+  virtual std::size_t next_burst(PacketView* out, std::size_t max) = 0;
+
+  /// Stable identifier stamped into bench sidecars ("synth" | "pcap" |
+  /// "ntr" | "shim").
+  virtual const char* name() const noexcept = 0;
+
+  /// Total packets the backend expects to deliver across its whole
+  /// lifetime (including --replay-loop repeats); 0 = unknown.  The epoch
+  /// driver uses this to split the stream into equal epochs.
+  virtual std::uint64_t size_hint() const noexcept { return 0; }
+
+  /// BufferedUpdater prefetch distance matched to this backend's memory
+  /// behavior (0 = prefetch the whole digest group up front).  Streaming
+  /// backends whose packet bytes already flow through cache sequentially
+  /// prefer a short window so counter-line hints don't compete with the
+  /// stream.
+  virtual std::uint32_t preferred_prefetch_window() const noexcept { return 0; }
+
+  /// Frames that arrived but failed L2/L3 decode and were skipped.
+  virtual std::uint64_t parse_errors() const noexcept { return 0; }
+};
+
+}  // namespace nitro::ingest

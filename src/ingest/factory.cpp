@@ -1,0 +1,34 @@
+#include "ingest/factory.hpp"
+
+#include <stdexcept>
+
+#include "ingest/mmap_replay.hpp"
+#include "ingest/shim.hpp"
+#include "ingest/synth_backend.hpp"
+
+namespace nitro::ingest {
+
+std::unique_ptr<IngestBackend> make_backend(const std::string& spec,
+                                            const trace::Trace& trace,
+                                            const BackendOptions& opts) {
+  if (spec == "synth") {
+    return std::make_unique<SynthReplayBackend>(trace, opts.replay_loop);
+  }
+  if (spec == "shim") {
+    ShimOptions shim_opts;
+    shim_opts.loop = opts.replay_loop;
+    return std::make_unique<BurstRxShim>(trace, shim_opts);
+  }
+  for (const char* prefix : {"pcap:", "file:"}) {
+    if (spec.rfind(prefix, 0) == 0) {
+      ReplayOptions replay_opts;
+      replay_opts.loop = opts.replay_loop;
+      replay_opts.paced = opts.paced;
+      return std::make_unique<MmapReplayBackend>(spec.substr(5), replay_opts);
+    }
+  }
+  throw std::runtime_error("unknown ingest backend '" + spec +
+                           "' (expected synth | shim | pcap:FILE)");
+}
+
+}  // namespace nitro::ingest

@@ -1,0 +1,30 @@
+// Backend construction from a command-line spec string.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "ingest/backend.hpp"
+#include "trace/packet_record.hpp"
+
+namespace nitro::ingest {
+
+struct BackendOptions {
+  std::uint32_t replay_loop = 1;  // --replay-loop
+  bool paced = false;             // --paced (file replay only)
+};
+
+/// Build a backend from `spec`:
+///   "synth"      — the in-process trace, zero parse cost (baseline)
+///   "shim"       — burst-RX shim: producer thread + hugepage frames
+///   "pcap:FILE"  — mmap'd replay of FILE (pcap or NTR1, by magic)
+///   "file:FILE"  — alias of pcap:
+/// `trace` backs the synth and shim backends (borrowed — keep it alive);
+/// file replay ignores it.  Throws std::runtime_error on an unknown spec
+/// or an unreadable/malformed file.
+std::unique_ptr<IngestBackend> make_backend(const std::string& spec,
+                                            const trace::Trace& trace,
+                                            const BackendOptions& opts = {});
+
+}  // namespace nitro::ingest

@@ -1,0 +1,65 @@
+#include "ingest/frame.hpp"
+
+namespace nitro::ingest {
+
+namespace {
+
+inline void put16(std::uint8_t* p, std::uint16_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 8);
+  p[1] = static_cast<std::uint8_t>(v);
+}
+inline void put32(std::uint8_t* p, std::uint32_t v) noexcept {
+  p[0] = static_cast<std::uint8_t>(v >> 24);
+  p[1] = static_cast<std::uint8_t>(v >> 16);
+  p[2] = static_cast<std::uint8_t>(v >> 8);
+  p[3] = static_cast<std::uint8_t>(v);
+}
+inline std::uint16_t get16(const std::uint8_t* p) noexcept {
+  return static_cast<std::uint16_t>((p[0] << 8) | p[1]);
+}
+inline std::uint32_t get32(const std::uint8_t* p) noexcept {
+  return (static_cast<std::uint32_t>(p[0]) << 24) |
+         (static_cast<std::uint32_t>(p[1]) << 16) |
+         (static_cast<std::uint32_t>(p[2]) << 8) | p[3];
+}
+
+}  // namespace
+
+void write_frame(const trace::PacketRecord& rec, std::uint8_t* h) noexcept {
+  // Ethernet: MACs derived from the flow key (keeps EMC keys distinct per
+  // flow, as the paper does by rewriting MACs), EtherType IPv4.
+  put32(h + 0, rec.key.dst_ip);
+  put16(h + 4, rec.key.dst_port);
+  put32(h + 6, rec.key.src_ip);
+  put16(h + 10, rec.key.src_port);
+  put16(h + 12, 0x0800);
+  // IPv4.
+  h[14] = 0x45;
+  h[15] = 0;
+  put16(h + 16, static_cast<std::uint16_t>(rec.wire_bytes - 14));
+  put16(h + 18, 0);
+  put16(h + 20, 0x4000);  // DF
+  h[22] = 64;             // TTL
+  h[23] = rec.key.proto;
+  put16(h + 24, 0);  // checksum (not validated by the fast path)
+  put32(h + 26, rec.key.src_ip);
+  put32(h + 30, rec.key.dst_ip);
+  // L4 ports.
+  put16(h + 34, rec.key.src_port);
+  put16(h + 36, rec.key.dst_port);
+  put32(h + 38, 0);  // seq / len+csum
+}
+
+bool decode_frame(const std::uint8_t* data, std::size_t len, FlowKey& key) noexcept {
+  if (len < kFrameHeaderBytes) return false;
+  if (get16(data + 12) != 0x0800) return false;  // not IPv4
+  if ((data[14] >> 4) != 4) return false;
+  key.proto = data[23];
+  key.src_ip = get32(data + 26);
+  key.dst_ip = get32(data + 30);
+  key.src_port = get16(data + 34);
+  key.dst_port = get16(data + 36);
+  return true;
+}
+
+}  // namespace nitro::ingest

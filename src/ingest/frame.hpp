@@ -1,0 +1,32 @@
+// On-wire frame codec for the ingest layer.
+//
+// The encode side mirrors switchsim::make_raw byte-for-byte (Ethernet
+// with flow-derived MACs, IPv4, L4 ports — 42 header bytes) so frames a
+// backend fabricates from trace records decode to the same FlowKey the
+// synthetic path produces; the decode side works on borrowed pointers
+// into an mmap'd capture or a frame pool, copying nothing but the
+// 13-byte key it extracts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/flow_key.hpp"
+#include "trace/packet_record.hpp"
+
+namespace nitro::ingest {
+
+/// Bytes write_frame() emits (Eth 14 + IPv4 20 + L4 8).
+constexpr std::size_t kFrameHeaderBytes = 42;
+
+/// Serialize a trace record's headers into `out` (at least
+/// kFrameHeaderBytes writable).  Same layout as switchsim::make_raw.
+void write_frame(const trace::PacketRecord& rec, std::uint8_t* out) noexcept;
+
+/// Miniflow extraction straight off borrowed frame bytes: parse
+/// Ethernet/IPv4/L4 into `key`.  Returns false (key untouched) for
+/// non-IPv4 EtherTypes, non-v4 IP versions, or frames shorter than the
+/// 42 header bytes.  Never reads past `len`.
+bool decode_frame(const std::uint8_t* data, std::size_t len, FlowKey& key) noexcept;
+
+}  // namespace nitro::ingest

@@ -1,0 +1,65 @@
+#include "ingest/frame_pool.hpp"
+
+#include <sys/mman.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace nitro::ingest {
+
+namespace {
+
+constexpr std::size_t kHugePageBytes = 2u << 20;
+
+inline std::size_t round_up(std::size_t v, std::size_t align) noexcept {
+  return (v + align - 1) / align * align;
+}
+
+}  // namespace
+
+FramePool::FramePool(std::size_t frame_count, std::size_t frame_size)
+    : frame_count_(frame_count), frame_size_(frame_size) {
+  if (frame_count == 0 || frame_size == 0 ||
+      (frame_size & (frame_size - 1)) != 0) {
+    throw std::runtime_error("FramePool: frame_size must be a power of two "
+                             "and counts non-zero");
+  }
+  bytes_ = frame_count * frame_size;
+
+  // Rung 1: explicit hugetlb pages (size must be hugepage-rounded).
+#if defined(MAP_HUGETLB)
+  {
+    const std::size_t huge_bytes = round_up(bytes_, kHugePageBytes);
+    void* p = ::mmap(nullptr, huge_bytes, PROT_READ | PROT_WRITE,
+                     MAP_PRIVATE | MAP_ANONYMOUS | MAP_HUGETLB, -1, 0);
+    if (p != MAP_FAILED) {
+      base_ = p;
+      bytes_ = huge_bytes;
+      backing_ = "hugetlb";
+      return;
+    }
+  }
+#endif
+
+  // Rung 2/3: plain anonymous mapping, transparent huge pages if the
+  // kernel grants them.
+  void* p = ::mmap(nullptr, bytes_, PROT_READ | PROT_WRITE,
+                   MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (p == MAP_FAILED) {
+    throw std::runtime_error(std::string("FramePool: mmap failed: ") +
+                             std::strerror(errno));
+  }
+  base_ = p;
+#if defined(MADV_HUGEPAGE)
+  backing_ = ::madvise(base_, bytes_, MADV_HUGEPAGE) == 0 ? "thp" : "pages";
+#else
+  backing_ = "pages";
+#endif
+}
+
+FramePool::~FramePool() {
+  if (base_ != nullptr) ::munmap(base_, bytes_);
+}
+
+}  // namespace nitro::ingest

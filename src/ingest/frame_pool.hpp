@@ -1,0 +1,51 @@
+// Hugepage-backed packet frame pool (the shim's UMEM analogue).
+//
+// One contiguous anonymous mapping sliced into fixed-size frames, with a
+// three-rung backing ladder tried in order:
+//   1. MAP_HUGETLB        — explicit 2MB hugetlbfs pages (needs a
+//                           configured hugepage reservation)
+//   2. madvise(HUGEPAGE)  — transparent huge pages on a plain mapping
+//   3. plain pages        — always works
+// Each rung degrades gracefully to the next; backing() reports which one
+// took so benches can attribute their numbers.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace nitro::ingest {
+
+class FramePool {
+ public:
+  /// Allocates `frame_count` frames of `frame_size` bytes each
+  /// (frame_size must be a power of two; 2048 mirrors AF_XDP's default
+  /// frame).  Throws std::runtime_error when even the plain-page rung
+  /// fails.
+  FramePool(std::size_t frame_count, std::size_t frame_size = 2048);
+  ~FramePool();
+
+  FramePool(const FramePool&) = delete;
+  FramePool& operator=(const FramePool&) = delete;
+
+  std::uint8_t* frame(std::size_t idx) noexcept {
+    return static_cast<std::uint8_t*>(base_) + idx * frame_size_;
+  }
+  const std::uint8_t* frame(std::size_t idx) const noexcept {
+    return static_cast<const std::uint8_t*>(base_) + idx * frame_size_;
+  }
+
+  std::size_t frame_count() const noexcept { return frame_count_; }
+  std::size_t frame_size() const noexcept { return frame_size_; }
+
+  /// "hugetlb" | "thp" | "pages" — the rung that actually backed the pool.
+  const char* backing() const noexcept { return backing_; }
+
+ private:
+  void* base_ = nullptr;
+  std::size_t bytes_ = 0;
+  std::size_t frame_count_ = 0;
+  std::size_t frame_size_ = 0;
+  const char* backing_ = "pages";
+};
+
+}  // namespace nitro::ingest

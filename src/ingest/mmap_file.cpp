@@ -1,0 +1,69 @@
+#include "ingest/mmap_file.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace nitro::ingest {
+
+MmapFile::MmapFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    throw std::runtime_error("mmap ingest: cannot open " + path + ": " +
+                             std::strerror(errno));
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("mmap ingest: fstat failed for " + path + ": " +
+                             std::strerror(err));
+  }
+  if (st.st_size == 0) {
+    ::close(fd);
+    throw std::runtime_error("mmap ingest: empty file " + path);
+  }
+  size_ = static_cast<std::size_t>(st.st_size);
+  // MAP_POPULATE is best-effort on some kernels/filesystems; if the
+  // populated mapping is refused, fall back to a lazy one — replay then
+  // faults pages in on first touch, still correct.
+  addr_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE | MAP_POPULATE, fd, 0);
+  if (addr_ == MAP_FAILED) {
+    addr_ = ::mmap(nullptr, size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  }
+  const int map_err = errno;
+  ::close(fd);
+  if (addr_ == MAP_FAILED) {
+    addr_ = nullptr;
+    throw std::runtime_error("mmap ingest: mmap failed for " + path + ": " +
+                             std::strerror(map_err));
+  }
+  // Advisory: sequential one-pass read.  Failure is harmless.
+  ::madvise(addr_, size_, MADV_SEQUENTIAL);
+  ::madvise(addr_, size_, MADV_WILLNEED);
+}
+
+MmapFile::~MmapFile() {
+  if (addr_ != nullptr) ::munmap(addr_, size_);
+}
+
+MmapFile::MmapFile(MmapFile&& other) noexcept
+    : addr_(std::exchange(other.addr_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MmapFile& MmapFile::operator=(MmapFile&& other) noexcept {
+  if (this != &other) {
+    if (addr_ != nullptr) ::munmap(addr_, size_);
+    addr_ = std::exchange(other.addr_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+}  // namespace nitro::ingest

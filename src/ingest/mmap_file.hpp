@@ -1,0 +1,36 @@
+// Read-only whole-file mapping tuned for one-pass trace replay.
+//
+// MAP_POPULATE pre-faults the whole file at map time (replay never takes
+// a page fault on the hot path) and madvise(SEQUENTIAL|WILLNEED) tells
+// readahead the access pattern, so the kernel streams pages ahead of the
+// cursor and drops them behind it.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace nitro::ingest {
+
+class MmapFile {
+ public:
+  /// Maps `path` read-only.  Throws std::runtime_error when the file
+  /// cannot be opened, is empty, or the mapping fails.
+  explicit MmapFile(const std::string& path);
+  ~MmapFile();
+
+  MmapFile(MmapFile&& other) noexcept;
+  MmapFile& operator=(MmapFile&& other) noexcept;
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  std::span<const std::uint8_t> bytes() const noexcept {
+    return {static_cast<const std::uint8_t*>(addr_), size_};
+  }
+
+ private:
+  void* addr_ = nullptr;
+  std::size_t size_ = 0;
+};
+
+}  // namespace nitro::ingest

@@ -1,0 +1,149 @@
+#include "ingest/mmap_replay.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+
+#include "ingest/frame.hpp"
+
+namespace nitro::ingest {
+
+namespace {
+
+constexpr std::uint32_t kNtrMagic = 0x3152544eu;  // "NTR1"
+constexpr std::size_t kNtrHeaderBytes = 4 + 8;
+constexpr std::size_t kNtrRecordBytes = 13 + 2 + 8;
+
+std::uint64_t steady_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+MmapReplayBackend::MmapReplayBackend(const std::string& path, ReplayOptions opts)
+    : map_(path),
+      pcap_cursor_([&]() -> std::span<const std::uint8_t> {
+        // Format sniff happens before the cursor member is built, so feed
+        // the cursor a minimal valid header when the file is NTR1 (the
+        // cursor is never consulted for that format).
+        static constexpr std::uint8_t kStub[kPcapGlobalHeaderBytes] = {
+            0xd4, 0xc3, 0xb2, 0xa1, 2, 0, 4, 0, 0, 0, 0, 0,
+            0,    0,    0,    0,    0xff, 0xff, 0, 0, 1, 0, 0, 0};
+        const auto bytes = map_.bytes();
+        std::uint32_t magic = 0;
+        if (bytes.size() >= 4) std::memcpy(&magic, bytes.data(), sizeof magic);
+        return magic == kNtrMagic ? std::span<const std::uint8_t>(kStub) : bytes;
+      }()),
+      loops_(opts.loop == 0 ? 1 : opts.loop),
+      paced_(opts.paced) {
+  const auto bytes = map_.bytes();
+  std::uint32_t magic = 0;
+  if (bytes.size() >= 4) std::memcpy(&magic, bytes.data(), sizeof magic);
+
+  if (magic == kNtrMagic) {
+    format_ = Format::kNtr;
+    if (bytes.size() < kNtrHeaderBytes) {
+      throw std::runtime_error("ntr ingest: truncated header in " + path);
+    }
+    std::memcpy(&ntr_count_, bytes.data() + 4, sizeof ntr_count_);
+    const std::uint64_t need =
+        kNtrHeaderBytes + ntr_count_ * static_cast<std::uint64_t>(kNtrRecordBytes);
+    if (bytes.size() < need) {
+      throw std::runtime_error("ntr ingest: truncated file " + path + " (" +
+                               std::to_string(bytes.size()) + " of " +
+                               std::to_string(need) + " bytes)");
+    }
+    records_per_pass_ = ntr_count_;
+  } else {
+    format_ = Format::kPcap;
+    // Validation pass: walk every record once so malformed captures fail
+    // at construction; also yields the exact per-pass count for epoch
+    // splitting.  The mapping is warm afterwards (a feature).
+    PcapCursor scan(bytes);
+    PcapRecord rec;
+    std::uint64_t n = 0;
+    while (scan.next(rec)) ++n;
+    records_per_pass_ = n;
+  }
+  rewind_pass();
+}
+
+void MmapReplayBackend::rewind_pass() {
+  if (format_ == Format::kPcap) {
+    pcap_cursor_.rewind();
+  } else {
+    ntr_off_ = kNtrHeaderBytes;
+    ntr_remaining_ = ntr_count_;
+  }
+}
+
+bool MmapReplayBackend::fill_one(PacketView& out) {
+  if (format_ == Format::kNtr) {
+    if (ntr_remaining_ == 0) return false;
+    const std::uint8_t* rec = map_.bytes().data() + ntr_off_;
+    std::memcpy(&out.key, rec, 13);
+    std::memcpy(&out.wire_bytes, rec + 13, 2);
+    std::memcpy(&out.ts_ns, rec + 15, 8);
+    // NTR1 records carry no on-wire frame bytes, only the decoded tuple.
+    out.frame = nullptr;
+    out.frame_len = 0;
+    ntr_off_ += kNtrRecordBytes;
+    --ntr_remaining_;
+    return true;
+  }
+  PcapRecord rec;
+  while (pcap_cursor_.next(rec)) {
+    if (!decode_frame(rec.data, rec.caplen, out.key)) {
+      ++parse_errors_;  // non-IPv4 or short capture slice: skip, keep going
+      continue;
+    }
+    out.wire_bytes = static_cast<std::uint16_t>(
+        rec.orig_len < 0xffffu ? rec.orig_len : 0xffffu);
+    out.ts_ns = rec.ts_ns;
+    out.frame = rec.data;
+    out.frame_len = rec.caplen;
+    return true;
+  }
+  return false;
+}
+
+void MmapReplayBackend::pace(std::uint64_t ts_ns) {
+  if (!have_first_ts_) {
+    have_first_ts_ = true;
+    first_ts_ns_ = ts_ns;
+    pace_start_steady_ns_ = steady_ns();
+    return;
+  }
+  const std::uint64_t target = ts_ns - first_ts_ns_;
+  for (;;) {
+    const std::uint64_t elapsed = steady_ns() - pace_start_steady_ns_;
+    if (elapsed >= target) return;
+    const std::uint64_t left = target - elapsed;
+    if (left > 1'000'000) {
+      std::this_thread::sleep_for(std::chrono::nanoseconds(left - 500'000));
+    } else {
+      std::this_thread::yield();  // sub-ms remainder: spin out
+    }
+  }
+}
+
+std::size_t MmapReplayBackend::next_burst(PacketView* out, std::size_t max) {
+  std::size_t n = 0;
+  while (n < max) {
+    if (!fill_one(out[n])) {
+      ++loops_done_;
+      if (loops_done_ >= loops_) break;
+      rewind_pass();
+      continue;
+    }
+    ++n;
+  }
+  if (n > 0 && paced_) pace(out[n - 1].ts_ns);
+  return n;
+}
+
+}  // namespace nitro::ingest

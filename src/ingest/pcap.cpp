@@ -1,0 +1,145 @@
+#include "ingest/pcap.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <stdexcept>
+#include <vector>
+
+#include "common/io.hpp"
+#include "ingest/frame.hpp"
+
+namespace nitro::ingest {
+
+namespace {
+
+inline std::uint32_t bswap32(std::uint32_t v) noexcept {
+  return __builtin_bswap32(v);
+}
+
+/// Read a file-endian u32 at `off` (caller has bounds-checked).
+inline std::uint32_t load32(const std::uint8_t* p, bool swapped) noexcept {
+  std::uint32_t v;
+  std::memcpy(&v, p, sizeof v);
+  return swapped ? bswap32(v) : v;
+}
+
+[[noreturn]] void fail(const std::string& what, std::size_t off) {
+  throw std::runtime_error("pcap: " + what + " at offset " + std::to_string(off));
+}
+
+}  // namespace
+
+PcapInfo parse_pcap_header(std::span<const std::uint8_t> bytes) {
+  if (bytes.size() < kPcapGlobalHeaderBytes) {
+    fail("truncated global header (" + std::to_string(bytes.size()) +
+             " of 24 bytes)",
+         0);
+  }
+  std::uint32_t magic;
+  std::memcpy(&magic, bytes.data(), sizeof magic);
+
+  PcapInfo info;
+  if (magic == kPcapMagicMicros) {
+    info.swapped = false;
+    info.nanos = false;
+  } else if (magic == kPcapMagicNanos) {
+    info.swapped = false;
+    info.nanos = true;
+  } else if (magic == bswap32(kPcapMagicMicros)) {
+    info.swapped = true;
+    info.nanos = false;
+  } else if (magic == bswap32(kPcapMagicNanos)) {
+    info.swapped = true;
+    info.nanos = true;
+  } else {
+    fail("unknown magic 0x" + [magic] {
+      char buf[9];
+      std::snprintf(buf, sizeof buf, "%08x", magic);
+      return std::string(buf);
+    }(), 0);
+  }
+  info.snaplen = load32(bytes.data() + 16, info.swapped);
+  info.linktype = load32(bytes.data() + 20, info.swapped);
+  if (info.linktype != kPcapLinktypeEthernet) {
+    fail("unsupported link type " + std::to_string(info.linktype) +
+             " (only Ethernet/1)",
+         20);
+  }
+  return info;
+}
+
+PcapCursor::PcapCursor(std::span<const std::uint8_t> bytes)
+    : bytes_(bytes), info_(parse_pcap_header(bytes)) {}
+
+bool PcapCursor::next(PcapRecord& out) {
+  if (off_ == bytes_.size()) return false;  // clean EOF
+  if (bytes_.size() - off_ < kPcapRecordHeaderBytes) {
+    fail("truncated record header (" + std::to_string(bytes_.size() - off_) +
+             " of 16 bytes)",
+         off_);
+  }
+  const std::uint8_t* h = bytes_.data() + off_;
+  const std::uint32_t ts_sec = load32(h + 0, info_.swapped);
+  const std::uint32_t ts_frac = load32(h + 4, info_.swapped);
+  const std::uint32_t caplen = load32(h + 8, info_.swapped);
+  const std::uint32_t orig_len = load32(h + 12, info_.swapped);
+  if (caplen > info_.snaplen) {
+    fail("caplen " + std::to_string(caplen) + " exceeds snaplen " +
+             std::to_string(info_.snaplen),
+         off_);
+  }
+  if (caplen > bytes_.size() - off_ - kPcapRecordHeaderBytes) {
+    fail("record of caplen " + std::to_string(caplen) +
+             " straddles end of capture",
+         off_);
+  }
+  out.data = h + kPcapRecordHeaderBytes;
+  out.caplen = caplen;
+  out.orig_len = orig_len;
+  out.ts_ns = static_cast<std::uint64_t>(ts_sec) * 1'000'000'000ull +
+              (info_.nanos ? ts_frac : static_cast<std::uint64_t>(ts_frac) * 1000ull);
+  off_ += kPcapRecordHeaderBytes + caplen;
+  return true;
+}
+
+void write_pcap(const std::string& path, const trace::Trace& trace, bool nanos) {
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(kPcapGlobalHeaderBytes +
+                trace.size() * (kPcapRecordHeaderBytes + kFrameHeaderBytes));
+
+  auto push32 = [&bytes](std::uint32_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof v);
+  };
+  auto push16 = [&bytes](std::uint16_t v) {
+    const auto* p = reinterpret_cast<const std::uint8_t*>(&v);
+    bytes.insert(bytes.end(), p, p + sizeof v);
+  };
+
+  push32(nanos ? kPcapMagicNanos : kPcapMagicMicros);
+  push16(2);   // version major
+  push16(4);   // version minor
+  push32(0);   // thiszone
+  push32(0);   // sigfigs
+  push32(65535);  // snaplen
+  push32(kPcapLinktypeEthernet);
+
+  for (const auto& rec : trace) {
+    const std::uint64_t div = nanos ? 1'000'000'000ull : 1'000'000ull;
+    const std::uint64_t frac =
+        nanos ? rec.ts_ns % div : (rec.ts_ns / 1000ull) % div;
+    push32(static_cast<std::uint32_t>(rec.ts_ns / 1'000'000'000ull));
+    push32(static_cast<std::uint32_t>(frac));
+    push32(kFrameHeaderBytes);   // caplen: headers only
+    push32(rec.wire_bytes);      // orig_len: full on-wire size
+    std::uint8_t frame[kFrameHeaderBytes];
+    write_frame(rec, frame);
+    bytes.insert(bytes.end(), frame, frame + kFrameHeaderBytes);
+  }
+
+  if (!io::atomic_write_file(path, bytes)) {
+    throw std::runtime_error("write_pcap: atomic write failed for " + path);
+  }
+}
+
+}  // namespace nitro::ingest

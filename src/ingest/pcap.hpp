@@ -1,0 +1,76 @@
+// Minimal libpcap-format reader/writer (no libpcap dependency).
+//
+// The reader operates on a borrowed byte span — in practice an mmap'd
+// capture — and hands out record views pointing straight into it.  It is
+// deliberately loud: every malformed input (truncated global or record
+// header, caplen above snaplen, a record straddling the end of the
+// mapping, an unknown magic or link type) throws with the offending
+// offset rather than silently truncating, and it never reads outside the
+// span (fuzzed in tests/ingest/test_pcap_fuzz.cpp, run under ASan).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "trace/packet_record.hpp"
+
+namespace nitro::ingest {
+
+constexpr std::uint32_t kPcapMagicMicros = 0xa1b2c3d4u;
+constexpr std::uint32_t kPcapMagicNanos = 0xa1b23c4du;
+constexpr std::uint32_t kPcapLinktypeEthernet = 1;
+constexpr std::size_t kPcapGlobalHeaderBytes = 24;
+constexpr std::size_t kPcapRecordHeaderBytes = 16;
+
+struct PcapInfo {
+  bool swapped = false;   // file endianness differs from host
+  bool nanos = false;     // timestamps are (sec, nsec) not (sec, usec)
+  std::uint32_t snaplen = 0;
+  std::uint32_t linktype = 0;
+};
+
+/// One capture record, borrowed from the underlying span.
+struct PcapRecord {
+  const std::uint8_t* data = nullptr;  // caplen bytes of frame
+  std::uint32_t caplen = 0;
+  std::uint32_t orig_len = 0;  // on-wire length
+  std::uint64_t ts_ns = 0;
+};
+
+/// Parse and validate the 24-byte global header.  Throws std::runtime_error
+/// on short input, unknown magic, or a link type other than Ethernet.
+PcapInfo parse_pcap_header(std::span<const std::uint8_t> bytes);
+
+/// Forward iterator over the records of a pcap byte span.  Construction
+/// validates the global header; next() validates each record before
+/// exposing it.
+class PcapCursor {
+ public:
+  explicit PcapCursor(std::span<const std::uint8_t> bytes);
+
+  /// Advance to the next record.  Returns false at clean end-of-capture;
+  /// throws std::runtime_error on any malformed record.
+  bool next(PcapRecord& out);
+
+  /// Restart from the first record.
+  void rewind() noexcept { off_ = kPcapGlobalHeaderBytes; }
+
+  const PcapInfo& info() const noexcept { return info_; }
+
+ private:
+  std::span<const std::uint8_t> bytes_;
+  PcapInfo info_;
+  std::size_t off_ = kPcapGlobalHeaderBytes;
+};
+
+/// Serialize a trace as a pcap capture: one 42-byte header frame per
+/// record (ingest::write_frame layout), caplen = 42, orig_len =
+/// wire_bytes.  Nanosecond magic by default so NTR1 timestamps round-trip
+/// exactly (microsecond pcap would truncate ts_ns and break backend
+/// equivalence).  Written via the atomic tmp+fsync+rename path.  Throws
+/// on I/O failure.
+void write_pcap(const std::string& path, const trace::Trace& trace,
+                bool nanos = true);
+
+}  // namespace nitro::ingest

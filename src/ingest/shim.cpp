@@ -1,0 +1,104 @@
+#include "ingest/shim.hpp"
+
+#include "common/backoff.hpp"
+#include "ingest/frame.hpp"
+
+namespace nitro::ingest {
+
+BurstRxShim::BurstRxShim(const trace::Trace& trace, ShimOptions opts)
+    : trace_(trace),
+      loops_(opts.loop == 0 ? 1 : opts.loop),
+      pool_(opts.frames, opts.frame_size),
+      rx_ring_(opts.ring_depth),
+      free_ring_(opts.frames + 1) {
+  // Seed the free ring with every frame (the producer thread hasn't
+  // started yet, so this single-threaded fill is safe; thread creation
+  // below publishes it).
+  for (std::uint32_t i = 0; i < pool_.frame_count(); ++i) {
+    free_ring_.try_push(i);
+  }
+  borrowed_.reserve(pool_.frame_count());
+  producer_ = std::thread([this] { produce(); });
+}
+
+BurstRxShim::~BurstRxShim() {
+  stop_.store(true, std::memory_order_release);
+  if (producer_.joinable()) producer_.join();
+}
+
+void BurstRxShim::produce() {
+  BoundedBackoff backoff;
+  for (std::uint32_t pass = 0; pass < loops_; ++pass) {
+    for (const auto& rec : trace_) {
+      // Claim a free frame (waits for the consumer to return some when
+      // the pool is exhausted — the "NIC" has nowhere to DMA into).
+      std::uint32_t idx;
+      backoff.reset();
+      while (!free_ring_.try_pop(idx)) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        backoff.wait();
+      }
+      write_frame(rec, pool_.frame(idx));
+      Descriptor d;
+      d.frame = idx;
+      d.frame_len = static_cast<std::uint16_t>(kFrameHeaderBytes);
+      d.wire_bytes = rec.wire_bytes;
+      d.ts_ns = rec.ts_ns;
+      backoff.reset();
+      while (!rx_ring_.try_push(d)) {
+        if (stop_.load(std::memory_order_acquire)) return;
+        backoff.wait();
+      }
+    }
+  }
+  producer_done_.store(true, std::memory_order_release);
+}
+
+std::size_t BurstRxShim::next_burst(PacketView* out, std::size_t max) {
+  // Descriptor-borrowing contract: the frames handed out last time are
+  // only now known to be done with — recycle them first so the producer
+  // can refill.
+  for (const std::uint32_t idx : borrowed_) {
+    // Cannot fail: the free ring is sized for every frame in the pool.
+    free_ring_.try_push(idx);
+  }
+  borrowed_.clear();
+
+  if (descs_.size() < max) descs_.resize(max);
+  BoundedBackoff backoff;
+  for (;;) {
+    std::size_t got = rx_ring_.try_pop_bulk(descs_.data(), max);
+    if (got == 0) {
+      if (producer_done_.load(std::memory_order_acquire)) {
+        // The done flag was set after the producer's last push; one more
+        // pop observes anything that landed between our miss and the flag.
+        got = rx_ring_.try_pop_bulk(descs_.data(), max);
+        if (got == 0) return 0;
+      } else {
+        backoff.wait();
+        continue;
+      }
+    }
+
+    std::size_t n = 0;
+    for (std::size_t i = 0; i < got; ++i) {
+      const Descriptor& d = descs_[i];
+      const std::uint8_t* frame = pool_.frame(d.frame);
+      borrowed_.push_back(d.frame);  // returned on the next call either way
+      if (!decode_frame(frame, d.frame_len, out[n].key)) {
+        ++parse_errors_;
+        continue;
+      }
+      out[n].wire_bytes = d.wire_bytes;
+      out[n].ts_ns = d.ts_ns;
+      out[n].frame = frame;
+      out[n].frame_len = d.frame_len;
+      ++n;
+    }
+    // 0 only when every popped frame failed decode — keep polling rather
+    // than let the caller mistake it for end-of-stream.
+    if (n > 0) return n;
+  }
+}
+
+}  // namespace nitro::ingest

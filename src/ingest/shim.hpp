@@ -1,0 +1,78 @@
+// Burst-RX shim: an AF_XDP/DPDK-shaped RX ring without the NIC.
+//
+// A producer thread plays the role of the driver/NIC: it claims free
+// frames from a hugepage-backed FramePool, serializes trace records into
+// them as real Ethernet/IPv4 header bytes (ingest::write_frame), and
+// publishes descriptor bursts through an SPSC RX ring.  The consumer
+// (IngestLoop's thread) polls descriptors, decodes the headers straight
+// out of the frames — paying the same parse cost a real RX path pays —
+// and returns the frames to the free ring on its *next* poll, which is
+// exactly the descriptor-borrowing contract of a driver RX ring (and of
+// IngestBackend::next_burst).  Swapping this for real AF_XDP later only
+// replaces the producer.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_ring.hpp"
+#include "ingest/backend.hpp"
+#include "ingest/frame_pool.hpp"
+#include "trace/packet_record.hpp"
+
+namespace nitro::ingest {
+
+struct ShimOptions {
+  std::uint32_t loop = 1;          // replay the trace this many times
+  std::size_t frames = 4096;       // frame pool size
+  std::size_t frame_size = 2048;   // AF_XDP default frame
+  std::size_t ring_depth = 1024;   // RX descriptor ring depth
+};
+
+class BurstRxShim final : public IngestBackend {
+ public:
+  /// Borrows `trace`; the producer thread starts immediately and runs
+  /// until the trace (x loop) is fully delivered or the shim is
+  /// destroyed.
+  explicit BurstRxShim(const trace::Trace& trace, ShimOptions opts = {});
+  ~BurstRxShim() override;
+
+  std::size_t next_burst(PacketView* out, std::size_t max) override;
+  const char* name() const noexcept override { return "shim"; }
+  std::uint64_t size_hint() const noexcept override {
+    return static_cast<std::uint64_t>(trace_.size()) * loops_;
+  }
+  std::uint64_t parse_errors() const noexcept override { return parse_errors_; }
+
+  /// Backing rung the frame pool landed on ("hugetlb" | "thp" | "pages").
+  const char* pool_backing() const noexcept { return pool_.backing(); }
+
+ private:
+  struct Descriptor {
+    std::uint32_t frame = 0;
+    std::uint16_t frame_len = 0;
+    std::uint16_t wire_bytes = 0;
+    std::uint64_t ts_ns = 0;
+  };
+
+  void produce();
+
+  const trace::Trace& trace_;
+  std::uint32_t loops_;
+  FramePool pool_;
+  SpscRing<Descriptor> rx_ring_;
+  SpscRing<std::uint32_t> free_ring_;  // consumer -> producer frame return
+  std::atomic<bool> producer_done_{false};
+  std::atomic<bool> stop_{false};
+  std::thread producer_;
+
+  // Consumer-side state: frames handed out by the previous next_burst,
+  // returned to the free ring at the top of the next one.
+  std::vector<std::uint32_t> borrowed_;
+  std::vector<Descriptor> descs_;
+  std::uint64_t parse_errors_ = 0;
+};
+
+}  // namespace nitro::ingest

@@ -1,0 +1,54 @@
+// The in-memory synthetic generator wrapped as an ingest backend.
+//
+// Baseline backend: delivers PacketViews straight from a materialized
+// trace::Trace with no frame bytes and no parse cost.  Keeps every
+// existing workload/scenario meaningful under the backend API, and is
+// the reference stream the equivalence suite compares the zero-copy
+// backends against.
+#pragma once
+
+#include <cstdint>
+
+#include "ingest/backend.hpp"
+#include "trace/packet_record.hpp"
+
+namespace nitro::ingest {
+
+class SynthReplayBackend final : public IngestBackend {
+ public:
+  /// Borrows `trace` (caller keeps it alive for the backend's lifetime).
+  explicit SynthReplayBackend(const trace::Trace& trace, std::uint32_t loop = 1)
+      : trace_(trace), loops_(loop == 0 ? 1 : loop) {}
+
+  std::size_t next_burst(PacketView* out, std::size_t max) override {
+    std::size_t n = 0;
+    while (n < max) {
+      if (pos_ == trace_.size()) {
+        if (++loops_done_ >= loops_) break;
+        pos_ = 0;
+        if (trace_.empty()) break;
+      }
+      const auto& rec = trace_[pos_++];
+      out[n].key = rec.key;
+      out[n].wire_bytes = rec.wire_bytes;
+      out[n].ts_ns = rec.ts_ns;
+      out[n].frame = nullptr;
+      out[n].frame_len = 0;
+      ++n;
+    }
+    return n;
+  }
+
+  const char* name() const noexcept override { return "synth"; }
+  std::uint64_t size_hint() const noexcept override {
+    return static_cast<std::uint64_t>(trace_.size()) * loops_;
+  }
+
+ private:
+  const trace::Trace& trace_;
+  std::size_t pos_ = 0;
+  std::uint32_t loops_ = 1;
+  std::uint32_t loops_done_ = 0;
+};
+
+}  // namespace nitro::ingest

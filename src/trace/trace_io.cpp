@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <vector>
 
+#include "common/io.hpp"
+
 namespace nitro::trace {
 
 namespace {
@@ -29,32 +31,28 @@ PacketRecord unpack_record(const std::uint8_t* in) {
 }  // namespace
 
 void save_trace(const std::string& path, const Trace& trace) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("save_trace: cannot open " + path);
-
+  // Serialized fully in memory, then written through the same atomic
+  // tmp + fsync + rename pattern as CheckpointStore: a crash mid-write
+  // must never leave a truncated file behind a valid magic (a reader
+  // would silently load a shortened trace), and a failed rewrite must
+  // leave any previous trace at `path` intact.
+  std::vector<std::uint8_t> bytes;
+  bytes.reserve(sizeof(std::uint32_t) + sizeof(std::uint64_t) +
+                kRecordBytes * trace.size());
   const std::uint32_t magic = kMagic;
   const std::uint64_t count = trace.size();
-  out.write(reinterpret_cast<const char*>(&magic), sizeof magic);
-  out.write(reinterpret_cast<const char*>(&count), sizeof count);
-
-  // Buffered in 64K-record chunks to keep write() syscalls amortized.
-  std::vector<std::uint8_t> chunk;
-  chunk.reserve(kRecordBytes * 65536);
-  for (std::size_t i = 0; i < trace.size(); ++i) {
+  bytes.insert(bytes.end(), reinterpret_cast<const std::uint8_t*>(&magic),
+               reinterpret_cast<const std::uint8_t*>(&magic) + sizeof magic);
+  bytes.insert(bytes.end(), reinterpret_cast<const std::uint8_t*>(&count),
+               reinterpret_cast<const std::uint8_t*>(&count) + sizeof count);
+  for (const auto& pr : trace) {
     std::uint8_t rec[kRecordBytes];
-    pack_record(trace[i], rec);
-    chunk.insert(chunk.end(), rec, rec + kRecordBytes);
-    if (chunk.size() >= kRecordBytes * 65536) {
-      out.write(reinterpret_cast<const char*>(chunk.data()),
-                static_cast<std::streamsize>(chunk.size()));
-      chunk.clear();
-    }
+    pack_record(pr, rec);
+    bytes.insert(bytes.end(), rec, rec + kRecordBytes);
   }
-  if (!chunk.empty()) {
-    out.write(reinterpret_cast<const char*>(chunk.data()),
-              static_cast<std::streamsize>(chunk.size()));
+  if (!io::atomic_write_file(path, bytes)) {
+    throw std::runtime_error("save_trace: atomic write failed for " + path);
   }
-  if (!out) throw std::runtime_error("save_trace: write failed for " + path);
 }
 
 Trace load_trace(const std::string& path) {

@@ -3,8 +3,10 @@
 #include <gtest/gtest.h>
 
 #include <array>
+#include <string>
 
 #include "common/hash.hpp"
+#include "common/rng.hpp"
 #include "trace/workloads.hpp"
 
 namespace nitro {
@@ -62,6 +64,81 @@ TEST(SimdHash, AvailabilityFlagConsistentWithBuild) {
 #else
   EXPECT_FALSE(simd_hash_available());
 #endif
+}
+
+std::array<FlowKey, 16> random_keys16(Pcg32& rng) {
+  std::array<FlowKey, 16> keys;
+  for (auto& k : keys) {
+    k.src_ip = rng.next();
+    k.dst_ip = rng.next();
+    k.src_port = static_cast<std::uint16_t>(rng.next());
+    k.dst_port = static_cast<std::uint16_t>(rng.next());
+    k.proto = static_cast<std::uint8_t>(rng.next());
+  }
+  return keys;
+}
+
+TEST(SimdHash, X16MatchesScalarXxHash64OnRandomKeys) {
+  // Whatever tier the dispatch lands on (AVX-512 ZMM kernel, two x8
+  // calls, or scalar lanes), x16 must be byte-identical to the scalar
+  // reference on arbitrary keys.
+  Pcg32 rng(0x5151);
+  for (int round = 0; round < 200; ++round) {
+    const auto keys = random_keys16(rng);
+    std::uint64_t out[16];
+    const std::uint64_t seed = rng.next_u64();
+    xxhash64_x16_flowkeys(keys.data(), seed, out);
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_EQ(out[i], xxhash64(&keys[i], sizeof(FlowKey), seed))
+          << "round " << round << " lane " << i;
+    }
+  }
+}
+
+TEST(SimdHash, X16MatchesX8Halves) {
+  Pcg32 rng(0x7a7a);
+  for (int round = 0; round < 100; ++round) {
+    const auto keys = random_keys16(rng);
+    std::uint64_t wide[16];
+    std::uint64_t lo[8], hi[8];
+    xxhash64_x16_flowkeys(keys.data(), 99, wide);
+    xxhash64_x8_flowkeys(keys.data(), 99, lo);
+    xxhash64_x8_flowkeys(keys.data() + 8, 99, hi);
+    for (int i = 0; i < 8; ++i) {
+      ASSERT_EQ(wide[i], lo[i]) << round;
+      ASSERT_EQ(wide[8 + i], hi[i]) << round;
+    }
+  }
+}
+
+TEST(SimdHash, FlowDigestX16MatchesFlowDigest) {
+  Pcg32 rng(0xd1d1);
+  const auto keys = random_keys16(rng);
+  std::uint64_t out[16];
+  flow_digest_x16(keys.data(), out);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(out[i], flow_digest(keys[i]));
+}
+
+TEST(SimdHash, IsaReportingIsCoherent) {
+  const SimdIsa isa = simd_isa();
+  const std::string name = simd_isa_name();
+  switch (isa) {
+    case SimdIsa::kAvx512:
+      EXPECT_EQ(name, "avx512");
+      EXPECT_TRUE(detail::avx512_kernel_compiled());
+      EXPECT_EQ(simd_digest_batch(), 16u);
+      break;
+    case SimdIsa::kAvx2:
+      EXPECT_EQ(name, "avx2");
+      EXPECT_TRUE(simd_hash_available());
+      EXPECT_EQ(simd_digest_batch(), 8u);
+      break;
+    case SimdIsa::kScalar:
+      EXPECT_EQ(name, "scalar");
+      EXPECT_FALSE(simd_hash_available());
+      EXPECT_EQ(simd_digest_batch(), 8u);
+      break;
+  }
 }
 
 }  // namespace

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <tuple>
+#include <vector>
+
+#include "common/simd_hash.hpp"
 #include "trace/workloads.hpp"
 
 namespace nitro::core {
@@ -26,12 +30,24 @@ TEST(BufferedUpdater, AutoFlushOnFullBatch) {
   sketch::CounterMatrix m(1, 64, 2, false);
   BufferedUpdater buf;
   const FlowKey k = flow_key_for_rank(1, 0);
-  for (std::size_t i = 0; i < BufferedUpdater::kBatch - 1; ++i) {
+  for (std::size_t i = 0; i < buf.batch() - 1; ++i) {
     EXPECT_FALSE(buf.push(m, k, 0, 1));
   }
-  EXPECT_TRUE(buf.push(m, k, 0, 1));  // 8th push flushes
-  EXPECT_EQ(m.row_estimate(0, k), static_cast<std::int64_t>(BufferedUpdater::kBatch));
+  EXPECT_TRUE(buf.push(m, k, 0, 1));  // final push of the group flushes
+  EXPECT_EQ(m.row_estimate(0, k), static_cast<std::int64_t>(buf.batch()));
   EXPECT_EQ(buf.pending(), 0u);
+}
+
+TEST(BufferedUpdater, AutoWidthMatchesWidestKernel) {
+  BufferedUpdater buf;
+  EXPECT_EQ(buf.batch(), simd_digest_batch());
+  EXPECT_EQ(buf.prefetch_window(), buf.batch());  // 0 = whole group
+  BufferedUpdater narrow(8, 2);
+  EXPECT_EQ(narrow.batch(), 8u);
+  EXPECT_EQ(narrow.prefetch_window(), 2u);
+  BufferedUpdater clamped(64, 99);
+  EXPECT_EQ(clamped.batch(), BufferedUpdater::kBatchMax);
+  EXPECT_EQ(clamped.prefetch_window(), clamped.batch());
 }
 
 TEST(BufferedUpdater, EquivalentToDirectUpdates) {
@@ -68,10 +84,10 @@ TEST(BufferedUpdater, PendingNeverExceedsBatchAcrossManyPushes) {
   sketch::CounterMatrix m(1, 64, 6, false);
   BufferedUpdater buf;
   const FlowKey k = flow_key_for_rank(2, 0);
-  const std::size_t n = 3 * BufferedUpdater::kBatch + 5;
+  const std::size_t n = 3 * buf.batch() + 5;
   for (std::size_t i = 0; i < n; ++i) {
     buf.push(m, k, 0, 1);
-    ASSERT_LE(buf.pending(), BufferedUpdater::kBatch);
+    ASSERT_LE(buf.pending(), buf.batch());
   }
   buf.flush(m);
   EXPECT_EQ(m.row_estimate(0, k), static_cast<std::int64_t>(n));
@@ -83,7 +99,7 @@ TEST(BufferedUpdater, FullBatchKernelMatchesPartialTail) {
   // (scalar tail path) must produce identical counters.
   sketch::CounterMatrix full(2, 128, 9, true);
   sketch::CounterMatrix split(2, 128, 9, true);
-  BufferedUpdater bf, bs;
+  BufferedUpdater bf(8), bs(8);
   for (int i = 0; i < 8; ++i) {
     bf.push(full, flow_key_for_rank(i, 3), static_cast<std::uint32_t>(i & 1), i + 1);
   }
@@ -100,6 +116,62 @@ TEST(BufferedUpdater, FullBatchKernelMatchesPartialTail) {
     const FlowKey k = flow_key_for_rank(i, 3);
     for (std::uint32_t r = 0; r < 2; ++r) {
       EXPECT_EQ(full.row_estimate(r, k), split.row_estimate(r, k));
+    }
+  }
+}
+
+TEST(BufferedUpdater, X16GroupMatchesPartialTailAndX8Groups) {
+  // The same 16 updates applied through (a) one full x16 group, (b) two
+  // full x8 groups, and (c) ragged partial flushes (scalar tail) must all
+  // land the same counters — the width changes flush cadence, never
+  // values.
+  sketch::CounterMatrix wide(2, 128, 11, true);
+  sketch::CounterMatrix eights(2, 128, 11, true);
+  sketch::CounterMatrix ragged(2, 128, 11, true);
+  BufferedUpdater b16(16), b8(8), br(16, 3);
+  for (int i = 0; i < 16; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 5);
+    const auto row = static_cast<std::uint32_t>(i & 1);
+    b16.push(wide, k, row, i + 1);
+    b8.push(eights, k, row, i + 1);
+    br.push(ragged, k, row, i + 1);
+    if (i == 4 || i == 9) br.flush(ragged);  // force scalar tails of 5
+  }
+  EXPECT_EQ(b16.pending(), 0u);
+  EXPECT_EQ(b8.pending(), 0u);
+  br.flush(ragged);
+  for (int i = 0; i < 16; ++i) {
+    const FlowKey k = flow_key_for_rank(i, 5);
+    for (std::uint32_t r = 0; r < 2; ++r) {
+      EXPECT_EQ(wide.row_estimate(r, k), eights.row_estimate(r, k)) << i;
+      EXPECT_EQ(wide.row_estimate(r, k), ragged.row_estimate(r, k)) << i;
+    }
+  }
+}
+
+TEST(BufferedUpdater, PrefetchWindowDoesNotChangeCounters) {
+  // The prefetch distance is a pure hint: every window setting must be
+  // value-identical.
+  Pcg32 rng(123);
+  std::vector<std::tuple<FlowKey, std::uint32_t, std::int64_t>> updates;
+  for (int i = 0; i < 500; ++i) {
+    updates.emplace_back(flow_key_for_rank(rng.next_below(64), 2),
+                         rng.next_below(4), 1 + rng.next_below(9));
+  }
+  sketch::CounterMatrix ref(4, 256, 21, true);
+  BufferedUpdater bref(16, 0);
+  for (const auto& [k, r, d] : updates) bref.push(ref, k, r, d);
+  bref.flush(ref);
+  for (std::size_t window : {1u, 2u, 5u, 16u}) {
+    sketch::CounterMatrix m(4, 256, 21, true);
+    BufferedUpdater b(16, window);
+    for (const auto& [k, r, d] : updates) b.push(m, k, r, d);
+    b.flush(m);
+    for (int i = 0; i < 64; ++i) {
+      const FlowKey k = flow_key_for_rank(i, 2);
+      for (std::uint32_t r = 0; r < 4; ++r) {
+        ASSERT_EQ(ref.row_estimate(r, k), m.row_estimate(r, k)) << window;
+      }
     }
   }
 }

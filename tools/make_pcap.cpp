@@ -1,0 +1,96 @@
+// make_pcap — convert an NTR1 trace (or a generated workload) to pcap.
+//
+// Frames are the same 42-byte Ethernet/IPv4/L4 headers the switch
+// substrate materializes (ingest::write_frame), caplen 42, orig_len =
+// the record's wire bytes.  Nanosecond pcap by default so NTR1
+// timestamps survive the round trip exactly; --micros writes the classic
+// microsecond format (lossy for sub-µs spacing).
+//
+// Usage:
+//   make_pcap IN.ntr OUT.pcap [--micros]
+//   make_pcap --workload caida --packets N --flows N --seed N OUT.pcap
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "ingest/pcap.hpp"
+#include "trace/trace_io.hpp"
+#include "trace/workloads.hpp"
+
+int main(int argc, char** argv) {
+  using namespace nitro;
+
+  std::string in_file, out_file, workload;
+  trace::WorkloadSpec spec;
+  spec.packets = 10'000;
+  spec.flows = 1'000;
+  bool micros = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "missing value for %s\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--workload") {
+      workload = next();
+    } else if (arg == "--packets") {
+      spec.packets = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--flows") {
+      spec.flows = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--seed") {
+      spec.seed = std::strtoull(next(), nullptr, 10);
+    } else if (arg == "--micros") {
+      micros = true;
+    } else if (arg == "--help" || arg == "-h") {
+      std::fprintf(stderr,
+                   "usage: %s IN.ntr OUT.pcap [--micros]\n"
+                   "       %s --workload NAME [--packets N] [--flows N]"
+                   " [--seed N] OUT.pcap\n",
+                   argv[0], argv[0]);
+      return 2;
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::fprintf(stderr, "unknown option: %s\n", arg.c_str());
+      return 2;
+    } else if (in_file.empty() && out_file.empty()) {
+      in_file = arg;  // provisionally; shifts to out_file if it's the only one
+    } else if (out_file.empty()) {
+      out_file = arg;
+    } else {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      return 2;
+    }
+  }
+  if (!workload.empty() && out_file.empty()) {
+    // Workload mode takes a single positional: the output.
+    out_file = in_file;
+    in_file.clear();
+  }
+  if (out_file.empty() || (in_file.empty() && workload.empty())) {
+    std::fprintf(stderr, "need an input (.ntr file or --workload) and an output\n");
+    return 2;
+  }
+
+  try {
+    trace::Trace stream;
+    if (!in_file.empty()) {
+      stream = trace::load_trace(in_file);
+      std::printf("loaded %zu records from %s\n", stream.size(), in_file.c_str());
+    } else {
+      stream = trace::by_name(workload, spec);
+      std::printf("generated %zu-record %s workload\n", stream.size(),
+                  workload.c_str());
+    }
+    ingest::write_pcap(out_file, stream, /*nanos=*/!micros);
+    std::printf("wrote %s (%s timestamps, %zu records)\n", out_file.c_str(),
+                micros ? "microsecond" : "nanosecond", stream.size());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "make_pcap: %s\n", e.what());
+    return 1;
+  }
+  return 0;
+}

@@ -23,7 +23,8 @@
 //                 [--mode fixed|linerate|correct|vanilla] [--p PROB]
 //                 [--hh-threshold FRAC] [--top N] [--seed N]
 //                 [--save-trace FILE] [--separate-thread] [--workers N]
-//                 [--burst N]
+//                 [--burst N] [--ingest synth|shim|pcap:FILE]
+//                 [--replay-loop N] [--paced]
 //                 [--stats-out FILE] [--stats-format prom|json]
 //                 [--stats-interval N]
 //
@@ -31,9 +32,19 @@
 // reach the measurement hook in bursts of N through the sketch's
 // update_burst fast path; --burst 1 forces the scalar per-packet path.
 //
+// --ingest replaces the materialize+OvsPipeline replay with a pluggable
+// zero-copy ingest backend driving a run-to-completion loop (DESIGN.md
+// §14): `pcap:FILE` mmap-replays a capture (pcap or NTR1, by magic) with
+// zero per-packet copies, `shim` runs the AF_XDP-style burst-RX ring over
+// hugepage frames, `synth` wraps the in-memory trace as a backend.  All
+// integrations (--workers, --separate-thread, inline) work unchanged.
+// --replay-loop walks the source N times; --paced replays a capture at
+// its own timestamp spacing.
+//
 // Examples:
 //   nitro_monitor --workload caida --packets 4000000 --epochs 4 --p 0.01
 //   nitro_monitor --trace capture.ntr --mode correct
+//   nitro_monitor --ingest pcap:capture.pcap --epochs 4
 //   nitro_monitor --workload caida --packets 2000000 --workers 4
 //   nitro_monitor --workload caida --packets 1000000 --mode linerate
 //                 --stats-out stats.json --stats-format json
@@ -49,6 +60,8 @@
 #include "control/checkpoint.hpp"
 #include "control/daemon.hpp"
 #include "export/exporter.hpp"
+#include "ingest/factory.hpp"
+#include "ingest/ingest_loop.hpp"
 #include "shard/shard_group.hpp"
 #include "switchsim/measurement.hpp"
 #include "switchsim/ovs_pipeline.hpp"
@@ -77,6 +90,9 @@ struct Options {
   bool separate_thread = false;
   int workers = 1;
   int burst = static_cast<int>(nitro::switchsim::kBurstSize);
+  std::string ingest;       // synth | shim | pcap:FILE (empty = pipeline replay)
+  int replay_loop = 1;
+  bool paced = false;
   std::string stats_out;
   std::string stats_format = "json";
   int stats_interval = 1;
@@ -94,7 +110,8 @@ void usage(const char* argv0) {
                "          [--mode fixed|linerate|correct|vanilla] [--p PROB]\n"
                "          [--hh-threshold FRAC] [--top N] [--seed N]\n"
                "          [--save-trace FILE] [--separate-thread] [--workers N]\n"
-               "          [--burst N]\n"
+               "          [--burst N] [--ingest synth|shim|pcap:FILE]\n"
+               "          [--replay-loop N] [--paced]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
                "          [--stats-interval N] [--checkpoint-dir DIR]\n"
                "          [--export-to tcp:HOST:PORT|unix:PATH] [--source-id N]\n"
@@ -162,6 +179,18 @@ bool parse_args(int argc, char** argv, Options& opt) {
         std::fprintf(stderr, "--burst must be >= 1\n");
         return false;
       }
+    } else if (arg == "--ingest") {
+      if (!(v = next())) return false;
+      opt.ingest = v;
+    } else if (arg == "--replay-loop") {
+      if (!(v = next())) return false;
+      opt.replay_loop = std::atoi(v);
+      if (opt.replay_loop < 1) {
+        std::fprintf(stderr, "--replay-loop must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--paced") {
+      opt.paced = true;
     } else if (arg == "--stats-out") {
       if (!(v = next())) return false;
       opt.stats_out = v;
@@ -304,6 +333,25 @@ int main(int argc, char** argv) {
     return 2;
   }
 
+  // --ingest: build the backend up front so its preferred prefetch
+  // distance can be baked into the sketch config the daemon is built
+  // with.  (The shim's producer thread starts here; it parks on its
+  // bounded rings until the epoch loop begins draining.)
+  std::unique_ptr<ingest::IngestBackend> backend;
+  if (!opt.ingest.empty()) {
+    ingest::BackendOptions bopts;
+    bopts.replay_loop = static_cast<std::uint32_t>(opt.replay_loop);
+    bopts.paced = opt.paced;
+    try {
+      backend = ingest::make_backend(opt.ingest, stream, bopts);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "ingest: %s\n", e.what());
+      return 2;
+    }
+    std::printf("ingest backend: %s (%llu packets expected)\n", backend->name(),
+                static_cast<unsigned long long>(backend->size_hint()));
+  }
+
   sketch::UnivMonConfig um_cfg;
   um_cfg.levels = 16;
   um_cfg.depth = 5;
@@ -313,6 +361,7 @@ int main(int argc, char** argv) {
   core::NitroConfig nitro_cfg;
   nitro_cfg.mode = mode_of(opt.mode);
   nitro_cfg.probability = opt.p;
+  if (backend) nitro_cfg.prefetch_window = backend->preferred_prefetch_window();
 
   control::MeasurementDaemon::Tasks tasks;
   tasks.hh_fraction = opt.hh_threshold;
@@ -412,8 +461,11 @@ int main(int argc, char** argv) {
   }
 
   // Route the replay through the OVS-like pipeline so the per-stage cycle
-  // profile (recv/parse/lookup/measurement/action) is real, not synthetic.
-  const auto raws = switchsim::materialize(stream);
+  // profile (recv/parse/lookup/measurement/action) is real, not synthetic
+  // — unless --ingest selected a backend, in which case the
+  // run-to-completion ingest loop drives the same measurement hooks.
+  std::vector<switchsim::RawPacket> raws;
+  if (!backend) raws = switchsim::materialize(stream);
   DaemonSketchAdapter adapter{&daemon};
   std::unique_ptr<shard::ShardGroup<core::NitroUnivMon>> shard_group;
   std::unique_ptr<switchsim::Measurement> measurement;
@@ -456,11 +508,18 @@ int main(int argc, char** argv) {
                               static_cast<std::size_t>(opt.burst));
   pipe.set_telemetry(telemetry::PipelineTelemetry::in(registry, "nitro_pipeline"));
   switchsim::Profile prof;
+  std::unique_ptr<ingest::IngestLoop> ingest_loop;
+  if (backend) {
+    ingest_loop = std::make_unique<ingest::IngestLoop>(
+        *backend, *measurement, static_cast<std::size_t>(opt.burst));
+  }
 
-  const std::size_t per_epoch = raws.size() / static_cast<std::size_t>(opt.epochs);
-  std::size_t cursor = 0;
+  const std::uint64_t total =
+      backend ? backend->size_hint() : static_cast<std::uint64_t>(raws.size());
+  const std::uint64_t per_epoch = total / static_cast<std::uint64_t>(opt.epochs);
+  std::uint64_t cursor = 0;
   for (int e = 0; e < opt.epochs; ++e) {
-    const std::size_t end = (e == opt.epochs - 1) ? raws.size() : cursor + per_epoch;
+    const std::uint64_t end = (e == opt.epochs - 1) ? total : cursor + per_epoch;
     // Ambient trace keys for this epoch: deep sites (burst flush, shard
     // drain, snapshot, checkpoint) pick them up without plumbing.
     if (tracer) tracer->set_context(opt.source_id, daemon.epoch());
@@ -468,9 +527,21 @@ int main(int argc, char** argv) {
     {
       telemetry::ScopedSpan ingest_span(telemetry::Stage::kIngest,
                                         opt.source_id, daemon.epoch());
-      stats = pipe.run(
-          std::span<const switchsim::RawPacket>(raws).subspan(cursor, end - cursor),
-          &prof);
+      if (backend) {
+        // Run-to-completion: poll the backend, decode, update — on this
+        // thread.  The final epoch runs to backend EOF (covers size
+        // hints that undercount, e.g. pcap parse-error skips).
+        WallTimer timer;
+        const std::uint64_t budget = (e == opt.epochs - 1) ? ~0ull : end - cursor;
+        stats.packets = ingest_loop->run(budget);
+        measurement->finish();
+        stats.seconds = timer.seconds();
+        stats.bytes = ingest_loop->stats().bytes;
+      } else {
+        stats = pipe.run(std::span<const switchsim::RawPacket>(raws).subspan(
+                             cursor, end - cursor),
+                         &prof);
+      }
     }
     cursor = end;
     if (shard_group) {
