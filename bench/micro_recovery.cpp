@@ -124,8 +124,86 @@ void run() {
         .set(avg_ms(restore_s));
   }
 
+  // --- Delta vs full checkpoint frames (DESIGN.md §15) --------------------
+  // A warm daemon cuts a frame, then sees a sparse epoch (few flows): the
+  // delta frame must cost bytes proportional to the touched counter
+  // segments, not to the sketch size — that is the whole point of the
+  // chain format.  Checked here on top of the ctest unit in
+  // tests_recovery, and reported in the sidecar for EXPERIMENTS.md.
+  {
+    const auto um_cfg = univmon_sized(/*top_width=*/8192, /*heap=*/256);
+    core::NitroConfig nitro_cfg;
+    nitro_cfg.mode = core::Mode::kVanilla;
+    control::MeasurementDaemon daemon(um_cfg, nitro_cfg, {});
+    daemon.enable_delta_checkpoints();
+    for (const auto& p : stream) daemon.on_packet(p.key, p.ts_ns);
+    daemon.cut_checkpoint_frame();  // dense warm state is the delta base
+
+    // Sparse epoch: 2k packets over 32 flows.
+    trace::WorkloadSpec sparse_spec;
+    sparse_spec.packets = 2'000;
+    sparse_spec.flows = 32;
+    sparse_spec.seed = 29;
+    const auto sparse = trace::caida_like(sparse_spec);
+    for (const auto& p : sparse) daemon.on_packet(p.key, p.ts_ns);
+
+    WallTimer t;
+    std::vector<std::uint8_t> full;
+    for (int i = 0; i < kReps; ++i) full = daemon.checkpoint_bytes();
+    const double full_ser_s = t.seconds();
+
+    t.reset();
+    std::vector<std::uint8_t> delta;
+    for (int i = 0; i < kReps; ++i) delta = daemon.delta_checkpoint_bytes();
+    const double delta_ser_s = t.seconds();
+
+    t.reset();
+    for (int i = 0; i < kReps; ++i) store.save_frame("bench_chain", true, full);
+    const double full_save_s = t.seconds();
+
+    t.reset();
+    for (int i = 0; i < kReps; ++i) store.save_frame("bench_chain", false, delta);
+    const double delta_save_s = t.seconds();
+
+    control::MeasurementDaemon replica(um_cfg, nitro_cfg, {});
+    replica.enable_delta_checkpoints();
+    replica.restore_checkpoint(full);
+    t.reset();
+    for (int i = 0; i < kReps; ++i) replica.apply_delta_checkpoint(delta);
+    const double apply_s = t.seconds();
+
+    const double ratio = static_cast<double>(delta.size()) /
+                         static_cast<double>(full.size());
+    std::printf("  delta frame     payload %8.2f KiB  serialize %7.3f ms  "
+                "save %7.3f ms  apply %7.3f ms\n",
+                delta.size() / 1024.0, avg_ms(delta_ser_s),
+                avg_ms(delta_save_s), avg_ms(apply_s));
+    std::printf("  full frame      payload %8.2f KiB  serialize %7.3f ms  "
+                "save %7.3f ms\n",
+                full.size() / 1024.0, avg_ms(full_ser_s), avg_ms(full_save_s));
+    const bool scales = delta.size() * 4 < full.size();
+    std::printf("  sparse-epoch delta/full ratio %.4f — %s\n", ratio,
+                scales ? "scales with touched lines (PASS)"
+                       : "NOT proportional to touched lines (FAIL)");
+
+    registry.gauge("recovery_delta_payload_bytes",
+                   "sparse-epoch delta frame size").set(static_cast<double>(delta.size()));
+    registry.gauge("recovery_full_payload_bytes",
+                   "full frame size of the same state").set(static_cast<double>(full.size()));
+    registry.gauge("recovery_delta_ratio", "delta/full byte ratio (sparse epoch)")
+        .set(ratio);
+    registry.gauge("recovery_delta_save_ms", "avg delta frame save latency")
+        .set(avg_ms(delta_save_s));
+    registry.gauge("recovery_delta_apply_ms", "avg delta frame apply latency")
+        .set(avg_ms(apply_s));
+    registry.gauge("recovery_delta_scales_with_touch",
+                   "1 when the sparse delta is <1/4 of the full frame")
+        .set(scales ? 1.0 : 0.0);
+  }
+
   note("save includes fsync(tmp) + rename rotation + dir fsync (durability "
-       "recipe of DESIGN.md §10); load includes CRC validation of the frame");
+       "recipe of DESIGN.md §10); load includes CRC validation of the frame; "
+       "delta frames encode only dirty counter segments (DESIGN.md §15)");
   write_telemetry_sidecar(registry, "micro_recovery");
   std::error_code ec;
   std::filesystem::remove_all(dir, ec);  // bench artifacts, not checkpoints

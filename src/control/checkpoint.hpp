@@ -17,6 +17,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <span>
 #include <string>
 #include <vector>
@@ -63,12 +64,78 @@ class CheckpointStore {
   /// saves/failures/corrupt-rejections counters + last checkpoint size.
   void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
 
+  // --- Delta-checkpoint chains (DESIGN.md §15) ----------------------------
+  //
+  // A chain is a sequence of numbered frames `<name>.NNNNNN.full` /
+  // `<name>.NNNNNN.delta`: a periodic full base plus the deltas cut
+  // against it.  Every frame is written with the same atomic durability
+  // recipe as save(), and carries an inner chain header (kind, its own
+  // sequence number, and the base generation — the sequence number of the
+  // full frame the chain is rooted at) inside the CRC frame, so a frame
+  // renamed or substituted on disk is detected at restore time.
+
+  struct ChainSave {
+    bool ok = false;
+    std::uint64_t seq = 0;       // this frame's sequence number
+    std::uint64_t base_gen = 0;  // sequence number of the live full base
+  };
+
+  /// Append one frame to `name`'s chain.  `full` starts a new base
+  /// generation; a delta is refused (ok = false) when no full base exists
+  /// yet.  A fault-injected torn write truncates the frame but reports
+  /// success, exactly like save().  Successful saves trigger retention GC
+  /// (see set_retention).
+  ChainSave save_frame(const std::string& name, bool full,
+                       std::span<const std::uint8_t> payload);
+
+  struct ChainRestored {
+    bool found = false;                           // a usable base was restored
+    std::vector<std::uint8_t> base;               // full-frame payload
+    std::vector<std::vector<std::uint8_t>> deltas;  // contiguous, in order
+    std::uint64_t base_gen = 0;   // seq of the restored full frame
+    std::uint64_t last_seq = 0;   // seq of the last restored frame
+    std::uint64_t frames_rejected = 0;  // torn/corrupt/forged frames skipped
+    std::string error;            // first rejection reason, for logging
+  };
+
+  /// Restore the longest valid chain for `name`: starting from the newest
+  /// full frame, collect the contiguous run of deltas rooted at it; a
+  /// torn/corrupt/mis-rooted delta truncates the chain there (the earlier
+  /// prefix is still returned), and a corrupt full frame falls back to the
+  /// next older one.  Never throws; rejections are counted and reported.
+  ChainRestored load_chain(const std::string& name) const;
+
+  /// Keep at most `keep_frames` chain frames per name, deleting oldest
+  /// first — but never a frame of the live chain (seq >= the newest valid
+  /// full frame's seq), so a restorable base is always retained.
+  void set_retention(std::uint64_t keep_frames) noexcept {
+    retention_ = keep_frames < 2 ? 2 : keep_frames;
+  }
+  std::uint64_t retention() const noexcept { return retention_; }
+
+  std::string chain_path(const std::string& name, std::uint64_t seq,
+                         bool full) const;
+
  private:
+  struct ChainState {
+    std::uint64_t next_seq = 1;
+    std::uint64_t base_gen = 0;  // 0 = no full frame yet
+    bool scanned = false;
+  };
+
+  ChainState& chain_state(const std::string& name);
+  void gc_chain(const std::string& name);
+
   std::string dir_;
+  std::uint64_t retention_ = 16;
+  std::map<std::string, ChainState> chains_;
   telemetry::Counter* saves_ = nullptr;
   telemetry::Counter* save_failures_ = nullptr;
   telemetry::Counter* restores_ = nullptr;
   telemetry::Counter* corrupt_rejected_ = nullptr;
+  telemetry::Counter* chain_frames_ = nullptr;
+  telemetry::Counter* chain_rejected_ = nullptr;
+  telemetry::Counter* chain_gc_deleted_ = nullptr;
   telemetry::Gauge* last_bytes_ = nullptr;
 };
 

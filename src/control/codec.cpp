@@ -1,5 +1,6 @@
 #include "control/codec.hpp"
 
+#include <algorithm>
 #include <string>
 
 namespace nitro::control {
@@ -8,6 +9,17 @@ namespace {
 constexpr std::uint32_t kMatrixMagic = 0x4e4d5458;  // "NMTX"
 constexpr std::uint32_t kHeapMagic = 0x4e484150;    // "NHAP"
 constexpr std::uint32_t kUnivMagic = 0x4e554d31;    // "NUM1"
+constexpr std::uint32_t kMatrixDeltaMagic = 0x4e4d4458;  // "NMDX"
+constexpr std::uint32_t kUnivDeltaMagic = 0x4e554d44;    // "NUMD"
+
+/// Live counters segment `seg` covers in a matrix of width `width`
+/// (the last segment may be short; padding is never serialized).
+std::uint32_t segment_live(std::uint32_t seg, std::uint32_t width) {
+  const std::uint32_t first = seg * sketch::CounterMatrix::kSegmentCounters;
+  const std::uint32_t last =
+      std::min(first + sketch::CounterMatrix::kSegmentCounters, width);
+  return last > first ? last - first : 0;
+}
 }  // namespace
 
 std::vector<std::uint8_t> seal_frame(std::span<const std::uint8_t> payload) {
@@ -83,6 +95,88 @@ void read_matrix_into(ByteReader& r, sketch::CounterMatrix& m) {
   }
 }
 
+void write_matrix_delta(ByteWriter& w, const sketch::CounterMatrix& m) {
+  if (!m.dirty_tracking()) {
+    throw std::logic_error(
+        "delta: dirty tracking not enabled on the source matrix");
+  }
+  w.put_u32(kMatrixDeltaMagic);
+  w.put_u32(m.depth());
+  w.put_u32(m.width());
+  w.put_u8(m.signed_updates() ? 1 : 0);
+  const std::uint32_t segs = m.segments_per_row();
+  for (std::uint32_t r = 0; r < m.depth(); ++r) {
+    // Coalesce adjacent dirty segments into (start, len) runs.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+    for (std::uint32_t s = 0; s < segs; ++s) {
+      if (!m.segment_dirty(r, s)) continue;
+      if (!runs.empty() && runs.back().first + runs.back().second == s) {
+        ++runs.back().second;
+      } else {
+        runs.emplace_back(s, 1);
+      }
+    }
+    w.put_u32(static_cast<std::uint32_t>(runs.size()));
+    for (const auto& [start, len] : runs) {
+      w.put_u32(start);
+      w.put_u32(len);
+    }
+    const auto row = m.row(r);
+    for (const auto& [start, len] : runs) {
+      for (std::uint32_t s = start; s < start + len; ++s) {
+        const std::uint32_t first = s * sketch::CounterMatrix::kSegmentCounters;
+        const std::uint32_t live = segment_live(s, m.width());
+        for (std::uint32_t c = 0; c < live; ++c) w.put_i64(row[first + c]);
+      }
+    }
+  }
+}
+
+void apply_matrix_delta(ByteReader& r, sketch::CounterMatrix& m) {
+  if (r.get_u32() != kMatrixDeltaMagic) {
+    throw std::invalid_argument("delta: bad matrix-delta magic");
+  }
+  const std::uint32_t depth = r.get_u32();
+  const std::uint32_t width = r.get_u32();
+  const bool is_signed = r.get_u8() != 0;
+  if (depth != m.depth() || width != m.width() || is_signed != m.signed_updates()) {
+    throw std::invalid_argument("delta: matrix shape mismatch with replica");
+  }
+  const std::uint32_t segs =
+      (width + sketch::CounterMatrix::kSegmentCounters - 1) /
+      sketch::CounterMatrix::kSegmentCounters;
+  for (std::uint32_t row = 0; row < depth; ++row) {
+    const std::uint32_t run_count = r.get_u32();
+    if (run_count > segs) {
+      throw std::invalid_argument("delta: run count exceeds segments per row");
+    }
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> runs;
+    runs.reserve(run_count);
+    std::uint32_t next_free = 0;  // runs must be ordered and disjoint
+    for (std::uint32_t i = 0; i < run_count; ++i) {
+      const std::uint32_t start = r.get_u32();
+      const std::uint32_t len = r.get_u32();
+      if (len == 0) throw std::invalid_argument("delta: zero-length run");
+      if (i > 0 && start < next_free) {
+        throw std::invalid_argument("delta: unordered or overlapping runs");
+      }
+      if (start >= segs || len > segs - start) {
+        throw std::invalid_argument("delta: run past the end of the row");
+      }
+      next_free = start + len;
+      runs.emplace_back(start, len);
+    }
+    auto dst = m.row_mut(row);
+    for (const auto& [start, len] : runs) {
+      for (std::uint32_t s = start; s < start + len; ++s) {
+        const std::uint32_t first = s * sketch::CounterMatrix::kSegmentCounters;
+        const std::uint32_t live = segment_live(s, width);
+        for (std::uint32_t c = 0; c < live; ++c) dst[first + c] = r.get_i64();
+      }
+    }
+  }
+}
+
 void write_heap(ByteWriter& w, const sketch::TopKHeap& heap) {
   w.put_u32(kHeapMagic);
   const auto entries = heap.entries_sorted();
@@ -134,6 +228,38 @@ void load_univmon(std::span<const std::uint8_t> bytes, sketch::UnivMon& replica)
   }
   if (!r.exhausted()) {
     throw std::invalid_argument("snapshot: trailing bytes");
+  }
+}
+
+std::vector<std::uint8_t> snapshot_univmon_delta(const sketch::UnivMon& um) {
+  ByteWriter w;
+  w.put_u32(kUnivDeltaMagic);
+  w.put_u32(um.num_levels());
+  w.put_i64(um.total());
+  for (std::uint32_t j = 0; j < um.num_levels(); ++j) {
+    write_matrix_delta(w, um.level_sketch(j).matrix());
+    write_heap(w, um.level_heap(j));
+  }
+  return seal_frame(w.bytes());
+}
+
+void apply_univmon_delta(std::span<const std::uint8_t> bytes,
+                         sketch::UnivMon& replica) {
+  ByteReader r(open_frame(bytes));
+  if (r.get_u32() != kUnivDeltaMagic) {
+    throw std::invalid_argument("delta: bad UnivMon-delta magic");
+  }
+  const std::uint32_t levels = r.get_u32();
+  if (levels != replica.num_levels()) {
+    throw std::invalid_argument("delta: level count mismatch with replica");
+  }
+  replica.set_total(r.get_i64());
+  for (std::uint32_t j = 0; j < levels; ++j) {
+    apply_matrix_delta(r, replica.level_sketch_mut(j).matrix());
+    read_heap_into(r, replica.level_heap_mut(j));
+  }
+  if (!r.exhausted()) {
+    throw std::invalid_argument("delta: trailing bytes");
   }
 }
 

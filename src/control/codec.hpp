@@ -145,6 +145,22 @@ void write_matrix(ByteWriter& w, const sketch::CounterMatrix& m);
 /// std::invalid_argument on shape mismatch.
 void read_matrix_into(ByteReader& r, sketch::CounterMatrix& m);
 
+// --- Counter-matrix deltas (delta checkpoints, DESIGN.md §15) --------------
+
+/// Serializes only the dirty segments of `m` (kSegmentCounters-counter
+/// runs touched since the last clear_dirty), as run-length-encoded
+/// (start_segment, length) runs followed by the live counters each run
+/// covers.  Requires dirty tracking enabled; throws std::logic_error
+/// otherwise.  Padding counters are never written.
+void write_matrix_delta(ByteWriter& w, const sketch::CounterMatrix& m);
+
+/// Overwrites the touched segments of `m` with the delta's counters (the
+/// untouched rest of the base is left intact — dirty means "may have
+/// changed", so overwrite-onto-base reproduces the source exactly).
+/// Throws std::invalid_argument on shape mismatch, out-of-range runs,
+/// unordered/overlapping runs or a bad magic.
+void apply_matrix_delta(ByteReader& r, sketch::CounterMatrix& m);
+
 // --- Heavy-key stores ------------------------------------------------------
 
 void write_heap(ByteWriter& w, const sketch::TopKHeap& heap);
@@ -157,6 +173,17 @@ std::vector<std::uint8_t> snapshot_univmon(const sketch::UnivMon& um);
 
 /// Loads a snapshot into a replica constructed with the same config+seed.
 void load_univmon(std::span<const std::uint8_t> bytes, sketch::UnivMon& replica);
+
+/// Delta snapshot: per-level dirty-segment runs plus full heaps (heaps are
+/// already traffic-bounded, so they are replaced whole) and the total.
+/// CRC-framed like snapshot_univmon.  Requires dirty tracking on `um`.
+std::vector<std::uint8_t> snapshot_univmon_delta(const sketch::UnivMon& um);
+
+/// Applies a delta snapshot onto `replica`, which must hold the exact
+/// state of the frame the delta was cut against (the base).  Touched
+/// segments are overwritten, heaps replaced, total overwritten.
+void apply_univmon_delta(std::span<const std::uint8_t> bytes,
+                         sketch::UnivMon& replica);
 
 // --- Single-sketch snapshots -------------------------------------------------
 

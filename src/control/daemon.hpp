@@ -166,9 +166,25 @@ class MeasurementDaemon {
     cum_packets_ += static_cast<std::uint64_t>(current_.total());
     cum_sampled_ += current_.sampled_updates();
 
+    // If a delta base is live, seal the closing window's changes now: the
+    // rotation moves them into previous_, which a rotated delta frame must
+    // still be able to reconstruct on the restore side (DESIGN.md §15).
+    if (delta_tracking_ && delta_ok_ && rotations_since_cut_ == 0) {
+      pre_rotation_delta_ = snapshot_univmon_delta(current_.univmon());
+    }
+
     // Rotate: current becomes previous; fresh sketch for the next epoch.
     previous_ = std::make_unique<core::NitroUnivMon>(std::move(current_));
     current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, seed_);
+    // The delta frame format encodes at most one rotation (its `rotated`
+    // flag).  A fresh sketch is all-zero, so its dirty state starts clean:
+    // the next delta then carries exactly the segments traffic touches.
+    ++rotations_since_cut_;
+    if (rotations_since_cut_ > 1) delta_ok_ = false;
+    if (delta_tracking_) {
+      current_.enable_dirty_tracking();
+      current_.clear_dirty();
+    }
     if (registry_) {
       current_.attach_telemetry(tel_);
       publish_telemetry();
@@ -252,6 +268,149 @@ class MeasurementDaemon {
     current_ = std::move(restored);
     current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
     previous_ = std::move(prev);
+    // A restored sketch's relation to any delta base is unknown; the next
+    // checkpoint frame must be a full one.
+    delta_ok_ = false;
+    rotations_since_cut_ = 0;
+    pre_rotation_delta_.clear();
+    if (delta_tracking_) current_.enable_dirty_tracking();
+    if (registry_) {
+      current_.attach_telemetry(tel_);
+      publish_telemetry();
+    }
+  }
+
+  // --- Delta checkpoints (DESIGN.md §15) ----------------------------------
+
+  /// Turn on dirty-segment tracking so delta_checkpoint_bytes() becomes
+  /// available.  Call once at startup; survives epoch rotations.
+  void enable_delta_checkpoints() {
+    delta_tracking_ = true;
+    current_.enable_dirty_tracking();
+  }
+
+  /// True when the state since the last cut_checkpoint_frame() is
+  /// expressible as a delta: tracking is on, a frame was cut, and at most
+  /// one rotation happened since (the frame format encodes one).
+  bool delta_ready() const noexcept {
+    return delta_tracking_ && delta_ok_ && rotations_since_cut_ <= 1;
+  }
+
+  /// Serialize the changes since the last frame cut: dirty segments of
+  /// the live sketch, full heaps, and whether one rotation happened (the
+  /// restore side then replays the rotation before applying the delta).
+  /// Requires delta_ready().
+  std::vector<std::uint8_t> delta_checkpoint_bytes() const {
+    if (!delta_ready()) {
+      throw std::logic_error("daemon delta checkpoint: no valid base frame");
+    }
+    ByteWriter w;
+    w.put_u32(kDeltaCkptMagic);
+    w.put_u32(kCheckpointVersion);
+    w.put_u64(epoch_);
+    w.put_u64(cum_packets_);
+    w.put_u64(cum_sampled_);
+    const bool rotated = rotations_since_cut_ == 1;
+    w.put_u8(rotated ? 1 : 0);
+    // A rotated frame carries two deltas: the closing window's changes
+    // (sealed by end_epoch before it moved them into previous_) and the
+    // post-rotation live sketch relative to zero.
+    if (rotated) w.put_blob(pre_rotation_delta_);
+    w.put_blob(snapshot_univmon_delta(current_.univmon()));
+    return std::move(w).take();
+  }
+
+  /// Mark the just-serialized state as the new delta base.  Call after
+  /// every *successful* checkpoint save (full or delta); subsequent dirty
+  /// bits are relative to that frame.
+  void cut_checkpoint_frame() {
+    if (!delta_tracking_) return;
+    current_.clear_dirty();
+    pre_rotation_delta_.clear();
+    rotations_since_cut_ = 0;
+    delta_ok_ = true;
+  }
+
+  /// Replay one delta frame onto the restored base state (chain restore:
+  /// restore_checkpoint(base) then apply_delta_checkpoint per frame, in
+  /// sequence order).  Validates the payload fully before mutating.
+  void apply_delta_checkpoint(std::span<const std::uint8_t> payload) {
+    ByteReader r(payload);
+    if (r.get_u32() != kDeltaCkptMagic) {
+      throw std::invalid_argument("daemon delta checkpoint: bad magic");
+    }
+    if (r.get_u32() != kCheckpointVersion) {
+      throw std::invalid_argument("daemon delta checkpoint: unsupported version");
+    }
+    const std::uint64_t epoch = r.get_u64();
+    const std::uint64_t cum_packets = r.get_u64();
+    const std::uint64_t cum_sampled = r.get_u64();
+    const bool rotated = r.get_u8() != 0;
+    decltype(r.get_blob()) closing{};
+    if (rotated) closing = r.get_blob();
+    const auto delta = r.get_blob();
+    if (!r.exhausted()) {
+      throw std::invalid_argument("daemon delta checkpoint: trailing bytes");
+    }
+
+    if (rotated) {
+      // Replay the rotation the source performed: base state + the sealed
+      // closing-window delta becomes previous_, and the new live sketch is
+      // rebuilt from zero + the post-rotation delta.  Both applies target
+      // scratch objects so a malformed frame never half-applies.
+      sketch::UnivMon closed = current_.univmon();
+      apply_univmon_delta(closing, closed);
+      core::NitroUnivMon fresh(um_cfg_, nitro_cfg_, seed_);
+      apply_univmon_delta(delta, fresh.univmon_mut());
+      auto prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, seed_);
+      prev->univmon_mut() = std::move(closed);
+      previous_ = std::move(prev);
+      current_ = std::move(fresh);
+    } else {
+      // Same epoch as the base frame: overwrite touched segments in place
+      // (via a scratch copy so a malformed frame never half-applies).
+      sketch::UnivMon scratch = current_.univmon();
+      apply_univmon_delta(delta, scratch);
+      current_.univmon_mut() = std::move(scratch);
+    }
+    epoch_ = epoch;
+    cum_packets_ = cum_packets;
+    cum_sampled_ = cum_sampled;
+    current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
+    delta_ok_ = false;
+    rotations_since_cut_ = 0;
+    pre_rotation_delta_.clear();
+    if (delta_tracking_) current_.enable_dirty_tracking();
+    if (registry_) {
+      current_.attach_telemetry(tel_);
+      publish_telemetry();
+    }
+  }
+
+  // --- Rebuild-from-collector (wire v3 rejoin, DESIGN.md §15) -------------
+
+  /// Seed a state-less restart from the collector's last-applied replica:
+  /// the cumulative replica becomes previous_ (the change-detection
+  /// baseline — an approximation, documented in DESIGN.md §15), the live
+  /// sketch starts fresh, and the epoch counter resumes at `next_epoch` so
+  /// re-exported sequence numbers continue where the collector left off.
+  void seed_from_recovery(std::uint64_t next_epoch,
+                          std::span<const std::uint8_t> univmon_snapshot,
+                          std::int64_t packets) {
+    auto prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, seed_);
+    load_univmon(univmon_snapshot, prev->univmon_mut());
+    epoch_ = next_epoch;
+    cum_packets_ = static_cast<std::uint64_t>(packets);
+    cum_sampled_ = 0;
+    previous_ = std::move(prev);
+    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, seed_);
+    delta_ok_ = false;
+    rotations_since_cut_ = 0;
+    pre_rotation_delta_.clear();
+    if (delta_tracking_) {
+      current_.enable_dirty_tracking();
+      current_.clear_dirty();
+    }
     if (registry_) {
       current_.attach_telemetry(tel_);
       publish_telemetry();
@@ -266,6 +425,7 @@ class MeasurementDaemon {
 
  private:
   static constexpr std::uint32_t kCheckpointMagic = 0x4e44434bu;  // "NDCK"
+  static constexpr std::uint32_t kDeltaCkptMagic = 0x4e44444cu;   // "NDDL"
   static constexpr std::uint32_t kCheckpointVersion = 1;
 
   /// Clock-skew fault point: timestamps entering the daemon can be shifted
@@ -294,6 +454,16 @@ class MeasurementDaemon {
   telemetry::SketchTelemetry tel_{};
   std::uint64_t cum_packets_ = 0;
   std::uint64_t cum_sampled_ = 0;
+  // Delta-checkpoint state: tracking enabled at all, whether a base frame
+  // exists that deltas can be cut against, and rotations since that cut
+  // (the frame format encodes at most one).
+  bool delta_tracking_ = false;
+  bool delta_ok_ = false;
+  std::uint32_t rotations_since_cut_ = 0;
+  // Sealed by end_epoch when a live base rotates away: the closing
+  // window's changes since the cut, carried by the next rotated frame so
+  // the restore side can reconstruct previous_.
+  std::vector<std::uint8_t> pre_rotation_delta_;
   ExportSink export_sink_;
   telemetry::AccuracyObserver* accuracy_ = nullptr;
 };

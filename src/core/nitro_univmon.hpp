@@ -224,6 +224,11 @@ class NitroUnivMon {
     sampled_updates_ = sampled;
   }
 
+  /// Delta checkpoints: per-segment dirty tracking on every level matrix.
+  void enable_dirty_tracking() { um_.enable_dirty_tracking(); }
+  bool dirty_tracking() const noexcept { return um_.dirty_tracking(); }
+  void clear_dirty() noexcept { um_.clear_dirty(); }
+
  private:
   static double initial_probability(const NitroConfig& cfg) {
     switch (cfg.mode) {

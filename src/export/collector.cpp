@@ -57,6 +57,27 @@ CollectorCore::Source* CollectorCore::find_or_create(std::uint64_t source_id) {
   return map_it->second.get();
 }
 
+RecoverResponse CollectorCore::recovery_snapshot(std::uint64_t source_id) const {
+  RecoverResponse resp;
+  resp.source_id = source_id;
+  const IndexPtr idx = index_.load();
+  const auto it = std::lower_bound(
+      idx->begin(), idx->end(), source_id,
+      [](const IndexEntry& e, std::uint64_t id) { return e.id < id; });
+  if (it == idx->end() || it->id != source_id) return resp;  // found = false
+  Source& src = *it->src;
+  std::lock_guard lk(src.mu);
+  if (src.stats.last_seq == 0) return resp;  // known but nothing applied yet
+  resp.found = true;
+  resp.last_seq = src.stats.last_seq;
+  resp.span = src.stats.span;
+  resp.packets = src.stats.packets;
+  // The cumulative accumulator *is* the last-applied replica; serializing
+  // it under src.mu keeps it consistent with last_seq/span/packets.
+  resp.snapshot = control::snapshot_univmon(src.acc);
+  return resp;
+}
+
 CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
                                             std::uint64_t now_ns) {
   // Collector-side half of the epoch's trace: keyed by the message's
@@ -436,6 +457,14 @@ void CollectorServer::attach_telemetry(telemetry::Registry& registry,
   injected_conn_kills_ = &registry.counter(prefix + "_injected_conn_kills_total",
                                            "fault-injected connection kills");
   acks_sent_ = &registry.counter(prefix + "_acks_sent_total", "acks written back");
+  recover_requests_ = &registry.counter(prefix + "_recover_requests_total",
+                                        "wire-v3 recover requests received");
+  recover_served_ = &registry.counter(
+      prefix + "_recover_served_total",
+      "recover responses written back (found or not)");
+  injected_recover_drops_ =
+      &registry.counter(prefix + "_injected_recover_drops_total",
+                        "fault-injected recover-request drops (no response)");
   active_connections_ = &registry.gauge(prefix + "_active_connections",
                                         "currently connected monitors");
 }
@@ -492,9 +521,37 @@ void CollectorServer::handle_connection(Socket sock) {
     }
     try {
       while (alive && assembler.next_frame(frame)) {
-        if (peek_message_magic(frame) != kEpochMsgMagic) {
-          // Monitors only send epoch messages; anything else is garbage
-          // the CRC happened to bless.  Poison the connection.
+        const std::uint32_t magic = peek_message_magic(frame);
+        if (magic == kRecoverReqMagic) {
+          // Wire v3 rejoin handshake: a restarting monitor asks for its
+          // last-applied replica (DESIGN.md §15).
+          const RecoverRequest req = decode_recover_request(frame);
+          if (recover_requests_ != nullptr) recover_requests_->inc();
+          const auto action =
+              fault::point(fault::Site::kRecoverServe,
+                           static_cast<std::uint32_t>(req.source_id));
+          if (action == fault::Action::kReject) {
+            // Simulated recover-request loss: no response, the monitor's
+            // recovery client times out and retries.
+            if (injected_recover_drops_ != nullptr) injected_recover_drops_->inc();
+            continue;
+          }
+          if (action == fault::Action::kDie) {
+            if (injected_conn_kills_ != nullptr) injected_conn_kills_->inc();
+            alive = false;
+            break;
+          }
+          const RecoverResponse resp = core_->recovery_snapshot(req.source_id);
+          if (!sock.send_all(encode_recover_response(resp), 2000)) {
+            alive = false;
+            break;
+          }
+          if (recover_served_ != nullptr) recover_served_->inc();
+          continue;
+        }
+        if (magic != kEpochMsgMagic) {
+          // Monitors only send epoch and recover messages; anything else
+          // is garbage the CRC happened to bless.  Poison the connection.
           if (frames_rejected_ != nullptr) frames_rejected_->inc();
           alive = false;
           break;

@@ -224,6 +224,14 @@ class CollectorCore {
     return generations_.load(std::memory_order_relaxed);
   }
 
+  /// Rebuild-from-collector (wire v3, DESIGN.md §15): the last-applied
+  /// replica for `source_id` — the cumulative per-source accumulator, its
+  /// settled sequence number and applied span/packets — packaged as a
+  /// RecoverResponse.  found = false for a source the collector has never
+  /// applied an epoch from.  Thread-safe: lock-free index lookup (never
+  /// creates a source) plus that source's lock for a consistent snapshot.
+  RecoverResponse recovery_snapshot(std::uint64_t source_id) const;
+
   /// Attach counters/gauges.  Call before traffic: the instrument
   /// pointers are read without synchronization on the ingest path.
   void attach_telemetry(telemetry::Registry& registry, const std::string& prefix);
@@ -404,6 +412,9 @@ class CollectorServer {
   telemetry::Counter* injected_drops_ = nullptr;
   telemetry::Counter* injected_conn_kills_ = nullptr;
   telemetry::Counter* acks_sent_ = nullptr;
+  telemetry::Counter* recover_requests_ = nullptr;
+  telemetry::Counter* recover_served_ = nullptr;
+  telemetry::Counter* injected_recover_drops_ = nullptr;
   telemetry::Gauge* active_connections_ = nullptr;
   std::atomic<std::int64_t> active_conns_{0};
 };

@@ -202,6 +202,12 @@ bool EpochExporter::coalesce_backlog(std::unique_lock<std::mutex>& lk) {
   return true;
 }
 
+void EpochExporter::set_next_seq(std::uint64_t seq) {
+  std::lock_guard lk(mu_);
+  if (seq == 0) seq = 1;  // sequence numbers are 1-based
+  next_seq_ = seq;
+}
+
 bool EpochExporter::flush(int timeout_ms) {
   std::unique_lock lk(mu_);
   return drained_.wait_for(lk, std::chrono::milliseconds(timeout_ms),

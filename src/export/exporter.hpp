@@ -161,6 +161,12 @@ class EpochExporter {
   /// Block until every queued epoch is acked or `timeout_ms` passes.
   bool flush(int timeout_ms);
 
+  /// Seed the next sequence number (recovery rejoin, DESIGN.md §15): a
+  /// restarted monitor resumes at the collector's last applied seq + 1 so
+  /// its re-exports stay contiguous and are never double-counted.  Call
+  /// before the first publish(); the queue must be empty.
+  void set_next_seq(std::uint64_t seq);
+
   std::size_t queue_depth() const;
   CircuitBreaker::State breaker_state() const;
   std::uint64_t epochs_acked() const;

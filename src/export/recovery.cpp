@@ -1,0 +1,100 @@
+#include "export/recovery.hpp"
+
+#include <chrono>
+#include <stdexcept>
+#include <thread>
+
+namespace nitro::xport {
+
+namespace {
+
+// One connect + request + response exchange.  Returns true on a decoded
+// response; on false, `error` says why so the retry loop can report the
+// last failure.
+bool one_attempt(const Endpoint& ep, std::uint64_t source_id, int timeout_ms,
+                 RecoverResponse& out, std::string& error) {
+  Socket sock = connect_endpoint(ep, timeout_ms);
+  if (!sock.valid()) {
+    error = "connect to " + ep.to_string() + " failed";
+    return false;
+  }
+
+  RecoverRequest req;
+  req.source_id = source_id;
+  const std::vector<std::uint8_t> frame = encode_recover_request(req);
+  if (!sock.send_all(frame, timeout_ms)) {
+    error = "sending recover request failed";
+    return false;
+  }
+
+  // The response is one sealed frame; a collector that injected a request
+  // drop simply never answers, so the deadline below converts that into a
+  // retry instead of a hang.
+  FrameAssembler assembler;
+  std::vector<std::uint8_t> resp_frame;
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
+  std::uint8_t buf[16 * 1024];
+  for (;;) {
+    try {
+      if (assembler.next_frame(resp_frame)) break;
+    } catch (const std::exception& e) {
+      error = std::string("recover response framing: ") + e.what();
+      return false;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (now >= deadline) {
+      error = "timed out waiting for recover response";
+      return false;
+    }
+    const int slice_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(deadline - now)
+            .count() + 1);
+    std::size_t got = 0;
+    switch (sock.recv_some(buf, sizeof(buf), slice_ms, &got)) {
+      case Socket::RecvResult::kData:
+        assembler.feed({buf, got});
+        break;
+      case Socket::RecvResult::kTimeout:
+        error = "timed out waiting for recover response";
+        return false;
+      case Socket::RecvResult::kClosed:
+        error = "collector closed the connection before responding";
+        return false;
+      case Socket::RecvResult::kError:
+        error = "socket error while waiting for recover response";
+        return false;
+    }
+  }
+
+  try {
+    out = decode_recover_response(resp_frame);
+  } catch (const std::exception& e) {
+    error = std::string("recover response rejected: ") + e.what();
+    return false;
+  }
+  if (out.source_id != source_id) {
+    error = "recover response for a different source id";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+RecoveryResult request_recovery(const Endpoint& ep, std::uint64_t source_id,
+                                int timeout_ms, int attempts) {
+  RecoveryResult res;
+  if (attempts < 1) attempts = 1;
+  for (int i = 0; i < attempts; ++i) {
+    if (i > 0) std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (one_attempt(ep, source_id, timeout_ms, res.resp, res.error)) {
+      res.ok = true;
+      res.error.clear();
+      return res;
+    }
+  }
+  return res;
+}
+
+}  // namespace nitro::xport

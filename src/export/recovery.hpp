@@ -1,0 +1,36 @@
+// Rebuild-from-collector client (wire v3, DESIGN.md §15).
+//
+// A monitor that restarts with no usable local checkpoint asks the
+// collector — over the same endpoint the exporter ships epochs to — for
+// its last-applied replica: the cumulative per-source sketch, the settled
+// sequence number and the applied epoch span.  The monitor seeds its
+// daemon from the response (MeasurementDaemon::seed_from_recovery) and
+// resumes exporting at last_seq + 1, so the collector never sees a
+// duplicated or gapped sequence from the rejoined source.
+//
+// The request can be lost (the fault framework injects exactly that at
+// Site::kRecoverServe), so request_recovery retries with fresh
+// connections; each attempt is bounded by `timeout_ms`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "export/transport.hpp"
+#include "export/wire.hpp"
+
+namespace nitro::xport {
+
+struct RecoveryResult {
+  bool ok = false;          // a valid response arrived (resp.found may be false)
+  RecoverResponse resp;
+  std::string error;        // why every attempt failed, for logging
+};
+
+/// Synchronous recover-request/response exchange with the collector at
+/// `ep`.  Retries up to `attempts` times on connect failure, timeout, a
+/// dropped request or a poisoned response stream.  Never throws.
+RecoveryResult request_recovery(const Endpoint& ep, std::uint64_t source_id,
+                                int timeout_ms, int attempts = 3);
+
+}  // namespace nitro::xport

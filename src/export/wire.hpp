@@ -32,15 +32,22 @@
 
 namespace nitro::xport {
 
-inline constexpr std::uint32_t kEpochMsgMagic = 0x4e45504du;  // "NEPM"
-inline constexpr std::uint32_t kAckMsgMagic = 0x4e45504bu;    // "NEPK"
+inline constexpr std::uint32_t kEpochMsgMagic = 0x4e45504du;    // "NEPM"
+inline constexpr std::uint32_t kAckMsgMagic = 0x4e45504bu;      // "NEPK"
+inline constexpr std::uint32_t kRecoverReqMagic = 0x4e525251u;  // "NRRQ"
+inline constexpr std::uint32_t kRecoverRespMagic = 0x4e525250u; // "NRRP"
 /// v2 adds epoch-close and send timestamps to EpochMessage (freshness
-/// observability, DESIGN.md §12).  Decoders accept [kWireVersionMin,
+/// observability, DESIGN.md §12).  v3 adds the reverse-direction rejoin
+/// handshake (recover-request / recover-response, DESIGN.md §15); the
+/// epoch/ack layouts are unchanged.  Decoders accept [kWireVersionMin,
 /// kWireVersion]; v1 frames decode with zeroed timestamps, and anything
 /// newer than kWireVersion is rejected by name *before* any field is
-/// read, so an old peer never garbage-decodes a newer layout.
-inline constexpr std::uint32_t kWireVersion = 2;
+/// read, so an old peer never garbage-decodes a newer layout.  The
+/// recover messages themselves require version >= 3: they did not exist
+/// before, so an older-tagged frame claiming to be one is forged.
+inline constexpr std::uint32_t kWireVersion = 3;
 inline constexpr std::uint32_t kWireVersionMin = 1;
+inline constexpr std::uint32_t kRecoverVersionMin = 3;
 
 /// Frames larger than this are treated as stream corruption (a UnivMon
 /// snapshot at paper scale is a few MB; 64 MiB leaves generous headroom).
@@ -75,14 +82,39 @@ struct AckMessage {
   AckStatus status = AckStatus::kApplied;
 };
 
+/// Reverse-direction rejoin handshake (wire v3, DESIGN.md §15).  A monitor
+/// restarting with no usable local state asks the collector for its
+/// last-applied replica; the response carries the collector's cumulative
+/// sketch for the source plus the settled sequence number, so the monitor
+/// can seed its state and resume exporting at last_seq + 1 without the
+/// collector ever double-counting an epoch.
+struct RecoverRequest {
+  std::uint64_t source_id = 0;
+};
+
+struct RecoverResponse {
+  std::uint64_t source_id = 0;
+  /// False when the collector has never applied an epoch from this
+  /// source — the monitor then starts fresh at seq 1.
+  bool found = false;
+  std::uint64_t last_seq = 0;  // everything <= last_seq is applied
+  core::EpochSpan span;        // union of applied epoch spans
+  std::int64_t packets = 0;    // cumulative applied packet count
+  std::vector<std::uint8_t> snapshot;  // sealed UnivMon replica (empty if !found)
+};
+
 /// Serialize to a sealed frame ready for the socket.
 std::vector<std::uint8_t> encode_epoch(const EpochMessage& msg);
 std::vector<std::uint8_t> encode_ack(const AckMessage& ack);
+std::vector<std::uint8_t> encode_recover_request(const RecoverRequest& req);
+std::vector<std::uint8_t> encode_recover_response(const RecoverResponse& resp);
 
 /// Validate (CRC frame + inner magic/version/sequence sanity) and decode.
 /// Throws std::invalid_argument with a specific reason on any corruption.
 EpochMessage decode_epoch(std::span<const std::uint8_t> frame);
 AckMessage decode_ack(std::span<const std::uint8_t> frame);
+RecoverRequest decode_recover_request(std::span<const std::uint8_t> frame);
+RecoverResponse decode_recover_response(std::span<const std::uint8_t> frame);
 
 /// Is this sealed frame an epoch message (vs an ack)?  Peeks the inner
 /// magic without full validation; throws like open_frame on a bad frame.

@@ -54,6 +54,8 @@ enum class Site : std::uint8_t {
   kExportSend,       // EpochExporter, before each epoch frame send
   kCollectorIngest,  // collector connection, per decoded epoch frame
   kCollectorDecode,  // CollectorCore::ingest, before the (lock-free) decode
+  kChainLoad,        // CheckpointStore::load_chain, after reading a frame
+  kRecoverServe,     // collector connection, per decoded recover request
   kSiteCount_,       // sentinel
 };
 
@@ -71,6 +73,8 @@ inline const char* to_string(Site s) noexcept {
     case Site::kExportSend: return "export_send";
     case Site::kCollectorIngest: return "collector_ingest";
     case Site::kCollectorDecode: return "collector_decode";
+    case Site::kChainLoad: return "chain_load";
+    case Site::kRecoverServe: return "recover_serve";
     case Site::kSiteCount_: break;
   }
   return "unknown";
@@ -179,6 +183,20 @@ class Schedule {
   Schedule& stall_collector_decode(std::uint32_t lane, std::uint64_t at_hit,
                                    std::uint64_t ns) {
     return add({Site::kCollectorDecode, at_hit, 0, lane, Action::kStall, ns});
+  }
+  // Distributed-recovery injections (DESIGN.md §15).  Chain-load lane =
+  // the frame's sequence number (so one specific frame of the delta chain
+  // can be rotted); recover-serve lane = the requesting source id.
+  Schedule& corrupt_chain_frame(std::uint64_t at_hit,
+                                std::uint32_t lane = kAnyLane) {
+    return add({Site::kChainLoad, at_hit, 0, lane, Action::kCorrupt, 0});
+  }
+  Schedule& drop_recover_request(std::uint64_t at_hit, std::uint64_t every = 0,
+                                 std::uint32_t lane = kAnyLane) {
+    return add({Site::kRecoverServe, at_hit, every, lane, Action::kReject, 0});
+  }
+  Schedule& kill_recover_conn(std::uint64_t at_hit, std::uint32_t lane = kAnyLane) {
+    return add({Site::kRecoverServe, at_hit, 0, lane, Action::kDie, 0});
   }
 
   /// Called by the woven fault points.  Thread-safe; returns the action to

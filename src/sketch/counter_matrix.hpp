@@ -14,6 +14,8 @@
 // merge and estimation observe the unpadded layout.
 #pragma once
 
+#include <algorithm>
+#include <bit>
 #include <cmath>
 #include <cstdint>
 #include <span>
@@ -51,6 +53,12 @@ class CounterMatrix {
     }
   }
 
+  /// Granularity of dirty tracking: one bit covers this many consecutive
+  /// counters (8 cache lines).  Coarse on purpose — the bitmap must stay
+  /// small enough that marking it on the update path is a single OR into
+  /// a word that is almost always already cached.
+  static constexpr std::uint32_t kSegmentCounters = 64;
+
   std::uint32_t depth() const noexcept { return depth_; }
   std::uint32_t width() const noexcept { return width_; }
   /// Counters per row as stored (width rounded up to whole cache lines).
@@ -69,6 +77,7 @@ class CounterMatrix {
   void update_row_digest(std::uint32_t r, std::uint64_t digest, std::int64_t delta) noexcept {
     const std::uint32_t col = row_hash_[r].index_of_digest(digest);
     counters_[std::size_t{r} * stride_ + col] += delta * sign_hash_[r].sign_of_digest(digest);
+    if (!dirty_.empty()) mark_dirty(r, col);
   }
 
   /// Column of `digest` in row r — hash only, no write.  Batch paths
@@ -92,6 +101,7 @@ class CounterMatrix {
   /// paths that separate hash cost from memory cost).
   void add_at(std::uint32_t r, std::uint32_t col, std::int64_t value) noexcept {
     counters_[std::size_t{r} * stride_ + col] += value;
+    if (!dirty_.empty()) mark_dirty(r, col);
   }
 
   /// Per-row frequency estimate C[r][h_r(key)] * g_r(key).
@@ -106,8 +116,11 @@ class CounterMatrix {
   }
 
   /// Mutable row view — used by the control-plane codec to load snapshots
-  /// into a replica and by epoch-difference computations.
+  /// into a replica and by epoch-difference computations.  The caller may
+  /// write any counter through the span, so with tracking enabled the
+  /// whole row is conservatively marked dirty.
   std::span<std::int64_t> row_mut(std::uint32_t r) noexcept {
+    if (!dirty_.empty()) mark_row_dirty(r);
     return {counters_.data() + std::size_t{r} * stride_, width_};
   }
 
@@ -142,7 +155,14 @@ class CounterMatrix {
     return s;
   }
 
-  void clear() noexcept { std::fill(counters_.begin(), counters_.end(), 0); }
+  void clear() noexcept {
+    std::fill(counters_.begin(), counters_.end(), 0);
+    // Zeroing changes every counter that was nonzero; without scanning,
+    // "everything may have changed" is the only safe dirty state.
+    if (!dirty_.empty()) {
+      for (std::uint32_t r = 0; r < depth_; ++r) mark_row_dirty(r);
+    }
+  }
 
   /// Two matrices are mergeable iff they were constructed with the same
   /// shape, seed and signedness — i.e. they share hash functions, so
@@ -164,7 +184,23 @@ class CounterMatrix {
           "CounterMatrix::merge: shape/seed mismatch (sketches must be "
           "constructed identically to share hash functions)");
     }
-    for (std::size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+    if (dirty_.empty()) {
+      for (std::size_t i = 0; i < counters_.size(); ++i) counters_[i] += other.counters_[i];
+    } else {
+      // Mark exactly the segments the merge perturbs (other != 0), so an
+      // epoch-boundary shard merge keeps the next delta frame proportional
+      // to traffic rather than sketch size.
+      for (std::uint32_t r = 0; r < depth_; ++r) {
+        const std::size_t base = std::size_t{r} * stride_;
+        for (std::uint32_t c = 0; c < stride_; ++c) {
+          const std::int64_t v = other.counters_[base + c];
+          if (v != 0) {
+            counters_[base + c] += v;
+            mark_dirty(r, c);
+          }
+        }
+      }
+    }
   }
 
   std::size_t memory_bytes() const noexcept { return counters_.size() * sizeof(std::int64_t); }
@@ -172,7 +208,72 @@ class CounterMatrix {
   const RowHash& row_hash(std::uint32_t r) const noexcept { return row_hash_[r]; }
   const SignHash& sign_hash(std::uint32_t r) const noexcept { return sign_hash_[r]; }
 
+  // --- Dirty-segment tracking (delta checkpoints, DESIGN.md §15) -------
+  //
+  // One bit per kSegmentCounters-counter segment per row, set by every
+  // counter write and cleared only at a checkpoint frame cut.  "Dirty"
+  // means "may have changed since the last clear_dirty()" — conservative
+  // over-marking (row_mut, clear, merge) is always safe because the delta
+  // codec overwrites touched segments onto the base rather than adding.
+
+  /// Turn tracking on (all-dirty initially: nothing is known about the
+  /// counters relative to any earlier frame).  Idempotent.
+  void enable_dirty_tracking() {
+    if (!dirty_.empty()) return;
+    segment_words_per_row_ = (segments_per_row() + 63) / 64;
+    dirty_.assign(std::size_t{depth_} * segment_words_per_row_, 0);
+    for (std::uint32_t r = 0; r < depth_; ++r) mark_row_dirty(r);
+  }
+
+  bool dirty_tracking() const noexcept { return !dirty_.empty(); }
+
+  /// Segments per row as stored (covers the padded stride, so the last
+  /// segment may extend past width() into permanently-zero padding).
+  std::uint32_t segments_per_row() const noexcept {
+    return (stride_ + kSegmentCounters - 1) / kSegmentCounters;
+  }
+
+  bool segment_dirty(std::uint32_t r, std::uint32_t seg) const noexcept {
+    const std::size_t w = std::size_t{r} * segment_words_per_row_ + seg / 64;
+    return (dirty_[w] >> (seg % 64)) & 1u;
+  }
+
+  /// Frame cut: from here on, dirty bits track changes relative to the
+  /// checkpoint frame the caller just serialized.
+  void clear_dirty() noexcept {
+    std::fill(dirty_.begin(), dirty_.end(), 0);
+  }
+
+  std::uint64_t dirty_segment_count() const noexcept {
+    std::uint64_t n = 0;
+    for (std::uint64_t w : dirty_) n += static_cast<std::uint64_t>(std::popcount(w));
+    return n;
+  }
+
  private:
+  void mark_dirty(std::uint32_t r, std::uint32_t col) noexcept {
+    const std::uint32_t seg = col / kSegmentCounters;
+    dirty_[std::size_t{r} * segment_words_per_row_ + seg / 64] |= std::uint64_t{1}
+                                                                  << (seg % 64);
+  }
+
+  /// All-ones over the *live* segment bits of bitmap word `w` — padding
+  /// bits beyond segments_per_row() stay zero, so dirty_segment_count()
+  /// popcounts are exact and "mark everything" never invents segments.
+  std::uint64_t live_word_mask(std::uint32_t w) const noexcept {
+    const std::uint32_t segs = segments_per_row();
+    const std::uint32_t first = w * 64;
+    if (first + 64 <= segs) return ~std::uint64_t{0};
+    return (std::uint64_t{1} << (segs - first)) - 1;
+  }
+
+  void mark_row_dirty(std::uint32_t r) noexcept {
+    const std::size_t base = std::size_t{r} * segment_words_per_row_;
+    for (std::uint32_t w = 0; w < segment_words_per_row_; ++w) {
+      dirty_[base + w] = live_word_mask(w);
+    }
+  }
+
   std::uint32_t depth_;
   std::uint32_t width_;
   std::uint32_t stride_;
@@ -180,6 +281,10 @@ class CounterMatrix {
   CacheAlignedVector<std::int64_t> counters_;
   std::vector<RowHash> row_hash_;
   std::vector<SignHash> sign_hash_;
+  // Empty when tracking is off (the common case: only checkpointing
+  // monitors enable it).
+  std::vector<std::uint64_t> dirty_;
+  std::uint32_t segment_words_per_row_ = 0;
 };
 
 }  // namespace nitro::sketch

@@ -99,11 +99,16 @@ class TopKHeap {
     return heap_.empty() ? 0 : entries_[heap_[0]].estimate;
   }
 
-  /// All tracked entries, largest first.
+  /// All tracked entries, largest first.  Ties break on the key so the
+  /// order — and therefore any serialization built from it — is canonical:
+  /// two heaps holding the same (key, estimate) set produce identical
+  /// bytes regardless of insertion history.
   std::vector<Entry> entries_sorted() const {
     std::vector<Entry> out = entries_;
-    std::sort(out.begin(), out.end(),
-              [](const Entry& a, const Entry& b) { return a.estimate > b.estimate; });
+    std::sort(out.begin(), out.end(), [](const Entry& a, const Entry& b) {
+      if (a.estimate != b.estimate) return a.estimate > b.estimate;
+      return a.key < b.key;
+    });
     return out;
   }
 

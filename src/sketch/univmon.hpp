@@ -130,6 +130,23 @@ class UnivMon {
   std::size_t memory_bytes() const;
   void clear();
 
+  // --- Dirty-segment tracking passthrough (delta checkpoints) --------------
+
+  /// Enable per-segment dirty tracking on every level's counter matrix.
+  void enable_dirty_tracking() {
+    for (Level& l : levels_) l.cs.matrix().enable_dirty_tracking();
+  }
+
+  bool dirty_tracking() const noexcept {
+    return !levels_.empty() && levels_[0].cs.matrix().dirty_tracking();
+  }
+
+  /// Checkpoint frame cut: subsequent dirty bits are relative to the frame
+  /// the caller just serialized.
+  void clear_dirty() noexcept {
+    for (Level& l : levels_) l.cs.matrix().clear_dirty();
+  }
+
  private:
   struct Level {
     Level(std::uint32_t depth, std::uint32_t width, std::uint32_t heap_cap,

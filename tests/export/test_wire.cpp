@@ -144,7 +144,7 @@ TEST(WireFuzz, BadInnerMagicAndVersionAreRejectedByName) {
     w.put_i64(0);
     w.put_blob({});
     const auto frame = control::seal_frame(w.bytes());
-    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99 (speaks 1..2)");
+    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99 (speaks 1..3)");
   }
 }
 
@@ -191,7 +191,7 @@ TEST(WireFuzz, OldCollectorSimulationRejectsNewerFramesByName) {
   w.put_u32(kWireVersion + 1);
   // No body at all: the gate must fire before the decoder wants one.
   const auto frame = control::seal_frame(w.bytes());
-  EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 3 (speaks 1..2)");
+  EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 4 (speaks 1..3)");
 
   control::ByteWriter a;
   a.put_u32(kAckMsgMagic);

@@ -60,6 +60,7 @@
 #include "control/checkpoint.hpp"
 #include "control/daemon.hpp"
 #include "export/exporter.hpp"
+#include "export/recovery.hpp"
 #include "ingest/factory.hpp"
 #include "ingest/ingest_loop.hpp"
 #include "shard/shard_group.hpp"
@@ -97,6 +98,9 @@ struct Options {
   std::string stats_format = "json";
   int stats_interval = 1;
   std::string checkpoint_dir;
+  int checkpoint_full_every = 4;  // delta frames between full bases
+  bool require_restore = false;   // exit nonzero when nothing restorable
+  bool recover_from_collector = false;  // wire-v3 rejoin (needs --export-to)
   std::string export_to;  // tcp:HOST:PORT or unix:PATH (empty = no export)
   std::uint64_t source_id = 1;
   std::string trace_out;     // Chrome/Perfetto trace JSON (empty = no tracing)
@@ -114,6 +118,8 @@ void usage(const char* argv0) {
                "          [--replay-loop N] [--paced]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
                "          [--stats-interval N] [--checkpoint-dir DIR]\n"
+               "          [--checkpoint-full-every N] [--require-restore]\n"
+               "          [--recover-from-collector]\n"
                "          [--export-to tcp:HOST:PORT|unix:PATH] [--source-id N]\n"
                "          [--trace-out FILE] [--accuracy-sample N]\n",
                argv0);
@@ -208,6 +214,17 @@ bool parse_args(int argc, char** argv, Options& opt) {
     } else if (arg == "--checkpoint-dir") {
       if (!(v = next())) return false;
       opt.checkpoint_dir = v;
+    } else if (arg == "--checkpoint-full-every") {
+      if (!(v = next())) return false;
+      opt.checkpoint_full_every = std::atoi(v);
+      if (opt.checkpoint_full_every < 1) {
+        std::fprintf(stderr, "--checkpoint-full-every must be >= 1\n");
+        return false;
+      }
+    } else if (arg == "--require-restore") {
+      opt.require_restore = true;
+    } else if (arg == "--recover-from-collector") {
+      opt.recover_from_collector = true;
     } else if (arg == "--export-to") {
       if (!(v = next())) return false;
       opt.export_to = v;
@@ -395,11 +412,25 @@ int main(int argc, char** argv) {
     daemon.set_accuracy_observer(accuracy.get());
   }
 
-  // Crash-safe operation: restore the daemon from the newest valid
-  // checkpoint (falling back to the previous generation on a torn write)
-  // and re-save at every epoch boundary.  Corruption is reported loudly,
-  // never silently loaded.
+  // Crash-safe operation (DESIGN.md §15): restore the daemon from the
+  // delta-checkpoint chain (newest valid full base + contiguous deltas,
+  // skipping torn/corrupt tail frames), falling back to the legacy
+  // two-generation store, falling back — when --recover-from-collector —
+  // to rebuilding from the collector's replica over the wire.  Corruption
+  // is reported loudly, never silently loaded.
+  //
+  // restore_source codes (also exported as a gauge): 0 = nothing
+  // restored, 1 = legacy current, 2 = legacy previous generation,
+  // 3 = delta chain, 4 = collector replica.
   std::unique_ptr<control::CheckpointStore> ckpt;
+  telemetry::Counter& restore_failures = registry.counter(
+      "nitro_checkpoint_restore_failures_total",
+      "checkpoint frames or restore attempts rejected at startup");
+  telemetry::Gauge& restore_source_gauge = registry.gauge(
+      "nitro_checkpoint_restore_source",
+      "what seeded the daemon: 0 none, 1 full, 2 previous, 3 chain, 4 collector");
+  int restore_source = 0;
+  std::uint64_t recovered_last_seq = 0;  // collector's settled seq (source 4)
   if (!opt.checkpoint_dir.empty()) {
     try {
       ckpt = std::make_unique<control::CheckpointStore>(opt.checkpoint_dir);
@@ -408,28 +439,122 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "checkpoint: %s\n", e.what());
       return 2;
     }
-    const auto restored = ckpt->load("daemon");
-    if (restored.current_rejected) {
-      std::fprintf(stderr, "checkpoint: CORRUPT checkpoint rejected (%s)\n",
-                   restored.error.c_str());
+    daemon.enable_delta_checkpoints();
+
+    const auto chain = ckpt->load_chain("daemon");
+    if (chain.frames_rejected > 0) {
+      restore_failures.inc(chain.frames_rejected);
+      std::fprintf(stderr,
+                   "checkpoint: %llu torn/corrupt chain frame(s) rejected (%s)\n",
+                   static_cast<unsigned long long>(chain.frames_rejected),
+                   chain.error.c_str());
     }
-    if (restored.source != control::CheckpointStore::Source::kNone) {
+    if (chain.found) {
       try {
-        daemon.restore_checkpoint(restored.payload);
-        std::printf("checkpoint: restored epoch %llu from %s\n",
-                    static_cast<unsigned long long>(daemon.epoch()),
-                    restored.source == control::CheckpointStore::Source::kCurrent
-                        ? "current"
-                        : "previous generation");
+        daemon.restore_checkpoint(chain.base);
+        restore_source = 3;
       } catch (const std::exception& e) {
-        std::fprintf(stderr,
-                     "checkpoint: restore FAILED (%s); starting fresh\n",
+        restore_failures.inc();
+        std::fprintf(stderr, "checkpoint: chain base restore FAILED (%s)\n",
                      e.what());
       }
-    } else if (!restored.error.empty()) {
-      std::fprintf(stderr, "checkpoint: no usable checkpoint (%s); starting fresh\n",
-                   restored.error.c_str());
+      if (restore_source == 3) {
+        std::size_t applied = 0;
+        for (const auto& d : chain.deltas) {
+          try {
+            daemon.apply_delta_checkpoint(d);
+            ++applied;
+          } catch (const std::exception& e) {
+            // The earlier frames already restored a consistent state;
+            // keep it and drop the rest of the chain.
+            restore_failures.inc();
+            std::fprintf(stderr,
+                         "checkpoint: delta frame rejected (%s); keeping the "
+                         "state restored so far\n",
+                         e.what());
+            break;
+          }
+        }
+        std::printf("checkpoint: restored epoch %llu from chain "
+                    "(base %llu + %zu delta(s))\n",
+                    static_cast<unsigned long long>(daemon.epoch()),
+                    static_cast<unsigned long long>(chain.base_gen), applied);
+      }
     }
+
+    if (restore_source == 0) {
+      const auto restored = ckpt->load("daemon");
+      if (restored.current_rejected) {
+        restore_failures.inc();
+        std::fprintf(stderr, "checkpoint: CORRUPT checkpoint rejected (%s)\n",
+                     restored.error.c_str());
+      }
+      if (restored.source != control::CheckpointStore::Source::kNone) {
+        try {
+          daemon.restore_checkpoint(restored.payload);
+          restore_source =
+              restored.source == control::CheckpointStore::Source::kCurrent ? 1
+                                                                            : 2;
+          std::printf("checkpoint: restored epoch %llu from %s\n",
+                      static_cast<unsigned long long>(daemon.epoch()),
+                      restore_source == 1 ? "current" : "previous generation");
+        } catch (const std::exception& e) {
+          restore_failures.inc();
+          std::fprintf(stderr,
+                       "checkpoint: restore FAILED (%s); starting fresh\n",
+                       e.what());
+        }
+      } else if (!restored.error.empty()) {
+        std::fprintf(stderr,
+                     "checkpoint: no usable checkpoint (%s); starting fresh\n",
+                     restored.error.c_str());
+      }
+    }
+  }
+
+  // Rebuild-from-collector (wire v3): with no usable local state, ask the
+  // collector for its last-applied replica and resume exporting after its
+  // settled sequence number — the merged view never double-counts.
+  if (restore_source == 0 && opt.recover_from_collector) {
+    const auto recover_ep = xport::parse_endpoint(opt.export_to);
+    if (!recover_ep) {
+      std::fprintf(stderr,
+                   "--recover-from-collector needs a valid --export-to\n");
+      return 2;
+    }
+    const auto rec = xport::request_recovery(*recover_ep, opt.source_id,
+                                             /*timeout_ms=*/2000,
+                                             /*attempts=*/4);
+    if (!rec.ok) {
+      restore_failures.inc();
+      std::fprintf(stderr, "recover: %s\n", rec.error.c_str());
+    } else if (!rec.resp.found) {
+      std::printf("recover: collector has no state for source %llu; "
+                  "starting fresh\n",
+                  static_cast<unsigned long long>(opt.source_id));
+    } else {
+      try {
+        daemon.seed_from_recovery(rec.resp.span.last + 1, rec.resp.snapshot,
+                                  rec.resp.packets);
+        recovered_last_seq = rec.resp.last_seq;
+        restore_source = 4;
+        std::printf("recover: seeded from collector replica (epochs %llu..%llu,"
+                    " seq settled at %llu)\n",
+                    static_cast<unsigned long long>(rec.resp.span.first),
+                    static_cast<unsigned long long>(rec.resp.span.last),
+                    static_cast<unsigned long long>(rec.resp.last_seq));
+      } catch (const std::exception& e) {
+        restore_failures.inc();
+        std::fprintf(stderr, "recover: replica rejected (%s)\n", e.what());
+      }
+    }
+  }
+  restore_source_gauge.set(static_cast<double>(restore_source));
+  if (opt.require_restore && restore_source == 0) {
+    std::fprintf(stderr,
+                 "--require-restore: no checkpoint or collector state could "
+                 "be restored\n");
+    return 3;
   }
 
   // Resilient epoch export: every closed epoch's sketch snapshot streams
@@ -451,6 +576,17 @@ int main(int argc, char** argv) {
     exporter = std::make_unique<xport::EpochExporter>(
         ecfg, xport::univmon_coalescer(um_cfg, opt.seed));
     exporter->attach_telemetry(registry, "nitro_export");
+    if (restore_source == 4) {
+      // Resume after the collector's settled sequence number so the
+      // rejoin never redelivers an already-applied epoch.
+      exporter->set_next_seq(recovered_last_seq + 1);
+    } else if (restore_source != 0) {
+      // Locally restored state: epochs 0..epoch()-1 were already exported
+      // under seqs 1..epoch(), so the re-closed current epoch must go out
+      // as seq epoch()+1 — the collector settles it as a duplicate if the
+      // pre-crash process already delivered it, and applies it otherwise.
+      exporter->set_next_seq(daemon.epoch() + 1);
+    }
     exporter->start();
     daemon.set_export_sink([&exporter](control::ExportedEpoch&& e) {
       exporter->publish(e.span, e.packets, std::move(e.snapshot), e.close_ns);
@@ -518,6 +654,7 @@ int main(int argc, char** argv) {
       backend ? backend->size_hint() : static_cast<std::uint64_t>(raws.size());
   const std::uint64_t per_epoch = total / static_cast<std::uint64_t>(opt.epochs);
   std::uint64_t cursor = 0;
+  std::uint64_t frames_since_full = 0;  // delta frames since the last full base
   for (int e = 0; e < opt.epochs; ++e) {
     const std::uint64_t end = (e == opt.epochs - 1) ? total : cursor + per_epoch;
     // Ambient trace keys for this epoch: deep sites (burst flush, shard
@@ -569,7 +706,21 @@ int main(int argc, char** argv) {
     if (ckpt) {
       // Persist before closing the epoch: a crash inside end_epoch then
       // costs at most the current epoch, never an already-reported one.
-      if (!ckpt->save("daemon", daemon.checkpoint_bytes())) {
+      // Every --checkpoint-full-every frames (or whenever the dirty state
+      // cannot be expressed as a delta) a full base is written; the frames
+      // between are run-length deltas of the touched segments.
+      const bool want_full =
+          !daemon.delta_ready() ||
+          frames_since_full >=
+              static_cast<std::uint64_t>(opt.checkpoint_full_every);
+      const auto saved = ckpt->save_frame(
+          "daemon", want_full,
+          want_full ? daemon.checkpoint_bytes()
+                    : daemon.delta_checkpoint_bytes());
+      if (saved.ok) {
+        daemon.cut_checkpoint_frame();
+        frames_since_full = want_full ? 1 : frames_since_full + 1;
+      } else {
         std::fprintf(stderr, "checkpoint: save FAILED for epoch %llu\n",
                      static_cast<unsigned long long>(daemon.epoch()));
       }
