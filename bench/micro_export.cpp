@@ -53,7 +53,7 @@ void run() {
     constexpr int kMerges = 20;
     WallTimer t;
     std::vector<std::uint8_t> merged;
-    for (int i = 0; i < kMerges; ++i) merged = coalescer(snap_a, snap_b);
+    for (int i = 0; i < kMerges; ++i) merged = coalescer(snap_a, snap_b, 0);
     const double merge_ms = t.seconds() / kMerges * 1e3;
 
     // --- delivery: publish -> ack over loopback, serially ----------------

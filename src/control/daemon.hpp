@@ -18,7 +18,9 @@
 #include "control/estimation.hpp"
 #include "core/epoch_span.hpp"
 #include "core/nitro_univmon.hpp"
+#include "core/seed_schedule.hpp"
 #include "fault/fault.hpp"
+#include "sketch/anomaly.hpp"
 #include "telemetry/accuracy.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
@@ -42,6 +44,15 @@ struct EpochReport {
   /// Online bound check (telemetry/accuracy.hpp); tracked_flows == 0 when
   /// no observer is attached (or nothing got sampled this epoch).
   telemetry::EpochAccuracy accuracy{};
+  // --- Adversarial-pressure signals (DESIGN.md §16) -----------------------
+  /// Residual row-concentration of the level-0 Count Sketch at epoch
+  /// close; benign traffic sits at a small constant, a crafted collision
+  /// flood is orders of magnitude above it.
+  double collision_pressure = 0.0;
+  /// Untracked-evicts-tracked heap events this epoch (churn velocity).
+  std::uint64_t heap_evictions = 0;
+  /// True when a configured anomaly threshold (Tasks) was exceeded.
+  bool anomaly_alarm = false;
 };
 
 /// One closed epoch handed to an export sink: the sealed UnivMon snapshot
@@ -54,6 +65,9 @@ struct ExportedEpoch {
   /// collector can compute end-to-end freshness.
   std::uint64_t close_ns = 0;
   std::vector<std::uint8_t> snapshot;  // snapshot_univmon() frame
+  /// Seed generation of the closed epoch (0 unless rotation is enabled);
+  /// rides the v4 wire so the collector can merge into the right replica.
+  std::uint64_t seed_gen = 0;
 };
 
 class MeasurementDaemon {
@@ -65,12 +79,51 @@ class MeasurementDaemon {
     double change_fraction = 0.0005;
     bool entropy = true;
     bool distinct = true;
+    /// Anomaly alarm thresholds (0 = that alarm disabled): the epoch
+    /// report's anomaly_alarm flag and the nitro_anomaly_alarms_total
+    /// counter fire when a gauge exceeds its threshold.
+    double collision_alarm_threshold = 0.0;
+    std::uint64_t eviction_alarm_threshold = 0;
   };
 
   MeasurementDaemon(const sketch::UnivMonConfig& um_cfg, const core::NitroConfig& nitro_cfg,
                     const Tasks& tasks, std::uint64_t seed = 0xdae11011ULL)
       : um_cfg_(um_cfg), nitro_cfg_(nitro_cfg), tasks_(tasks), seed_(seed),
-        current_(um_cfg, nitro_cfg, seed) {}
+        sched_{seed, 0, 0}, current_(um_cfg, nitro_cfg, seed) {}
+
+  /// Turn on keyed per-generation seed rotation (core/seed_schedule.hpp):
+  /// every `rotation_epochs` epochs the data plane rotates onto a seed
+  /// derived from `master_key` and the generation number, invalidating any
+  /// collision set crafted against an earlier seed.  Must be called before
+  /// any traffic or rotation — the live sketch is rebuilt on the keyed
+  /// generation-0 seed.  Checkpoints, delta frames and recovery responses
+  /// re-derive seeds from the same schedule, so restores only work on a
+  /// daemon configured with the same (master_key, rotation_epochs).
+  void enable_seed_rotation(std::uint64_t master_key, std::uint64_t rotation_epochs) {
+    if (current_.total() != 0 || previous_ || epoch_ != 0) {
+      throw std::logic_error(
+          "enable_seed_rotation: must be called on a fresh daemon");
+    }
+    sched_.master_key = master_key;
+    sched_.rotation_epochs = rotation_epochs;
+    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, sched_.seed_for_epoch(0));
+    if (delta_tracking_) {
+      current_.enable_dirty_tracking();
+      current_.clear_dirty();
+    }
+    if (registry_) {
+      current_.attach_telemetry(tel_);
+      publish_telemetry();
+    }
+  }
+
+  const core::SeedSchedule& seed_schedule() const noexcept { return sched_; }
+  /// Seed generation of the epoch currently accumulating.
+  std::uint64_t seed_generation() const noexcept {
+    return sched_.generation_of(epoch_);
+  }
+  /// Construction seed of the live data plane.
+  std::uint64_t active_seed() const noexcept { return current_.seed(); }
 
   /// Data-plane entry point.
   void on_packet(const FlowKey& key, std::uint64_t ts_ns = 0) {
@@ -147,6 +200,31 @@ class MeasurementDaemon {
           changes(*previous_, current_, candidates, tasks_.change_fraction);
     }
 
+    // Adversarial-pressure signals, before rotation wipes the counters:
+    // residual row concentration (collision floods) and heap eviction
+    // velocity (churn storms).  The per-epoch sketch is fresh, so the raw
+    // eviction counter IS this epoch's velocity.
+    report.collision_pressure = sketch::collision_pressure(current_.univmon());
+    report.heap_evictions = current_.univmon().heap_evictions();
+    report.anomaly_alarm =
+        (tasks_.collision_alarm_threshold > 0.0 &&
+         report.collision_pressure > tasks_.collision_alarm_threshold) ||
+        (tasks_.eviction_alarm_threshold > 0 &&
+         report.heap_evictions > tasks_.eviction_alarm_threshold);
+    if (registry_) {
+      registry_->gauge("nitro_anomaly_collision_pressure",
+                       "residual level-0 row concentration at epoch close")
+          .set(report.collision_pressure);
+      registry_->gauge("nitro_anomaly_heap_evictions",
+                       "TopK heap evictions in the closed epoch")
+          .set(static_cast<double>(report.heap_evictions));
+      if (report.anomaly_alarm) {
+        registry_->counter("nitro_anomaly_alarms_total",
+                           "epochs whose anomaly gauges exceeded a threshold")
+            .inc();
+      }
+    }
+
     // Hand the closed epoch to the export sink before rotation destroys
     // the counters.  The sink (an EpochExporter queue push) must not
     // block the epoch loop on a slow collector.
@@ -158,7 +236,8 @@ class MeasurementDaemon {
       }
       export_sink_(ExportedEpoch{core::EpochSpan::single(report.epoch),
                                  report.packets, telemetry::Tracer::now_ns(),
-                                 std::move(snap)});
+                                 std::move(snap),
+                                 sched_.generation_of(report.epoch)});
     }
 
     // Fold this epoch's counts into the cumulative totals before the data
@@ -173,9 +252,12 @@ class MeasurementDaemon {
       pre_rotation_delta_ = snapshot_univmon_delta(current_.univmon());
     }
 
-    // Rotate: current becomes previous; fresh sketch for the next epoch.
+    // Rotate: current becomes previous; fresh sketch for the next epoch,
+    // on the next epoch's (possibly new-generation) seed.  previous_ keeps
+    // the closed epoch's seed — change detection queries both sketches by
+    // key, so a cross-generation pair is fine.
     previous_ = std::make_unique<core::NitroUnivMon>(std::move(current_));
-    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, seed_);
+    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, sched_.seed_for_epoch(epoch_));
     // The delta frame format encodes at most one rotation (its `rotated`
     // flag).  A fresh sketch is all-zero, so its dirty state starts clean:
     // the next delta then carries exactly the segments traffic touches.
@@ -227,6 +309,15 @@ class MeasurementDaemon {
     w.put_u64(epoch_);
     w.put_u64(cum_packets_);
     w.put_u64(cum_sampled_);
+    // v2: the live sketch's seed generation, so a restore can verify the
+    // restoring daemon derives the same seed before loading counters that
+    // are meaningless under any other hash functions — plus the live
+    // sketch's ingest counters, so a restored daemon's next epoch report
+    // accounts packets/sampled-updates exactly like the uninterrupted one
+    // (total() is not a substitute once sampling skips updates).
+    w.put_u64(sched_.generation_of(epoch_));
+    w.put_u64(current_.ingest_packets());
+    w.put_u64(current_.sampled_updates());
     w.put_blob(snapshot_univmon(current_.univmon()));
     w.put_u8(previous_ ? 1 : 0);
     if (previous_) w.put_blob(snapshot_univmon(previous_->univmon()));
@@ -242,19 +333,40 @@ class MeasurementDaemon {
     if (r.get_u32() != kCheckpointMagic) {
       throw std::invalid_argument("daemon checkpoint: bad magic");
     }
-    if (r.get_u32() != kCheckpointVersion) {
+    const std::uint32_t version = r.get_u32();
+    if (version == 0 || version > kCheckpointVersion) {
       throw std::invalid_argument("daemon checkpoint: unsupported version");
     }
     const std::uint64_t epoch = r.get_u64();
     const std::uint64_t cum_packets = r.get_u64();
     const std::uint64_t cum_sampled = r.get_u64();
+    // v1 payloads predate seed rotation (implicitly generation 0); a
+    // rotation-enabled daemon cannot restore one — its counters were
+    // written under the un-keyed base seed.
+    const std::uint64_t gen = version >= 2 ? r.get_u64() : 0;
+    if (version < 2 && sched_.enabled()) {
+      throw std::invalid_argument(
+          "daemon checkpoint: v1 payload predates seed rotation");
+    }
+    if (gen != sched_.generation_of(epoch)) {
+      throw std::invalid_argument(
+          "daemon checkpoint: seed generation does not match this daemon's "
+          "rotation schedule");
+    }
+    const bool has_counts = version >= 2;
+    const std::uint64_t ingest_packets = has_counts ? r.get_u64() : 0;
+    const std::uint64_t ingest_sampled = has_counts ? r.get_u64() : 0;
     const auto current_snap = r.get_blob();
 
-    core::NitroUnivMon restored(um_cfg_, nitro_cfg_, seed_);
+    core::NitroUnivMon restored(um_cfg_, nitro_cfg_, sched_.seed_for_epoch(epoch));
     load_univmon(current_snap, restored.univmon_mut());
     std::unique_ptr<core::NitroUnivMon> prev;
     if (r.get_u8() != 0) {
-      prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, seed_);
+      // previous_ holds the last closed epoch (epoch - 1), whose seed may
+      // be one generation behind the live sketch's.
+      const std::uint64_t prev_seed =
+          sched_.seed_for_epoch(epoch > 0 ? epoch - 1 : 0);
+      prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, prev_seed);
       load_univmon(r.get_blob(), prev->univmon_mut());
     }
     if (!r.exhausted()) {
@@ -266,7 +378,13 @@ class MeasurementDaemon {
     cum_packets_ = cum_packets;
     cum_sampled_ = cum_sampled;
     current_ = std::move(restored);
-    current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
+    if (has_counts) {
+      current_.set_ingest_counts(ingest_packets, ingest_sampled);
+    } else {
+      // v1 never carried the counters; total() is exact for unsampled
+      // (vanilla) state, the best available approximation otherwise.
+      current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
+    }
     previous_ = std::move(prev);
     // A restored sketch's relation to any delta base is unknown; the next
     // checkpoint frame must be a full one.
@@ -310,6 +428,9 @@ class MeasurementDaemon {
     w.put_u64(epoch_);
     w.put_u64(cum_packets_);
     w.put_u64(cum_sampled_);
+    // v2: live ingest counters, same rationale as the full frame.
+    w.put_u64(current_.ingest_packets());
+    w.put_u64(current_.sampled_updates());
     const bool rotated = rotations_since_cut_ == 1;
     w.put_u8(rotated ? 1 : 0);
     // A rotated frame carries two deltas: the closing window's changes
@@ -339,12 +460,20 @@ class MeasurementDaemon {
     if (r.get_u32() != kDeltaCkptMagic) {
       throw std::invalid_argument("daemon delta checkpoint: bad magic");
     }
-    if (r.get_u32() != kCheckpointVersion) {
+    const std::uint32_t version = r.get_u32();
+    if (version == 0 || version > kCheckpointVersion) {
       throw std::invalid_argument("daemon delta checkpoint: unsupported version");
+    }
+    if (version < 2 && sched_.enabled()) {
+      throw std::invalid_argument(
+          "daemon delta checkpoint: v1 payload predates seed rotation");
     }
     const std::uint64_t epoch = r.get_u64();
     const std::uint64_t cum_packets = r.get_u64();
     const std::uint64_t cum_sampled = r.get_u64();
+    const bool has_counts = version >= 2;
+    const std::uint64_t ingest_packets = has_counts ? r.get_u64() : 0;
+    const std::uint64_t ingest_sampled = has_counts ? r.get_u64() : 0;
     const bool rotated = r.get_u8() != 0;
     decltype(r.get_blob()) closing{};
     if (rotated) closing = r.get_blob();
@@ -360,9 +489,13 @@ class MeasurementDaemon {
       // scratch objects so a malformed frame never half-applies.
       sketch::UnivMon closed = current_.univmon();
       apply_univmon_delta(closing, closed);
-      core::NitroUnivMon fresh(um_cfg_, nitro_cfg_, seed_);
+      // The rotation may have crossed a generation boundary: the fresh
+      // sketch gets the frame epoch's seed, while previous_ keeps the base
+      // sketch's (the closed window was accumulated under it).
+      core::NitroUnivMon fresh(um_cfg_, nitro_cfg_, sched_.seed_for_epoch(epoch));
       apply_univmon_delta(delta, fresh.univmon_mut());
-      auto prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, seed_);
+      auto prev =
+          std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, current_.seed());
       prev->univmon_mut() = std::move(closed);
       previous_ = std::move(prev);
       current_ = std::move(fresh);
@@ -376,7 +509,11 @@ class MeasurementDaemon {
     epoch_ = epoch;
     cum_packets_ = cum_packets;
     cum_sampled_ = cum_sampled;
-    current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
+    if (has_counts) {
+      current_.set_ingest_counts(ingest_packets, ingest_sampled);
+    } else {
+      current_.set_ingest_counts(static_cast<std::uint64_t>(current_.total()), 0);
+    }
     delta_ok_ = false;
     rotations_since_cut_ = 0;
     pre_rotation_delta_.clear();
@@ -394,16 +531,22 @@ class MeasurementDaemon {
   /// baseline — an approximation, documented in DESIGN.md §15), the live
   /// sketch starts fresh, and the epoch counter resumes at `next_epoch` so
   /// re-exported sequence numbers continue where the collector left off.
+  /// `replica_seed_gen` is the seed generation the collector reported for
+  /// its replica (RecoverResponse.seed_gen, 0 on pre-rotation wire
+  /// versions); the previous_ baseline is rebuilt under that generation's
+  /// seed while the live sketch starts on next_epoch's.
   void seed_from_recovery(std::uint64_t next_epoch,
                           std::span<const std::uint8_t> univmon_snapshot,
-                          std::int64_t packets) {
-    auto prev = std::make_unique<core::NitroUnivMon>(um_cfg_, nitro_cfg_, seed_);
+                          std::int64_t packets,
+                          std::uint64_t replica_seed_gen = 0) {
+    auto prev = std::make_unique<core::NitroUnivMon>(
+        um_cfg_, nitro_cfg_, sched_.seed_for(replica_seed_gen));
     load_univmon(univmon_snapshot, prev->univmon_mut());
     epoch_ = next_epoch;
     cum_packets_ = static_cast<std::uint64_t>(packets);
     cum_sampled_ = 0;
     previous_ = std::move(prev);
-    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, seed_);
+    current_ = core::NitroUnivMon(um_cfg_, nitro_cfg_, sched_.seed_for_epoch(next_epoch));
     delta_ok_ = false;
     rotations_since_cut_ = 0;
     pre_rotation_delta_.clear();
@@ -426,7 +569,9 @@ class MeasurementDaemon {
  private:
   static constexpr std::uint32_t kCheckpointMagic = 0x4e44434bu;  // "NDCK"
   static constexpr std::uint32_t kDeltaCkptMagic = 0x4e44444cu;   // "NDDL"
-  static constexpr std::uint32_t kCheckpointVersion = 1;
+  /// v2 adds the seed generation (keyed rotation, DESIGN.md §16); v1
+  /// payloads are still accepted by rotation-disabled daemons.
+  static constexpr std::uint32_t kCheckpointVersion = 2;
 
   /// Clock-skew fault point: timestamps entering the daemon can be shifted
   /// by a scheduled signed offset, exercising the AlwaysLineRate rate
@@ -447,6 +592,10 @@ class MeasurementDaemon {
   core::NitroConfig nitro_cfg_;
   Tasks tasks_;
   std::uint64_t seed_;
+  /// Keyed seed-rotation schedule (DESIGN.md §16).  Disabled by default
+  /// (rotation_epochs == 0): every generation derives to seed_, which is
+  /// bit-identical to the pre-rotation behaviour.
+  core::SeedSchedule sched_;
   std::uint64_t epoch_ = 0;
   core::NitroUnivMon current_;
   std::unique_ptr<core::NitroUnivMon> previous_;

@@ -153,6 +153,9 @@ class NitroUnivMon {
   const sketch::UnivMon& univmon() const noexcept { return um_; }
   sketch::UnivMon& univmon_mut() noexcept { return um_; }
   std::int64_t total() const noexcept { return um_.total(); }
+  /// Construction seed of the underlying UnivMon (generation-derived when
+  /// seed rotation is active; see core/seed_schedule.hpp).
+  std::uint64_t seed() const noexcept { return um_.seed(); }
   std::uint64_t sampled_updates() const noexcept { return sampled_updates_; }
   std::size_t memory_bytes() const { return um_.memory_bytes(); }
 

@@ -5,6 +5,7 @@
 
 #include "control/codec.hpp"
 #include "fault/fault.hpp"
+#include "sketch/anomaly.hpp"
 
 namespace nitro::xport {
 
@@ -12,10 +13,14 @@ namespace nitro::xport {
 // CollectorCore
 
 CollectorCore::CollectorCore(const CollectorConfig& cfg)
-    : cfg_(cfg), net_acc_(std::make_unique<sketch::UnivMon>(cfg.um_cfg, cfg.seed)) {
+    : cfg_(cfg),
+      sched_{cfg.seed, cfg.master_key, cfg.rotation_epochs},
+      net_acc_(std::make_unique<sketch::UnivMon>(cfg.um_cfg, sched_.seed_for(0))) {
   index_.store(std::make_shared<const Index>());
-  // Generation 0: empty view, valid until the first source appears.
-  auto v = std::make_shared<NetworkView>(cfg_.um_cfg, cfg_.seed);
+  // Generation 0: empty view, valid until the first source appears.  With
+  // rotation on, generation 0 is already keyed — replicas must start at
+  // seed_for(0), not the raw base seed, or the first ingest can't merge.
+  auto v = std::make_shared<NetworkView>(cfg_.um_cfg, sched_.seed_for(0));
   view_.store(ViewPtr(std::move(v)));
 }
 
@@ -46,7 +51,7 @@ CollectorCore::Source* CollectorCore::find_or_create(std::uint64_t source_id) {
   auto [map_it, inserted] =
       sources_.try_emplace(source_id, nullptr);
   if (inserted) {
-    map_it->second = std::make_unique<Source>(cfg_);
+    map_it->second = std::make_unique<Source>(cfg_, sched_.seed_for(0));
     map_it->second->stats.source_id = source_id;
     // Publish a new sorted index (copy-on-write; map iteration is sorted).
     auto fresh = std::make_shared<Index>();
@@ -71,7 +76,11 @@ RecoverResponse CollectorCore::recovery_snapshot(std::uint64_t source_id) const 
   resp.found = true;
   resp.last_seq = src.stats.last_seq;
   resp.span = src.stats.span;
-  resp.packets = src.stats.packets;
+  // The replica holds exactly one seed generation (rotation resets it),
+  // so the packet count describing its contents is the per-generation
+  // one — identical to the cumulative count when rotation is off.
+  resp.packets = src.stats.gen_packets;
+  resp.seed_gen = src.stats.seed_gen;
   // The cumulative accumulator *is* the last-applied replica; serializing
   // it under src.mu keeps it consistent with last_seq/span/packets.
   resp.snapshot = control::snapshot_univmon(src.acc);
@@ -94,7 +103,7 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
                    &param) == fault::Action::kStall) {
     fault::stall_ns(param, [] { return false; });
   }
-  sketch::UnivMon tmp(cfg_.um_cfg, cfg_.seed);
+  sketch::UnivMon tmp(cfg_.um_cfg, sched_.seed_for(msg.seed_gen));
   control::load_univmon(msg.snapshot, tmp);  // throws on corruption
 
   Source* src_ptr = find_or_create(msg.source_id);
@@ -118,6 +127,33 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
     ++src.stats.overlap_dropped;
     if (overlap_dropped_ != nullptr) overlap_dropped_->inc();
     return Ingest::kOverlapDropped;
+  }
+  if (msg.seed_gen < src.stats.seed_gen) {
+    // A backward seed generation with a fresh sequence number: an honest
+    // monitor's generations only advance (a checkpoint rollback also
+    // rolls the sequence back, which the duplicate check above already
+    // settled), so this sketch was hashed under a seed the replica no
+    // longer holds.  Drop whole and count; ack as duplicate so a
+    // confused-but-live exporter settles the entry instead of wedging
+    // in retries.
+    ++src.stats.stale_generation_dropped;
+    if (stale_gen_dropped_ != nullptr) stale_gen_dropped_->inc();
+    return Ingest::kDuplicate;
+  }
+  if (msg.seed_gen > src.stats.seed_gen) {
+    // The source rotated onto a new keyed seed (DESIGN.md §16).  The
+    // replica's counters are hashed under the old seed and can never be
+    // merged with the new generation — reset to fresh sketches at the
+    // derived seed.  The network view re-folds at the new generation on
+    // its next build.
+    const std::uint64_t rotated_seed = sched_.seed_for(msg.seed_gen);
+    src.acc = sketch::UnivMon(cfg_.um_cfg, rotated_seed);
+    src.pending = sketch::UnivMon(cfg_.um_cfg, rotated_seed);
+    src.dirty = false;
+    src.stats.seed_gen = msg.seed_gen;
+    src.stats.gen_packets = 0;
+    ++src.stats.generation_rotations;
+    if (gen_rotations_ != nullptr) gen_rotations_->inc();
   }
 
   src.acc.merge(tmp);      // full accumulator (full re-folds)
@@ -143,6 +179,7 @@ CollectorCore::Ingest CollectorCore::ingest(const EpochMessage& msg,
     src.stats.span.widen(msg.span);
   }
   src.stats.packets += msg.packets;
+  src.stats.gen_packets += msg.packets;
   epochs_applied_.fetch_add(covered, std::memory_order_relaxed);
   if (messages_applied_ != nullptr) messages_applied_->inc();
   if (epochs_applied_ctr_ != nullptr) epochs_applied_ctr_->inc(covered);
@@ -234,77 +271,137 @@ CollectorCore::ViewPtr CollectorCore::rebuild(std::uint64_t now_ns) const {
   const std::uint64_t v0 = version_.load(std::memory_order_acquire);
   const IndexPtr idx = index_.load();
 
-  // Pass 1 (cheap): staleness accounting + this build's liveness decision.
-  std::vector<std::uint64_t> live;
-  std::vector<char> live_flags(idx->size(), 0);
-  live.reserve(idx->size());
-  {
-    std::size_t i = 0;
-    for (const IndexEntry& e : *idx) {
-      std::lock_guard lk(e.src->mu);
-      if (!refresh_staleness(*e.src, now_ns)) {
-        live.push_back(e.id);
-        live_flags[i] = 1;
-      }
-      ++i;
-    }
-  }
-
-  const bool full = live != folded_live_;
-  if (full) {
-    // The live set changed (quarantine, rejoin, first build): the running
-    // fold contains sources it must no longer contain (or misses ones it
-    // must), and sketch merges cannot be subtracted — re-fold every live
-    // source from its full accumulator.
-    net_acc_->clear();
-  }
-
-  auto next = std::make_shared<NetworkView>(cfg_.um_cfg, cfg_.seed);
-  next->sources.reserve(idx->size());
+  std::shared_ptr<NetworkView> next;
   std::uint64_t folds = 0;
+  std::uint64_t fold_gen = 0;
+  bool full = false;
+  std::vector<std::uint64_t> fold_ids;
+  // Rotation retry: if a source rotates its seed generation between the
+  // passes, the pass-2 fold would mix hash generations — abort and redo
+  // the build as a full reseeded re-fold (from the accumulators, so any
+  // pending deltas already cleared by the aborted pass are harmless).
+  // Rotations are epoch-scale events, so this loop retries at most once
+  // in practice.
+  bool force_full = false;
+  for (bool retry = true; retry;) {
+    retry = false;
 
-  // Pass 2: fold + copy stats under the SAME lock hold, so each folded
-  // source's (sketch delta, packets) pair is coherent — the conservation
-  // invariant merged.total() == sum(live packets) holds per generation
-  // even under concurrent ingest.  The dirty flag is re-read under the
-  // lock: an epoch applied between the passes is folded AND counted.
-  // Liveness sticks to the pass-1 decision — a source rejoining mid-build
-  // is excluded from both the fold and the packet sum of this generation
-  // (its version bump invalidates the generation immediately anyway).
-  for (std::size_t i = 0; i < idx->size(); ++i) {
-    Source& src = *(*idx)[i].src;
-    std::lock_guard lk(src.mu);
-    if (live_flags[i] && (full || src.dirty)) {
-      // One merge span per folded source, keyed by its newest applied
-      // epoch — the final stage of that epoch's end-to-end trace.
-      telemetry::ScopedSpan span(telemetry::Stage::kNetworkMerge, (*idx)[i].id,
-                                 src.stats.span.last, tracer_);
-      net_acc_->merge(full ? src.acc : src.pending);
-      src.pending.clear();
-      src.dirty = false;
-      ++folds;
+    // Pass 1 (cheap): staleness accounting, this build's liveness
+    // decision, and each source's seed generation.  The fold covers the
+    // newest generation among the live sources; a live source still on an
+    // older generation is excluded (like a stale one) until it rotates.
+    std::vector<char> alive_flags(idx->size(), 0);
+    std::vector<std::uint64_t> gens(idx->size(), 0);
+    {
+      std::size_t i = 0;
+      for (const IndexEntry& e : *idx) {
+        std::lock_guard lk(e.src->mu);
+        if (!refresh_staleness(*e.src, now_ns)) alive_flags[i] = 1;
+        gens[i] = e.src->stats.seed_gen;
+        ++i;
+      }
     }
-    SourceStats s = copy_stats(src);
-    s.stale = live_flags[i] == 0;  // this build's decision, not the current flag
-    if (live_flags[i]) next->packets += s.packets;
-    next->sources.push_back(std::move(s));
+    fold_gen = 0;
+    for (std::size_t i = 0; i < idx->size(); ++i) {
+      if (alive_flags[i]) fold_gen = std::max(fold_gen, gens[i]);
+    }
+    std::vector<char> fold_flags(idx->size(), 0);
+    fold_ids.clear();
+    fold_ids.reserve(idx->size());
+    for (std::size_t i = 0; i < idx->size(); ++i) {
+      if (alive_flags[i] && gens[i] == fold_gen) {
+        fold_flags[i] = 1;
+        fold_ids.push_back((*idx)[i].id);
+      }
+    }
+
+    full = force_full || fold_ids != folded_live_ || fold_gen != folded_gen_;
+    if (full) {
+      // The folded set changed (quarantine, rejoin, first build, seed
+      // rotation): the running fold contains sources or a hash generation
+      // it must no longer contain, and sketch merges cannot be
+      // subtracted — re-fold every covered source from its full
+      // accumulator.  A generation change also reseeds the accumulator:
+      // counters only merge between identically hashed sketches.
+      if (fold_gen != folded_gen_) {
+        *net_acc_ = sketch::UnivMon(cfg_.um_cfg, sched_.seed_for(fold_gen));
+      } else {
+        net_acc_->clear();
+      }
+    }
+
+    next = std::make_shared<NetworkView>(cfg_.um_cfg, sched_.seed_for(fold_gen));
+    next->sources.reserve(idx->size());
+    folds = 0;
+
+    // Pass 2: fold + copy stats under the SAME lock hold, so each folded
+    // source's (sketch delta, gen_packets) pair is coherent — the
+    // conservation invariant merged.total() == sum(folded gen_packets)
+    // holds per generation even under concurrent ingest.  The dirty flag
+    // is re-read under the lock: an epoch applied between the passes is
+    // folded AND counted.  Liveness sticks to the pass-1 decision — a
+    // source rejoining mid-build is excluded from both the fold and the
+    // packet sum of this generation (its version bump invalidates the
+    // generation immediately anyway).
+    for (std::size_t i = 0; i < idx->size(); ++i) {
+      Source& src = *(*idx)[i].src;
+      std::lock_guard lk(src.mu);
+      if (src.stats.seed_gen != gens[i]) {
+        // Rotated since pass 1: this source's sketches changed hash
+        // generation mid-build.  Restart as a full re-fold.
+        retry = true;
+        force_full = true;
+        break;
+      }
+      if (fold_flags[i] && (full || src.dirty)) {
+        // One merge span per folded source, keyed by its newest applied
+        // epoch — the final stage of that epoch's end-to-end trace.
+        telemetry::ScopedSpan span(telemetry::Stage::kNetworkMerge,
+                                   (*idx)[i].id, src.stats.span.last, tracer_);
+        net_acc_->merge(full ? src.acc : src.pending);
+        src.pending.clear();
+        src.dirty = false;
+        ++folds;
+      }
+      SourceStats s = copy_stats(src);
+      s.stale = alive_flags[i] == 0;  // this build's decision, not the current flag
+      if (fold_flags[i]) next->packets += s.gen_packets;
+      next->sources.push_back(std::move(s));
+    }
   }
 
   next->merged = *net_acc_;
   next->generation = ++generation_seq_;
   next->version = v0;
   next->built_at_ns = now_ns;
+  next->seed_gen = fold_gen;
   next->epochs_applied = epochs_applied_.load(std::memory_order_relaxed);
   next->folds = folds;
   next->full_rebuild = full;
 
-  folded_live_ = std::move(live);
+  folded_live_ = std::move(fold_ids);
+  folded_gen_ = fold_gen;
   folds_total_.fetch_add(folds, std::memory_order_relaxed);
   generations_.fetch_add(1, std::memory_order_relaxed);
   if (full) full_rebuilds_.fetch_add(1, std::memory_order_relaxed);
   if (folds_ctr_ != nullptr) folds_ctr_->inc(folds);
   if (generations_ctr_ != nullptr) generations_ctr_->inc();
   if (full && full_rebuilds_ctr_ != nullptr) full_rebuilds_ctr_->inc();
+
+  // Anomaly surface (DESIGN.md §16), refreshed per generation build: a
+  // crafted collision flood concentrates level-0 row mass into a few
+  // buckets (pressure way above its benign baseline), a churn storm
+  // drives the merged heaps' eviction count.
+  if (collision_pressure_gauge_ != nullptr) {
+    collision_pressure_gauge_->set(sketch::collision_pressure(next->merged));
+  }
+  if (merged_heap_evictions_gauge_ != nullptr) {
+    merged_heap_evictions_gauge_->set(
+        static_cast<double>(next->merged.heap_evictions()));
+  }
+  if (seed_gen_gauge_ != nullptr) {
+    seed_gen_gauge_->set(static_cast<double>(fold_gen));
+  }
 
   ViewPtr published(std::move(next));
   view_.store(published);
@@ -330,6 +427,12 @@ void CollectorCore::attach_telemetry(telemetry::Registry& registry,
                                    "live -> stale source transitions");
   rejoins_ = &registry.counter(prefix + "_rejoin_transitions_total",
                                "stale -> live source transitions");
+  gen_rotations_ = &registry.counter(
+      prefix + "_generation_rotations_total",
+      "per-source replica resets onto a newer seed generation");
+  stale_gen_dropped_ = &registry.counter(
+      prefix + "_stale_generation_dropped_total",
+      "messages dropped for carrying an already-retired seed generation");
   folds_ctr_ = &registry.counter(
       prefix + "_source_folds_total",
       "per-source folds into the network view (dirty-only when incremental)");
@@ -343,6 +446,16 @@ void CollectorCore::attach_telemetry(telemetry::Registry& registry,
                                    "sources quarantined for staleness");
   merged_packets_gauge_ = &registry.gauge(prefix + "_merged_packets",
                                           "packet total over live sources");
+  collision_pressure_gauge_ = &registry.gauge(
+      prefix + "_collision_pressure",
+      "level-0 residual row concentration of the merged view (crafted "
+      "collision floods spike this far above the benign baseline)");
+  merged_heap_evictions_gauge_ = &registry.gauge(
+      prefix + "_merged_heap_evictions",
+      "cumulative heavy-hitter heap evictions in the merged view (churn "
+      "storms drive the velocity of this)");
+  seed_gen_gauge_ = &registry.gauge(prefix + "_seed_generation",
+                                    "seed generation the merged view folds");
   e2e_lag_ns_ = &registry.histogram(
       prefix + "_e2e_lag_ns",
       "epoch close at source -> applied here, per applied message");

@@ -47,8 +47,11 @@
 //    (quarantine/rejoin).  One builder at a time; builders take only the
 //    per-source locks of the sources they fold, never a global one.
 //  * Conservation: within any generation, merged.total() equals the sum
-//    of packets over its live sources — the per-source fold copies the
-//    stats under the same lock hold as the sketch delta.
+//    of gen_packets over its folded sources — the per-source fold copies
+//    the stats under the same lock hold as the sketch delta.  With keyed
+//    seed rotation (DESIGN.md §16) the fold covers only live sources at
+//    the newest seed generation; a lagging source rejoins the fold when
+//    its next rotated message arrives.
 //
 // CollectorServer wraps the core with a socket front end: an accept loop
 // plus one handler thread per monitor connection, each reassembling
@@ -66,6 +69,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/seed_schedule.hpp"
 #include "export/transport.hpp"
 #include "export/wire.hpp"
 #include "sketch/univmon.hpp"
@@ -114,6 +118,13 @@ class SnapshotSlot {
 struct CollectorConfig {
   sketch::UnivMonConfig um_cfg;
   std::uint64_t seed = 1;  // must match the monitors' sketch seed
+  /// Keyed seed rotation (DESIGN.md §16) — must match the monitors'
+  /// schedule exactly, or cross-generation snapshots decode into replicas
+  /// with the wrong hash functions.  rotation_epochs == 0 disables
+  /// rotation: every frame carries generation 0 and the derived seed is
+  /// `seed`, bit-identical to the pre-rotation collector.
+  std::uint64_t master_key = 0;
+  std::uint64_t rotation_epochs = 0;
   std::uint64_t staleness_ns = 10'000'000'000ULL;  // 10 s
   std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
   /// Minimum age of the published generation before view(now) builds a
@@ -149,6 +160,15 @@ class CollectorCore {
     std::uint64_t last_send_ns = 0;
     std::uint64_t e2e_lag_ns = 0;
     std::uint64_t wire_lag_ns = 0;
+    // Keyed seed rotation (wire v4, DESIGN.md §16).  The per-source
+    // replica holds exactly one seed generation: a higher-generation
+    // message resets it (the old generation's counters cannot be merged
+    // with the new hash functions), a lower-generation message is dropped
+    // whole and counted — an honest monitor's generations only advance.
+    std::uint64_t seed_gen = 0;          // generation the replica holds
+    std::int64_t gen_packets = 0;        // packets within that generation
+    std::uint64_t generation_rotations = 0;  // replica resets seen
+    std::uint64_t stale_generation_dropped = 0;  // backward-gen messages
   };
 
   /// One immutable generation of the network-wide view.  Published
@@ -159,8 +179,12 @@ class CollectorCore {
 
     std::uint64_t generation = 0;   // monotonic across builds
     std::uint64_t built_at_ns = 0;  // the now_ns the build saw
-    sketch::UnivMon merged;         // fold over the live sources
-    std::int64_t packets = 0;       // sum of packets over live sources
+    /// Seed generation this view folded (the max over live sources); live
+    /// sources still on an older generation are excluded from the fold
+    /// and the packet sum until they rotate, exactly like stale ones.
+    std::uint64_t seed_gen = 0;
+    sketch::UnivMon merged;         // fold over the live, current-gen sources
+    std::int64_t packets = 0;       // sum of gen_packets over folded sources
     std::uint64_t epochs_applied = 0;  // global counter at build time
     std::uint64_t folds = 0;           // per-source folds this build did
     bool full_rebuild = false;         // live set changed -> re-fold all
@@ -248,11 +272,15 @@ class CollectorCore {
   void set_tracer(telemetry::Tracer* tracer) noexcept { tracer_ = tracer; }
 
   const CollectorConfig& config() const noexcept { return cfg_; }
+  const core::SeedSchedule& seed_schedule() const noexcept { return sched_; }
 
  private:
   struct Source {
-    explicit Source(const CollectorConfig& cfg)
-        : acc(cfg.um_cfg, cfg.seed), pending(cfg.um_cfg, cfg.seed) {}
+    /// `seed0` is the generation-0 seed from the collector's SeedSchedule
+    /// (== cfg.seed only when rotation is off); a replica must never be
+    /// built at the raw base seed while rotation keys generation 0.
+    Source(const CollectorConfig& cfg, std::uint64_t seed0)
+        : acc(cfg.um_cfg, seed0), pending(cfg.um_cfg, seed0) {}
 
     mutable std::mutex mu;  // guards everything below except last_seen_ns
     /// Atomic so the lock-free staleness scan on the view() fast path can
@@ -309,6 +337,9 @@ class CollectorCore {
   }
 
   CollectorConfig cfg_;
+  /// Derived from cfg_ (seed, master_key, rotation_epochs); maps a wire
+  /// seed generation to the hash seed its snapshots were built under.
+  core::SeedSchedule sched_;
 
   mutable std::mutex map_mu_;  // guards sources_ + index_ swap (inserts only)
   std::map<std::uint64_t, std::unique_ptr<Source>> sources_;
@@ -326,6 +357,9 @@ class CollectorCore {
   /// merge only dirty sources' pending deltas into it.
   mutable std::unique_ptr<sketch::UnivMon> net_acc_;
   mutable std::vector<std::uint64_t> folded_live_;  // ids folded in, sorted
+  /// Seed generation net_acc_ is folded at; a newer generation among the
+  /// live sources forces a reseeded full re-fold.
+  mutable std::uint64_t folded_gen_ = 0;
   mutable std::uint64_t generation_seq_ = 0;
   mutable detail::SnapshotSlot<const NetworkView> view_;
 
@@ -341,12 +375,21 @@ class CollectorCore {
   telemetry::Counter* coalesced_epochs_ = nullptr;
   telemetry::Counter* quarantines_ = nullptr;
   telemetry::Counter* rejoins_ = nullptr;
+  telemetry::Counter* gen_rotations_ = nullptr;
+  telemetry::Counter* stale_gen_dropped_ = nullptr;
   mutable telemetry::Counter* folds_ctr_ = nullptr;
   mutable telemetry::Counter* full_rebuilds_ctr_ = nullptr;
   mutable telemetry::Counter* generations_ctr_ = nullptr;
   telemetry::Gauge* sources_live_ = nullptr;
   telemetry::Gauge* sources_stale_ = nullptr;
   telemetry::Gauge* merged_packets_gauge_ = nullptr;
+  /// Anomaly surface on /stats (DESIGN.md §16): level-0 residual
+  /// concentration of the merged view and its cumulative heap-eviction
+  /// count — a crafted collision flood spikes the first, a churn storm
+  /// the second.  Refreshed on every generation build.
+  mutable telemetry::Gauge* collision_pressure_gauge_ = nullptr;
+  mutable telemetry::Gauge* merged_heap_evictions_gauge_ = nullptr;
+  mutable telemetry::Gauge* seed_gen_gauge_ = nullptr;
   telemetry::Histogram* e2e_lag_ns_ = nullptr;
   telemetry::Histogram* wire_lag_ns_ = nullptr;
   telemetry::Registry* registry_ = nullptr;  // for lazy per-source gauges

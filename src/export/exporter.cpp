@@ -23,7 +23,22 @@ std::uint64_t backoff_delay_ns(std::uint32_t attempt, std::uint64_t base_ns,
 
 Coalescer univmon_coalescer(const sketch::UnivMonConfig& cfg, std::uint64_t seed) {
   return [cfg, seed](std::span<const std::uint8_t> older,
-                     std::span<const std::uint8_t> newer) {
+                     std::span<const std::uint8_t> newer, std::uint64_t) {
+    sketch::UnivMon acc(cfg, seed);
+    sketch::UnivMon tmp(cfg, seed);
+    control::load_univmon(older, acc);
+    control::load_univmon(newer, tmp);
+    acc.merge(tmp);
+    return control::snapshot_univmon(acc);
+  };
+}
+
+Coalescer univmon_coalescer(const sketch::UnivMonConfig& cfg,
+                            const core::SeedSchedule& sched) {
+  return [cfg, sched](std::span<const std::uint8_t> older,
+                      std::span<const std::uint8_t> newer,
+                      std::uint64_t seed_gen) {
+    const std::uint64_t seed = sched.seed_for(seed_gen);
     sketch::UnivMon acc(cfg, seed);
     sketch::UnivMon tmp(cfg, seed);
     control::load_univmon(older, acc);
@@ -111,7 +126,8 @@ void EpochExporter::stop() {
 
 void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
                             std::vector<std::uint8_t> snapshot,
-                            std::uint64_t epoch_close_ns) {
+                            std::uint64_t epoch_close_ns,
+                            std::uint64_t seed_gen) {
   telemetry::ScopedSpan trace(telemetry::Stage::kExportEnqueue, cfg_.source_id,
                               span.first);
   {
@@ -125,6 +141,7 @@ void EpochExporter::publish(core::EpochSpan span, std::int64_t packets,
     p.msg.span = span;
     p.msg.packets = packets;
     p.msg.epoch_close_ns = epoch_close_ns;
+    p.msg.seed_gen = seed_gen;
     p.msg.snapshot = std::move(snapshot);
     p.enqueue_ns = now_ns();
     queue_.push_back(std::move(p));
@@ -143,13 +160,22 @@ bool EpochExporter::coalesce_backlog(std::unique_lock<std::mutex>& lk) {
   // retry straddle the applied boundary, which the collector must drop
   // whole — permanent data loss.  Only the front can have been sent (the
   // sender works strictly in order), so at most one entry is excluded.
+  // Entries from different seed generations are never merged: their
+  // sketches do not share hash functions, so a counter merge would be
+  // garbage.  Rotation makes generations monotone in the queue, so only
+  // the boundary pair is blocked — the scan skips past it.
   std::size_t i = 0;
   while (i < queue_.size() && (queue_[i].in_flight || queue_[i].ever_sent)) ++i;
+  while (i + 1 < queue_.size() &&
+         queue_[i].msg.seed_gen != queue_[i + 1].msg.seed_gen) {
+    ++i;
+  }
   if (i + 1 >= queue_.size()) return false;
   // Remember the pair by identity; snapshot copies survive the unlock.
   const std::uint64_t a_first = queue_[i].msg.seq_first;
   const std::uint64_t a_last = queue_[i].msg.seq_last;
   const std::uint64_t b_last = queue_[i + 1].msg.seq_last;
+  const std::uint64_t gen = queue_[i].msg.seed_gen;
   const std::vector<std::uint8_t> older = queue_[i].msg.snapshot;
   const std::vector<std::uint8_t> newer = queue_[i + 1].msg.snapshot;
 
@@ -160,7 +186,7 @@ bool EpochExporter::coalesce_backlog(std::unique_lock<std::mutex>& lk) {
   std::vector<std::uint8_t> merged;
   bool merge_ok = true;
   try {
-    merged = coalescer_(older, newer);
+    merged = coalescer_(older, newer, gen);
   } catch (const std::exception&) {
     merge_ok = false;
   }
@@ -184,7 +210,8 @@ bool EpochExporter::coalesce_backlog(std::unique_lock<std::mutex>& lk) {
     ++j;
   }
   if (j + 1 >= queue_.size() || queue_[j].in_flight || queue_[j].ever_sent ||
-      queue_[j + 1].msg.seq_last != b_last) {
+      queue_[j + 1].msg.seq_last != b_last ||
+      queue_[j].msg.seed_gen != queue_[j + 1].msg.seed_gen) {
     return false;
   }
   Pending& a = queue_[j];

@@ -41,6 +41,7 @@
 
 #include "common/rng.hpp"
 #include "core/epoch_span.hpp"
+#include "core/seed_schedule.hpp"
 #include "export/transport.hpp"
 #include "export/wire.hpp"
 #include "sketch/univmon.hpp"
@@ -108,14 +109,23 @@ class CircuitBreaker {
 
 /// Merges the sealed snapshots of two adjacent queued epochs into one
 /// (older first).  Supplied by the integration because only it knows the
-/// sketch type behind the snapshot bytes.
+/// sketch type behind the snapshot bytes.  `seed_gen` is the seed
+/// generation both snapshots were built under (the exporter never merges
+/// across generations), so a rotation-aware coalescer can derive the
+/// matching hash seed for its merge replicas.
 using Coalescer = std::function<std::vector<std::uint8_t>(
-    std::span<const std::uint8_t> older, std::span<const std::uint8_t> newer)>;
+    std::span<const std::uint8_t> older, std::span<const std::uint8_t> newer,
+    std::uint64_t seed_gen)>;
 
 /// Coalescer for UnivMon snapshots (the measurement daemon's export
 /// format): load both into identically seeded replicas, merge counters +
-/// heaps, re-snapshot.  Lossless for counters.
+/// heaps, re-snapshot.  Lossless for counters.  The fixed-seed overload
+/// ignores the generation (correct when rotation is off); the
+/// schedule-aware overload seeds its replicas per generation so heap
+/// re-estimates during the merge use the right hash functions.
 Coalescer univmon_coalescer(const sketch::UnivMonConfig& cfg, std::uint64_t seed);
+Coalescer univmon_coalescer(const sketch::UnivMonConfig& cfg,
+                            const core::SeedSchedule& sched);
 
 struct ExporterConfig {
   Endpoint endpoint;
@@ -153,10 +163,14 @@ class EpochExporter {
   /// outside the queue lock so the sender keeps draining meanwhile.
   /// `epoch_close_ns` (steady clock, 0 = unknown) rides the v2 wire so the
   /// collector can compute end-to-end freshness; coalescing keeps the
-  /// newest covered epoch's close time.
+  /// newest covered epoch's close time.  `seed_gen` is the snapshot's seed
+  /// generation (v4 wire; 0 when rotation is off) — only entries of the
+  /// same generation are ever coalesced, since cross-generation sketches
+  /// do not share hash functions.
   void publish(core::EpochSpan span, std::int64_t packets,
                std::vector<std::uint8_t> snapshot,
-               std::uint64_t epoch_close_ns = 0);
+               std::uint64_t epoch_close_ns = 0,
+               std::uint64_t seed_gen = 0);
 
   /// Block until every queued epoch is acked or `timeout_ms` passes.
   bool flush(int timeout_ms);

@@ -22,6 +22,7 @@ std::vector<std::uint8_t> encode_epoch(const EpochMessage& msg) {
   w.put_i64(msg.packets);
   w.put_u64(msg.epoch_close_ns);
   w.put_u64(msg.send_ns);
+  w.put_u64(msg.seed_gen);
   w.put_blob(msg.snapshot);
   return control::seal_frame(w.bytes());
 }
@@ -61,6 +62,7 @@ EpochMessage decode_epoch(std::span<const std::uint8_t> frame) {
     msg.epoch_close_ns = r.get_u64();
     msg.send_ns = r.get_u64();
   }
+  if (version >= 4) msg.seed_gen = r.get_u64();
   msg.snapshot = r.get_blob();
   if (!r.exhausted()) {
     throw std::invalid_argument("epoch msg: trailing bytes");
@@ -126,6 +128,7 @@ std::vector<std::uint8_t> encode_recover_response(const RecoverResponse& resp) {
   w.put_u64(resp.span.first);
   w.put_u64(resp.span.last);
   w.put_i64(resp.packets);
+  w.put_u64(resp.seed_gen);
   w.put_blob(resp.snapshot);
   return control::seal_frame(w.bytes());
 }
@@ -163,7 +166,8 @@ RecoverResponse decode_recover_response(std::span<const std::uint8_t> frame) {
   if (r.get_u32() != kRecoverRespMagic) {
     throw std::invalid_argument("recover resp: bad magic");
   }
-  check_recover_version(r.get_u32(), "recover resp");
+  const std::uint32_t version = r.get_u32();
+  check_recover_version(version, "recover resp");
   RecoverResponse resp;
   resp.source_id = r.get_u64();
   resp.found = r.get_u8() != 0;
@@ -171,6 +175,7 @@ RecoverResponse decode_recover_response(std::span<const std::uint8_t> frame) {
   resp.span.first = r.get_u64();
   resp.span.last = r.get_u64();
   resp.packets = r.get_i64();
+  if (version >= 4) resp.seed_gen = r.get_u64();
   resp.snapshot = r.get_blob();
   if (!r.exhausted()) {
     throw std::invalid_argument("recover resp: trailing bytes");

@@ -39,13 +39,16 @@ inline constexpr std::uint32_t kRecoverRespMagic = 0x4e525250u; // "NRRP"
 /// v2 adds epoch-close and send timestamps to EpochMessage (freshness
 /// observability, DESIGN.md §12).  v3 adds the reverse-direction rejoin
 /// handshake (recover-request / recover-response, DESIGN.md §15); the
-/// epoch/ack layouts are unchanged.  Decoders accept [kWireVersionMin,
+/// epoch/ack layouts are unchanged.  v4 adds the seed generation to
+/// EpochMessage and RecoverResponse (keyed seed rotation, DESIGN.md §16);
+/// pre-v4 frames decode with generation 0, which is exactly what a
+/// rotation-disabled monitor runs at.  Decoders accept [kWireVersionMin,
 /// kWireVersion]; v1 frames decode with zeroed timestamps, and anything
 /// newer than kWireVersion is rejected by name *before* any field is
 /// read, so an old peer never garbage-decodes a newer layout.  The
 /// recover messages themselves require version >= 3: they did not exist
 /// before, so an older-tagged frame claiming to be one is forged.
-inline constexpr std::uint32_t kWireVersion = 3;
+inline constexpr std::uint32_t kWireVersion = 4;
 inline constexpr std::uint32_t kWireVersionMin = 1;
 inline constexpr std::uint32_t kRecoverVersionMin = 3;
 
@@ -65,6 +68,11 @@ struct EpochMessage {
   /// is queue+retry delay and send->receive is the wire.
   std::uint64_t epoch_close_ns = 0;
   std::uint64_t send_ns = 0;
+  /// v4: seed generation of the snapshot (keyed rotation, DESIGN.md §16);
+  /// 0 from pre-v4 peers and rotation-disabled monitors.  The collector
+  /// merges each generation into its own replica — cross-generation
+  /// sketches do not share hash functions and must never be merged.
+  std::uint64_t seed_gen = 0;
   std::vector<std::uint8_t> snapshot;  // sealed sketch snapshot (codec frame)
 
   std::uint64_t epochs_covered() const noexcept { return seq_last - seq_first + 1; }
@@ -100,6 +108,9 @@ struct RecoverResponse {
   std::uint64_t last_seq = 0;  // everything <= last_seq is applied
   core::EpochSpan span;        // union of applied epoch spans
   std::int64_t packets = 0;    // cumulative applied packet count
+  /// v4: seed generation of the replica snapshot, so the rejoining
+  /// monitor rebuilds its baseline under the right derived seed.
+  std::uint64_t seed_gen = 0;
   std::vector<std::uint8_t> snapshot;  // sealed UnivMon replica (empty if !found)
 };
 

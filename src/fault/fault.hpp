@@ -56,6 +56,7 @@ enum class Site : std::uint8_t {
   kCollectorDecode,  // CollectorCore::ingest, before the (lock-free) decode
   kChainLoad,        // CheckpointStore::load_chain, after reading a frame
   kRecoverServe,     // collector connection, per decoded recover request
+  kAdmissionValve,   // ChurnValve trip on a shard's producer path
   kSiteCount_,       // sentinel
 };
 
@@ -75,6 +76,7 @@ inline const char* to_string(Site s) noexcept {
     case Site::kCollectorDecode: return "collector_decode";
     case Site::kChainLoad: return "chain_load";
     case Site::kRecoverServe: return "recover_serve";
+    case Site::kAdmissionValve: return "admission_valve";
     case Site::kSiteCount_: break;
   }
   return "unknown";

@@ -1,0 +1,99 @@
+// Flow-arrival admission valve (DESIGN.md §16): the shard layer's defense
+// against high-churn unique-flow storms.
+//
+// A churn attack does not need hash collisions: a firehose of never-seen
+// flow keys inflates every level's distinct count, floods the TopK heaps
+// with one-packet flows, and buries real heavy hitters under eviction
+// noise.  The valve watches the *new-flow fraction* of each shard's
+// arrival stream through a direct-mapped tag table — a few KB per shard,
+// O(1) per packet, no allocation — and when a decision window closes with
+// more new flows than the threshold allows, it trips.  A trip escalates
+// the shard's existing kDegrade ladder (shard_group.hpp): the sampling
+// probability halves, so the storm's per-packet work and its heap churn
+// are cut before the ring ever overflows, and the accuracy cost is the
+// same measured sqrt(2)-per-step stddev inflation the overload path
+// already accounts for.
+//
+// Benign traffic keeps a low new-flow fraction (Zipf streams revisit
+// their head constantly; the tag table holds the working set), so a
+// disabled or untripped valve costs one table probe per packet and the
+// degrade ladder stays at level 0.
+//
+// Thread contract: on_packet() is called from a shard's producer path
+// only — at most one thread per shard (the SPSC contract of the owning
+// ring) — so the valve needs no synchronization.  Control-plane reads
+// (trips(), last_new_flow_fraction()) are epoch-boundary, post-drain.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace nitro::shard {
+
+struct ValveOptions {
+  bool enabled = false;
+  /// Packets per decision window; the trip decision is made when the
+  /// window closes.  Small windows react faster, large windows smooth
+  /// over benign bursts of new flows (a flash crowd's first packets).
+  std::uint32_t window = 4096;
+  /// Trip when the window's new-flow fraction exceeds this.  Benign Zipf
+  /// traffic sits well under 0.3 once the table warms up; a unique-flow
+  /// storm pushes it towards 1.0.
+  double new_flow_threshold = 0.5;
+  /// log2 of the recent-flow tag table size (12 -> 4096 slots, 16 KiB).
+  std::uint32_t table_bits = 12;
+};
+
+/// Windowed new-flow-fraction detector over a direct-mapped tag table.
+class ChurnValve {
+ public:
+  explicit ChurnValve(const ValveOptions& opts)
+      : opts_(opts),
+        mask_((std::size_t{1} << (opts.table_bits == 0 ? 1 : opts.table_bits)) - 1),
+        tags_(opts.enabled ? mask_ + 1 : 0, 0) {
+    if (opts_.window == 0) opts_.window = 1;
+  }
+
+  bool enabled() const noexcept { return opts_.enabled; }
+
+  /// Feed one packet's flow digest.  Returns true exactly when this
+  /// packet closed a decision window whose new-flow fraction exceeded the
+  /// threshold — the caller escalates its degrade ladder on true.
+  bool on_packet(std::uint64_t digest) noexcept {
+    if (!opts_.enabled) return false;
+    // Index and tag from disjoint digest bits; a zero tag means "empty
+    // slot", so force the tag odd (costs nothing detection-wise).
+    const std::size_t idx = static_cast<std::size_t>(digest >> 32) & mask_;
+    const std::uint32_t tag = static_cast<std::uint32_t>(digest) | 1u;
+    if (tags_[idx] != tag) {
+      tags_[idx] = tag;
+      ++window_new_;
+    }
+    if (++window_seen_ < opts_.window) return false;
+    last_fraction_ =
+        static_cast<double>(window_new_) / static_cast<double>(window_seen_);
+    window_seen_ = 0;
+    window_new_ = 0;
+    if (last_fraction_ > opts_.new_flow_threshold) {
+      ++trips_;
+      return true;
+    }
+    return false;
+  }
+
+  std::uint64_t trips() const noexcept { return trips_; }
+  /// New-flow fraction of the last *closed* window (0 before the first).
+  double last_new_flow_fraction() const noexcept { return last_fraction_; }
+
+ private:
+  ValveOptions opts_;
+  std::size_t mask_;
+  std::vector<std::uint32_t> tags_;
+  std::uint32_t window_seen_ = 0;
+  std::uint32_t window_new_ = 0;
+  std::uint64_t trips_ = 0;
+  double last_fraction_ = 0.0;
+};
+
+}  // namespace nitro::shard

@@ -45,6 +45,7 @@
 #include "common/hash.hpp"
 #include "common/spsc_ring.hpp"
 #include "fault/fault.hpp"
+#include "shard/admission.hpp"
 #include "telemetry/telemetry.hpp"
 #include "telemetry/trace.hpp"
 
@@ -70,6 +71,11 @@ struct ShardOptions {
   std::uint64_t drain_timeout_ns = 5'000'000'000ULL;
   /// kDegrade stops escalating past this level (p floor = base·2^-steps).
   std::uint32_t max_degrade_steps = 7;
+  /// Churn admission valve (admission.hpp): when enabled, each shard
+  /// watches its arrival stream's new-flow fraction and a tripped window
+  /// escalates the same degrade ladder ring overflow does — the defense
+  /// against unique-flow storms fires *before* the ring fills.
+  ValveOptions valve;
 };
 
 /// One queued packet. `count` is the update weight, `ts_ns` feeds the
@@ -97,7 +103,7 @@ class ShardGroup {
     }
     shards_.reserve(workers);
     for (std::uint32_t i = 0; i < workers; ++i) {
-      shards_.push_back(std::make_unique<Shard>(make(i), opts_.ring_capacity));
+      shards_.push_back(std::make_unique<Shard>(make(i), opts_));
       shards_.back()->index = i;
       shards_.back()->ring.set_fault_lane(i);
     }
@@ -147,6 +153,9 @@ class ShardGroup {
     if (halted(s)) {
       s.drops.inc();
       return;
+    }
+    if (s.valve.enabled() && s.valve.on_packet(flow_digest(key))) {
+      valve_trip(s);
     }
     if (s.ring.try_push({key, count, ts_ns})) {
       s.pushed.inc();
@@ -207,6 +216,11 @@ class ShardGroup {
       if (halted(s)) {
         s.drops.inc(run.size());
         continue;
+      }
+      if (s.valve.enabled()) {
+        for (const ShardItem& item : run) {
+          if (s.valve.on_packet(flow_digest(item.key))) valve_trip(s);
+        }
       }
       std::size_t done = s.ring.try_push_bulk(run.data(), run.size());
       if (done < run.size()) {
@@ -349,6 +363,21 @@ class ShardGroup {
     return shards_[i]->degrade_level.load(std::memory_order_acquire);
   }
 
+  /// Admission-valve observability.  valve_trips is thread-safe (atomic
+  /// counter); the fraction reads the valve's producer-side state and is
+  /// only meaningful from the producer thread or with producers quiescent.
+  std::uint64_t valve_trips(std::uint32_t i) const noexcept {
+    return shards_[i]->valve_trips.value();
+  }
+  double valve_new_flow_fraction(std::uint32_t i) const noexcept {
+    return shards_[i]->valve.last_new_flow_fraction();
+  }
+  std::uint64_t total_valve_trips() const noexcept {
+    std::uint64_t n = 0;
+    for (const auto& s : shards_) n += s->valve_trips.value();
+    return n;
+  }
+
   /// Estimated accuracy impact of the current degradation: Theorem 1 puts
   /// the estimator stddev at ∝ 1/sqrt(p), so level L inflates it by
   /// sqrt(2^L).  Reported for the worst (live) shard.
@@ -374,6 +403,9 @@ class ShardGroup {
           s.instance.apply_degradation(0u);
         }
       }
+      // Tell the worker its cached applied level is void (see
+      // degrade_resets).  Release pairs with the worker's acquire load.
+      s.degrade_resets.fetch_add(1, std::memory_order_release);
     }
     publish_supervision_telemetry();
   }
@@ -418,6 +450,10 @@ class ShardGroup {
           base + "_degrade_steps_total",
           "overload-driven sampling-probability halvings on this shard",
           shards_[i]->degrade_steps);
+      registry.register_external_counter(
+          base + "_valve_trips_total",
+          "admission-valve windows that closed above the new-flow threshold",
+          shards_[i]->valve_trips);
     }
     publish_supervision_telemetry();
   }
@@ -442,11 +478,12 @@ class ShardGroup {
   static constexpr std::uint32_t kDegradeRetries = 128;
 
   struct Shard {
-    Shard(Instance inst, std::size_t ring_capacity)
-        : instance(std::move(inst)), ring(ring_capacity) {}
+    Shard(Instance inst, const ShardOptions& opts)
+        : instance(std::move(inst)), ring(opts.ring_capacity), valve(opts.valve) {}
 
     Instance instance;
     SpscRing<ShardItem> ring;
+    ChurnValve valve;  // producer-side only (SPSC: one producer per shard)
     std::thread worker;
     std::uint32_t index = 0;
     std::atomic<bool> done{false};
@@ -455,16 +492,41 @@ class ShardGroup {
     std::atomic<bool> quarantined{false};  // excluded from merges, producers shed
     std::atomic<std::uint64_t> heartbeat{0};      // one tick per poll iteration
     std::atomic<std::uint32_t> degrade_level{0};  // producer raises, worker applies
+    /// Generation counter bumped by reset_degradation(): the worker
+    /// re-syncs its locally cached applied level to 0 when it changes.
+    /// Without it, a reset followed by re-escalation back to the *same*
+    /// level would be skipped by the worker's level != applied_level
+    /// check, leaving the instance at full probability while the
+    /// producers believe it degraded.
+    std::atomic<std::uint64_t> degrade_resets{0};
     std::atomic<std::uint64_t> applied{0};  // worker -> control barrier
     telemetry::Counter packets;             // producer writes, control reads
     telemetry::Counter pushed;              // packets minus drops
     telemetry::Counter drops;
     telemetry::Counter degrade_steps;
+    telemetry::Counter valve_trips;         // admission-valve window trips
   };
 
   bool halted(const Shard& s) const noexcept {
     return s.dead.load(std::memory_order_acquire) ||
            s.quarantined.load(std::memory_order_acquire);
+  }
+
+  /// Admission-valve trip (admission.hpp): escalate the tripped shard's
+  /// degrade ladder, exactly like a ring overflow would — the churn storm
+  /// pays in sampling probability before it can fill the ring.  The fault
+  /// site lets chaos tests blind the defense (kReject suppresses the
+  /// escalation, the trip is still counted) to measure the attack's
+  /// undefended damage.
+  void valve_trip(Shard& s) {
+    s.valve_trips.inc();
+    if constexpr (fault::kEnabled) {
+      if (fault::point(fault::Site::kAdmissionValve, s.index) ==
+          fault::Action::kReject) {
+        return;
+      }
+    }
+    escalate_degradation(s);
   }
 
   /// Producer side of kDegrade: raise the shard's level by one (bounded);
@@ -506,6 +568,7 @@ class ShardGroup {
     keys.reserve(kWorkerBurst);
     BoundedBackoff backoff;
     std::uint32_t applied_level = 0;
+    std::uint64_t seen_resets = 0;
     while (!s.done.load(std::memory_order_acquire) || !s.ring.empty_approx()) {
       s.heartbeat.fetch_add(1, std::memory_order_relaxed);
       if (s.abort.load(std::memory_order_acquire)) break;
@@ -525,7 +588,27 @@ class ShardGroup {
             break;
         }
       }
+      const std::size_t m = s.ring.try_pop_bulk(items, kWorkerBurst);
+      if (m == 0) {
+        backoff.wait();
+        continue;
+      }
+      backoff.reset();
+      // Sync the degrade level only when there are items to apply it to.
+      // An idle worker must never touch its instance: the control plane
+      // owns instances between drain() and the next producer activity
+      // (reset_degradation, epoch reads), and a popped batch proves the
+      // producers are active again, i.e. the control plane is not.
       if constexpr (requires { s.instance.apply_degradation(0u); }) {
+        const std::uint64_t resets =
+            s.degrade_resets.load(std::memory_order_acquire);
+        if (resets != seen_resets) {
+          // The control plane reset the instance to level 0 itself; just
+          // invalidate the local cache so a re-escalation to the old
+          // level is re-applied rather than skipped.
+          seen_resets = resets;
+          applied_level = 0;
+        }
         const std::uint32_t level =
             s.degrade_level.load(std::memory_order_acquire);
         if (level != applied_level) {
@@ -533,12 +616,6 @@ class ShardGroup {
           applied_level = level;
         }
       }
-      const std::size_t m = s.ring.try_pop_bulk(items, kWorkerBurst);
-      if (m == 0) {
-        backoff.wait();
-        continue;
-      }
-      backoff.reset();
       std::size_t i = 0;
       while (i < m) {
         // A run of consecutive items with identical (count, ts) replays

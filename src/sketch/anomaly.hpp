@@ -1,0 +1,64 @@
+// Adversarial-pressure signals computed from sketch state (DESIGN.md §16).
+//
+// A hash-collision flood crafted against the sketch's seed concentrates
+// its volume into a handful of (row, bucket) cells, while benign traffic —
+// once the tracked heavy hitters are subtracted — spreads residual mass
+// near-uniformly across each row.  The collision-pressure gauge measures
+// exactly that: the per-row maximum residual bucket magnitude over the
+// mean residual magnitude, median'd across rows so a single unlucky bucket
+// does not fire it.  Benign traffic sits at a small constant; a crafted
+// flood is orders of magnitude above it.
+//
+// The companion churn signal (heap-eviction velocity) lives on TopKHeap /
+// UnivMon::heap_evictions(); both are exported as telemetry gauges by the
+// daemon and the collector.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <vector>
+
+#include "common/math_util.hpp"
+#include "sketch/univmon.hpp"
+
+namespace nitro::sketch {
+
+/// Residual row-concentration ratio of one counter matrix, with the given
+/// tracked entries (estimate-weighted) subtracted from their buckets first.
+inline double collision_pressure(const CounterMatrix& m,
+                                 const std::vector<TopKHeap::Entry>& tracked) {
+  if (m.width() == 0 || m.depth() == 0) return 0.0;
+  std::vector<double> ratios;
+  ratios.reserve(m.depth());
+  std::vector<std::int64_t> scratch(m.width());
+  for (std::uint32_t r = 0; r < m.depth(); ++r) {
+    const auto row = m.row(r);
+    scratch.assign(row.begin(), row.end());
+    for (const auto& e : tracked) {
+      const std::uint64_t digest = flow_digest(e.key);
+      scratch[m.column_of_digest(r, digest)] -=
+          m.sign_of_digest(r, digest) * e.estimate;
+    }
+    std::int64_t max_abs = 0;
+    double l1 = 0.0;
+    for (std::int64_t c : scratch) {
+      const std::int64_t a = std::abs(c);
+      if (a > max_abs) max_abs = a;
+      l1 += static_cast<double>(a);
+    }
+    const double mean = l1 / static_cast<double>(m.width());
+    ratios.push_back(static_cast<double>(max_abs) / (mean + 1.0));
+  }
+  return median(ratios);
+}
+
+/// Collision pressure of a UnivMon's level-0 Count Sketch — the level every
+/// key updates, and therefore the one a crafted flood must poison.
+inline double collision_pressure(const UnivMon& um) {
+  if (um.num_levels() == 0) return 0.0;
+  return collision_pressure(um.level_sketch(0).matrix(),
+                            um.level_heap(0).entries_sorted());
+}
+
+}  // namespace nitro::sketch

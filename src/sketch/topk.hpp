@@ -28,7 +28,14 @@ class TopKHeap {
     std::int64_t estimate = 0;
   };
 
-  explicit TopKHeap(std::size_t capacity) : capacity_(capacity) {
+  /// `admission_margin` is the churn-guard hysteresis (DESIGN.md §16): an
+  /// untracked key must beat the full heap's minimum by more than the
+  /// margin to evict it.  0 keeps the classic displace-on-any-improvement
+  /// behavior; a positive margin makes a churn storm of one-hit flows —
+  /// whose sketch estimates hover just above the minimum on collision
+  /// noise — unable to grind real heavy hitters out of the heap.
+  explicit TopKHeap(std::size_t capacity, std::int64_t admission_margin = 0)
+      : capacity_(capacity), margin_(admission_margin) {
     entries_.reserve(capacity);
     heap_.reserve(capacity);
     pos_.reserve(capacity);
@@ -37,19 +44,34 @@ class TopKHeap {
 
   std::size_t capacity() const noexcept { return capacity_; }
   std::size_t size() const noexcept { return entries_.size(); }
+  std::int64_t admission_margin() const noexcept { return margin_; }
+
+  /// Evictions of a tracked key by an untracked one since construction or
+  /// clear().  The heap-churn velocity signal: a fresh per-epoch heap that
+  /// evicts orders of magnitude more than the benign baseline is under a
+  /// churn storm.
+  std::uint64_t evictions() const noexcept { return evictions_; }
+
+  /// Untracked keys that beat the minimum but not the admission margin.
+  std::uint64_t margin_rejects() const noexcept { return margin_rejects_; }
 
   /// Offer a (key, fresh-estimate) pair.  If the key is tracked its
   /// estimate is refreshed; otherwise it displaces the current minimum
-  /// when larger.  O(log K) worst case, O(1) for rejected mice.
+  /// when larger by more than the admission margin.  O(log K) worst case,
+  /// O(1) for rejected mice.
   void offer(const FlowKey& key, std::int64_t estimate) {
     auto it = index_.find(key);
-    // Reject only *untracked* keys at or below the full heap's minimum:
-    // they cannot displace anything.  Tracked keys must fall through so a
-    // lower fresh estimate still refreshes the stored one downward (the
-    // branch below sifts in both directions).
-    if (it == index_.end() && entries_.size() == capacity_ &&
-        estimate <= min_estimate()) {
-      return;
+    // Reject only *untracked* keys at or below the full heap's admission
+    // bar: they cannot (or, within the hysteresis margin, may not)
+    // displace anything.  Tracked keys must fall through so a lower fresh
+    // estimate still refreshes the stored one downward (the branch below
+    // sifts in both directions).
+    if (it == index_.end() && entries_.size() == capacity_) {
+      if (estimate <= min_estimate()) return;
+      if (estimate <= min_estimate() + margin_) {
+        ++margin_rejects_;
+        return;
+      }
     }
     if (it != index_.end()) {
       const std::uint32_t id = it->second;
@@ -72,6 +94,7 @@ class TopKHeap {
       return;
     }
     if (capacity_ == 0) return;
+    ++evictions_;
     const std::uint32_t id = heap_[0];
     index_.erase(entries_[id].key);
     entries_[id] = {key, estimate};
@@ -117,6 +140,8 @@ class TopKHeap {
     heap_.clear();
     pos_.clear();
     index_.clear();
+    evictions_ = 0;
+    margin_rejects_ = 0;
   }
 
   /// Approximate resident memory, for the Figure 13b comparison.
@@ -127,8 +152,17 @@ class TopKHeap {
   }
 
  private:
-  std::int64_t est_at(std::size_t heap_idx) const {
-    return entries_[heap_[heap_idx]].estimate;
+  /// Strict total order: estimate, ties broken on the key.  The tie-break
+  /// matters for reproducibility — it makes the heap minimum (and hence
+  /// *which* tracked key an eviction removes) a function of the tracked
+  /// (key, estimate) set alone, never of the internal array layout.  A
+  /// heap rebuilt from a checkpoint in canonical order then evolves
+  /// bit-identically to the live heap it was saved from.
+  bool id_less(std::uint32_t a, std::uint32_t b) const {
+    if (entries_[a].estimate != entries_[b].estimate) {
+      return entries_[a].estimate < entries_[b].estimate;
+    }
+    return entries_[a].key < entries_[b].key;
   }
 
   void place(std::size_t heap_idx, std::uint32_t id) {
@@ -138,10 +172,9 @@ class TopKHeap {
 
   void sift_up(std::size_t i) {
     const std::uint32_t id = heap_[i];
-    const std::int64_t e = entries_[id].estimate;
     while (i > 0) {
       const std::size_t parent = (i - 1) / 2;
-      if (est_at(parent) <= e) break;
+      if (!id_less(id, heap_[parent])) break;
       place(i, heap_[parent]);
       i = parent;
     }
@@ -150,13 +183,12 @@ class TopKHeap {
 
   void sift_down(std::size_t i) {
     const std::uint32_t id = heap_[i];
-    const std::int64_t e = entries_[id].estimate;
     const std::size_t n = heap_.size();
     for (;;) {
       std::size_t child = 2 * i + 1;
       if (child >= n) break;
-      if (child + 1 < n && est_at(child + 1) < est_at(child)) ++child;
-      if (est_at(child) >= e) break;
+      if (child + 1 < n && id_less(heap_[child + 1], heap_[child])) ++child;
+      if (!id_less(heap_[child], id)) break;
       place(i, heap_[child]);
       i = child;
     }
@@ -164,8 +196,11 @@ class TopKHeap {
   }
 
   std::size_t capacity_;
+  std::int64_t margin_ = 0;          // churn-guard admission hysteresis
+  std::uint64_t evictions_ = 0;      // untracked-displaces-tracked events
+  std::uint64_t margin_rejects_ = 0;
   std::vector<Entry> entries_;       // stable entry storage
-  std::vector<std::uint32_t> heap_;  // min-heap of entry ids (on estimate)
+  std::vector<std::uint32_t> heap_;  // min-heap of entry ids, (estimate, key) order
   std::vector<std::uint32_t> pos_;   // entry id -> heap index
   std::unordered_map<FlowKey, std::uint32_t> index_;  // key -> entry id
 };

@@ -10,11 +10,12 @@
 namespace nitro::sketch {
 
 UnivMon::UnivMon(const UnivMonConfig& cfg, std::uint64_t seed)
-    : cfg_(cfg), level_seed_(mix64(seed ^ 0x1e7e15e1ULL)) {
+    : cfg_(cfg), seed_(seed), level_seed_(mix64(seed ^ 0x1e7e15e1ULL)) {
   SplitMix64 sm(seed);
   levels_.reserve(cfg.levels);
   for (std::uint32_t j = 0; j < cfg.levels; ++j) {
-    levels_.emplace_back(cfg.depth, cfg.width_at(j), cfg.heap_capacity, sm.next());
+    levels_.emplace_back(cfg.depth, cfg.width_at(j), cfg.heap_capacity, sm.next(),
+                         cfg.heap_margin);
   }
 }
 
@@ -107,6 +108,12 @@ void UnivMon::merge(const UnivMon& other) {
       level.heap.offer(e.key, level.cs.query(e.key));
     }
   }
+}
+
+std::uint64_t UnivMon::heap_evictions() const noexcept {
+  std::uint64_t n = 0;
+  for (const auto& lv : levels_) n += lv.heap.evictions();
+  return n;
 }
 
 std::size_t UnivMon::memory_bytes() const {

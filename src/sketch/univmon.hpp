@@ -35,6 +35,11 @@ struct UnivMonConfig {
   double width_decay = 0.5;
   std::uint32_t min_width = 512;
   std::uint32_t heap_capacity = 1000;
+  /// TopKHeap churn-guard hysteresis (counts): an untracked key must beat
+  /// a full heap's minimum by more than this to evict a tracked one.
+  /// 0 = guard off (classic behavior).  Does not affect mergeability —
+  /// only seeds and shapes must match.
+  std::int64_t heap_margin = 0;
 
   std::uint32_t width_at(std::uint32_t level) const {
     double w = top_width;
@@ -83,6 +88,7 @@ class UnivMon {
   std::vector<TopKHeap::Entry> heavy_hitters(std::int64_t threshold) const;
 
   std::int64_t total() const noexcept { return total_; }
+  std::uint64_t seed() const noexcept { return seed_; }
   std::uint32_t num_levels() const noexcept { return static_cast<std::uint32_t>(levels_.size()); }
   const CountSketch& level_sketch(std::uint32_t j) const { return levels_[j].cs; }
   const TopKHeap& level_heap(std::uint32_t j) const { return levels_[j].heap; }
@@ -130,6 +136,11 @@ class UnivMon {
   std::size_t memory_bytes() const;
   void clear();
 
+  /// Heap churn velocity: untracked-evicts-tracked events summed over all
+  /// level heaps since construction / clear().  On a per-epoch sketch this
+  /// is the epoch's eviction count — the churn-rate anomaly gauge.
+  std::uint64_t heap_evictions() const noexcept;
+
   // --- Dirty-segment tracking passthrough (delta checkpoints) --------------
 
   /// Enable per-segment dirty tracking on every level's counter matrix.
@@ -150,14 +161,15 @@ class UnivMon {
  private:
   struct Level {
     Level(std::uint32_t depth, std::uint32_t width, std::uint32_t heap_cap,
-          std::uint64_t cs_seed)
-        : cs(depth, width, cs_seed), heap(heap_cap) {}
+          std::uint64_t cs_seed, std::int64_t heap_margin)
+        : cs(depth, width, cs_seed), heap(heap_cap, heap_margin) {}
     CountSketch cs;
     TopKHeap heap;
   };
 
   UnivMonConfig cfg_;
   std::vector<Level> levels_;
+  std::uint64_t seed_;        // construction seed (generation-derived under rotation)
   std::uint64_t level_seed_;  // trailing ones of mix64(digest^seed) = level
   std::int64_t total_ = 0;
 };

@@ -1,0 +1,80 @@
+#include "trace/adversary.hpp"
+
+#include "common/hash.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::trace::adversary {
+
+TargetSketch univmon_level0_target(const sketch::UnivMonConfig& cfg,
+                                   std::uint64_t seed) {
+  // UnivMon's ctor draws one SplitMix64 value per level, in level order,
+  // and hands it to that level's CountSketch (signed CounterMatrix).
+  SplitMix64 sm(seed);
+  TargetSketch t;
+  t.depth = cfg.depth;
+  t.width = cfg.width_at(0);
+  t.seed = sm.next();
+  t.signed_updates = true;
+  return t;
+}
+
+HashOracle::HashOracle(const TargetSketch& target) {
+  // Byte-for-byte the CounterMatrix constructor's derivation: one chain,
+  // alternating row-index and sign draws.
+  row_hash_.reserve(target.depth);
+  sign_hash_.reserve(target.depth);
+  SplitMix64 sm(target.seed);
+  for (std::uint32_t r = 0; r < target.depth; ++r) {
+    row_hash_.emplace_back(target.width, sm.next());
+    sign_hash_.emplace_back(sm.next(), target.signed_updates);
+  }
+}
+
+std::uint32_t HashOracle::colliding_rows(const FlowKey& a, const FlowKey& b) const noexcept {
+  const std::uint64_t da = flow_digest(a);
+  const std::uint64_t db = flow_digest(b);
+  std::uint32_t n = 0;
+  for (std::uint32_t r = 0; r < depth(); ++r) {
+    if (column(r, da) == column(r, db) && sign(r, da) == sign(r, db)) ++n;
+  }
+  return n;
+}
+
+CollisionSet craft_collision_set(const TargetSketch& target, std::size_t count,
+                                 std::uint32_t min_rows, std::uint64_t attack_seed,
+                                 std::uint64_t max_candidates) {
+  HashOracle oracle(target);
+  CollisionSet set;
+  set.min_rows = min_rows;
+  set.anchor = flow_key_for_rank(0, attack_seed);
+  set.keys.push_back(set.anchor);
+
+  const std::uint64_t anchor_digest = flow_digest(set.anchor);
+  const std::uint32_t d = oracle.depth();
+  std::vector<std::uint32_t> anchor_col(d);
+  std::vector<std::int32_t> anchor_sign(d);
+  for (std::uint32_t r = 0; r < d; ++r) {
+    anchor_col[r] = oracle.column(r, anchor_digest);
+    anchor_sign[r] = oracle.sign(r, anchor_digest);
+  }
+
+  for (std::uint64_t i = 1;
+       set.keys.size() < count && set.candidates_tried < max_candidates; ++i) {
+    ++set.candidates_tried;
+    const FlowKey key = flow_key_for_rank(i, attack_seed);
+    const std::uint64_t digest = flow_digest(key);
+    std::uint32_t matched = 0;
+    for (std::uint32_t r = 0; r < d; ++r) {
+      if (oracle.column(r, digest) == anchor_col[r] &&
+          oracle.sign(r, digest) == anchor_sign[r]) {
+        ++matched;
+      } else if (matched + (d - r - 1) < min_rows) {
+        break;  // cannot reach min_rows with the rows left
+      }
+    }
+    if (matched >= min_rows) set.keys.push_back(key);
+  }
+  return set;
+}
+
+}  // namespace nitro::trace::adversary

@@ -1,0 +1,86 @@
+// Hash-collision crafting oracle (DESIGN.md §16, threat model T1).
+//
+// The sketch's hash chain is public code: a flow key is digested with
+// xxHash64 under a fixed public seed, then each CounterMatrix row derives
+// its index/sign hashes from a SplitMix64 chain over the matrix seed.  An
+// adversary who learns (depth, width, seed) — by reading a config file, a
+// checkpoint, or this repository — can therefore evaluate the exact same
+// hashes offline and search the key space for a set of flows that land in
+// the same buckets with the same signs in a majority of rows.  Spraying
+// traffic over that set concentrates its whole volume into a few cells and
+// makes every member's median estimate ≈ the full flood volume, poisoning
+// the TopK heap and the error bound.
+//
+// This header IS that attacker: it replicates the repo's own seed
+// derivation to craft deterministic collision sets, used by the attack
+// workload generators (trace/workloads.hpp) and the chaos harness.  The
+// defense that invalidates it is keyed seed rotation
+// (core/seed_schedule.hpp): crafted sets go stale at the next generation
+// boundary because the attacker does not know the master key.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "common/tabulation.hpp"
+#include "sketch/univmon.hpp"
+
+namespace nitro::trace::adversary {
+
+/// What the attacker learned about one CounterMatrix.
+struct TargetSketch {
+  std::uint32_t depth = 0;
+  std::uint32_t width = 0;
+  std::uint64_t seed = 0;
+  bool signed_updates = true;
+};
+
+/// Parameters of the level-0 Count Sketch of a UnivMon built as
+/// UnivMon(cfg, seed) — the level every packet updates, and the one whose
+/// heap reports heavy hitters.  Mirrors UnivMon's SplitMix64 seed chain.
+TargetSketch univmon_level0_target(const sketch::UnivMonConfig& cfg,
+                                   std::uint64_t seed);
+
+/// Offline replica of a CounterMatrix's row/sign hash functions.
+class HashOracle {
+ public:
+  explicit HashOracle(const TargetSketch& target);
+
+  std::uint32_t depth() const noexcept {
+    return static_cast<std::uint32_t>(row_hash_.size());
+  }
+  std::uint32_t column(std::uint32_t r, std::uint64_t digest) const noexcept {
+    return row_hash_[r].index_of_digest(digest);
+  }
+  std::int32_t sign(std::uint32_t r, std::uint64_t digest) const noexcept {
+    return sign_hash_[r].sign_of_digest(digest);
+  }
+
+  /// Rows where `a` and `b` share both bucket and sign — the rows whose
+  /// counters cannot distinguish the two keys.
+  std::uint32_t colliding_rows(const FlowKey& a, const FlowKey& b) const noexcept;
+
+ private:
+  std::vector<RowHash> row_hash_;
+  std::vector<SignHash> sign_hash_;
+};
+
+struct CollisionSet {
+  FlowKey anchor;               // reference key the set collides with
+  std::vector<FlowKey> keys;    // crafted keys (anchor included, index 0)
+  std::uint32_t min_rows = 0;   // every key matches the anchor on >= this many rows
+  std::uint64_t candidates_tried = 0;
+};
+
+/// Enumerate deterministic candidate keys (flow_key_for_rank over
+/// `attack_seed`) and keep those colliding with the anchor on at least
+/// `min_rows` rows (bucket and sign).  min_rows should be a majority of
+/// the depth so the median estimator cannot vote the flood out.  Stops
+/// after `max_candidates` evaluations even if `count` keys were not found
+/// — check keys.size() on return.  Fully deterministic in attack_seed.
+CollisionSet craft_collision_set(const TargetSketch& target, std::size_t count,
+                                 std::uint32_t min_rows, std::uint64_t attack_seed,
+                                 std::uint64_t max_candidates = 200'000'000);
+
+}  // namespace nitro::trace::adversary

@@ -118,12 +118,96 @@ Trace uniform_flows(std::uint64_t packets, std::uint64_t flows, std::uint64_t se
   return out;
 }
 
+AttackTrace collision_flood(const AttackSpec& spec,
+                            const std::vector<FlowKey>& crafted) {
+  if (crafted.empty()) {
+    throw std::invalid_argument("collision_flood: empty crafted key set");
+  }
+  AttackTrace out;
+  out.attack_keys = crafted;
+  out.trace.reserve(spec.benign.packets);
+  ZipfSampler zipf(spec.benign.flows, spec.benign.zipf_s, spec.benign.seed);
+  Pcg32 rng(mix64(spec.benign.seed ^ spec.attack_seed ^ 0xc011f100dULL));
+  for (std::uint64_t i = 0; i < spec.benign.packets; ++i) {
+    PacketRecord p;
+    if (rng.next_double() < spec.attack_fraction) {
+      // Uniform spray over the crafted set: each member stays individually
+      // small (well under any heavy-hitter threshold) while the targeted
+      // buckets absorb the whole flood.
+      p.key = crafted[rng.next_below(static_cast<std::uint32_t>(crafted.size()))];
+      p.wire_bytes = 64;
+      ++out.attack_packets;
+    } else {
+      p.key = flow_key_for_rank(zipf.next(), spec.benign.seed);
+      p.wire_bytes = draw_packet_size(rng, spec.benign.mean_packet_bytes);
+      ++out.benign_packets;
+    }
+    p.ts_ns = ts_for(i, spec.benign.rate_pps);
+    out.trace.push_back(p);
+  }
+  return out;
+}
+
+AttackTrace churn_storm(const AttackSpec& spec) {
+  AttackTrace out;
+  out.trace.reserve(spec.benign.packets);
+  ZipfSampler zipf(spec.benign.flows, spec.benign.zipf_s, spec.benign.seed);
+  Pcg32 rng(mix64(spec.benign.seed ^ spec.attack_seed ^ 0xc4112152ULL));
+  const std::uint64_t churn_family = mix64(spec.attack_seed ^ 0x51025ULL);
+  std::uint64_t next_unique = 0;
+  for (std::uint64_t i = 0; i < spec.benign.packets; ++i) {
+    PacketRecord p;
+    if (rng.next_double() < spec.attack_fraction) {
+      // Monotone rank in a dedicated family: no attack key ever repeats.
+      p.key = flow_key_for_rank(next_unique++, churn_family);
+      p.wire_bytes = 64;
+      ++out.attack_packets;
+    } else {
+      p.key = flow_key_for_rank(zipf.next(), spec.benign.seed);
+      p.wire_bytes = draw_packet_size(rng, spec.benign.mean_packet_bytes);
+      ++out.benign_packets;
+    }
+    p.ts_ns = ts_for(i, spec.benign.rate_pps);
+    out.trace.push_back(p);
+  }
+  return out;
+}
+
+AttackTrace skew_flip(const WorkloadSpec& spec, double flip_at, double flipped_s) {
+  AttackTrace out;
+  out.trace.reserve(spec.packets);
+  const auto flip_point =
+      static_cast<std::uint64_t>(static_cast<double>(spec.packets) * flip_at);
+  ZipfSampler before(spec.flows, spec.zipf_s, spec.seed);
+  ZipfSampler after(spec.flows, flipped_s, mix64(spec.seed ^ 0xf11bULL));
+  const std::uint64_t flipped_family = mix64(spec.seed ^ 0xf11bfa3ULL);
+  Pcg32 rng(mix64(spec.seed ^ 0x5f11b5ULL));
+  for (std::uint64_t i = 0; i < spec.packets; ++i) {
+    PacketRecord p;
+    if (i < flip_point) {
+      p.key = flow_key_for_rank(before.next(), spec.seed);
+      ++out.benign_packets;
+    } else {
+      p.key = flow_key_for_rank(after.next(), flipped_family);
+      ++out.attack_packets;
+    }
+    p.wire_bytes = draw_packet_size(rng, spec.mean_packet_bytes);
+    p.ts_ns = ts_for(i, spec.rate_pps);
+    out.trace.push_back(p);
+  }
+  return out;
+}
+
 Trace by_name(const std::string& name, const WorkloadSpec& spec) {
   if (name == "caida") return caida_like(spec);
   if (name == "datacenter" || name == "dc") return datacenter(spec.packets, spec.flows, spec.seed);
   if (name == "ddos") return ddos(spec.packets, spec.flows, spec.seed);
   if (name == "minsized" || name == "64b") return min_sized_stress(spec.packets, spec.flows, spec.seed);
   if (name == "uniform") return uniform_flows(spec.packets, spec.flows, spec.seed);
+  if (name == "churn") {
+    return churn_storm(AttackSpec{spec, 0.5, mix64(spec.seed ^ 0xadeULL)}).trace;
+  }
+  if (name == "skewflip") return skew_flip(spec).trace;
   throw std::invalid_argument("unknown workload: " + name);
 }
 

@@ -13,7 +13,9 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
+#include "common/flow_key.hpp"
 #include "trace/packet_record.hpp"
 
 namespace nitro::trace {
@@ -48,7 +50,51 @@ Trace uniform_flows(std::uint64_t packets, std::uint64_t flows, std::uint64_t se
 /// Deterministic flow key for rank `i` within a workload family.
 FlowKey flow_key_for_rank(std::uint64_t rank, std::uint64_t family_seed);
 
+// --- Adversarial workloads (DESIGN.md §16) ---------------------------------
+//
+// Each attack generator interleaves a benign Zipf background (the same key
+// family and skew as caida_like over the same spec) with attack traffic,
+// deterministically from its seeds, and reports ground truth about the
+// attack so harnesses can measure its effect on the *benign* flows.
+
+/// Attack mixed into a benign background.
+struct AttackSpec {
+  WorkloadSpec benign;            // background traffic (caida_like semantics)
+  double attack_fraction = 0.5;   // fraction of packets that are attack traffic
+  std::uint64_t attack_seed = 0x0a77acc4ULL;
+};
+
+struct AttackTrace {
+  Trace trace;
+  /// Crafted keys (collision flood); empty for churn/skew attacks where
+  /// the attack keys are unbounded or implicit.
+  std::vector<FlowKey> attack_keys;
+  std::uint64_t attack_packets = 0;
+  std::uint64_t benign_packets = 0;
+};
+
+/// Hash-collision flood: attack packets spread uniformly over `crafted`
+/// keys (see trace/adversary.hpp — all colliding in a majority of rows of
+/// the targeted sketch), mixed into the benign background.  Against the
+/// targeted seed every crafted key's estimate ≈ the whole flood volume.
+AttackTrace collision_flood(const AttackSpec& spec,
+                            const std::vector<FlowKey>& crafted);
+
+/// High-churn arrival storm: every attack packet carries a never-repeating
+/// flow key, grinding the TopK heap minimum and the distinct-flow rate.
+AttackTrace churn_storm(const AttackSpec& spec);
+
+/// Sudden skew flip: the first `flip_at` fraction of packets follow the
+/// spec's Zipf skew over its key family; the remainder switch to skew
+/// `flipped_s` over a *different* family (the hot set is replaced
+/// wholesale).  benign_packets counts phase 1, attack_packets phase 2.
+AttackTrace skew_flip(const WorkloadSpec& spec, double flip_at = 0.5,
+                      double flipped_s = 0.2);
+
 /// Human-readable workload name -> generator, for bench CLI symmetry.
+/// Adversarial names: "churn", "skewflip" (collision floods need a target
+/// sketch's parameters, so they are only reachable through
+/// collision_flood()).
 Trace by_name(const std::string& name, const WorkloadSpec& spec);
 
 }  // namespace nitro::trace

@@ -103,6 +103,7 @@ std::vector<std::uint8_t> recover_response_with(
   w.put_u64(span.first);
   w.put_u64(span.last);
   w.put_i64(100);
+  if (version >= 4) w.put_u64(0);  // seed_gen rides the v4 layout
   w.put_blob({});
   return control::seal_frame(w.bytes());
 }

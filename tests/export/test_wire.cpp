@@ -144,7 +144,7 @@ TEST(WireFuzz, BadInnerMagicAndVersionAreRejectedByName) {
     w.put_i64(0);
     w.put_blob({});
     const auto frame = control::seal_frame(w.bytes());
-    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99 (speaks 1..3)");
+    EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 99 (speaks 1..4)");
   }
 }
 
@@ -191,7 +191,7 @@ TEST(WireFuzz, OldCollectorSimulationRejectsNewerFramesByName) {
   w.put_u32(kWireVersion + 1);
   // No body at all: the gate must fire before the decoder wants one.
   const auto frame = control::seal_frame(w.bytes());
-  EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 4 (speaks 1..3)");
+  EXPECT_EQ(decode_error(frame), "epoch msg: unsupported version 5 (speaks 1..4)");
 
   control::ByteWriter a;
   a.put_u32(kAckMsgMagic);
@@ -241,6 +241,7 @@ TEST(WireFuzz, InsaneSequenceRangesAreRejected) {
     w.put_i64(0);
     w.put_u64(0);  // epoch_close_ns (v2)
     w.put_u64(0);  // send_ns (v2)
+    w.put_u64(0);  // seed_gen (v4)
     w.put_blob({});
     return control::seal_frame(w.bytes());
   };

@@ -5,6 +5,7 @@
 // ShardGroup<NitroUnivMon> merge path the monitor daemon uses.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <atomic>
 #include <thread>
 #include <vector>
@@ -176,6 +177,123 @@ TEST(ShardConcurrency, UnivMonShardsMergeIntoGlobalView) {
   for (int rank = 0; rank < 500; ++rank) {
     const auto key = flow_key_for_rank(rank, 61);
     EXPECT_EQ(aggregate.query(key), single.query(key)) << "rank " << rank;
+  }
+}
+
+TEST(ShardConcurrency, ValveTripsUnderPrePartitionedProducersStayRaceFree) {
+  // One producer per shard feeding a churn storm through an enabled
+  // admission valve (DESIGN.md §16) while a monitoring thread polls the
+  // trip counter and degrade levels: the valve itself is producer-local
+  // (SPSC contract), the observability path is atomic — TSan must stay
+  // quiet and the counters must be monotone.
+  trace::AttackSpec aspec;
+  aspec.benign.packets = 60'000;
+  aspec.benign.flows = 500;
+  aspec.benign.seed = 23;
+  aspec.attack_fraction = 0.8;
+  aspec.attack_seed = 0x5701217ULL;
+  const auto storm = trace::churn_storm(aspec);
+
+  constexpr std::uint32_t kWorkers = 2;
+  ShardOptions opts;
+  opts.valve.enabled = true;
+  opts.valve.window = 4096;
+  opts.valve.new_flow_threshold = 0.5;
+  ShardGroup<core::NitroUnivMon> group(
+      kWorkers,
+      [&](std::uint32_t i) {
+        core::NitroConfig cfg = vanilla_cfg();
+        cfg.seed = mix64(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+        return core::NitroUnivMon(sketch::UnivMonConfig{}, cfg, 77);
+      },
+      opts);
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    std::uint64_t prev = 0;
+    while (!stop.load(std::memory_order_acquire)) {
+      const std::uint64_t trips = group.total_valve_trips();
+      EXPECT_GE(trips, prev);
+      prev = trips;
+      for (std::uint32_t i = 0; i < kWorkers; ++i) (void)group.degrade_level(i);
+    }
+  });
+  std::vector<std::thread> producers;
+  for (std::uint32_t s = 0; s < kWorkers; ++s) {
+    producers.emplace_back([&, s] {
+      for (const auto& p : storm.trace) {
+        if (group.shard_of(p.key) == s) group.update_on_shard(s, p.key, 1, p.ts_ns);
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  group.drain();
+  stop.store(true, std::memory_order_release);
+  reader.join();
+
+  EXPECT_GT(group.total_valve_trips(), 0u);
+  std::uint32_t max_level = 0;
+  for (std::uint32_t i = 0; i < kWorkers; ++i) {
+    max_level = std::max(max_level, group.degrade_level(i));
+  }
+  EXPECT_GT(max_level, 0u);
+}
+
+TEST(ShardConcurrency, ResetDegradationRacingWorkersReappliesTheLevel) {
+  // Regression for the reset-then-re-escalate-to-the-same-level skip: the
+  // control plane resets the ladder while producers keep tripping the
+  // valve, so the worker's cached applied level and the shared level churn
+  // concurrently.  The generation counter makes every reset observable;
+  // after the final reset with quiescent producers the ladder must read 0.
+  trace::AttackSpec aspec;
+  aspec.benign.packets = 48'000;
+  aspec.benign.flows = 500;
+  aspec.benign.seed = 29;
+  aspec.attack_fraction = 0.9;
+  aspec.attack_seed = 0xde5e7ULL;
+  const auto storm = trace::churn_storm(aspec);
+
+  ShardOptions opts;
+  opts.valve.enabled = true;
+  opts.valve.window = 2048;
+  opts.valve.new_flow_threshold = 0.5;
+  ShardGroup<core::NitroUnivMon> group(
+      2,
+      [&](std::uint32_t i) {
+        core::NitroConfig cfg = vanilla_cfg();
+        cfg.seed = mix64(cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
+        return core::NitroUnivMon(sketch::UnivMonConfig{}, cfg, 77);
+      },
+      opts);
+
+  std::atomic<bool> stop{false};
+  std::thread resetter([&] {
+    while (!stop.load(std::memory_order_acquire)) {
+      group.reset_degradation();
+      std::this_thread::yield();
+    }
+  });
+  std::uint64_t trips_seen = 0;
+  constexpr int kRounds = 4;
+  const std::size_t chunk = storm.trace.size() / kRounds;
+  for (int r = 0; r < kRounds; ++r) {
+    const std::size_t begin = static_cast<std::size_t>(r) * chunk;
+    const std::size_t end = r + 1 == kRounds ? storm.trace.size() : begin + chunk;
+    for (std::size_t i = begin; i < end; ++i) {
+      group.update(storm.trace[i].key, 1, storm.trace[i].ts_ns);
+    }
+    const std::uint64_t trips = group.total_valve_trips();
+    EXPECT_GE(trips, trips_seen);
+    trips_seen = trips;
+  }
+  stop.store(true, std::memory_order_release);
+  resetter.join();
+  EXPECT_GT(trips_seen, 0u);  // the storm kept tripping through the resets
+  group.drain();
+  group.reset_degradation();
+  group.drain();  // workers observe the bumped reset generation
+  for (std::uint32_t i = 0; i < group.workers(); ++i) {
+    EXPECT_EQ(group.degrade_level(i), 0u);
   }
 }
 

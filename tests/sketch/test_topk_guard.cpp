@@ -1,0 +1,162 @@
+// TopKHeap churn-guard property tests (DESIGN.md §16).
+//
+// The attack model: a churn storm offers an endless stream of never-seen
+// keys whose sketch estimates sit just above the heap's minimum (collision
+// noise rises with stream volume).  Without the admission margin every
+// such offer evicts a tracked key and resets the bar one notch higher, so
+// the noise floor ratchets the real heavy hitters out of the heap.  With
+// the margin, offers inside the hysteresis band are rejected and the
+// heavies survive.  Both halves of the property are pinned: the classic
+// heap *is* ground down (documenting the failure the guard exists for),
+// the guarded heap is not.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/flow_key.hpp"
+#include "sketch/univmon.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::sketch {
+namespace {
+
+FlowKey key_of(std::uint64_t rank, std::uint64_t family) {
+  return trace::flow_key_for_rank(rank, family);
+}
+
+constexpr std::size_t kCapacity = 8;
+constexpr std::uint64_t kHeavyFamily = 0xbeefULL;
+constexpr std::uint64_t kChurnFamily = 0xc442ULL;
+
+/// Fill a heap with `kCapacity` heavies at estimates 500, 1000, ...
+void seed_heavies(TopKHeap& heap) {
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    heap.offer(key_of(i, kHeavyFamily), static_cast<std::int64_t>(500 * (i + 1)));
+  }
+}
+
+/// The ratcheting churn storm: each unique key's estimate is the current
+/// minimum plus a small noise excess — the worst case for the heap, and
+/// exactly what collision noise on one-packet flows looks like once the
+/// stream is long enough.
+void churn(TopKHeap& heap, std::size_t offers, std::int64_t excess) {
+  for (std::size_t i = 0; i < offers; ++i) {
+    heap.offer(key_of(i, kChurnFamily), heap.min_estimate() + excess);
+  }
+}
+
+TEST(TopKGuard, UnguardedHeapIsGroundDownByAChurnStorm) {
+  TopKHeap heap(kCapacity);  // margin 0: classic displace-on-any-improvement
+  seed_heavies(heap);
+  churn(heap, 20'000, /*excess=*/1);
+  // The ratchet climbed past every heavy: all eight are permanently gone.
+  std::size_t survivors = 0;
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    if (heap.contains(key_of(i, kHeavyFamily))) ++survivors;
+  }
+  EXPECT_EQ(survivors, 0u);
+  EXPECT_GE(heap.evictions(), kCapacity);
+  EXPECT_EQ(heap.margin_rejects(), 0u);
+}
+
+TEST(TopKGuard, AdmissionMarginKeepsPersistentHeaviesTracked) {
+  TopKHeap heap(kCapacity, /*admission_margin=*/64);
+  seed_heavies(heap);
+  churn(heap, 20'000, /*excess=*/1);  // inside the hysteresis band
+  for (std::size_t i = 0; i < kCapacity; ++i) {
+    EXPECT_TRUE(heap.contains(key_of(i, kHeavyFamily))) << "heavy " << i;
+  }
+  EXPECT_EQ(heap.evictions(), 0u);
+  EXPECT_EQ(heap.margin_rejects(), 20'000u);
+}
+
+TEST(TopKGuard, GenuinelyLargerKeysStillDisplaceThroughTheMargin) {
+  // The margin must not blind the heap to a real new heavy hitter.
+  TopKHeap heap(kCapacity, /*admission_margin=*/64);
+  seed_heavies(heap);
+  const FlowKey newcomer = key_of(99, kChurnFamily);
+  heap.offer(newcomer, heap.min_estimate() + 65);
+  EXPECT_TRUE(heap.contains(newcomer));
+  EXPECT_EQ(heap.evictions(), 1u);
+}
+
+TEST(TopKGuard, TrackedKeysRefreshInBothDirectionsRegardlessOfMargin) {
+  TopKHeap heap(kCapacity, /*admission_margin=*/1000);
+  seed_heavies(heap);
+  const FlowKey k = key_of(0, kHeavyFamily);  // estimate 1000, the minimum
+  heap.offer(k, 1001);  // upward refresh, well inside the margin
+  EXPECT_TRUE(heap.contains(k));
+  heap.offer(k, 500);  // downward refresh
+  EXPECT_TRUE(heap.contains(k));
+  EXPECT_EQ(heap.min_estimate(), 500);
+  EXPECT_EQ(heap.margin_rejects(), 0u);  // tracked keys never count
+}
+
+TEST(TopKGuard, ClearResetsTheChurnCounters) {
+  TopKHeap heap(kCapacity, /*admission_margin=*/8);
+  seed_heavies(heap);
+  churn(heap, 100, /*excess=*/1);
+  ASSERT_GT(heap.margin_rejects(), 0u);
+  heap.clear();
+  EXPECT_EQ(heap.evictions(), 0u);
+  EXPECT_EQ(heap.margin_rejects(), 0u);
+}
+
+// --- Through a real sketch: the UnivMon-level property ---------------------
+
+UnivMonConfig guard_config(std::int64_t margin) {
+  UnivMonConfig cfg;
+  cfg.levels = 4;
+  cfg.depth = 3;
+  cfg.top_width = 256;
+  cfg.min_width = 128;
+  cfg.heap_capacity = 16;
+  cfg.heap_margin = margin;
+  return cfg;
+}
+
+/// Feed heavy flows plus a unique-flow churn storm, interleaved so the
+/// heavies keep appearing (a *persistent* heavy hitter, not a one-shot
+/// prefix).  Returns the number of heavies still tracked at level 0.
+std::size_t survivors_after_storm(UnivMon& um) {
+  constexpr std::size_t kHeavies = 8;
+  constexpr std::int64_t kHeavyReps = 300;
+  constexpr std::size_t kStorm = 60'000;
+  // Warm-up: establish the heavies before the storm begins.
+  for (std::int64_t r = 0; r < kHeavyReps; ++r) {
+    for (std::size_t h = 0; h < kHeavies; ++h) um.update(key_of(h, kHeavyFamily));
+  }
+  for (std::size_t i = 0; i < kStorm; ++i) {
+    um.update(key_of(i, kChurnFamily));
+    if (i % 100 == 0) {  // the heavies keep talking during the storm
+      for (std::size_t h = 0; h < kHeavies; ++h) um.update(key_of(h, kHeavyFamily));
+    }
+  }
+  std::size_t survivors = 0;
+  for (std::size_t h = 0; h < kHeavies; ++h) {
+    if (um.level_heap(0).contains(key_of(h, kHeavyFamily))) ++survivors;
+  }
+  return survivors;
+}
+
+TEST(TopKGuard, MarginKeepsHeaviesThroughAChurnStormInAFullUnivMon) {
+  UnivMon guarded(guard_config(/*margin=*/40), /*seed=*/7);
+  const std::size_t kept = survivors_after_storm(guarded);
+  EXPECT_EQ(kept, 8u);
+  // The guard visibly worked: storm offers were rejected at the margin,
+  // and tracked-key eviction stayed far below the unguarded run's.
+  EXPECT_GT(guarded.level_heap(0).margin_rejects(), 0u);
+
+  UnivMon classic(guard_config(/*margin=*/0), /*seed=*/7);
+  const std::size_t classic_kept = survivors_after_storm(classic);
+  EXPECT_GE(guarded.heap_evictions() + 1'000, classic.heap_evictions());
+  // Document the asymmetry the guard exists for — the classic heap churns
+  // several times harder under the same storm (the margin still admits
+  // genuinely larger keys, so some eviction remains).
+  EXPECT_GT(classic.heap_evictions(), 3 * guarded.heap_evictions());
+  (void)classic_kept;  // may or may not survive; only the guarded run is pinned
+}
+
+}  // namespace
+}  // namespace nitro::sketch

@@ -1,0 +1,195 @@
+// Attack workload generators + collision-crafting oracle (DESIGN.md §16).
+//
+// Determinism is a hard requirement: a chaos run must be replayable from
+// its seeds, so every generator is pinned bit-reproducible.  The oracle's
+// validity is checked both offline (colliding_rows against the replica
+// hashes) and online, against a *real* sketch built on the targeted seed:
+// feeding the anchor must make every crafted key's estimate track the
+// anchor's count — the concentration effect the whole attack is about —
+// while a rotated (re-keyed) sketch shrugs the same set off.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_set>
+
+#include "common/flow_key.hpp"
+#include "core/seed_schedule.hpp"
+#include "sketch/univmon.hpp"
+#include "trace/adversary.hpp"
+#include "trace/workloads.hpp"
+
+namespace nitro::trace {
+namespace {
+
+sketch::UnivMonConfig small_config() {
+  sketch::UnivMonConfig cfg;
+  cfg.levels = 4;
+  cfg.depth = 3;
+  cfg.top_width = 256;
+  cfg.min_width = 128;
+  cfg.heap_capacity = 32;
+  return cfg;
+}
+
+constexpr std::uint64_t kSeed = 7;
+constexpr std::uint64_t kAttackSeed = 0x5eedbadULL;
+
+AttackSpec small_attack() {
+  AttackSpec spec;
+  spec.benign.packets = 20'000;
+  spec.benign.flows = 500;
+  spec.benign.seed = 11;
+  spec.attack_fraction = 0.4;
+  spec.attack_seed = kAttackSeed;
+  return spec;
+}
+
+bool same_trace(const Trace& a, const Trace& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (!(a[i].key == b[i].key) || a[i].wire_bytes != b[i].wire_bytes ||
+        a[i].ts_ns != b[i].ts_ns) {
+      return false;
+    }
+  }
+  return true;
+}
+
+// --- Determinism -----------------------------------------------------------
+
+TEST(AdversarialWorkloads, ChurnStormIsBitReproducible) {
+  const AttackTrace a = churn_storm(small_attack());
+  const AttackTrace b = churn_storm(small_attack());
+  EXPECT_TRUE(same_trace(a.trace, b.trace));
+  EXPECT_EQ(a.attack_packets, b.attack_packets);
+  EXPECT_EQ(a.benign_packets, b.benign_packets);
+  EXPECT_EQ(a.attack_packets + a.benign_packets, a.trace.size());
+}
+
+TEST(AdversarialWorkloads, SkewFlipIsBitReproducible) {
+  WorkloadSpec spec;
+  spec.packets = 10'000;
+  spec.flows = 400;
+  spec.seed = 13;
+  const AttackTrace a = skew_flip(spec, 0.5, 0.2);
+  const AttackTrace b = skew_flip(spec, 0.5, 0.2);
+  EXPECT_TRUE(same_trace(a.trace, b.trace));
+}
+
+TEST(AdversarialWorkloads, CollisionFloodIsBitReproducible) {
+  const auto target =
+      adversary::univmon_level0_target(small_config(), kSeed);
+  const auto set = adversary::craft_collision_set(target, /*count=*/16,
+                                                  /*min_rows=*/2, kAttackSeed);
+  ASSERT_GE(set.keys.size(), 2u);
+  const AttackTrace a = collision_flood(small_attack(), set.keys);
+  const AttackTrace b = collision_flood(small_attack(), set.keys);
+  EXPECT_TRUE(same_trace(a.trace, b.trace));
+  EXPECT_EQ(a.attack_keys.size(), set.keys.size());
+}
+
+TEST(AdversarialWorkloads, DifferentSeedsProduceDifferentStorms) {
+  AttackSpec other = small_attack();
+  other.attack_seed = kAttackSeed + 1;
+  EXPECT_FALSE(same_trace(churn_storm(small_attack()).trace,
+                          churn_storm(other).trace));
+}
+
+// --- Collision-set validity ------------------------------------------------
+
+TEST(CollisionOracle, CraftedKeysCollideWithTheAnchorOnEnoughRows) {
+  const auto target = adversary::univmon_level0_target(small_config(), kSeed);
+  const auto set = adversary::craft_collision_set(target, /*count=*/24,
+                                                  /*min_rows=*/2, kAttackSeed);
+  ASSERT_GE(set.keys.size(), 8u) << "oracle found too few colliding keys";
+  EXPECT_EQ(set.min_rows, 2u);
+  const adversary::HashOracle oracle(target);
+  EXPECT_EQ(oracle.depth(), small_config().depth);
+  for (const FlowKey& k : set.keys) {
+    EXPECT_GE(oracle.colliding_rows(set.anchor, k), set.min_rows);
+  }
+  // Fully deterministic in the attack seed.
+  const auto again = adversary::craft_collision_set(target, /*count=*/24,
+                                                    /*min_rows=*/2, kAttackSeed);
+  EXPECT_EQ(again.keys, set.keys);
+  EXPECT_EQ(again.candidates_tried, set.candidates_tried);
+}
+
+TEST(CollisionOracle, CraftedSetConcentratesMassInTheRealSketch) {
+  const auto cfg = small_config();
+  const auto target = adversary::univmon_level0_target(cfg, kSeed);
+  const auto set = adversary::craft_collision_set(target, /*count=*/16,
+                                                  /*min_rows=*/2, kAttackSeed);
+  ASSERT_GE(set.keys.size(), 4u);
+
+  // Feed ONLY the anchor.  In a majority of rows every crafted key shares
+  // the anchor's bucket and sign, so its median estimate inherits the
+  // anchor's entire count despite never appearing in the stream.
+  sketch::UnivMon um(cfg, kSeed);
+  constexpr std::int64_t kAnchorCount = 10'000;
+  um.update(set.anchor, kAnchorCount);
+  for (const FlowKey& k : set.keys) {
+    EXPECT_EQ(um.query(k), kAnchorCount);
+  }
+
+  // The defense in one assertion: the same crafted set against a sketch on
+  // a rotated (generation-derived) seed collides nowhere special.
+  const core::SeedSchedule sched{kSeed, /*master_key=*/0xfeedfaceULL,
+                                /*rotation_epochs=*/4};
+  sketch::UnivMon rotated(cfg, sched.seed_for(1));
+  rotated.update(set.anchor, kAnchorCount);
+  std::size_t still_colliding = 0;
+  for (std::size_t i = 1; i < set.keys.size(); ++i) {  // skip the anchor itself
+    if (rotated.query(set.keys[i]) == kAnchorCount) ++still_colliding;
+  }
+  EXPECT_LT(still_colliding, set.keys.size() / 2)
+      << "crafted set survived the seed rotation";
+}
+
+// --- Attack-shape properties ----------------------------------------------
+
+TEST(AdversarialWorkloads, ChurnStormAttackKeysNeverRepeat) {
+  const AttackTrace storm = churn_storm(small_attack());
+  ASSERT_GT(storm.attack_packets, 0u);
+  // Benign Zipf traffic revisits at most `flows` keys; every attack packet
+  // adds a brand-new one, so the distinct count is dominated by the storm.
+  std::unordered_set<FlowKey> distinct;
+  for (const auto& p : storm.trace) distinct.insert(p.key);
+  EXPECT_GE(distinct.size(), static_cast<std::size_t>(storm.attack_packets));
+  EXPECT_LE(distinct.size(),
+            static_cast<std::size_t>(storm.attack_packets) +
+                small_attack().benign.flows);
+}
+
+TEST(AdversarialWorkloads, SkewFlipReplacesTheHotSetWholesale) {
+  WorkloadSpec spec;
+  spec.packets = 10'000;
+  spec.flows = 400;
+  spec.seed = 13;
+  const AttackTrace flip = skew_flip(spec, 0.5, 0.2);
+  EXPECT_EQ(flip.benign_packets, 5'000u);
+  EXPECT_EQ(flip.attack_packets, 5'000u);
+  std::unordered_set<FlowKey> before;
+  std::unordered_set<FlowKey> after;
+  for (std::size_t i = 0; i < flip.trace.size(); ++i) {
+    (i < 5'000 ? before : after).insert(flip.trace[i].key);
+  }
+  // Disjoint key families: the phase-2 hot set shares nothing with phase 1.
+  for (const FlowKey& k : after) EXPECT_EQ(before.count(k), 0u);
+  // The flatter skew spreads traffic over many more flows.
+  EXPECT_GT(after.size(), before.size());
+}
+
+TEST(AdversarialWorkloads, ByNameReachesTheAdversarialGenerators) {
+  WorkloadSpec spec;
+  spec.packets = 2'000;
+  spec.flows = 100;
+  spec.seed = 3;
+  EXPECT_EQ(by_name("churn", spec).size(), spec.packets);
+  EXPECT_EQ(by_name("skewflip", spec).size(), spec.packets);
+  EXPECT_THROW((void)by_name("no-such-attack", spec), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace nitro::trace

@@ -63,6 +63,11 @@ struct Options {
   std::string trace_out;
   std::string query_listen;    // empty = no HTTP query plane
   int min_refresh_ms = 5;      // view rebuild rate limit under reader load
+  // Keyed seed rotation (DESIGN.md §16): must mirror the monitors' flags
+  // exactly — replicas for generation g are built at the schedule's
+  // derived seed, and generation 0 is already keyed when rotation is on.
+  std::uint64_t master_key = 0;
+  std::uint64_t rotate_epochs = 0;
 };
 
 void usage(const char* argv0) {
@@ -72,7 +77,8 @@ void usage(const char* argv0) {
                "          [--interval-ms N] [--staleness-ms N] [--run-for-ms N]\n"
                "          [--stats-out FILE] [--stats-format prom|json]\n"
                "          [--stats-interval MS] [--trace-out FILE]\n"
-               "          [--query-listen tcp:HOST:PORT] [--min-refresh-ms N]\n",
+               "          [--query-listen tcp:HOST:PORT] [--min-refresh-ms N]\n"
+               "          [--master-key HEX] [--rotate-epochs N]\n",
                argv0);
 }
 
@@ -133,6 +139,12 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!(v = next())) return false;
       opt.min_refresh_ms = std::atoi(v);
       if (opt.min_refresh_ms < 0) opt.min_refresh_ms = 0;
+    } else if (arg == "--master-key") {
+      if (!(v = next())) return false;
+      opt.master_key = std::strtoull(v, nullptr, 16);
+    } else if (arg == "--rotate-epochs") {
+      if (!(v = next())) return false;
+      opt.rotate_epochs = std::strtoull(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -230,6 +242,8 @@ int main(int argc, char** argv) {
   cfg.um_cfg.top_width = 10000;
   cfg.um_cfg.heap_capacity = 1000;
   cfg.seed = opt.seed;
+  cfg.master_key = opt.master_key;
+  cfg.rotation_epochs = opt.rotate_epochs;
   cfg.staleness_ns = opt.staleness_ms * 1'000'000ULL;
   // Rate-limit view rebuilds: a reader fleet hammering the query plane
   // coalesces onto one generation per window instead of re-folding on

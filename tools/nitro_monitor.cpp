@@ -105,6 +105,16 @@ struct Options {
   std::uint64_t source_id = 1;
   std::string trace_out;     // Chrome/Perfetto trace JSON (empty = no tracing)
   int accuracy_sample = 0;   // reservoir size; 0 = observer off
+  // Adversarial hardening (DESIGN.md §16).  Rotation is on when
+  // rotate_epochs > 0; the master key keys every generation's seed
+  // derivation (generation 0 included), so it must match the collector's.
+  std::uint64_t master_key = 0;
+  std::uint64_t rotate_epochs = 0;
+  std::int64_t heap_margin = 0;   // TopKHeap churn-guard hysteresis
+  bool valve = false;             // flow-arrival admission valve (sharded plane)
+  double valve_threshold = 0.5;   // new-flow fraction that trips it
+  double collision_alarm = 0.0;   // collision-pressure alarm level (0 = off)
+  std::uint64_t eviction_alarm = 0;  // heap-churn alarm level (0 = off)
 };
 
 void usage(const char* argv0) {
@@ -121,7 +131,10 @@ void usage(const char* argv0) {
                "          [--checkpoint-full-every N] [--require-restore]\n"
                "          [--recover-from-collector]\n"
                "          [--export-to tcp:HOST:PORT|unix:PATH] [--source-id N]\n"
-               "          [--trace-out FILE] [--accuracy-sample N]\n",
+               "          [--trace-out FILE] [--accuracy-sample N]\n"
+               "          [--master-key HEX] [--rotate-epochs N]\n"
+               "          [--heap-margin N] [--valve] [--valve-threshold FRAC]\n"
+               "          [--collision-alarm X] [--eviction-alarm N]\n",
                argv0);
 }
 
@@ -242,6 +255,34 @@ bool parse_args(int argc, char** argv, Options& opt) {
       if (!(v = next())) return false;
       opt.accuracy_sample = std::atoi(v);
       if (opt.accuracy_sample < 0) opt.accuracy_sample = 0;
+    } else if (arg == "--master-key") {
+      if (!(v = next())) return false;
+      opt.master_key = std::strtoull(v, nullptr, 16);
+    } else if (arg == "--rotate-epochs") {
+      if (!(v = next())) return false;
+      opt.rotate_epochs = std::strtoull(v, nullptr, 10);
+    } else if (arg == "--heap-margin") {
+      if (!(v = next())) return false;
+      opt.heap_margin = std::strtoll(v, nullptr, 10);
+      if (opt.heap_margin < 0) {
+        std::fprintf(stderr, "--heap-margin must be >= 0\n");
+        return false;
+      }
+    } else if (arg == "--valve") {
+      opt.valve = true;
+    } else if (arg == "--valve-threshold") {
+      if (!(v = next())) return false;
+      opt.valve_threshold = std::atof(v);
+      if (opt.valve_threshold <= 0.0 || opt.valve_threshold > 1.0) {
+        std::fprintf(stderr, "--valve-threshold must be in (0, 1]\n");
+        return false;
+      }
+    } else if (arg == "--collision-alarm") {
+      if (!(v = next())) return false;
+      opt.collision_alarm = std::atof(v);
+    } else if (arg == "--eviction-alarm") {
+      if (!(v = next())) return false;
+      opt.eviction_alarm = std::strtoull(v, nullptr, 10);
     } else if (arg == "--help" || arg == "-h") {
       usage(argv[0]);
       return false;
@@ -326,6 +367,14 @@ int main(int argc, char** argv) {
 
   Options opt;
   if (!parse_args(argc, argv, opt)) return 2;
+  if (opt.rotate_epochs > 0 && opt.workers > 1) {
+    // Shard instances hold one fixed UnivMon seed for the run; merging
+    // them into a daemon whose seed rotates per generation would cross
+    // hash functions.  Per-shard rotation is future work.
+    std::fprintf(stderr,
+                 "--rotate-epochs is not yet supported with --workers > 1\n");
+    return 2;
+  }
 
   trace::Trace stream;
   if (!opt.trace_file.empty()) {
@@ -374,6 +423,7 @@ int main(int argc, char** argv) {
   um_cfg.depth = 5;
   um_cfg.top_width = 10000;
   um_cfg.heap_capacity = 1000;
+  um_cfg.heap_margin = opt.heap_margin;
 
   core::NitroConfig nitro_cfg;
   nitro_cfg.mode = mode_of(opt.mode);
@@ -383,8 +433,18 @@ int main(int argc, char** argv) {
   control::MeasurementDaemon::Tasks tasks;
   tasks.hh_fraction = opt.hh_threshold;
   tasks.change_fraction = opt.hh_threshold;
+  tasks.collision_alarm_threshold = opt.collision_alarm;
+  tasks.eviction_alarm_threshold = opt.eviction_alarm;
 
   control::MeasurementDaemon daemon(um_cfg, nitro_cfg, tasks, opt.seed);
+  if (opt.rotate_epochs > 0) {
+    // Keyed epoch-boundary seed rotation (DESIGN.md §16): must be enabled
+    // on the fresh daemon, before any restore — checkpoint v2 frames are
+    // generation-tagged and validated against this schedule.
+    daemon.enable_seed_rotation(opt.master_key, opt.rotate_epochs);
+    std::printf("seed rotation: every %llu epoch(s), keyed derivation\n",
+                static_cast<unsigned long long>(opt.rotate_epochs));
+  }
 
   telemetry::Registry registry;
   daemon.attach_telemetry(registry);
@@ -535,7 +595,7 @@ int main(int argc, char** argv) {
     } else {
       try {
         daemon.seed_from_recovery(rec.resp.span.last + 1, rec.resp.snapshot,
-                                  rec.resp.packets);
+                                  rec.resp.packets, rec.resp.seed_gen);
         recovered_last_seq = rec.resp.last_seq;
         restore_source = 4;
         std::printf("recover: seeded from collector replica (epochs %llu..%llu,"
@@ -573,8 +633,13 @@ int main(int argc, char** argv) {
     xport::ExporterConfig ecfg;
     ecfg.endpoint = *export_ep;
     ecfg.source_id = opt.source_id;
+    // With rotation on, backlog coalescing must be generation-aware:
+    // frames from different seed generations hash differently and are
+    // never merged (the schedule-taking coalescer enforces that).
     exporter = std::make_unique<xport::EpochExporter>(
-        ecfg, xport::univmon_coalescer(um_cfg, opt.seed));
+        ecfg, opt.rotate_epochs > 0
+                  ? xport::univmon_coalescer(um_cfg, daemon.seed_schedule())
+                  : xport::univmon_coalescer(um_cfg, opt.seed));
     exporter->attach_telemetry(registry, "nitro_export");
     if (restore_source == 4) {
       // Resume after the collector's settled sequence number so the
@@ -589,7 +654,8 @@ int main(int argc, char** argv) {
     }
     exporter->start();
     daemon.set_export_sink([&exporter](control::ExportedEpoch&& e) {
-      exporter->publish(e.span, e.packets, std::move(e.snapshot), e.close_ns);
+      exporter->publish(e.span, e.packets, std::move(e.snapshot), e.close_ns,
+                        e.seed_gen);
     });
     std::printf("exporting epochs to %s as source %llu\n",
                 export_ep->to_string().c_str(),
@@ -611,14 +677,26 @@ int main(int argc, char** argv) {
                    opt.workers);
     }
     std::printf("sharded data plane: %d workers, flow-hash dispatch\n", opt.workers);
+    shard::ShardOptions shard_opts;
+    if (opt.valve) {
+      // Churn admission valve (DESIGN.md §16): when a window's unique-flow
+      // fraction crosses the threshold, the shard escalates the same
+      // degrade ladder ring overflow uses instead of melting down.
+      shard_opts.valve.enabled = true;
+      shard_opts.valve.new_flow_threshold = opt.valve_threshold;
+      std::printf("admission valve: on (new-flow fraction > %.2f trips)\n",
+                  opt.valve_threshold);
+    }
     shard_group = std::make_unique<shard::ShardGroup<core::NitroUnivMon>>(
-        static_cast<std::uint32_t>(opt.workers), [&](std::uint32_t i) {
+        static_cast<std::uint32_t>(opt.workers),
+        [&](std::uint32_t i) {
           // Same UnivMon seed everywhere (mergeable counters); decorrelated
           // per-shard sampler seeds.
           core::NitroConfig shard_cfg = nitro_cfg;
           shard_cfg.seed = mix64(nitro_cfg.seed ^ (0x9e3779b97f4a7c15ULL * (i + 1)));
           return core::NitroUnivMon(um_cfg, shard_cfg, opt.seed);
-        });
+        },
+        shard_opts);
     shard_group->attach_telemetry(registry, "nitro_shard");
     measurement = std::make_unique<ShardedDaemonMeasurement>(*shard_group,
                                                              accuracy.get());
